@@ -1,0 +1,63 @@
+"""Figure 10: cooperative multi-shredding between the IA32 sequencer and
+GMA X3000 exo-sequencers.
+
+Four work partitions per kernel (0% / 10% / 25% of iterations on the IA32
+sequencer, plus the oracle split), with ``master_nowait`` overlapping both
+sides.  Paper checkpoints:
+
+* BOB gains the most from cooperation — "up to 38% for the oracle scheme";
+* Bicubic "sees an improvement of only 8% for the oracle case";
+* a bad static split can *lose*: "e.g., Bicubic in partition (3), the
+  performance from cooperative execution is worse than simply executing
+  on the GMA X3000 exo-sequencers".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.report import format_figure10
+from repro.perf.study import run_suite
+
+
+def test_figure10_partitions(benchmark, show):
+    suite = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    show(format_figure10(suite))
+
+    for abbrev, m in suite.items():
+        gma_only = m.partition("static", 0.0).total_seconds
+        oracle = m.partition("oracle")
+        # the oracle never loses to either homogeneous extreme
+        assert oracle.total_seconds <= gma_only * (1 + 1e-9)
+        assert oracle.total_seconds <= m.cpu_seconds * (1 + 1e-9)
+        # at the oracle split both sides finish together
+        assert oracle.imbalance == pytest.approx(0.0, abs=1e-12)
+
+
+def test_figure10_bob_gains_most_bicubic_least(suite):
+    gains = {}
+    for abbrev, m in suite.items():
+        gma_only = m.partition("static", 0.0).total_seconds
+        oracle = m.partition("oracle").total_seconds
+        gains[abbrev] = 1 - oracle / gma_only
+    assert max(gains, key=gains.get) == "BOB"
+    assert min(gains, key=gains.get) == "Bicubic"
+    assert gains["BOB"] == pytest.approx(0.38, abs=0.05)  # paper: up to 38%
+    assert gains["Bicubic"] == pytest.approx(0.08, abs=0.02)  # paper: 8%
+
+
+def test_figure10_bad_partition_loses(suite):
+    """Bicubic with 25% of work on the slow side is worse than GMA-only."""
+    m = suite["Bicubic"]
+    gma_only = m.partition("static", 0.0).total_seconds
+    p25 = m.partition("static", 0.25).total_seconds
+    assert p25 > gma_only
+
+
+def test_figure10_dynamic_scheduling_approaches_oracle(suite):
+    """Section 5.3's ongoing work, implemented: self-scheduling at shred
+    granularity lands within a chunk of the oracle."""
+    for m in suite.values():
+        oracle = m.partition("oracle").total_seconds
+        dyn = m.partition("dynamic", num_chunks=256).total_seconds
+        assert dyn <= oracle * 1.05

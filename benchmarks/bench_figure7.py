@@ -1,0 +1,44 @@
+"""Figure 7: speedup from execution on GMA X3000 exo-sequencers over the
+IA32 sequencer.
+
+Every kernel's shreds execute instruction-by-instruction on the device
+model (functional results verified against the numpy reference); the IA32
+side uses the calibrated per-kernel cost models.  The paper gives exact
+bars only for BOB (1.41X) and Bicubic (10.97X); the other bars are read
+approximately off the figure (each kernel's ``paper_speedup``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.report import format_figure7
+from repro.perf.study import run_suite
+
+
+def test_figure7_speedups(benchmark, show):
+    suite = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    show(format_figure7(suite))
+
+    for abbrev, m in suite.items():
+        paper = m.kernel.paper_speedup
+        # exact bars must match tightly; approximate bars within 15%
+        tolerance = 0.05 if m.kernel.paper_speedup_exact else 0.15
+        assert m.speedup == pytest.approx(paper, rel=tolerance), (
+            f"{abbrev}: measured {m.speedup:.2f}x vs paper {paper:.2f}x")
+
+    # the paper's headline range: 1.41x (BOB) to 10.97x (Bicubic)
+    ordered = sorted(suite.values(), key=lambda m: m.speedup)
+    assert ordered[0].kernel.abbrev == "BOB"
+    assert ordered[-1].kernel.abbrev == "Bicubic"
+
+
+def test_figure7_bob_is_bandwidth_bound(suite):
+    """Section 5.1: BOB "is primarily bandwidth-bound"."""
+    assert suite["BOB"].gma_bound == "bandwidth"
+
+
+def test_figure7_all_outputs_verified(suite):
+    """Every speedup comes from a functionally verified run."""
+    for m in suite.values():
+        assert m.instructions > 0

@@ -1,0 +1,56 @@
+"""Figure 8: impact of data copying versus shared virtual address space.
+
+Three memory models over the same measured kernel runs:
+
+* Data Copy — no shared virtual memory; explicit copies at the paper's
+  3.1 GB/s SSE-to-write-combining rate;
+* Non-CC Shared — shared virtual memory, no coherence: cache flushes
+  around every region;
+* CC Shared — coherent shared virtual memory (the Figure 7 baseline).
+
+The reproduced claim is the *ordering* and its per-kernel pattern: every
+kernel loses performance moving CC -> Non-CC -> Data Copy, and the loss is
+worst for the kernels that do little computation per byte (the paper calls
+out LinearFilter and BOB).  Our absolute averages sit below the paper's
+70.5% / 85.3% because the reconstructed kernels have lower arithmetic
+intensity than Intel's production implementations (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.perf.memory_models import MemoryModel
+from repro.perf.report import format_figure8
+from repro.perf.study import run_suite
+
+
+def test_figure8_memory_models(benchmark, show):
+    suite = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    show(format_figure8(suite))
+
+    for abbrev, m in suite.items():
+        dc = m.relative_performance(MemoryModel.DATA_COPY)
+        ncc = m.relative_performance(MemoryModel.NONCC_SHARED)
+        cc = m.relative_performance(MemoryModel.CC_SHARED)
+        assert cc == 1.0
+        # strict ordering: copying < flushing < coherent
+        assert dc < ncc < cc, f"{abbrev}: DC={dc:.3f} NCC={ncc:.3f}"
+
+
+def test_figure8_compute_intensity_pattern(suite):
+    """Compute-heavy kernels retain the most performance under Data Copy
+    (paper: "for computationally intensive kernels ... the gains are
+    significantly reduced ... in cases such as LinearFilter and BOB")."""
+    dc = {ab: m.relative_performance(MemoryModel.DATA_COPY)
+          for ab, m in suite.items()}
+    # Bicubic (most compute per byte) tolerates copying better than the
+    # bandwidth-bound BOB and the single-pass filters
+    assert dc["Bicubic"] > dc["BOB"]
+    assert dc["Bicubic"] > dc["SepiaTone"]
+    assert dc["AlphaBlend"] > dc["BOB"]
+
+
+def test_figure8_speedup_still_positive(suite):
+    """Paper: "significant performance improvement is still possible even
+    with data copying" — for the compute-bound kernels."""
+    for abbrev in ("Bicubic", "AlphaBlend", "ADVDI", "FGT"):
+        assert suite[abbrev].model_speedup(MemoryModel.DATA_COPY) > 1.5

@@ -1,0 +1,123 @@
+"""Microbenchmarks of the library's own primitives.
+
+Not paper artifacts — these time the toolchain and simulator themselves
+(assembler, binary codec, interpreter, EU replay, C front end, DSL
+compiler) so regressions in the hot paths show up in CI.  These use
+pytest-benchmark's real measurement loop, unlike the single-shot
+evaluation benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chi.dsl import compile_dsl
+from repro.chi.frontend.driver import compile_source
+from repro.exo.shred import ShredDescriptor
+from repro.gma.device import GmaDevice
+from repro.gma.eu import simulate_device
+from repro.gma.timing import GmaTimingConfig
+from repro.isa.assembler import assemble
+from repro.isa.encoding import decode_program, encode_program
+from repro.isa.scheduler import schedule_program
+from repro.kernels import Geometry, kernel_by_abbrev
+from repro.memory.address_space import AddressSpace
+from repro.memory.surface import Surface
+from repro.isa.types import DataType
+
+KERNEL_ASM = kernel_by_abbrev("SepiaTone").asm_source(Geometry(80, 48))
+
+C_PROGRAM = """
+int main() {
+    int A[64];
+    int i;
+    for (i = 0; i < 64; i++) A[i] = i;
+    #pragma omp parallel target(X3000) shared(A) private(i)
+    {
+        for (i = 0; i < 8; i++)
+        __asm {
+            shl.1.dw vr1 = i, 3
+            ld.8.dw [vr2..vr9] = (A, vr1, 0)
+            add.8.dw [vr10..vr17] = [vr2..vr9], 1
+            st.8.dw (A, vr1, 0) = [vr10..vr17]
+            end
+        }
+    }
+    return A[63];
+}
+"""
+
+DSL_TEXT = ("OUT = clamp(0.25*SRC[-1,0] + 0.5*SRC[0,0] + 0.25*SRC[1,0] "
+            "+ 0.5, 0, 255)")
+
+
+def test_assembler_throughput(benchmark):
+    program = benchmark(assemble, KERNEL_ASM)
+    assert len(program) > 0
+
+
+def test_binary_codec_roundtrip(benchmark):
+    program = assemble(KERNEL_ASM)
+
+    def roundtrip():
+        return decode_program(encode_program(program))
+
+    decoded = benchmark(roundtrip)
+    assert len(decoded) == len(program)
+
+
+def test_instruction_scheduler(benchmark):
+    program = assemble(KERNEL_ASM)
+    scheduled = benchmark(schedule_program, program)
+    assert len(scheduled) == len(program)
+
+
+def test_interpreter_instructions_per_second(benchmark):
+    """Functional execution rate of the device model."""
+    space = AddressSpace()
+    device = GmaDevice(space)
+    surf = Surface.alloc(space, "S", 256, 1, DataType.DW)
+    surf.upload(space, np.zeros((1, 256)))
+    program = assemble("""
+        mov.1.dw vr1 = 0
+    loop:
+        ld.16.dw vr2 = (S, vr1, 0)
+        add.16.dw vr3 = vr2, 1
+        st.16.dw (S, vr1, 0) = vr3
+        add.1.dw vr1 = vr1, 16
+        cmp.lt.1.dw p1 = vr1, 256
+        br p1, loop
+        end
+    """)
+
+    def run_shred():
+        return device.run(
+            [ShredDescriptor(program=program, surfaces={"S": surf})])
+
+    result = benchmark(run_shred)
+    # mov + 16 iterations x (ld, add, st, add, cmp, br) + end
+    assert result.instructions == 16 * 6 + 2
+
+
+def test_eu_replay_throughput(benchmark):
+    config = GmaTimingConfig()
+    trace = [(1, 3)] * 200
+    from repro.gma.interpreter import ShredRun
+
+    runs = [ShredRun(shred=ShredDescriptor(program=assemble("end")),
+                     trace=list(trace)) for _ in range(64)]
+    for run in runs:
+        run.issue_cycles = 200
+    timing = benchmark(simulate_device, runs, config)
+    assert timing.compute_cycles > 0
+
+
+def test_c_frontend_compile(benchmark):
+    program = benchmark(compile_source, C_PROGRAM)
+    assert len(program.fatbinary.sections) == 1
+
+
+def test_dsl_compile(benchmark):
+    dsl = benchmark(compile_dsl, DSL_TEXT)
+    assert dsl.outputs == ["OUT"]

@@ -1,0 +1,32 @@
+"""Shared fixtures for the evaluation benchmarks.
+
+The full kernel suite measurement (every Table 2 kernel executed
+instruction-by-instruction on the device model) is expensive, so it runs
+once per session and every figure derives from the same measurements —
+the same economy the paper's authors had: one set of runs, several
+analyses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.study import run_suite
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """Measurements for all ten kernels at benchmark geometries."""
+    return run_suite()
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a report table so it survives pytest's output capture."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show

@@ -1,0 +1,120 @@
+"""H.264-style deblocking with taskq/task producer-consumer dependencies.
+
+Paper section 4.3: "the deblocking algorithm requires macroblocks to be
+processed in a particular order; for example, a macroblock will not be
+processed until its left and upper neighboring macroblocks have been
+completely processed.  Such inter-shred dependency can be easily supported
+by the work-queuing extension in CHI."
+
+Each 16x16 macroblock task smooths its block edges against the *already
+processed* pixels of its left and upper neighbours (reading a neighbour's
+last column/row is a read-after-write dependency on that neighbour's
+task), then conditions its own last column/row for its consumers.  The
+result is verified against a serial raster-order reference — any schedule
+respecting the left/up dependencies must produce the same frame.
+
+Run:  python examples/deblocking_taskq.py
+"""
+
+import numpy as np
+
+from repro import ChiRuntime, DataType, ExoPlatform, Surface
+from repro.kernels.images import test_image
+
+MB = 16
+
+DEBLOCK_ASM = """
+    sub.1.dw vr1 = bx, 1          # left neighbour's last column (clamped)
+    sub.1.dw vr2 = by, 1          # upper neighbour's last row (clamped)
+    add.1.dw vr3 = bx, 15         # own last column
+    add.1.dw vr4 = by, 15         # own last row
+    # 1. smooth own first column against the left neighbour's last
+    ldblk.1x16.ub vr10 = (FRAME, vr1, by)
+    ldblk.1x16.ub vr11 = (FRAME, bx, by)
+    avg.16.uw vr12 = vr10, vr11
+    stblk.1x16.ub (FRAME, bx, by) = vr12
+    # 2. smooth own first row against the upper neighbour's last
+    ldblk.16x1.ub vr13 = (FRAME, bx, vr2)
+    ldblk.16x1.ub vr14 = (FRAME, bx, by)
+    avg.16.uw vr15 = vr13, vr14
+    stblk.16x1.ub (FRAME, bx, by) = vr15
+    # 3. condition own last column for the right neighbour
+    ldblk.1x16.ub vr16 = (FRAME, vr3, by)
+    ldblk.1x16.ub vr17 = (FRAME, bx, by)
+    avg.16.uw vr18 = vr16, vr17
+    stblk.1x16.ub (FRAME, vr3, by) = vr18
+    # 4. condition own last row for the neighbour below
+    ldblk.16x1.ub vr19 = (FRAME, bx, vr4)
+    ldblk.16x1.ub vr20 = (FRAME, bx, by)
+    avg.16.uw vr21 = vr19, vr20
+    stblk.16x1.ub (FRAME, bx, vr4) = vr21
+    end
+"""
+
+
+def reference_deblock(frame: np.ndarray) -> np.ndarray:
+    """Raster-order serial deblocking (the dependency-respecting oracle)."""
+    out = frame.copy()
+    h, w = out.shape
+
+    def avg(a, b):
+        return np.floor((a + b + 1) / 2.0)
+
+    for by in range(0, h, MB):
+        for bx in range(0, w, MB):
+            left = out[by : by + MB, max(bx - 1, 0)]
+            out[by : by + MB, bx] = avg(left, out[by : by + MB, bx])
+            up = out[max(by - 1, 0), bx : bx + MB]
+            out[by, bx : bx + MB] = avg(up, out[by, bx : bx + MB])
+            out[by : by + MB, bx + MB - 1] = avg(
+                out[by : by + MB, bx + MB - 1], out[by : by + MB, bx])
+            out[by + MB - 1, bx : bx + MB] = avg(
+                out[by + MB - 1, bx : bx + MB], out[by, bx : bx + MB])
+    return out
+
+
+def main() -> None:
+    width, height = 96, 64
+    rt = ChiRuntime(ExoPlatform())
+    space = rt.platform.space
+
+    frame = Surface.alloc(space, "FRAME", width, height, DataType.UB)
+    image = test_image(width, height, seed=21)
+    frame.upload(rt.platform.host, image)
+    expected = reference_deblock(image)
+
+    section = rt.compile_asm(DEBLOCK_ASM, name="deblock-mb")
+    tiles_x, tiles_y = width // MB, height // MB
+
+    handles = {}
+    with rt.taskq(target="X3000") as queue:
+        # the root shred walks macroblocks, enqueueing one task per MB
+        # with left/up dependencies — the paper's wavefront
+        for j in range(tiles_y):
+            for i in range(tiles_x):
+                depends = []
+                if i > 0:
+                    depends.append(handles[(i - 1, j)])
+                if j > 0:
+                    depends.append(handles[(i, j - 1)])
+                handles[(i, j)] = queue.task(
+                    section,
+                    captureprivate={"bx": float(i * MB), "by": float(j * MB)},
+                    shared={"FRAME": frame},
+                    depends=depends,
+                )
+    result = queue.region.wait()
+
+    got = frame.download(rt.platform.host)
+    assert np.array_equal(got, expected), "wavefront result != serial oracle"
+    print(f"deblocked {tiles_x}x{tiles_y} macroblocks as "
+          f"{result.shreds_executed} dependent tasks")
+    print(f"device cycles: {result.cycles:.0f} "
+          f"(dependency gating lengthens the critical path); "
+          f"instructions: {result.instructions}")
+    print("wavefront output matches the serial raster-order reference")
+
+
+if __name__ == "__main__":
+    main()
+    print("\ndeblocking_taskq OK")

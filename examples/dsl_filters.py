@@ -1,0 +1,68 @@
+"""The CHI domain-specific language for per-pixel filters (section 4.1).
+
+Three classic filters written in the DSL, compiled to GMA X3000 assembly,
+executed on the device model and verified against the DSL's own numpy
+oracle.  The generated assembly of the first filter is printed so you can
+see what the compiler emits.
+
+Run:  python examples/dsl_filters.py
+"""
+
+import numpy as np
+
+from repro import ChiRuntime, DataType, ExoPlatform, Surface
+from repro.chi.dsl import compile_dsl
+from repro.isa import disassemble
+from repro.kernels.images import test_image
+
+FILTERS = {
+    "box blur": """
+        OUT = clamp((SRC[-1,-1] + SRC[0,-1] + SRC[1,-1]
+                   + SRC[-1, 0] + SRC[0, 0] + SRC[1, 0]
+                   + SRC[-1, 1] + SRC[0, 1] + SRC[1, 1]) / 9 + 0.5, 0, 255)
+    """,
+    "sobel-ish edges": """
+        OUT = clamp(abs(SRC[1,0] - SRC[-1,0])
+                  + abs(SRC[0,1] - SRC[0,-1]) + 0.5, 0, 255)
+    """,
+    "unsharp mask": """
+        OUT = clamp(2 * SRC[0,0]
+                  - 0.25 * (SRC[-1,0] + SRC[1,0] + SRC[0,-1] + SRC[0,1])
+                  - SRC[0,0] * 0 + 0.5, 0, 255)
+    """,
+}
+
+
+def main() -> None:
+    width = height = 64
+    image = test_image(width, height, seed=13)
+
+    for i, (name, text) in enumerate(FILTERS.items()):
+        dsl = compile_dsl(text, name=name)
+        if i == 0:
+            print(f"=== generated assembly for {name!r} "
+                  f"({len(dsl.program)} instructions) ===")
+            print(disassemble(dsl.program))
+
+        runtime = ChiRuntime(ExoPlatform())
+        space = runtime.platform.space
+        src = Surface.alloc(space, "SRC", width, height, DataType.UB)
+        out = Surface.alloc(space, "OUT", width, height, DataType.UB)
+        src.upload(runtime.platform.host, image)
+
+        section = runtime.fatbinary.add_section("X3000", dsl.program, text)
+        region = runtime.parallel(
+            section, shared={"SRC": src, "OUT": out},
+            private=dsl.bindings_for(width, height))
+
+        got = out.download(runtime.platform.host)
+        expected = dsl.reference({"SRC": image}, width, height)["OUT"]
+        assert np.array_equal(got, expected), f"{name} mismatch"
+        print(f"{name:18s}: {region.result.shreds_executed:3d} shreds, "
+              f"{region.result.instructions:6d} instructions, verified "
+              f"(output mean {got.mean():6.1f} vs input {image.mean():6.1f})")
+
+
+if __name__ == "__main__":
+    main()
+    print("\ndsl_filters OK")

@@ -1,0 +1,98 @@
+"""Collaborative Exception Handling in action (paper section 3.3).
+
+Two faults that the GMA X3000 cannot complete on its own:
+
+* a **double-precision vector multiply** — the exo-sequencer has no DP
+  hardware, so the instruction is shipped to the IA32 sequencer, emulated
+  there in full precision, and the result written back into the shred's
+  registers before it resumes (the paper's Figure 2 walk-through);
+* an **integer divide by zero** — the default IA32 handler applies a
+  saturating SEH-style recovery per excepting lane; we then register a
+  custom application-level handler that substitutes a sentinel instead,
+  showing the structured-exception-handling hook.
+
+Run:  python examples/exceptions_ceh.py
+"""
+
+import numpy as np
+
+from repro import ChiRuntime, DataType, ExoPlatform, Surface
+from repro.errors import DivideByZeroFault
+from repro.isa.instructions import Effect
+
+DOUBLE_ASM = """
+    ld.8.df [vr2..vr9]   = (X, 0, 0)
+    mul.8.df [vr10..vr17] = [vr2..vr9], [vr2..vr9]   # DP vector op: faults
+    st.8.df (Y, 0, 0) = [vr10..vr17]
+    end
+"""
+
+DIV_ASM = """
+    ld.8.dw [vr2..vr9]   = (A, 0, 0)
+    ld.8.dw [vr10..vr17] = (B, 0, 0)
+    div.8.dw [vr18..vr25] = [vr2..vr9], [vr10..vr17]  # B has zeros: faults
+    st.8.dw (C, 0, 0) = [vr18..vr25]
+    end
+"""
+
+
+def double_precision() -> None:
+    print("=== double-precision vector op via CEH ===")
+    rt = ChiRuntime(ExoPlatform())
+    space = rt.platform.space
+    x = Surface.alloc(space, "X", 8, 1, DataType.DF)
+    y = Surface.alloc(space, "Y", 8, 1, DataType.DF)
+    values = np.array([1.5, -2.25, 3.125, 1e10, 0.1, 7.0, -0.5, 2.0])
+    x.upload(rt.platform.host, values.reshape(1, 8))
+
+    section = rt.compile_asm(DOUBLE_ASM, name="square-dp")
+    region = rt.parallel(section, shared={"X": x, "Y": y}, num_threads=1)
+    got = y.download(rt.platform.host).reshape(-1)
+    assert np.allclose(got, values * values)
+    print(f"CEH round trips: {region.result.ceh_events} "
+          f"(the mul.8.df was emulated on the IA32 sequencer)")
+    print(f"Y = {got.tolist()}")
+    ceh = rt.platform.exoskeleton.ceh.stats
+    print(f"exceptions proxied: {ceh.exceptions_proxied}, "
+          f"by type: {ceh.by_type}")
+
+
+def divide_by_zero() -> None:
+    print("\n=== divide-by-zero, default and custom handlers ===")
+    rt = ChiRuntime(ExoPlatform())
+    space = rt.platform.space
+    a = Surface.alloc(space, "A", 8, 1, DataType.DW)
+    b = Surface.alloc(space, "B", 8, 1, DataType.DW)
+    c = Surface.alloc(space, "C", 8, 1, DataType.DW)
+    a.upload(rt.platform.host, np.array([[10, 20, 30, 40, 50, 60, 70, 80]]))
+    b.upload(rt.platform.host, np.array([[2, 0, 5, 0, 10, 3, 0, 4]]))
+
+    section = rt.compile_asm(DIV_ASM, name="divide")
+    rt.parallel(section, shared={"A": a, "B": b, "C": c}, num_threads=1)
+    got = c.download(rt.platform.host).reshape(-1).astype(int)
+    print(f"default (saturating) recovery: {got.tolist()}")
+    assert got[1] == 2**31 - 1  # saturated lane
+
+    # application-level SEH-style handler: zero divisor -> -1 sentinel
+    def sentinel_handler(program, ip, ctx, fault) -> Effect:
+        instr = program.instructions[ip]
+        n = instr.width
+        dividend = instr.dtype.wrap(instr.srcs[0].read(ctx, n))
+        divisor = instr.dtype.wrap(instr.srcs[1].read(ctx, n))
+        safe = np.where(divisor == 0, 1, divisor)
+        result = np.where(divisor == 0, -1.0, np.trunc(dividend / safe))
+        instr.dsts[0].write(ctx, result, instr.dtype)
+        return Effect()
+
+    rt.platform.exoskeleton.ceh.register_handler(
+        DivideByZeroFault, sentinel_handler)
+    rt.parallel(section, shared={"A": a, "B": b, "C": c}, num_threads=1)
+    got = c.download(rt.platform.host).reshape(-1).astype(int)
+    print(f"custom sentinel handler:       {got.tolist()}")
+    assert got.tolist() == [5, -1, 6, -1, 5, 20, -1, 20]
+
+
+if __name__ == "__main__":
+    double_precision()
+    divide_by_zero()
+    print("\nexceptions_ceh OK")

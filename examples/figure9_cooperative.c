@@ -1,0 +1,46 @@
+/* The paper's Figure 9: "Cooperative Execution Code Example which
+ * Executes 600 Loop Iterations on GMA X3000 Exo-sequencers and 200 Loop
+ * Iterations on the IA32 Sequencer" — adapted only in the loop body
+ * (the paper elides it as "...").
+ *
+ * Each iteration doubles an 8-element chunk of IN into OUT; iterations
+ * [0, GMA_iters) run as exo-sequencer shreds under master_nowait while
+ * the IA32 sequencer handles [GMA_iters, n) concurrently.
+ */
+int main() {
+    int n = 800;
+    int GMA_iters = 600;
+    int IN[6400];
+    int OUT[6400];
+    int i;
+    for (i = 0; i < 6400; i++) IN[i] = i % 251;
+
+    int IN_desc = chi_alloc_desc(X3000, IN, CHI_INPUT, 6400, 1);
+    int OUT_desc = chi_alloc_desc(X3000, OUT, CHI_OUTPUT, 6400, 1);
+    #pragma omp parallel target(X3000) shared(IN, OUT) descriptor(IN_desc, OUT_desc) private(i) master_nowait
+    {
+        for (i = 0; i < GMA_iters; i++)
+        __asm {
+            shl.1.dw vr1 = i, 3
+            ld.8.dw [vr2..vr9] = (IN, vr1, 0)
+            add.8.dw [vr10..vr17] = [vr2..vr9], [vr2..vr9]
+            st.8.dw (OUT, vr1, 0) = [vr10..vr17]
+            end
+        }
+    }
+    #pragma omp parallel for shared(IN, OUT) private(i)
+    {
+        for (i = GMA_iters; i < n; i++) {
+            int base = i * 8;
+            for (int k = 0; k < 8; k++)
+                OUT[base + k] = IN[base + k] * 2;
+        }
+    }
+    chi_wait();
+
+    int errors = 0;
+    for (i = 0; i < 6400; i++)
+        if (OUT[i] != 2 * IN[i]) errors++;
+    printf("cooperative regions done, errors=%d\n", errors);
+    return errors;
+}

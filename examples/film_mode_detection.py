@@ -1,0 +1,58 @@
+"""Film-mode (3:2 pulldown) detection: GMA shreds + IA32 decision logic.
+
+The FMD kernel's shreds compute per-strip field SADs between frames two
+apart on the exo-sequencers; the main IA32 shred then runs the tiny serial
+cadence detector over the SAD sequence — exactly the heterogeneous split
+the paper's programming model is for.
+
+Run:  python examples/film_mode_detection.py
+"""
+
+import numpy as np
+
+from repro import Geometry, kernel_by_abbrev, run_kernel_on_gma
+
+
+def detect_cadence(window_sads: np.ndarray) -> int:
+    """Find the 3:2 pulldown phase from per-window total SADs.
+
+    In a telecined sequence, frames t and t+2 drawn from the same film
+    frame produce near-zero field SADs once per 5-frame group; the phase
+    of the minimum reveals the cadence alignment.
+    """
+    if window_sads.size < 5:
+        raise ValueError("need at least 5 comparison windows")
+    usable = (window_sads.size // 5) * 5
+    folded = window_sads[:usable].reshape(-1, 5).mean(axis=0)
+    return int(np.argmin(folded))
+
+
+def main() -> None:
+    fmd = kernel_by_abbrev("FMD")
+    geom = Geometry(256, 64, frames=14)  # 12 comparison windows
+    result = run_kernel_on_gma(fmd, geom, seed=4)
+
+    sads = result.outputs["RESULT"]  # (2 * windows, strips)
+    windows = fmd.windows(geom)
+    total_per_window = sads.reshape(windows, 2, -1).sum(axis=(1, 2))
+    print("per-window field SADs (frames t vs t+2):")
+    for w, sad in enumerate(total_per_window):
+        bar = "#" * int(40 * sad / total_per_window.max())
+        print(f"  window {w:2d}: {sad:12.0f} {bar}")
+
+    phase = detect_cadence(total_per_window)
+    print(f"\ndetected 3:2 pulldown phase: {phase} "
+          f"(windows with phase {phase} mod 5 compare repeated film frames)")
+    # synthetic telecine repeats film frames on a fixed 5-frame cadence:
+    # the detected phase must be the global SAD minimum's phase
+    assert total_per_window[phase::5].mean() == min(
+        total_per_window[k::5].mean() for k in range(5))
+
+    print(f"\nGMA side: {result.shreds} shreds, "
+          f"{result.instructions} instructions, "
+          f"{result.gma_cycles:.0f} cycles; IA32 side: the detector above")
+
+
+if __name__ == "__main__":
+    main()
+    print("\nfilm_mode_detection OK")

@@ -1,0 +1,39 @@
+"""Regenerate every table and figure of the paper's evaluation section.
+
+One command, all five artifacts: Table 2, Figure 7, Figure 8, Figure 10
+and the section 5.2 flush ablation, plus the section 1 energy story.
+(The same measurements back `pytest benchmarks/`, which also asserts the
+claims; this script just prints.)
+
+Run:  python examples/paper_tables.py        (~20-30 s)
+"""
+
+from repro.perf.energy import format_energy_table
+from repro.perf.report import (
+    format_figure7,
+    format_figure8,
+    format_figure10,
+    format_flush_ablation,
+    format_table2,
+)
+from repro.perf.study import run_suite
+
+
+def main() -> None:
+    print(format_table2())
+    print()
+    suite = run_suite()
+    print(format_figure7(suite))
+    print()
+    print(format_figure8(suite))
+    print()
+    print(format_figure10(suite))
+    print()
+    print(format_flush_ablation(suite["LinearFilter"]))
+    print()
+    print(format_energy_table(suite))
+
+
+if __name__ == "__main__":
+    main()
+    print("\npaper_tables OK")

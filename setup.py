@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment has no ``wheel`` package, so PEP 660 editable
+installs (which need ``bdist_wheel``) fail; this shim lets
+``pip install -e . --no-build-isolation`` take the legacy
+``setup.py develop`` path.  Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

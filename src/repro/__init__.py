@@ -1,0 +1,87 @@
+"""repro — a reproduction of EXOCHI (Wang et al., PLDI 2007).
+
+EXOCHI is two coupled systems for programming heterogeneous multi-cores:
+
+* **EXO** (:mod:`repro.exo`) exposes accelerator cores as
+  application-managed MIMD sequencer resources sharing the process's
+  virtual address space, via the MISP exoskeleton (user-level SIGNAL and
+  interrupts), Address Translation Remapping and Collaborative Exception
+  Handling.
+* **CHI** (:mod:`repro.chi`) is the C-with-pragmas programming
+  environment: accelerator inline assembly compiled into multi-ISA fat
+  binaries, OpenMP ``parallel target`` / ``taskq`` / ``task`` extensions,
+  descriptor APIs and a shred-level debugger.
+
+The hardware the paper prototyped on is simulated here: an Intel GMA
+X3000-class accelerator (:mod:`repro.gma`, 8 EUs x 4 threads, wide SIMD,
+switch-on-stall multithreading) over a full memory substrate
+(:mod:`repro.memory`: page tables in two incompatible formats, TLBs,
+caches, surfaces) next to an IA32 host model (:mod:`repro.cpu`).  The ten
+Table 2 media kernels live in :mod:`repro.kernels` and the evaluation
+harness for Figures 7/8/10 in :mod:`repro.perf`.
+
+Quickstart::
+
+    from repro import ChiRuntime, ExoPlatform, Surface, DataType, AccessMode
+
+    rt = ChiRuntime(ExoPlatform())
+    a = Surface.alloc(rt.platform.space, "A", 64, 1, DataType.DW)
+    ...
+    section = rt.compile_asm(asm_text)
+    rt.parallel(section, shared={"A": a, ...},
+                private=[{"i": i} for i in range(8)])
+
+or compile one of the paper's C listings directly::
+
+    from repro.chi.frontend import run_source
+    result = run_source(open("examples/figure6.c").read())
+"""
+
+from .chi import (
+    AccessMode,
+    ChiDebugger,
+    ChiRuntime,
+    DescriptorAttrib,
+    ExoPlatform,
+    FatBinary,
+    SurfaceDescriptor,
+)
+from .errors import ReproError
+from .exo import Exoskeleton, ShredDescriptor
+from .gma import GmaDevice, GmaTimingConfig
+from .isa import DataType, Program, assemble, disassemble
+from .kernels import ALL_KERNELS, Geometry, kernel_by_abbrev, run_kernel_on_gma
+from .memory import AddressSpace, Surface, TileMode
+from .perf import MemoryModel, measure_kernel, run_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChiRuntime",
+    "ExoPlatform",
+    "ChiDebugger",
+    "FatBinary",
+    "AccessMode",
+    "DescriptorAttrib",
+    "SurfaceDescriptor",
+    "Exoskeleton",
+    "ShredDescriptor",
+    "GmaDevice",
+    "GmaTimingConfig",
+    "assemble",
+    "disassemble",
+    "Program",
+    "DataType",
+    "AddressSpace",
+    "Surface",
+    "TileMode",
+    "ALL_KERNELS",
+    "Geometry",
+    "kernel_by_abbrev",
+    "run_kernel_on_gma",
+    "MemoryModel",
+    "measure_kernel",
+    "run_suite",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,59 @@
+"""CHI: C for Heterogeneous Integration (paper section 4).
+
+The integrated programming environment: fat binaries with per-ISA code
+sections, the OpenMP pragma extensions (fork-join ``parallel target`` and
+producer-consumer ``taskq``/``task``), the Table 1 descriptor/feature
+APIs, heterogeneous work scheduling, and the shred-level debugger.  The
+miniature C front end that accepts the paper's pragma-extended source
+lives in :mod:`repro.chi.frontend`.
+"""
+
+from .cooperative import CooperativeOutcome, run_cooperative
+from .debugger import ChiDebugger, DebugSession, DebugStop, StopReason
+from .descriptors import AccessMode, DescriptorAttrib, SurfaceDescriptor
+from .dsl import DslError, DslProgram, compile_dsl
+from .fatbinary import CodeSection, FatBinary
+from .platform import ExoPlatform, HostAccessor
+from .runtime import (
+    ChiRuntime,
+    ParallelRegion,
+    RuntimeStats,
+    TaskHandle,
+    TaskQueue,
+    Timeline,
+)
+from .scheduler import (
+    PartitionOutcome,
+    dynamic_partition,
+    oracle_partition,
+    static_partition,
+)
+
+__all__ = [
+    "ChiRuntime",
+    "run_cooperative",
+    "CooperativeOutcome",
+    "compile_dsl",
+    "DslProgram",
+    "DslError",
+    "ExoPlatform",
+    "HostAccessor",
+    "FatBinary",
+    "CodeSection",
+    "AccessMode",
+    "DescriptorAttrib",
+    "SurfaceDescriptor",
+    "ParallelRegion",
+    "TaskQueue",
+    "TaskHandle",
+    "Timeline",
+    "RuntimeStats",
+    "PartitionOutcome",
+    "static_partition",
+    "oracle_partition",
+    "dynamic_partition",
+    "ChiDebugger",
+    "DebugSession",
+    "DebugStop",
+    "StopReason",
+]

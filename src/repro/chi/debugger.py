@@ -1,0 +1,195 @@
+"""Source-level debugging of exo-sequencer shreds (paper section 4.5).
+
+"The enhanced version of the Intel Debugger is capable of debugging code
+that is running on the IA32 sequencers as well as the shreds that are
+running on the exo-sequencers.  The debugger extensions consist of two
+parts.  The first part is the introduction of commands to set breakpoints,
+single-step, and examine state on the GMA X3000 exo-sequencers."
+
+The debug information is the fat-binary section's retained assembly source
+plus each instruction's source-line field; breakpoints may be set by
+source line or by label, and the session can single-step, continue,
+inspect vector/predicate registers and report the current source line.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Union
+
+import numpy as np
+
+from ..errors import DebuggerError
+from ..exo.shred import ShredDescriptor
+from ..gma.context import ShredContext
+from ..gma.interpreter import ShredInterpreter
+from ..isa.program import Program
+from ..memory.surface import Surface
+from .runtime import ChiRuntime
+
+
+class StopReason(enum.Enum):
+    BREAKPOINT = "breakpoint"
+    WATCHPOINT = "watchpoint"
+    STEP = "step"
+    DONE = "done"
+
+
+@dataclass(frozen=True)
+class DebugStop:
+    """Where and why a debugged shred stopped."""
+
+    reason: StopReason
+    ip: int
+    source_line: str
+    instructions_executed: int
+
+
+class DebugSession:
+    """One shred under debugger control on an exo-sequencer."""
+
+    def __init__(self, runtime: ChiRuntime, program: Program,
+                 bindings: Optional[Dict[str, float]] = None,
+                 shared: Optional[Dict[str, Surface]] = None):
+        self.runtime = runtime
+        self.program = program
+        device = runtime.platform.device
+        self.shred = ShredDescriptor(
+            program=program, bindings=dict(bindings or {}),
+            surfaces=dict(shared or {}))
+        ctx = ShredContext(self.shred, device.view, device.space,
+                           device=device)
+        self.interp = ShredInterpreter(self.shred, ctx,
+                                       device.exoskeleton, device.config)
+        self._breakpoints: Set[int] = set()
+
+    # -- breakpoints --------------------------------------------------------------
+
+    def break_at(self, where: Union[int, str]) -> int:
+        """Set a breakpoint at a source line number or a label name.
+
+        Returns the instruction index the breakpoint resolved to.
+        """
+        if isinstance(where, str):
+            if where not in self.program.labels:
+                raise DebuggerError(
+                    f"no label {where!r} in {self.program.name} "
+                    f"(have {sorted(self.program.labels)})")
+            ip = self.program.labels[where]
+        else:
+            candidates = [i for i, instr in enumerate(self.program.instructions)
+                          if instr.line == where]
+            if not candidates:
+                raise DebuggerError(
+                    f"no instruction at source line {where} of "
+                    f"{self.program.name}")
+            ip = candidates[0]
+        self._breakpoints.add(ip)
+        return ip
+
+    def clear_breakpoint(self, ip: int) -> None:
+        self._breakpoints.discard(ip)
+
+    @property
+    def breakpoints(self) -> List[int]:
+        return sorted(self._breakpoints)
+
+    # -- execution control ------------------------------------------------------------
+
+    def cont(self) -> DebugStop:
+        """Run until the next breakpoint or completion."""
+        while True:
+            alive = self.interp.step()
+            if not alive:
+                return self._stop(StopReason.DONE)
+            if self.interp.ip in self._breakpoints:
+                return self._stop(StopReason.BREAKPOINT)
+
+    run = cont
+
+    def step(self) -> DebugStop:
+        """Execute exactly one instruction."""
+        alive = self.interp.step()
+        return self._stop(StopReason.STEP if alive else StopReason.DONE)
+
+    def watch_vreg(self, reg: int, lane: int = 0,
+                   max_steps: int = 100_000) -> DebugStop:
+        """Run until lane ``lane`` of ``vrreg`` changes value (or the
+        shred finishes).  The IDB-style data watchpoint."""
+        old = float(self.interp.ctx.regs.read_lanes(reg, lane + 1)[lane])
+        for _ in range(max_steps):
+            alive = self.interp.step()
+            current = float(
+                self.interp.ctx.regs.read_lanes(reg, lane + 1)[lane])
+            if not alive:
+                return self._stop(StopReason.DONE)
+            if current != old:
+                return self._stop(StopReason.WATCHPOINT)
+        raise DebuggerError(
+            f"vr{reg}[{lane}] did not change within {max_steps} steps")
+
+    # -- state examination ---------------------------------------------------------------
+
+    def examine_surface(self, name: str, x: int, y: int,
+                        w: int = 1, h: int = 1) -> np.ndarray:
+        """Read shared memory the shred is operating on.
+
+        The debugger reads through the IA32 sequencer's own demand-paged
+        view (the paper's debugger runs on the host), so examining memory
+        never perturbs the exo-sequencer's TLB.
+        """
+        surfaces = self.shred.surfaces
+        if name not in surfaces:
+            raise DebuggerError(
+                f"shred binds no surface {name!r} (have {sorted(surfaces)})")
+        space = self.runtime.platform.space
+        return surfaces[name].read_block(space, x, y, w, h).reshape(h, w)
+
+    def where(self) -> DebugStop:
+        return self._stop(StopReason.STEP if not self.interp.finished
+                          else StopReason.DONE)
+
+    def read_vreg(self, reg: int, lanes: int = 1) -> np.ndarray:
+        """Examine lanes of a vector register on the stopped shred."""
+        return self.interp.ctx.regs.read_lanes(reg, lanes)
+
+    def read_pred(self, index: int, lanes: int = 16) -> np.ndarray:
+        return self.interp.ctx.regs.read_pred(index, lanes)
+
+    def disassemble_around(self, context: int = 2) -> List[str]:
+        """Source lines around the current instruction pointer."""
+        ip = self.interp.ip
+        lo = max(0, ip - context)
+        hi = min(len(self.program.instructions), ip + context + 1)
+        out = []
+        for i in range(lo, hi):
+            marker = "=>" if i == ip else "  "
+            out.append(f"{marker} [{i:3d}] {self.program.source_line(i)}")
+        return out
+
+    def _stop(self, reason: StopReason) -> DebugStop:
+        ip = self.interp.ip
+        return DebugStop(
+            reason=reason,
+            ip=ip,
+            source_line=self.program.source_line(ip),
+            instructions_executed=self.interp.run_record.instructions,
+        )
+
+
+class ChiDebugger:
+    """Factory for debug sessions over one CHI runtime."""
+
+    def __init__(self, runtime: ChiRuntime):
+        self.runtime = runtime
+
+    def debug(self, section: Union[int, Program], *,
+              bindings: Optional[Dict[str, float]] = None,
+              shared: Optional[Dict[str, Surface]] = None) -> DebugSession:
+        """Attach to a shred about to run the given fat-binary section."""
+        if isinstance(section, Program):
+            program = section
+        else:
+            program = self.runtime.fatbinary.program(section)
+        return DebugSession(self.runtime, program, bindings, shared)

@@ -1,0 +1,81 @@
+"""Surface descriptors and the Table 1 descriptor APIs (paper section 4.4).
+
+"In order to allow the accelerator more efficient access to the C/C++
+variables specified by the shared data clause, programmers can use the CHI
+runtime APIs to convey accelerator-specific access information through
+data structures known as descriptors."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..errors import DescriptorError
+from ..memory.surface import Surface, TileMode
+
+
+class AccessMode(enum.Enum):
+    """The descriptor's declared input/output mode (API #1 ``mode``)."""
+
+    CHI_INPUT = "input"
+    CHI_OUTPUT = "output"
+    CHI_INOUT = "inout"
+
+
+class DescriptorAttrib(enum.Enum):
+    """Attributes adjustable through ``chi_modify_desc`` (API #3)."""
+
+    TILING = "tiling"
+    MODE = "mode"
+    WIDTH = "width"
+    HEIGHT = "height"
+
+
+@dataclass
+class SurfaceDescriptor:
+    """Accelerator-specific view information for one shared variable."""
+
+    surface: Surface
+    mode: AccessMode
+    target_isa: str
+    attribs: Dict[str, object] = field(default_factory=dict)
+    freed: bool = False
+
+    @property
+    def width(self) -> int:
+        return self.surface.width
+
+    @property
+    def height(self) -> int:
+        return self.surface.height
+
+    def check_alive(self) -> None:
+        if self.freed:
+            raise DescriptorError(
+                f"descriptor for surface {self.surface.name!r} was freed")
+
+    def modify(self, attrib: DescriptorAttrib, value) -> None:
+        """``chi_modify_desc``: change an attribute from its default."""
+        self.check_alive()
+        if attrib is DescriptorAttrib.TILING:
+            if not isinstance(value, TileMode):
+                raise DescriptorError(
+                    f"tiling attribute needs a TileMode, got {value!r}")
+            # re-layout is only legal before any data lands in the surface
+            self.surface.tiling = value
+            if value is TileMode.TILED and self.surface.pitch % 4:
+                self.surface.pitch += 4 - self.surface.pitch % 4
+        elif attrib is DescriptorAttrib.MODE:
+            if not isinstance(value, AccessMode):
+                raise DescriptorError(
+                    f"mode attribute needs an AccessMode, got {value!r}")
+            self.mode = value
+        elif attrib in (DescriptorAttrib.WIDTH, DescriptorAttrib.HEIGHT):
+            raise DescriptorError(
+                "surface geometry is fixed at allocation; allocate a new "
+                "descriptor instead")
+        else:
+            raise DescriptorError(f"unknown descriptor attribute {attrib!r}")
+        self.attribs[attrib.value] = value

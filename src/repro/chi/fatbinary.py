@@ -1,0 +1,142 @@
+"""The CHI fat binary (paper section 4.1, Figure 4).
+
+"After the assembler compiles the assembly block, the resulting binary
+code is embedded in a special code section of the executable indexed with
+a unique identifier.  The final executable is a fat binary, consisting of
+binary code sections corresponding to different ISAs."
+
+Sections store the *encoded* instruction stream
+(:func:`repro.isa.encoding.encode_program`) plus the assembly source for
+source-level debugging; the CHI runtime locates sections by identifier at
+dispatch time, exactly the flow of Figure 4's ``<call to runtime>`` +
+``.special_section`` pair.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import FatBinaryError
+from ..isa.encoding import decode_program, encode_program
+from ..isa.program import Program
+
+MAGIC = b"FATB"
+VERSION = 1
+
+
+@dataclass
+class CodeSection:
+    """One ISA-specific code section."""
+
+    ident: int
+    isa: str
+    name: str
+    blob: bytes
+    source: str = ""  # assembly source, for the debugger
+
+    def program(self) -> Program:
+        prog = decode_program(self.blob, name=self.name)
+        prog.source = self.source
+        return prog
+
+
+@dataclass
+class FatBinary:
+    """A multi-ISA executable image."""
+
+    name: str = "a.out"
+    sections: Dict[int, CodeSection] = field(default_factory=dict)
+    host_source: str = ""  # the C source of the IA32 part (frontend output)
+    _next_ident: int = 1
+    _cache: Dict[int, Program] = field(default_factory=dict, repr=False)
+
+    def add_section(self, isa: str, program: Program,
+                    source: str = "") -> int:
+        """Embed an assembled program; returns its unique identifier."""
+        ident = self._next_ident
+        self._next_ident += 1
+        blob = encode_program(program)
+        self.sections[ident] = CodeSection(
+            ident=ident, isa=isa, name=program.name, blob=blob,
+            source=source or program.source)
+        return ident
+
+    def section(self, ident: int) -> CodeSection:
+        try:
+            return self.sections[ident]
+        except KeyError:
+            raise FatBinaryError(
+                f"fat binary {self.name!r} has no code section {ident}; "
+                f"have {sorted(self.sections)}") from None
+
+    def program(self, ident: int) -> Program:
+        """Decode (with caching) the program in a section."""
+        if ident not in self._cache:
+            self._cache[ident] = self.section(ident).program()
+        return self._cache[ident]
+
+    def sections_for_isa(self, isa: str) -> List[CodeSection]:
+        return [s for s in self.sections.values() if s.isa == isa]
+
+    def isas(self) -> List[str]:
+        return sorted({s.isa for s in self.sections.values()})
+
+    # -- on-disk form -------------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        out = bytearray()
+        out += MAGIC
+        out.append(VERSION)
+        out += _pack_str(self.name)
+        out += _pack_str(self.host_source)
+        out += struct.pack("<I", len(self.sections))
+        for ident in sorted(self.sections):
+            sec = self.sections[ident]
+            out += struct.pack("<I", sec.ident)
+            out += _pack_str(sec.isa)
+            out += _pack_str(sec.name)
+            out += _pack_str(sec.source)
+            out += struct.pack("<I", len(sec.blob))
+            out += sec.blob
+        return bytes(out)
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "FatBinary":
+        if data[:4] != MAGIC:
+            raise FatBinaryError("bad magic: not a CHI fat binary")
+        if data[4] != VERSION:
+            raise FatBinaryError(f"unsupported fat binary version {data[4]}")
+        offset = 5
+        name, offset = _unpack_str(data, offset)
+        host_source, offset = _unpack_str(data, offset)
+        (count,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        fat = cls(name=name, host_source=host_source)
+        max_ident = 0
+        for _ in range(count):
+            (ident,) = struct.unpack_from("<I", data, offset)
+            offset += 4
+            isa, offset = _unpack_str(data, offset)
+            sec_name, offset = _unpack_str(data, offset)
+            source, offset = _unpack_str(data, offset)
+            (blen,) = struct.unpack_from("<I", data, offset)
+            offset += 4
+            blob = data[offset : offset + blen]
+            offset += blen
+            fat.sections[ident] = CodeSection(ident, isa, sec_name, blob, source)
+            max_ident = max(max_ident, ident)
+        fat._next_ident = max_ident + 1
+        return fat
+
+
+def _pack_str(s: str) -> bytes:
+    data = s.encode("utf-8")
+    return struct.pack("<I", len(data)) + data
+
+
+def _unpack_str(data: bytes, offset: int):
+    (length,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    return data[offset : offset + length].decode("utf-8"), offset + length

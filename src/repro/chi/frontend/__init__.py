@@ -1,0 +1,28 @@
+"""The miniature CHI C front end (paper Figure 4).
+
+Accepts the pragma-extended C subset of the paper's listings — Figure 6
+(vector add with descriptors and ``master_nowait``) and Figure 9
+(cooperative loop splitting) compile and run verbatim modulo whitespace.
+"""
+
+from .ast import PragmaClauses, TranslationUnit
+from .driver import CompiledProgram, ProgramResult, compile_source, run_source
+from .interp import ArrayVar, Interpreter
+from .parser import parse, parse_pragma
+from .tokens import Tok, Token, tokenize
+
+__all__ = [
+    "compile_source",
+    "run_source",
+    "CompiledProgram",
+    "ProgramResult",
+    "parse",
+    "parse_pragma",
+    "tokenize",
+    "Token",
+    "Tok",
+    "TranslationUnit",
+    "PragmaClauses",
+    "Interpreter",
+    "ArrayVar",
+]

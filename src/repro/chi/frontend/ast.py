@@ -1,0 +1,222 @@
+"""AST of the CHI C subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class StrLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class Name(Expr):
+    ident: str = ""
+
+
+@dataclass
+class Index(Expr):
+    """``A[i]`` or ``A[i][j]`` — element access into an array surface."""
+
+    base: Optional[Expr] = None
+    indices: Tuple[Expr, ...] = ()
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Expr):
+    """``target = value`` (also ``+=``/``-=`` desugared by the parser)."""
+
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    func: str = ""
+    args: Tuple[Expr, ...] = ()
+
+
+# -- statements ----------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class Decl(Stmt):
+    """``int x = e;`` / ``float y;`` / ``int A[n];`` / ``int M[h][w];``"""
+
+    type_name: str = "int"
+    name: str = ""
+    dims: Tuple[Expr, ...] = ()  # array dimensions (empty for scalars)
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Block(Stmt):
+    body: Tuple[Stmt, ...] = ()
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then: Optional[Stmt] = None
+    orelse: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None  # Decl or ExprStmt
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class AsmBlock(Stmt):
+    """A raw accelerator assembly block (only legal under a target pragma).
+
+    Mutable: the lowering pass fills ``section`` with the fat-binary
+    section identifier after assembling ``text``.
+    """
+
+    text: str = ""
+    section: int = -1  # fat-binary section id, filled by lowering
+
+
+@dataclass
+class DslBlock(Stmt):
+    """A ``__dsl { ... }`` per-pixel filter block (only under a target
+    pragma).  Lowering compiles the DSL to an accelerator section and
+    records the tiling contract in ``meta``."""
+
+    text: str = ""
+    section: int = -1
+    meta: Optional[object] = None  # repro.chi.dsl.DslProgram
+
+
+# -- pragmas ----------------------------------------------------------------------
+
+
+@dataclass
+class PragmaClauses:
+    """Parsed clause list of a CHI OpenMP pragma (Figure 5)."""
+
+    target: Optional[str] = None
+    shared: Tuple[str, ...] = ()
+    descriptor: Tuple[str, ...] = ()
+    private: Tuple[str, ...] = ()
+    firstprivate: Tuple[str, ...] = ()
+    captureprivate: Tuple[str, ...] = ()
+    num_threads: Optional[Expr] = None
+    master_nowait: bool = False
+    is_for: bool = False  # "parallel for" (host worksharing)
+
+
+@dataclass
+class ParallelStmt(Stmt):
+    """``#pragma omp parallel [target(...)] ...`` + structured block."""
+
+    clauses: PragmaClauses = field(default_factory=PragmaClauses)
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class TaskqStmt(Stmt):
+    """``#pragma intel omp taskq target(...)`` + structured block."""
+
+    clauses: PragmaClauses = field(default_factory=PragmaClauses)
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class TaskStmt(Stmt):
+    """``#pragma intel omp task target(...)`` + structured block."""
+
+    clauses: PragmaClauses = field(default_factory=PragmaClauses)
+    body: Optional[Stmt] = None
+
+
+# -- top level -------------------------------------------------------------------------
+
+
+@dataclass
+class FuncDef:
+    return_type: str = "int"
+    name: str = ""
+    params: Tuple[Tuple[str, str], ...] = ()  # (type, name)
+    body: Optional[Block] = None
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    functions: List[FuncDef] = field(default_factory=list)
+    source: str = ""
+
+    def function(self, name: str) -> FuncDef:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(f"no function {name!r}")

@@ -1,0 +1,69 @@
+"""Front-end driver: compile and run CHI C programs.
+
+``compile_source`` runs the full Figure 4 flow — lex, parse, semantic
+check, pragma lowering with inline assembly — and yields a
+:class:`CompiledProgram` whose fat binary holds one code section per
+``__asm`` block plus the host source.  ``CompiledProgram.run`` executes
+the host side on an interpreter wired to a real CHI runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..fatbinary import FatBinary
+from ..platform import ExoPlatform
+from ..runtime import ChiRuntime
+from . import ast, lower, parser, sema
+from .interp import Interpreter
+
+
+@dataclass
+class ProgramResult:
+    """Outcome of one program execution."""
+
+    exit_value: object
+    stdout: List[str]
+    runtime: ChiRuntime
+
+    @property
+    def output(self) -> str:
+        return "".join(self.stdout)
+
+
+@dataclass
+class CompiledProgram:
+    """A compiled CHI application: AST + fat binary."""
+
+    unit: ast.TranslationUnit
+    fatbinary: FatBinary
+    name: str = "chi-app"
+
+    def run(self, platform: Optional[ExoPlatform] = None,
+            runtime: Optional[ChiRuntime] = None,
+            args: Tuple = ()) -> ProgramResult:
+        """Execute main() on a (possibly supplied) platform."""
+        if runtime is None:
+            runtime = ChiRuntime(platform or ExoPlatform(),
+                                 fatbinary=self.fatbinary)
+        else:
+            runtime.fatbinary = self.fatbinary
+        interp = Interpreter(self.unit, runtime)
+        exit_value = interp.run(args=args)
+        return ProgramResult(exit_value=exit_value, stdout=interp.stdout,
+                             runtime=runtime)
+
+
+def compile_source(source: str, name: str = "chi-app") -> CompiledProgram:
+    """Lex, parse, check and lower a CHI C program."""
+    unit = parser.parse(source)
+    sema.check(unit)
+    fat = lower.lower(unit, name=name)
+    return CompiledProgram(unit=unit, fatbinary=fat, name=name)
+
+
+def run_source(source: str, platform: Optional[ExoPlatform] = None,
+               name: str = "chi-app", args: Tuple = ()) -> ProgramResult:
+    """One-shot compile + run."""
+    return compile_source(source, name=name).run(platform=platform, args=args)

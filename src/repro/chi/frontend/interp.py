@@ -1,0 +1,582 @@
+"""Host-side interpreter: executes the IA32 portion of a CHI program.
+
+The paper's host code compiles to IA32 machine code; ours executes on a
+tree-walking interpreter, but the *interactions* are faithful: array
+variables live in surfaces inside the shared virtual address space, the
+Table 1 APIs hit the real CHI runtime, and each target pragma dispatches
+real shreds onto the device model (with ``master_nowait`` overlapping the
+host's simulated timeline).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...errors import ChiError, SemanticError
+from ...isa.types import DataType
+from ...memory.surface import Surface
+from ..descriptors import AccessMode, DescriptorAttrib
+from ..runtime import ChiRuntime, ParallelRegion
+from . import ast
+
+
+@dataclass
+class ArrayVar:
+    """A C array variable: a surface in the shared address space."""
+
+    surface: Surface
+    shape: Tuple[int, ...]  # (n,) or (h, w)
+    elem_type: str  # "int" | "float"
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+_ENUM_VALUES = {
+    "CHI_INPUT": AccessMode.CHI_INPUT,
+    "CHI_OUTPUT": AccessMode.CHI_OUTPUT,
+    "CHI_INOUT": AccessMode.CHI_INOUT,
+    "CHI_TILING": DescriptorAttrib.TILING,
+    "CHI_MODE": DescriptorAttrib.MODE,
+}
+
+
+class Interpreter:
+    """Executes one translation unit against a CHI runtime."""
+
+    def __init__(self, unit: ast.TranslationUnit, runtime: ChiRuntime):
+        self.unit = unit
+        self.runtime = runtime
+        self.stdout: List[str] = []
+        self.scopes: List[Dict[str, object]] = []
+        self.pending_regions: List[ParallelRegion] = []
+        self._taskq_stack: List[object] = []
+
+    # -- entry ---------------------------------------------------------------------
+
+    def run(self, entry: str = "main", args: Tuple = ()) -> object:
+        result = self.call_function(entry, list(args))
+        # implicit barrier: the process cannot exit with shreds in flight
+        self._wait_all()
+        return result
+
+    def call_function(self, name: str, args: List[object]) -> object:
+        fn = self.unit.function(name)
+        if len(args) != len(fn.params):
+            raise ChiError(
+                f"{name}() takes {len(fn.params)} arguments, got {len(args)}")
+        self.scopes.append({pname: value
+                            for (_, pname), value in zip(fn.params, args)})
+        try:
+            self.exec_stmt(fn.body)
+        except _Return as ret:
+            return ret.value
+        finally:
+            self.scopes.pop()
+        return 0
+
+    # -- environment ------------------------------------------------------------------
+
+    def lookup(self, name: str, line: int = 0) -> object:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        raise SemanticError(f"use of undeclared variable {name!r}", line)
+
+    def assign_name(self, name: str, value, line: int = 0) -> None:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                scope[name] = value
+                return
+        raise SemanticError(f"assignment to undeclared variable {name!r}",
+                            line)
+
+    # -- statements ----------------------------------------------------------------------
+
+    def exec_stmt(self, stmt: Optional[ast.Stmt]) -> None:
+        if stmt is None:
+            return
+        method = getattr(self, f"_exec_{type(stmt).__name__}", None)
+        if method is None:
+            raise ChiError(f"unhandled statement {type(stmt).__name__}")
+        method(stmt)
+
+    def _exec_Block(self, stmt: ast.Block) -> None:
+        self.scopes.append({})
+        try:
+            for s in stmt.body:
+                self.exec_stmt(s)
+        finally:
+            self.scopes.pop()
+
+    def _exec_Decl(self, stmt: ast.Decl) -> None:
+        if stmt.dims:
+            dims = [int(self.eval(d)) for d in stmt.dims]
+            if any(d <= 0 for d in dims):
+                raise ChiError(f"array {stmt.name!r} has non-positive "
+                               f"dimension {dims}")
+            if len(dims) == 1:
+                width, height = dims[0], 1
+            elif len(dims) == 2:
+                height, width = dims
+            else:
+                raise ChiError("arrays support at most two dimensions")
+            dtype = DataType.DW if stmt.type_name == "int" else DataType.F
+            surface = Surface.alloc(self.runtime.platform.space, stmt.name,
+                                    width, height, dtype)
+            value: object = ArrayVar(surface=surface, shape=tuple(dims),
+                                     elem_type=stmt.type_name)
+        elif stmt.init is not None:
+            value = self.eval(stmt.init)
+            if stmt.type_name == "int" and isinstance(value, float):
+                value = _c_int(value)
+            elif stmt.type_name == "float" and isinstance(value, int):
+                value = float(value)
+        else:
+            value = 0 if stmt.type_name == "int" else 0.0
+        self.scopes[-1][stmt.name] = value
+
+    def _exec_ExprStmt(self, stmt: ast.ExprStmt) -> None:
+        self.eval(stmt.expr)
+
+    def _exec_If(self, stmt: ast.If) -> None:
+        if _truthy(self.eval(stmt.cond)):
+            self.exec_stmt(stmt.then)
+        elif stmt.orelse is not None:
+            self.exec_stmt(stmt.orelse)
+
+    def _exec_While(self, stmt: ast.While) -> None:
+        while _truthy(self.eval(stmt.cond)):
+            try:
+                self.exec_stmt(stmt.body)
+            except _Break:
+                break
+            except _Continue:
+                continue
+
+    def _exec_For(self, stmt: ast.For) -> None:
+        self.scopes.append({})
+        try:
+            self.exec_stmt(stmt.init)
+            while stmt.cond is None or _truthy(self.eval(stmt.cond)):
+                try:
+                    self.exec_stmt(stmt.body)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if stmt.step is not None:
+                    self.eval(stmt.step)
+        finally:
+            self.scopes.pop()
+
+    def _exec_Return(self, stmt: ast.Return) -> None:
+        raise _Return(self.eval(stmt.value) if stmt.value is not None else 0)
+
+    def _exec_Break(self, stmt: ast.Break) -> None:
+        raise _Break()
+
+    def _exec_Continue(self, stmt: ast.Continue) -> None:
+        raise _Continue()
+
+    def _exec_AsmBlock(self, stmt: ast.AsmBlock) -> None:
+        raise SemanticError(
+            "__asm block reached host execution; it must sit directly "
+            "under a target(...) pragma", stmt.line)
+
+    # -- pragma regions --------------------------------------------------------------------
+
+    def _exec_ParallelStmt(self, stmt: ast.ParallelStmt) -> None:
+        clauses = stmt.clauses
+        if clauses.target is None:
+            # host-side OpenMP: functionally serial execution (the paper's
+            # line 17-21 of Figure 6); private vars get a fresh scope
+            self.scopes.append({name: 0 for name in clauses.private})
+            try:
+                self.exec_stmt(stmt.body)
+            finally:
+                self.scopes.pop()
+            return
+
+        shared = self._resolve_clause_surfaces(clauses, stmt.line)
+        dsl = self._find_dsl(stmt.body)
+        if dsl is not None:
+            # __dsl regions tile themselves over the first output surface
+            region = self._dispatch_dsl(stmt, dsl, shared)
+            if clauses.master_nowait:
+                self.pending_regions.append(region)
+            return
+
+        asm, bindings = self._collect_region(stmt, clauses)
+        firstprivate = {
+            name: _as_scalar(self.lookup(name, stmt.line), name)
+            for name in clauses.firstprivate
+        }
+        region = self.runtime.parallel(
+            asm.section,
+            target=clauses.target,
+            shared=shared,
+            firstprivate=firstprivate,
+            private=bindings,
+            master_nowait=clauses.master_nowait,
+        )
+        if clauses.master_nowait:
+            self.pending_regions.append(region)
+
+    def _exec_TaskqStmt(self, stmt: ast.TaskqStmt) -> None:
+        clauses = stmt.clauses
+        target = clauses.target or "X3000"
+        queue = self.runtime.taskq(target,
+                                   master_nowait=clauses.master_nowait)
+        self._taskq_stack.append(queue)
+        try:
+            with queue:
+                # "the code inside a taskq block is executed serially"
+                self.exec_stmt(stmt.body)
+        finally:
+            self._taskq_stack.pop()
+        if clauses.master_nowait and queue.region is not None:
+            self.pending_regions.append(queue.region)
+
+    def _exec_TaskStmt(self, stmt: ast.TaskStmt) -> None:
+        if not self._taskq_stack:
+            raise SemanticError("task pragma outside a taskq", stmt.line)
+        queue = self._taskq_stack[-1]
+        clauses = stmt.clauses
+        asm = _find_asm(stmt.body, stmt.line)
+        captured = {
+            name: _as_scalar(self.lookup(name, stmt.line), name)
+            for name in clauses.captureprivate
+        }
+        shared = self._resolve_clause_surfaces(clauses, stmt.line)
+        queue.task(asm.section, captureprivate=captured, shared=shared)
+
+    def _find_dsl(self, body) -> Optional[ast.DslBlock]:
+        while isinstance(body, ast.Block) and len(body.body) == 1:
+            body = body.body[0]
+        return body if isinstance(body, ast.DslBlock) else None
+
+    def _dispatch_dsl(self, stmt: ast.ParallelStmt, dsl: ast.DslBlock,
+                      shared: Dict[str, object]) -> ParallelRegion:
+        meta = dsl.meta
+        if meta is None or dsl.section < 0:
+            raise SemanticError("__dsl block was not lowered", dsl.line)
+        missing = (set(meta.outputs) | meta.inputs) - set(shared)
+        if missing:
+            raise SemanticError(
+                f"__dsl block references surfaces {sorted(missing)} not in "
+                f"the shared clause", dsl.line)
+        out = shared[meta.outputs[0]]
+        surface = getattr(out, "surface", out)
+        bindings = meta.bindings_for(surface.width, surface.height)
+        return self.runtime.parallel(
+            dsl.section,
+            target=stmt.clauses.target,
+            shared=shared,
+            private=bindings,
+            master_nowait=stmt.clauses.master_nowait,
+        )
+
+    def _collect_region(self, stmt: ast.ParallelStmt,
+                        clauses: ast.PragmaClauses):
+        """Extract the asm block and the per-shred private bindings.
+
+        Two shapes exist (Figure 6 and Figure 9): a ``for`` loop over the
+        private variable whose body is the asm block (one shred per
+        iteration), or a bare asm block with ``num_threads``.
+        """
+        body = stmt.body
+        while isinstance(body, ast.Block) and len(body.body) == 1:
+            body = body.body[0]
+        if isinstance(body, ast.For):
+            asm = _find_asm(body.body, stmt.line)
+            bindings: List[Dict[str, float]] = []
+            self.scopes.append({})
+            try:
+                self.exec_stmt(body.init)
+                while body.cond is None or _truthy(self.eval(body.cond)):
+                    bindings.append({
+                        name: _as_scalar(self.lookup(name, stmt.line), name)
+                        for name in clauses.private
+                    })
+                    if body.step is not None:
+                        self.eval(body.step)
+            finally:
+                self.scopes.pop()
+            return asm, bindings
+        if isinstance(body, ast.AsmBlock):
+            if clauses.num_threads is None:
+                raise SemanticError(
+                    "parallel region with a bare __asm block needs "
+                    "num_threads(...)", stmt.line)
+            count = int(self.eval(clauses.num_threads))
+            return body, [{"tid": float(i)} for i in range(count)]
+        raise SemanticError(
+            "target parallel region must contain a for loop over an __asm "
+            "block, or a bare __asm block", stmt.line)
+
+    def _resolve_clause_surfaces(self, clauses: ast.PragmaClauses,
+                                 line: int) -> Dict[str, object]:
+        shared: Dict[str, object] = {}
+        for name in clauses.shared:
+            value = self.lookup(name, line)
+            if not isinstance(value, ArrayVar):
+                raise SemanticError(
+                    f"shared({name}) must name an array variable", line)
+            shared[name] = value.surface
+        # descriptors override plain surfaces with configured views
+        for name in clauses.descriptor:
+            desc = self.lookup(name, line)
+            surf_name = getattr(getattr(desc, "surface", None), "name", None)
+            if surf_name is None:
+                raise SemanticError(
+                    f"descriptor({name}) must name a chi_alloc_desc result",
+                    line)
+            shared[surf_name] = desc
+        return shared
+
+    # -- expressions ---------------------------------------------------------------------------
+
+    def eval(self, expr: Optional[ast.Expr]):
+        if expr is None:
+            return 0
+        method = getattr(self, f"_eval_{type(expr).__name__}", None)
+        if method is None:
+            raise ChiError(f"unhandled expression {type(expr).__name__}")
+        return method(expr)
+
+    def _eval_IntLit(self, expr: ast.IntLit):
+        return expr.value
+
+    def _eval_FloatLit(self, expr: ast.FloatLit):
+        return expr.value
+
+    def _eval_StrLit(self, expr: ast.StrLit):
+        return expr.value
+
+    def _eval_Name(self, expr: ast.Name):
+        return self.lookup(expr.ident, expr.line)
+
+    def _eval_Index(self, expr: ast.Index):
+        arr, flat = self._index_target(expr)
+        value = arr.surface.read_linear(self.runtime.platform.host, flat, 1)[0]
+        return _c_int(value) if arr.elem_type == "int" else float(value)
+
+    def _eval_Unary(self, expr: ast.Unary):
+        value = self.eval(expr.operand)
+        if expr.op == "-":
+            return -value
+        if expr.op == "!":
+            return 0 if _truthy(value) else 1
+        raise ChiError(f"unknown unary operator {expr.op!r}")
+
+    def _eval_Binary(self, expr: ast.Binary):
+        op = expr.op
+        if op == "&&":
+            return 1 if (_truthy(self.eval(expr.left))
+                         and _truthy(self.eval(expr.right))) else 0
+        if op == "||":
+            return 1 if (_truthy(self.eval(expr.left))
+                         or _truthy(self.eval(expr.right))) else 0
+        a = self.eval(expr.left)
+        b = self.eval(expr.right)
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "/":
+            if b == 0:
+                raise ChiError(f"division by zero at line {expr.line}")
+            if isinstance(a, int) and isinstance(b, int):
+                return _c_int(math.trunc(a / b))
+            return a / b
+        if op == "%":
+            if b == 0:
+                raise ChiError(f"modulo by zero at line {expr.line}")
+            return a - b * math.trunc(a / b)
+        if op == "<<":
+            return int(a) << int(b)
+        if op == ">>":
+            return int(a) >> int(b)
+        comparisons = {
+            "<": a < b, "<=": a <= b, ">": a > b, ">=": a >= b,
+            "==": a == b, "!=": a != b,
+        }
+        if op in comparisons:
+            return 1 if comparisons[op] else 0
+        raise ChiError(f"unknown binary operator {op!r}")
+
+    def _eval_Assign(self, expr: ast.Assign):
+        value = self.eval(expr.value)
+        target = expr.target
+        if isinstance(target, ast.Name):
+            old = self.lookup(target.ident, target.line)
+            if isinstance(old, int) and isinstance(value, float):
+                value = _c_int(value)
+            self.assign_name(target.ident, value, target.line)
+            return value
+        if isinstance(target, ast.Index):
+            arr, flat = self._index_target(target)
+            arr.surface.write_linear(self.runtime.platform.host, flat,
+                                     np.array([value], dtype=np.float64))
+            return value
+        raise SemanticError("invalid assignment target", expr.line)
+
+    def _eval_Call(self, expr: ast.Call):
+        name = expr.func
+        if name.startswith("chi_"):
+            return self._call_chi(expr)
+        if name == "printf":
+            return self._call_printf(expr)
+        if name in ("abs", "min", "max"):
+            args = [self.eval(a) for a in expr.args]
+            return {"abs": lambda: abs(args[0]),
+                    "min": lambda: min(args),
+                    "max": lambda: max(args)}[name]()
+        return self.call_function(name, [self.eval(a) for a in expr.args])
+
+    # -- builtins ----------------------------------------------------------------------------------
+
+    def _call_chi(self, expr: ast.Call):
+        rt = self.runtime
+        name = expr.func
+        args = [self._eval_soft(a) for a in expr.args]
+        if name == "chi_alloc_desc":
+            isa, arr, mode = args[0], args[1], args[2]
+            if not isinstance(arr, ArrayVar):
+                raise SemanticError(
+                    "chi_alloc_desc expects an array variable", expr.line)
+            width = int(args[3]) if len(args) > 3 else None
+            height = int(args[4]) if len(args) > 4 else None
+            return rt.chi_alloc_desc(str(isa), arr.surface,
+                                     _as_mode(mode, expr.line),
+                                     width, height)
+        if name == "chi_free_desc":
+            rt.chi_free_desc(str(args[0]), args[1])
+            return 0
+        if name == "chi_modify_desc":
+            attrib = args[2]
+            if isinstance(attrib, str):
+                attrib = _ENUM_VALUES.get(attrib, attrib)
+            rt.chi_modify_desc(str(args[0]), args[1], attrib, args[3])
+            return 0
+        if name == "chi_set_feature":
+            rt.chi_set_feature(str(args[0]), str(args[1]), args[2])
+            return 0
+        if name == "chi_set_feature_pershred":
+            rt.chi_set_feature_pershred(str(args[0]), int(args[1]),
+                                        str(args[2]), args[3])
+            return 0
+        if name == "chi_wait":
+            self._wait_all()
+            return 0
+        raise ChiError(f"unknown CHI API {name!r}")
+
+    def _call_printf(self, expr: ast.Call):
+        if not expr.args:
+            raise ChiError("printf needs a format string")
+        fmt = self.eval(expr.args[0])
+        values = [self.eval(a) for a in expr.args[1:]]
+        try:
+            text = fmt % tuple(values) if values else fmt
+        except (TypeError, ValueError) as exc:
+            raise ChiError(f"printf format error: {exc}") from None
+        self.stdout.append(text)
+        return len(text)
+
+    def _eval_soft(self, expr: ast.Expr):
+        """Evaluate an argument, resolving unbound names to enum strings
+        (the C API spells ``X3000`` and ``CHI_INPUT`` as bare words)."""
+        if isinstance(expr, ast.Name):
+            for scope in reversed(self.scopes):
+                if expr.ident in scope:
+                    return scope[expr.ident]
+            return _ENUM_VALUES.get(expr.ident, expr.ident)
+        return self.eval(expr)
+
+    # -- helpers --------------------------------------------------------------------------------------
+
+    def _index_target(self, expr: ast.Index):
+        if not isinstance(expr.base, ast.Name):
+            raise SemanticError("only variables can be indexed", expr.line)
+        arr = self.lookup(expr.base.ident, expr.line)
+        if not isinstance(arr, ArrayVar):
+            raise SemanticError(f"{expr.base.ident!r} is not an array",
+                                expr.line)
+        indices = [int(self.eval(i)) for i in expr.indices]
+        if len(indices) != len(arr.shape):
+            raise SemanticError(
+                f"array {expr.base.ident!r} has {len(arr.shape)} "
+                f"dimension(s), indexed with {len(indices)}", expr.line)
+        if len(indices) == 1:
+            flat = indices[0]
+            limit = arr.shape[0]
+            if not 0 <= flat < limit:
+                raise ChiError(
+                    f"index {flat} out of bounds for {expr.base.ident}"
+                    f"[{limit}]")
+        else:
+            y, x = indices
+            h, w = arr.shape
+            if not (0 <= y < h and 0 <= x < w):
+                raise ChiError(
+                    f"index [{y}][{x}] out of bounds for "
+                    f"{expr.base.ident}[{h}][{w}]")
+            flat = y * w + x
+        return arr, flat
+
+    def _wait_all(self) -> None:
+        for region in self.pending_regions:
+            region.wait()
+        self.pending_regions.clear()
+
+
+def _truthy(value) -> bool:
+    return bool(value)
+
+
+def _c_int(value) -> int:
+    return int(math.trunc(value))
+
+
+def _as_scalar(value, name: str) -> float:
+    if isinstance(value, (int, float)):
+        return float(value)
+    raise SemanticError(f"clause variable {name!r} must be scalar")
+
+
+def _as_mode(value, line: int) -> AccessMode:
+    if isinstance(value, AccessMode):
+        return value
+    raise SemanticError(f"expected CHI_INPUT/CHI_OUTPUT/CHI_INOUT, got "
+                        f"{value!r}", line)
+
+
+def _find_asm(stmt: ast.Stmt, line: int) -> ast.AsmBlock:
+    """The single asm block directly inside a structured block."""
+    body = stmt
+    while isinstance(body, ast.Block) and len(body.body) == 1:
+        body = body.body[0]
+    if isinstance(body, ast.AsmBlock):
+        if body.section < 0:
+            raise SemanticError("asm block was not lowered", line)
+        return body
+    if isinstance(body, ast.For):
+        return _find_asm(body.body, line)
+    raise SemanticError("expected an __asm block in this region", line)

@@ -1,0 +1,73 @@
+"""Pragma lowering: assemble ``__asm`` blocks into fat-binary sections.
+
+This is the compile-time half of Figure 4: "a separate
+accelerator-specific assembler is dynamically linked with the Intel
+compiler ... the resulting binary code is embedded in a special code
+section of the executable indexed with a unique identifier", and "the
+accelerator-specific assembly block is replaced with a call into a CHI
+runtime service that is responsible for locating the corresponding
+accelerator binary code in the fat binary."
+
+In our reproduction the "call to the runtime" is the section identifier
+stored on each :class:`~repro.chi.frontend.ast.AsmBlock` node; the host
+interpreter passes it to :meth:`repro.chi.runtime.ChiRuntime.parallel`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...errors import SemanticError
+from ...isa.assembler import assemble
+from ..fatbinary import FatBinary
+from . import ast
+
+
+def lower(unit: ast.TranslationUnit, name: str = "chi-app") -> FatBinary:
+    """Assemble every target-pragma asm block; returns the fat binary."""
+    fat = FatBinary(name=name)
+    fat.host_source = unit.source
+    for fn in unit.functions:
+        _lower_stmt(fn.body, None, fat, fn.name)
+    return fat
+
+
+def _lower_stmt(stmt: Optional[ast.Stmt], target: Optional[str],
+                fat: FatBinary, where: str) -> None:
+    if stmt is None:
+        return
+    if isinstance(stmt, ast.AsmBlock):
+        if target is None:
+            raise SemanticError(
+                "__asm block outside a target(...) region", stmt.line)
+        program = assemble(stmt.text, name=f"{where}.asm@{stmt.line}")
+        stmt.section = fat.add_section(target, program, stmt.text)
+        return
+    if isinstance(stmt, ast.DslBlock):
+        if target is None:
+            raise SemanticError(
+                "__dsl block outside a target(...) region", stmt.line)
+        from ..dsl import compile_dsl
+
+        # C arrays are int/float surfaces; int maps to 32-bit elements
+        meta = compile_dsl(stmt.text, name=f"{where}.dsl@{stmt.line}",
+                           elem="dw")
+        meta.program.name = f"{where}.dsl@{stmt.line}"
+        stmt.section = fat.add_section(target, meta.program, stmt.text)
+        stmt.meta = meta
+        return
+    if isinstance(stmt, (ast.ParallelStmt, ast.TaskqStmt, ast.TaskStmt)):
+        inner_target = stmt.clauses.target or target
+        _lower_stmt(stmt.body, inner_target, fat, where)
+        return
+    if isinstance(stmt, ast.Block):
+        for s in stmt.body:
+            _lower_stmt(s, target, fat, where)
+    elif isinstance(stmt, ast.If):
+        _lower_stmt(stmt.then, target, fat, where)
+        _lower_stmt(stmt.orelse, target, fat, where)
+    elif isinstance(stmt, ast.While):
+        _lower_stmt(stmt.body, target, fat, where)
+    elif isinstance(stmt, ast.For):
+        _lower_stmt(stmt.body, target, fat, where)
+    # declarations, expressions, return/break/continue carry no asm

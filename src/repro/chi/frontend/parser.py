@@ -1,0 +1,431 @@
+"""Recursive-descent parser for the CHI C subset, including the OpenMP
+pragma extensions of Figure 5."""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ...errors import ParseError
+from . import ast
+from .tokens import Tok, Token, tokenize
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse CHI C source into a translation unit."""
+    parser = _Parser(tokenize(source))
+    unit = parser.translation_unit()
+    unit.source = source
+    return unit
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.peek()
+        self.pos += 1
+        return tok
+
+    def accept(self, kind: Tok) -> Optional[Token]:
+        if self.peek().kind is kind:
+            return self.next()
+        return None
+
+    def expect(self, kind: Tok) -> Token:
+        tok = self.peek()
+        if tok.kind is not kind:
+            raise ParseError(
+                f"expected {kind.value!r}, found {tok.text!r}", tok.line)
+        return self.next()
+
+    # -- top level ------------------------------------------------------------------
+
+    def translation_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        while self.peek().kind is not Tok.EOF:
+            unit.functions.append(self.function())
+        return unit
+
+    def function(self) -> ast.FuncDef:
+        rtype = self.type_name()
+        name = self.expect(Tok.IDENT)
+        self.expect(Tok.LPAREN)
+        params: List[Tuple[str, str]] = []
+        if self.peek().kind is not Tok.RPAREN:
+            if self.peek().kind is Tok.KW_VOID and \
+                    self.peek(1).kind is Tok.RPAREN:
+                self.next()
+            else:
+                while True:
+                    ptype = self.type_name()
+                    pname = self.expect(Tok.IDENT)
+                    params.append((ptype, pname.text))
+                    if not self.accept(Tok.COMMA):
+                        break
+        self.expect(Tok.RPAREN)
+        body = self.block()
+        return ast.FuncDef(return_type=rtype, name=name.text,
+                           params=tuple(params), body=body, line=name.line)
+
+    def type_name(self) -> str:
+        tok = self.peek()
+        if tok.kind is Tok.KW_INT:
+            self.next()
+            return "int"
+        if tok.kind is Tok.KW_FLOAT:
+            self.next()
+            return "float"
+        if tok.kind is Tok.KW_VOID:
+            self.next()
+            return "void"
+        raise ParseError(f"expected a type, found {tok.text!r}", tok.line)
+
+    # -- statements --------------------------------------------------------------------
+
+    def block(self) -> ast.Block:
+        lbrace = self.expect(Tok.LBRACE)
+        body: List[ast.Stmt] = []
+        while self.peek().kind is not Tok.RBRACE:
+            if self.peek().kind is Tok.EOF:
+                raise ParseError("unterminated block", lbrace.line)
+            body.append(self.statement())
+        self.expect(Tok.RBRACE)
+        return ast.Block(line=lbrace.line, body=tuple(body))
+
+    def statement(self) -> ast.Stmt:
+        tok = self.peek()
+        if tok.kind is Tok.PRAGMA:
+            return self.pragma_statement()
+        if tok.kind is Tok.ASM:
+            self.next()
+            return ast.AsmBlock(line=tok.line, text=tok.value)
+        if tok.kind is Tok.DSL:
+            self.next()
+            return ast.DslBlock(line=tok.line, text=tok.value)
+        if tok.kind is Tok.LBRACE:
+            return self.block()
+        if tok.kind in (Tok.KW_INT, Tok.KW_FLOAT):
+            return self.declaration()
+        if tok.kind is Tok.KW_FOR:
+            return self.for_statement()
+        if tok.kind is Tok.KW_WHILE:
+            self.next()
+            self.expect(Tok.LPAREN)
+            cond = self.expression()
+            self.expect(Tok.RPAREN)
+            return ast.While(line=tok.line, cond=cond, body=self.statement())
+        if tok.kind is Tok.KW_IF:
+            self.next()
+            self.expect(Tok.LPAREN)
+            cond = self.expression()
+            self.expect(Tok.RPAREN)
+            then = self.statement()
+            orelse = None
+            if self.accept(Tok.KW_ELSE):
+                orelse = self.statement()
+            return ast.If(line=tok.line, cond=cond, then=then, orelse=orelse)
+        if tok.kind is Tok.KW_RETURN:
+            self.next()
+            value = None
+            if self.peek().kind is not Tok.SEMI:
+                value = self.expression()
+            self.expect(Tok.SEMI)
+            return ast.Return(line=tok.line, value=value)
+        if tok.kind is Tok.KW_BREAK:
+            self.next()
+            self.expect(Tok.SEMI)
+            return ast.Break(line=tok.line)
+        if tok.kind is Tok.KW_CONTINUE:
+            self.next()
+            self.expect(Tok.SEMI)
+            return ast.Continue(line=tok.line)
+        expr = self.expression()
+        self.expect(Tok.SEMI)
+        return ast.ExprStmt(line=tok.line, expr=expr)
+
+    def declaration(self) -> ast.Decl:
+        tok = self.peek()
+        type_name = self.type_name()
+        name = self.expect(Tok.IDENT)
+        dims: List[ast.Expr] = []
+        while self.accept(Tok.LBRACKET):
+            dims.append(self.expression())
+            self.expect(Tok.RBRACKET)
+        init = None
+        if self.accept(Tok.ASSIGN):
+            init = self.expression()
+        self.expect(Tok.SEMI)
+        return ast.Decl(line=tok.line, type_name=type_name, name=name.text,
+                        dims=tuple(dims), init=init)
+
+    def for_statement(self) -> ast.For:
+        tok = self.expect(Tok.KW_FOR)
+        self.expect(Tok.LPAREN)
+        init: Optional[ast.Stmt] = None
+        if self.peek().kind in (Tok.KW_INT, Tok.KW_FLOAT):
+            init = self.declaration()  # consumes the ';'
+        elif self.peek().kind is not Tok.SEMI:
+            expr = self.expression()
+            self.expect(Tok.SEMI)
+            init = ast.ExprStmt(line=tok.line, expr=expr)
+        else:
+            self.expect(Tok.SEMI)
+        cond = None
+        if self.peek().kind is not Tok.SEMI:
+            cond = self.expression()
+        self.expect(Tok.SEMI)
+        step = None
+        if self.peek().kind is not Tok.RPAREN:
+            step = self.expression()
+        self.expect(Tok.RPAREN)
+        return ast.For(line=tok.line, init=init, cond=cond, step=step,
+                       body=self.statement())
+
+    # -- pragmas ----------------------------------------------------------------------------
+
+    def pragma_statement(self) -> ast.Stmt:
+        tok = self.expect(Tok.PRAGMA)
+        text = tok.value
+        clauses, kind = parse_pragma(text, tok.line)
+        if kind == "parallel":
+            body = self.statement()
+            return ast.ParallelStmt(line=tok.line, clauses=clauses, body=body)
+        if kind == "taskq":
+            body = self.statement()
+            return ast.TaskqStmt(line=tok.line, clauses=clauses, body=body)
+        if kind == "task":
+            body = self.statement()
+            return ast.TaskStmt(line=tok.line, clauses=clauses, body=body)
+        raise ParseError(f"unsupported pragma {text!r}", tok.line)
+
+    # -- expressions (precedence climbing) ----------------------------------------------------
+
+    def expression(self) -> ast.Expr:
+        return self.assignment()
+
+    def assignment(self) -> ast.Expr:
+        left = self.logical_or()
+        tok = self.peek()
+        if tok.kind is Tok.ASSIGN:
+            self.next()
+            value = self.assignment()
+            return ast.Assign(line=tok.line, target=left, value=value)
+        if tok.kind in (Tok.PLUSEQ, Tok.MINUSEQ):
+            self.next()
+            op = "+" if tok.kind is Tok.PLUSEQ else "-"
+            value = self.assignment()
+            return ast.Assign(line=tok.line, target=left,
+                              value=ast.Binary(line=tok.line, op=op,
+                                               left=left, right=value))
+        return left
+
+    def logical_or(self) -> ast.Expr:
+        left = self.logical_and()
+        while self.peek().kind is Tok.OROR:
+            tok = self.next()
+            left = ast.Binary(line=tok.line, op="||", left=left,
+                              right=self.logical_and())
+        return left
+
+    def logical_and(self) -> ast.Expr:
+        left = self.equality()
+        while self.peek().kind is Tok.ANDAND:
+            tok = self.next()
+            left = ast.Binary(line=tok.line, op="&&", left=left,
+                              right=self.equality())
+        return left
+
+    def equality(self) -> ast.Expr:
+        left = self.relational()
+        while self.peek().kind in (Tok.EQ, Tok.NE):
+            tok = self.next()
+            left = ast.Binary(line=tok.line, op=tok.text, left=left,
+                              right=self.relational())
+        return left
+
+    def relational(self) -> ast.Expr:
+        left = self.shift()
+        while self.peek().kind in (Tok.LT, Tok.LE, Tok.GT, Tok.GE):
+            tok = self.next()
+            left = ast.Binary(line=tok.line, op=tok.text, left=left,
+                              right=self.shift())
+        return left
+
+    def shift(self) -> ast.Expr:
+        left = self.additive()
+        while self.peek().kind in (Tok.SHL, Tok.SHR):
+            tok = self.next()
+            left = ast.Binary(line=tok.line, op=tok.text, left=left,
+                              right=self.additive())
+        return left
+
+    def additive(self) -> ast.Expr:
+        left = self.multiplicative()
+        while self.peek().kind in (Tok.PLUS, Tok.MINUS):
+            tok = self.next()
+            left = ast.Binary(line=tok.line, op=tok.text, left=left,
+                              right=self.multiplicative())
+        return left
+
+    def multiplicative(self) -> ast.Expr:
+        left = self.unary()
+        while self.peek().kind in (Tok.STAR, Tok.SLASH, Tok.PERCENT):
+            tok = self.next()
+            left = ast.Binary(line=tok.line, op=tok.text, left=left,
+                              right=self.unary())
+        return left
+
+    def unary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind is Tok.MINUS:
+            self.next()
+            return ast.Unary(line=tok.line, op="-", operand=self.unary())
+        if tok.kind is Tok.NOT:
+            self.next()
+            return ast.Unary(line=tok.line, op="!", operand=self.unary())
+        if tok.kind in (Tok.PLUSPLUS, Tok.MINUSMINUS):
+            self.next()
+            op = "+" if tok.kind is Tok.PLUSPLUS else "-"
+            operand = self.unary()
+            return ast.Assign(line=tok.line, target=operand,
+                              value=ast.Binary(line=tok.line, op=op,
+                                               left=operand,
+                                               right=ast.IntLit(tok.line, 1)))
+        return self.postfix()
+
+    def postfix(self) -> ast.Expr:
+        expr = self.primary()
+        while True:
+            tok = self.peek()
+            if tok.kind is Tok.LBRACKET:
+                indices: List[ast.Expr] = []
+                while self.accept(Tok.LBRACKET):
+                    indices.append(self.expression())
+                    self.expect(Tok.RBRACKET)
+                expr = ast.Index(line=tok.line, base=expr,
+                                 indices=tuple(indices))
+            elif tok.kind in (Tok.PLUSPLUS, Tok.MINUSMINUS):
+                self.next()
+                op = "+" if tok.kind is Tok.PLUSPLUS else "-"
+                # postfix value semantics are not needed by our programs;
+                # treat as statement-level increment
+                expr = ast.Assign(line=tok.line, target=expr,
+                                  value=ast.Binary(line=tok.line, op=op,
+                                                   left=expr,
+                                                   right=ast.IntLit(tok.line, 1)))
+            else:
+                return expr
+
+    def primary(self) -> ast.Expr:
+        tok = self.next()
+        if tok.kind is Tok.INT:
+            return ast.IntLit(line=tok.line, value=tok.value)
+        if tok.kind is Tok.FLOAT:
+            return ast.FloatLit(line=tok.line, value=tok.value)
+        if tok.kind is Tok.STRING:
+            return ast.StrLit(line=tok.line, value=tok.value)
+        if tok.kind is Tok.IDENT:
+            if self.peek().kind is Tok.LPAREN:
+                self.next()
+                args: List[ast.Expr] = []
+                if self.peek().kind is not Tok.RPAREN:
+                    while True:
+                        args.append(self.expression())
+                        if not self.accept(Tok.COMMA):
+                            break
+                self.expect(Tok.RPAREN)
+                return ast.Call(line=tok.line, func=tok.text,
+                                args=tuple(args))
+            return ast.Name(line=tok.line, ident=tok.text)
+        if tok.kind is Tok.LPAREN:
+            expr = self.expression()
+            self.expect(Tok.RPAREN)
+            return expr
+        raise ParseError(f"unexpected token {tok.text!r}", tok.line)
+
+
+# ---------------------------------------------------------------------------
+# pragma clause grammar (Figure 5)
+# ---------------------------------------------------------------------------
+
+_CLAUSE_RE = re.compile(
+    r"(target|shared|descriptor|private|firstprivate|captureprivate|"
+    r"num_threads)\s*\(([^)]*)\)|"
+    r"(master_nowait|nowait|for)\b")
+
+
+def parse_pragma(text: str, line: int) -> Tuple[ast.PragmaClauses, str]:
+    """Parse a pragma body (after ``#pragma``) into clauses + kind."""
+    words = text.split()
+    if not words:
+        raise ParseError("empty pragma", line)
+    head = words[0]
+    if head == "intel":
+        if len(words) < 3 or words[1] != "omp" or \
+                words[2] not in ("taskq", "task"):
+            raise ParseError(f"unsupported intel pragma {text!r}", line)
+        kind = words[2]
+        rest = " ".join(words[3:])
+    elif head == "omp":
+        if len(words) < 2 or words[1] != "parallel":
+            raise ParseError(f"unsupported omp pragma {text!r}", line)
+        kind = "parallel"
+        rest = " ".join(words[2:])
+    else:
+        raise ParseError(f"unsupported pragma {text!r}", line)
+
+    clauses = {"shared": (), "descriptor": (), "private": (),
+               "firstprivate": (), "captureprivate": ()}
+    target = None
+    num_threads = None
+    master_nowait = False
+    is_for = False
+    consumed = 0
+    for match in _CLAUSE_RE.finditer(rest):
+        consumed += 1
+        if match.group(3):
+            flag = match.group(3)
+            if flag in ("master_nowait", "nowait"):
+                master_nowait = True
+            elif flag == "for":
+                is_for = True
+            continue
+        name, body = match.group(1), match.group(2)
+        items = tuple(s.strip() for s in body.split(",") if s.strip())
+        if name == "target":
+            if len(items) != 1:
+                raise ParseError("target clause takes one ISA name", line)
+            target = items[0]
+        elif name == "num_threads":
+            sub = _Parser(tokenize(body))
+            num_threads = sub.expression()
+        else:
+            clauses[name] = clauses[name] + items
+
+    leftovers = _CLAUSE_RE.sub("", rest).replace(",", " ").split()
+    if leftovers:
+        raise ParseError(
+            f"unknown pragma clause(s) {leftovers} in {text!r}", line)
+
+    return (
+        ast.PragmaClauses(
+            target=target,
+            shared=clauses["shared"],
+            descriptor=clauses["descriptor"],
+            private=clauses["private"],
+            firstprivate=clauses["firstprivate"],
+            captureprivate=clauses["captureprivate"],
+            num_threads=num_threads,
+            master_nowait=master_nowait,
+            is_for=is_for,
+        ),
+        kind,
+    )

@@ -1,0 +1,198 @@
+"""Semantic checks for the CHI C subset.
+
+Light by design — enough to give programmers front-end errors instead of
+interpreter crashes: declaration-before-use, pragma clause variables must
+be declared, ``__asm`` only under a ``target`` pragma, tasks only inside a
+``taskq``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ...errors import SemanticError
+from . import ast
+
+#: Functions the runtime provides (Table 1 plus conveniences).
+BUILTINS = {
+    "chi_alloc_desc", "chi_free_desc", "chi_modify_desc",
+    "chi_set_feature", "chi_set_feature_pershred", "chi_wait",
+    "printf", "abs", "min", "max",
+}
+
+#: Bare identifiers that are runtime enum constants, not variables.
+ENUM_NAMES = {
+    "X3000", "IA32",
+    "CHI_INPUT", "CHI_OUTPUT", "CHI_INOUT",
+    "CHI_TILING", "CHI_MODE", "CHI_LINEAR", "CHI_TILED",
+}
+
+
+def check(unit: ast.TranslationUnit) -> None:
+    """Raise :class:`~repro.errors.SemanticError` on the first problem."""
+    names = {fn.name for fn in unit.functions}
+    if "main" not in names:
+        raise SemanticError("no main() function")
+    for fn in unit.functions:
+        _Checker(names).check_function(fn)
+
+
+class _Checker:
+    def __init__(self, functions: Set[str]):
+        self.functions = functions
+        self.scopes: List[Set[str]] = []
+        self.in_target_pragma = 0
+        self.in_taskq = 0
+
+    # -- scope helpers -----------------------------------------------------------
+
+    def push(self) -> None:
+        self.scopes.append(set())
+
+    def pop(self) -> None:
+        self.scopes.pop()
+
+    def declare(self, name: str, line: int) -> None:
+        if name in self.scopes[-1]:
+            raise SemanticError(f"redeclaration of {name!r}", line)
+        self.scopes[-1].add(name)
+
+    def is_declared(self, name: str) -> bool:
+        return any(name in scope for scope in self.scopes)
+
+    # -- traversal ------------------------------------------------------------------
+
+    def check_function(self, fn: ast.FuncDef) -> None:
+        self.push()
+        for _, pname in fn.params:
+            self.declare(pname, fn.line)
+        self.check_stmt(fn.body)
+        self.pop()
+
+    def check_stmt(self, stmt: Optional[ast.Stmt]) -> None:
+        if stmt is None:
+            return
+        if isinstance(stmt, ast.Block):
+            self.push()
+            for s in stmt.body:
+                self.check_stmt(s)
+            self.pop()
+        elif isinstance(stmt, ast.Decl):
+            for dim in stmt.dims:
+                self.check_expr(dim)
+            if stmt.init is not None:
+                self.check_expr(stmt.init)
+            self.declare(stmt.name, stmt.line)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.check_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self.check_expr(stmt.cond)
+            self.check_stmt(stmt.then)
+            self.check_stmt(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.check_expr(stmt.cond)
+            self.check_stmt(stmt.body)
+        elif isinstance(stmt, ast.For):
+            self.push()
+            self.check_stmt(stmt.init)
+            if stmt.cond is not None:
+                self.check_expr(stmt.cond)
+            if stmt.step is not None:
+                self.check_expr(stmt.step)
+            self.check_stmt(stmt.body)
+            self.pop()
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.check_expr(stmt.value)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            pass
+        elif isinstance(stmt, ast.AsmBlock):
+            if not self.in_target_pragma:
+                raise SemanticError(
+                    "__asm block outside a target(...) parallel region",
+                    stmt.line)
+        elif isinstance(stmt, ast.DslBlock):
+            if not self.in_target_pragma:
+                raise SemanticError(
+                    "__dsl block outside a target(...) parallel region",
+                    stmt.line)
+        elif isinstance(stmt, ast.ParallelStmt):
+            self._check_clauses(stmt.clauses, stmt.line)
+            if stmt.clauses.target is not None:
+                self.in_target_pragma += 1
+                self.push()
+                # private loop variables are bound by the region
+                for name in stmt.clauses.private:
+                    self.scopes[-1].add(name)
+                self.check_stmt(stmt.body)
+                self.pop()
+                self.in_target_pragma -= 1
+            else:
+                self.push()
+                for name in stmt.clauses.private:
+                    self.scopes[-1].add(name)
+                self.check_stmt(stmt.body)
+                self.pop()
+        elif isinstance(stmt, ast.TaskqStmt):
+            self._check_clauses(stmt.clauses, stmt.line)
+            self.in_taskq += 1
+            self.push()
+            self.check_stmt(stmt.body)
+            self.pop()
+            self.in_taskq -= 1
+        elif isinstance(stmt, ast.TaskStmt):
+            if not self.in_taskq:
+                raise SemanticError("task pragma outside a taskq", stmt.line)
+            self._check_clauses(stmt.clauses, stmt.line)
+            self.in_target_pragma += 1
+            self.check_stmt(stmt.body)
+            self.in_target_pragma -= 1
+        else:
+            raise SemanticError(f"unhandled statement {stmt!r}", stmt.line)
+
+    def _check_clauses(self, clauses: ast.PragmaClauses, line: int) -> None:
+        for group in (clauses.shared, clauses.descriptor,
+                      clauses.firstprivate, clauses.captureprivate):
+            for name in group:
+                if not self.is_declared(name):
+                    raise SemanticError(
+                        f"pragma clause references undeclared variable "
+                        f"{name!r}", line)
+        if clauses.num_threads is not None:
+            self.check_expr(clauses.num_threads)
+
+    def check_expr(self, expr: Optional[ast.Expr]) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.StrLit)):
+            return
+        if isinstance(expr, ast.Name):
+            if not self.is_declared(expr.ident) and \
+                    expr.ident not in ENUM_NAMES:
+                raise SemanticError(f"use of undeclared variable "
+                                    f"{expr.ident!r}", expr.line)
+        elif isinstance(expr, ast.Index):
+            self.check_expr(expr.base)
+            for idx in expr.indices:
+                self.check_expr(idx)
+        elif isinstance(expr, ast.Unary):
+            self.check_expr(expr.operand)
+        elif isinstance(expr, ast.Binary):
+            self.check_expr(expr.left)
+            self.check_expr(expr.right)
+        elif isinstance(expr, ast.Assign):
+            if not isinstance(expr.target, (ast.Name, ast.Index)):
+                raise SemanticError("invalid assignment target", expr.line)
+            self.check_expr(expr.target)
+            self.check_expr(expr.value)
+        elif isinstance(expr, ast.Call):
+            if expr.func not in BUILTINS and expr.func not in self.functions:
+                raise SemanticError(f"call to undefined function "
+                                    f"{expr.func!r}", expr.line)
+            skip_names = expr.func.startswith("chi_")
+            for arg in expr.args:
+                if skip_names and isinstance(arg, ast.Name):
+                    continue  # enum constants / variable handles
+                self.check_expr(arg)
+        else:
+            raise SemanticError(f"unhandled expression {expr!r}", expr.line)

@@ -1,0 +1,261 @@
+"""Lexer for the CHI C subset.
+
+Two lexical extensions over plain C drive the whole environment (paper
+section 4.1): ``#pragma ...`` lines are captured verbatim as PRAGMA
+tokens, and ``__asm { ... }`` blocks are captured verbatim as ASM tokens —
+"__asm is the keyword that indicates the enclosed block of code is a
+special assembly block written specifically for the given accelerator
+ISA".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ...errors import LexError
+
+
+class Tok(enum.Enum):
+    # literals / identifiers
+    INT = "int-literal"
+    FLOAT = "float-literal"
+    STRING = "string-literal"
+    IDENT = "identifier"
+    # keywords
+    KW_INT = "int"
+    KW_FLOAT = "float"
+    KW_VOID = "void"
+    KW_FOR = "for"
+    KW_WHILE = "while"
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_RETURN = "return"
+    KW_BREAK = "break"
+    KW_CONTINUE = "continue"
+    # structure
+    PRAGMA = "#pragma"
+    ASM = "__asm"
+    DSL = "__dsl"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMI = ";"
+    COMMA = ","
+    # operators
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    SHL = "<<"
+    SHR = ">>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+    NOT = "!"
+    ANDAND = "&&"
+    OROR = "||"
+    PLUSPLUS = "++"
+    MINUSMINUS = "--"
+    PLUSEQ = "+="
+    MINUSEQ = "-="
+    EOF = "<eof>"
+
+
+_KEYWORDS = {
+    "int": Tok.KW_INT,
+    "float": Tok.KW_FLOAT,
+    "void": Tok.KW_VOID,
+    "for": Tok.KW_FOR,
+    "while": Tok.KW_WHILE,
+    "if": Tok.KW_IF,
+    "else": Tok.KW_ELSE,
+    "return": Tok.KW_RETURN,
+    "break": Tok.KW_BREAK,
+    "continue": Tok.KW_CONTINUE,
+}
+
+_TWO_CHAR = {
+    "<<": Tok.SHL, ">>": Tok.SHR, "<=": Tok.LE, ">=": Tok.GE,
+    "==": Tok.EQ, "!=": Tok.NE, "&&": Tok.ANDAND, "||": Tok.OROR,
+    "++": Tok.PLUSPLUS, "--": Tok.MINUSMINUS, "+=": Tok.PLUSEQ,
+    "-=": Tok.MINUSEQ,
+}
+
+_ONE_CHAR = {
+    "(": Tok.LPAREN, ")": Tok.RPAREN, "{": Tok.LBRACE, "}": Tok.RBRACE,
+    "[": Tok.LBRACKET, "]": Tok.RBRACKET, ";": Tok.SEMI, ",": Tok.COMMA,
+    "=": Tok.ASSIGN, "+": Tok.PLUS, "-": Tok.MINUS, "*": Tok.STAR,
+    "/": Tok.SLASH, "%": Tok.PERCENT, "<": Tok.LT, ">": Tok.GT,
+    "!": Tok.NOT,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: Tok
+    text: str
+    line: int
+    value: object = None  # numeric value for literals, raw text for pragma/asm
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> list:
+    """Lex CHI C source into a token list ending with EOF."""
+    tokens = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch == "#":
+            # capture the pragma line, honouring backslash continuations
+            start = i
+            text_parts = []
+            while i < n:
+                eol = source.find("\n", i)
+                if eol < 0:
+                    eol = n
+                segment = source[i:eol]
+                if segment.rstrip().endswith("\\"):
+                    text_parts.append(segment.rstrip()[:-1])
+                    i = eol + 1
+                    line += 1
+                else:
+                    text_parts.append(segment)
+                    i = eol
+                    break
+            text = " ".join(text_parts).strip()
+            if not text.startswith("#pragma"):
+                raise LexError(f"unsupported preprocessor directive "
+                               f"{text.split()[0]!r}", line)
+            tokens.append(Token(Tok.PRAGMA, text, line,
+                                value=text[len("#pragma"):].strip()))
+            continue
+        captured = _capture_block(source, i, n, line)
+        if captured is not None:
+            token, i, line = captured
+            tokens.append(token)
+            continue
+        if ch == '"':
+            end = i + 1
+            while end < n and source[end] != '"':
+                if source[end] == "\\":
+                    end += 1
+                end += 1
+            if end >= n:
+                raise LexError("unterminated string literal", line)
+            raw = source[i + 1 : end]
+            value = raw.replace("\\n", "\n").replace("\\t", "\t").replace(
+                '\\"', '"')
+            tokens.append(Token(Tok.STRING, raw, line, value=value))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            is_float = False
+            while i < n and (source[i].isdigit() or source[i] == "."):
+                if source[i] == ".":
+                    is_float = True
+                i += 1
+            if i < n and source[i] in "eE":
+                is_float = True
+                i += 1
+                if i < n and source[i] in "+-":
+                    i += 1
+                while i < n and source[i].isdigit():
+                    i += 1
+            if i < n and source[i] in "fF":
+                is_float = True
+                i += 1
+                text = source[start : i - 1]
+            else:
+                text = source[start:i]
+            if is_float:
+                tokens.append(Token(Tok.FLOAT, text, line, value=float(text)))
+            else:
+                tokens.append(Token(Tok.INT, text, line, value=int(text)))
+            continue
+        if _ident_char(ch) and not ch.isdigit():
+            start = i
+            while i < n and _ident_char(source[i]):
+                i += 1
+            word = source[start:i]
+            kind = _KEYWORDS.get(word, Tok.IDENT)
+            tokens.append(Token(kind, word, line))
+            continue
+        two = source[i : i + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token(_TWO_CHAR[two], two, line))
+            i += 2
+            continue
+        if ch in _ONE_CHAR:
+            tokens.append(Token(_ONE_CHAR[ch], ch, line))
+            i += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Token(Tok.EOF, "", line))
+    return tokens
+
+
+def _ident_char(ch: str) -> bool:
+    return bool(ch) and (ch.isalnum() or ch == "_")
+
+
+_BLOCK_KEYWORDS = (("__asm", Tok.ASM), ("__dsl", Tok.DSL))
+
+
+def _capture_block(source: str, i: int, n: int, line: int):
+    """Capture ``__asm { ... }`` / ``__dsl { ... }`` bodies verbatim.
+
+    Returns (token, next_index, next_line) or None when the cursor is not
+    at one of the block keywords.
+    """
+    for keyword, kind in _BLOCK_KEYWORDS:
+        k = len(keyword)
+        if source.startswith(keyword, i) and not _ident_char(
+                source[i + k] if i + k < n else ""):
+            i += k
+            while i < n and source[i] in " \t\r\n":
+                if source[i] == "\n":
+                    line += 1
+                i += 1
+            if i >= n or source[i] != "{":
+                raise LexError(f"{keyword} must be followed by '{{'", line)
+            end = source.find("}", i + 1)
+            if end < 0:
+                raise LexError(f"unterminated {keyword} block", line)
+            body = source[i + 1 : end]
+            block_line = line
+            line += source.count("\n", i, end)
+            return (Token(kind, keyword, block_line, value=body),
+                    end + 1, line)
+    return None

@@ -1,0 +1,97 @@
+"""The assembled EXOCHI platform: one IA32 host + one GMA X3000 device
+sharing a virtual address space, under a configurable memory model.
+
+The three Figure 8 configurations map onto two switches:
+
+=================  =======================  ==========
+configuration      shared_virtual_memory    coherent
+=================  =======================  ==========
+Data Copy          False                    (n/a)
+Non-CC Shared      True                     False
+CC Shared          True                     True
+=================  =======================  ==========
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..cpu.ia32 import Ia32Cpu
+from ..cpu.timing import CpuTimingConfig
+from ..exo.exoskeleton import Exoskeleton
+from ..gma.device import GmaDevice
+from ..gma.timing import GmaTimingConfig
+from ..memory.address_space import AddressSpace
+from ..memory.bandwidth import BandwidthModel
+from ..memory.cache import CoherencePoint
+
+
+class HostAccessor:
+    """The IA32 sequencer's tracked window onto the address space.
+
+    Wraps demand-paged access with coherence bookkeeping: host writes dirty
+    the host cache (so the Non-CC model knows what a pre-dispatch flush
+    must write back), and host reads are checked against the device's
+    dirty lines in strict mode.
+    """
+
+    def __init__(self, space: AddressSpace, coherence: CoherencePoint):
+        self.space = space
+        self.coherence = coherence
+
+    def read_bytes(self, vaddr: int, count: int) -> np.ndarray:
+        self.coherence.check_read("cpu", vaddr, count)
+        return self.space.read_bytes(vaddr, count)
+
+    def write_bytes(self, vaddr: int, data: np.ndarray) -> None:
+        self.space.write_bytes(vaddr, data)
+        self.coherence.note_write("cpu", vaddr,
+                                  np.asarray(data, dtype=np.uint8).size)
+
+    def read_array(self, vaddr: int, count: int, dtype) -> np.ndarray:
+        self.coherence.check_read("cpu", vaddr,
+                                  count * np.dtype(dtype).itemsize)
+        return self.space.read_array(vaddr, count, dtype)
+
+    def write_array(self, vaddr: int, values: np.ndarray) -> None:
+        self.space.write_array(vaddr, values)
+        self.coherence.note_write(
+            "cpu", vaddr, np.ascontiguousarray(values).nbytes)
+
+
+class ExoPlatform:
+    """One simulated Santa Rosa box: Core 2 Duo + 965G with GMA X3000."""
+
+    def __init__(self,
+                 shared_virtual_memory: bool = True,
+                 coherent: bool = True,
+                 strict_coherence: bool = False,
+                 gma_config: GmaTimingConfig = GmaTimingConfig(),
+                 cpu_config: CpuTimingConfig = CpuTimingConfig(),
+                 bandwidth: BandwidthModel = BandwidthModel(),
+                 space: Optional[AddressSpace] = None):
+        self.shared_virtual_memory = shared_virtual_memory
+        self.coherent = coherent
+        self.space = space or AddressSpace()
+        self.coherence = CoherencePoint(coherent=coherent,
+                                        strict=strict_coherence)
+        self.exoskeleton = Exoskeleton(self.space)
+        self.device = GmaDevice(self.space, exoskeleton=self.exoskeleton,
+                                config=gma_config, coherence=self.coherence)
+        self.cpu = Ia32Cpu(cpu_config)
+        self.bandwidth = bandwidth
+        self.host = HostAccessor(self.space, self.coherence)
+
+    @property
+    def config_name(self) -> str:
+        if not self.shared_virtual_memory:
+            return "Data Copy"
+        return "CC Shared" if self.coherent else "Non-CC Shared"
+
+    def gma_seconds(self, cycles: float) -> float:
+        return self.device.config.seconds(cycles)
+
+    def cpu_seconds(self, cycles: float) -> float:
+        return self.cpu.config.seconds(cycles)

@@ -1,0 +1,404 @@
+"""The CHI runtime (paper sections 4.2-4.4).
+
+"The CHI runtime is a software library that translates the
+programmer-specified OpenMP directives into primitives to create and
+manage shreds that can carry out the parallel execution on the
+heterogeneous multi-core target."
+
+This module is what the pragma lowering targets: fork-join parallel
+regions (:meth:`ChiRuntime.parallel`), the taskq/task work-queuing model
+(:meth:`ChiRuntime.taskq`), the five Table 1 APIs, and a simulated-time
+*timeline* that gives ``master_nowait`` its meaning — an asynchronous
+region occupies device time that overlaps whatever the IA32 shred does
+before calling :meth:`ParallelRegion.wait`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..cpu.ia32 import CpuWork
+from ..errors import ChiError, DescriptorError, PragmaError, SchedulingError
+from ..exo.shred import ShredDescriptor
+from ..gma.firmware import GmaRunResult
+from ..isa.assembler import assemble
+from ..isa.program import Program
+from ..memory.surface import Surface
+from .descriptors import AccessMode, DescriptorAttrib, SurfaceDescriptor
+from .fatbinary import FatBinary
+from .platform import ExoPlatform
+
+
+@dataclass
+class Timeline:
+    """Simulated wall-clock of the main IA32 shred."""
+
+    now: float = 0.0
+    events: List[tuple] = field(default_factory=list)
+
+    def host_busy(self, seconds: float, label: str = "host") -> None:
+        self.events.append((self.now, seconds, label))
+        self.now += seconds
+
+    def async_span(self, seconds: float, label: str) -> float:
+        """Register overlapped work; returns its completion time."""
+        self.events.append((self.now, seconds, label))
+        return self.now + seconds
+
+    def wait_until(self, t: float) -> None:
+        self.now = max(self.now, t)
+
+
+@dataclass
+class ParallelRegion:
+    """Handle for one heterogeneous parallel construct."""
+
+    runtime: "ChiRuntime"
+    result: GmaRunResult
+    gma_seconds: float
+    completion_time: float
+    master_nowait: bool
+    waited: bool = False
+
+    def wait(self) -> GmaRunResult:
+        """Block the main IA32 shred until all heterogeneous shreds are
+        done (the implied barrier, or the deferred one under
+        ``master_nowait``)."""
+        if not self.waited:
+            self.runtime.timeline.wait_until(self.completion_time)
+            self.waited = True
+        return self.result
+
+
+class TaskHandle:
+    """Identifies one enqueued task for dependence declarations."""
+
+    def __init__(self, shred: ShredDescriptor):
+        self._shred = shred
+
+    @property
+    def shred_id(self) -> int:
+        return self._shred.shred_id
+
+
+class TaskQueue:
+    """The ``taskq`` construct: producer-consumer shred enqueueing.
+
+    The body of the ``with`` statement plays the root shred, which
+    "sequentially executes the while or for loop within the taskq
+    construct"; each :meth:`task` call enqueues one child shred, and the
+    queue launches at scope exit.
+    """
+
+    def __init__(self, runtime: "ChiRuntime", target: str,
+                 master_nowait: bool = False):
+        self.runtime = runtime
+        self.target = target
+        self.master_nowait = master_nowait
+        self._shreds: List[ShredDescriptor] = []
+        self.region: Optional[ParallelRegion] = None
+
+    def task(self, section: Union[int, str, Program], *,
+             captureprivate: Optional[Dict[str, float]] = None,
+             shared: Optional[Dict[str, object]] = None,
+             depends: Sequence[TaskHandle] = ()) -> TaskHandle:
+        """Enqueue one task; ``captureprivate`` values are copy-constructed
+        at enqueue time (hence the eager ``dict(...)``)."""
+        program = self.runtime._resolve_section(section, self.target)
+        surfaces = self.runtime._resolve_shared(shared or {})
+        shred = ShredDescriptor(
+            program=program,
+            bindings=dict(captureprivate or {}),
+            surfaces=surfaces,
+            depends_on=tuple(h.shred_id for h in depends),
+        )
+        self._shreds.append(shred)
+        return TaskHandle(shred)
+
+    def __enter__(self) -> "TaskQueue":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.region = self.runtime._launch(
+                self._shreds, master_nowait=self.master_nowait)
+        return False
+
+
+class ChiRuntime:
+    """The user-level runtime layer over one :class:`ExoPlatform`."""
+
+    def __init__(self, platform: Optional[ExoPlatform] = None,
+                 fatbinary: Optional[FatBinary] = None):
+        self.platform = platform or ExoPlatform()
+        self.fatbinary = fatbinary or FatBinary(name="chi-app")
+        self.timeline = Timeline()
+        self._descriptors: List[SurfaceDescriptor] = []
+        self._features: Dict[str, Dict[str, object]] = {}
+        self._pershred_features: Dict[int, Dict[str, object]] = {}
+        self.stats = RuntimeStats()
+
+    # ------------------------------------------------------------------
+    # Table 1: the CHI APIs
+    # ------------------------------------------------------------------
+
+    def chi_alloc_desc(self, target_isa: str, surface: Surface,
+                       mode: AccessMode, width: Optional[int] = None,
+                       height: Optional[int] = None) -> SurfaceDescriptor:
+        """API #1: allocate a descriptor for a shared variable."""
+        self._check_isa(target_isa)
+        if width is not None and width != surface.width:
+            raise DescriptorError(
+                f"descriptor width {width} != surface width {surface.width}")
+        if height is not None and height != surface.height:
+            raise DescriptorError(
+                f"descriptor height {height} != surface height "
+                f"{surface.height}")
+        desc = SurfaceDescriptor(surface=surface, mode=mode,
+                                 target_isa=target_isa)
+        self._descriptors.append(desc)
+        return desc
+
+    def chi_free_desc(self, target_isa: str, desc: SurfaceDescriptor) -> None:
+        """API #2: deallocate an existing descriptor."""
+        self._check_isa(target_isa)
+        desc.check_alive()
+        desc.freed = True
+
+    def chi_modify_desc(self, target_isa: str, desc: SurfaceDescriptor,
+                        attrib: DescriptorAttrib, value) -> None:
+        """API #3: modify a descriptor's default attributes."""
+        self._check_isa(target_isa)
+        desc.modify(attrib, value)
+
+    #: Feature names API #4 understands natively ("An application can
+    #: directly utilize new hardware features simply by making the
+    #: appropriate call", section 4.4); unknown names are stored verbatim
+    #: for application-defined use.
+    KNOWN_FEATURES = {"sampler_filter": ("bilinear", "nearest")}
+
+    def chi_set_feature(self, target_isa: str, feature: str, value) -> None:
+        """API #4: a global change applying to all exo-sequencer state."""
+        self._check_isa(target_isa)
+        if feature in self.KNOWN_FEATURES:
+            allowed = self.KNOWN_FEATURES[feature]
+            if value not in allowed:
+                raise ChiError(
+                    f"feature {feature!r} accepts {allowed}, got {value!r}")
+            if feature == "sampler_filter":
+                self.platform.device.sampler.filter_mode = value
+        self._features.setdefault(target_isa, {})[feature] = value
+
+    def chi_set_feature_pershred(self, target_isa: str, shred_id: int,
+                                 feature: str, value) -> None:
+        """API #5: change an exo-sequencer's state for one shred."""
+        self._check_isa(target_isa)
+        self._pershred_features.setdefault(shred_id, {})[feature] = value
+
+    def feature(self, target_isa: str, feature: str, default=None):
+        return self._features.get(target_isa, {}).get(feature, default)
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+
+    def compile_asm(self, asm_text: str, target_isa: str = "X3000",
+                    name: str = "asm-block") -> int:
+        """Assemble an inline-assembly block into a fat-binary section."""
+        self._check_isa(target_isa)
+        program = assemble(asm_text, name=name)
+        return self.fatbinary.add_section(target_isa, program, asm_text)
+
+    # ------------------------------------------------------------------
+    # the OpenMP parallel extension (fork-join)
+    # ------------------------------------------------------------------
+
+    def parallel(self, section: Union[int, str, Program], *,
+                 target: str = "X3000",
+                 shared: Optional[Dict[str, object]] = None,
+                 firstprivate: Optional[Dict[str, float]] = None,
+                 private: Optional[Iterable[Dict[str, float]]] = None,
+                 num_threads: Optional[int] = None,
+                 master_nowait: bool = False) -> ParallelRegion:
+        """``#pragma omp parallel target(...)``.
+
+        ``private`` supplies one binding dict per shred (the per-iteration
+        copy-constructed values); alternatively ``num_threads`` spawns that
+        many shreds bound with ``tid``.  ``shared`` maps assembly symbol
+        names to surfaces or descriptors.
+        """
+        program = self._resolve_section(section, target)
+        surfaces = self._resolve_shared(shared or {})
+        consts = dict(firstprivate or {})
+
+        if private is None:
+            if num_threads is None:
+                raise PragmaError(
+                    "parallel needs either private bindings or num_threads")
+            bindings_list = [{"tid": float(i)} for i in range(num_threads)]
+        else:
+            bindings_list = [dict(b) for b in private]
+            if num_threads is not None and num_threads != len(bindings_list):
+                raise PragmaError(
+                    f"num_threads({num_threads}) != number of private "
+                    f"bindings ({len(bindings_list)})")
+        self._check_symbols(program, surfaces, consts, bindings_list)
+
+        shreds = [
+            ShredDescriptor(program=program, bindings={**consts, **b},
+                            surfaces=surfaces)
+            for b in bindings_list
+        ]
+        return self._launch(shreds, master_nowait=master_nowait)
+
+    def taskq(self, target: str = "X3000",
+              master_nowait: bool = False) -> TaskQueue:
+        """``#pragma intel omp taskq target(...)``."""
+        self._check_isa(target)
+        return TaskQueue(self, target, master_nowait=master_nowait)
+
+    # ------------------------------------------------------------------
+    # host-side work (the main IA32 shred between constructs)
+    # ------------------------------------------------------------------
+
+    def run_host(self, work: CpuWork, fraction: float = 1.0,
+                 label: str = "host") -> float:
+        """Execute IA32-side work on the timeline; returns its seconds."""
+        execution = self.platform.cpu.execute(work, fraction)
+        self.timeline.host_busy(execution.seconds, label)
+        self.stats.cpu_seconds += execution.seconds
+        return execution.seconds
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _launch(self, shreds: List[ShredDescriptor],
+                master_nowait: bool) -> ParallelRegion:
+        platform = self.platform
+        # per-shred priorities (API #5) order the work queue: "the CHI
+        # runtime allows programmers to carefully orchestrate shred
+        # scheduling" (section 5.1).  Stable sort keeps the locality of
+        # equal-priority neighbours.
+        if self._pershred_features:
+            shreds = sorted(
+                shreds,
+                key=lambda s: -float(self._pershred_features
+                                     .get(s.shred_id, {}).get("priority", 0)))
+        copy_seconds = 0.0
+        if not platform.shared_virtual_memory:
+            copy_seconds = self._data_copy_seconds(shreds)
+            self.timeline.host_busy(copy_seconds, "data-copy")
+        elif not platform.coherent:
+            # release the working set to the device before SIGNAL
+            flushed = platform.coherence.flush("cpu")
+            flush_seconds = platform.bandwidth.flush_seconds(flushed)
+            self.timeline.host_busy(flush_seconds, "cache-flush")
+            self.stats.flush_seconds += flush_seconds
+
+        result = platform.device.run(shreds)
+        gma_seconds = platform.gma_seconds(result.cycles)
+
+        if not platform.shared_virtual_memory:
+            # results come back by explicit copy as well
+            pass  # outbound copy already included in _data_copy_seconds
+        elif not platform.coherent:
+            # the device commits its lines before releasing the semaphore
+            platform.coherence.flush("gma")
+
+        completion = self.timeline.async_span(gma_seconds, "gma-region")
+        region = ParallelRegion(
+            runtime=self, result=result, gma_seconds=gma_seconds,
+            completion_time=completion, master_nowait=master_nowait)
+        self.stats.regions += 1
+        self.stats.shreds += len(shreds)
+        self.stats.gma_seconds += gma_seconds
+        self.stats.copy_seconds += copy_seconds
+        if not master_nowait:
+            region.wait()
+        return region
+
+    def _data_copy_seconds(self, shreds: List[ShredDescriptor]) -> float:
+        """Explicit copies for the no-shared-virtual-memory configuration:
+        inputs to the device's address space, outputs back."""
+        surfaces = {}
+        for shred in shreds:
+            surfaces.update(shred.surfaces)
+        modes = {d.surface.name: d.mode for d in self._descriptors
+                 if not d.freed}
+        nbytes = 0
+        for name, surf in surfaces.items():
+            mode = modes.get(name, AccessMode.CHI_INOUT)
+            if mode in (AccessMode.CHI_INPUT, AccessMode.CHI_INOUT):
+                nbytes += surf.nbytes
+            if mode in (AccessMode.CHI_OUTPUT, AccessMode.CHI_INOUT):
+                nbytes += surf.nbytes
+        self.stats.bytes_copied += nbytes
+        return self.platform.bandwidth.copy_seconds(nbytes)
+
+    def _resolve_section(self, section: Union[int, str, Program],
+                         target: str) -> Program:
+        self._check_isa(target)
+        if isinstance(section, Program):
+            return section
+        if isinstance(section, int):
+            sec = self.fatbinary.section(section)
+            if sec.isa != target:
+                raise PragmaError(
+                    f"section {section} is {sec.isa} code but the pragma "
+                    f"targets {target}")
+            return self.fatbinary.program(section)
+        if isinstance(section, str):
+            return assemble(section, name="inline-asm")
+        raise PragmaError(f"cannot resolve code section from {section!r}")
+
+    def _resolve_shared(self, shared: Dict[str, object]) -> Dict[str, Surface]:
+        out = {}
+        for name, obj in shared.items():
+            if isinstance(obj, SurfaceDescriptor):
+                obj.check_alive()
+                out[name] = obj.surface
+            elif isinstance(obj, Surface):
+                out[name] = obj
+            else:
+                raise ChiError(
+                    f"shared variable {name!r} must be a Surface or "
+                    f"SurfaceDescriptor, got {type(obj).__name__}")
+        return out
+
+    def _check_symbols(self, program: Program, surfaces: Dict[str, Surface],
+                       consts: Dict[str, float],
+                       bindings_list: List[Dict[str, float]]) -> None:
+        missing_surfaces = program.surface_symbols() - set(surfaces)
+        if missing_surfaces:
+            raise PragmaError(
+                f"assembly references surfaces {sorted(missing_surfaces)} "
+                f"not provided by the shared/descriptor clauses")
+        bound = set(consts)
+        if bindings_list:
+            bound |= set(bindings_list[0])
+        missing = program.scalar_symbols() - bound - {"__spawn_arg"}
+        if missing:
+            raise PragmaError(
+                f"assembly references symbols {sorted(missing)} not bound "
+                f"by private/firstprivate clauses")
+
+    def _check_isa(self, target: str) -> None:
+        if target != self.platform.device.ISA:
+            raise SchedulingError(
+                f"no accelerator with ISA {target!r} on this platform "
+                f"(have {self.platform.device.ISA})")
+
+
+@dataclass
+class RuntimeStats:
+    """Aggregate accounting across the runtime's lifetime."""
+
+    regions: int = 0
+    shreds: int = 0
+    gma_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    copy_seconds: float = 0.0
+    flush_seconds: float = 0.0
+    bytes_copied: int = 0

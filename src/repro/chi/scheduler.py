@@ -1,0 +1,112 @@
+"""Heterogeneous work distribution (paper section 5.3, Figure 10).
+
+Three policies over a parallel loop whose iterations can run on either
+sequencer class:
+
+* **static** — a fixed fraction of the iterations on the IA32 sequencer,
+  the rest on the GMA (the paper's 0% / 10% / 25% partitions);
+* **oracle** — the split that "optimally distributes the work so that both
+  the IA32 sequencer and GMA X3000 exo-sequencers finish execution as
+  close to the same time as possible";
+* **dynamic** — the extension the paper describes as ongoing work:
+  "whenever a sequencer completes its assigned work it requests additional
+  work of the runtime".  Simulated at chunk granularity; converges to the
+  oracle as chunks shrink.
+
+All three take the two full-work execution times (what each sequencer
+would need to do *everything*) and return a :class:`PartitionOutcome`;
+``master_nowait`` makes the two sides overlap, so the region's time is the
+max of the two sides' busy times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class PartitionOutcome:
+    """Result of distributing one parallel loop across sequencer classes."""
+
+    policy: str
+    cpu_fraction: float  # of total iterations
+    cpu_busy_seconds: float
+    gma_busy_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return max(self.cpu_busy_seconds, self.gma_busy_seconds)
+
+    @property
+    def both_busy_seconds(self) -> float:
+        return min(self.cpu_busy_seconds, self.gma_busy_seconds)
+
+    @property
+    def imbalance(self) -> float:
+        """Idle time of the earlier-finishing side."""
+        return abs(self.cpu_busy_seconds - self.gma_busy_seconds)
+
+
+def static_partition(cpu_full_seconds: float, gma_full_seconds: float,
+                     cpu_fraction: float) -> PartitionOutcome:
+    """A fixed fraction of the loop on the IA32 sequencer."""
+    if not 0.0 <= cpu_fraction <= 1.0:
+        raise SchedulingError(
+            f"cpu_fraction must be in [0, 1], got {cpu_fraction}")
+    return PartitionOutcome(
+        policy=f"static-{int(round(cpu_fraction * 100))}%",
+        cpu_fraction=cpu_fraction,
+        cpu_busy_seconds=cpu_full_seconds * cpu_fraction,
+        gma_busy_seconds=gma_full_seconds * (1.0 - cpu_fraction),
+    )
+
+
+def oracle_partition(cpu_full_seconds: float,
+                     gma_full_seconds: float) -> PartitionOutcome:
+    """The balance point: both sides finish simultaneously.
+
+    With per-iteration rates r_cpu = 1/cpu_full and r_gma = 1/gma_full,
+    the optimum puts f* = gma_full / (cpu_full + gma_full) of iterations
+    on the CPU, for a total of cpu_full * gma_full / (cpu_full + gma_full).
+    """
+    if cpu_full_seconds <= 0 or gma_full_seconds <= 0:
+        raise SchedulingError("execution times must be positive")
+    f = gma_full_seconds / (cpu_full_seconds + gma_full_seconds)
+    return PartitionOutcome(
+        policy="oracle",
+        cpu_fraction=f,
+        cpu_busy_seconds=cpu_full_seconds * f,
+        gma_busy_seconds=gma_full_seconds * (1.0 - f),
+    )
+
+
+def dynamic_partition(cpu_full_seconds: float, gma_full_seconds: float,
+                      num_chunks: int) -> PartitionOutcome:
+    """Greedy self-scheduling at chunk granularity.
+
+    Both sequencers repeatedly grab the next chunk when idle; per-chunk
+    cost is the full-work time divided by the chunk count.  This is the
+    work-request loop of section 5.3, and its outcome approaches
+    :func:`oracle_partition` as ``num_chunks`` grows.
+    """
+    if num_chunks < 1:
+        raise SchedulingError("need at least one chunk")
+    cpu_chunk = cpu_full_seconds / num_chunks
+    gma_chunk = gma_full_seconds / num_chunks
+    cpu_time = gma_time = 0.0
+    cpu_chunks = 0
+    for _ in range(num_chunks):
+        # the sequencer that would finish the chunk sooner takes it
+        if cpu_time + cpu_chunk <= gma_time + gma_chunk:
+            cpu_time += cpu_chunk
+            cpu_chunks += 1
+        else:
+            gma_time += gma_chunk
+    return PartitionOutcome(
+        policy=f"dynamic-{num_chunks}",
+        cpu_fraction=cpu_chunks / num_chunks,
+        cpu_busy_seconds=cpu_time,
+        gma_busy_seconds=gma_time,
+    )

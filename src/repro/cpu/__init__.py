@@ -1,0 +1,6 @@
+"""The IA32 host sequencer: execution cost model of the Core 2 Duo side."""
+
+from .ia32 import CpuExecution, CpuWork, Ia32Cpu
+from .timing import CpuTimingConfig
+
+__all__ = ["Ia32Cpu", "CpuWork", "CpuExecution", "CpuTimingConfig"]

@@ -1,0 +1,68 @@
+"""The IA32 host sequencer's execution cost model.
+
+The paper's CPU baselines are "compiled with the enhanced version of the
+Intel C++ Compiler using the most aggressive optimization settings",
+SSE-optimized and in several cases IPP-backed (section 5).  We cannot run
+IA32 machine code, so each media kernel supplies a :class:`CpuWork`
+estimate — pixels processed, *calibrated* SSE-path cycles per pixel (each
+kernel documents its derivation), and bytes streamed — and this model
+turns it into time exactly the way the GMA model does: compute-bound or
+bandwidth-bound, whichever is slower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .timing import CpuTimingConfig
+
+
+@dataclass(frozen=True)
+class CpuWork:
+    """One kernel invocation's cost parameters on the IA32 sequencer."""
+
+    pixels: int
+    cycles_per_pixel: float
+    bytes_touched: int
+
+    def __post_init__(self):
+        if self.pixels < 0 or self.cycles_per_pixel < 0 or self.bytes_touched < 0:
+            raise ValueError("CpuWork parameters must be non-negative")
+
+
+@dataclass(frozen=True)
+class CpuExecution:
+    """Timing outcome of executing a :class:`CpuWork` on the host."""
+
+    compute_cycles: float
+    bandwidth_cycles: float
+    seconds: float
+
+    @property
+    def cycles(self) -> float:
+        return max(self.compute_cycles, self.bandwidth_cycles)
+
+    @property
+    def bound(self) -> str:
+        return ("bandwidth" if self.bandwidth_cycles > self.compute_cycles
+                else "compute")
+
+
+class Ia32Cpu:
+    """Cost-model execution of kernels on the OS-managed sequencer."""
+
+    def __init__(self, config: CpuTimingConfig = CpuTimingConfig()):
+        self.config = config
+
+    def execute(self, work: CpuWork, fraction: float = 1.0) -> CpuExecution:
+        """Time for this sequencer to process ``fraction`` of the work."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        compute = work.pixels * work.cycles_per_pixel * fraction
+        bandwidth = work.bytes_touched * fraction / self.config.mem_bytes_per_cycle
+        cycles = max(compute, bandwidth)
+        return CpuExecution(
+            compute_cycles=compute,
+            bandwidth_cycles=bandwidth,
+            seconds=self.config.seconds(cycles),
+        )

@@ -1,0 +1,25 @@
+"""Timing configuration of the IA32 host model (Intel Core 2 Duo)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CpuTimingConfig:
+    """Static machine parameters of the simulated IA32 sequencer.
+
+    The evaluation uses one core of a Core 2 Duo (the paper's kernels are
+    single-threaded on the CPU side, with the OpenMP host loop of Figure 6
+    the exception).  2.33 GHz is the Santa Rosa-era T7600's clock.
+    ``mem_bytes_per_cycle`` reflects sustained single-core streaming
+    bandwidth (~4.7 GB/s), well under the platform peak.
+    """
+
+    frequency: float = 2.33e9
+    sse_lanes_32bit: int = 4  # 128-bit SSE = 4 x 32-bit lanes
+    mem_bytes_per_cycle: float = 2.0
+    num_cores: int = 2  # present but unused: kernels pin one core
+
+    def seconds(self, cycles: float) -> float:
+        return cycles / self.frequency

@@ -1,0 +1,193 @@
+"""Exception hierarchy for the EXOCHI reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching Python built-ins.
+
+Two families deserve note because they model *architectural* events rather
+than programming mistakes:
+
+* :class:`TranslationFault` and :class:`TlbMiss` model the address
+  translation events that drive EXO's Address Translation Remapping (ATR,
+  paper section 3.2).  They are raised by the memory substrate, caught by
+  the exoskeleton, and serviced by proxy execution on the IA32 sequencer.
+* :class:`ExecutionFault` and its subclasses model accelerator exceptions
+  that drive Collaborative Exception Handling (CEH, paper section 3.3).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# ISA / toolchain errors
+# ---------------------------------------------------------------------------
+
+
+class AssemblyError(ReproError):
+    """A syntactic or semantic error in accelerator assembly text."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class EncodingError(ReproError):
+    """Failure to encode or decode a binary instruction stream."""
+
+
+class FatBinaryError(ReproError):
+    """Malformed fat binary, or a requested code section is missing."""
+
+
+# ---------------------------------------------------------------------------
+# Memory-system events and errors
+# ---------------------------------------------------------------------------
+
+
+class MemorySystemError(ReproError):
+    """Base class for memory-substrate failures."""
+
+
+class OutOfPhysicalMemory(MemorySystemError):
+    """The physical frame allocator is exhausted."""
+
+
+class TlbMiss(MemorySystemError):
+    """A sequencer's TLB has no entry for the accessed virtual page.
+
+    This is an *architectural event*, not a bug: the exoskeleton catches it
+    and requests proxy execution on the OS-managed sequencer (ATR).
+    """
+
+    def __init__(self, vaddr: int, sequencer: str = "?"):
+        self.vaddr = vaddr
+        self.sequencer = sequencer
+        super().__init__(f"TLB miss at vaddr {vaddr:#x} on sequencer {sequencer}")
+
+
+class TranslationFault(MemorySystemError):
+    """The page tables have no mapping for the accessed virtual address."""
+
+    def __init__(self, vaddr: int, write: bool = False):
+        self.vaddr = vaddr
+        self.write = write
+        kind = "write" if write else "read"
+        super().__init__(f"page fault ({kind}) at vaddr {vaddr:#x}")
+
+
+class CoherenceViolation(MemorySystemError):
+    """Strict non-coherent-mode check: a sequencer read data another
+    sequencer holds dirty in its cache without an intervening flush.
+
+    On the real non-cache-coherent platform this read would return stale
+    bytes; the simulator surfaces the protocol bug instead of silently
+    returning coherent data.
+    """
+
+
+class ProtectionFault(MemorySystemError):
+    """An access violated a page's protection bits (e.g. write to RO)."""
+
+    def __init__(self, vaddr: int, write: bool):
+        self.vaddr = vaddr
+        self.write = write
+        kind = "write" if write else "read"
+        super().__init__(f"protection fault ({kind}) at vaddr {vaddr:#x}")
+
+
+# ---------------------------------------------------------------------------
+# Accelerator execution faults (handled via CEH)
+# ---------------------------------------------------------------------------
+
+
+class ExecutionFault(ReproError):
+    """An exception raised by an executing exo-sequencer shred.
+
+    Carries enough context (instruction, lane) for the CEH proxy handler on
+    the IA32 sequencer to emulate the faulting operation and patch the
+    result back into the exo-sequencer state.
+    """
+
+    def __init__(self, message: str, instruction=None, lane: int | None = None):
+        self.instruction = instruction
+        self.lane = lane
+        super().__init__(message)
+
+
+class DivideByZeroFault(ExecutionFault):
+    """Integer or floating divide by zero on an exo-sequencer."""
+
+
+class FpOverflowFault(ExecutionFault):
+    """Floating-point overflow that the exo-sequencer cannot complete."""
+
+
+class UnsupportedOperationFault(ExecutionFault):
+    """The exo-sequencer lacks hardware for this operation.
+
+    The paper's motivating case: double-precision vector arithmetic, which
+    the GMA X3000 must ship to the IA32 core for IEEE-compliant handling.
+    """
+
+
+class IllegalInstructionFault(ExecutionFault):
+    """An undecodable or malformed instruction reached execution."""
+
+
+# ---------------------------------------------------------------------------
+# CHI environment errors
+# ---------------------------------------------------------------------------
+
+
+class ChiError(ReproError):
+    """Base class for CHI programming-environment errors."""
+
+
+class DescriptorError(ChiError):
+    """Invalid use of the surface-descriptor APIs (Table 1)."""
+
+
+class SchedulingError(ChiError):
+    """The CHI runtime could not schedule or dispatch shreds."""
+
+
+class PragmaError(ChiError):
+    """An OpenMP pragma extension is malformed or uses unknown clauses."""
+
+
+class DebuggerError(ChiError):
+    """Invalid debugger request (unknown breakpoint, no active shred, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# CHI C front-end errors
+# ---------------------------------------------------------------------------
+
+
+class FrontendError(ReproError):
+    """Base class for mini-C front-end failures, with source position."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.line = line
+        self.col = col
+        if line is not None:
+            pos = f"{line}" if col is None else f"{line}:{col}"
+            message = f"{pos}: {message}"
+        super().__init__(message)
+
+
+class LexError(FrontendError):
+    """Invalid token in CHI C source."""
+
+
+class ParseError(FrontendError):
+    """Syntax error in CHI C source."""
+
+
+class SemanticError(FrontendError):
+    """Type or binding error in CHI C source."""

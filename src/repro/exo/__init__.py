@@ -1,0 +1,37 @@
+"""EXO: the Exoskeleton Sequencer architecture (paper section 3).
+
+Exposes heterogeneous accelerator cores as application-managed MIMD
+sequencer resources with a shared virtual address space: MISP exoskeleton
+signalling, Address Translation Remapping and Collaborative Exception
+Handling.
+"""
+
+from .atr import AtrService, AtrStats, transcode_pte
+from .ceh import CehService, CehStats
+from .exoskeleton import Exoskeleton, ProxyCosts
+from .misp import HostShred, MispPool
+from .sequencer import ExoSequencer, OsManagedSequencer, Sequencer, SequencerKind
+from .shred import ShredDescriptor, ShredState
+from .signals import InterruptVector, Signal, SignalKind, SignalLog
+
+__all__ = [
+    "AtrService",
+    "AtrStats",
+    "transcode_pte",
+    "CehService",
+    "CehStats",
+    "Exoskeleton",
+    "ProxyCosts",
+    "MispPool",
+    "HostShred",
+    "Sequencer",
+    "SequencerKind",
+    "OsManagedSequencer",
+    "ExoSequencer",
+    "ShredDescriptor",
+    "ShredState",
+    "Signal",
+    "SignalKind",
+    "SignalLog",
+    "InterruptVector",
+]

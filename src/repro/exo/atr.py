@@ -1,0 +1,69 @@
+"""Address Translation Remapping (paper section 3.2).
+
+The exo-sequencer's TLB understands only GPU-format (GTT) entries; the OS
+maintains IA32-format page tables.  ATR bridges the two:
+
+1. the exo-sequencer takes a TLB miss and suspends the shred;
+2. it signals the IA32 sequencer, which proxy-executes the fault — i.e.
+   touches the virtual address so the OS's demand-paging handler maps it;
+3. ATR *transcodes* the now-valid IA32 PTE into the exo-sequencer's native
+   entry format and inserts it into the exo-sequencer's TLB;
+4. both TLBs now point at the same physical page, and the shred resumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..memory.address_space import AddressSpace, SequencerView
+from ..memory.gtt import GttMemType, make_gtt_entry
+from ..memory.paging import PTE_CACHE_DISABLE, PTE_PRESENT, pte_pfn
+from ..memory.physical import PAGE_SHIFT
+
+
+def transcode_pte(ia32_pte: int) -> int:
+    """Convert a present IA32 PTE into a GTT entry for the same frame.
+
+    This is the "address translation remapping mechanism ... responsible
+    for remapping the IA32 page entry to the native format on the
+    accelerator" (Figure 2).
+    """
+    if not ia32_pte & PTE_PRESENT:
+        raise ValueError("cannot transcode a non-present PTE")
+    memtype = (GttMemType.UNCACHED if ia32_pte & PTE_CACHE_DISABLE
+               else GttMemType.WRITE_BACK)
+    return make_gtt_entry(pte_pfn(ia32_pte), memtype)
+
+
+@dataclass
+class AtrStats:
+    tlb_misses: int = 0
+    page_faults_proxied: int = 0
+    entries_transcoded: int = 0
+    faulting_vaddrs: list = field(default_factory=list)
+
+
+class AtrService:
+    """The IA32-side proxy handler for exo-sequencer translation misses."""
+
+    def __init__(self, space: AddressSpace):
+        self.space = space
+        self.stats = AtrStats()
+
+    def service(self, view: SequencerView, vaddr: int, write: bool) -> int:
+        """Handle one exo-sequencer TLB miss; returns the GTT entry installed."""
+        self.stats.tlb_misses += 1
+        self.stats.faulting_vaddrs.append(vaddr)
+        vpn = vaddr >> PAGE_SHIFT
+        pte = self.space.page_table.entry(vpn)
+        if not pte & PTE_PRESENT:
+            # Proxy execution: the IA32 shred touches the address on behalf
+            # of the exo-sequencer, driving the OS demand-paging handler.
+            self.space.handle_fault(vaddr, write=write)
+            self.stats.page_faults_proxied += 1
+            pte = self.space.page_table.entry(vpn)
+        entry = transcode_pte(pte)
+        view.gtt[vpn] = entry  # install in the device page table...
+        view.tlb.insert(vpn, entry)  # ...and the TLB itself
+        self.stats.entries_transcoded += 1
+        return entry

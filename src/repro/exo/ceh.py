@@ -1,0 +1,125 @@
+"""Collaborative Exception Handling (paper section 3.3).
+
+When an exo-sequencer instruction faults (double-precision vector op,
+divide by zero, FP overflow), the faulting instruction "cannot simply be
+replayed on the IA32 CPU sequencer" — it is not an IA32 instruction.  CEH
+instead ships the fault to the IA32 sequencer, which runs an
+application-level handler that *emulates* the faulting accelerator
+instruction (or applies a registered structured-exception-handling policy),
+updates the result in the exo-sequencer's register state, and resumes the
+shred after the faulting instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Type
+
+from ..errors import (
+    DivideByZeroFault,
+    ExecutionFault,
+    FpOverflowFault,
+    UnsupportedOperationFault,
+)
+from ..isa import semantics
+from ..isa.instructions import Effect
+from ..isa.program import Program
+
+
+@dataclass
+class CehStats:
+    exceptions_proxied: int = 0
+    by_type: Dict[str, int] = field(default_factory=dict)
+
+
+class CehService:
+    """IA32-side emulation of faulting exo-sequencer instructions.
+
+    The default policy re-executes the faulting instruction through the
+    shared functional semantics with the context switched into *proxy
+    mode*: double precision allowed (the IA32 core has x87/SSE2) and
+    memory routed through the IA32 sequencer's own translation path.
+    Applications may override the policy per fault type, the analogue of
+    the paper's "use an OS service such as structured exception handling
+    (SEH)".
+    """
+
+    def __init__(self):
+        self.stats = CehStats()
+        self._handlers: Dict[Type[ExecutionFault], Callable] = {}
+
+    def register_handler(self, fault_type: Type[ExecutionFault],
+                         handler: Callable) -> None:
+        """Install an application-level handler for one fault type.
+
+        The handler receives ``(program, ip, ctx, fault)`` and must return
+        an :class:`~repro.isa.instructions.Effect` (or raise to abort the
+        shred).
+        """
+        self._handlers[fault_type] = handler
+
+    def service(self, program: Program, ip: int, ctx,
+                fault: ExecutionFault) -> Effect:
+        """Handle one shipped exception; returns the emulation's effect."""
+        self.stats.exceptions_proxied += 1
+        name = type(fault).__name__
+        self.stats.by_type[name] = self.stats.by_type.get(name, 0) + 1
+
+        handler = self._lookup(type(fault))
+        if handler is not None:
+            return handler(program, ip, ctx, fault)
+        return self._emulate(program, ip, ctx, fault)
+
+    def _lookup(self, fault_type: Type[ExecutionFault]) -> Optional[Callable]:
+        for klass in fault_type.__mro__:
+            if klass in self._handlers:
+                return self._handlers[klass]
+        return None
+
+    def _emulate(self, program: Program, ip: int, ctx,
+                 fault: ExecutionFault) -> Effect:
+        """Default IEEE-compliant emulation on the IA32 sequencer."""
+        if isinstance(fault, DivideByZeroFault):
+            # IEEE semantics for the excepting element: +/-inf (float) or a
+            # saturated quotient (integer); emulated lane-by-lane below by
+            # patching zero divisors, matching "full IEEE compliant
+            # handling of the exception on the particular excepting scalar
+            # element".
+            return self._emulate_div_by_zero(program, ip, ctx)
+        if isinstance(fault, (UnsupportedOperationFault, FpOverflowFault)):
+            return self._reexecute_in_proxy(program, ip, ctx)
+        raise fault  # unknown fault type: abort the shred
+
+    def _reexecute_in_proxy(self, program: Program, ip: int, ctx) -> Effect:
+        old_double = getattr(ctx, "supports_double", False)
+        old_proxy = getattr(ctx, "proxy_mode", False)
+        ctx.supports_double = True
+        ctx.proxy_mode = True
+        try:
+            return semantics.execute(program, ip, ctx)
+        finally:
+            ctx.supports_double = old_double
+            ctx.proxy_mode = old_proxy
+
+
+    def _emulate_div_by_zero(self, program: Program, ip: int, ctx) -> Effect:
+        import numpy as np
+
+        instr = program.instructions[ip]
+        n = instr.width
+        a = instr.dtype.wrap(instr.srcs[0].read(ctx, n))
+        b = instr.dtype.wrap(instr.srcs[1].read(ctx, n))
+        zero = b == 0
+        if instr.dtype.is_float:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                result = np.where(zero, np.sign(a) * np.inf, a / np.where(zero, 1, b))
+                result = np.where(zero & (a == 0), np.nan, result)
+        else:
+            # integer divide-by-zero: saturate to the type's extremes, the
+            # common SEH recovery policy for media code
+            bits = instr.dtype.size * 8
+            top = (1 << (bits - 1)) - 1 if instr.dtype.is_signed else (1 << bits) - 1
+            result = np.where(zero, np.where(a >= 0, top, -top),
+                              np.trunc(a / np.where(zero, 1, b)))
+        instr.dsts[0].write(ctx, result, instr.dtype)
+        return Effect()

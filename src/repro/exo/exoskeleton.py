@@ -1,0 +1,113 @@
+"""The MISP exoskeleton: making a non-IA32 accelerator a MISP sequencer.
+
+"EXO provides a minimal architectural wrapper, or exoskeleton, to make a
+non-IA32 heterogeneous accelerator sequencer conform to the MISP
+inter-sequencer signaling mechanism" (section 3.1).  Concretely this class
+
+* carries the ``SIGNAL`` dispatch path from the IA32 sequencer to the
+  exo-sequencers (used by the CHI runtime to launch shreds);
+* converts the architectural events raised during exo-sequencer execution
+  (:class:`~repro.errors.TlbMiss` -> ATR, :class:`~repro.errors.ExecutionFault`
+  -> CEH) into user-level interrupts on the IA32 sequencer and runs the
+  corresponding proxy service;
+* delivers asynchronous completion notifications (``master_nowait``).
+
+Costs: every proxy round trip charges the timing model; the counters here
+are consumed by :mod:`repro.perf.model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ExecutionFault
+from ..isa.instructions import Effect
+from ..isa.program import Program
+from ..memory.address_space import AddressSpace, SequencerView
+from .atr import AtrService
+from .ceh import CehService
+from .sequencer import OsManagedSequencer
+from .shred import ShredDescriptor
+from .signals import InterruptVector, Signal, SignalKind, SignalLog
+
+
+@dataclass(frozen=True)
+class ProxyCosts:
+    """Seconds charged per proxy round trip (signal + handler + resume).
+
+    MISP-style user-level interrupts avoid OS context switches; these are
+    microsecond-scale events dominated by pipeline drain + handler work.
+    """
+
+    atr_seconds: float = 2.0e-6
+    ceh_seconds: float = 4.0e-6
+    dispatch_seconds: float = 0.5e-6
+
+
+class Exoskeleton:
+    """The signalling fabric between the IA32 sequencer and exo-sequencers."""
+
+    def __init__(self, space: AddressSpace,
+                 host: Optional[OsManagedSequencer] = None,
+                 costs: ProxyCosts = ProxyCosts()):
+        self.space = space
+        self.host = host or OsManagedSequencer()
+        self.costs = costs
+        self.log = SignalLog()
+        self.vector = InterruptVector()
+        self.atr = AtrService(space)
+        self.ceh = CehService()
+        self.vector.register(SignalKind.ATR_REQUEST, self._handle_atr)
+        self.vector.register(SignalKind.CEH_REQUEST, self._handle_ceh)
+        self.vector.register(SignalKind.COMPLETION, lambda s: None)
+        self.completions: list = []
+
+    # -- IA32 -> exo ------------------------------------------------------------
+
+    def signal_dispatch(self, shred: ShredDescriptor, target: str) -> None:
+        """The MISP ``SIGNAL`` instruction: hand a shred continuation to an
+        exo-sequencer (via the firmware's work queue)."""
+        self.log.record(Signal(SignalKind.DISPATCH, self.host.name, target,
+                               payload=shred.shred_id))
+        self.host.proxy_seconds += self.costs.dispatch_seconds
+
+    # -- exo -> IA32 (proxy execution) ----------------------------------------------
+
+    def request_atr(self, view: SequencerView, vaddr: int, write: bool,
+                    source: str) -> int:
+        """Exo-sequencer TLB miss: suspend, proxy on IA32, transcode, resume."""
+        signal = Signal(SignalKind.ATR_REQUEST, source, self.host.name,
+                        payload=(view, vaddr, write))
+        self.log.record(signal)
+        self.host.proxy_events += 1
+        self.host.proxy_seconds += self.costs.atr_seconds
+        return self.vector.raise_signal(signal)
+
+    def request_ceh(self, program: Program, ip: int, ctx,
+                    fault: ExecutionFault, source: str) -> Effect:
+        """Exo-sequencer exception: ship to IA32 for collaborative handling."""
+        signal = Signal(SignalKind.CEH_REQUEST, source, self.host.name,
+                        payload=(program, ip, ctx, fault))
+        self.log.record(signal)
+        self.host.proxy_events += 1
+        self.host.proxy_seconds += self.costs.ceh_seconds
+        return self.vector.raise_signal(signal)
+
+    def notify_completion(self, shred: ShredDescriptor, source: str) -> None:
+        """Asynchronous completion notify (``master_nowait`` support)."""
+        signal = Signal(SignalKind.COMPLETION, source, self.host.name,
+                        payload=shred.shred_id)
+        self.log.record(signal)
+        self.completions.append(shred.shred_id)
+        self.vector.raise_signal(signal)
+
+    # -- default handlers ------------------------------------------------------------
+
+    def _handle_atr(self, signal: Signal) -> int:
+        view, vaddr, write = signal.payload
+        return self.atr.service(view, vaddr, write)
+
+    def _handle_ceh(self, signal: Signal) -> Effect:
+        program, ip, ctx, fault = signal.payload
+        return self.ceh.service(program, ip, ctx, fault)

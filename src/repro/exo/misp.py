@@ -1,0 +1,120 @@
+"""MISP: application-managed IA32 sequencers (the substrate EXO extends).
+
+Paper section 3.1: "Like application-managed sequencers in the MISP
+architecture [11], the non-IA32 cores are architecturally exposed to the
+programmer as a new form of sequencer resource."  MISP's own contribution
+was *homogeneous* user-level multi-shredding: extra IA32 cores hidden from
+the OS, reached via ``SIGNAL``, scheduled by a user-level runtime
+(Shredlib).  EXO reuses that whole mechanism and adds the exoskeleton so
+non-IA32 cores can join in.
+
+This module reproduces the MISP half: a pool of application-managed IA32
+sequencers executing *host shreds* (Python callables with an attached
+:class:`~repro.cpu.ia32.CpuWork` cost).  The Santa Rosa prototype's Core 2
+Duo has two cores: one OS-managed sequencer plus one AMS, which is the
+default pool size.  The pool's timing composes with the CHI timeline the
+same way GMA regions do, so IA32 shreds, MISP shreds and exo-sequencer
+shreds can all overlap — Figure 1(b)'s full picture.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..cpu.ia32 import CpuWork, Ia32Cpu
+from ..cpu.timing import CpuTimingConfig
+from ..errors import SchedulingError
+from .sequencer import Sequencer, SequencerKind
+from .signals import Signal, SignalKind, SignalLog
+
+_handle_ids = itertools.count(1)
+
+
+@dataclass
+class HostShred:
+    """One IA32 shred: a callable plus its modelled cost."""
+
+    fn: Callable[[], object]
+    work: CpuWork
+    handle: int = field(default_factory=lambda: next(_handle_ids))
+    result: object = None
+    done: bool = False
+    seconds: float = 0.0
+    sequencer: Optional[str] = None
+
+
+class MispPool:
+    """A Shredlib-style user-level scheduler over IA32 AMS.
+
+    ``shred_create`` enqueues work; ``run_all`` executes every pending
+    shred functionally and assigns them to application-managed sequencers
+    greedily (earliest-finishing sequencer takes the next shred, the
+    work-queue behaviour of Shredlib); ``shred_join`` returns a shred's
+    result after the pool ran.
+    """
+
+    def __init__(self, num_sequencers: int = 1,
+                 cpu_config: CpuTimingConfig = CpuTimingConfig(),
+                 log: Optional[SignalLog] = None):
+        if num_sequencers < 1:
+            raise SchedulingError("a MISP pool needs at least one AMS")
+        self.sequencers = [
+            Sequencer(name=f"ams-{i}", kind=SequencerKind.EXO, isa="IA32")
+            for i in range(num_sequencers)
+        ]
+        self.cpu = Ia32Cpu(cpu_config)
+        self.log = log or SignalLog()
+        self._pending: List[HostShred] = []
+        self._finished: dict = {}
+        self.elapsed_seconds = 0.0
+
+    # -- Shredlib API -----------------------------------------------------------
+
+    def shred_create(self, fn: Callable[[], object],
+                     work: CpuWork) -> int:
+        """Enqueue one IA32 shred; returns its join handle."""
+        shred = HostShred(fn=fn, work=work)
+        self._pending.append(shred)
+        return shred.handle
+
+    def shred_join(self, handle: int):
+        """Result of a completed shred (after :meth:`run_all`)."""
+        if handle in self._finished:
+            return self._finished[handle].result
+        if any(s.handle == handle for s in self._pending):
+            raise SchedulingError(
+                f"shred {handle} has not run yet; call run_all() first")
+        raise SchedulingError(f"unknown shred handle {handle}")
+
+    def run_all(self, timeline=None) -> float:
+        """Run every pending shred; returns the pool's elapsed seconds.
+
+        Functional execution is immediate; timing assigns shreds to the
+        AMS greedily in FIFO order.  With a CHI ``timeline`` the elapsed
+        time is charged as main-shred-visible host work.
+        """
+        finish = [0.0] * len(self.sequencers)
+        for shred in self._pending:
+            shred.result = shred.fn()
+            shred.done = True
+            shred.seconds = self.cpu.execute(shred.work).seconds
+            slot = min(range(len(finish)), key=finish.__getitem__)
+            shred.sequencer = self.sequencers[slot].name
+            self.log.record(Signal(SignalKind.DISPATCH, "ia32-0",
+                                   shred.sequencer, payload=shred.handle))
+            finish[slot] += shred.seconds
+            self.log.record(Signal(SignalKind.COMPLETION, shred.sequencer,
+                                   "ia32-0", payload=shred.handle))
+            self._finished[shred.handle] = shred
+        self._pending.clear()
+        elapsed = max(finish, default=0.0)
+        self.elapsed_seconds += elapsed
+        if timeline is not None:
+            timeline.host_busy(elapsed, "misp-pool")
+        return elapsed
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,62 @@
+"""Sequencer abstractions: OS-managed vs. application-managed (exo-).
+
+EXO's central idea is the *kind* split: the OS schedules exactly one
+sequencer class (IA32), and everything else is an application-level MIMD
+resource wrapped in a MISP exoskeleton.  These classes carry identity and
+accounting; the execution engines live in :mod:`repro.gma` (exo side) and
+:mod:`repro.cpu` (IA32 side).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class SequencerKind(enum.Enum):
+    OS_MANAGED = "os-managed"  # visible to and scheduled by the OS
+    EXO = "exo"  # application-managed, reached only via SIGNAL
+
+
+@dataclass
+class Sequencer:
+    """One instruction sequencer in the platform."""
+
+    name: str
+    kind: SequencerKind
+    isa: str  # "IA32" or the accelerator ISA name, e.g. "X3000"
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.isa})"
+
+
+@dataclass
+class OsManagedSequencer(Sequencer):
+    """The IA32 CPU sequencer: runs the main shred and all proxy handlers."""
+
+    proxy_events: int = 0
+    proxy_seconds: float = 0.0
+
+    def __init__(self, name: str = "ia32-0"):
+        super().__init__(name=name, kind=SequencerKind.OS_MANAGED, isa="IA32")
+        self.proxy_events = 0
+        self.proxy_seconds = 0.0
+
+
+@dataclass
+class ExoSequencer(Sequencer):
+    """One accelerator hardware thread context, exposed via the exoskeleton.
+
+    For the GMA X3000 there are 32 of these: 8 EUs x 4 thread contexts
+    (paper Figure 3).  ``eu`` and ``slot`` identify the physical context.
+    """
+
+    eu: int = 0
+    slot: int = 0
+    shreds_retired: int = field(default=0)
+
+    def __init__(self, name: str, isa: str, eu: int, slot: int):
+        super().__init__(name=name, kind=SequencerKind.EXO, isa=isa)
+        self.eu = eu
+        self.slot = slot
+        self.shreds_retired = 0

@@ -1,0 +1,69 @@
+"""Shreds: user-level threads of a (possibly non-IA32) ISA.
+
+A *shred* is EXO's unit of application-managed concurrency: "user-level
+threads, or shreds, encoded in the accelerator-specific ISA" (section 1).
+A :class:`ShredDescriptor` is what the CHI runtime enqueues into the
+software work queue — "shred continuation information like instruction and
+data pointers to the shared memory" (section 3.4) — and what the emulation
+firmware translates into hardware commands.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..isa.program import Program
+from ..memory.surface import Surface
+
+_shred_ids = itertools.count(1)
+
+
+class ShredState(enum.Enum):
+    NEW = "new"
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUSPENDED = "suspended"  # waiting on proxy execution (ATR/CEH)
+    BLOCKED = "blocked"  # waiting on a producer (taskq dependency)
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class ShredDescriptor:
+    """Everything needed to launch one accelerator shred.
+
+    ``bindings`` carries the private/firstprivate scalar values; each name
+    resolves inside the shred's inline assembly (the paper's Figure 6 binds
+    the loop index ``i`` this way).  ``surfaces`` maps the shared-clause
+    variables to their surface objects (interpreted through descriptors,
+    section 4.4).
+    """
+
+    program: Program
+    bindings: Dict[str, float] = field(default_factory=dict)
+    surfaces: Dict[str, Surface] = field(default_factory=dict)
+    entry: int = 0  # instruction pointer at launch
+    shred_id: int = field(default_factory=lambda: next(_shred_ids))
+    parent_id: Optional[int] = None
+    depends_on: tuple = ()  # producer shred ids (taskq/task dependencies)
+    state: ShredState = ShredState.NEW
+
+    def spawn_child(self, arg: float) -> "ShredDescriptor":
+        """A shred created *by* a GMA shred ("GMA X3000 shreds can be
+        spawned from another GMA X3000 shred", section 3.4)."""
+        bindings = dict(self.bindings)
+        bindings["__spawn_arg"] = arg
+        return ShredDescriptor(
+            program=self.program,
+            bindings=bindings,
+            surfaces=self.surfaces,
+            entry=self.entry,
+            parent_id=self.shred_id,
+        )
+
+    def __repr__(self) -> str:
+        return (f"ShredDescriptor(id={self.shred_id}, "
+                f"program={self.program.name!r}, state={self.state.value})")

@@ -1,0 +1,78 @@
+"""User-level inter-sequencer signalling (the MISP mechanism EXO extends).
+
+Two directions exist (paper section 3.1):
+
+* the OS-managed IA32 sequencer issues ``SIGNAL`` to dispatch shred
+  continuations to exo-sequencers;
+* an exo-sequencer raises a *user-level interrupt* back to the IA32
+  sequencer to request proxy execution (ATR page faults, CEH exceptions)
+  or to report completion (the ``master_nowait`` asynchronous notify).
+
+In the simulator these are synchronous calls plus an event log: every
+signal is recorded with its direction and kind, so tests can assert the
+architectural protocol and the timing model can charge per-event costs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+class SignalKind(enum.Enum):
+    DISPATCH = "dispatch"  # IA32 -> exo: SIGNAL instruction, shred launch
+    ATR_REQUEST = "atr_request"  # exo -> IA32: TLB miss / page fault proxy
+    CEH_REQUEST = "ceh_request"  # exo -> IA32: exception proxy
+    COMPLETION = "completion"  # exo -> IA32: asynchronous completion notify
+
+
+@dataclass(frozen=True)
+class Signal:
+    kind: SignalKind
+    source: str  # sequencer name
+    target: str
+    payload: object = None
+
+
+@dataclass
+class SignalLog:
+    """Record of every inter-sequencer signal, in order."""
+
+    events: List[Signal] = field(default_factory=list)
+
+    def record(self, signal: Signal) -> None:
+        self.events.append(signal)
+
+    def count(self, kind: SignalKind) -> int:
+        return sum(1 for s in self.events if s.kind is kind)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class InterruptVector:
+    """The IA32 sequencer's user-level interrupt dispatch table.
+
+    Handlers are registered per :class:`SignalKind`; raising a signal
+    invokes the handler synchronously (proxy execution suspends the
+    faulting shred until the handler returns).
+    """
+
+    def __init__(self):
+        self._handlers: Dict[SignalKind, Callable[[Signal], object]] = {}
+
+    def register(self, kind: SignalKind,
+                 handler: Callable[[Signal], object]) -> None:
+        self._handlers[kind] = handler
+
+    def handler_for(self, kind: SignalKind) -> Optional[Callable]:
+        return self._handlers.get(kind)
+
+    def raise_signal(self, signal: Signal):
+        handler = self._handlers.get(signal.kind)
+        if handler is None:
+            raise RuntimeError(
+                f"no user-level interrupt handler registered for "
+                f"{signal.kind.value}")
+        return handler(signal)

@@ -1,0 +1,30 @@
+"""The GMA X3000 device model: functional + timing simulation.
+
+8 execution units x 4 hardware threads = 32 exo-sequencers, in-order with
+fly-weight switch-on-stall multithreading, wide SIMD, a shared texture
+sampler, and a GTT-format TLB serviced through ATR.
+"""
+
+from .context import ShredContext
+from .device import GmaDevice
+from .eu import DeviceTiming, EuReport, simulate_device
+from .firmware import EmulationFirmware, GmaRunResult
+from .interpreter import ShredInterpreter, ShredRun
+from .sampler import TextureSampler
+from .timing import GmaTimingConfig
+from .workqueue import WorkQueue
+
+__all__ = [
+    "GmaDevice",
+    "GmaTimingConfig",
+    "GmaRunResult",
+    "EmulationFirmware",
+    "ShredContext",
+    "ShredInterpreter",
+    "ShredRun",
+    "DeviceTiming",
+    "EuReport",
+    "simulate_device",
+    "TextureSampler",
+    "WorkQueue",
+]

@@ -1,0 +1,208 @@
+"""Execution context binding one shred to the device and address space."""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from ..errors import ExecutionFault
+from ..isa.registers import RegisterFile
+from ..isa.types import DataType
+from ..memory.address_space import AddressSpace, SequencerView
+from ..memory.surface import Surface
+from ..exo.shred import ShredDescriptor
+
+
+class ShredContext:
+    """The :class:`~repro.isa.operands.ExecContext` for one GMA shred.
+
+    Memory accesses normally go through the exo-sequencer's translated
+    ``view`` (raising :class:`~repro.errors.TlbMiss` for ATR); when CEH
+    flips ``proxy_mode`` on, accesses route through the IA32 sequencer's
+    demand-paged address space instead, because the emulation is running
+    *on* the IA32 core.
+    """
+
+    supports_double = False
+
+    def __init__(self, shred: ShredDescriptor, view: SequencerView,
+                 space: AddressSpace, device=None):
+        self.shred = shred
+        self.view = view
+        self.space = space
+        self.device = device
+        self.regs = RegisterFile()
+        self.proxy_mode = False
+        self._read_charge = 0
+        self._write_charge = 0
+        # architectural convention: vr0 lane 0 carries the shred id so
+        # kernels can self-identify (used by sendreg producer/consumer)
+        self.regs.write_scalar(0, float(shred.shred_id))
+
+    # -- demand-traffic accounting (device cache model) -------------------------
+    #
+    # The GMA's cache captures the heavy spatial overlap between
+    # neighbouring shreds' block loads ("shreds accessing adjacent or
+    # overlapping macroblocks are ordered closely together in the work
+    # queue so as to take advantage of spatial and temporal localities",
+    # section 5.1).  Demand traffic is therefore charged per 64-byte line
+    # *first touched* during a device run, not per access.
+
+    _LINE = 64
+
+    def _charge_span(self, lo: int, nbytes: int, write: bool) -> None:
+        if self.device is None or self.proxy_mode:
+            # proxy accesses run on the IA32 side: raw bytes, no device
+            # cache involvement
+            charge = nbytes
+        else:
+            lines = self.device.touched_write_lines if write \
+                else self.device.touched_read_lines
+            first = lo // self._LINE
+            last = (lo + max(nbytes, 1) - 1) // self._LINE
+            fresh = [ln for ln in range(first, last + 1) if ln not in lines]
+            lines.update(fresh)
+            charge = len(fresh) * self._LINE
+        if write:
+            self._write_charge += charge
+        else:
+            self._read_charge += charge
+
+    def pop_read_charge(self) -> int:
+        charge = self._read_charge
+        self._read_charge = 0
+        return charge
+
+    def pop_write_charge(self) -> int:
+        charge = self._write_charge
+        self._write_charge = 0
+        return charge
+
+    # -- accessor selection ---------------------------------------------------
+
+    @property
+    def accessor(self):
+        return self.space if self.proxy_mode else self.view
+
+    @property
+    def name(self) -> str:
+        return f"shred-{self.shred.shred_id}"
+
+    # -- symbols ----------------------------------------------------------------
+
+    def resolve_symbol(self, name: str) -> float:
+        try:
+            return float(self.shred.bindings[name])
+        except KeyError:
+            raise ExecutionFault(
+                f"unbound symbol {name!r} in shred {self.shred.shred_id} "
+                f"(bindings: {sorted(self.shred.bindings)})") from None
+
+    def _surface(self, name: str) -> Surface:
+        try:
+            return self.shred.surfaces[name]
+        except KeyError:
+            raise ExecutionFault(
+                f"no surface descriptor bound for {name!r} in shred "
+                f"{self.shred.shred_id} (surfaces: "
+                f"{sorted(self.shred.surfaces)})") from None
+
+    # -- surface access ------------------------------------------------------------
+
+    def surface_read(self, name: str, index: int, count: int,
+                     ty: DataType) -> np.ndarray:
+        surf = self._surface(name)
+        self._check_type(surf, ty)
+        self._coherence_read(surf, index, count)
+        self._charge_span(surf.base + index * surf.esize,
+                          count * surf.esize, write=False)
+        return surf.read_linear(self.accessor, index, count)
+
+    def surface_write(self, name: str, index: int, values: np.ndarray,
+                      ty: DataType) -> None:
+        surf = self._surface(name)
+        self._check_type(surf, ty)
+        surf.write_linear(self.accessor, index, values)
+        self._charge_span(surf.base + index * surf.esize,
+                          values.size * surf.esize, write=True)
+        self._coherence_write(surf, index, values.size)
+
+    def surface_read_block(self, name: str, x: int, y: int, w: int, h: int,
+                           ty: DataType) -> np.ndarray:
+        surf = self._surface(name)
+        self._check_type(surf, ty)
+        if self.device is not None and not self.proxy_mode:
+            # conservative span: first byte of the block to its last byte
+            x0 = min(max(x, 0), surf.width - 1)
+            y0 = min(max(y, 0), surf.height - 1)
+            x1 = min(max(x + w - 1, 0), surf.width - 1)
+            y1 = min(max(y + h - 1, 0), surf.height - 1)
+            lo = surf.element_addr(x0, y0)
+            hi = surf.element_addr(x1, y1) + surf.esize
+            self.device.coherence.check_read("gma", lo, max(hi - lo, 0))
+        xl = min(max(x, 0), surf.width - 1)
+        xr = min(max(x + w - 1, 0), surf.width - 1)
+        for row in range(h):
+            yy = min(max(y + row, 0), surf.height - 1)
+            lo = surf.element_addr(xl, yy)
+            hi = surf.element_addr(xr, yy) + surf.esize
+            self._charge_span(min(lo, hi - 1), max(hi - lo, surf.esize),
+                              write=False)
+        return surf.read_block(self.accessor, x, y, w, h)
+
+    def surface_write_block(self, name: str, x: int, y: int,
+                            values: np.ndarray, w: int, h: int,
+                            ty: DataType) -> None:
+        surf = self._surface(name)
+        self._check_type(surf, ty)
+        surf.write_block(self.accessor, x, y, values, w, h)
+        for row in range(h):
+            lo = surf.element_addr(x, y + row)
+            hi = surf.element_addr(x + w - 1, y + row) + surf.esize
+            self._charge_span(min(lo, hi - 1), max(hi - lo, surf.esize),
+                              write=True)
+        addr = surf.element_addr(x, y)
+        self._coherence_write_raw(addr, w * h * surf.esize)
+
+    def sample(self, name: str, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        surf = self._surface(name)
+        if self.device is not None:
+            return self.device.sampler.fetch(surf, self.accessor, xs, ys)
+        return surf.sample_bilinear(self.accessor, xs, ys)
+
+    # -- device services ---------------------------------------------------------------
+
+    def send_register(self, shred_id: int, reg: int, values: np.ndarray) -> None:
+        if self.device is None:
+            raise ExecutionFault("sendreg requires a device")
+        self.device.deliver_register(self.shred.shred_id, shred_id, reg, values)
+
+    def spawn_shred(self, arg: float) -> None:
+        if self.device is None:
+            raise ExecutionFault("spawn requires a device")
+        self.device.enqueue_spawn(self.shred, arg)
+
+    def flush_device_cache(self) -> None:
+        if self.device is not None:
+            self.device.flush_cache()
+
+    # -- internal -----------------------------------------------------------------------
+
+    def _check_type(self, surf: Surface, ty: DataType) -> None:
+        if ty.size != surf.dtype.size or ty.is_float != surf.dtype.is_float:
+            raise ExecutionFault(
+                f"access type {ty.value} is incompatible with surface "
+                f"{surf.name!r} of type {surf.dtype.value}")
+
+    def _coherence_read(self, surf: Surface, index: int, count: int) -> None:
+        if self.device is not None and not self.proxy_mode:
+            addr = surf.base + index * surf.esize
+            self.device.coherence.check_read("gma", addr, count * surf.esize)
+
+    def _coherence_write(self, surf: Surface, index: int, count: int) -> None:
+        self._coherence_write_raw(surf.base + index * surf.esize,
+                                  count * surf.esize)
+
+    def _coherence_write_raw(self, addr: int, nbytes: int) -> None:
+        if self.device is not None and not self.proxy_mode:
+            self.device.coherence.note_write("gma", addr, nbytes)

@@ -1,0 +1,151 @@
+"""The GMA X3000 device: 8 EUs x 4 thread contexts = 32 exo-sequencers.
+
+This ties the pieces together: the exoskeleton (signalling + ATR + CEH),
+the device's TLB-translated view of the shared address space, the texture
+sampler, the coherence point, the firmware and the work queue.  The public
+entry point is :meth:`GmaDevice.run`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..errors import ExecutionFault
+from ..exo.exoskeleton import Exoskeleton
+from ..exo.sequencer import ExoSequencer
+from ..exo.shred import ShredDescriptor
+from ..memory.address_space import AddressSpace, SequencerView
+from ..memory.cache import CoherencePoint
+from ..memory.tlb import Tlb
+from .firmware import EmulationFirmware, GmaRunResult
+from .sampler import TextureSampler
+from .timing import GmaTimingConfig
+from .workqueue import WorkQueue
+
+
+class GmaDevice:
+    """The simulated Intel Graphics Media Accelerator X3000."""
+
+    ISA = "X3000"
+
+    def __init__(self, space: AddressSpace,
+                 exoskeleton: Optional[Exoskeleton] = None,
+                 config: GmaTimingConfig = GmaTimingConfig(),
+                 coherence: Optional[CoherencePoint] = None):
+        self.space = space
+        self.config = config
+        self.exoskeleton = exoskeleton or Exoskeleton(space)
+        self.coherence = coherence or CoherencePoint(coherent=True)
+        self.view = SequencerView(
+            space, Tlb(capacity=config.tlb_capacity, name="gma-tlb"),
+            name="gma")
+        self.sampler = TextureSampler()
+        self.firmware = EmulationFirmware(self)
+        self.sequencers: List[ExoSequencer] = [
+            ExoSequencer(name=f"exo-{eu}.{slot}", isa=self.ISA, eu=eu, slot=slot)
+            for eu in range(config.num_eus)
+            for slot in range(config.threads_per_eu)
+        ]
+        # populated by the firmware during a run
+        self._mailboxes = {}
+        self._live_contexts = {}
+        self._spawn_queue: Optional[WorkQueue] = None
+        self.touched_read_lines = set()
+        self.touched_write_lines = set()
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, shreds: Iterable[ShredDescriptor],
+            extra_bytes: int = 0, prepare_surfaces: bool = True) -> GmaRunResult:
+        """Dispatch shreds (via SIGNAL) and run the queue to completion.
+
+        ``extra_bytes`` models additional memory traffic sharing the
+        device's bandwidth (the interleaved-flush overlap of section 5.2).
+
+        ``prepare_surfaces`` models the CHI runtime step of section 4.6 —
+        "Before forking the heterogeneous shreds, the CHI runtime inspects
+        these descriptors and configures the accelerator appropriately":
+        every bound surface's pages are validated into the device page
+        table up front, so in-flight ATR proxies only happen for accesses
+        outside the declared surfaces.
+        """
+        shreds = list(shreds)
+        # line-granular demand-traffic accounting for this run (the device
+        # cache: first touch of a 64-byte line is traffic, re-reads hit)
+        self.touched_read_lines = set()
+        self.touched_write_lines = set()
+        pages_prepared = 0
+        if prepare_surfaces:
+            pages_prepared = self._prepare_surfaces(shreds)
+        queue = WorkQueue()
+        for i, shred in enumerate(shreds):
+            target = self.sequencers[i % len(self.sequencers)].name
+            self.exoskeleton.signal_dispatch(shred, target)
+            queue.push(shred)
+        result = self.firmware.run_queue(queue, extra_bytes=extra_bytes)
+        result.pages_prepared = pages_prepared
+        for i, run in enumerate(result.runs):
+            self.sequencers[i % len(self.sequencers)].shreds_retired += 1
+        return result
+
+    def _prepare_surfaces(self, shreds) -> int:
+        """Validate every bound surface's pages into the GTT (one batched
+        proxy pass on the IA32 side, not a per-fault round trip)."""
+        from ..memory.physical import PAGE_SHIFT
+
+        prepared = 0
+        seen = set()
+        for shred in shreds:
+            for surf in shred.surfaces.values():
+                if id(surf) in seen:
+                    continue
+                seen.add(id(surf))
+                first = surf.base >> PAGE_SHIFT
+                last = (surf.base + surf.nbytes - 1) >> PAGE_SHIFT
+                for vpn in range(first, last + 1):
+                    if vpn not in self.view.gtt:
+                        self.exoskeleton.atr.service(
+                            self.view, vpn << PAGE_SHIFT, write=True)
+                        prepared += 1
+        return prepared
+
+    def run_single(self, shred: ShredDescriptor) -> GmaRunResult:
+        return self.run([shred])
+
+    # -- services used by shred contexts ---------------------------------------------
+
+    def deliver_register(self, source_id: int, target_id: int, reg: int,
+                         values: np.ndarray) -> None:
+        """Route a ``sendreg`` write: "one shred can write directly to
+        another shred's register file" (section 3.4)."""
+        ctx = self._live_contexts.get(target_id)
+        if ctx is not None:
+            ctx.regs.write_lanes(reg, np.asarray(values, dtype=np.float64))
+            return
+        if self._spawn_queue is not None and self._spawn_queue.is_done(target_id):
+            raise ExecutionFault(
+                f"sendreg from shred {source_id} to retired shred {target_id}")
+        self._mailboxes.setdefault(target_id, []).append(
+            (reg, np.asarray(values, dtype=np.float64)))
+
+    def enqueue_spawn(self, parent: ShredDescriptor, arg: float) -> None:
+        if self._spawn_queue is None:
+            raise ExecutionFault("spawn outside a device run")
+        child = parent.spawn_child(arg)
+        self._spawn_queue.push(child)
+
+    def flush_cache(self) -> int:
+        """Flush the device-side cache (a shred-visible ``flush``)."""
+        return self.coherence.flush("gma")
+
+    # -- maintenance ---------------------------------------------------------------------
+
+    def invalidate_tlb(self) -> None:
+        self.view.tlb.invalidate()
+
+    def reset_counters(self) -> None:
+        self.sampler.reset()
+        self.view.tlb.hits = 0
+        self.view.tlb.misses = 0

@@ -1,0 +1,203 @@
+"""EU timing model: switch-on-stall multithreading over shred traces.
+
+"The four exo-sequencers, physically implemented in each GMA X3000 core,
+alternate fetching through fly-weight switch-on-stall multithreading.  As
+each exo-sequencer fetches and retires instructions in-order, the core's
+fine-grained thread multiplexing capability plays a critical role in
+sustaining throughput performance" (paper section 3.4).
+
+The model replays each shred's ``(issue, latency)`` trace: an EU issues
+one instruction at a time (occupying the issue pipe for ``issue`` cycles);
+the issuing context then becomes not-ready for ``latency`` cycles, during
+which the EU issues from its other contexts.  Stall cycles are *exposed*
+only when no context is ready — exactly the behaviour that makes abundant
+shred-level parallelism the first-order performance factor on this device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .interpreter import ShredRun
+from .timing import GmaTimingConfig
+
+
+@dataclass
+class EuReport:
+    """Timing outcome for one EU."""
+
+    cycles: float = 0.0
+    busy_cycles: float = 0.0
+    exposed_stall_cycles: float = 0.0
+
+    @property
+    def utilization(self) -> float:
+        return self.busy_cycles / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class DeviceTiming:
+    """Timing outcome for the whole device."""
+
+    compute_cycles: float  # max over EUs of their finish time
+    bandwidth_cycles: float  # memory-traffic lower bound
+    sampler_cycles: float  # fixed-function unit lower bound
+    eu_reports: List[EuReport] = field(default_factory=list)
+    finish_times: Dict[int, float] = field(default_factory=dict)
+    #: shred id -> (start cycle, finish cycle, eu, slot); feeds the
+    #: Chrome-trace exporter in :mod:`repro.perf.trace`.
+    spans: Dict[int, tuple] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> float:
+        return max(self.compute_cycles, self.bandwidth_cycles,
+                   self.sampler_cycles)
+
+    @property
+    def bound(self) -> str:
+        """Which resource bounds execution: compute, bandwidth or sampler."""
+        values = {
+            "compute": self.compute_cycles,
+            "bandwidth": self.bandwidth_cycles,
+            "sampler": self.sampler_cycles,
+        }
+        return max(values, key=values.get)
+
+
+class _Context:
+    """One hardware thread context replaying its queue of shred traces."""
+
+    __slots__ = ("queue", "qidx", "trace", "tidx", "ready_time", "current",
+                 "start_time")
+
+    def __init__(self, queue: List[ShredRun]):
+        self.queue = queue
+        self.qidx = 0
+        self.trace: Optional[Sequence] = None
+        self.tidx = 0
+        self.ready_time = 0.0
+        self.current: Optional[ShredRun] = None
+        self.start_time = 0.0
+
+    def has_work(self) -> bool:
+        return self.trace is not None or self.qidx < len(self.queue)
+
+
+def simulate_device(runs: Sequence[ShredRun], config: GmaTimingConfig,
+                    not_before: Optional[Dict[int, float]] = None,
+                    extra_bytes: int = 0) -> DeviceTiming:
+    """Replay shred traces on the device and return its timing.
+
+    ``not_before`` gives per-shred earliest start times (producer/consumer
+    dependencies); ``extra_bytes`` adds memory traffic that competes for
+    device bandwidth (e.g. overlapped cache flushing).
+    """
+    not_before = not_before or {}
+    nctx = config.num_sequencers
+    queues: List[List[ShredRun]] = [[] for _ in range(nctx)]
+    # EU-major round robin: leftover shreds spread across EUs instead of
+    # piling onto EU 0's thread contexts
+    per_eu = config.threads_per_eu
+    for i, run in enumerate(runs):
+        eu = i % config.num_eus
+        slot = (i // config.num_eus) % per_eu
+        queues[eu * per_eu + slot].append(run)
+
+    finish: Dict[int, float] = {}
+    spans: Dict[int, tuple] = {}
+    reports = []
+    per_eu = config.threads_per_eu
+    for eu in range(config.num_eus):
+        ctxs = [
+            _Context(queues[eu * per_eu + slot]) for slot in range(per_eu)
+        ]
+        report = _simulate_eu(ctxs, not_before, finish, spans, eu)
+        reports.append(report)
+
+    total_bytes = sum(r.bytes_total for r in runs) + extra_bytes
+    bandwidth_cycles = total_bytes / config.mem_bytes_per_cycle
+    total_samples = sum(r.sampler_samples for r in runs)
+    sampler_cycles = total_samples / config.sampler_throughput
+    compute_cycles = max((rep.cycles for rep in reports), default=0.0)
+    return DeviceTiming(
+        compute_cycles=compute_cycles,
+        bandwidth_cycles=bandwidth_cycles,
+        sampler_cycles=sampler_cycles,
+        eu_reports=reports,
+        finish_times=finish,
+        spans=spans,
+    )
+
+
+def _simulate_eu(ctxs: List[_Context], not_before: Dict[int, float],
+                 finish: Dict[int, float], spans: Dict[int, tuple],
+                 eu_index: int) -> EuReport:
+    now = 0.0
+    busy = 0.0
+    stall = 0.0
+    rr = 0  # round-robin pointer for fairness among ready contexts
+    n = len(ctxs)
+    local_finish: List[float] = []
+
+    while True:
+        # activate queued shreds whose dependencies are satisfied
+        for ctx in ctxs:
+            if ctx.trace is None and ctx.qidx < len(ctx.queue):
+                run = ctx.queue[ctx.qidx]
+                start_gate = not_before.get(run.shred.shred_id, 0.0)
+                if start_gate <= now:
+                    ctx.current = run
+                    ctx.trace = run.trace
+                    ctx.tidx = 0
+                    ctx.qidx += 1
+                    ctx.ready_time = max(ctx.ready_time, now)
+                    ctx.start_time = max(ctx.ready_time, now)
+
+        ready = [
+            (i, ctx) for i, ctx in enumerate(ctxs)
+            if ctx.trace is not None and ctx.ready_time <= now
+        ]
+        if ready:
+            # round-robin among ready contexts (fly-weight switch-on-stall)
+            ready.sort(key=lambda pair: (pair[0] - rr) % n)
+            _, ctx = ready[0]
+            rr = (ready[0][0] + 1) % n
+            if ctx.tidx < len(ctx.trace):
+                issue, latency = ctx.trace[ctx.tidx]
+                ctx.tidx += 1
+                now += issue
+                busy += issue
+                ctx.ready_time = now + latency
+            if ctx.tidx >= len(ctx.trace):
+                shred_id = ctx.current.shred.shred_id
+                finish[shred_id] = ctx.ready_time
+                spans[shred_id] = (ctx.start_time, ctx.ready_time,
+                                   eu_index, ctxs.index(ctx))
+                local_finish.append(ctx.ready_time)
+                ctx.trace = None
+                ctx.current = None
+            continue
+
+        # nothing ready: either stalled or waiting on a dependency gate
+        candidates = []
+        for ctx in ctxs:
+            if ctx.trace is not None:
+                candidates.append(ctx.ready_time)
+            elif ctx.qidx < len(ctx.queue):
+                run = ctx.queue[ctx.qidx]
+                candidates.append(
+                    max(now, not_before.get(run.shred.shred_id, 0.0)))
+        if not candidates:
+            break
+        next_time = min(candidates)
+        if next_time <= now:
+            # dependency gate in the past but shred not yet activated:
+            # loop back and activate without advancing time
+            continue
+        stall += next_time - now
+        now = next_time
+
+    # drain: in-flight latency of the last instructions extends past `now`
+    end = max([now] + local_finish)
+    return EuReport(cycles=end, busy_cycles=busy, exposed_stall_cycles=stall)

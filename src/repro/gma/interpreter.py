@@ -1,0 +1,222 @@
+"""Functional interpreter for one shred, with ATR and CEH integration.
+
+Each executed instruction contributes a ``(issue, latency)`` pair to the
+shred's *trace*; the EU timing model (:mod:`repro.gma.eu`) later replays
+traces under switch-on-stall multithreading.  Architectural events are
+handled the EXO way:
+
+* :class:`~repro.errors.TlbMiss` — suspend, ATR proxy round trip on the
+  IA32 sequencer, retry the same instruction;
+* :class:`~repro.errors.ExecutionFault` — suspend, CEH round trip, the
+  IA32 handler emulates the instruction, resume after it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import ExecutionFault, TlbMiss
+from ..exo.exoskeleton import Exoskeleton
+from ..exo.shred import ShredDescriptor, ShredState
+from ..isa import semantics
+from ..isa.opcodes import OpKind
+from ..isa.types import VLEN
+from .context import ShredContext
+from .timing import GmaTimingConfig
+
+
+@dataclass
+class ShredRun:
+    """The record of one shred's complete functional execution."""
+
+    shred: ShredDescriptor
+    trace: List[Tuple[int, int]] = field(default_factory=list)
+    #: Per-trace-entry (uses, defs) register sets; None for proxy
+    #: penalties.  Consumed by the scoreboard post-pass.
+    trace_effects: List = field(default_factory=list)
+    instructions: int = 0
+    issue_cycles: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    sampler_samples: int = 0
+    atr_events: int = 0
+    ceh_events: int = 0
+    spawned: int = 0
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+
+class ShredInterpreter:
+    """Drives one shred from entry to ``end``."""
+
+    def __init__(self, shred: ShredDescriptor, ctx: ShredContext,
+                 exoskeleton: Exoskeleton, config: GmaTimingConfig,
+                 max_instructions: int = 2_000_000):
+        self.shred = shred
+        self.ctx = ctx
+        self.exoskeleton = exoskeleton
+        self.config = config
+        self.max_instructions = max_instructions
+        self.ip = shred.entry
+        self.run_record = ShredRun(shred=shred)
+        self.finished = False
+
+    @property
+    def program(self):
+        return self.shred.program
+
+    def step(self) -> bool:
+        """Execute one instruction (with any proxy round trips it needs).
+
+        Returns True while the shred is still running.
+        """
+        if self.finished:
+            return False
+        program = self.program
+        if self.ip >= len(program.instructions):
+            self._finish()
+            return False
+        if self.run_record.instructions >= self.max_instructions:
+            raise ExecutionFault(
+                f"shred {self.shred.shred_id} exceeded "
+                f"{self.max_instructions} instructions (runaway loop?)")
+
+        instr = program.instructions[self.ip]
+        effect = None
+        while effect is None:
+            try:
+                effect = semantics.execute(program, self.ip, self.ctx)
+            except TlbMiss as miss:
+                self.shred.state = ShredState.SUSPENDED
+                self.exoskeleton.request_atr(
+                    self.ctx.view, miss.vaddr, write=True, source=self.ctx.name)
+                self.run_record.atr_events += 1
+                self.run_record.trace.append((self.config.atr_penalty_cycles, 0))
+                self.run_record.trace_effects.append(None)
+                self.shred.state = ShredState.RUNNING
+            except ExecutionFault as fault:
+                self.shred.state = ShredState.SUSPENDED
+                effect = self.exoskeleton.request_ceh(
+                    program, self.ip, self.ctx, fault, source=self.ctx.name)
+                self.run_record.ceh_events += 1
+                self.run_record.trace.append((self.config.ceh_penalty_cycles, 0))
+                self.run_record.trace_effects.append(None)
+                self.shred.state = ShredState.RUNNING
+
+        self._account(instr, effect)
+        if effect.ended:
+            self._finish()
+            return False
+        self.ip = effect.next_ip if effect.next_ip is not None else self.ip + 1
+        if self.ip >= len(program.instructions):
+            self._finish()
+            return False
+        return True
+
+    def run(self) -> ShredRun:
+        """Run the shred to completion."""
+        self.shred.state = ShredState.RUNNING
+        while self.step():
+            pass
+        return self.run_record
+
+    # -- internal ---------------------------------------------------------------
+
+    def _account(self, instr, effect) -> None:
+        rec = self.run_record
+        rec.instructions += 1
+        info = instr.info
+        lanes_factor = max(1, -(-instr.width // VLEN))
+        if info.kind is OpKind.MEMORY:
+            # fixed setup plus one cycle per 16-element beat of transfer
+            issue = info.issue + lanes_factor
+        elif info.kind is OpKind.SAMPLER:
+            issue = info.issue + lanes_factor
+        else:
+            # the 16-lane datapath retires 16 elements per issue cycle
+            issue = info.issue * lanes_factor
+        latency = info.latency
+        rec.trace.append((issue, latency))
+        if self.config.scoreboard:
+            rec.trace_effects.append(_instr_effects(instr))
+        else:
+            rec.trace_effects.append(None)
+        rec.issue_cycles += issue
+        rec.bytes_read += effect.bytes_read
+        rec.bytes_written += effect.bytes_written
+        if effect.used_sampler:
+            rec.sampler_samples += instr.width
+        rec.spawned += len(effect.spawned)
+
+    def _finish(self) -> None:
+        self.finished = True
+        self.shred.state = ShredState.DONE
+        if self.config.scoreboard:
+            self.run_record.trace = _scoreboard_trace(
+                self.run_record.trace, self.run_record.trace_effects)
+
+
+# -- scoreboard post-pass ----------------------------------------------------
+
+_effects_cache: dict = {}
+
+
+def _instr_effects(instr):
+    """(uses, defs) register sets, cached by instruction *value*.
+
+    Instructions are frozen dataclasses, so equal instructions share one
+    entry; keying by identity would break when CPython recycles object
+    ids across programs.
+    """
+    key = instr
+    cached = _effects_cache.get(key)
+    if cached is None:
+        from ..isa.scheduler import _effects
+
+        eff = _effects(instr)
+        # predicates share the dependence namespace, offset past registers
+        uses = frozenset(eff.reg_uses) | frozenset(
+            1000 + p for p in eff.pred_uses)
+        defs = frozenset(eff.reg_defs) | frozenset(
+            1000 + p for p in eff.pred_defs)
+        cached = (uses, defs)
+        _effects_cache[key] = cached
+    return cached
+
+
+def _scoreboard_trace(trace, effects):
+    """Rewrite per-entry latencies so only true dependences stall.
+
+    Entry i's latency becomes the wait instruction i+1 would incur for its
+    operands under an operand scoreboard: max over its uses of the
+    producing result's remaining latency at that point.
+    """
+    ready: dict = {}
+    clock = 0
+    waits = [0] * (len(trace) + 1)
+    for i, ((issue, latency), eff) in enumerate(zip(trace, effects)):
+        if eff is not None:
+            uses, defs = eff
+            wait = 0
+            for reg in uses:
+                t = ready.get(reg)
+                if t is not None and t > clock:
+                    wait = max(wait, t - clock)
+            waits[i] = wait
+            clock += wait + issue
+            for reg in defs:
+                ready[reg] = clock + latency
+        else:
+            clock += issue
+    # attach each instruction's *successor* wait as its not-ready window
+    out = []
+    for i, (issue, _latency) in enumerate(trace):
+        out.append((issue, waits[i + 1] if i + 1 < len(trace) else 0))
+    # waits[i] stalls *before* instruction i; re-attach the first wait to a
+    # synthetic leading bubble when present
+    if waits[0]:
+        out.insert(0, (waits[0], 0))
+    return out

@@ -1,0 +1,56 @@
+"""The fixed-function texture sampler shared by all exo-sequencers.
+
+"The exo-sequencers share access to specialized, fixed function hardware
+that can execute performance-critical tasks, such as texture sampling and
+scattering/gathering memory operations" (paper section 3.4).  AlphaBlend's
+Figure 7 speedup comes largely from this unit: without it, the IA32 code
+"has to emulate this behavior in software" (section 5.1).
+
+Functionally the sampling itself is done by
+:meth:`repro.memory.surface.Surface.sample_bilinear`; this class tracks
+utilization so the timing model can bound device time by sampler
+throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class TextureSampler:
+    """The shared sampler unit: filter mode + utilization counter.
+
+    ``filter_mode`` is device state configurable through the Table 1 API
+    (``chi_set_feature(X3000, "sampler_filter", ...)``): ``"bilinear"``
+    (the default) or ``"nearest"`` (point sampling).
+    """
+
+    samples: int = 0
+    filter_mode: str = "bilinear"
+
+    def reset(self) -> None:
+        self.samples = 0
+
+    def cycles(self, throughput: float) -> float:
+        """Device cycles the sampler needs for all recorded samples."""
+        if throughput <= 0:
+            raise ValueError("sampler throughput must be positive")
+        return self.samples / throughput
+
+    def fetch(self, surface, accessor, xs: np.ndarray,
+              ys: np.ndarray) -> np.ndarray:
+        """Sample under the configured filter mode."""
+        self.samples += xs.size
+        if self.filter_mode == "nearest":
+            xi = np.clip(np.floor(xs + 0.5).astype(int), 0,
+                         surface.width - 1)
+            yi = np.clip(np.floor(ys + 0.5).astype(int), 0,
+                         surface.height - 1)
+            return np.array([
+                surface.read_block(accessor, int(x), int(y), 1, 1)[0]
+                for x, y in zip(xi, yi)
+            ])
+        return surface.sample_bilinear(accessor, xs, ys)

@@ -1,0 +1,68 @@
+"""The software shred work queue in shared virtual memory.
+
+"Once created, GMA X3000 shreds are scheduled in a software work queue in
+shared virtual memory like POSIX threads.  The work queue can have a far
+greater number of shreds than the number of GMA X3000 exo-sequencers"
+(paper section 3.4).  Producer-consumer dependencies (the taskq model,
+section 4.3) gate when a descriptor becomes ready.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Optional, Set
+
+from ..errors import SchedulingError
+from ..exo.shred import ShredDescriptor, ShredState
+
+
+class WorkQueue:
+    """FIFO of shred descriptors with dependency gating."""
+
+    def __init__(self, shreds: Iterable[ShredDescriptor] = ()):
+        self._pending: deque = deque()
+        self._done: Set[int] = set()
+        self.enqueued = 0
+        for shred in shreds:
+            self.push(shred)
+
+    def push(self, shred: ShredDescriptor) -> None:
+        shred.state = ShredState.QUEUED
+        self._pending.append(shred)
+        self.enqueued += 1
+
+    def mark_done(self, shred_id: int) -> None:
+        self._done.add(shred_id)
+
+    def is_done(self, shred_id: int) -> bool:
+        return shred_id in self._done
+
+    def pop_ready(self) -> Optional[ShredDescriptor]:
+        """Next descriptor (FIFO) whose producers have all completed."""
+        for _ in range(len(self._pending)):
+            shred = self._pending.popleft()
+            if all(dep in self._done for dep in shred.depends_on):
+                return shred
+            self._pending.append(shred)
+        return None
+
+    def drain_order(self) -> List[ShredDescriptor]:
+        """Pop everything in dependency-respecting FIFO order.
+
+        Raises :class:`~repro.errors.SchedulingError` on a dependency cycle
+        or a dependency on a shred that is not in the queue.
+        """
+        out = []
+        while self._pending:
+            shred = self.pop_ready()
+            if shred is None:
+                stuck = [s.shred_id for s in self._pending]
+                raise SchedulingError(
+                    f"work queue deadlock: shreds {stuck} wait on "
+                    f"dependencies that never complete")
+            out.append(shred)
+            self.mark_done(shred.shred_id)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,20 @@
+"""The loosely-coupled, driver-based GPGPU baseline (paper Figure 1(a)).
+
+"In this line of work, the CPU resources (cores and memory) are managed
+by the OS, and the GPU resources are separately managed by vendor-supplied
+device drivers.  Applications and device drivers run in separate address
+spaces, and consequently, the data communication and synchronization
+between them are usually carried out in coarse granularity through
+explicit data copying via device driver APIs."
+
+This package implements that stack over the same GMA device model, so the
+two programming models can be compared like-for-like: separate device
+address space, explicit ``memcpy`` in both directions at the measured
+3.1 GB/s rate, driver-call overheads, and kernel launches that cannot
+share pointers with the host.  EXOCHI's shared-virtual-memory claim
+(Figure 8, section 5.2) is exactly the removal of this machinery.
+"""
+
+from .driver import DeviceBuffer, DriverStats, GpgpuDriver
+
+__all__ = ["GpgpuDriver", "DeviceBuffer", "DriverStats"]

@@ -1,0 +1,177 @@
+"""A vendor-driver-style API over the GMA device model.
+
+The shape every pre-EXOCHI GPGPU stack shared (CUDA's early driver API,
+DPVM, Brook's runtimes): opaque device buffers in a *separate* address
+space, explicit host<->device copies, kernel launches by handle, and a
+user/kernel-mode transition cost on every driver call.  Functionally
+correct; the costs are what Figure 8's Data Copy configuration charges,
+plus the per-call overhead the user-level EXOCHI runtime avoids ("EXOCHI's
+user-level runtime can be used to schedule shreds and coordinate
+light-weight inter-shred data communication efficiently through shared
+virtual memory").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ChiError
+from ..exo.shred import ShredDescriptor
+from ..gma.device import GmaDevice
+from ..isa.assembler import assemble
+from ..isa.program import Program
+from ..isa.types import DataType
+from ..memory.address_space import AddressSpace
+from ..memory.bandwidth import BandwidthModel
+from ..memory.surface import Surface
+
+
+class DriverError(ChiError):
+    """Misuse of the driver API (bad handle, size mismatch, freed buffer)."""
+
+
+@dataclass
+class DeviceBuffer:
+    """An opaque device allocation: the host never holds a pointer."""
+
+    handle: int
+    surface: Surface
+    nbytes: int
+    freed: bool = False
+
+
+@dataclass
+class DriverStats:
+    """What the loosely-coupled stack costs."""
+
+    driver_calls: int = 0
+    bytes_host_to_device: int = 0
+    bytes_device_to_host: int = 0
+    copy_seconds: float = 0.0
+    launch_seconds: float = 0.0
+    overhead_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.copy_seconds + self.launch_seconds + self.overhead_seconds
+
+
+class GpgpuDriver:
+    """The Figure 1(a) stack: OS-managed host, driver-managed device.
+
+    Every call models a user->kernel-mode transition
+    (``call_overhead_seconds``); data crosses address spaces only through
+    :meth:`memcpy_htod` / :meth:`memcpy_dtoh` at the paper's 3.1 GB/s
+    SSE-to-write-combining rate.
+    """
+
+    #: Cost of one ioctl-style driver transition.  Microseconds-scale user
+    #: to kernel round trip, vs the nanoseconds-scale user-level SIGNAL.
+    call_overhead_seconds: float = 5e-6
+
+    def __init__(self, bandwidth: BandwidthModel = BandwidthModel()):
+        # the device's own address space: nothing in it is host-visible
+        self._device_space = AddressSpace()
+        self._device = GmaDevice(self._device_space)
+        self._bandwidth = bandwidth
+        self._buffers: Dict[int, DeviceBuffer] = {}
+        self._kernels: Dict[int, Program] = {}
+        self._handles = itertools.count(1)
+        self.stats = DriverStats()
+
+    # -- memory management ------------------------------------------------------
+
+    def malloc(self, nbytes: int, width: Optional[int] = None,
+               height: int = 1, dtype: DataType = DataType.UB) -> int:
+        """Allocate device memory; returns an opaque handle."""
+        self._enter_driver()
+        if nbytes <= 0:
+            raise DriverError("allocation size must be positive")
+        width = width if width is not None else nbytes // dtype.size
+        surface = Surface.alloc(self._device_space, f"buf{nbytes}",
+                                width, height, dtype)
+        buffer = DeviceBuffer(handle=next(self._handles), surface=surface,
+                              nbytes=nbytes)
+        self._buffers[buffer.handle] = buffer
+        return buffer.handle
+
+    def free(self, handle: int) -> None:
+        self._enter_driver()
+        self._buffer(handle).freed = True
+
+    def memcpy_htod(self, handle: int, data: np.ndarray) -> None:
+        """Copy host data into a device buffer (explicit, 3.1 GB/s)."""
+        self._enter_driver()
+        buffer = self._buffer(handle)
+        image = np.asarray(data, dtype=np.float64)
+        flat = image.reshape(-1)
+        if flat.size > buffer.surface.nelems:
+            raise DriverError(
+                f"copy of {flat.size} elements exceeds buffer of "
+                f"{buffer.surface.nelems}")
+        buffer.surface.write_linear(self._device_space, 0, flat)
+        nbytes = flat.size * buffer.surface.esize
+        self.stats.bytes_host_to_device += nbytes
+        self.stats.copy_seconds += self._bandwidth.copy_seconds(nbytes)
+
+    def memcpy_dtoh(self, handle: int, count: Optional[int] = None) -> np.ndarray:
+        """Copy a device buffer back to the host."""
+        self._enter_driver()
+        buffer = self._buffer(handle)
+        count = count if count is not None else buffer.surface.nelems
+        data = buffer.surface.read_linear(self._device_space, 0, count)
+        nbytes = count * buffer.surface.esize
+        self.stats.bytes_device_to_host += nbytes
+        self.stats.copy_seconds += self._bandwidth.copy_seconds(nbytes)
+        return data
+
+    # -- kernels ---------------------------------------------------------------------
+
+    def load_kernel(self, asm_text: str, name: str = "kernel") -> int:
+        """JIT an accelerator kernel into the driver; returns a handle."""
+        self._enter_driver()
+        handle = next(self._handles)
+        self._kernels[handle] = assemble(asm_text, name=name)
+        return handle
+
+    def launch(self, kernel: int, grid: Sequence[Dict[str, float]],
+               buffers: Dict[str, int],
+               constants: Optional[Dict[str, float]] = None) -> float:
+        """Launch ``len(grid)`` threads of a kernel over device buffers.
+
+        Returns the device execution time in seconds.  Synchronous, as
+        early driver APIs were: the host blocks until completion.
+        """
+        self._enter_driver()
+        program = self._kernels.get(kernel)
+        if program is None:
+            raise DriverError(f"unknown kernel handle {kernel}")
+        surfaces = {name: self._buffer(h).surface
+                    for name, h in buffers.items()}
+        consts = dict(constants or {})
+        shreds = [ShredDescriptor(program=program,
+                                  bindings={**consts, **bindings},
+                                  surfaces=surfaces)
+                  for bindings in grid]
+        result = self._device.run(shreds)
+        seconds = self._device.config.seconds(result.cycles)
+        self.stats.launch_seconds += seconds
+        return seconds
+
+    # -- internal -----------------------------------------------------------------------
+
+    def _buffer(self, handle: int) -> DeviceBuffer:
+        buffer = self._buffers.get(handle)
+        if buffer is None:
+            raise DriverError(f"unknown buffer handle {handle}")
+        if buffer.freed:
+            raise DriverError(f"buffer {handle} was freed")
+        return buffer
+
+    def _enter_driver(self) -> None:
+        self.stats.driver_calls += 1
+        self.stats.overhead_seconds += self.call_overhead_seconds

@@ -1,0 +1,61 @@
+"""The accelerator instruction set: types, assembler, encoder, semantics.
+
+This package is the reproduction of the GMA X3000 ISA surface that CHI's
+inline-assembly support targets (paper section 4.1).  The public entry
+points are :func:`assemble`, :func:`disassemble`, :func:`encode_program`
+and :func:`decode_program`.
+"""
+
+from .assembler import assemble
+from .disassembler import disassemble
+from .encoding import decode_program, encode_program
+from .instructions import Effect, Instruction, Predication
+from .opcodes import OP_INFO, Condition, Opcode, OpKind
+from .operands import (
+    BlockOperand,
+    ImmOperand,
+    LabelOperand,
+    MemOperand,
+    Operand,
+    PredOperand,
+    RangeOperand,
+    RegOperand,
+    ShredRegOperand,
+    SymOperand,
+)
+from .program import Program
+from .registers import RegisterFile
+from .semantics import execute
+from .types import LANE_BYTES, NUM_PREGS, NUM_VREGS, VLEN, DataType
+
+__all__ = [
+    "assemble",
+    "disassemble",
+    "encode_program",
+    "decode_program",
+    "execute",
+    "Effect",
+    "Instruction",
+    "Predication",
+    "Opcode",
+    "OpKind",
+    "Condition",
+    "OP_INFO",
+    "Operand",
+    "RegOperand",
+    "RangeOperand",
+    "ImmOperand",
+    "SymOperand",
+    "MemOperand",
+    "BlockOperand",
+    "PredOperand",
+    "ShredRegOperand",
+    "LabelOperand",
+    "Program",
+    "RegisterFile",
+    "DataType",
+    "NUM_VREGS",
+    "NUM_PREGS",
+    "VLEN",
+    "LANE_BYTES",
+]

@@ -1,0 +1,370 @@
+"""Two-pass text assembler for the accelerator ISA.
+
+The accepted syntax is the one used by the paper's listings (Figure 6):
+
+.. code-block:: none
+
+    loop:
+        shl.1.w    vr1 = i, 3
+        ld.8.dw    [vr2..vr9]   = (A, vr1, 0)
+        ld.8.dw    [vr10..vr17] = (B, vr1, 0)
+        add.8.dw   [vr18..vr25] = [vr2..vr9], [vr10..vr17]
+        st.8.dw    (C, vr1, 0)  = [vr18..vr25]
+        end
+
+Extensions needed by the media kernels: 2-D block transfers
+(``ldblk.8x8.ub [vr2..vr5] = (SRC, vr0, vr1)``), the texture sampler
+(``sample.4.f ...``), predication (``(p1) add...``), comparisons
+(``cmp.lt.8.dw p1 = a, b``), branches (``br p1, loop``), cross-shred
+register writes (``sendreg.1.dw (vr6, vr7) = vr5``) and shred spawning.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import AssemblyError
+from .instructions import Instruction, Predication
+from .opcodes import Condition, Opcode, opcode_from_mnemonic
+from .operands import (
+    BlockOperand,
+    ImmOperand,
+    LabelOperand,
+    MemOperand,
+    Operand,
+    PredOperand,
+    RangeOperand,
+    RegOperand,
+    ShredRegOperand,
+    SymOperand,
+)
+from .program import Program
+from .types import DataType
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):\s*(.*)$")
+_PRED_RE = re.compile(r"^\(\s*(!?)\s*p(\d+)\s*\)\s*(.*)$")
+_REG_RE = re.compile(r"^vr(\d+)$")
+_RANGE_RE = re.compile(r"^\[\s*vr(\d+)\s*\.\.\s*vr(\d+)\s*\]$")
+_PREG_RE = re.compile(r"^p(\d+)$")
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_BLOCK_RE = re.compile(r"^(\d+)x(\d+)$")
+
+#: Opcodes whose left-hand side of ``=`` is a destination in *memory* (or
+#: another shred's registers), so it is carried as a source operand.
+_STORE_LIKE = {Opcode.ST, Opcode.STBLK, Opcode.SENDREG}
+
+_WIDTHLESS = {Opcode.JMP, Opcode.BR, Opcode.END, Opcode.NOP, Opcode.FLUSH,
+              Opcode.FENCE, Opcode.SPAWN}
+
+
+def assemble(text: str, name: str = "<asm>") -> Program:
+    """Assemble ISA text into a validated :class:`~repro.isa.program.Program`."""
+    instructions: List[Instruction] = []
+    labels = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        match = _LABEL_RE.match(line)
+        if match and not _looks_like_instruction(match.group(1)):
+            label, rest = match.group(1), match.group(2).strip()
+            if label in labels:
+                raise AssemblyError(f"duplicate label {label!r}", lineno)
+            labels[label] = len(instructions)
+            line = rest
+            if not line:
+                continue
+        instructions.append(_parse_instruction(line, lineno))
+    program = Program(name=name, instructions=tuple(instructions), labels=labels,
+                      source=text)
+    program.validate()
+    return program
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", "//", ";"):
+        idx = line.find(marker)
+        if idx >= 0:
+            line = line[:idx]
+    return line
+
+
+def _looks_like_instruction(word: str) -> bool:
+    """Labels can't shadow mnemonics; ``end:`` would be ambiguous."""
+    try:
+        opcode_from_mnemonic(word)
+        return True
+    except ValueError:
+        return False
+
+
+def _parse_instruction(line: str, lineno: int) -> Instruction:
+    pred: Optional[Predication] = None
+    match = _PRED_RE.match(line)
+    if match:
+        pred = Predication(index=int(match.group(2)), negate=bool(match.group(1)))
+        line = match.group(3)
+
+    parts = line.split(None, 1)
+    mnemonic = parts[0]
+    operand_text = parts[1].strip() if len(parts) > 1 else ""
+
+    opcode, cond, width, dtype, block = _parse_mnemonic(mnemonic, lineno)
+
+    lhs, rhs = _split_equals(operand_text, lineno)
+    lhs_ops = [_parse_operand(tok, lineno) for tok in _split_commas(lhs)]
+    rhs_ops = [_parse_operand(tok, lineno) for tok in _split_commas(rhs)]
+
+    instr = _build(opcode, cond, width, dtype, block, pred,
+                   lhs_ops, rhs_ops, lineno)
+    _check_arity(instr, lineno)
+    return instr
+
+
+def _parse_mnemonic(mnemonic: str, lineno: int):
+    parts = mnemonic.split(".")
+    try:
+        opcode = opcode_from_mnemonic(parts[0])
+    except ValueError as exc:
+        raise AssemblyError(str(exc), lineno) from None
+    idx = 1
+    cond = None
+    if opcode is Opcode.CMP:
+        if len(parts) < 2:
+            raise AssemblyError("cmp requires a condition, e.g. cmp.lt.8.dw", lineno)
+        try:
+            cond = Condition(parts[idx])
+        except ValueError:
+            raise AssemblyError(f"unknown cmp condition {parts[idx]!r}", lineno)
+        idx += 1
+
+    width, block = 1, None
+    dtype = DataType.DW
+    if opcode in _WIDTHLESS:
+        if len(parts) > idx:
+            raise AssemblyError(
+                f"{opcode.value} takes no width/type suffix", lineno)
+        return opcode, cond, width, dtype, block
+
+    if len(parts) <= idx:
+        raise AssemblyError(f"{opcode.value} requires .width.type suffix", lineno)
+    wtok = parts[idx]
+    idx += 1
+    bmatch = _BLOCK_RE.match(wtok)
+    if bmatch:
+        block = (int(bmatch.group(1)), int(bmatch.group(2)))
+        width = block[0] * block[1]
+        if width == 0:
+            raise AssemblyError("block dimensions must be positive", lineno)
+    else:
+        try:
+            width = int(wtok)
+        except ValueError:
+            raise AssemblyError(f"bad SIMD width {wtok!r}", lineno)
+        if width < 1:
+            raise AssemblyError(f"SIMD width must be positive, got {width}", lineno)
+
+    if len(parts) <= idx:
+        raise AssemblyError(f"{opcode.value} requires a data type suffix", lineno)
+    try:
+        dtype = DataType.from_suffix(parts[idx])
+    except ValueError as exc:
+        raise AssemblyError(str(exc), lineno) from None
+    if len(parts) > idx + 1:
+        raise AssemblyError(f"trailing mnemonic parts in {mnemonic!r}", lineno)
+
+    if block is not None and opcode not in (Opcode.LDBLK, Opcode.STBLK):
+        raise AssemblyError(f"{opcode.value} does not accept WxH block shape", lineno)
+    return opcode, cond, width, dtype, block
+
+
+def _split_equals(text: str, lineno: int) -> Tuple[str, str]:
+    depth = 0
+    for i, ch in enumerate(text):
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        elif ch == "=" and depth == 0:
+            return text[:i].strip(), text[i + 1 :].strip()
+    return text.strip(), ""
+
+
+def _split_commas(text: str) -> List[str]:
+    if not text:
+        return []
+    out, depth, start = [], 0, 0
+    for i, ch in enumerate(text):
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            out.append(text[start:i].strip())
+            start = i + 1
+    out.append(text[start:].strip())
+    return [tok for tok in out if tok]
+
+
+def _parse_operand(token: str, lineno: int) -> Operand:
+    match = _REG_RE.match(token)
+    if match:
+        return RegOperand(int(match.group(1)))
+    match = _RANGE_RE.match(token)
+    if match:
+        start, stop = int(match.group(1)), int(match.group(2))
+        if stop < start:
+            raise AssemblyError(f"empty register range {token!r}", lineno)
+        return RangeOperand(start, stop)
+    match = _PREG_RE.match(token)
+    if match:
+        return PredOperand(int(match.group(1)))
+    if token.startswith("("):
+        if not token.endswith(")"):
+            raise AssemblyError(f"unbalanced parentheses in {token!r}", lineno)
+        inner = _split_commas(token[1:-1])
+        return _TupleOperand(tuple(_parse_operand(t, lineno) for t in inner))
+    imm = _try_number(token)
+    if imm is not None:
+        return ImmOperand(imm)
+    if _IDENT_RE.match(token):
+        return SymOperand(token)
+    raise AssemblyError(f"cannot parse operand {token!r}", lineno)
+
+
+class _TupleOperand(Operand):
+    """Intermediate form for parenthesized operands, fixed up per opcode."""
+
+    def __init__(self, items: tuple):
+        self.items = items
+
+
+def _try_number(token: str) -> Optional[float]:
+    try:
+        if token.lower().startswith("0x") or token.lower().startswith("-0x"):
+            return float(int(token, 16))
+        return float(int(token))
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        return None
+
+
+def _fix_tuple(op: Operand, opcode: Opcode, lineno: int) -> Operand:
+    """Resolve a parenthesized operand into its opcode-specific meaning."""
+    if not isinstance(op, _TupleOperand):
+        return op
+    items = op.items
+    if opcode in (Opcode.LD, Opcode.ST):
+        if len(items) != 3 or not isinstance(items[2], ImmOperand):
+            raise AssemblyError(
+                "ld/st memory operand must be (surface, index, offset)", lineno)
+        surface = _surface_name(items[0], lineno)
+        return MemOperand(surface, items[1], int(items[2].value))
+    if opcode in (Opcode.LDBLK, Opcode.STBLK, Opcode.SAMPLE):
+        if len(items) != 3:
+            raise AssemblyError(
+                "block operand must be (surface, x, y)", lineno)
+        surface = _surface_name(items[0], lineno)
+        return BlockOperand(surface, items[1], items[2])
+    if opcode is Opcode.SENDREG:
+        if len(items) != 2 or not isinstance(items[1], RegOperand):
+            raise AssemblyError(
+                "sendreg target must be (shred, vrN)", lineno)
+        return ShredRegOperand(items[0], items[1].reg)
+    raise AssemblyError(
+        f"{opcode.value} does not take a parenthesized operand", lineno)
+
+
+def _surface_name(op: Operand, lineno: int) -> str:
+    if isinstance(op, SymOperand):
+        return op.name
+    raise AssemblyError("surface must be a symbol name", lineno)
+
+
+def _build(opcode, cond, width, dtype, block, pred, lhs_ops, rhs_ops, lineno):
+    lhs_ops = [_fix_tuple(op, opcode, lineno) for op in lhs_ops]
+    rhs_ops = [_fix_tuple(op, opcode, lineno) for op in rhs_ops]
+
+    if opcode is Opcode.JMP:
+        target = _as_label(lhs_ops, lineno, "jmp")
+        return Instruction(opcode, 1, dtype, (), (target,), pred, line=lineno)
+    if opcode is Opcode.BR:
+        if len(lhs_ops) != 2 or rhs_ops:
+            raise AssemblyError("br expects: br pN, target", lineno)
+        guard, target = lhs_ops
+        negate = False
+        if isinstance(guard, SymOperand) and guard.name.startswith("!"):
+            raise AssemblyError("use (!pN) prefix form for negated br", lineno)
+        if not isinstance(guard, PredOperand):
+            raise AssemblyError("br guard must be a predicate register", lineno)
+        target = _to_label(target, lineno, "br")
+        return Instruction(opcode, 1, dtype, (), (guard, target),
+                           pred or Predication(guard.index, negate), line=lineno)
+
+    if opcode in _STORE_LIKE:
+        # st (C, vr1, 0) = [vr18..vr25]: memory target first, value second.
+        if len(lhs_ops) != 1 or len(rhs_ops) != 1:
+            raise AssemblyError(
+                f"{opcode.value} expects: {opcode.value} <target> = <value>", lineno)
+        return Instruction(opcode, width, dtype, (), (lhs_ops[0], rhs_ops[0]),
+                           pred, cond, block, line=lineno)
+
+    if opcode is Opcode.IOTA:
+        # destination-only: iota.16.f vr1
+        if len(lhs_ops) != 1 or rhs_ops:
+            raise AssemblyError("iota expects exactly one destination", lineno)
+        return Instruction(opcode, width, dtype, tuple(lhs_ops), (), pred,
+                           line=lineno)
+    if not rhs_ops and opcode not in (Opcode.END, Opcode.NOP, Opcode.FLUSH,
+                                      Opcode.FENCE, Opcode.SPAWN):
+        if lhs_ops:
+            raise AssemblyError(
+                f"{opcode.value} requires '=' between destination and sources",
+                lineno)
+        return Instruction(opcode, width, dtype, (), (), pred, cond, block,
+                           line=lineno)
+    if opcode is Opcode.SPAWN:
+        if len(lhs_ops) != 1 or rhs_ops:
+            raise AssemblyError("spawn expects one source operand", lineno)
+        return Instruction(opcode, 1, dtype, (), tuple(lhs_ops), pred, line=lineno)
+    if opcode in (Opcode.END, Opcode.NOP, Opcode.FLUSH, Opcode.FENCE):
+        if lhs_ops or rhs_ops:
+            raise AssemblyError(f"{opcode.value} takes no operands", lineno)
+        return Instruction(opcode, 1, dtype, (), (), pred, line=lineno)
+
+    return Instruction(opcode, width, dtype, tuple(lhs_ops), tuple(rhs_ops),
+                       pred, cond, block, line=lineno)
+
+
+def _as_label(ops: list, lineno: int, what: str) -> LabelOperand:
+    if len(ops) != 1:
+        raise AssemblyError(f"{what} expects exactly one target", lineno)
+    return _to_label(ops[0], lineno, what)
+
+
+def _to_label(op: Operand, lineno: int, what: str) -> LabelOperand:
+    if isinstance(op, SymOperand):
+        return LabelOperand(op.name)
+    if isinstance(op, LabelOperand):
+        return op
+    raise AssemblyError(f"{what} target must be a label name", lineno)
+
+
+def _check_arity(instr: Instruction, lineno: int) -> None:
+    info = instr.info
+    if info.has_dst and not instr.dsts:
+        raise AssemblyError(f"{instr.opcode.value} requires a destination", lineno)
+    if not info.has_dst and instr.dsts:
+        raise AssemblyError(f"{instr.opcode.value} takes no destination", lineno)
+    if info.n_src >= 0 and len(instr.srcs) != info.n_src:
+        raise AssemblyError(
+            f"{instr.opcode.value} takes {info.n_src} source(s), "
+            f"got {len(instr.srcs)}", lineno)
+    for op in instr.dsts + instr.srcs:
+        if isinstance(op, _TupleOperand):
+            raise AssemblyError(
+                f"unexpected parenthesized operand for {instr.opcode.value}", lineno)

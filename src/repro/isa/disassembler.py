@@ -1,0 +1,27 @@
+"""Disassembler: turn programs back into assembly text.
+
+The output re-assembles to an equivalent program (round-trip property,
+covered by tests), which is what the debugger shows when no source text is
+available for a fat-binary section.
+"""
+
+from __future__ import annotations
+
+from .program import Program
+
+
+def disassemble(program: Program) -> str:
+    """Render a program as assembly text with labels restored."""
+    by_index = {}
+    for name, idx in program.labels.items():
+        by_index.setdefault(idx, []).append(name)
+    lines = []
+    for idx, instr in enumerate(program.instructions):
+        for name in sorted(by_index.get(idx, [])):
+            lines.append(f"{name}:")
+        lines.append(f"    {instr}")
+    # labels pointing one past the last instruction (e.g. loop exits)
+    for name in sorted(by_index.get(len(program.instructions), [])):
+        lines.append(f"{name}:")
+        lines.append("    nop")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,279 @@
+"""Binary encoding and decoding of accelerator programs.
+
+The CHI compiler embeds each ``__asm`` block into the fat binary as a
+*binary* code section (paper section 4.1: "the resulting binary code is
+embedded in a special code section of the executable indexed with a unique
+identifier").  This module defines that section format.
+
+Layout (all little-endian):
+
+.. code-block:: none
+
+    magic   "XASM"              4 bytes
+    version u8                  (currently 1)
+    nstr    u32                 string-table entries
+    strings [u16 len + utf-8]   names of symbols, surfaces and labels
+    nlabels u32
+    labels  [u32 strid + u32 instruction index]
+    ninstr  u32
+    instr   [variable, see _encode_instruction]
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Tuple
+
+from ..errors import EncodingError
+from .instructions import Instruction, Predication
+from .opcodes import Condition, Opcode
+from .operands import (
+    BlockOperand,
+    ImmOperand,
+    LabelOperand,
+    MemOperand,
+    Operand,
+    PredOperand,
+    RangeOperand,
+    RegOperand,
+    ShredRegOperand,
+    SymOperand,
+)
+from .program import Program
+from .types import DataType
+
+MAGIC = b"XASM"
+VERSION = 1
+
+_OPCODES = list(Opcode)
+_OPCODE_INDEX = {op: i for i, op in enumerate(_OPCODES)}
+_DTYPES = list(DataType)
+_DTYPE_INDEX = {t: i for i, t in enumerate(_DTYPES)}
+_CONDS = list(Condition)
+_COND_INDEX = {c: i for i, c in enumerate(_CONDS)}
+
+# operand tags
+_TAG_REG = 0
+_TAG_RANGE = 1
+_TAG_IMM = 2
+_TAG_SYM = 3
+_TAG_PRED = 4
+_TAG_LABEL = 5
+_TAG_MEM = 6
+_TAG_BLOCK = 7
+_TAG_SHREDREG = 8
+
+_FLAG_PRED = 1
+_FLAG_PRED_NEG = 2
+_FLAG_COND = 4
+_FLAG_BLOCK = 8
+
+
+class _StringTable:
+    def __init__(self):
+        self._index: Dict[str, int] = {}
+        self.strings: List[str] = []
+
+    def intern(self, s: str) -> int:
+        if s not in self._index:
+            self._index[s] = len(self.strings)
+            self.strings.append(s)
+        return self._index[s]
+
+
+def encode_program(program: Program) -> bytes:
+    """Serialize a program to the fat-binary code-section format."""
+    table = _StringTable()
+    for name in sorted(program.labels):
+        table.intern(name)
+    body = bytearray()
+    for instr in program.instructions:
+        body += _encode_instruction(instr, table)
+    out = bytearray()
+    out += MAGIC
+    out.append(VERSION)
+    out += struct.pack("<I", len(table.strings))
+    for s in table.strings:
+        data = s.encode("utf-8")
+        out += struct.pack("<H", len(data))
+        out += data
+    out += struct.pack("<I", len(program.labels))
+    for name, idx in sorted(program.labels.items()):
+        out += struct.pack("<II", table.intern(name), idx)
+    out += struct.pack("<I", len(program.instructions))
+    out += body
+    return bytes(out)
+
+
+def decode_program(data: bytes, name: str = "<decoded>") -> Program:
+    """Inverse of :func:`encode_program`."""
+    if data[:4] != MAGIC:
+        raise EncodingError("bad magic: not an accelerator code section")
+    version = data[4]
+    if version != VERSION:
+        raise EncodingError(f"unsupported code section version {version}")
+    offset = 5
+    (nstr,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    strings = []
+    for _ in range(nstr):
+        (slen,) = struct.unpack_from("<H", data, offset)
+        offset += 2
+        strings.append(data[offset : offset + slen].decode("utf-8"))
+        offset += slen
+    (nlabels,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    labels = {}
+    for _ in range(nlabels):
+        strid, idx = struct.unpack_from("<II", data, offset)
+        offset += 8
+        labels[strings[strid]] = idx
+    (ninstr,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    instructions = []
+    for _ in range(ninstr):
+        instr, offset = _decode_instruction(data, offset, strings)
+        instructions.append(instr)
+    program = Program(name=name, instructions=tuple(instructions), labels=labels)
+    program.validate()
+    return program
+
+
+def _encode_instruction(instr: Instruction, table: _StringTable) -> bytes:
+    out = bytearray()
+    out.append(_OPCODE_INDEX[instr.opcode])
+    flags = 0
+    if instr.pred is not None:
+        flags |= _FLAG_PRED
+        if instr.pred.negate:
+            flags |= _FLAG_PRED_NEG
+    if instr.cond is not None:
+        flags |= _FLAG_COND
+    if instr.block is not None:
+        flags |= _FLAG_BLOCK
+    out.append(flags)
+    if instr.pred is not None:
+        out.append(instr.pred.index)
+    if instr.cond is not None:
+        out.append(_COND_INDEX[instr.cond])
+    out += struct.pack("<H", instr.width)
+    if instr.block is not None:
+        out += struct.pack("<HH", *instr.block)
+    out.append(_DTYPE_INDEX[instr.dtype])
+    out.append(len(instr.dsts))
+    out.append(len(instr.srcs))
+    for op in instr.dsts:
+        out += _encode_operand(op, table)
+    for op in instr.srcs:
+        out += _encode_operand(op, table)
+    out += struct.pack("<I", instr.line)
+    return bytes(out)
+
+
+def _decode_instruction(data: bytes, offset: int, strings: List[str]) -> Tuple[Instruction, int]:
+    opcode = _OPCODES[data[offset]]
+    flags = data[offset + 1]
+    offset += 2
+    pred = None
+    if flags & _FLAG_PRED:
+        pred = Predication(data[offset], negate=bool(flags & _FLAG_PRED_NEG))
+        offset += 1
+    cond = None
+    if flags & _FLAG_COND:
+        cond = _CONDS[data[offset]]
+        offset += 1
+    (width,) = struct.unpack_from("<H", data, offset)
+    offset += 2
+    block = None
+    if flags & _FLAG_BLOCK:
+        block = tuple(struct.unpack_from("<HH", data, offset))
+        offset += 4
+    dtype = _DTYPES[data[offset]]
+    ndst, nsrc = data[offset + 1], data[offset + 2]
+    offset += 3
+    dsts = []
+    for _ in range(ndst):
+        op, offset = _decode_operand(data, offset, strings)
+        dsts.append(op)
+    srcs = []
+    for _ in range(nsrc):
+        op, offset = _decode_operand(data, offset, strings)
+        srcs.append(op)
+    (line,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    return (
+        Instruction(opcode, width, dtype, tuple(dsts), tuple(srcs), pred,
+                    cond, block, line),
+        offset,
+    )
+
+
+def _encode_operand(op: Operand, table: _StringTable) -> bytes:
+    if isinstance(op, RegOperand):
+        return struct.pack("<BH", _TAG_REG, op.reg)
+    if isinstance(op, RangeOperand):
+        return struct.pack("<BHH", _TAG_RANGE, op.start, op.stop)
+    if isinstance(op, ImmOperand):
+        return struct.pack("<Bd", _TAG_IMM, op.value)
+    if isinstance(op, SymOperand):
+        return struct.pack("<BI", _TAG_SYM, table.intern(op.name))
+    if isinstance(op, PredOperand):
+        return struct.pack("<BB", _TAG_PRED, op.index)
+    if isinstance(op, LabelOperand):
+        return struct.pack("<BI", _TAG_LABEL, table.intern(op.name))
+    if isinstance(op, MemOperand):
+        return (
+            struct.pack("<BI", _TAG_MEM, table.intern(op.surface))
+            + _encode_operand(op.index, table)
+            + struct.pack("<i", op.offset)
+        )
+    if isinstance(op, BlockOperand):
+        return (
+            struct.pack("<BI", _TAG_BLOCK, table.intern(op.surface))
+            + _encode_operand(op.x, table)
+            + _encode_operand(op.y, table)
+        )
+    if isinstance(op, ShredRegOperand):
+        return (
+            struct.pack("<B", _TAG_SHREDREG)
+            + _encode_operand(op.target, table)
+            + struct.pack("<H", op.reg)
+        )
+    raise EncodingError(f"cannot encode operand {op!r}")
+
+
+def _decode_operand(data: bytes, offset: int, strings: List[str]) -> Tuple[Operand, int]:
+    tag = data[offset]
+    offset += 1
+    if tag == _TAG_REG:
+        (reg,) = struct.unpack_from("<H", data, offset)
+        return RegOperand(reg), offset + 2
+    if tag == _TAG_RANGE:
+        start, stop = struct.unpack_from("<HH", data, offset)
+        return RangeOperand(start, stop), offset + 4
+    if tag == _TAG_IMM:
+        (value,) = struct.unpack_from("<d", data, offset)
+        return ImmOperand(value), offset + 8
+    if tag == _TAG_SYM:
+        (strid,) = struct.unpack_from("<I", data, offset)
+        return SymOperand(strings[strid]), offset + 4
+    if tag == _TAG_PRED:
+        return PredOperand(data[offset]), offset + 1
+    if tag == _TAG_LABEL:
+        (strid,) = struct.unpack_from("<I", data, offset)
+        return LabelOperand(strings[strid]), offset + 4
+    if tag == _TAG_MEM:
+        (strid,) = struct.unpack_from("<I", data, offset)
+        index, offset2 = _decode_operand(data, offset + 4, strings)
+        (off,) = struct.unpack_from("<i", data, offset2)
+        return MemOperand(strings[strid], index, off), offset2 + 4
+    if tag == _TAG_BLOCK:
+        (strid,) = struct.unpack_from("<I", data, offset)
+        x, offset2 = _decode_operand(data, offset + 4, strings)
+        y, offset3 = _decode_operand(data, offset2, strings)
+        return BlockOperand(strings[strid], x, y), offset3
+    if tag == _TAG_SHREDREG:
+        target, offset2 = _decode_operand(data, offset, strings)
+        (reg,) = struct.unpack_from("<H", data, offset2)
+        return ShredRegOperand(target, reg), offset2 + 2
+    raise EncodingError(f"unknown operand tag {tag}")

@@ -1,0 +1,117 @@
+"""Instruction objects: one decoded accelerator instruction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .opcodes import OP_INFO, Condition, Opcode
+from .operands import Operand
+from .types import DataType
+
+
+@dataclass(frozen=True)
+class Predication:
+    """An instruction guard ``(pK)`` or ``(!pK)``.
+
+    A guarded instruction executes per lane where the predicate holds
+    (ALU ops merge under the mask); control flow treats the guard as
+    "any lane set" (or "no lane set" when negated).
+    """
+
+    index: int
+    negate: bool = False
+
+    def __str__(self) -> str:
+        return f"({'!' if self.negate else ''}p{self.index})"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One accelerator instruction.
+
+    ``width`` is the SIMD element count.  Block operations (``ldblk``,
+    ``stblk``, ``sample``) carry a 2-D shape in ``block`` instead, and
+    ``width`` is its element count (w*h).
+    """
+
+    opcode: Opcode
+    width: int = 1
+    dtype: DataType = DataType.DW
+    dsts: Tuple[Operand, ...] = ()
+    srcs: Tuple[Operand, ...] = ()
+    pred: Optional[Predication] = None
+    cond: Optional[Condition] = None
+    block: Optional[Tuple[int, int]] = None  # (w, h) for block ops
+    line: int = 0  # source line in the assembly text (debug info)
+
+    @property
+    def info(self):
+        return OP_INFO[self.opcode]
+
+    def mnemonic(self) -> str:
+        """The dotted mnemonic, e.g. ``add.8.dw`` or ``ldblk.8x8.ub``."""
+        parts = [self.opcode.value]
+        if self.cond is not None:
+            parts.append(self.cond.value)
+        if self.block is not None:
+            parts.append(f"{self.block[0]}x{self.block[1]}")
+        elif self.opcode not in _WIDTHLESS:
+            parts.append(str(self.width))
+        if self.opcode not in _TYPELESS:
+            parts.append(self.dtype.value)
+        return ".".join(parts)
+
+    def __str__(self) -> str:
+        text = ""
+        if self.pred is not None:
+            if self.opcode is not Opcode.BR:
+                text += f"{self.pred} "
+            elif self.pred.negate:
+                # negated branch guards re-parse via the prefix form
+                text += f"{self.pred} "
+        text += self.mnemonic()
+        if self.opcode in (Opcode.ST, Opcode.STBLK, Opcode.SENDREG):
+            # store-like: the memory/shred target sits left of '='
+            text += f" {self.srcs[0]} = {self.srcs[1]}"
+        elif self.opcode is Opcode.BR:
+            text += f" p{self.pred.index if self.pred else 0}, {self.srcs[-1]}"
+        elif self.dsts and self.srcs:
+            text += (
+                f" {', '.join(map(str, self.dsts))}"
+                f" = {', '.join(map(str, self.srcs))}"
+            )
+        elif self.dsts:
+            text += f" {', '.join(map(str, self.dsts))}"
+        elif self.srcs:
+            text += f" {', '.join(map(str, self.srcs))}"
+        return text
+
+
+#: Opcodes whose mnemonic carries no SIMD width component.
+_WIDTHLESS = {
+    Opcode.JMP,
+    Opcode.BR,
+    Opcode.END,
+    Opcode.NOP,
+    Opcode.FLUSH,
+    Opcode.FENCE,
+    Opcode.SPAWN,
+}
+
+#: Opcodes whose mnemonic carries no data-type component.
+_TYPELESS = _WIDTHLESS | set()
+
+
+@dataclass
+class Effect:
+    """What executing one instruction did — consumed by the timing model."""
+
+    next_ip: Optional[int] = None  # taken branch target (instruction index)
+    bytes_read: int = 0
+    bytes_written: int = 0
+    used_sampler: bool = False
+    ended: bool = False
+    spawned: list = field(default_factory=list)
+    sent_registers: list = field(default_factory=list)  # (shred_id, reg)
+    flushed_cache: bool = False

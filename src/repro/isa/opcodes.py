@@ -1,0 +1,144 @@
+"""Opcode set and static metadata of the accelerator ISA.
+
+Latency classes feed the GMA timing model: ``issue`` is the cycles an
+instruction occupies the EU's issue slot; ``latency`` is the additional
+cycles before its result is ready (covered by switch-on-stall
+multithreading when other thread contexts are runnable).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Opcode(enum.Enum):
+    # data movement
+    MOV = "mov"
+    BCAST = "bcast"  # broadcast scalar to all elements
+    LD = "ld"  # linear surface load
+    ST = "st"  # linear surface store
+    LDBLK = "ldblk"  # 2-D block load (macroblock)
+    STBLK = "stblk"  # 2-D block store
+    SAMPLE = "sample"  # fixed-function bilinear texture sampler
+    # integer/float ALU
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    MAD = "mad"  # dst = a * b + c
+    DIV = "div"
+    MIN = "min"
+    MAX = "max"
+    AVG = "avg"  # rounding average, the media idiom
+    ABS = "abs"
+    SHL = "shl"
+    SHR = "shr"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    CVT = "cvt"  # convert to the instruction's data type
+    IOTA = "iota"  # dst lane i = i (the per-lane index ramp)
+    ILV = "ilv"  # interleave: dst[2i] = a[i], dst[2i+1] = b[i]
+    HADD = "hadd"  # horizontal sum -> scalar
+    HMAX = "hmax"  # horizontal max -> scalar
+    # predication & control flow
+    CMP = "cmp"  # writes a predicate register
+    SEL = "sel"  # dst = mask ? a : b
+    JMP = "jmp"
+    BR = "br"  # branch if any lane of predicate set (or !p: none set)
+    END = "end"
+    NOP = "nop"
+    # inter-shred / system
+    SENDREG = "sendreg"  # write another shred's register (producer-consumer)
+    SPAWN = "spawn"  # spawn a sibling shred
+    FLUSH = "flush"  # flush this sequencer's cache (non-CC configurations)
+    FENCE = "fence"  # memory ordering point
+
+
+class OpKind(enum.Enum):
+    MOVE = "move"
+    MEMORY = "memory"
+    ALU = "alu"
+    SAMPLER = "sampler"
+    PREDICATE = "predicate"
+    CONTROL = "control"
+    SYSTEM = "system"
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of one opcode."""
+
+    kind: OpKind
+    n_src: int  # number of source operands (-1: variable)
+    has_dst: bool
+    issue: int  # EU issue-slot occupancy in cycles
+    latency: int  # additional result latency (hideable by thread switch)
+    has_cond: bool = False  # carries a comparison condition (cmp)
+
+
+_ALU_1 = OpInfo(OpKind.ALU, 1, True, issue=1, latency=1)
+_ALU_2 = OpInfo(OpKind.ALU, 2, True, issue=1, latency=1)
+_ALU_3 = OpInfo(OpKind.ALU, 3, True, issue=1, latency=1)
+
+OP_INFO = {
+    Opcode.MOV: OpInfo(OpKind.MOVE, 1, True, issue=1, latency=0),
+    Opcode.BCAST: OpInfo(OpKind.MOVE, 1, True, issue=1, latency=0),
+    Opcode.LD: OpInfo(OpKind.MEMORY, 1, True, issue=2, latency=40),
+    Opcode.ST: OpInfo(OpKind.MEMORY, 2, False, issue=2, latency=0),
+    Opcode.LDBLK: OpInfo(OpKind.MEMORY, 1, True, issue=4, latency=60),
+    Opcode.STBLK: OpInfo(OpKind.MEMORY, 2, False, issue=4, latency=0),
+    Opcode.SAMPLE: OpInfo(OpKind.SAMPLER, 1, True, issue=4, latency=80),
+    Opcode.ADD: _ALU_2,
+    Opcode.SUB: _ALU_2,
+    Opcode.MUL: OpInfo(OpKind.ALU, 2, True, issue=1, latency=3),
+    Opcode.MAD: OpInfo(OpKind.ALU, 3, True, issue=1, latency=3),
+    Opcode.DIV: OpInfo(OpKind.ALU, 2, True, issue=4, latency=16),
+    Opcode.MIN: _ALU_2,
+    Opcode.MAX: _ALU_2,
+    Opcode.AVG: _ALU_2,
+    Opcode.ABS: _ALU_1,
+    Opcode.SHL: _ALU_2,
+    Opcode.SHR: _ALU_2,
+    Opcode.AND: _ALU_2,
+    Opcode.OR: _ALU_2,
+    Opcode.XOR: _ALU_2,
+    Opcode.NOT: _ALU_1,
+    Opcode.CVT: _ALU_1,
+    Opcode.IOTA: OpInfo(OpKind.ALU, 0, True, issue=1, latency=0),
+    Opcode.ILV: _ALU_2,
+    Opcode.HADD: OpInfo(OpKind.ALU, 1, True, issue=2, latency=4),
+    Opcode.HMAX: OpInfo(OpKind.ALU, 1, True, issue=2, latency=4),
+    Opcode.CMP: OpInfo(OpKind.PREDICATE, 2, True, issue=1, latency=1, has_cond=True),
+    Opcode.SEL: OpInfo(OpKind.ALU, 3, True, issue=1, latency=1),
+    Opcode.JMP: OpInfo(OpKind.CONTROL, 1, False, issue=1, latency=0),
+    Opcode.BR: OpInfo(OpKind.CONTROL, 2, False, issue=1, latency=1),
+    Opcode.END: OpInfo(OpKind.CONTROL, 0, False, issue=1, latency=0),
+    Opcode.NOP: OpInfo(OpKind.CONTROL, 0, False, issue=1, latency=0),
+    Opcode.SENDREG: OpInfo(OpKind.SYSTEM, 2, False, issue=2, latency=8),
+    Opcode.SPAWN: OpInfo(OpKind.SYSTEM, 1, False, issue=4, latency=0),
+    Opcode.FLUSH: OpInfo(OpKind.SYSTEM, 0, False, issue=4, latency=100),
+    Opcode.FENCE: OpInfo(OpKind.SYSTEM, 0, False, issue=1, latency=4),
+}
+
+
+class Condition(enum.Enum):
+    """Comparison conditions for ``cmp.<cond>.<n>.<ty>``."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+
+
+_BY_MNEMONIC = {op.value: op for op in Opcode}
+
+
+def opcode_from_mnemonic(name: str) -> Opcode:
+    try:
+        return _BY_MNEMONIC[name]
+    except KeyError:
+        raise ValueError(f"unknown opcode {name!r}") from None

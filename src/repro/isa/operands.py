@@ -1,0 +1,246 @@
+"""Operand forms of the accelerator ISA.
+
+Operands are pure descriptions; reading and writing values goes through an
+execution context object (see :class:`ExecContext`) supplied by whichever
+backend is interpreting the program (the GMA device model, the debugger's
+single-stepper, or a bare functional evaluator in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from ..errors import ExecutionFault
+from .types import VLEN, DataType
+
+
+class ExecContext(Protocol):
+    """What an operand needs from the machine interpreting it.
+
+    The GMA interpreter implements this with full timing and translation;
+    tests may implement it with plain dictionaries.
+    """
+
+    regs: "object"  # RegisterFile
+
+    def resolve_symbol(self, name: str) -> float:
+        """Value of a bound scalar symbol (private/firstprivate variable)."""
+        ...
+
+    def surface_read(self, name: str, index: int, count: int, ty: DataType) -> np.ndarray:
+        """Read ``count`` elements of a linear surface starting at ``index``."""
+        ...
+
+    def surface_write(self, name: str, index: int, values: np.ndarray, ty: DataType) -> None:
+        ...
+
+    def surface_read_block(
+        self, name: str, x: int, y: int, w: int, h: int, ty: DataType
+    ) -> np.ndarray:
+        """Read a ``w``x``h`` block at (x, y) of a 2-D surface, row-major."""
+        ...
+
+    def surface_write_block(
+        self, name: str, x: int, y: int, values: np.ndarray, w: int, h: int, ty: DataType
+    ) -> None:
+        ...
+
+    def sample(self, name: str, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Fixed-function bilinear texture sample at fractional coordinates."""
+        ...
+
+    def send_register(self, shred_id: int, reg: int, values: np.ndarray) -> None:
+        """Write into another shred's register file (producer-consumer)."""
+        ...
+
+    def spawn_shred(self, arg: float) -> None:
+        """Spawn a sibling shred (GMA shreds may spawn GMA shreds)."""
+        ...
+
+    def flush_device_cache(self) -> None:
+        ...
+
+
+class Operand:
+    """Base class; concrete operands implement read and/or write."""
+
+    def read(self, ctx: ExecContext, n: int) -> np.ndarray:
+        raise ExecutionFault(f"operand {self!r} is not readable")
+
+    def write(self, ctx: ExecContext, values: np.ndarray, ty: DataType) -> None:
+        raise ExecutionFault(f"operand {self!r} is not writable")
+
+
+@dataclass(frozen=True)
+class RegOperand(Operand):
+    """A single vector register ``vrN``: lanes 0..n-1 (scalar when n == 1)."""
+
+    reg: int
+
+    def read(self, ctx: ExecContext, n: int) -> np.ndarray:
+        return ctx.regs.read_lanes(self.reg, n)
+
+    def write(self, ctx: ExecContext, values: np.ndarray, ty: DataType) -> None:
+        ctx.regs.write_lanes(self.reg, ty.wrap(values))
+
+    def __str__(self) -> str:
+        return f"vr{self.reg}"
+
+
+@dataclass(frozen=True)
+class RangeOperand(Operand):
+    """A register range ``[vrA..vrB]``.
+
+    Two vector interpretations exist, selected by the instruction width n:
+
+    * **per-register** (n == number of registers): one element per named
+      register, lane 0 of each — the paper's Figure 6 form
+      (``add.8.dw [vr18..vr25] = ...``);
+    * **packed** (ceil(n / VLEN) == number of registers): n elements packed
+      across all 16 lanes of consecutive registers — the macroblock form
+      used with ``ldblk``/``stblk`` and wide ALU ops, e.g.
+      ``add.64.uw [vr40..vr43] = ...`` (64 elements in 4 registers).
+    """
+
+    start: int
+    stop: int
+
+    @property
+    def count(self) -> int:
+        return self.stop - self.start + 1
+
+    def _packed(self, n: int) -> bool:
+        if n == self.count:
+            return False
+        if -(-n // VLEN) == self.count:
+            return True
+        raise ExecutionFault(
+            f"width {n} matches register range {self} neither per-register "
+            f"({self.count}) nor packed ({self.count * VLEN} lanes)")
+
+    def read(self, ctx: ExecContext, n: int) -> np.ndarray:
+        if self._packed(n):
+            return ctx.regs.read_block(self.start, n)
+        return ctx.regs.read_range(self.start, self.stop)
+
+    def write(self, ctx: ExecContext, values: np.ndarray, ty: DataType) -> None:
+        values = np.asarray(values)
+        if self._packed(values.size):
+            ctx.regs.write_block(self.start, ty.wrap(values))
+        else:
+            ctx.regs.write_range(self.start, self.stop, ty.wrap(values))
+
+    def read_packed(self, ctx: ExecContext, count: int) -> np.ndarray:
+        """Block (``ldblk``/``stblk``) packing: 16 lanes per register."""
+        return ctx.regs.read_block(self.start, count)
+
+    def write_packed(self, ctx: ExecContext, values: np.ndarray, ty: DataType) -> None:
+        ctx.regs.write_block(self.start, ty.wrap(values))
+
+    def __str__(self) -> str:
+        return f"[vr{self.start}..vr{self.stop}]"
+
+
+@dataclass(frozen=True)
+class ImmOperand(Operand):
+    """An immediate constant, broadcast to the instruction width."""
+
+    value: float
+
+    def read(self, ctx: ExecContext, n: int) -> np.ndarray:
+        return np.full(n, self.value, dtype=np.float64)
+
+    def __str__(self) -> str:
+        if self.value == int(self.value):
+            return str(int(self.value))
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class SymOperand(Operand):
+    """A bound symbol (a private/firstprivate variable), broadcast."""
+
+    name: str
+
+    def read(self, ctx: ExecContext, n: int) -> np.ndarray:
+        return np.full(n, ctx.resolve_symbol(self.name), dtype=np.float64)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class MemOperand(Operand):
+    """A linear surface reference ``(S, index, offset)``.
+
+    ``index`` is a scalar operand (register, symbol or immediate); the
+    effective element index is ``index + offset``.  Used by ``ld``/``st``.
+    """
+
+    surface: str
+    index: Operand
+    offset: int
+
+    def element_index(self, ctx: ExecContext) -> int:
+        return int(self.index.read(ctx, 1)[0]) + self.offset
+
+    def __str__(self) -> str:
+        return f"({self.surface}, {self.index}, {self.offset})"
+
+
+@dataclass(frozen=True)
+class BlockOperand(Operand):
+    """A 2-D surface block reference ``(S, x, y)`` for ldblk/stblk/sample."""
+
+    surface: str
+    x: Operand
+    y: Operand
+
+    def coords(self, ctx: ExecContext) -> tuple:
+        return (int(self.x.read(ctx, 1)[0]), int(self.y.read(ctx, 1)[0]))
+
+    def __str__(self) -> str:
+        return f"({self.surface}, {self.x}, {self.y})"
+
+
+@dataclass(frozen=True)
+class PredOperand(Operand):
+    """A predicate register ``pN`` (destination of cmp, source of sel/br)."""
+
+    index: int
+
+    def read(self, ctx: ExecContext, n: int) -> np.ndarray:
+        return ctx.regs.read_pred(self.index, n).astype(np.float64)
+
+    def read_mask(self, ctx: ExecContext, n: int) -> np.ndarray:
+        return ctx.regs.read_pred(self.index, n)
+
+    def write_mask(self, ctx: ExecContext, mask: np.ndarray) -> None:
+        ctx.regs.write_pred(self.index, mask)
+
+    def __str__(self) -> str:
+        return f"p{self.index}"
+
+
+@dataclass(frozen=True)
+class ShredRegOperand(Operand):
+    """``(target, vrD)``: a register in another shred's file (sendreg)."""
+
+    target: Operand  # scalar shred id
+    reg: int
+
+    def __str__(self) -> str:
+        return f"({self.target}, vr{self.reg})"
+
+
+@dataclass(frozen=True)
+class LabelOperand(Operand):
+    """A branch target, resolved by the assembler to an instruction index."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name

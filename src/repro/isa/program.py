@@ -1,0 +1,150 @@
+"""Assembled accelerator programs: validation, symbols, debug info."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set, Tuple
+
+from ..errors import AssemblyError
+from .instructions import Instruction
+from .opcodes import Opcode
+from .operands import (
+    BlockOperand,
+    LabelOperand,
+    MemOperand,
+    Operand,
+    RangeOperand,
+    RegOperand,
+    ShredRegOperand,
+    SymOperand,
+)
+from .types import NUM_VREGS, VLEN
+
+
+@dataclass
+class Program:
+    """A validated sequence of accelerator instructions.
+
+    Instances are produced by :func:`repro.isa.assembler.assemble` or by
+    decoding a fat-binary code section.  ``labels`` maps label names to
+    instruction indices; each instruction's ``line`` field maps back to the
+    assembly source for the debugger.
+    """
+
+    name: str
+    instructions: Tuple[Instruction, ...]
+    labels: Dict[str, int] = field(default_factory=dict)
+    source: str = ""
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def target(self, label: str) -> int:
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise AssemblyError(f"undefined label {label!r}") from None
+
+    # -- symbol discovery ----------------------------------------------------
+
+    def scalar_symbols(self) -> Set[str]:
+        """Names bound as scalar inputs (private/firstprivate variables)."""
+        out: Set[str] = set()
+        for instr in self.instructions:
+            for op in instr.dsts + instr.srcs:
+                out |= _scalar_syms(op)
+        return out
+
+    def surface_symbols(self) -> Set[str]:
+        """Names of surfaces referenced by memory/block/sample operands."""
+        out: Set[str] = set()
+        for instr in self.instructions:
+            for op in instr.dsts + instr.srcs:
+                out |= _surface_syms(op)
+        return out
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check branch targets, register bounds and width consistency."""
+        for idx, instr in enumerate(self.instructions):
+            where = f"{self.name}[{idx}] ({instr})"
+            # horizontal reductions write a scalar result
+            dst_width = (1 if instr.opcode in (Opcode.HADD, Opcode.HMAX)
+                         else instr.width)
+            for op in instr.dsts:
+                self._validate_operand(op, instr, where, dst_width)
+            # ilv sources each carry half the output elements
+            src_width = (instr.width // 2 if instr.opcode is Opcode.ILV
+                         else instr.width)
+            for op in instr.srcs:
+                self._validate_operand(op, instr, where, src_width)
+            if instr.opcode in (Opcode.JMP, Opcode.BR):
+                target = instr.srcs[-1]
+                if not isinstance(target, LabelOperand):
+                    raise AssemblyError(f"{where}: branch target is not a label")
+                if target.name not in self.labels:
+                    raise AssemblyError(
+                        f"{where}: undefined label {target.name!r}")
+
+    def _validate_operand(self, op: Operand, instr: Instruction, where: str,
+                          width: int) -> None:
+        if isinstance(op, RegOperand):
+            if not 0 <= op.reg < NUM_VREGS:
+                raise AssemblyError(f"{where}: vr{op.reg} out of range")
+            if instr.block is None and instr.opcode is not Opcode.SENDREG:
+                if width > VLEN and instr.opcode not in (
+                        Opcode.LDBLK, Opcode.STBLK, Opcode.SAMPLE):
+                    raise AssemblyError(
+                        f"{where}: width {width} exceeds single-register "
+                        f"vector length {VLEN}; use a register range")
+        elif isinstance(op, RangeOperand):
+            if not (0 <= op.start < NUM_VREGS and 0 <= op.stop < NUM_VREGS):
+                raise AssemblyError(f"{where}: register range {op} out of bounds")
+            packed_regs = -(-width // VLEN)
+            if op.count != width and op.count != packed_regs:
+                raise AssemblyError(
+                    f"{where}: register range {op} has {op.count} registers; "
+                    f"width {width} needs {width} (per-register form) or "
+                    f"{packed_regs} (packed form)")
+        elif isinstance(op, MemOperand):
+            self._validate_operand(op.index, instr, where, 1)
+        elif isinstance(op, BlockOperand):
+            self._validate_operand(op.x, instr, where, 1)
+            self._validate_operand(op.y, instr, where, 1)
+        elif isinstance(op, ShredRegOperand):
+            self._validate_operand(op.target, instr, where, 1)
+            if not 0 <= op.reg < NUM_VREGS:
+                raise AssemblyError(f"{where}: vr{op.reg} out of range")
+
+    # -- debug info ------------------------------------------------------------
+
+    def source_line(self, ip: int) -> str:
+        """The assembly source line for instruction index ``ip``."""
+        if not 0 <= ip < len(self.instructions):
+            return ""
+        lineno = self.instructions[ip].line
+        lines = self.source.splitlines()
+        if 1 <= lineno <= len(lines):
+            return lines[lineno - 1].strip()
+        return str(self.instructions[ip])
+
+
+def _scalar_syms(op: Operand) -> Set[str]:
+    if isinstance(op, SymOperand):
+        return {op.name}
+    if isinstance(op, MemOperand):
+        return _scalar_syms(op.index)
+    if isinstance(op, BlockOperand):
+        return _scalar_syms(op.x) | _scalar_syms(op.y)
+    if isinstance(op, ShredRegOperand):
+        return _scalar_syms(op.target)
+    return set()
+
+
+def _surface_syms(op: Operand) -> Set[str]:
+    if isinstance(op, MemOperand):
+        return {op.surface}
+    if isinstance(op, BlockOperand):
+        return {op.surface}
+    return set()

@@ -1,0 +1,145 @@
+"""Architectural register state of one exo-sequencer thread context."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .types import NUM_PREGS, NUM_VREGS, VLEN
+
+
+class RegisterFile:
+    """Vector + predicate register state for one shred.
+
+    Lanes are stored as float64 regardless of the operating element type;
+    each instruction's :meth:`~repro.isa.types.DataType.wrap` applies the
+    type's range semantics on writeback.  This keeps the interpreter simple
+    while preserving integer wrap-around behaviour.
+    """
+
+    def __init__(self, num_vregs: int = NUM_VREGS, vlen: int = VLEN):
+        if num_vregs < 1 or vlen < 1:
+            raise ValueError("register file dimensions must be positive")
+        self.num_vregs = num_vregs
+        self.vlen = vlen
+        self._v = np.zeros((num_vregs, vlen), dtype=np.float64)
+        self._p = np.zeros((NUM_PREGS, vlen), dtype=bool)
+
+    # -- vector registers ---------------------------------------------------
+
+    def read_lanes(self, reg: int, count: int, lane: int = 0) -> np.ndarray:
+        """Read ``count`` lanes of register ``reg`` starting at ``lane``."""
+        self._check_vreg(reg)
+        if lane + count > self.vlen:
+            raise IndexError(
+                f"lane range {lane}..{lane + count} exceeds vector length {self.vlen}"
+            )
+        return self._v[reg, lane : lane + count].copy()
+
+    def write_lanes(self, reg: int, values: np.ndarray, lane: int = 0) -> None:
+        self._check_vreg(reg)
+        values = np.asarray(values, dtype=np.float64)
+        if lane + values.size > self.vlen:
+            raise IndexError(
+                f"lane range {lane}..{lane + values.size} exceeds vector "
+                f"length {self.vlen}"
+            )
+        self._v[reg, lane : lane + values.size] = values
+
+    def read_scalar(self, reg: int) -> float:
+        """Read lane 0 of a register (scalar view)."""
+        self._check_vreg(reg)
+        return float(self._v[reg, 0])
+
+    def write_scalar(self, reg: int, value: float) -> None:
+        self._check_vreg(reg)
+        self._v[reg, 0] = float(value)
+
+    # -- register ranges ----------------------------------------------------
+
+    def read_range(self, start: int, stop: int) -> np.ndarray:
+        """Read the range ``[vrstart..vrstop]`` as one element per register.
+
+        This is the operand form in the paper's Figure 6:
+        ``add.8.dw [vr18..vr25] = ...`` treats each named register as one
+        element of an 8-wide vector (lane 0 of each register).
+        """
+        self._check_range(start, stop)
+        return self._v[start : stop + 1, 0].copy()
+
+    def write_range(self, start: int, stop: int, values: np.ndarray) -> None:
+        self._check_range(start, stop)
+        values = np.asarray(values, dtype=np.float64)
+        if values.size != stop - start + 1:
+            raise ValueError(
+                f"range [vr{start}..vr{stop}] holds {stop - start + 1} elements, "
+                f"got {values.size}"
+            )
+        self._v[start : stop + 1, 0] = values
+
+    def read_block(self, start: int, count: int) -> np.ndarray:
+        """Read ``count`` elements packed across full registers (16/reg).
+
+        Block loads (``ldblk``) pack a macroblock row-major across all lanes
+        of consecutive registers.
+        """
+        nregs = -(-count // self.vlen)
+        self._check_range(start, start + nregs - 1)
+        return self._v[start : start + nregs].reshape(-1)[:count].copy()
+
+    def write_block(self, start: int, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        nregs = -(-values.size // self.vlen)
+        self._check_range(start, start + nregs - 1)
+        padded = np.zeros(nregs * self.vlen, dtype=np.float64)
+        padded[: values.size] = values
+        self._v[start : start + nregs] = padded.reshape(nregs, self.vlen)
+
+    # -- predicate registers ------------------------------------------------
+
+    def read_pred(self, index: int, count: int) -> np.ndarray:
+        self._check_preg(index)
+        if count > self.vlen:
+            raise IndexError(f"predicate width {count} exceeds {self.vlen}")
+        return self._p[index, :count].copy()
+
+    def write_pred(self, index: int, values: np.ndarray) -> None:
+        self._check_preg(index)
+        values = np.asarray(values, dtype=bool)
+        if values.size > self.vlen:
+            raise IndexError(f"predicate width {values.size} exceeds {self.vlen}")
+        self._p[index, : values.size] = values
+        self._p[index, values.size :] = False
+
+    def pred_any(self, index: int) -> bool:
+        self._check_preg(index)
+        return bool(self._p[index].any())
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def reset(self) -> None:
+        self._v.fill(0.0)
+        self._p.fill(False)
+
+    def snapshot(self) -> dict:
+        """A copy of all register state, for the debugger and CEH."""
+        return {"v": self._v.copy(), "p": self._p.copy()}
+
+    def restore(self, snap: dict) -> None:
+        self._v[:] = snap["v"]
+        self._p[:] = snap["p"]
+
+    # -- internal -----------------------------------------------------------
+
+    def _check_vreg(self, reg: int) -> None:
+        if not 0 <= reg < self.num_vregs:
+            raise IndexError(f"vr{reg} out of range (file has {self.num_vregs})")
+
+    def _check_range(self, start: int, stop: int) -> None:
+        if stop < start:
+            raise IndexError(f"empty register range [vr{start}..vr{stop}]")
+        self._check_vreg(start)
+        self._check_vreg(stop)
+
+    def _check_preg(self, index: int) -> None:
+        if not 0 <= index < NUM_PREGS:
+            raise IndexError(f"p{index} out of range (file has {NUM_PREGS})")

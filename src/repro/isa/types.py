@@ -1,0 +1,115 @@
+"""Data types and architectural constants of the accelerator ISA.
+
+The GMA X3000 ISA is not publicly documented at instruction level, so we
+define the minimal type system that makes the paper's listings well formed
+(see DESIGN.md, "ISA semantics").  Element types follow the suffixes used
+in Figure 6 of the paper (``.w``, ``.dw``) extended with the byte and
+floating types the media kernels need.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+#: Number of architectural vector registers per exo-sequencer.  The paper
+#: reports "a large register file of 64 to 128 vector registers" (section 5).
+NUM_VREGS = 128
+
+#: Lanes per vector register.  Each exo-sequencer "supports wide SIMD
+#: operations on up to 16 data elements in parallel" (section 3.4).
+VLEN = 16
+
+#: Number of predicate registers (the ISA "features ... predication
+#: support", section 5).
+NUM_PREGS = 16
+
+#: Bytes per vector-register lane (32-bit lanes).
+LANE_BYTES = 4
+
+
+class DataType(enum.Enum):
+    """Element types, named by their assembly suffix."""
+
+    B = "b"  # signed byte
+    UB = "ub"  # unsigned byte
+    W = "w"  # signed 16-bit word
+    UW = "uw"  # unsigned 16-bit word
+    DW = "dw"  # signed 32-bit dword
+    UDW = "udw"  # unsigned 32-bit dword
+    F = "f"  # IEEE single
+    DF = "df"  # IEEE double -- unsupported in X3000 hardware, trips CEH
+
+    @property
+    def size(self) -> int:
+        """Size of one element in bytes (as stored in memory)."""
+        return _SIZES[self]
+
+    @property
+    def is_float(self) -> bool:
+        return self in (DataType.F, DataType.DF)
+
+    @property
+    def is_signed(self) -> bool:
+        return self in (DataType.B, DataType.W, DataType.DW, DataType.F, DataType.DF)
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The numpy dtype used for this element type in memory."""
+        return _NP_DTYPES[self]
+
+    @classmethod
+    def from_suffix(cls, suffix: str) -> "DataType":
+        try:
+            return _BY_SUFFIX[suffix]
+        except KeyError:
+            raise ValueError(f"unknown data type suffix {suffix!r}") from None
+
+    def wrap(self, values: np.ndarray) -> np.ndarray:
+        """Apply this type's range semantics to raw float64 lane values.
+
+        Integer types wrap modulo their width (two's complement for signed
+        types); float types pass through (``f`` rounds to float32
+        precision).  Lane storage is always float64; this models the
+        narrowing that happens when an ALU of the given type writes back.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if self is DataType.F:
+            with np.errstate(over="ignore", invalid="ignore"):
+                return values.astype(np.float32).astype(np.float64)
+        if self is DataType.DF:
+            return values
+        bits = self.size * 8
+        modulus = 1 << bits
+        ints = np.asarray(np.trunc(values), dtype=object) % modulus
+        ints = np.asarray(ints, dtype=np.float64)
+        if self.is_signed:
+            half = modulus // 2
+            ints = np.where(ints >= half, ints - modulus, ints)
+        return ints
+
+
+_SIZES = {
+    DataType.B: 1,
+    DataType.UB: 1,
+    DataType.W: 2,
+    DataType.UW: 2,
+    DataType.DW: 4,
+    DataType.UDW: 4,
+    DataType.F: 4,
+    DataType.DF: 8,
+}
+
+_NP_DTYPES = {
+    DataType.B: np.dtype(np.int8),
+    DataType.UB: np.dtype(np.uint8),
+    DataType.W: np.dtype(np.int16),
+    DataType.UW: np.dtype(np.uint16),
+    DataType.DW: np.dtype(np.int32),
+    DataType.UDW: np.dtype(np.uint32),
+    DataType.F: np.dtype(np.float32),
+    DataType.DF: np.dtype(np.float64),
+}
+
+_BY_SUFFIX = {t.value: t for t in DataType}

@@ -1,0 +1,74 @@
+"""The Table 2 media-processing kernel suite.
+
+Ten production-representative kernels, each with a GMA X3000 assembly
+implementation (run on the device model) and a bit-exact numpy reference
+standing in for the paper's SSE-optimized IA32 baseline.
+"""
+
+from .advdi import ADVDI
+from .alpha_blend import AlphaBlend
+from .base import Geometry, MediaKernel, PaperConfig, SurfaceSpec, f32
+from .bicubic import Bicubic
+from .bob import BOB
+from .fgt import FGT
+from .fmd import FMD
+from .harness import (
+    KernelRunResult,
+    allocate_surfaces,
+    build_program,
+    run_kernel_on_gma,
+    scale_cycles_to_full_run,
+)
+from .kalman import Kalman
+from .linear_filter import LinearFilter
+from .procamp import ProcAmp
+from .sepia_tone import SepiaTone
+
+#: The suite in the paper's Table 2 order.
+ALL_KERNELS = (
+    LinearFilter,
+    SepiaTone,
+    FGT,
+    Bicubic,
+    Kalman,
+    FMD,
+    AlphaBlend,
+    BOB,
+    ADVDI,
+    ProcAmp,
+)
+
+
+def kernel_by_abbrev(abbrev: str) -> MediaKernel:
+    """Instantiate a kernel by its Table 2 abbreviation."""
+    for cls in ALL_KERNELS:
+        if cls.abbrev.lower() == abbrev.lower():
+            return cls()
+    raise KeyError(f"no kernel named {abbrev!r}; have "
+                   f"{[c.abbrev for c in ALL_KERNELS]}")
+
+
+__all__ = [
+    "ALL_KERNELS",
+    "kernel_by_abbrev",
+    "MediaKernel",
+    "Geometry",
+    "PaperConfig",
+    "SurfaceSpec",
+    "f32",
+    "KernelRunResult",
+    "run_kernel_on_gma",
+    "build_program",
+    "allocate_surfaces",
+    "scale_cycles_to_full_run",
+    "LinearFilter",
+    "SepiaTone",
+    "FGT",
+    "Bicubic",
+    "Kalman",
+    "FMD",
+    "AlphaBlend",
+    "BOB",
+    "ADVDI",
+    "ProcAmp",
+]

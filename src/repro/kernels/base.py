@@ -1,0 +1,229 @@
+"""Kernel framework: the shape every Table 2 media kernel shares.
+
+Each kernel supplies
+
+* GMA X3000 inline assembly (what the paper's developers wrote inside the
+  ``__asm`` blocks of CHI parallel regions), parameterized only through
+  bound symbols — per-shred *private* values (tile coordinates) and
+  *firstprivate* constants, exactly the binding model of Figure 6;
+* the per-shred decomposition (Table 2's shred counts come from these
+  tile grids);
+* a numpy *reference* implementation, which serves two duties: it is the
+  functional oracle the GMA result must match bit-for-bit, and it stands
+  in for the paper's SSE-optimized IA32 baseline, whose cost the kernel
+  describes via calibrated ``cpu_cycles_per_pixel`` /
+  ``cpu_bytes_per_pixel`` (each kernel documents the derivation).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..cpu.ia32 import CpuWork
+from ..isa.types import DataType
+
+
+def f32(values) -> np.ndarray:
+    """Round through IEEE single precision, as the GMA's ``.f`` ALU does.
+
+    References mirror the accelerator's per-instruction float32 writeback
+    (see :meth:`repro.isa.types.DataType.wrap`) so outputs match
+    bit-for-bit even at rounding boundaries.
+    """
+    return np.asarray(np.asarray(values, dtype=np.float32), dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """One evaluation configuration: frame size and frame count."""
+
+    width: int
+    height: int
+    frames: int = 1
+
+    def __post_init__(self):
+        if self.width <= 0 or self.height <= 0 or self.frames <= 0:
+            raise ValueError(f"invalid geometry {self}")
+
+    @property
+    def frame_pixels(self) -> int:
+        return self.width * self.height
+
+    @property
+    def pixels(self) -> int:
+        return self.frame_pixels * self.frames
+
+    def __str__(self) -> str:
+        base = f"{self.width}x{self.height}"
+        return base if self.frames == 1 else f"{self.frames}f {base}"
+
+
+@dataclass(frozen=True)
+class SurfaceSpec:
+    """One surface a kernel binds (the shared-clause variables)."""
+
+    name: str
+    role: str  # "input" | "output" | "state"
+    dtype: DataType
+    width: int
+    height: int
+
+    def __post_init__(self):
+        if self.role not in ("input", "output", "state"):
+            raise ValueError(f"unknown surface role {self.role!r}")
+
+
+@dataclass(frozen=True)
+class PaperConfig:
+    """One Table 2 row: the geometry and the shred count the paper reports."""
+
+    geometry: Geometry
+    paper_shreds: int
+    note: str = ""
+
+
+class MediaKernel(abc.ABC):
+    """Base class of the ten Table 2 media-processing kernels."""
+
+    #: Full kernel name and the paper's abbreviation.
+    name: str = ""
+    abbrev: str = ""
+    #: Shred tile size in output pixels (w, h).
+    block: Tuple[int, int] = (8, 8)
+    #: Calibrated IA32 cost (see class docstrings for derivations).
+    cpu_cycles_per_pixel: float = 10.0
+    cpu_bytes_per_pixel: float = 2.0
+    #: Figure 7 bar for this kernel.  Exact for BOB (1.41) and Bicubic
+    #: (10.97), read approximately off the figure for the rest.
+    paper_speedup: float = 0.0
+    paper_speedup_exact: bool = False
+
+    # -- decomposition -----------------------------------------------------------
+
+    def grid(self, geom: Geometry) -> Tuple[int, int]:
+        """Tile grid (tiles_x, tiles_y) for one frame."""
+        bw, bh = self.block
+        return (-(-geom.width // bw), -(-geom.height // bh))
+
+    def check_geometry(self, geom: Geometry) -> None:
+        """Reject geometries the shred decomposition cannot execute.
+
+        Shred tile shapes are fixed in the assembly (``ldblk.WxH``
+        mnemonics), so executable frames must be tile-aligned; counting
+        (``shred_count``) still works for any geometry via the ceil grid,
+        which is how the Table 2 formulas handle the paper's non-aligned
+        2000x2000 input.
+        """
+        bw, bh = self.block
+        problems = []
+        if bw > 0 and geom.width % bw:
+            problems.append(f"width {geom.width} % tile width {bw} != 0")
+        if bh > 0 and geom.height % bh:
+            problems.append(f"height {geom.height} % tile height {bh} != 0")
+        if problems:
+            raise ValueError(
+                f"{self.abbrev} cannot execute {geom}: "
+                + "; ".join(problems)
+                + " (pick a tile-aligned geometry)")
+
+    def frame_shreds(self, geom: Geometry) -> int:
+        tx, ty = self.grid(geom)
+        return tx * ty
+
+    def shred_count(self, geom: Geometry) -> int:
+        """Total shreds for the full run (the Table 2 number)."""
+        return self.frame_shreds(geom) * self.device_invocations(geom)
+
+    def device_invocations(self, geom: Geometry) -> int:
+        """How many parallel regions the run launches (one per frame)."""
+        return geom.frames
+
+    def shred_bindings(self, geom: Geometry) -> Iterator[Dict[str, float]]:
+        """Per-shred private values for one frame (default: tile origins)."""
+        bw, bh = self.block
+        tx, ty = self.grid(geom)
+        for j in range(ty):
+            for i in range(tx):
+                yield {"bx": float(i * bw), "by": float(j * bh)}
+
+    def constants(self, geom: Geometry) -> Dict[str, float]:
+        """Firstprivate constants shared by every shred."""
+        return {}
+
+    # -- kernel definition ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def asm_source(self, geom: Geometry) -> str:
+        """The GMA X3000 assembly for one shred."""
+
+    @abc.abstractmethod
+    def surface_specs(self, geom: Geometry) -> Sequence[SurfaceSpec]:
+        """The surfaces one frame binds."""
+
+    @abc.abstractmethod
+    def make_frame_inputs(self, geom: Geometry, frame: int,
+                          seed: int) -> Dict[str, np.ndarray]:
+        """Input-surface contents for this frame (keyed by surface name)."""
+
+    @abc.abstractmethod
+    def reference_frame(self, geom: Geometry, inputs: Dict[str, np.ndarray],
+                        state: Dict) -> Tuple[Dict[str, np.ndarray], Dict]:
+        """Expected output-surface contents; threads ``state`` across frames."""
+
+    def paper_configs(self) -> List[PaperConfig]:
+        """Table 2 rows for this kernel."""
+        return []
+
+    # -- verification --------------------------------------------------------------
+
+    def compare(self, name: str, got: np.ndarray, want: np.ndarray) -> None:
+        """Raise AssertionError when a downloaded output mismatches.
+
+        Pixel surfaces hold integer values and must match exactly; float
+        state surfaces allow rounding slack (the CEH/proxy path may compute
+        in a different precision order than numpy).
+        """
+        if got.shape != want.shape:
+            raise AssertionError(
+                f"{self.abbrev}: output {name!r} shape {got.shape} != "
+                f"expected {want.shape}")
+        close = np.isclose(got, want, rtol=1e-5, atol=1e-4)
+        if not close.all():
+            bad = tuple(np.argwhere(~close)[0])
+            raise AssertionError(
+                f"{self.abbrev}: output {name!r} mismatch at {bad}: "
+                f"got {got[bad]}, want {want[bad]} "
+                f"({(~close).sum()} of {close.size} elements differ)")
+
+    # -- host cost model ----------------------------------------------------------------
+
+    def cpu_pixels(self, geom: Geometry) -> int:
+        return geom.pixels
+
+    def cpu_work(self, geom: Geometry) -> CpuWork:
+        pixels = self.cpu_pixels(geom)
+        return CpuWork(
+            pixels=pixels,
+            cycles_per_pixel=self.cpu_cycles_per_pixel,
+            bytes_touched=int(pixels * self.cpu_bytes_per_pixel),
+        )
+
+    # -- memory-model footprints (Figure 8) -------------------------------------------------
+
+    def io_bytes_per_frame(self, geom: Geometry) -> Tuple[int, int]:
+        """(input bytes, output bytes) a frame communicates with the GMA."""
+        inp = out = 0
+        for spec in self.surface_specs(geom):
+            nbytes = spec.width * spec.height * spec.dtype.size
+            if spec.role in ("input", "state"):
+                inp += nbytes
+            if spec.role == "output":
+                out += nbytes
+        return inp, out
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.abbrev}>"

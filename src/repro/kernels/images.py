@@ -1,0 +1,71 @@
+"""Deterministic synthetic image and video generators for the kernels.
+
+The paper's inputs are production video frames we do not have; the kernels'
+cost is data-independent, so seeded synthetic content exercises identical
+code paths (see DESIGN.md, substitution table).  Generators return float64
+arrays holding integer pixel values in [0, 255] unless noted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def test_image(width: int, height: int, seed: int = 7) -> np.ndarray:
+    """A natural-looking luminance image: gradients + texture + noise."""
+    rng = np.random.default_rng(seed)
+    y, x = np.mgrid[0:height, 0:width]
+    base = 96 + 64 * np.sin(2 * np.pi * x / max(width / 3.0, 1))
+    base += 48 * np.cos(2 * np.pi * y / max(height / 2.0, 1))
+    noise = rng.integers(-24, 25, size=(height, width))
+    img = np.clip(base + noise, 0, 255)
+    return np.floor(img).astype(np.float64)
+
+
+def rgb_image(width: int, height: int, seed: int = 7) -> dict:
+    """Planar R/G/B channels of a synthetic colour image."""
+    return {
+        "R": test_image(width, height, seed),
+        "G": test_image(width, height, seed + 1),
+        "B": test_image(width, height, seed + 2),
+    }
+
+
+def video_frames(width: int, height: int, frames: int, seed: int = 7,
+                 motion: int = 2) -> list:
+    """Frames of a panning synthetic scene (consecutive frames correlate)."""
+    panorama = test_image(width + motion * frames, height, seed)
+    return [
+        panorama[:, i * motion : i * motion + width].copy()
+        for i in range(frames)
+    ]
+
+
+def telecined_frames(width: int, height: int, frames: int,
+                     seed: int = 7) -> list:
+    """A 3:2 pulldown (telecine) sequence for film-mode detection.
+
+    Every group of 5 video frames is built from 2 film frames in the
+    3:2 field pattern, so consecutive-frame field differences show the
+    cadence FMD must detect.
+    """
+    film = video_frames(width, height, -(-frames * 2 // 5) + 2, seed, motion=4)
+    out = []
+    for i in range(frames):
+        group, pos = divmod(i, 5)
+        a = film[group * 2]
+        b = film[group * 2 + 1]
+        frame = a.copy()
+        # 3:2 pattern: frames 0,1 pure A; 2 mixed; 3,4 pure B
+        if pos == 2:
+            frame[1::2] = b[1::2]
+        elif pos >= 3:
+            frame = b.copy()
+        out.append(frame)
+    return out
+
+
+def noise_field(width: int, height: int, seed: int = 11) -> np.ndarray:
+    """Uniform grain field centred at 128 (for FGT)."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(height, width)).astype(np.float64)

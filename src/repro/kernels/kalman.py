@@ -1,0 +1,106 @@
+"""Kalman — "Video noise reduction filter" (Table 2).
+
+Decomposition: 32x32 tiles.  512x256 gives 16 x 8 = 128 tiles per frame;
+the paper's 4,096 total equals exactly 128 x 32, and the large
+2048x1024 configuration's 65,536 equals (64 x 32) x 32 — so the counts
+correspond to 32 processed frames (the table's prose says 30; we follow
+the counts and note the discrepancy in EXPERIMENTS.md).
+
+The filter is the classic steady-state per-pixel Kalman/IIR temporal
+denoiser with gain K = 1/4 on 8-bit state, computed exactly in integer
+arithmetic the way fixed-point video hardware does::
+
+    state' = (3 * state + obs + 2) >> 2      # state + (obs-state)/4, rounded
+
+The state surface doubles as the output frame and is updated *in place*,
+so the recurrence carries across frames on the device exactly as in the
+reference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..isa.types import DataType
+from .base import Geometry, MediaKernel, PaperConfig, SurfaceSpec
+from .images import test_image, video_frames
+
+
+class Kalman(MediaKernel):
+    """Temporal noise reduction over 32x32 tiles.
+
+    IA32 cost: per pixel the SSE path unpacks two byte streams to words,
+    does a multiply-add, shift and repack — ~4.8 cycles/pixel with the
+    load/store overhead of the in-place state stream; calibrated against
+    the paper's mid-figure bar.
+    """
+
+    name = "Kalman"
+    abbrev = "Kalman"
+    block = (32, 32)
+    cpu_cycles_per_pixel = 4.82
+    cpu_bytes_per_pixel = 3.0  # state in + obs in + state out
+    paper_speedup = 4.6
+
+    def paper_configs(self) -> List[PaperConfig]:
+        return [
+            PaperConfig(Geometry(512, 256, frames=32), 4096,
+                        note="table prose says 30 frames; counts match 32"),
+            PaperConfig(Geometry(2048, 1024, frames=32), 65536,
+                        note="table prose says 30 frames; counts match 32"),
+        ]
+
+    def constants(self, geom: Geometry) -> Dict[str, float]:
+        return {"bh": float(self.block[1])}
+
+    def surface_specs(self, geom: Geometry) -> Sequence[SurfaceSpec]:
+        w, h = geom.width, geom.height
+        return [
+            SurfaceSpec("STATE", "state", DataType.UB, w, h),
+            SurfaceSpec("OBS", "input", DataType.UB, w, h),
+        ]
+
+    def asm_source(self, geom: Geometry) -> str:
+        return """
+    mov.1.dw vr1 = 0
+loop:
+    add.1.dw vr2 = by, vr1
+    ldblk.32x1.ub [vr10..vr11] = (STATE, bx, vr2)
+    ldblk.32x1.ub [vr12..vr13] = (OBS, bx, vr2)
+    mad.32.uw [vr14..vr15] = [vr10..vr11], 3, [vr12..vr13]
+    add.32.uw [vr14..vr15] = [vr14..vr15], 2
+    shr.32.uw [vr14..vr15] = [vr14..vr15], 2
+    stblk.32x1.ub (STATE, bx, vr2) = [vr14..vr15]
+    add.1.dw vr1 = vr1, 1
+    cmp.lt.1.dw p1 = vr1, bh
+    br p1, loop
+    end
+"""
+
+    def make_frame_inputs(self, geom: Geometry, frame: int,
+                          seed: int) -> Dict[str, np.ndarray]:
+        frames = self._sequence(geom, seed)
+        inputs = {"OBS": frames[frame % len(frames)]}
+        if frame == 0:
+            inputs["STATE"] = test_image(geom.width, geom.height, seed)
+        return inputs
+
+    def reference_frame(self, geom: Geometry, inputs: Dict[str, np.ndarray],
+                        state: Dict) -> Tuple[Dict[str, np.ndarray], Dict]:
+        prev = state.get("kalman", inputs.get("STATE"))
+        obs = inputs["OBS"]
+        new = np.floor((3.0 * prev + obs + 2.0) / 4.0)
+        return {"STATE": new}, {"kalman": new}
+
+    def _sequence(self, geom: Geometry, seed: int) -> list:
+        key = (geom, seed)
+        cache = getattr(self, "_seq_cache", None)
+        if cache is None:
+            cache = {}
+            self._seq_cache = cache
+        if key not in cache:
+            cache[key] = video_frames(geom.width, geom.height,
+                                      geom.frames, seed + 1)
+        return cache[key]

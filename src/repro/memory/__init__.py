@@ -1,0 +1,47 @@
+"""Memory substrate: physical frames, page tables, TLBs, surfaces, caches.
+
+This package implements everything the EXO architecture's shared virtual
+memory rests on: a physical frame store, IA32-format and GPU(GTT)-format
+page tables whose *incompatibility* is the reason ATR exists, per-sequencer
+TLBs, 2-D surfaces with tiling, write-back cache dirty tracking, and the
+bandwidth cost model behind the Figure 8 memory-configuration study.
+"""
+
+from .address_space import HEAP_BASE, AddressSpace, SequencerView
+from .bandwidth import BandwidthModel
+from .cache import LINE_SIZE, CoherencePoint, WritebackCache
+from .flushing import FlushPlan, FlushPolicy, schedule_flush
+from .gtt import GttMemType, gtt_memtype, gtt_pfn, gtt_valid, make_gtt_entry
+from .paging import IA32PageTable, Translation, make_pte, pte_pfn
+from .physical import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory
+from .surface import TILE, Surface, TileMode
+from .tlb import Tlb
+
+__all__ = [
+    "AddressSpace",
+    "SequencerView",
+    "HEAP_BASE",
+    "BandwidthModel",
+    "CoherencePoint",
+    "WritebackCache",
+    "LINE_SIZE",
+    "FlushPolicy",
+    "FlushPlan",
+    "schedule_flush",
+    "GttMemType",
+    "make_gtt_entry",
+    "gtt_valid",
+    "gtt_pfn",
+    "gtt_memtype",
+    "IA32PageTable",
+    "Translation",
+    "make_pte",
+    "pte_pfn",
+    "PhysicalMemory",
+    "PAGE_SIZE",
+    "PAGE_SHIFT",
+    "Surface",
+    "TileMode",
+    "TILE",
+    "Tlb",
+]

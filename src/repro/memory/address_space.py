@@ -1,0 +1,215 @@
+"""The shared virtual address space and per-sequencer translated views.
+
+One :class:`AddressSpace` models the single OS process image of an EXOCHI
+application: a bump allocator over virtual pages, an IA32 page table, and
+demand paging (the OS maps frames on first touch, which is exactly the
+fault that ATR proxies for the exo-sequencers).
+
+A :class:`SequencerView` is how a *non-OS-managed* sequencer sees that
+space: every access translates through the view's private TLB, and a miss
+raises :class:`~repro.errors.TlbMiss` for the exoskeleton to service (the
+view itself never walks the IA32 tables — it architecturally cannot, which
+is the entire reason ATR exists).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import MemorySystemError, TlbMiss, TranslationFault
+from .gtt import gtt_pfn, gtt_valid
+from .paging import IA32PageTable
+from .physical import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory
+from .tlb import Tlb
+
+#: Base of the heap region handed out by :meth:`AddressSpace.alloc`.
+HEAP_BASE = 0x1000_0000
+
+
+class AddressSpace:
+    """A process virtual address space shared by all sequencers."""
+
+    def __init__(self, physical: Optional[PhysicalMemory] = None,
+                 demand_paging: bool = True):
+        self.physical = physical or PhysicalMemory()
+        self.page_table = IA32PageTable()
+        self.demand_paging = demand_paging
+        self._next_vaddr = HEAP_BASE
+        self._allocations: Dict[int, int] = {}  # vaddr -> size
+        self.faults_serviced = 0
+
+    # -- allocation -----------------------------------------------------------
+
+    def alloc(self, nbytes: int, eager: bool = False) -> int:
+        """Reserve ``nbytes`` of virtual space; returns the base address.
+
+        With ``eager`` the pages are mapped immediately; otherwise the
+        first touch takes a page fault (serviced by :meth:`handle_fault`,
+        or by ATR proxy execution when the first touch is from an
+        exo-sequencer).
+        """
+        if nbytes <= 0:
+            raise ValueError("allocation size must be positive")
+        base = self._next_vaddr
+        npages = -(-nbytes // PAGE_SIZE)
+        self._next_vaddr += npages * PAGE_SIZE
+        self._allocations[base] = nbytes
+        if eager:
+            for i in range(npages):
+                self.handle_fault(base + i * PAGE_SIZE, write=True)
+        return base
+
+    def free(self, vaddr: int) -> None:
+        nbytes = self._allocations.pop(vaddr, None)
+        if nbytes is None:
+            raise MemorySystemError(f"no allocation at {vaddr:#x}")
+        npages = -(-nbytes // PAGE_SIZE)
+        for i in range(npages):
+            vpn = (vaddr >> PAGE_SHIFT) + i
+            if self.page_table.entry(vpn):
+                pfn = self.page_table.walk(vpn).pfn
+                self.page_table.unmap(vpn)
+                self.physical.free_frame(pfn)
+
+    def allocation_size(self, vaddr: int) -> Optional[int]:
+        return self._allocations.get(vaddr)
+
+    # -- faults (the OS's demand-paging handler) --------------------------------
+
+    def handle_fault(self, vaddr: int, write: bool = False) -> None:
+        """The OS page-fault handler: back the faulting page with a frame.
+
+        ATR's proxy execution lands here: the IA32 sequencer touches the
+        address "on behalf of the exo-sequencer", which drives this exact
+        path.
+        """
+        vpn = vaddr >> PAGE_SHIFT
+        if self.page_table.entry(vpn):
+            return  # raced: already mapped
+        pfn = self.physical.alloc_frame()
+        self.page_table.map(vpn, pfn, writable=True)
+        self.faults_serviced += 1
+
+    # -- translation ------------------------------------------------------------
+
+    def translate(self, vaddr: int, write: bool = False) -> int:
+        """Virtual to physical, walking the IA32 tables.
+
+        Demand paging services translation faults transparently, the way
+        the OS does for the OS-managed sequencer.
+        """
+        vpn = vaddr >> PAGE_SHIFT
+        try:
+            entry = self.page_table.walk(vpn, write=write)
+        except TranslationFault:
+            if not self.demand_paging:
+                raise
+            self.handle_fault(vaddr, write=write)
+            entry = self.page_table.walk(vpn, write=write)
+        return (entry.pfn << PAGE_SHIFT) | (vaddr & (PAGE_SIZE - 1))
+
+    # -- byte access (the IA32 sequencer's view) ----------------------------------
+
+    def read_bytes(self, vaddr: int, count: int) -> np.ndarray:
+        out = np.empty(count, dtype=np.uint8)
+        done = 0
+        while done < count:
+            chunk = min(count - done, PAGE_SIZE - ((vaddr + done) & (PAGE_SIZE - 1)))
+            paddr = self.translate(vaddr + done)
+            out[done : done + chunk] = self.physical.read(paddr, chunk)
+            done += chunk
+        return out
+
+    def write_bytes(self, vaddr: int, data: np.ndarray) -> None:
+        data = np.asarray(data, dtype=np.uint8)
+        done = 0
+        while done < data.size:
+            chunk = min(data.size - done,
+                        PAGE_SIZE - ((vaddr + done) & (PAGE_SIZE - 1)))
+            paddr = self.translate(vaddr + done, write=True)
+            self.physical.write(paddr, data[done : done + chunk])
+            done += chunk
+
+    def read_array(self, vaddr: int, count: int, dtype: np.dtype) -> np.ndarray:
+        raw = self.read_bytes(vaddr, count * np.dtype(dtype).itemsize)
+        return raw.view(dtype)[:count].copy()
+
+    def write_array(self, vaddr: int, values: np.ndarray) -> None:
+        self.write_bytes(vaddr, np.ascontiguousarray(values).view(np.uint8))
+
+
+class SequencerView:
+    """An exo-sequencer's window onto the shared virtual address space.
+
+    All translation goes through ``tlb`` (GTT-format entries); a miss
+    raises :class:`~repro.errors.TlbMiss`.  The exoskeleton catches that,
+    runs ATR proxy execution on the IA32 sequencer, and retries.
+    """
+
+    def __init__(self, space: AddressSpace, tlb: Optional[Tlb] = None,
+                 name: str = "exo"):
+        self.space = space
+        self.name = name
+        self.tlb = tlb or Tlb(capacity=32, name=name)
+        #: The device's own page table ("the industry standard GPU
+        #: driver-oriented page table format").  ATR fills it with
+        #: transcoded entries; later TLB misses on the same page refill
+        #: from here with a hardware walk — no proxy round trip.
+        self.gtt: dict = {}
+        self.gtt_walks = 0
+
+    def translate(self, vaddr: int, write: bool = False) -> int:
+        vpn = vaddr >> PAGE_SHIFT
+        try:
+            entry = self.tlb.lookup(vpn)
+        except TlbMiss:
+            entry = self.gtt.get(vpn)
+            if entry is None:
+                raise  # genuinely unmapped: ATR proxy required
+            self.gtt_walks += 1
+            self.tlb.insert(vpn, entry)
+        if not gtt_valid(entry):
+            raise TlbMiss(vaddr, sequencer=self.name)
+        return (gtt_pfn(entry) << PAGE_SHIFT) | (vaddr & (PAGE_SIZE - 1))
+
+    def prepare_range(self, vaddr: int, count: int, write: bool = False) -> list:
+        """Translate every page an access will touch; returns paddr chunks.
+
+        Translating up front keeps accesses atomic with respect to TLB
+        misses: either the whole range is mapped, or :class:`TlbMiss` is
+        raised before any byte moves.
+        """
+        chunks = []
+        done = 0
+        while done < count:
+            size = min(count - done, PAGE_SIZE - ((vaddr + done) & (PAGE_SIZE - 1)))
+            paddr = self.translate(vaddr + done, write=write)
+            chunks.append((paddr, size))
+            done += size
+        return chunks
+
+    def read_bytes(self, vaddr: int, count: int) -> np.ndarray:
+        chunks = self.prepare_range(vaddr, count)
+        out = np.empty(count, dtype=np.uint8)
+        done = 0
+        for paddr, size in chunks:
+            out[done : done + size] = self.space.physical.read(paddr, size)
+            done += size
+        return out
+
+    def write_bytes(self, vaddr: int, data: np.ndarray) -> None:
+        data = np.asarray(data, dtype=np.uint8)
+        chunks = self.prepare_range(vaddr, data.size, write=True)
+        done = 0
+        for paddr, size in chunks:
+            self.space.physical.write(paddr, data[done : done + size])
+            done += size
+
+    def read_array(self, vaddr: int, count: int, dtype: np.dtype) -> np.ndarray:
+        raw = self.read_bytes(vaddr, count * np.dtype(dtype).itemsize)
+        return raw.view(dtype)[:count].copy()
+
+    def write_array(self, vaddr: int, values: np.ndarray) -> None:
+        self.write_bytes(vaddr, np.ascontiguousarray(values).view(np.uint8))

@@ -1,0 +1,109 @@
+"""Write-back cache model with dirty-line tracking and flush accounting.
+
+The functional simulator keeps data coherent (it is one Python process),
+so the cache model's job is twofold:
+
+* **timing** — count the dirty bytes a flush writes back, which the
+  bandwidth model turns into time (Figure 8's Non-CC configuration);
+* **protocol checking** — in strict mode, detect reads of lines another
+  sequencer holds dirty, which on real non-coherent hardware would return
+  stale data (raises :class:`~repro.errors.CoherenceViolation`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..errors import CoherenceViolation
+
+LINE_SIZE = 64
+
+
+class WritebackCache:
+    """Dirty-line tracking for one sequencer's cache."""
+
+    def __init__(self, name: str, line_size: int = LINE_SIZE):
+        if line_size < 1:
+            raise ValueError("line size must be positive")
+        self.name = name
+        self.line_size = line_size
+        self._dirty: Set[int] = set()
+        self.bytes_flushed = 0
+        self.flush_count = 0
+
+    def _lines(self, vaddr: int, count: int):
+        first = vaddr // self.line_size
+        last = (vaddr + max(count, 1) - 1) // self.line_size
+        return range(first, last + 1)
+
+    def note_write(self, vaddr: int, count: int) -> None:
+        self._dirty.update(self._lines(vaddr, count))
+
+    @property
+    def dirty_bytes(self) -> int:
+        return len(self._dirty) * self.line_size
+
+    def dirty_in_range(self, vaddr: int, count: int) -> bool:
+        return any(line in self._dirty for line in self._lines(vaddr, count))
+
+    def flush(self) -> int:
+        """Write back everything; returns the bytes written back."""
+        flushed = self.dirty_bytes
+        self._dirty.clear()
+        self.bytes_flushed += flushed
+        self.flush_count += 1
+        return flushed
+
+    def flush_range(self, vaddr: int, count: int) -> int:
+        """Write back only lines intersecting the range (selective flush,
+        the basis of the paper's interleaved-flushing optimization)."""
+        lines = set(self._lines(vaddr, count)) & self._dirty
+        self._dirty -= lines
+        flushed = len(lines) * self.line_size
+        self.bytes_flushed += flushed
+        if lines:
+            self.flush_count += 1
+        return flushed
+
+
+class CoherencePoint:
+    """The set of caches between sequencers, plus the coherence mode.
+
+    ``coherent=True`` models the CC Shared configuration: reads always see
+    the latest data and no flushes are required.  ``coherent=False`` is
+    Non-CC Shared: flushes are required for visibility, and in strict mode
+    a missing flush is an error rather than silent staleness.
+    """
+
+    def __init__(self, coherent: bool, strict: bool = False):
+        self.coherent = coherent
+        self.strict = strict
+        self._caches: Dict[str, WritebackCache] = {}
+
+    def cache(self, owner: str) -> WritebackCache:
+        if owner not in self._caches:
+            self._caches[owner] = WritebackCache(owner)
+        return self._caches[owner]
+
+    def note_write(self, owner: str, vaddr: int, count: int) -> None:
+        if not self.coherent:
+            self.cache(owner).note_write(vaddr, count)
+
+    def check_read(self, reader: str, vaddr: int, count: int) -> None:
+        """Validate that ``reader`` may read the range coherently."""
+        if self.coherent or not self.strict:
+            return
+        for owner, cache in self._caches.items():
+            if owner != reader and cache.dirty_in_range(vaddr, count):
+                raise CoherenceViolation(
+                    f"{reader} read [{vaddr:#x}, {vaddr + count:#x}) while "
+                    f"{owner} holds dirty lines in it (missing flush)")
+
+    def flush(self, owner: str) -> int:
+        return self.cache(owner).flush()
+
+    def flush_range(self, owner: str, vaddr: int, count: int) -> int:
+        return self.cache(owner).flush_range(vaddr, count)
+
+    def total_bytes_flushed(self) -> int:
+        return sum(c.bytes_flushed for c in self._caches.values())

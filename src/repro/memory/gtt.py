@@ -1,0 +1,53 @@
+"""GPU driver-oriented page-table entries (GTT format).
+
+The accelerator's TLB consumes entries in the "industry standard GPU
+driver-oriented page table format" (paper section 3.2), which is
+deliberately *different* from the IA32 format in :mod:`repro.memory.paging`:
+
+.. code-block:: none
+
+    bit  0      valid
+    bits 2..3   memory type (0 = uncached, 1 = write-combining, 2 = write-back)
+    bits 4..27  physical frame number
+
+ATR transcodes IA32 PTEs into this layout before inserting them into the
+exo-sequencer's TLB, so both sequencers resolve the same virtual page to
+the same physical frame despite incompatible table formats.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import EncodingError
+
+GTT_VALID = 1 << 0
+_MEMTYPE_SHIFT = 2
+_MEMTYPE_MASK = 0x3
+_PFN_SHIFT = 4
+_PFN_MASK = (1 << 24) - 1
+
+
+class GttMemType(enum.IntEnum):
+    UNCACHED = 0
+    WRITE_COMBINING = 1
+    WRITE_BACK = 2
+
+
+def make_gtt_entry(pfn: int, memtype: GttMemType = GttMemType.WRITE_BACK) -> int:
+    """Pack a GTT entry."""
+    if pfn > _PFN_MASK:
+        raise EncodingError(f"PFN {pfn} does not fit the GTT entry format")
+    return GTT_VALID | (int(memtype) << _MEMTYPE_SHIFT) | (pfn << _PFN_SHIFT)
+
+
+def gtt_valid(entry: int) -> bool:
+    return bool(entry & GTT_VALID)
+
+
+def gtt_pfn(entry: int) -> int:
+    return (entry >> _PFN_SHIFT) & _PFN_MASK
+
+
+def gtt_memtype(entry: int) -> GttMemType:
+    return GttMemType((entry >> _MEMTYPE_SHIFT) & _MEMTYPE_MASK)

@@ -1,0 +1,123 @@
+"""IA32 two-level page tables, with real bit-packed entry formats.
+
+The entry layout follows the classic IA32 non-PAE format: a page directory
+of 1024 entries, each pointing at a page table of 1024 entries, covering a
+32-bit virtual space with 4 KiB pages.
+
+ATR (paper section 3.2) hinges on the fact that the accelerator's TLB
+*cannot* consume these entries: "the internal TLB of the Intel GMA X3000
+assumes the industry standard GPU driver-oriented page table format, which
+is different from the IA32 page table formats."  The GPU-format entries
+live in :mod:`repro.memory.gtt`; :func:`repro.exo.atr.transcode_pte`
+converts between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ProtectionFault, TranslationFault
+from .physical import PAGE_SHIFT
+
+# IA32 PTE bit positions (non-PAE)
+PTE_PRESENT = 1 << 0
+PTE_WRITABLE = 1 << 1
+PTE_USER = 1 << 2
+PTE_WRITE_THROUGH = 1 << 3
+PTE_CACHE_DISABLE = 1 << 4
+PTE_ACCESSED = 1 << 5
+PTE_DIRTY = 1 << 6
+
+_DIR_ENTRIES = 1024
+_TABLE_ENTRIES = 1024
+
+
+def make_pte(pfn: int, writable: bool = True, user: bool = True,
+             cache_disable: bool = False) -> int:
+    """Pack an IA32 page-table entry."""
+    pte = (pfn << PAGE_SHIFT) | PTE_PRESENT
+    if writable:
+        pte |= PTE_WRITABLE
+    if user:
+        pte |= PTE_USER
+    if cache_disable:
+        pte |= PTE_CACHE_DISABLE
+    return pte
+
+
+def pte_pfn(pte: int) -> int:
+    return pte >> PAGE_SHIFT
+
+
+@dataclass(frozen=True)
+class Translation:
+    """The result of a successful page-table walk."""
+
+    vpn: int
+    pfn: int
+    writable: bool
+    cache_disable: bool
+
+
+class IA32PageTable:
+    """A two-level IA32 page table for one process address space."""
+
+    def __init__(self):
+        self._directory: dict = {}  # dir index -> list of 1024 PTE ints
+
+    def map(self, vpn: int, pfn: int, writable: bool = True,
+            cache_disable: bool = False) -> None:
+        """Install a mapping for virtual page ``vpn``."""
+        di, ti = self._split(vpn)
+        table = self._directory.setdefault(di, [0] * _TABLE_ENTRIES)
+        table[ti] = make_pte(pfn, writable=writable, cache_disable=cache_disable)
+
+    def unmap(self, vpn: int) -> None:
+        di, ti = self._split(vpn)
+        table = self._directory.get(di)
+        if table is None or not table[ti] & PTE_PRESENT:
+            raise TranslationFault(vpn << PAGE_SHIFT)
+        table[ti] = 0
+
+    def entry(self, vpn: int) -> int:
+        """The raw PTE for ``vpn`` (0 if not present)."""
+        di, ti = self._split(vpn)
+        table = self._directory.get(di)
+        return table[ti] if table is not None else 0
+
+    def walk(self, vpn: int, write: bool = False) -> Translation:
+        """Walk the tables; raises :class:`TranslationFault` if unmapped.
+
+        Sets the accessed/dirty bits the way the hardware walker would.
+        """
+        di, ti = self._split(vpn)
+        table = self._directory.get(di)
+        if table is None or not table[ti] & PTE_PRESENT:
+            raise TranslationFault(vpn << PAGE_SHIFT, write=write)
+        pte = table[ti]
+        if write and not pte & PTE_WRITABLE:
+            raise ProtectionFault(vpn << PAGE_SHIFT, write=True)
+        pte |= PTE_ACCESSED
+        if write:
+            pte |= PTE_DIRTY
+        table[ti] = pte
+        return Translation(
+            vpn=vpn,
+            pfn=pte_pfn(pte),
+            writable=bool(pte & PTE_WRITABLE),
+            cache_disable=bool(pte & PTE_CACHE_DISABLE),
+        )
+
+    def mapped_vpns(self) -> list:
+        out = []
+        for di, table in self._directory.items():
+            for ti, pte in enumerate(table):
+                if pte & PTE_PRESENT:
+                    out.append((di << 10) | ti)
+        return sorted(out)
+
+    @staticmethod
+    def _split(vpn: int) -> tuple:
+        if not 0 <= vpn < _DIR_ENTRIES * _TABLE_ENTRIES:
+            raise TranslationFault(vpn << PAGE_SHIFT)
+        return vpn >> 10, vpn & 0x3FF

@@ -1,0 +1,75 @@
+"""Physical memory: a flat frame-granular byte store with an allocator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import OutOfPhysicalMemory
+
+#: Page/frame size in bytes (IA32 4 KiB pages).
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+
+class PhysicalMemory:
+    """Byte-addressable physical memory divided into 4 KiB frames.
+
+    Both the IA32 sequencer and the GMA exo-sequencers resolve virtual
+    addresses to offsets in this single store — that is what makes the
+    shared *virtual* address space of EXO yield shared *physical* data.
+    """
+
+    def __init__(self, size: int = 256 * 1024 * 1024):
+        if size % PAGE_SIZE:
+            raise ValueError(f"physical size must be a multiple of {PAGE_SIZE}")
+        self.size = size
+        self.num_frames = size // PAGE_SIZE
+        self._data = np.zeros(size, dtype=np.uint8)
+        self._next_frame = 0
+        self._free_frames: list = []
+
+    # -- frame allocation -----------------------------------------------------
+
+    def alloc_frame(self) -> int:
+        """Allocate one frame; returns the physical frame number (PFN)."""
+        if self._free_frames:
+            return self._free_frames.pop()
+        if self._next_frame >= self.num_frames:
+            raise OutOfPhysicalMemory(
+                f"all {self.num_frames} physical frames are in use")
+        pfn = self._next_frame
+        self._next_frame += 1
+        return pfn
+
+    def free_frame(self, pfn: int) -> None:
+        if not 0 <= pfn < self.num_frames:
+            raise ValueError(f"PFN {pfn} out of range")
+        self._data[pfn * PAGE_SIZE : (pfn + 1) * PAGE_SIZE] = 0
+        self._free_frames.append(pfn)
+
+    @property
+    def frames_in_use(self) -> int:
+        return self._next_frame - len(self._free_frames)
+
+    # -- byte access ------------------------------------------------------------
+
+    def read(self, paddr: int, count: int) -> np.ndarray:
+        """Read ``count`` raw bytes at physical address ``paddr``."""
+        self._check(paddr, count)
+        return self._data[paddr : paddr + count]
+
+    def write(self, paddr: int, data: np.ndarray) -> None:
+        data = np.asarray(data, dtype=np.uint8)
+        self._check(paddr, data.size)
+        self._data[paddr : paddr + data.size] = data
+
+    def view(self, paddr: int, count: int) -> np.ndarray:
+        """A mutable view (no copy) of physical bytes — fast path for
+        page-contained typed accesses."""
+        self._check(paddr, count)
+        return self._data[paddr : paddr + count]
+
+    def _check(self, paddr: int, count: int) -> None:
+        if paddr < 0 or paddr + count > self.size:
+            raise ValueError(
+                f"physical access [{paddr:#x}, {paddr + count:#x}) out of range")

@@ -1,0 +1,61 @@
+"""Per-sequencer translation lookaside buffers."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from ..errors import TlbMiss
+from .physical import PAGE_SHIFT
+
+
+class Tlb:
+    """A small fully-associative TLB with LRU replacement.
+
+    Entries are opaque integers in whatever page-table-entry format the
+    owning sequencer understands (IA32 PTEs for the CPU, GTT entries for
+    the GMA) — the TLB itself never interprets them beyond validity.
+    """
+
+    def __init__(self, capacity: int = 64, name: str = "tlb"):
+        if capacity < 1:
+            raise ValueError("TLB capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, vpn: int) -> int:
+        """Return the cached entry for ``vpn`` or raise :class:`TlbMiss`."""
+        entry = self._entries.get(vpn)
+        if entry is None:
+            self.misses += 1
+            raise TlbMiss(vpn << PAGE_SHIFT, sequencer=self.name)
+        self._entries.move_to_end(vpn)
+        self.hits += 1
+        return entry
+
+    def probe(self, vpn: int) -> Optional[int]:
+        """Non-faulting lookup; does not count as an access."""
+        return self._entries.get(vpn)
+
+    def insert(self, vpn: int, entry: int) -> None:
+        if vpn in self._entries:
+            self._entries.move_to_end(vpn)
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[vpn] = entry
+
+    def invalidate(self, vpn: Optional[int] = None) -> None:
+        """Drop one entry, or all of them when ``vpn`` is None."""
+        if vpn is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(vpn, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._entries

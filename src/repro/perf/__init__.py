@@ -1,0 +1,39 @@
+"""Evaluation harness: the measurements behind Figures 7, 8, 10 and
+Table 2, plus the section 5.2 flush ablation."""
+
+from .machine import DEFAULT_MACHINE, MachineConfig
+from .memory_models import MemoryModel, ModelCost, communication_cost
+from .report import (
+    format_figure7,
+    format_figure8,
+    format_figure10,
+    format_flush_ablation,
+    format_table,
+    format_table2,
+)
+from .study import (
+    BENCH_GEOMETRIES,
+    SMOKE_GEOMETRIES,
+    KernelMeasurement,
+    measure_kernel,
+    run_suite,
+)
+
+__all__ = [
+    "MachineConfig",
+    "DEFAULT_MACHINE",
+    "MemoryModel",
+    "ModelCost",
+    "communication_cost",
+    "KernelMeasurement",
+    "measure_kernel",
+    "run_suite",
+    "BENCH_GEOMETRIES",
+    "SMOKE_GEOMETRIES",
+    "format_table",
+    "format_table2",
+    "format_figure7",
+    "format_figure8",
+    "format_figure10",
+    "format_flush_ablation",
+]

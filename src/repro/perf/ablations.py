@@ -1,0 +1,136 @@
+"""Architecture ablations: quantify the mechanisms the paper credits.
+
+Three design points DESIGN.md calls out:
+
+* **switch-on-stall multithreading** — "the core's fine-grained thread
+  multiplexing capability plays a critical role in sustaining throughput
+  performance" (section 3.4).  Replaying the same shred traces with 1, 2
+  and 4 thread contexts per EU isolates how much of the throughput comes
+  from stall hiding rather than raw lanes.
+* **runtime surface pre-validation** — section 4.6's "the CHI runtime
+  inspects these descriptors and configures the accelerator": with it,
+  shreds never pay in-flight ATR round trips; without it, every first
+  touch of a page suspends a shred for a full proxy.
+* **interleaved cache flushing** — covered by
+  ``benchmarks/bench_flush_ablation.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List
+
+from ..gma.device import GmaDevice
+from ..gma.eu import simulate_device
+from ..gma.timing import GmaTimingConfig
+from ..kernels.base import Geometry, MediaKernel
+from ..kernels.harness import allocate_surfaces, build_program
+from ..exo.shred import ShredDescriptor
+from ..memory.address_space import AddressSpace
+
+
+@dataclass(frozen=True)
+class MultithreadingAblation:
+    """EU pipeline cycles for the same work at different thread counts.
+
+    Compute cycles (not the bandwidth/sampler-bounded total) are compared:
+    switch-on-stall is an EU pipeline mechanism, and on a bandwidth-bound
+    kernel its gain is hidden behind the memory bound — which is itself a
+    faithful observation.
+    """
+
+    kernel_abbrev: str
+    cycles_by_threads: Dict[int, float]
+
+    def speedup(self, threads: int) -> float:
+        """Pipeline throughput gain over a single context per EU."""
+        return self.cycles_by_threads[1] / self.cycles_by_threads[threads]
+
+
+def multithreading_ablation(kernel: MediaKernel, geometry: Geometry,
+                            thread_counts=(1, 2, 4),
+                            seed: int = 0) -> MultithreadingAblation:
+    """Run the kernel once, then replay its traces at each thread count.
+
+    Traces are timing-config independent (instruction issue/latency pairs),
+    so one functional execution feeds every configuration — the controlled
+    experiment real hardware cannot run.
+    """
+    runs = _collect_runs(kernel, geometry, seed)
+    base = GmaTimingConfig()
+    cycles = {}
+    for threads in thread_counts:
+        config = replace(base, threads_per_eu=threads)
+        timing = simulate_device(runs, config)
+        cycles[threads] = timing.compute_cycles
+    return MultithreadingAblation(kernel.abbrev, cycles)
+
+
+@dataclass(frozen=True)
+class PrevalidationAblation:
+    """ATR behaviour with and without runtime surface pre-validation."""
+
+    kernel_abbrev: str
+    prepared_cycles: float
+    prepared_atr_events: int
+    cold_cycles: float
+    cold_atr_events: int
+
+    @property
+    def slowdown(self) -> float:
+        return self.cold_cycles / self.prepared_cycles
+
+
+def prevalidation_ablation(kernel: MediaKernel, geometry: Geometry,
+                           seed: int = 0) -> PrevalidationAblation:
+    """Compare a prepared launch against a cold-TLB, cold-GTT launch."""
+    prepared = _run_device(kernel, geometry, seed, prepare=True)
+    cold = _run_device(kernel, geometry, seed, prepare=False)
+    return PrevalidationAblation(
+        kernel_abbrev=kernel.abbrev,
+        prepared_cycles=prepared.cycles,
+        prepared_atr_events=prepared.atr_events,
+        cold_cycles=cold.cycles,
+        cold_atr_events=cold.atr_events,
+    )
+
+
+def _collect_runs(kernel: MediaKernel, geometry: Geometry, seed: int) -> List:
+    result = _run_device(kernel, geometry, seed, prepare=True)
+    return result.runs
+
+
+def _run_device(kernel: MediaKernel, geometry: Geometry, seed: int,
+                prepare: bool):
+    space = AddressSpace()
+    device = GmaDevice(space)
+    program = build_program(kernel, geometry)
+    surfaces = allocate_surfaces(kernel, geometry, space)
+    for name, image in kernel.make_frame_inputs(geometry, 0, seed).items():
+        surfaces[name].upload(space, image)
+    consts = kernel.constants(geometry)
+    shreds = [
+        ShredDescriptor(program=program, bindings={**consts, **b},
+                        surfaces=surfaces)
+        for b in kernel.shred_bindings(geometry)
+    ]
+    return device.run(shreds, prepare_surfaces=prepare)
+
+
+def format_multithreading_table(ablations) -> str:
+    from .report import format_table
+
+    rows = []
+    for ab in ablations:
+        rows.append([
+            ab.kernel_abbrev,
+            f"{ab.cycles_by_threads[1]:.0f}",
+            f"{ab.cycles_by_threads[2]:.0f}",
+            f"{ab.cycles_by_threads[4]:.0f}",
+            f"{ab.speedup(4):.2f}x",
+        ])
+    return format_table(
+        ["kernel", "1 thread/EU", "2 threads/EU", "4 threads/EU",
+         "4-thread gain"],
+        rows,
+        title="Ablation: switch-on-stall multithreading (device cycles)")

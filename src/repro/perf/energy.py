@@ -1,0 +1,123 @@
+"""Energy-per-instruction model (paper section 1).
+
+The paper's whole motivation is EPI: "to achieve a 20X improvement ...
+while staying below the power envelope of 150W, the building-block cores
+must have an average EPI of approximately 1nJ.  The EPI for the Intel
+Core 2 Duo processor core is approximately 10nJ while the EPI for the
+8-core 32-thread Intel GMA X3000 is only 0.3nJ."
+
+This module prices a kernel run on both sequencer classes with those
+numbers: GMA instruction counts come straight from the simulator; IA32
+instruction counts derive from the calibrated cycle model and a
+representative sustained IPC.  The product is the heterogeneous-offload
+energy story Figure 7 only tells in time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .study import KernelMeasurement
+
+#: Paper-stated energy per instruction, joules.
+CPU_EPI = 10e-9
+GMA_EPI = 0.3e-9
+
+#: Sustained instructions per cycle for the SSE-optimized IA32 kernels
+#: (Core 2 is 4-wide issue; media loops sustain roughly half of that).
+CPU_SUSTAINED_IPC = 2.0
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy and energy-delay for one kernel on both sequencer classes."""
+
+    kernel_abbrev: str
+    cpu_instructions: float
+    gma_instructions: float
+    cpu_joules: float
+    gma_joules: float
+    cpu_seconds: float
+    gma_seconds: float
+
+    @property
+    def energy_ratio(self) -> float:
+        """How many times less energy the GMA spends (higher = better)."""
+        return self.cpu_joules / self.gma_joules if self.gma_joules else 0.0
+
+    @property
+    def cpu_edp(self) -> float:
+        """Energy-delay product on the IA32 sequencer (J*s)."""
+        return self.cpu_joules * self.cpu_seconds
+
+    @property
+    def gma_edp(self) -> float:
+        return self.gma_joules * self.gma_seconds
+
+    @property
+    def edp_ratio(self) -> float:
+        return self.cpu_edp / self.gma_edp if self.gma_edp else 0.0
+
+    @property
+    def cpu_watts(self) -> float:
+        """Average power while the kernel runs on the IA32 sequencer."""
+        return self.cpu_joules / self.cpu_seconds if self.cpu_seconds else 0.0
+
+    @property
+    def gma_watts(self) -> float:
+        return self.gma_joules / self.gma_seconds if self.gma_seconds else 0.0
+
+
+def estimate_energy(measurement: KernelMeasurement,
+                    cpu_epi: float = CPU_EPI,
+                    gma_epi: float = GMA_EPI,
+                    cpu_ipc: float = CPU_SUSTAINED_IPC) -> EnergyEstimate:
+    """Price one kernel measurement in joules on both sequencer classes."""
+    cpu_cycles = measurement.cpu_seconds * measurement.machine.cpu.frequency
+    cpu_instructions = cpu_cycles * cpu_ipc
+    # one simulated GMA instruction retires up to 16 lanes; EPI is quoted
+    # per (architectural) instruction on both machines
+    gma_instructions = float(measurement.instructions)
+    return EnergyEstimate(
+        kernel_abbrev=measurement.kernel.abbrev,
+        cpu_instructions=cpu_instructions,
+        gma_instructions=gma_instructions,
+        cpu_joules=cpu_instructions * cpu_epi,
+        gma_joules=gma_instructions * gma_epi,
+        cpu_seconds=measurement.cpu_seconds,
+        gma_seconds=measurement.gma_seconds,
+    )
+
+
+def format_energy_table(suite: Dict[str, KernelMeasurement]) -> str:
+    """Render the EPI story for the whole kernel suite."""
+    from .report import format_table
+
+    rows = []
+    ratios = []
+    for abbrev, measurement in suite.items():
+        est = estimate_energy(measurement)
+        ratios.append(est.energy_ratio)
+        rows.append([
+            abbrev,
+            f"{est.cpu_joules * 1e6:.1f}",
+            f"{est.gma_joules * 1e6:.2f}",
+            f"{est.energy_ratio:.0f}x",
+            f"{est.edp_ratio:.0f}x",
+        ])
+    rows.append(["GEOMEAN", "", "",
+                 f"{_geomean(ratios):.0f}x", ""])
+    return format_table(
+        ["kernel", "IA32 uJ/frame", "GMA uJ/frame", "energy ratio",
+         "EDP ratio"],
+        rows,
+        title="Energy per frame at the paper's EPI figures "
+              "(IA32 10 nJ/instr, GMA 0.3 nJ/instr)")
+
+
+def _geomean(values) -> float:
+    import math
+
+    logs = [math.log(v) for v in values if v > 0]
+    return math.exp(sum(logs) / len(logs)) if logs else 0.0

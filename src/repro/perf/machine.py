@@ -1,0 +1,21 @@
+"""Machine configuration bundle for the evaluation harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cpu.timing import CpuTimingConfig
+from ..gma.timing import GmaTimingConfig
+from ..memory.bandwidth import BandwidthModel
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Everything timing-related about the simulated Santa Rosa platform."""
+
+    cpu: CpuTimingConfig = field(default_factory=CpuTimingConfig)
+    gma: GmaTimingConfig = field(default_factory=GmaTimingConfig)
+    bandwidth: BandwidthModel = field(default_factory=BandwidthModel)
+
+
+DEFAULT_MACHINE = MachineConfig()

@@ -1,0 +1,154 @@
+"""Formatting of the evaluation tables and figure series.
+
+Each ``format_*`` function renders the rows/series of one paper artifact
+(Table 2, Figure 7, Figure 8, Figure 10, the section 5.2 flush ablation)
+the way the benchmarks print them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..kernels import ALL_KERNELS
+from ..memory.flushing import FlushPolicy
+from .memory_models import MemoryModel
+from .study import KernelMeasurement
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                 title: str = "") -> str:
+    """Plain-text aligned table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_table2() -> str:
+    """Table 2: kernels, inputs and shred counts (paper vs. our formula)."""
+    rows: List[List[str]] = []
+    for cls in ALL_KERNELS:
+        kernel = cls()
+        for config in kernel.paper_configs():
+            ours = kernel.shred_count(config.geometry)
+            delta = ""
+            if ours != config.paper_shreds:
+                delta = f"{100.0 * (ours - config.paper_shreds) / config.paper_shreds:+.1f}%"
+            rows.append([
+                kernel.abbrev,
+                str(config.geometry),
+                f"{config.paper_shreds:,}",
+                f"{ours:,}",
+                delta,
+                config.note,
+            ])
+    return format_table(
+        ["kernel", "input", "paper #shreds", "ours", "delta", "note"],
+        rows, title="Table 2: media kernels and shred decomposition")
+
+
+def format_figure7(suite: Dict[str, KernelMeasurement]) -> str:
+    """Figure 7: speedup on GMA X3000 exo-sequencers over IA32."""
+    rows = []
+    for abbrev, m in suite.items():
+        mark = "exact" if m.kernel.paper_speedup_exact else "approx"
+        rows.append([
+            abbrev,
+            f"{m.kernel.paper_speedup:.2f}x ({mark})",
+            f"{m.speedup:.2f}x",
+            m.gma_bound,
+            f"{m.gma_seconds * 1e6:.1f}",
+            f"{m.cpu_seconds * 1e6:.1f}",
+        ])
+    return format_table(
+        ["kernel", "paper speedup", "measured", "GMA bound by",
+         "GMA us/frame", "IA32 us/frame"],
+        rows, title="Figure 7: speedup from execution on GMA X3000 "
+                    "exo-sequencers over IA32 sequencer")
+
+
+def format_figure8(suite: Dict[str, KernelMeasurement]) -> str:
+    """Figure 8: impact of data copying vs. shared virtual memory."""
+    rows = []
+    sums = {MemoryModel.DATA_COPY: 0.0, MemoryModel.NONCC_SHARED: 0.0}
+    for abbrev, m in suite.items():
+        dc = m.relative_performance(MemoryModel.DATA_COPY)
+        ncc = m.relative_performance(MemoryModel.NONCC_SHARED)
+        sums[MemoryModel.DATA_COPY] += dc
+        sums[MemoryModel.NONCC_SHARED] += ncc
+        rows.append([
+            abbrev,
+            f"{m.model_speedup(MemoryModel.DATA_COPY):.2f}x",
+            f"{m.model_speedup(MemoryModel.NONCC_SHARED):.2f}x",
+            f"{m.model_speedup(MemoryModel.CC_SHARED):.2f}x",
+            f"{100 * dc:.1f}%",
+            f"{100 * ncc:.1f}%",
+        ])
+    n = len(suite)
+    rows.append([
+        "AVERAGE", "", "", "",
+        f"{100 * sums[MemoryModel.DATA_COPY] / n:.1f}% (paper 70.5%)",
+        f"{100 * sums[MemoryModel.NONCC_SHARED] / n:.1f}% (paper 85.3%)",
+    ])
+    return format_table(
+        ["kernel", "Data Copy", "Non-CC Shared", "CC Shared",
+         "DC rel. perf", "Non-CC rel. perf"],
+        rows, title="Figure 8: impact of shared virtual memory "
+                    "(speedup over IA32 under each memory model)")
+
+
+def format_figure10(suite: Dict[str, KernelMeasurement]) -> str:
+    """Figure 10: cooperative IA32 + GMA execution, four partitions."""
+    rows = []
+    for abbrev, m in suite.items():
+        base = m.cpu_seconds  # execution on the IA32 sequencer alone
+        outcomes = [
+            m.partition("static", 0.0),
+            m.partition("static", 0.10),
+            m.partition("static", 0.25),
+            m.partition("oracle"),
+        ]
+        gma_only = outcomes[0].total_seconds
+        oracle = outcomes[-1]
+        rows.append(
+            [abbrev]
+            + [f"{o.total_seconds / base:.3f}" for o in outcomes]
+            + [f"{100 * (1 - oracle.total_seconds / gma_only):.0f}%",
+               f"{100 * oracle.cpu_fraction:.0f}%"]
+        )
+    return format_table(
+        ["kernel", "0% on IA32", "10% on IA32", "25% on IA32", "oracle",
+         "oracle gain", "oracle IA32 share"],
+        rows, title="Figure 10: cooperative multi-shredding "
+                    "(execution time relative to IA32 alone; lower is better)")
+
+
+def format_flush_ablation(measurement: KernelMeasurement,
+                          paper_upfront_speedup: float = 3.15) -> str:
+    """Section 5.2's in-text experiment: unoptimized 2 GB/s cache flush,
+    up-front vs. interleaved with shred execution."""
+    cc = measurement.speedup
+    upfront = measurement.model_speedup(
+        MemoryModel.NONCC_SHARED, flush_policy=FlushPolicy.UPFRONT,
+        optimized_flush=False, include_output_flush=False)
+    interleaved = measurement.model_speedup(
+        MemoryModel.NONCC_SHARED, flush_policy=FlushPolicy.INTERLEAVED,
+        optimized_flush=False, include_output_flush=False)
+    rows = [
+        ["CC Shared (no flush needed)", f"{cc:.2f}x", ""],
+        ["Non-CC, up-front flush @ 2 GB/s", f"{upfront:.2f}x",
+         f"paper: {paper_upfront_speedup:.2f}x"],
+        ["Non-CC, interleaved flush @ 2 GB/s", f"{interleaved:.2f}x",
+         "paper: 'very close to cache-coherent'"],
+    ]
+    return format_table(
+        ["configuration", f"{measurement.kernel.abbrev} speedup", "reference"],
+        rows, title="Section 5.2 ablation: intelligent cache flushing")

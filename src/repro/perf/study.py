@@ -1,0 +1,171 @@
+"""The central measurement harness behind Figures 7, 8 and 10.
+
+One functional+timing run per kernel (at a scaled geometry chosen to keep
+all 32 exo-sequencers busy) yields everything the evaluation section
+needs: the GMA's simulated time, the IA32 cost model's time, and the
+per-frame communication footprint.  Figure 8's memory models and Figure
+10's partitions are then derived analytically from the same measurement,
+exactly as the mechanisms compose on the real platform.
+
+Scaling note (see DESIGN.md): the interpreter executes every instruction
+of every shred in Python, so benchmark geometries are scaled down from the
+paper's.  Per-pixel costs are scale-invariant on both sides of the
+speedup ratio once the shred count exceeds the 32 hardware contexts, which
+every benchmark geometry here guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..chi.scheduler import (
+    PartitionOutcome,
+    dynamic_partition,
+    oracle_partition,
+    static_partition,
+)
+from ..cpu.ia32 import Ia32Cpu
+from ..kernels import ALL_KERNELS, Geometry, MediaKernel, run_kernel_on_gma
+from ..memory.flushing import FlushPolicy
+from .machine import DEFAULT_MACHINE, MachineConfig
+from .memory_models import MemoryModel, communication_cost
+
+#: Scaled evaluation geometries: every entry keeps >= 32 shreds in flight
+#: per frame (except FMD, whose 22 strips match the paper's own width).
+BENCH_GEOMETRIES: Dict[str, Geometry] = {
+    "LinearFilter": Geometry(160, 96),  # 20x16 = 320 shreds
+    "SepiaTone": Geometry(160, 96),  # 20x12 = 240 shreds
+    "FGT": Geometry(256, 256),  # 32 strips
+    "Bicubic": Geometry(640, 192),  # 8x4 = 32 tiles: one full wave
+    "Kalman": Geometry(256, 128, frames=2),  # 8x4 = 32 tiles
+    "FMD": Geometry(1024, 96, frames=3),  # 32 strips x 1 window
+    "AlphaBlend": Geometry(640, 192),
+    "BOB": Geometry(640, 192),
+    "ADVDI": Geometry(640, 192),
+    "ProcAmp": Geometry(640, 192),
+}
+
+#: Smaller geometries for fast tests (still functionally verified).
+SMOKE_GEOMETRIES: Dict[str, Geometry] = {
+    "LinearFilter": Geometry(80, 48),
+    "SepiaTone": Geometry(80, 48),
+    "FGT": Geometry(64, 32),
+    "Bicubic": Geometry(160, 96),
+    "Kalman": Geometry(64, 64, frames=2),
+    "FMD": Geometry(64, 48, frames=3),
+    "AlphaBlend": Geometry(80, 48),
+    "BOB": Geometry(80, 48),
+    "ADVDI": Geometry(80, 48),
+    "ProcAmp": Geometry(80, 48),
+}
+
+
+@dataclass
+class KernelMeasurement:
+    """One kernel's measured GMA time + modelled IA32 time + footprint."""
+
+    kernel: MediaKernel
+    geometry: Geometry
+    machine: MachineConfig
+    gma_seconds: float  # per device invocation (one frame / window)
+    cpu_seconds: float  # same work on the IA32 sequencer
+    in_bytes: int  # per-frame communication footprint
+    out_bytes: int
+    frame_shreds: int
+    instructions: int
+    gma_bound: str
+    atr_events: int
+
+    # -- Figure 7 ------------------------------------------------------------------
+
+    @property
+    def speedup(self) -> float:
+        """GMA-over-IA32 speedup under CC Shared (the Figure 7 bar)."""
+        return self.cpu_seconds / self.gma_seconds
+
+    # -- Figure 8 ----------------------------------------------------------------------
+
+    def model_seconds(self, model: MemoryModel,
+                      flush_policy: FlushPolicy = FlushPolicy.INTERLEAVED,
+                      optimized_flush: bool = True,
+                      include_output_flush: bool = True) -> float:
+        cost = communication_cost(
+            model, self.in_bytes, self.out_bytes, self.gma_seconds,
+            self.frame_shreds, self.machine.gma.num_sequencers,
+            self.machine.bandwidth, flush_policy, optimized_flush,
+            include_output_flush)
+        return self.gma_seconds + cost.exposed_seconds
+
+    def relative_performance(self, model: MemoryModel, **kwargs) -> float:
+        """Performance relative to CC Shared (1.0 = full speed)."""
+        return self.gma_seconds / self.model_seconds(model, **kwargs)
+
+    def model_speedup(self, model: MemoryModel, **kwargs) -> float:
+        return self.cpu_seconds / self.model_seconds(model, **kwargs)
+
+    # -- Figure 10 -----------------------------------------------------------------------
+
+    def partition(self, policy: str, cpu_fraction: float = 0.0,
+                  num_chunks: int = 0) -> PartitionOutcome:
+        if policy == "static":
+            return static_partition(self.cpu_seconds, self.gma_seconds,
+                                    cpu_fraction)
+        if policy == "oracle":
+            return oracle_partition(self.cpu_seconds, self.gma_seconds)
+        if policy == "dynamic":
+            return dynamic_partition(self.cpu_seconds, self.gma_seconds,
+                                     num_chunks or self.frame_shreds)
+        raise ValueError(f"unknown partition policy {policy!r}")
+
+
+def measure_kernel(kernel: MediaKernel, geometry: Optional[Geometry] = None,
+                   machine: MachineConfig = DEFAULT_MACHINE,
+                   seed: int = 0, max_frames: int = 1,
+                   verify: bool = True) -> KernelMeasurement:
+    """Run one kernel on the device model and package the measurement."""
+    geometry = geometry or BENCH_GEOMETRIES[kernel.abbrev]
+    result = run_kernel_on_gma(kernel, geometry, seed=seed, verify=verify,
+                               max_frames=max_frames)
+    per_frame_cycles = result.gma_cycles / max(result.frames_run, 1)
+    gma_seconds = machine.gma.seconds(per_frame_cycles)
+
+    # CPU cost for the same work one device invocation covers
+    invocations = kernel.device_invocations(geometry)
+    work = kernel.cpu_work(geometry)
+    cpu = Ia32Cpu(machine.cpu).execute(work, fraction=1.0 / invocations)
+    in_bytes, out_bytes = kernel.io_bytes_per_frame(geometry)
+    return KernelMeasurement(
+        kernel=kernel,
+        geometry=geometry,
+        machine=machine,
+        gma_seconds=gma_seconds,
+        cpu_seconds=cpu.seconds,
+        in_bytes=in_bytes,
+        out_bytes=out_bytes,
+        frame_shreds=kernel.frame_shreds(geometry),
+        instructions=result.instructions,
+        gma_bound=result.bound,
+        atr_events=result.atr_events,
+    )
+
+
+_SUITE_CACHE: Dict[tuple, Dict[str, KernelMeasurement]] = {}
+
+
+def run_suite(machine: MachineConfig = DEFAULT_MACHINE, seed: int = 0,
+              smoke: bool = False,
+              use_cache: bool = True) -> Dict[str, KernelMeasurement]:
+    """Measure the whole Table 2 suite (cached within the process)."""
+    key = (id(machine) if machine is not DEFAULT_MACHINE else 0, seed, smoke)
+    if use_cache and key in _SUITE_CACHE:
+        return _SUITE_CACHE[key]
+    geometries = SMOKE_GEOMETRIES if smoke else BENCH_GEOMETRIES
+    out: Dict[str, KernelMeasurement] = {}
+    for cls in ALL_KERNELS:
+        kernel = cls()
+        out[kernel.abbrev] = measure_kernel(
+            kernel, geometries[kernel.abbrev], machine, seed)
+    if use_cache:
+        _SUITE_CACHE[key] = out
+    return out

@@ -1,0 +1,59 @@
+"""Chrome-trace export of device runs.
+
+Turns one :class:`~repro.gma.firmware.GmaRunResult` into the Trace Event
+JSON that ``chrome://tracing`` / Perfetto render: one process row per EU,
+one thread row per hardware context, one complete event per shred.  The
+occupancy picture this draws — full EUs during the steady state, the tail
+as the work queue drains — is how the paper's authors reasoned about
+shred-level parallelism being the first-order performance factor.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from ..gma.firmware import GmaRunResult
+from ..gma.timing import GmaTimingConfig
+
+
+def chrome_trace_events(result: GmaRunResult,
+                        config: Optional[GmaTimingConfig] = None) -> List[dict]:
+    """Trace Event objects for one device run (timestamps in us)."""
+    config = config or GmaTimingConfig()
+    per_us = config.frequency / 1e6  # cycles per microsecond
+    events: List[dict] = []
+    for eu in range(config.num_eus):
+        events.append({
+            "ph": "M", "name": "process_name", "pid": eu,
+            "args": {"name": f"EU {eu}"},
+        })
+    by_id = {run.shred.shred_id: run for run in result.runs}
+    for shred_id, (start, finish, eu, slot) in sorted(
+            result.timing.spans.items()):
+        run = by_id.get(shred_id)
+        events.append({
+            "ph": "X",
+            "name": f"shred {shred_id}"
+                    + (f" ({run.shred.program.name})" if run else ""),
+            "pid": eu,
+            "tid": slot,
+            "ts": start / per_us,
+            "dur": max(finish - start, 1e-9) / per_us,
+            "args": {
+                "instructions": run.instructions if run else 0,
+                "bytes": run.bytes_total if run else 0,
+                "atr_events": run.atr_events if run else 0,
+            },
+        })
+    return events
+
+
+def export_chrome_trace(result: GmaRunResult, path,
+                        config: Optional[GmaTimingConfig] = None) -> int:
+    """Write a ``chrome://tracing`` JSON file; returns the event count."""
+    events = chrome_trace_events(result, config)
+    with open(path, "w") as handle:
+        json.dump({"traceEvents": events,
+                   "displayTimeUnit": "ns"}, handle)
+    return len(events)

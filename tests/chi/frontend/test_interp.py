@@ -1,0 +1,412 @@
+"""Host interpreter + end-to-end CHI C programs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ChiError, SemanticError
+from repro.chi.frontend.driver import compile_source, run_source
+
+
+def run_main(body: str, **kwargs):
+    return run_source("int main() { %s }" % body, **kwargs)
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert run_main("return 2 + 3 * 4;").exit_value == 14
+
+    def test_c_integer_division_truncates_toward_zero(self):
+        assert run_main("return -7 / 2;").exit_value == -3
+        assert run_main("return 7 / 2;").exit_value == 3
+        assert run_main("return -7 % 2;").exit_value == -1
+
+    def test_division_by_zero(self):
+        with pytest.raises(ChiError, match="division by zero"):
+            run_main("return 1 / 0;")
+
+    def test_shifts_and_comparisons(self):
+        assert run_main("return (1 << 4) >> 2;").exit_value == 4
+        assert run_main("return 3 < 5;").exit_value == 1
+        assert run_main("return 3 == 4;").exit_value == 0
+
+    def test_logical_short_circuit(self):
+        # the short-circuited call would fail loudly
+        result = run_source("""
+        int boom() { return 1 / 0; }
+        int main() { return 0 && boom(); }
+        """)
+        assert result.exit_value == 0
+
+    def test_unary(self):
+        assert run_main("return -(3) + !0;").exit_value == -2
+
+    def test_float_arithmetic(self):
+        assert run_main("float x = 1.5; float y = x * 2.0; "
+                        "return y == 3.0;").exit_value == 1
+
+    def test_int_decl_truncates_float_init(self):
+        assert run_main("int x = 3.9; return x;").exit_value == 3
+
+
+class TestControlFlow:
+    def test_for_loop(self):
+        assert run_main(
+            "int s = 0; for (int i = 1; i <= 10; i++) s += i; return s;"
+        ).exit_value == 55
+
+    def test_while_with_break_continue(self):
+        assert run_main("""
+            int i = 0; int s = 0;
+            while (1) {
+                i += 1;
+                if (i > 10) break;
+                if (i % 2) continue;
+                s += i;
+            }
+            return s;
+        """).exit_value == 30
+
+    def test_if_else(self):
+        assert run_main(
+            "int x = 5; if (x > 3) return 1; else return 2;").exit_value == 1
+
+    def test_nested_functions(self):
+        result = run_source("""
+        int square(int x) { return x * x; }
+        int sum_squares(int n) {
+            int s = 0;
+            for (int i = 1; i <= n; i++) s += square(i);
+            return s;
+        }
+        int main() { return sum_squares(4); }
+        """)
+        assert result.exit_value == 30
+
+    def test_wrong_arity(self):
+        with pytest.raises(ChiError, match="takes 1 arguments"):
+            run_source("int f(int x) { return x; } int main() { return f(); }")
+
+
+class TestArrays:
+    def test_1d_array_roundtrip(self):
+        assert run_main("""
+            int A[8];
+            for (int i = 0; i < 8; i++) A[i] = i * i;
+            return A[5];
+        """).exit_value == 25
+
+    def test_2d_array(self):
+        assert run_main("""
+            int M[3][4];
+            M[2][1] = 42;
+            return M[2][1] + M[0][0];
+        """).exit_value == 42
+
+    def test_arrays_live_in_shared_space(self):
+        result = run_main("int A[4]; A[0] = 7; return A[0];")
+        # the surface exists in the platform's address space
+        assert result.runtime.platform.space.faults_serviced >= 1
+
+    def test_out_of_bounds(self):
+        with pytest.raises(ChiError, match="out of bounds"):
+            run_main("int A[4]; return A[4];")
+        with pytest.raises(ChiError, match="out of bounds"):
+            run_main("int M[2][2]; M[1][2] = 0; return 0;")
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(SemanticError, match="dimension"):
+            run_main("int M[2][2]; return M[1];")
+
+    def test_float_array(self):
+        assert run_main("""
+            float F[4];
+            F[1] = 2.5;
+            return F[1] == 2.5;
+        """).exit_value == 1
+
+    def test_non_positive_dimension(self):
+        with pytest.raises(ChiError, match="non-positive"):
+            run_main("int n = 0; int A[n]; return 0;")
+
+
+class TestPrintf:
+    def test_formats(self):
+        result = run_main(
+            'printf("x=%d y=%.1f s=%s\\n", 3, 2.5, "hi"); return 0;')
+        assert result.output == "x=3 y=2.5 s=hi\n"
+
+    def test_format_error(self):
+        with pytest.raises(ChiError, match="printf format"):
+            run_main('printf("%d", "nope"); return 0;')
+
+
+class TestHeterogeneousRegions:
+    def test_parallel_for_loop_form(self):
+        result = run_source("""
+        int main() {
+            int n = 32;
+            int A[32];
+            int B[32];
+            int i;
+            for (i = 0; i < n; i++) A[i] = i;
+            #pragma omp parallel target(X3000) shared(A, B) private(i)
+            {
+                for (i = 0; i < n / 8; i++)
+                __asm {
+                    shl.1.w vr1 = i, 3
+                    ld.8.dw [vr2..vr9] = (A, vr1, 0)
+                    add.8.dw [vr10..vr17] = [vr2..vr9], [vr2..vr9]
+                    st.8.dw (B, vr1, 0) = [vr10..vr17]
+                    end
+                }
+            }
+            int errors = 0;
+            for (i = 0; i < n; i++)
+                if (B[i] != 2 * A[i]) errors++;
+            return errors;
+        }
+        """)
+        assert result.exit_value == 0
+        assert result.runtime.stats.shreds == 4
+
+    def test_num_threads_form(self):
+        result = run_source("""
+        int main() {
+            int OUT[4];
+            #pragma omp parallel target(X3000) shared(OUT) num_threads(4)
+            {
+                __asm {
+                    st.1.dw (OUT, tid, 0) = tid
+                    end
+                }
+            }
+            return OUT[3];
+        }
+        """)
+        assert result.exit_value == 3
+
+    def test_firstprivate_binding(self):
+        result = run_source("""
+        int main() {
+            int OUT[2];
+            int scale = 21;
+            #pragma omp parallel target(X3000) shared(OUT) firstprivate(scale) num_threads(2)
+            {
+                __asm {
+                    mul.1.dw vr1 = tid, scale
+                    st.1.dw (OUT, tid, 0) = vr1
+                    end
+                }
+            }
+            return OUT[1];
+        }
+        """)
+        assert result.exit_value == 21
+
+    def test_master_nowait_pending_until_chi_wait(self):
+        result = run_source("""
+        int main() {
+            int OUT[1];
+            #pragma omp parallel target(X3000) shared(OUT) num_threads(1) master_nowait
+            {
+                __asm {
+                    st.1.dw (OUT, 0, 0) = 9
+                    end
+                }
+            }
+            chi_wait();
+            return OUT[0];
+        }
+        """)
+        assert result.exit_value == 9
+
+    def test_taskq_in_c(self):
+        result = run_source("""
+        int main() {
+            int D[1];
+            D[0] = 5;
+            int inc = 3;
+            #pragma intel omp taskq target(X3000)
+            {
+                #pragma intel omp task target(X3000) shared(D) captureprivate(inc)
+                {
+                    __asm {
+                        ld.1.dw vr1 = (D, 0, 0)
+                        add.1.dw vr1 = vr1, inc
+                        st.1.dw (D, 0, 0) = vr1
+                        end
+                    }
+                }
+            }
+            return D[0];
+        }
+        """)
+        assert result.exit_value == 8
+
+    def test_descriptor_clause_and_apis(self):
+        result = run_source("""
+        int main() {
+            int A[8];
+            for (int i = 0; i < 8; i++) A[i] = i;
+            int B[8];
+            int A_desc = chi_alloc_desc(X3000, A, CHI_INPUT, 8, 1);
+            int B_desc = chi_alloc_desc(X3000, B, CHI_OUTPUT, 8, 1);
+            chi_set_feature(X3000, "priority", 2);
+            #pragma omp parallel target(X3000) shared(A, B) descriptor(A_desc, B_desc) num_threads(1)
+            {
+                __asm {
+                    ld.8.dw [vr1..vr8] = (A, 0, 0)
+                    add.8.dw [vr9..vr16] = [vr1..vr8], 100
+                    st.8.dw (B, 0, 0) = [vr9..vr16]
+                    end
+                }
+            }
+            chi_free_desc(X3000, A_desc);
+            return B[7];
+        }
+        """)
+        assert result.exit_value == 107
+
+    def test_host_parallel_for_is_functional(self):
+        result = run_source("""
+        int main() {
+            int D[8];
+            int F[8];
+            int i;
+            for (i = 0; i < 8; i++) D[i] = i;
+            #pragma omp parallel for shared(D, F) private(i)
+            {
+                for (i = 0; i < 8; i++) F[i] = D[i] + 1;
+            }
+            return F[7];
+        }
+        """)
+        assert result.exit_value == 8
+
+    def test_bare_asm_without_num_threads_rejected(self):
+        with pytest.raises(SemanticError, match="num_threads"):
+            run_source("""
+            int main() {
+                int A[4];
+                #pragma omp parallel target(X3000) shared(A)
+                { __asm { end } }
+                return 0;
+            }
+            """)
+
+
+class TestDriver:
+    def test_compiled_program_reusable(self, platform):
+        program = compile_source("""
+        int main() {
+            int OUT[1];
+            #pragma omp parallel target(X3000) shared(OUT) num_threads(1)
+            { __asm { st.1.dw (OUT, 0, 0) = 4
+                      end } }
+            return OUT[0];
+        }
+        """)
+        assert len(program.fatbinary.sections) == 1
+        first = program.run(platform=platform)
+        second = program.run()  # fresh platform
+        assert first.exit_value == second.exit_value == 4
+
+    def test_fat_binary_holds_host_source(self):
+        program = compile_source("int main() { return 0; }", name="app")
+        assert "int main()" in program.fatbinary.host_source
+        assert program.fatbinary.name == "app"
+
+
+class TestAdvancedPrograms:
+    def test_recursion(self):
+        result = run_source("""
+        int fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { return fib(10); }
+        """)
+        assert result.exit_value == 55
+
+    def test_nested_taskq(self):
+        """Paper: "A taskq pragma may be nested within either a taskq
+        block or a task block; in both cases a subordinate queue is
+        formed"."""
+        result = run_source("""
+        int main() {
+            int D[2];
+            D[0] = 0;
+            D[1] = 0;
+            int one = 1;
+            #pragma intel omp taskq target(X3000)
+            {
+                #pragma intel omp task target(X3000) shared(D) captureprivate(one)
+                {
+                    __asm {
+                        st.1.dw (D, 0, 0) = one
+                        end
+                    }
+                }
+                #pragma intel omp taskq target(X3000)
+                {
+                    #pragma intel omp task target(X3000) shared(D) captureprivate(one)
+                    {
+                        __asm {
+                            st.1.dw (D, 1, 0) = one
+                            end
+                        }
+                    }
+                }
+            }
+            return D[0] + D[1];
+        }
+        """)
+        assert result.exit_value == 2
+
+    def test_pending_region_synced_at_exit(self):
+        # no chi_wait(): the implicit barrier at main exit covers it
+        result = run_source("""
+        int main() {
+            int OUT[1];
+            #pragma omp parallel target(X3000) shared(OUT) num_threads(1) master_nowait
+            { __asm { st.1.dw (OUT, 0, 0) = 5
+                      end } }
+            return 0;
+        }
+        """)
+        assert not result.runtime.timeline.now == 0.0
+
+    def test_2d_array_bound_to_region(self):
+        result = run_source("""
+        int main() {
+            int IMG[4][16];
+            for (int y = 0; y < 4; y++)
+                for (int x = 0; x < 16; x++)
+                    IMG[y][x] = y * 16 + x;
+            int OUT[4][16];
+            #pragma omp parallel target(X3000) shared(IMG, OUT) private(row)
+            {
+                for (int row = 0; row < 4; row++)
+                __asm {
+                    mul.1.dw vr1 = row, 16
+                    ld.16.dw vr2 = (IMG, vr1, 0)
+                    add.16.dw vr3 = vr2, 1000
+                    st.16.dw (OUT, vr1, 0) = vr3
+                    end
+                }
+            }
+            return OUT[2][5] - 1000 - 37;
+        }
+        """)
+        assert result.exit_value == 0
+
+    def test_float_function_and_mixed_arithmetic(self):
+        result = run_source("""
+        float half(float x) { return x / 2.0; }
+        int main() {
+            float y = half(7.0);
+            int z = y * 2;
+            return z;
+        }
+        """)
+        assert result.exit_value == 7

@@ -1,0 +1,98 @@
+"""Lexer: tokens, pragma capture, __asm capture."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.chi.frontend.tokens import Tok, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+class TestBasics:
+    def test_integers_and_floats(self):
+        toks = tokenize("42 3.5 1e3 2.5f .25")
+        assert [t.kind for t in toks[:-1]] == [
+            Tok.INT, Tok.FLOAT, Tok.FLOAT, Tok.FLOAT, Tok.FLOAT]
+        assert toks[0].value == 42
+        assert toks[1].value == 3.5
+        assert toks[2].value == 1000.0
+        assert toks[3].value == 2.5
+
+    def test_identifiers_and_keywords(self):
+        toks = tokenize("int x for while if else return void float")
+        assert [t.kind for t in toks[:-1]] == [
+            Tok.KW_INT, Tok.IDENT, Tok.KW_FOR, Tok.KW_WHILE, Tok.KW_IF,
+            Tok.KW_ELSE, Tok.KW_RETURN, Tok.KW_VOID, Tok.KW_FLOAT]
+
+    def test_operators(self):
+        toks = tokenize("a <= b >> 2 && c != d ++ e += 1")
+        ops = [t.kind for t in toks if t.kind not in (Tok.IDENT, Tok.INT,
+                                                      Tok.EOF)]
+        assert ops == [Tok.LE, Tok.SHR, Tok.ANDAND, Tok.NE, Tok.PLUSPLUS,
+                       Tok.PLUSEQ]
+
+    def test_string_literal(self):
+        tok = tokenize('"hi\\n"')[0]
+        assert tok.kind is Tok.STRING
+        assert tok.value == "hi\n"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated string"):
+            tokenize('"oops')
+
+    def test_comments_stripped(self):
+        source = "a // line\n/* block\nspanning */ b"
+        toks = tokenize(source)
+        assert [t.text for t in toks[:-1]] == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError, match="unterminated block"):
+            tokenize("/* forever")
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n\nc")
+        assert [t.line for t in toks[:-1]] == [1, 2, 4]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("a $ b")
+
+
+class TestPragmas:
+    def test_pragma_captured_verbatim(self):
+        toks = tokenize("#pragma omp parallel target(X3000) shared(A)\nx;")
+        assert toks[0].kind is Tok.PRAGMA
+        assert toks[0].value == "omp parallel target(X3000) shared(A)"
+        assert toks[1].kind is Tok.IDENT
+
+    def test_pragma_line_continuation(self):
+        toks = tokenize("#pragma omp parallel \\\n shared(A)\nx;")
+        assert "shared(A)" in toks[0].value
+        assert toks[1].text == "x"
+
+    def test_non_pragma_directive_rejected(self):
+        with pytest.raises(LexError, match="unsupported preprocessor"):
+            tokenize("#include <stdio.h>")
+
+
+class TestAsmBlocks:
+    def test_asm_body_captured(self):
+        toks = tokenize("__asm { mov.1.dw vr1 = 0\nend } x")
+        assert toks[0].kind is Tok.ASM
+        assert "mov.1.dw vr1 = 0" in toks[0].value
+        assert toks[1].text == "x"
+
+    def test_asm_requires_brace(self):
+        with pytest.raises(LexError, match="followed by"):
+            tokenize("__asm mov")
+
+    def test_unterminated_asm(self):
+        with pytest.raises(LexError, match="unterminated __asm"):
+            tokenize("__asm { forever")
+
+    def test_asm_like_identifier_not_special(self):
+        toks = tokenize("__asmx = 1;")
+        assert toks[0].kind is Tok.IDENT
+        assert toks[0].text == "__asmx"

@@ -1,0 +1,113 @@
+"""Pragma lowering: asm/dsl blocks become fat-binary sections."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.chi.frontend import ast
+from repro.chi.frontend.lower import lower
+from repro.chi.frontend.parser import parse
+
+
+def lower_source(source, name="app"):
+    unit = parse(source)
+    return unit, lower(unit, name=name)
+
+
+def find_blocks(stmt, kind, out):
+    if isinstance(stmt, kind):
+        out.append(stmt)
+    for attr in ("body", "then", "orelse"):
+        child = getattr(stmt, attr, None)
+        if isinstance(child, tuple):
+            for s in child:
+                find_blocks(s, kind, out)
+        elif child is not None and isinstance(child, ast.Stmt):
+            find_blocks(child, kind, out)
+
+
+def test_each_asm_block_gets_unique_section():
+    unit, fat = lower_source("""
+    int main() {
+        int A[8];
+        #pragma omp parallel target(X3000) shared(A) num_threads(1)
+        { __asm { st.1.dw (A, 0, 0) = 1
+                  end } }
+        #pragma omp parallel target(X3000) shared(A) num_threads(1)
+        { __asm { st.1.dw (A, 1, 0) = 2
+                  end } }
+        return 0;
+    }
+    """)
+    blocks = []
+    find_blocks(unit.function("main").body, ast.AsmBlock, blocks)
+    assert sorted(b.section for b in blocks) == [1, 2]
+    assert sorted(fat.sections) == [1, 2]
+    assert all(s.isa == "X3000" for s in fat.sections.values())
+
+
+def test_section_names_carry_function_and_line():
+    unit, fat = lower_source("""
+    int helper() {
+        int B[4];
+        #pragma omp parallel target(X3000) shared(B) num_threads(1)
+        { __asm { end } }
+        return 0;
+    }
+    int main() { return helper(); }
+    """)
+    (section,) = fat.sections.values()
+    assert section.name.startswith("helper.asm@")
+
+
+def test_task_inherits_taskq_target():
+    unit, fat = lower_source("""
+    int main() {
+        int A[4];
+        #pragma intel omp taskq target(X3000)
+        {
+            #pragma intel omp task shared(A)
+            { __asm { end } }
+        }
+        return 0;
+    }
+    """)
+    assert len(fat.sections) == 1
+
+
+def test_asm_without_target_rejected_at_lowering():
+    unit = parse("""
+    int main() {
+        #pragma omp parallel for
+        { __asm { end } }
+        return 0;
+    }
+    """)
+    with pytest.raises(SemanticError, match="outside a target"):
+        lower(unit)
+
+
+def test_host_source_embedded():
+    source = "int main() { return 3; }"
+    _, fat = lower_source(source)
+    assert fat.host_source == source
+    assert fat.name == "app"
+
+
+def test_asm_inside_control_flow_is_lowered():
+    unit, fat = lower_source("""
+    int main() {
+        int A[4];
+        int flag = 1;
+        if (flag) {
+            #pragma omp parallel target(X3000) shared(A) num_threads(1)
+            { __asm { end } }
+        }
+        while (0) {
+            #pragma omp parallel target(X3000) shared(A) num_threads(1)
+            { __asm { nop
+                      end } }
+        }
+        return 0;
+    }
+    """)
+    assert len(fat.sections) == 2

@@ -1,0 +1,159 @@
+"""Parser: C constructs and the Figure 5 pragma grammar."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.chi.frontend import ast
+from repro.chi.frontend.parser import parse, parse_pragma
+
+
+def parse_main(body: str) -> ast.FuncDef:
+    return parse("int main() { %s }" % body).function("main")
+
+
+class TestDeclarations:
+    def test_scalar_decl(self):
+        fn = parse_main("int x = 5;")
+        decl = fn.body.body[0]
+        assert isinstance(decl, ast.Decl)
+        assert decl.name == "x" and decl.type_name == "int"
+        assert isinstance(decl.init, ast.IntLit)
+
+    def test_array_decls(self):
+        fn = parse_main("int A[10]; float M[4][8];")
+        a, m = fn.body.body
+        assert len(a.dims) == 1
+        assert len(m.dims) == 2
+        assert m.type_name == "float"
+
+    def test_function_params(self):
+        unit = parse("int f(int a, float b) { return a; } int main() { return 0; }")
+        fn = unit.function("f")
+        assert fn.params == (("int", "a"), ("float", "b"))
+
+    def test_void_params(self):
+        unit = parse("int main(void) { return 0; }")
+        assert unit.function("main").params == ()
+
+
+class TestStatements:
+    def test_for_loop_shapes(self):
+        fn = parse_main("for (i = 0; i < 10; i++) x = x + 1;")
+        loop = fn.body.body[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.ExprStmt)
+        assert isinstance(loop.cond, ast.Binary)
+        assert isinstance(loop.step, ast.Assign)
+
+    def test_for_with_decl_init(self):
+        fn = parse_main("for (int i = 0; i < 4; i = i + 1) { }")
+        assert isinstance(fn.body.body[0].init, ast.Decl)
+
+    def test_if_else(self):
+        fn = parse_main("if (x) y = 1; else y = 2;")
+        stmt = fn.body.body[0]
+        assert isinstance(stmt, ast.If)
+        assert stmt.orelse is not None
+
+    def test_while_break_continue(self):
+        fn = parse_main("while (1) { break; continue; }")
+        loop = fn.body.body[0]
+        assert isinstance(loop.body.body[0], ast.Break)
+        assert isinstance(loop.body.body[1], ast.Continue)
+
+    def test_precedence(self):
+        fn = parse_main("x = 1 + 2 * 3 << 1;")
+        assign = fn.body.body[0].expr
+        # ((1 + (2*3)) << 1)
+        assert assign.value.op == "<<"
+        assert assign.value.left.op == "+"
+
+    def test_compound_assignment_desugars(self):
+        fn = parse_main("x += 2;")
+        assign = fn.body.body[0].expr
+        assert isinstance(assign, ast.Assign)
+        assert assign.value.op == "+"
+
+    def test_index_chains(self):
+        fn = parse_main("x = M[1][2];")
+        index = fn.body.body[0].expr.value
+        assert isinstance(index, ast.Index)
+        assert len(index.indices) == 2
+
+    def test_call_with_args(self):
+        fn = parse_main("f(1, x, g());")
+        call = fn.body.body[0].expr
+        assert call.func == "f" and len(call.args) == 3
+
+    def test_syntax_errors(self):
+        with pytest.raises(ParseError):
+            parse("int main() { int ; }")
+        with pytest.raises(ParseError):
+            parse("int main() { x = ; }")
+        with pytest.raises(ParseError, match="unterminated block"):
+            parse("int main() { x = 1;")
+
+
+class TestPragmaGrammar:
+    def test_figure6_pragma(self):
+        clauses, kind = parse_pragma(
+            "omp parallel target(X3000) shared(A, B, C) "
+            "descriptor(A_desc,B_desc,C_desc) private(i) master_nowait", 1)
+        assert kind == "parallel"
+        assert clauses.target == "X3000"
+        assert clauses.shared == ("A", "B", "C")
+        assert clauses.descriptor == ("A_desc", "B_desc", "C_desc")
+        assert clauses.private == ("i",)
+        assert clauses.master_nowait
+
+    def test_parallel_for(self):
+        clauses, kind = parse_pragma("omp parallel for shared(D) private(i)",
+                                     1)
+        assert kind == "parallel"
+        assert clauses.is_for
+        assert clauses.target is None
+
+    def test_taskq_and_task(self):
+        clauses, kind = parse_pragma("intel omp taskq target(X3000)", 1)
+        assert kind == "taskq"
+        clauses, kind = parse_pragma(
+            "intel omp task target(X3000) captureprivate(x, y)", 1)
+        assert kind == "task"
+        assert clauses.captureprivate == ("x", "y")
+
+    def test_num_threads_expression(self):
+        clauses, _ = parse_pragma("omp parallel target(X3000) "
+                                  "num_threads(n / 8)", 1)
+        assert isinstance(clauses.num_threads, ast.Binary)
+
+    def test_firstprivate(self):
+        clauses, _ = parse_pragma(
+            "omp parallel target(X3000) firstprivate(a, b)", 1)
+        assert clauses.firstprivate == ("a", "b")
+
+    def test_unknown_pragma(self):
+        with pytest.raises(ParseError, match="unsupported"):
+            parse_pragma("omp sections", 1)
+        with pytest.raises(ParseError, match="unsupported"):
+            parse_pragma("gcc ivdep", 1)
+
+    def test_unknown_clause(self):
+        with pytest.raises(ParseError, match="unknown pragma clause"):
+            parse_pragma("omp parallel target(X3000) bogus(x)", 1)
+
+    def test_pragma_attaches_to_block(self):
+        unit = parse("""
+        int main() {
+            int A[8];
+            #pragma omp parallel target(X3000) shared(A) num_threads(2)
+            {
+                __asm { end }
+            }
+            return 0;
+        }
+        """)
+        stmt = unit.function("main").body.body[1]
+        assert isinstance(stmt, ast.ParallelStmt)
+        inner = stmt.body.body[0]
+        assert isinstance(inner, ast.AsmBlock)
+        assert "end" in inner.text

@@ -1,0 +1,129 @@
+"""Semantic checks of the CHI C front end."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.chi.frontend.parser import parse
+from repro.chi.frontend.sema import check
+
+
+def check_source(source):
+    check(parse(source))
+
+
+class TestBindings:
+    def test_valid_program_passes(self):
+        check_source("""
+        int helper(int x) { return x + 1; }
+        int main() {
+            int y = helper(2);
+            return y;
+        }
+        """)
+
+    def test_missing_main(self):
+        with pytest.raises(SemanticError, match="no main"):
+            check_source("int f() { return 0; }")
+
+    def test_undeclared_variable(self):
+        with pytest.raises(SemanticError, match="undeclared variable 'y'"):
+            check_source("int main() { return y; }")
+
+    def test_redeclaration(self):
+        with pytest.raises(SemanticError, match="redeclaration"):
+            check_source("int main() { int x; int x; return 0; }")
+
+    def test_shadowing_in_inner_scope_allowed(self):
+        check_source("int main() { int x; { int x; } return 0; }")
+
+    def test_scope_ends_with_block(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            check_source("int main() { { int x; } return x; }")
+
+    def test_for_loop_variable_scoped(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            check_source(
+                "int main() { for (int i = 0; i < 2; i++) { } return i; }")
+
+    def test_undefined_function(self):
+        with pytest.raises(SemanticError, match="undefined function"):
+            check_source("int main() { return ghost(); }")
+
+    def test_builtins_allowed(self):
+        check_source('int main() { printf("%d", max(1, 2)); return 0; }')
+
+    def test_enum_names_allowed_in_chi_calls(self):
+        check_source("""
+        int main() {
+            int A[8];
+            int d = chi_alloc_desc(X3000, A, CHI_INPUT, 8, 1);
+            return 0;
+        }
+        """)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(SemanticError, match="assignment target"):
+            check_source("int main() { 3 = 4; return 0; }")
+
+
+class TestPragmaPlacement:
+    def test_asm_outside_target_rejected(self):
+        with pytest.raises(SemanticError, match="__asm block outside"):
+            check_source("int main() { __asm { end } return 0; }")
+
+    def test_asm_under_target_ok(self):
+        check_source("""
+        int main() {
+            int A[8];
+            #pragma omp parallel target(X3000) shared(A) num_threads(1)
+            { __asm { end } }
+            return 0;
+        }
+        """)
+
+    def test_task_outside_taskq_rejected(self):
+        with pytest.raises(SemanticError, match="task pragma outside"):
+            check_source("""
+            int main() {
+                #pragma intel omp task target(X3000)
+                { __asm { end } }
+                return 0;
+            }
+            """)
+
+    def test_task_inside_taskq_ok(self):
+        check_source("""
+        int main() {
+            int x = 1;
+            #pragma intel omp taskq target(X3000)
+            {
+                #pragma intel omp task target(X3000) captureprivate(x)
+                { __asm { end } }
+            }
+            return 0;
+        }
+        """)
+
+    def test_clause_variables_must_exist(self):
+        with pytest.raises(SemanticError, match="undeclared variable 'A'"):
+            check_source("""
+            int main() {
+                #pragma omp parallel target(X3000) shared(A) num_threads(1)
+                { __asm { end } }
+                return 0;
+            }
+            """)
+
+    def test_private_variable_bound_by_region(self):
+        check_source("""
+        int main() {
+            int A[8];
+            int n = 8;
+            #pragma omp parallel target(X3000) shared(A) private(i)
+            {
+                for (i = 0; i < n; i++)
+                __asm { end }
+            }
+            return 0;
+        }
+        """)

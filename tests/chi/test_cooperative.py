@@ -1,0 +1,112 @@
+"""Cooperative heterogeneous loops through the runtime."""
+
+import numpy as np
+import pytest
+
+from repro.chi.cooperative import run_cooperative
+from repro.cpu.ia32 import CpuWork
+from repro.errors import SchedulingError
+from repro.isa.types import DataType
+from repro.memory.surface import Surface
+
+DOUBLE_ASM = """
+    shl.1.dw vr1 = i, 3
+    ld.8.dw [vr2..vr9] = (IN, vr1, 0)
+    add.8.dw [vr10..vr17] = [vr2..vr9], [vr2..vr9]
+    st.8.dw (OUT, vr1, 0) = [vr10..vr17]
+    end
+"""
+
+
+@pytest.fixture
+def setup(runtime):
+    space = runtime.platform.space
+    n_items = 40
+    src = Surface.alloc(space, "IN", n_items * 8, 1, DataType.DW)
+    dst = Surface.alloc(space, "OUT", n_items * 8, 1, DataType.DW)
+    data = np.arange(n_items * 8) % 97
+    src.upload(runtime.platform.host, data.reshape(1, -1))
+
+    def host_fn(binding):
+        i = int(binding["i"])
+        chunk = src.read_linear(runtime.platform.host, i * 8, 8)
+        dst.write_linear(runtime.platform.host, i * 8, chunk * 2)
+
+    bindings = [{"i": float(i)} for i in range(n_items)]
+    return runtime, src, dst, data, host_fn, bindings
+
+
+def run_split(setup, fraction):
+    runtime, src, dst, data, host_fn, bindings = setup
+    return run_cooperative(
+        runtime, DOUBLE_ASM,
+        bindings=bindings,
+        host_fn=host_fn,
+        host_work_per_item=CpuWork(8, 5.0, 16),
+        cpu_fraction=fraction,
+        shared={"IN": src, "OUT": dst},
+    )
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("fraction", [0.0, 0.25, 0.5, 1.0])
+    def test_every_split_computes_the_same_answer(self, setup, fraction):
+        runtime, src, dst, data, *_ = setup
+        outcome = run_split(setup, fraction)
+        got = dst.download(runtime.platform.host).reshape(-1)
+        assert np.array_equal(got, data * 2)
+        assert outcome.cpu_items + outcome.gma_items == 40
+
+    def test_split_counts(self, setup):
+        outcome = run_split(setup, 0.25)
+        assert outcome.cpu_items == 10
+        assert outcome.gma_items == 30
+        assert outcome.cpu_fraction == pytest.approx(0.25)
+
+    def test_host_takes_the_tail(self, setup):
+        """Figure 9's shape: the IA32 sequencer handles [GMA_iters, n)."""
+        runtime, src, dst, data, host_fn, bindings = setup
+        seen = []
+        outcome = run_cooperative(
+            runtime, DOUBLE_ASM, bindings=bindings,
+            host_fn=lambda b: (seen.append(int(b["i"])), host_fn(b)),
+            host_work_per_item=CpuWork(8, 5.0, 16),
+            cpu_fraction=0.25,
+            shared={"IN": src, "OUT": dst})
+        assert seen == list(range(30, 40))
+        assert outcome.gma_items == 30
+
+
+class TestTimeline:
+    def test_sides_overlap(self, setup):
+        runtime = setup[0]
+        outcome = run_split(setup, 0.5)
+        assert outcome.elapsed_seconds < \
+            outcome.cpu_seconds + outcome.gma_seconds
+        assert outcome.elapsed_seconds >= max(
+            outcome.cpu_seconds, outcome.gma_seconds) - 1e-15
+        assert outcome.overlap_seconds > 0
+
+    def test_pure_gma_has_no_cpu_time(self, setup):
+        outcome = run_split(setup, 0.0)
+        assert outcome.cpu_seconds == 0.0
+        assert outcome.gma_seconds > 0
+
+    def test_pure_cpu_has_no_gma_time(self, setup):
+        outcome = run_split(setup, 1.0)
+        assert outcome.gma_seconds == 0.0
+        assert outcome.cpu_seconds > 0
+        assert outcome.region.waited
+
+
+class TestValidation:
+    def test_fraction_range(self, setup):
+        with pytest.raises(SchedulingError):
+            run_split(setup, 1.5)
+
+    def test_empty_loop(self, runtime):
+        with pytest.raises(SchedulingError, match="at least one"):
+            run_cooperative(runtime, "end", bindings=[],
+                            host_fn=lambda b: None,
+                            host_work_per_item=CpuWork(1, 1, 1),
+                            cpu_fraction=0.5)

@@ -1,0 +1,134 @@
+"""The shred-level debugger (section 4.5)."""
+
+import numpy as np
+import pytest
+
+from repro.chi.debugger import ChiDebugger, StopReason
+from repro.errors import DebuggerError
+from repro.isa.types import DataType
+from repro.memory.surface import Surface
+
+COUNTER = """
+    mov.1.dw vr1 = 0
+loop:
+    add.1.dw vr1 = vr1, 1
+    cmp.lt.1.dw p1 = vr1, 3
+    br p1, loop
+    st.1.dw (OUT, 0, 0) = vr1
+    end
+"""
+
+
+@pytest.fixture
+def session(runtime):
+    out = Surface.alloc(runtime.platform.space, "OUT", 1, 1, DataType.DW)
+    section = runtime.compile_asm(COUNTER, name="counter")
+    dbg = ChiDebugger(runtime)
+    s = dbg.debug(section, shared={"OUT": out})
+    s._out = out
+    return s
+
+
+class TestBreakpoints:
+    def test_break_by_label(self, session):
+        ip = session.break_at("loop")
+        assert ip == 1
+        stop = session.cont()
+        assert stop.reason is StopReason.BREAKPOINT
+        assert stop.ip == 1
+
+    def test_break_by_source_line(self, session):
+        ip = session.break_at(7)  # the st line (1-based source lines)
+        stop = session.cont()
+        assert stop.ip == ip
+        assert "st.1.dw" in stop.source_line
+
+    def test_unknown_label(self, session):
+        with pytest.raises(DebuggerError, match="no label"):
+            session.break_at("nowhere")
+
+    def test_unknown_line(self, session):
+        with pytest.raises(DebuggerError, match="no instruction at"):
+            session.break_at(999)
+
+    def test_clear_breakpoint(self, session):
+        ip = session.break_at("loop")
+        session.clear_breakpoint(ip)
+        assert session.breakpoints == []
+        stop = session.cont()
+        assert stop.reason is StopReason.DONE
+
+
+class TestExecution:
+    def test_cont_to_completion(self, session):
+        stop = session.cont()
+        assert stop.reason is StopReason.DONE
+        assert session._out.download(
+            session.runtime.platform.space)[0, 0] == 3.0
+
+    def test_step_by_step(self, session):
+        stop = session.step()
+        assert stop.reason is StopReason.STEP
+        assert stop.ip == 1
+        assert stop.instructions_executed == 1
+
+    def test_breakpoint_hit_count_matches_loop(self, session):
+        session.break_at("loop")
+        hits = 0
+        while session.cont().reason is StopReason.BREAKPOINT:
+            hits += 1
+        assert hits == 3
+
+    def test_registers_observable_mid_flight(self, session):
+        session.break_at("loop")
+        session.cont()
+        session.cont()
+        assert session.read_vreg(1)[0] == 1.0
+
+    def test_predicates_observable(self, session):
+        session.break_at(6)  # the br line (cmp already executed)
+        session.cont()
+        assert session.read_pred(1, 1)[0]  # vr1=1 < 3
+
+    def test_where_and_disassembly(self, session):
+        session.step()
+        stop = session.where()
+        assert stop.ip == 1
+        window = session.disassemble_around(context=1)
+        assert any(line.startswith("=>") for line in window)
+        assert len(window) == 3
+
+
+class TestFactory:
+    def test_debug_accepts_program_object(self, runtime):
+        from repro.isa.assembler import assemble
+        program = assemble("nop\nend")
+        session = ChiDebugger(runtime).debug(program)
+        assert session.cont().reason is StopReason.DONE
+
+
+class TestWatchpointsAndMemory:
+    def test_watch_vreg_stops_on_change(self, session):
+        stop = session.watch_vreg(1)
+        assert stop.reason is StopReason.WATCHPOINT
+        assert session.read_vreg(1)[0] == 1.0
+        stop = session.watch_vreg(1)
+        assert session.read_vreg(1)[0] == 2.0
+
+    def test_watch_runs_to_done_when_value_stable(self, session):
+        stop = session.watch_vreg(99)  # never written
+        assert stop.reason is StopReason.DONE
+
+    def test_examine_surface(self, session):
+        session.cont()
+        got = session.examine_surface("OUT", 0, 0)
+        assert got[0, 0] == 3.0
+
+    def test_examine_unknown_surface(self, session):
+        with pytest.raises(DebuggerError, match="no surface"):
+            session.examine_surface("NOPE", 0, 0)
+
+    def test_examine_does_not_touch_device_tlb(self, session):
+        before = len(session.runtime.platform.device.view.tlb)
+        session.examine_surface("OUT", 0, 0)
+        assert len(session.runtime.platform.device.view.tlb) == before

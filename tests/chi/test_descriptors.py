@@ -1,0 +1,94 @@
+"""Surface descriptors and the Table 1 APIs."""
+
+import pytest
+
+from repro.errors import DescriptorError, SchedulingError
+from repro.chi.descriptors import AccessMode, DescriptorAttrib
+from repro.isa.types import DataType
+from repro.memory.surface import Surface, TileMode
+
+
+@pytest.fixture
+def surface(platform):
+    return Surface.alloc(platform.space, "A", 64, 32, DataType.UB)
+
+
+class TestAllocFree:
+    def test_alloc_desc(self, runtime, surface):
+        desc = runtime.chi_alloc_desc("X3000", surface,
+                                      AccessMode.CHI_INPUT, 64, 32)
+        assert desc.surface is surface
+        assert desc.mode is AccessMode.CHI_INPUT
+        assert desc.width == 64 and desc.height == 32
+
+    def test_geometry_must_match(self, runtime, surface):
+        with pytest.raises(DescriptorError, match="width"):
+            runtime.chi_alloc_desc("X3000", surface, AccessMode.CHI_INPUT,
+                                   100, 32)
+        with pytest.raises(DescriptorError, match="height"):
+            runtime.chi_alloc_desc("X3000", surface, AccessMode.CHI_INPUT,
+                                   64, 1)
+
+    def test_geometry_optional(self, runtime, surface):
+        desc = runtime.chi_alloc_desc("X3000", surface, AccessMode.CHI_INOUT)
+        assert desc.width == 64
+
+    def test_unknown_isa(self, runtime, surface):
+        with pytest.raises(SchedulingError, match="no accelerator"):
+            runtime.chi_alloc_desc("CUDA", surface, AccessMode.CHI_INPUT)
+
+    def test_free_then_use_rejected(self, runtime, surface):
+        desc = runtime.chi_alloc_desc("X3000", surface, AccessMode.CHI_INPUT)
+        runtime.chi_free_desc("X3000", desc)
+        with pytest.raises(DescriptorError, match="freed"):
+            runtime.chi_modify_desc("X3000", desc, DescriptorAttrib.MODE,
+                                    AccessMode.CHI_OUTPUT)
+
+    def test_double_free_rejected(self, runtime, surface):
+        desc = runtime.chi_alloc_desc("X3000", surface, AccessMode.CHI_INPUT)
+        runtime.chi_free_desc("X3000", desc)
+        with pytest.raises(DescriptorError):
+            runtime.chi_free_desc("X3000", desc)
+
+
+class TestModify:
+    def test_change_mode(self, runtime, surface):
+        desc = runtime.chi_alloc_desc("X3000", surface, AccessMode.CHI_INPUT)
+        runtime.chi_modify_desc("X3000", desc, DescriptorAttrib.MODE,
+                                AccessMode.CHI_INOUT)
+        assert desc.mode is AccessMode.CHI_INOUT
+
+    def test_change_tiling(self, runtime, surface):
+        desc = runtime.chi_alloc_desc("X3000", surface, AccessMode.CHI_INPUT)
+        runtime.chi_modify_desc("X3000", desc, DescriptorAttrib.TILING,
+                                TileMode.TILED)
+        assert surface.tiling is TileMode.TILED
+        assert desc.attribs["tiling"] is TileMode.TILED
+
+    def test_bad_attribute_values(self, runtime, surface):
+        desc = runtime.chi_alloc_desc("X3000", surface, AccessMode.CHI_INPUT)
+        with pytest.raises(DescriptorError, match="TileMode"):
+            runtime.chi_modify_desc("X3000", desc, DescriptorAttrib.TILING,
+                                    "tiled")
+        with pytest.raises(DescriptorError, match="AccessMode"):
+            runtime.chi_modify_desc("X3000", desc, DescriptorAttrib.MODE, 3)
+
+    def test_geometry_is_immutable(self, runtime, surface):
+        desc = runtime.chi_alloc_desc("X3000", surface, AccessMode.CHI_INPUT)
+        with pytest.raises(DescriptorError, match="fixed at allocation"):
+            runtime.chi_modify_desc("X3000", desc, DescriptorAttrib.WIDTH, 8)
+
+
+class TestFeatures:
+    def test_global_feature(self, runtime):
+        runtime.chi_set_feature("X3000", "sampler_filter", "bilinear")
+        assert runtime.feature("X3000", "sampler_filter") == "bilinear"
+        assert runtime.feature("X3000", "unset", default=7) == 7
+
+    def test_pershred_feature(self, runtime):
+        runtime.chi_set_feature_pershred("X3000", 12, "priority", 3)
+        assert runtime._pershred_features[12]["priority"] == 3
+
+    def test_feature_unknown_isa(self, runtime):
+        with pytest.raises(SchedulingError):
+            runtime.chi_set_feature("SPU", "x", 1)

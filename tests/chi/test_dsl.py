@@ -1,0 +1,248 @@
+"""The per-pixel filter DSL (paper section 4.1's domain-specific
+language integration)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chi.dsl import DslError, TILE_H, TILE_W, compile_dsl, parse_dsl
+from repro.chi.frontend import run_source
+from repro.isa.types import DataType
+from repro.kernels.images import test_image as make_image
+from repro.memory.surface import Surface
+
+
+def run_dsl(runtime, text, inputs, width, height, elem="ub"):
+    """Compile, dispatch and verify one DSL block; returns outputs."""
+    dsl = compile_dsl(text, elem=elem)
+    space = runtime.platform.space
+    dtype = DataType.from_suffix(elem)
+    surfaces = {}
+    for name, img in inputs.items():
+        surfaces[name] = Surface.alloc(space, name, width, height, dtype)
+        surfaces[name].upload(runtime.platform.host, img)
+    for name in dsl.outputs:
+        surfaces[name] = Surface.alloc(space, name, width, height, dtype)
+    section = runtime.fatbinary.add_section("X3000", dsl.program, text)
+    runtime.parallel(section, shared=surfaces,
+                     private=dsl.bindings_for(width, height))
+    expected = dsl.reference(inputs, width, height)
+    got = {name: surfaces[name].download(runtime.platform.host)
+           for name in dsl.outputs}
+    for name in dsl.outputs:
+        assert np.array_equal(got[name], expected[name]), name
+    return got
+
+
+class TestParser:
+    def test_simple_assignment(self):
+        stmts = parse_dsl("OUT = SRC + 1")
+        assert len(stmts) == 1
+        assert stmts[0].target == "OUT"
+
+    def test_taps_and_shorthand(self):
+        stmts = parse_dsl("OUT = SRC[-1, 2] + SRC")
+        taps = stmts[0].expr
+        assert taps.left.dx == -1 and taps.left.dy == 2
+        assert taps.right.dx == 0 and taps.right.dy == 0
+
+    def test_precedence(self):
+        expr = parse_dsl("O = 1 + 2 * 3")[0].expr
+        assert expr.op == "+" and expr.right.op == "*"
+
+    def test_comments(self):
+        stmts = parse_dsl("# smoothing\nOUT = SRC  # identity\n")
+        assert len(stmts) == 1
+
+    @pytest.mark.parametrize("bad,fragment", [
+        ("", "empty"),
+        ("OUT = ", "unexpected token"),
+        ("= SRC", "must start with"),
+        ("OUT = min(1)", "takes 2"),
+        ("OUT = clamp(1, 2)", "takes 3"),
+        ("OUT = SRC[1.5, 0]", "integer literals"),
+        ("OUT = SRC[1 0]", "expected ','"),
+        ("OUT = @", "unexpected character"),
+    ])
+    def test_errors(self, bad, fragment):
+        with pytest.raises(DslError, match=fragment):
+            parse_dsl(bad) and compile_dsl(bad)
+
+
+class TestCompiler:
+    def test_identity(self, runtime):
+        img = make_image(TILE_W, TILE_H, 1)
+        got = run_dsl(runtime, "OUT = SRC", {"SRC": img}, TILE_W, TILE_H)
+        assert np.array_equal(got["OUT"], img)
+
+    def test_horizontal_smooth(self, runtime):
+        img = make_image(32, 32, 2)
+        run_dsl(runtime,
+                "OUT = clamp(0.25*SRC[-1,0] + 0.5*SRC[0,0] "
+                "+ 0.25*SRC[1,0] + 0.5, 0, 255)",
+                {"SRC": img}, 32, 32)
+
+    def test_two_inputs_two_outputs(self, runtime):
+        a = make_image(16, 16, 3)
+        b = make_image(16, 16, 4)
+        got = run_dsl(runtime, """
+            SUM = clamp(A + B, 0, 255)
+            DIFF = clamp(abs(A - B), 0, 255)
+        """, {"A": a, "B": b}, 16, 16)
+        assert set(got) == {"SUM", "DIFF"}
+
+    def test_min_max_unary(self, runtime):
+        img = make_image(16, 16, 5)
+        run_dsl(runtime, "OUT = max(min(SRC, 200), -(-32))",
+                {"SRC": img}, 16, 16)
+
+    def test_diagonal_taps_edge_clamped(self, runtime):
+        img = make_image(16, 16, 6)
+        run_dsl(runtime, "OUT = clamp(0.25 * (SRC[-1,-1] + SRC[1,-1] "
+                         "+ SRC[-1,1] + SRC[1,1]) + 0.5, 0, 255)",
+                {"SRC": img}, 16, 16)
+
+    def test_dw_elements(self, runtime):
+        img = np.arange(256.0).reshape(16, 16) * 1000  # beyond byte range
+        got = run_dsl(runtime, "OUT = SRC + 5", {"SRC": img}, 16, 16,
+                      elem="dw")
+        assert np.array_equal(got["OUT"], img + 5)
+
+    def test_geometry_must_tile(self):
+        dsl = compile_dsl("OUT = SRC")
+        with pytest.raises(DslError, match="multiple"):
+            dsl.bindings_for(TILE_W + 1, TILE_H)
+
+    def test_write_then_read_hazard_rejected(self):
+        with pytest.raises(DslError, match="both read and written"):
+            compile_dsl("OUT = SRC\nFINAL = OUT[1,0]")
+
+    def test_double_assignment_rejected(self):
+        with pytest.raises(DslError, match="assigned twice"):
+            compile_dsl("OUT = SRC\nOUT = SRC + 1")
+
+    def test_metadata(self):
+        dsl = compile_dsl("O1 = A[1,0] + B\nO2 = A - 1")
+        assert dsl.inputs == {"A", "B"}
+        assert dsl.outputs == ["O1", "O2"]
+        assert len(dsl.bindings_for(32, 16)) == 2
+
+
+class TestFrontendIntegration:
+    def test_dsl_in_c_program(self):
+        result = run_source("""
+        int main() {
+            int SRC[16][16];
+            int OUT[16][16];
+            for (int y = 0; y < 16; y++)
+                for (int x = 0; x < 16; x++)
+                    SRC[y][x] = x + y;
+            #pragma omp parallel target(X3000) shared(SRC, OUT)
+            {
+                __dsl { OUT = SRC[0,0] * 2 + 1 }
+            }
+            return OUT[3][4];
+        }
+        """)
+        assert result.exit_value == (3 + 4) * 2 + 1
+
+    def test_dsl_outside_target_rejected(self):
+        from repro.errors import SemanticError
+
+        with pytest.raises(SemanticError, match="__dsl block outside"):
+            run_source("int main() { __dsl { O = S } return 0; }")
+
+    def test_dsl_missing_shared_surface(self):
+        from repro.errors import SemanticError
+
+        with pytest.raises(SemanticError, match="not in"):
+            run_source("""
+            int main() {
+                int SRC[16][16];
+                #pragma omp parallel target(X3000) shared(SRC)
+                { __dsl { OUT = SRC } }
+                return 0;
+            }
+            """)
+
+
+@given(st.integers(min_value=-2, max_value=2),
+       st.integers(min_value=-2, max_value=2),
+       st.floats(min_value=-2.0, max_value=2.0),
+       st.floats(min_value=0.0, max_value=64.0))
+def test_affine_tap_matches_reference(dx, dy, scale, offset):
+    """Property: any single-tap affine filter matches its oracle exactly."""
+    from repro.chi import ChiRuntime, ExoPlatform
+
+    runtime = ChiRuntime(ExoPlatform())
+    img = make_image(16, 16, 7)
+    text = (f"OUT = clamp({scale} * SRC[{dx},{dy}] + {offset} + 0.5, "
+            f"0, 255)")
+    run_dsl(runtime, text, {"SRC": img}, 16, 16)
+
+
+class TestOptimizedCompilation:
+    def test_optimize_preserves_results(self, runtime):
+        img = make_image(16, 16, 9)
+        text = ("OUT = clamp(0.5 * SRC[-1,0] + 0.5 * SRC[1,0] + 0.5, "
+                "0, 255)")
+        plain = compile_dsl(text)
+        fast = compile_dsl(text, optimize=True)
+        assert sorted(map(str, plain.program.instructions)) == \
+            sorted(map(str, fast.program.instructions))
+        run_dsl(runtime, text, {"SRC": img}, 16, 16)  # oracle check
+
+    def test_optimize_runs_verified_on_device(self, runtime):
+        img = make_image(16, 16, 10)
+        dsl = compile_dsl("OUT = clamp(SRC[-1,-1] + SRC[1,1] + 0.5, 0, 255)",
+                          optimize=True)
+        space = runtime.platform.space
+        from repro.memory.surface import Surface
+        from repro.isa.types import DataType
+
+        src = Surface.alloc(space, "SRC", 16, 16, DataType.UB)
+        out = Surface.alloc(space, "OUT", 16, 16, DataType.UB)
+        src.upload(runtime.platform.host, img)
+        section = runtime.fatbinary.add_section("X3000", dsl.program, "x")
+        runtime.parallel(section, shared={"SRC": src, "OUT": out},
+                         private=dsl.bindings_for(16, 16))
+        expected = dsl.reference({"SRC": img}, 16, 16)["OUT"]
+        assert np.array_equal(out.download(runtime.platform.host), expected)
+
+
+# ---------------------------------------------------------------------------
+# structured fuzzing: random expression trees vs. the oracle
+# ---------------------------------------------------------------------------
+
+_leaf = st.one_of(
+    st.sampled_from(["SRC[0,0]", "SRC[-1,0]", "SRC[1,1]", "SRC[0,-1]",
+                     "B[0,0]", "B[2,-2]"]),
+    st.floats(min_value=-8.0, max_value=8.0).map(lambda v: f"{v:.3f}"),
+    st.integers(min_value=0, max_value=255).map(str),
+)
+
+
+def _combine(children):
+    a, b = children
+    return st.sampled_from([
+        f"({a} + {b})", f"({a} - {b})", f"({a} * 0.25 + {b})",
+        f"min({a}, {b})", f"max({a}, {b})", f"abs({a} - {b})",
+    ])
+
+
+_expr = st.recursive(_leaf, lambda inner: st.tuples(inner, inner)
+                     .flatmap(_combine), max_leaves=6)
+
+
+@given(_expr)
+def test_random_expressions_match_oracle(expr):
+    """Any expression the grammar can produce computes identically on the
+    device and in the numpy oracle (after the final clamp/round)."""
+    from repro.chi import ChiRuntime, ExoPlatform
+
+    runtime = ChiRuntime(ExoPlatform())
+    text = f"OUT = clamp({expr} + 0.5, 0, 255)"
+    src = make_image(16, 16, 42)
+    b = make_image(16, 16, 43)
+    run_dsl(runtime, text, {"SRC": src, "B": b}, 16, 16)

@@ -1,0 +1,81 @@
+"""Fat binaries: multi-ISA code sections with unique identifiers."""
+
+import pytest
+
+from repro.errors import FatBinaryError
+from repro.chi.fatbinary import FatBinary
+from repro.isa.assembler import assemble
+
+ASM_A = "mov.1.dw vr1 = 1\nend"
+ASM_B = "loop:\nadd.1.dw vr1 = vr1, 1\ncmp.lt.1.dw p1 = vr1, 5\nbr p1, loop\nend"
+
+
+@pytest.fixture
+def fat():
+    fat = FatBinary(name="app")
+    fat.host_source = "int main() { return 0; }"
+    fat.add_section("X3000", assemble(ASM_A, "a"), ASM_A)
+    fat.add_section("X3000", assemble(ASM_B, "b"), ASM_B)
+    return fat
+
+
+class TestSections:
+    def test_identifiers_are_unique_and_sequential(self, fat):
+        assert sorted(fat.sections) == [1, 2]
+
+    def test_section_lookup(self, fat):
+        assert fat.section(1).name == "a"
+        assert fat.section(2).name == "b"
+
+    def test_missing_section(self, fat):
+        with pytest.raises(FatBinaryError, match="no code section 99"):
+            fat.section(99)
+
+    def test_program_decodes_with_source(self, fat):
+        program = fat.program(2)
+        assert len(program) == 4
+        assert program.labels == {"loop": 0}
+        assert "add.1.dw" in program.source
+
+    def test_program_cache(self, fat):
+        assert fat.program(1) is fat.program(1)
+
+    def test_sections_for_isa(self, fat):
+        assert len(fat.sections_for_isa("X3000")) == 2
+        assert fat.sections_for_isa("IA64") == []
+        assert fat.isas() == ["X3000"]
+
+
+class TestSerialization:
+    def test_roundtrip(self, fat):
+        blob = fat.serialize()
+        again = FatBinary.deserialize(blob)
+        assert again.name == "app"
+        assert again.host_source == fat.host_source
+        assert sorted(again.sections) == [1, 2]
+        for ident in (1, 2):
+            a, b = fat.section(ident), again.section(ident)
+            assert (a.isa, a.name, a.blob, a.source) == \
+                (b.isa, b.name, b.blob, b.source)
+
+    def test_decoded_sections_execute_identically(self, fat):
+        again = FatBinary.deserialize(fat.serialize())
+        original = fat.program(2)
+        decoded = again.program(2)
+        assert tuple(map(str, original.instructions)) == \
+            tuple(map(str, decoded.instructions))
+
+    def test_new_sections_after_deserialize_get_fresh_ids(self, fat):
+        again = FatBinary.deserialize(fat.serialize())
+        ident = again.add_section("X3000", assemble("end", "c"))
+        assert ident == 3
+
+    def test_bad_magic(self):
+        with pytest.raises(FatBinaryError, match="bad magic"):
+            FatBinary.deserialize(b"XXXX\x01")
+
+    def test_bad_version(self, fat):
+        blob = bytearray(fat.serialize())
+        blob[4] = 42
+        with pytest.raises(FatBinaryError, match="version"):
+            FatBinary.deserialize(bytes(blob))

@@ -1,0 +1,101 @@
+"""Heterogeneous work distribution policies (section 5.3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chi.scheduler import (
+    dynamic_partition,
+    oracle_partition,
+    static_partition,
+)
+from repro.errors import SchedulingError
+
+times = st.floats(min_value=1e-6, max_value=10.0)
+
+
+class TestStatic:
+    def test_all_on_gma(self):
+        outcome = static_partition(10.0, 2.0, 0.0)
+        assert outcome.total_seconds == 2.0
+        assert outcome.cpu_busy_seconds == 0.0
+
+    def test_all_on_cpu(self):
+        outcome = static_partition(10.0, 2.0, 1.0)
+        assert outcome.total_seconds == 10.0
+
+    def test_overlap_is_max_of_sides(self):
+        outcome = static_partition(10.0, 2.0, 0.25)
+        assert outcome.cpu_busy_seconds == 2.5
+        assert outcome.gma_busy_seconds == 1.5
+        assert outcome.total_seconds == 2.5  # master_nowait overlap
+
+    def test_fraction_validation(self):
+        with pytest.raises(SchedulingError):
+            static_partition(1.0, 1.0, 1.5)
+
+    def test_policy_label(self):
+        assert static_partition(1.0, 1.0, 0.10).policy == "static-10%"
+
+
+class TestOracle:
+    def test_balances_exactly(self):
+        outcome = oracle_partition(10.0, 2.0)
+        assert outcome.cpu_busy_seconds == pytest.approx(
+            outcome.gma_busy_seconds)
+        assert outcome.imbalance == pytest.approx(0.0)
+
+    def test_harmonic_total(self):
+        outcome = oracle_partition(10.0, 2.0)
+        assert outcome.total_seconds == pytest.approx(10 * 2 / 12)
+
+    def test_fraction_formula(self):
+        # f* = gma / (cpu + gma)
+        outcome = oracle_partition(3.0, 1.0)
+        assert outcome.cpu_fraction == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            oracle_partition(0.0, 1.0)
+
+    @given(times, times)
+    def test_oracle_beats_every_static_split(self, cpu_s, gma_s):
+        oracle = oracle_partition(cpu_s, gma_s)
+        for f in (0.0, 0.1, 0.25, 0.5, 0.9, 1.0):
+            static = static_partition(cpu_s, gma_s, f)
+            assert oracle.total_seconds <= static.total_seconds * (1 + 1e-9)
+
+
+class TestDynamic:
+    def test_single_chunk_goes_to_faster_side(self):
+        outcome = dynamic_partition(10.0, 2.0, 1)
+        assert outcome.total_seconds == 2.0
+        assert outcome.cpu_fraction == 0.0
+
+    def test_converges_to_oracle(self):
+        oracle = oracle_partition(7.0, 2.0)
+        gaps = []
+        for chunks in (4, 32, 256):
+            dyn = dynamic_partition(7.0, 2.0, chunks)
+            gaps.append(dyn.total_seconds - oracle.total_seconds)
+        assert gaps[0] >= gaps[-1] >= 0 or abs(gaps[-1]) < 1e-12
+        assert gaps[-1] <= 0.05 * oracle.total_seconds
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            dynamic_partition(1.0, 1.0, 0)
+
+    @given(times, times, st.integers(min_value=1, max_value=512))
+    def test_dynamic_never_worse_than_slowest_homogeneous(self, cpu_s,
+                                                          gma_s, chunks):
+        outcome = dynamic_partition(cpu_s, gma_s, chunks)
+        assert outcome.total_seconds <= max(cpu_s, gma_s) * (1 + 1e-9)
+        assert 0.0 <= outcome.cpu_fraction <= 1.0
+
+    @given(times, times, st.integers(min_value=1, max_value=512))
+    def test_all_work_is_done(self, cpu_s, gma_s, chunks):
+        outcome = dynamic_partition(cpu_s, gma_s, chunks)
+        # busy times correspond to complementary fractions of the work
+        cpu_work = outcome.cpu_busy_seconds / cpu_s
+        gma_work = outcome.gma_busy_seconds / gma_s
+        assert cpu_work + gma_work == pytest.approx(1.0)

@@ -1,0 +1,51 @@
+"""The simulated-time model behind master_nowait."""
+
+import pytest
+
+from repro.chi.runtime import Timeline
+
+
+def test_host_busy_advances():
+    timeline = Timeline()
+    timeline.host_busy(2.0, "work")
+    timeline.host_busy(1.0)
+    assert timeline.now == 3.0
+    assert [e[2] for e in timeline.events] == ["work", "host"]
+
+
+def test_async_span_does_not_advance():
+    timeline = Timeline()
+    completion = timeline.async_span(5.0, "gma")
+    assert timeline.now == 0.0
+    assert completion == 5.0
+
+
+def test_wait_until_is_monotone():
+    timeline = Timeline()
+    timeline.host_busy(3.0)
+    timeline.wait_until(2.0)  # already past: no-op
+    assert timeline.now == 3.0
+    timeline.wait_until(7.5)
+    assert timeline.now == 7.5
+
+
+def test_overlap_composition():
+    """host work during an async region: elapsed = max, not sum."""
+    timeline = Timeline()
+    completion = timeline.async_span(5.0, "region")
+    timeline.host_busy(3.0)  # overlaps
+    timeline.wait_until(completion)
+    assert timeline.now == 5.0
+    timeline2 = Timeline()
+    completion = timeline2.async_span(2.0, "region")
+    timeline2.host_busy(3.0)
+    timeline2.wait_until(completion)
+    assert timeline2.now == 3.0
+
+
+def test_event_log_records_start_times():
+    timeline = Timeline()
+    timeline.host_busy(1.0, "a")
+    completion = timeline.async_span(4.0, "b")
+    assert timeline.events[1][0] == 1.0  # async started at now
+    assert completion == 5.0

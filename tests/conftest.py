@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.chi.platform import ExoPlatform
+from repro.chi.runtime import ChiRuntime
+from repro.gma.device import GmaDevice
+from repro.memory.address_space import AddressSpace
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def space() -> AddressSpace:
+    return AddressSpace()
+
+
+@pytest.fixture
+def device(space) -> GmaDevice:
+    return GmaDevice(space)
+
+
+@pytest.fixture
+def platform() -> ExoPlatform:
+    return ExoPlatform()
+
+
+@pytest.fixture
+def runtime(platform) -> ChiRuntime:
+    return ChiRuntime(platform)

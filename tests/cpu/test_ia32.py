@@ -1,0 +1,64 @@
+"""IA32 host cost model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu.ia32 import CpuExecution, CpuWork, Ia32Cpu
+from repro.cpu.timing import CpuTimingConfig
+
+
+class TestCpuWork:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CpuWork(pixels=-1, cycles_per_pixel=1, bytes_touched=0)
+        with pytest.raises(ValueError):
+            CpuWork(pixels=1, cycles_per_pixel=-1, bytes_touched=0)
+
+
+class TestExecution:
+    def test_compute_bound(self):
+        cpu = Ia32Cpu()
+        execution = cpu.execute(CpuWork(1000, 10.0, 100))
+        assert execution.bound == "compute"
+        assert execution.cycles == 10000
+        assert execution.seconds == pytest.approx(10000 / 2.33e9)
+
+    def test_bandwidth_bound(self):
+        cpu = Ia32Cpu()
+        execution = cpu.execute(CpuWork(1000, 0.1, 100000))
+        assert execution.bound == "bandwidth"
+        assert execution.cycles == 100000 / cpu.config.mem_bytes_per_cycle
+
+    def test_fraction_scales_linearly(self):
+        cpu = Ia32Cpu()
+        work = CpuWork(1000, 10.0, 100)
+        full = cpu.execute(work)
+        half = cpu.execute(work, fraction=0.5)
+        assert half.seconds == pytest.approx(full.seconds / 2)
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            Ia32Cpu().execute(CpuWork(1, 1, 1), fraction=1.5)
+
+    def test_custom_config(self):
+        cpu = Ia32Cpu(CpuTimingConfig(frequency=1e9, mem_bytes_per_cycle=1.0))
+        execution = cpu.execute(CpuWork(10, 1.0, 100))
+        assert execution.cycles == 100  # bandwidth bound at 1 B/cycle
+        assert execution.seconds == pytest.approx(100e-9)
+
+    def test_config_defaults_match_core2(self):
+        config = CpuTimingConfig()
+        assert config.frequency == pytest.approx(2.33e9)
+        assert config.sse_lanes_32bit == 4
+
+
+@given(st.integers(min_value=0, max_value=10 ** 7),
+       st.floats(min_value=0.0, max_value=100.0),
+       st.integers(min_value=0, max_value=10 ** 8))
+def test_time_is_max_of_bounds(pixels, cpp, nbytes):
+    cpu = Ia32Cpu()
+    execution = cpu.execute(CpuWork(pixels, cpp, nbytes))
+    assert execution.cycles == pytest.approx(
+        max(execution.compute_cycles, execution.bandwidth_cycles))
+    assert execution.seconds >= 0

@@ -1,0 +1,74 @@
+"""Address Translation Remapping: the heart of EXO's shared memory."""
+
+import pytest
+
+from repro.exo.atr import AtrService, transcode_pte
+from repro.memory.address_space import SequencerView
+from repro.memory.gtt import GttMemType, gtt_memtype, gtt_pfn, gtt_valid
+from repro.memory.paging import make_pte
+from repro.memory.physical import PAGE_SIZE
+
+
+class TestTranscode:
+    def test_same_pfn_different_format(self):
+        pte = make_pte(0x321)
+        entry = transcode_pte(pte)
+        assert gtt_valid(entry)
+        assert gtt_pfn(entry) == 0x321
+        assert entry != pte  # genuinely different encodings
+
+    def test_cache_attribute_carries_over(self):
+        entry = transcode_pte(make_pte(1, cache_disable=True))
+        assert gtt_memtype(entry) is GttMemType.UNCACHED
+        entry = transcode_pte(make_pte(1, cache_disable=False))
+        assert gtt_memtype(entry) is GttMemType.WRITE_BACK
+
+    def test_non_present_rejected(self):
+        with pytest.raises(ValueError):
+            transcode_pte(0)
+
+
+class TestAtrService:
+    def test_miss_on_mapped_page_transcodes_without_fault(self, space):
+        base = space.alloc(PAGE_SIZE, eager=True)
+        view = SequencerView(space)
+        service = AtrService(space)
+        entry = service.service(view, base, write=False)
+        assert gtt_valid(entry)
+        assert service.stats.tlb_misses == 1
+        assert service.stats.page_faults_proxied == 0
+        assert service.stats.entries_transcoded == 1
+
+    def test_miss_on_unmapped_page_proxies_the_fault(self, space):
+        base = space.alloc(PAGE_SIZE)  # lazy: no frame yet
+        view = SequencerView(space)
+        service = AtrService(space)
+        service.service(view, base, write=True)
+        assert service.stats.page_faults_proxied == 1
+        # the OS page table now has the page too (proxy touched it)
+        assert space.page_table.entry(base >> 12)
+
+    def test_entry_lands_in_tlb_and_gtt(self, space):
+        base = space.alloc(PAGE_SIZE, eager=True)
+        view = SequencerView(space)
+        AtrService(space).service(view, base, write=False)
+        assert (base >> 12) in view.tlb
+        assert (base >> 12) in view.gtt
+
+    def test_both_sequencers_reach_same_frame(self, space):
+        """'The exo-sequencer's TLB will point to the same physical page
+        as the IA32's TLB' (section 3.2)."""
+        base = space.alloc(PAGE_SIZE, eager=True)
+        view = SequencerView(space)
+        AtrService(space).service(view, base, write=True)
+        host_paddr = space.translate(base)
+        exo_paddr = view.translate(base)
+        assert host_paddr == exo_paddr
+
+    def test_faulting_addresses_recorded(self, space):
+        base = space.alloc(2 * PAGE_SIZE, eager=True)
+        view = SequencerView(space)
+        service = AtrService(space)
+        service.service(view, base, write=False)
+        service.service(view, base + PAGE_SIZE, write=False)
+        assert service.stats.faulting_vaddrs == [base, base + PAGE_SIZE]

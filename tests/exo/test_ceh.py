@@ -1,0 +1,135 @@
+"""Collaborative Exception Handling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DivideByZeroFault,
+    ExecutionFault,
+    FpOverflowFault,
+    UnsupportedOperationFault,
+)
+from repro.exo.ceh import CehService
+from repro.isa import semantics
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Effect
+from tests.helpers import FakeContext
+
+
+def catch_fault(program, ip, ctx):
+    try:
+        semantics.execute(program, ip, ctx)
+    except ExecutionFault as fault:
+        return fault
+    raise AssertionError("expected a fault")
+
+
+class TestDoublePrecision:
+    def test_emulation_computes_full_precision(self):
+        program = assemble("mul.2.df vr3 = vr1, vr2\nend")
+        ctx = FakeContext()
+        ctx.regs.write_lanes(1, np.array([1.5, 1e200]))
+        ctx.regs.write_lanes(2, np.array([2.0, 1e100]))
+        fault = catch_fault(program, 0, ctx)
+        assert isinstance(fault, UnsupportedOperationFault)
+        CehService().service(program, 0, ctx, fault)
+        got = ctx.regs.read_lanes(3, 2)
+        assert got[0] == 3.0
+        assert got[1] == 1e300  # needs double precision: would wrap in f32
+
+    def test_context_restored_after_proxy(self):
+        program = assemble("add.1.df vr1 = vr1, vr1\nend")
+        ctx = FakeContext()
+        fault = catch_fault(program, 0, ctx)
+        CehService().service(program, 0, ctx, fault)
+        assert ctx.supports_double is False
+        assert ctx.proxy_mode is False
+
+    def test_stats_by_type(self):
+        program = assemble("add.1.df vr1 = vr1, vr1\nend")
+        ctx = FakeContext()
+        service = CehService()
+        fault = catch_fault(program, 0, ctx)
+        service.service(program, 0, ctx, fault)
+        service.service(program, 0, ctx, fault)
+        assert service.stats.exceptions_proxied == 2
+        assert service.stats.by_type == {"UnsupportedOperationFault": 2}
+
+
+class TestDivideByZero:
+    def test_integer_saturation(self):
+        program = assemble("div.4.dw vr3 = vr1, vr2\nend")
+        ctx = FakeContext()
+        ctx.regs.write_lanes(1, np.array([10.0, -10.0, 9.0, 7.0]))
+        ctx.regs.write_lanes(2, np.array([2.0, 0.0, 0.0, 7.0]))
+        fault = catch_fault(program, 0, ctx)
+        assert isinstance(fault, DivideByZeroFault)
+        CehService().service(program, 0, ctx, fault)
+        got = ctx.regs.read_lanes(3, 4)
+        assert got[0] == 5.0
+        assert got[1] == -(2 ** 31 - 1)
+        assert got[2] == 2 ** 31 - 1
+        assert got[3] == 1.0
+
+    def test_float_ieee_infinity(self):
+        program = assemble("div.2.f vr3 = vr1, vr2\nend")
+        ctx = FakeContext()
+        ctx.regs.write_lanes(1, np.array([1.0, -1.0]))
+        ctx.regs.write_lanes(2, np.array([0.0, 0.0]))
+        fault = catch_fault(program, 0, ctx)
+        CehService().service(program, 0, ctx, fault)
+        got = ctx.regs.read_lanes(3, 2)
+        assert got[0] == np.inf and got[1] == -np.inf
+
+
+class TestOverflow:
+    def test_overflow_emulated_in_double(self):
+        program = assemble("mul.1.f vr3 = vr1, vr2\nend")
+        ctx = FakeContext()
+        ctx.regs.write_lanes(1, np.array([3e38]))
+        ctx.regs.write_lanes(2, np.array([2.0]))
+        fault = catch_fault(program, 0, ctx)
+        assert isinstance(fault, FpOverflowFault)
+        CehService().service(program, 0, ctx, fault)
+        # written back through the f32 register type: saturates to inf,
+        # which is the IEEE single-precision answer
+        assert ctx.regs.read_lanes(3, 1)[0] == np.inf
+
+
+class TestHandlers:
+    def test_custom_handler_overrides_default(self):
+        program = assemble("div.1.dw vr3 = vr1, vr2\nend")
+        ctx = FakeContext()
+        ctx.regs.write_lanes(2, np.array([0.0]))
+        service = CehService()
+        calls = []
+
+        def handler(prog, ip, c, fault):
+            calls.append(type(fault).__name__)
+            c.regs.write_lanes(3, np.array([-7.0]))
+            return Effect()
+
+        service.register_handler(DivideByZeroFault, handler)
+        fault = catch_fault(program, 0, ctx)
+        service.service(program, 0, ctx, fault)
+        assert calls == ["DivideByZeroFault"]
+        assert ctx.regs.read_scalar(3) == -7.0
+
+    def test_handler_registered_for_base_class_matches_subclass(self):
+        service = CehService()
+        seen = []
+        service.register_handler(
+            ExecutionFault, lambda *a: seen.append(1) or Effect())
+        program = assemble("div.1.dw vr3 = vr1, vr2\nend")
+        ctx = FakeContext()
+        ctx.regs.write_lanes(2, np.array([0.0]))
+        fault = catch_fault(program, 0, ctx)
+        service.service(program, 0, ctx, fault)
+        assert seen == [1]
+
+    def test_unknown_fault_type_reraises(self):
+        service = CehService()
+        fault = ExecutionFault("mystery")
+        program = assemble("nop\nend")
+        with pytest.raises(ExecutionFault, match="mystery"):
+            service.service(program, 0, FakeContext(), fault)

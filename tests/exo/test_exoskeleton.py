@@ -1,0 +1,100 @@
+"""The MISP exoskeleton: signalling, proxy dispatch, accounting."""
+
+import pytest
+
+from repro.errors import DivideByZeroFault
+from repro.exo.exoskeleton import Exoskeleton, ProxyCosts
+from repro.exo.shred import ShredDescriptor
+from repro.exo.signals import InterruptVector, Signal, SignalKind, SignalLog
+from repro.isa.assembler import assemble
+from repro.memory.address_space import SequencerView
+from repro.memory.physical import PAGE_SIZE
+from tests.helpers import FakeContext
+import numpy as np
+
+
+@pytest.fixture
+def exo(space):
+    return Exoskeleton(space)
+
+
+def make_shred():
+    return ShredDescriptor(program=assemble("end"))
+
+
+class TestDispatch:
+    def test_signal_dispatch_logged(self, exo):
+        shred = make_shred()
+        exo.signal_dispatch(shred, target="exo-0.0")
+        assert exo.log.count(SignalKind.DISPATCH) == 1
+        event = exo.log.events[0]
+        assert event.target == "exo-0.0"
+        assert event.payload == shred.shred_id
+
+    def test_dispatch_charges_host_time(self, exo):
+        before = exo.host.proxy_seconds
+        exo.signal_dispatch(make_shred(), "exo-0.0")
+        assert exo.host.proxy_seconds > before
+
+
+class TestAtrPath:
+    def test_request_atr_services_and_logs(self, exo, space):
+        base = space.alloc(PAGE_SIZE)
+        view = SequencerView(space)
+        entry = exo.request_atr(view, base, write=True, source="exo-0.0")
+        assert entry != 0
+        assert exo.log.count(SignalKind.ATR_REQUEST) == 1
+        assert exo.host.proxy_events == 1
+        assert view.translate(base) == space.translate(base)
+
+    def test_atr_cost_accounting(self, space):
+        costs = ProxyCosts(atr_seconds=1.0)
+        exo = Exoskeleton(space, costs=costs)
+        base = space.alloc(PAGE_SIZE)
+        exo.request_atr(SequencerView(space), base, True, "x")
+        assert exo.host.proxy_seconds >= 1.0
+
+
+class TestCehPath:
+    def test_request_ceh_emulates(self, exo):
+        program = assemble("div.1.dw vr3 = vr1, vr2\nend")
+        ctx = FakeContext()
+        ctx.regs.write_lanes(1, np.array([5.0]))
+        ctx.regs.write_lanes(2, np.array([0.0]))
+        fault = DivideByZeroFault("dbz", instruction=program.instructions[0])
+        effect = exo.request_ceh(program, 0, ctx, fault, source="exo-1.2")
+        assert effect is not None
+        assert exo.log.count(SignalKind.CEH_REQUEST) == 1
+        assert ctx.regs.read_scalar(3) == 2 ** 31 - 1
+
+
+class TestCompletion:
+    def test_completion_notify(self, exo):
+        shred = make_shred()
+        exo.notify_completion(shred, source="exo-2.0")
+        assert exo.completions == [shred.shred_id]
+        assert exo.log.count(SignalKind.COMPLETION) == 1
+
+
+class TestSignalPrimitives:
+    def test_log_count_and_clear(self):
+        log = SignalLog()
+        log.record(Signal(SignalKind.DISPATCH, "a", "b"))
+        log.record(Signal(SignalKind.DISPATCH, "a", "b"))
+        log.record(Signal(SignalKind.COMPLETION, "b", "a"))
+        assert log.count(SignalKind.DISPATCH) == 2
+        log.clear()
+        assert not log.events
+
+    def test_vector_requires_handler(self):
+        vector = InterruptVector()
+        with pytest.raises(RuntimeError, match="no user-level interrupt"):
+            vector.raise_signal(Signal(SignalKind.ATR_REQUEST, "a", "b"))
+
+    def test_vector_dispatches_to_handler(self):
+        vector = InterruptVector()
+        vector.register(SignalKind.COMPLETION, lambda s: s.payload * 2)
+        result = vector.raise_signal(
+            Signal(SignalKind.COMPLETION, "a", "b", payload=21))
+        assert result == 42
+        assert vector.handler_for(SignalKind.COMPLETION) is not None

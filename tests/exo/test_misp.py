@@ -1,0 +1,110 @@
+"""MISP application-managed IA32 shreds (Shredlib-style pool)."""
+
+import pytest
+
+from repro.chi.runtime import Timeline
+from repro.cpu.ia32 import CpuWork
+from repro.errors import SchedulingError
+from repro.exo.misp import MispPool
+from repro.exo.signals import SignalKind
+
+WORK = CpuWork(pixels=1000, cycles_per_pixel=10.0, bytes_touched=0)
+
+
+class TestShredlibApi:
+    def test_create_run_join(self):
+        pool = MispPool()
+        handle = pool.shred_create(lambda: 21 * 2, WORK)
+        assert pool.pending == 1
+        pool.run_all()
+        assert pool.shred_join(handle) == 42
+        assert pool.pending == 0
+
+    def test_join_before_run_rejected(self):
+        pool = MispPool()
+        handle = pool.shred_create(lambda: 1, WORK)
+        with pytest.raises(SchedulingError, match="not run yet"):
+            pool.shred_join(handle)
+
+    def test_unknown_handle(self):
+        with pytest.raises(SchedulingError, match="unknown"):
+            MispPool().shred_join(999999)
+
+    def test_pool_size_validation(self):
+        with pytest.raises(SchedulingError):
+            MispPool(num_sequencers=0)
+
+
+class TestScheduling:
+    def test_single_ams_serializes(self):
+        pool = MispPool(num_sequencers=1)
+        for _ in range(4):
+            pool.shred_create(lambda: None, WORK)
+        elapsed = pool.run_all()
+        per_shred = pool.cpu.execute(WORK).seconds
+        assert elapsed == pytest.approx(4 * per_shred)
+
+    def test_more_sequencers_shrink_elapsed(self):
+        def run_with(n):
+            pool = MispPool(num_sequencers=n)
+            for _ in range(8):
+                pool.shred_create(lambda: None, WORK)
+            return pool.run_all()
+
+        assert run_with(4) == pytest.approx(run_with(1) / 4)
+
+    def test_greedy_balances_uneven_work(self):
+        pool = MispPool(num_sequencers=2)
+        heavy = CpuWork(pixels=3000, cycles_per_pixel=10.0, bytes_touched=0)
+        pool.shred_create(lambda: None, heavy)
+        for _ in range(3):
+            pool.shred_create(lambda: None, WORK)
+        elapsed = pool.run_all()
+        # heavy alone on one AMS, the three light ones on the other
+        assert elapsed == pytest.approx(pool.cpu.execute(heavy).seconds)
+
+    def test_signals_logged_both_directions(self):
+        pool = MispPool()
+        pool.shred_create(lambda: None, WORK)
+        pool.run_all()
+        assert pool.log.count(SignalKind.DISPATCH) == 1
+        assert pool.log.count(SignalKind.COMPLETION) == 1
+
+    def test_timeline_integration(self):
+        pool = MispPool()
+        pool.shred_create(lambda: None, WORK)
+        timeline = Timeline()
+        elapsed = pool.run_all(timeline=timeline)
+        assert timeline.now == pytest.approx(elapsed)
+
+    def test_sequencers_are_application_managed_ia32(self):
+        pool = MispPool(num_sequencers=2)
+        assert all(s.isa == "IA32" for s in pool.sequencers)
+        from repro.exo.sequencer import SequencerKind
+
+        assert all(s.kind is SequencerKind.EXO for s in pool.sequencers)
+
+
+class TestHeterogeneousComposition:
+    def test_misp_shreds_overlap_gma_region(self, runtime):
+        """Figure 1(b): IA32 AMS shreds + exo-sequencer shreds + the main
+        shred all overlap on one timeline."""
+        import numpy as np
+
+        from repro.isa.types import DataType
+        from repro.memory.surface import Surface
+
+        out = Surface.alloc(runtime.platform.space, "OUT", 8, 1, DataType.DW)
+        region = runtime.parallel("st.1.dw (OUT, tid, 0) = tid\nend",
+                                  shared={"OUT": out}, num_threads=8,
+                                  master_nowait=True)
+        pool = MispPool(num_sequencers=1)
+        results = []
+        pool.shred_create(lambda: results.append("misp ran"), WORK)
+        misp_elapsed = pool.run_all(timeline=runtime.timeline)
+        region.wait()
+        assert results == ["misp ran"]
+        got = out.download(runtime.platform.host).reshape(-1)
+        assert np.array_equal(got, np.arange(8.0))
+        # the timeline reflects overlap, not the sum
+        assert runtime.timeline.now <= misp_elapsed + region.gma_seconds

@@ -1,0 +1,36 @@
+"""Shred descriptors and lifecycle."""
+
+from repro.exo.shred import ShredDescriptor, ShredState
+from repro.isa.assembler import assemble
+
+
+def test_ids_are_unique():
+    program = assemble("end")
+    a = ShredDescriptor(program=program)
+    b = ShredDescriptor(program=program)
+    assert a.shred_id != b.shred_id
+
+
+def test_initial_state():
+    shred = ShredDescriptor(program=assemble("end"))
+    assert shred.state is ShredState.NEW
+    assert shred.depends_on == ()
+
+
+def test_spawn_child_inherits_everything_plus_arg():
+    program = assemble("end")
+    parent = ShredDescriptor(program=program, bindings={"x": 1.0},
+                             surfaces={}, entry=0)
+    child = parent.spawn_child(42.0)
+    assert child.parent_id == parent.shred_id
+    assert child.program is parent.program
+    assert child.bindings["x"] == 1.0
+    assert child.bindings["__spawn_arg"] == 42.0
+    # parent bindings are not mutated
+    assert "__spawn_arg" not in parent.bindings
+
+
+def test_repr_mentions_program_and_state():
+    shred = ShredDescriptor(program=assemble("end", name="prog"))
+    text = repr(shred)
+    assert "prog" in text and "new" in text

@@ -1,0 +1,100 @@
+"""ShredContext: surface binding, type checks, proxy-mode routing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionFault
+from repro.exo.shred import ShredDescriptor
+from repro.gma.context import ShredContext
+from repro.isa.assembler import assemble
+from repro.isa.types import DataType
+from repro.memory.surface import Surface
+
+
+@pytest.fixture
+def ctx(device, space):
+    surf = Surface.alloc(space, "S", 16, 4, DataType.UB)
+    surf.upload(space, np.arange(64.0).reshape(4, 16) % 256)
+    shred = ShredDescriptor(program=assemble("end"),
+                            bindings={"k": 7.0},
+                            surfaces={"S": surf})
+    device._prepare_surfaces([shred])
+    return ShredContext(shred, device.view, device.space, device=device)
+
+
+class TestBindings:
+    def test_shred_id_in_vr0(self, ctx):
+        assert ctx.regs.read_scalar(0) == float(ctx.shred.shred_id)
+
+    def test_symbol_resolution(self, ctx):
+        assert ctx.resolve_symbol("k") == 7.0
+
+    def test_unbound_symbol_lists_available(self, ctx):
+        with pytest.raises(ExecutionFault, match=r"\['k'\]"):
+            ctx.resolve_symbol("missing")
+
+    def test_unbound_surface_lists_available(self, ctx):
+        with pytest.raises(ExecutionFault, match=r"\['S'\]"):
+            ctx.surface_read("T", 0, 1, DataType.UB)
+
+
+class TestTypeChecking:
+    def test_size_mismatch_rejected(self, ctx):
+        with pytest.raises(ExecutionFault, match="incompatible"):
+            ctx.surface_read("S", 0, 1, DataType.DW)
+
+    def test_float_int_mismatch_rejected(self, device, space):
+        surf = Surface.alloc(space, "F", 4, 1, DataType.F)
+        shred = ShredDescriptor(program=assemble("end"),
+                                surfaces={"F": surf})
+        device._prepare_surfaces([shred])
+        ctx = ShredContext(shred, device.view, device.space, device=device)
+        with pytest.raises(ExecutionFault, match="incompatible"):
+            ctx.surface_read("F", 0, 1, DataType.DW)
+
+    def test_same_size_same_kind_accepted(self, ctx):
+        # signed/unsigned bytes are layout-compatible
+        ctx.surface_read("S", 0, 4, DataType.B)
+
+
+class TestProxyMode:
+    def test_accessor_switches(self, ctx, device):
+        assert ctx.accessor is device.view
+        ctx.proxy_mode = True
+        assert ctx.accessor is device.space
+
+    def test_proxy_reads_bypass_device_tlb(self, device, space):
+        surf = Surface.alloc(space, "P", 8, 1, DataType.UB, eager=True)
+        surf.upload(space, np.arange(8.0).reshape(1, 8))
+        shred = ShredDescriptor(program=assemble("end"),
+                                surfaces={"P": surf})
+        ctx = ShredContext(shred, device.view, device.space, device=device)
+        ctx.proxy_mode = True  # no GTT entries exist: only proxy can read
+        got = ctx.surface_read("P", 0, 8, DataType.UB)
+        assert got.tolist() == list(range(8))
+
+    def test_proxy_mode_skips_traffic_charges(self, ctx):
+        ctx.proxy_mode = True
+        ctx.pop_read_charge()
+        ctx.surface_read("S", 0, 4, DataType.UB)
+        # proxy accesses run on the IA32 side: full bytes, no line dedup
+        assert ctx.pop_read_charge() == 4
+
+
+class TestTrafficCharges:
+    def test_first_touch_charges_a_line(self, ctx):
+        ctx.pop_read_charge()
+        ctx.surface_read("S", 0, 4, DataType.UB)
+        assert ctx.pop_read_charge() == 64  # one 64-byte line
+
+    def test_second_touch_is_free(self, ctx):
+        ctx.surface_read("S", 0, 4, DataType.UB)
+        ctx.pop_read_charge()
+        ctx.surface_read("S", 4, 4, DataType.UB)
+        assert ctx.pop_read_charge() == 0
+
+    def test_write_charges_separately(self, ctx):
+        ctx.surface_read("S", 0, 4, DataType.UB)
+        ctx.pop_read_charge()
+        ctx.surface_write("S", 0, np.zeros(4), DataType.UB)
+        assert ctx.pop_write_charge() == 64

@@ -1,0 +1,78 @@
+"""Firmware: queue draining, dependency timing, sampler accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError
+from repro.exo.shred import ShredDescriptor
+from repro.gma.sampler import TextureSampler
+from repro.isa.assembler import assemble
+from repro.isa.types import DataType
+from repro.memory.surface import Surface
+
+
+class TestDependencyTiming:
+    def test_chain_serializes_in_time(self, device, space):
+        out = Surface.alloc(space, "OUT", 4, 1, DataType.DW)
+        program = assemble("""
+            ld.1.dw vr1 = (OUT, 0, 0)
+            add.1.dw vr1 = vr1, 1
+            st.1.dw (OUT, 0, 0) = vr1
+            end
+        """)
+        out.upload(space, np.zeros((1, 4)))
+        independent = [ShredDescriptor(program=program,
+                                       surfaces={"OUT": out})
+                       for _ in range(4)]
+        parallel_time = device.run(independent).cycles
+
+        chained = [ShredDescriptor(program=program, surfaces={"OUT": out})
+                   for _ in range(4)]
+        for prev, cur in zip(chained, chained[1:]):
+            cur.depends_on = (prev.shred_id,)
+        serial_time = device.run(chained).cycles
+        assert serial_time > parallel_time * 2
+
+    def test_dependency_cycle_detected(self, device, space):
+        a = ShredDescriptor(program=assemble("end"))
+        b = ShredDescriptor(program=assemble("end"))
+        a.depends_on = (b.shred_id,)
+        b.depends_on = (a.shred_id,)
+        with pytest.raises(SchedulingError, match="deadlock"):
+            device.run([a, b])
+
+    def test_finish_times_respect_gates(self, device, space):
+        producer = ShredDescriptor(program=assemble("nop\nnop\nend"))
+        consumer = ShredDescriptor(program=assemble("end"),
+                                   depends_on=(producer.shred_id,))
+        result = device.run([producer, consumer])
+        times = result.timing.finish_times
+        assert times[consumer.shred_id] >= times[producer.shred_id]
+
+
+class TestAggregates:
+    def test_run_result_totals(self, device, space):
+        out = Surface.alloc(space, "OUT", 64, 1, DataType.DW)
+        program = assemble("st.1.dw (OUT, i, 0) = i\nend")
+        result = device.run([
+            ShredDescriptor(program=program, bindings={"i": i},
+                            surfaces={"OUT": out}) for i in range(6)])
+        assert result.shreds_executed == 6
+        assert result.instructions == 12  # st + end each
+        assert result.bytes_total == result.bytes_read + result.bytes_written
+        assert result.cycles == result.timing.cycles
+
+
+class TestSampler:
+    def test_cycles_from_throughput(self):
+        sampler = TextureSampler(samples=800)
+        assert sampler.cycles(8.0) == 100.0
+
+    def test_reset(self):
+        sampler = TextureSampler(samples=5)
+        sampler.reset()
+        assert sampler.samples == 0
+
+    def test_throughput_validation(self):
+        with pytest.raises(ValueError):
+            TextureSampler(samples=1).cycles(0)

@@ -1,0 +1,70 @@
+"""Work queue: FIFO order and dependency gating."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.exo.shred import ShredDescriptor, ShredState
+from repro.gma.workqueue import WorkQueue
+from repro.isa.assembler import assemble
+
+_program = assemble("end")
+
+
+def shred(**kwargs):
+    return ShredDescriptor(program=_program, **kwargs)
+
+
+def test_fifo_order():
+    items = [shred() for _ in range(3)]
+    queue = WorkQueue(items)
+    assert [queue.pop_ready() for _ in range(3)] == items
+
+
+def test_push_sets_state():
+    queue = WorkQueue()
+    s = shred()
+    queue.push(s)
+    assert s.state is ShredState.QUEUED
+    assert len(queue) == 1
+    assert queue.enqueued == 1
+
+
+def test_dependency_gates_pop():
+    producer = shred()
+    consumer = shred(depends_on=(producer.shred_id,))
+    queue = WorkQueue([consumer, producer])
+    first = queue.pop_ready()
+    assert first is producer  # consumer skipped while producer pending
+    queue.mark_done(producer.shred_id)
+    assert queue.pop_ready() is consumer
+
+
+def test_pop_ready_returns_none_when_all_blocked():
+    consumer = shred(depends_on=(99999,))
+    queue = WorkQueue([consumer])
+    assert queue.pop_ready() is None
+    assert len(queue) == 1  # still queued
+
+
+def test_drain_order_respects_dependencies():
+    a = shred()
+    b = shred(depends_on=(a.shred_id,))
+    c = shred(depends_on=(b.shred_id,))
+    queue = WorkQueue([c, b, a])
+    assert queue.drain_order() == [a, b, c]
+
+
+def test_drain_order_detects_deadlock():
+    a = shred()
+    b = shred(depends_on=(a.shred_id,))
+    a.depends_on = (b.shred_id,)  # cycle
+    queue = WorkQueue([a, b])
+    with pytest.raises(SchedulingError, match="deadlock"):
+        queue.drain_order()
+
+
+def test_is_done():
+    queue = WorkQueue()
+    assert not queue.is_done(5)
+    queue.mark_done(5)
+    assert queue.is_done(5)

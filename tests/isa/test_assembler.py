@@ -1,0 +1,194 @@
+"""Assembler: syntax of the paper's listings plus error reporting."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Predication
+from repro.isa.opcodes import Condition, Opcode
+from repro.isa.operands import (
+    BlockOperand,
+    ImmOperand,
+    LabelOperand,
+    MemOperand,
+    PredOperand,
+    RangeOperand,
+    RegOperand,
+    ShredRegOperand,
+    SymOperand,
+)
+from repro.isa.types import DataType
+
+FIGURE6 = """
+    shl.1.w vr1 = i, 3
+    ld.8.dw [vr2..vr9] = (A, vr1, 0)
+    ld.8.dw [vr10..vr17] = (B, vr1, 0)
+    add.8.dw [vr18..vr25] = [vr2..vr9], [vr10..vr17]
+    st.8.dw (C, vr1, 0) = [vr18..vr25]
+    end
+"""
+
+
+class TestFigure6:
+    def test_assembles(self):
+        program = assemble(FIGURE6, "vecadd")
+        assert len(program) == 6
+        ops = [i.opcode for i in program.instructions]
+        assert ops == [Opcode.SHL, Opcode.LD, Opcode.LD, Opcode.ADD,
+                       Opcode.ST, Opcode.END]
+
+    def test_shl_operands(self):
+        instr = assemble(FIGURE6).instructions[0]
+        assert instr.width == 1 and instr.dtype is DataType.W
+        assert instr.dsts == (RegOperand(1),)
+        assert instr.srcs == (SymOperand("i"), ImmOperand(3.0))
+
+    def test_load_memory_operand(self):
+        instr = assemble(FIGURE6).instructions[1]
+        mem = instr.srcs[0]
+        assert isinstance(mem, MemOperand)
+        assert mem.surface == "A"
+        assert mem.index == RegOperand(1)
+        assert mem.offset == 0
+        assert instr.dsts == (RangeOperand(2, 9),)
+
+    def test_store_carries_target_as_source(self):
+        instr = assemble(FIGURE6).instructions[4]
+        assert not instr.dsts
+        assert isinstance(instr.srcs[0], MemOperand)
+        assert instr.srcs[1] == RangeOperand(18, 25)
+
+    def test_symbols(self):
+        program = assemble(FIGURE6)
+        assert program.scalar_symbols() == {"i"}
+        assert program.surface_symbols() == {"A", "B", "C"}
+
+
+class TestSyntaxForms:
+    def test_labels_and_branches(self):
+        program = assemble("""
+        top:
+            add.1.dw vr1 = vr1, 1
+            cmp.lt.1.dw p1 = vr1, 10
+            br p1, top
+            jmp done
+            nop
+        done:
+            end
+        """)
+        assert program.labels == {"top": 0, "done": 5}
+        br = program.instructions[2]
+        assert br.opcode is Opcode.BR
+        assert br.pred == Predication(1)
+        assert br.srcs[-1] == LabelOperand("top")
+
+    def test_negated_branch_guard(self):
+        program = assemble("""
+        top:
+            (!p2) add.1.dw vr1 = vr1, 1
+            jmp top
+        """)
+        guarded = program.instructions[0]
+        assert guarded.pred == Predication(2, negate=True)
+
+    def test_cmp_conditions(self):
+        for cond in Condition:
+            program = assemble(f"cmp.{cond.value}.8.dw p3 = vr1, vr2\nend")
+            instr = program.instructions[0]
+            assert instr.cond is cond
+            assert instr.dsts == (PredOperand(3),)
+
+    def test_block_shapes(self):
+        program = assemble("ldblk.8x6.ub [vr10..vr12] = (SRC, bx, by)\nend")
+        instr = program.instructions[0]
+        assert instr.block == (8, 6)
+        assert instr.width == 48
+        blk = instr.srcs[0]
+        assert isinstance(blk, BlockOperand)
+        assert (blk.surface, blk.x, blk.y) == ("SRC", SymOperand("bx"),
+                                               SymOperand("by"))
+
+    def test_sendreg(self):
+        program = assemble("sendreg.1.dw (vr3, vr7) = vr5\nend")
+        target = program.instructions[0].srcs[0]
+        assert isinstance(target, ShredRegOperand)
+        assert target.reg == 7
+        assert target.target == RegOperand(3)
+
+    def test_iota_and_spawn_and_flush(self):
+        program = assemble("iota.16.f vr1\nspawn vr1\nflush\nfence\nend")
+        assert [i.opcode for i in program.instructions] == [
+            Opcode.IOTA, Opcode.SPAWN, Opcode.FLUSH, Opcode.FENCE, Opcode.END]
+
+    def test_immediates(self):
+        program = assemble("mov.1.f vr0 = -2.5\nmov.1.dw vr1 = 0x1f\nend")
+        assert program.instructions[0].srcs[0] == ImmOperand(-2.5)
+        assert program.instructions[1].srcs[0] == ImmOperand(31.0)
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+        # full-line comment
+            nop       // trailing comment
+            nop       ; another style
+            end
+        """)
+        assert len(program) == 3
+
+    def test_mad_three_sources(self):
+        program = assemble("mad.16.f vr1 = vr2, 0.5, vr3\nend")
+        assert len(program.instructions[0].srcs) == 3
+
+    def test_packed_alu_range(self):
+        program = assemble("add.64.uw [vr40..vr43] = [vr10..vr13], 9\nend")
+        instr = program.instructions[0]
+        assert instr.width == 64
+        assert instr.dsts[0] == RangeOperand(40, 43)
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source,fragment", [
+        ("bogus.8.dw vr1 = vr2", "unknown opcode"),
+        ("add.x.dw vr1 = vr2, vr3", "bad SIMD width"),
+        ("add.8.qq vr1 = vr2, vr3", "unknown data type"),
+        ("add.8 vr1 = vr2, vr3", "data type suffix"),
+        ("add vr1 = vr2, vr3", "requires .width.type"),
+        ("add.0.dw vr1 = vr2, vr3", "must be positive"),
+        ("end.8.dw", "takes no width"),
+        ("add.8.dw vr1, vr2, vr3", "requires '='"),
+        ("add.8.dw vr1 = vr2", "takes 2 source"),
+        ("add.8.dw = vr2, vr3", "requires a destination"),
+        ("cmp.8.dw p1 = vr1, vr2", "unknown cmp condition"),
+        ("cmp.zz.8.dw p1 = vr1, vr2", "unknown cmp condition"),
+        ("jmp one, two", "exactly one target"),
+        ("br vr1, top", "guard must be a predicate"),
+        ("ld.8.dw [vr2..vr9] = (A, vr1)", "must be .surface, index, offset."),
+        ("ldblk.8x8.ub vr1 = (A, 0)", "must be .surface, x, y."),
+        ("sendreg.1.dw (vr1) = vr2", "must be .shred, vrN."),
+        ("add.8x8.dw vr1 = vr2, vr3", "does not accept WxH"),
+        ("ld.8.dw [vr2..vr9] = (5, vr1, 0)", "surface must be a symbol"),
+        ("add.8.dw vr1 = vr2, @3", "cannot parse operand"),
+        ("iota.16.f vr1 = vr2", "exactly one destination"),
+    ])
+    def test_bad_syntax(self, source, fragment):
+        with pytest.raises(AssemblyError, match=fragment):
+            assemble(source)
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble("a:\nnop\na:\nend")
+
+    def test_undefined_branch_target(self):
+        with pytest.raises(AssemblyError, match="undefined label"):
+            assemble("jmp nowhere\nend")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble("nop\nnop\nbogus.1.dw vr1 = vr2\nend")
+
+    def test_register_range_width_mismatch(self):
+        with pytest.raises(AssemblyError, match="per-register form"):
+            assemble("add.8.dw [vr1..vr4] = [vr5..vr12], 1\nend")
+
+    def test_register_out_of_file(self):
+        with pytest.raises(AssemblyError, match="out of"):
+            assemble("mov.1.dw vr200 = 0\nend")

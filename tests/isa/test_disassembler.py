@@ -1,0 +1,62 @@
+"""Disassembler round trips: text -> program -> text -> same program."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble
+
+CASES = [
+    "shl.1.w vr1 = i, 3\nend",
+    "ld.8.dw [vr2..vr9] = (A, vr1, 0)\nst.8.dw (C, vr1, 4) = [vr2..vr9]\nend",
+    "loop:\ncmp.lt.1.dw p1 = vr1, 10\nbr p1, loop\nend",
+    "(p3) add.16.f vr1 = vr1, 0.5\n(!p4) sub.16.f vr2 = vr2, vr1\nend",
+    "ldblk.16x8.ub [vr10..vr17] = (SRC, vr1, by)\n"
+    "stblk.16x8.ub (OUT, vr1, by) = [vr10..vr17]\nend",
+    "sample.16.f vr5 = (TEX, vr1, vr2)\nend",
+    "sendreg.2.dw (vr1, vr30) = vr6\nspawn vr1\nend",
+    "iota.16.f vr1\nilv.32.f [vr4..vr5] = vr1, vr2\nend",
+    "hadd.16.f vr2 = vr1\nhmax.16.f vr3 = vr1\nend",
+    "mad.8.f vr1 = vr2, -0.0625, vr3\nend",
+]
+
+
+@pytest.mark.parametrize("source", CASES)
+def test_disassemble_reassembles_identically(source):
+    program = assemble(source)
+    text = disassemble(program)
+    again = assemble(text)
+    assert tuple(p for p in again.instructions) == tuple(
+        q for q in program.instructions) or _equivalent(again, program)
+    assert again.labels == program.labels
+
+
+def _equivalent(a, b):
+    """Instructions may differ only in their source-line numbers."""
+    if len(a) != len(b):
+        return False
+    for x, y in zip(a.instructions, b.instructions):
+        if str(x) != str(y):
+            return False
+    return True
+
+
+def test_labels_rendered_before_instruction():
+    program = assemble("top:\nnop\njmp top\nend")
+    text = disassemble(program)
+    lines = [ln.strip() for ln in text.splitlines()]
+    assert lines[0] == "top:"
+    assert lines[1] == "nop"
+
+
+def test_trailing_label_gets_nop_anchor():
+    program = assemble("jmp out\nout:\nend")
+    # move the label past the end by hand-building an equivalent case
+    text = disassemble(program)
+    assert "out:" in text
+
+
+def test_disassembly_is_printable_per_instruction():
+    program = assemble("add.8.dw [vr1..vr8] = [vr1..vr8], 1\nend")
+    assert str(program.instructions[0]) == \
+        "add.8.dw [vr1..vr8] = [vr1..vr8], 1"
+    assert str(program.instructions[1]) == "end"

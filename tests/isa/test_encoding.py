@@ -1,0 +1,120 @@
+"""Binary encode/decode round trips for fat-binary code sections."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.isa.assembler import assemble
+from repro.isa.encoding import MAGIC, decode_program, encode_program
+
+EXAMPLES = [
+    # the Figure 6 listing
+    """
+        shl.1.w vr1 = i, 3
+        ld.8.dw [vr2..vr9] = (A, vr1, 0)
+        add.8.dw [vr18..vr25] = [vr2..vr9], [vr2..vr9]
+        st.8.dw (C, vr1, 0) = [vr18..vr25]
+        end
+    """,
+    # control flow, predication, labels
+    """
+    loop:
+        (p1) add.16.f vr1 = vr1, 1.5
+        cmp.lt.16.f p1 = vr1, 100.0
+        br p1, loop
+        (!p2) mov.1.dw vr2 = 0
+        jmp out
+        nop
+    out:
+        end
+    """,
+    # blocks, sampler, system ops
+    """
+        ldblk.8x6.ub [vr10..vr12] = (SRC, bx, by)
+        stblk.8x6.ub (DST, bx, by) = [vr10..vr12]
+        sample.16.f vr5 = (TEX, vr3, vr4)
+        sendreg.4.dw (vr6, vr9) = vr7
+        spawn vr1
+        iota.16.f vr8
+        ilv.32.f [vr20..vr21] = vr8, vr5
+        hadd.16.f vr9 = vr8
+        sel.16.f vr10 = p3, vr8, vr5
+        flush
+        fence
+        end
+    """,
+    # every ALU opcode
+    """
+        mov.8.dw vr1 = vr2
+        bcast.16.f vr3 = vr1
+        add.8.dw vr1 = vr1, vr2
+        sub.8.dw vr1 = vr1, vr2
+        mul.8.f vr1 = vr1, vr2
+        mad.8.f vr1 = vr1, vr2, vr3
+        div.8.dw vr1 = vr1, 3
+        min.8.dw vr1 = vr1, vr2
+        max.8.dw vr1 = vr1, vr2
+        avg.8.uw vr1 = vr1, vr2
+        abs.8.dw vr1 = vr1
+        shl.8.dw vr1 = vr1, 2
+        shr.8.dw vr1 = vr1, 2
+        and.8.udw vr1 = vr1, vr2
+        or.8.udw vr1 = vr1, vr2
+        xor.8.udw vr1 = vr1, vr2
+        not.8.udw vr1 = vr1
+        cvt.8.ub vr1 = vr2
+        hmax.8.f vr4 = vr1
+        end
+    """,
+]
+
+
+@pytest.mark.parametrize("source", EXAMPLES)
+def test_roundtrip_preserves_instructions(source):
+    original = assemble(source, "case")
+    decoded = decode_program(encode_program(original), "case")
+    assert len(decoded) == len(original)
+    assert decoded.labels == original.labels
+    for a, b in zip(original.instructions, decoded.instructions):
+        assert a == b  # dataclass equality covers operands, pred, cond, block
+
+
+def test_roundtrip_twice_is_stable():
+    program = assemble(EXAMPLES[1])
+    blob1 = encode_program(program)
+    blob2 = encode_program(decode_program(blob1))
+    assert blob1 == blob2
+
+
+def test_bad_magic():
+    with pytest.raises(EncodingError, match="bad magic"):
+        decode_program(b"NOPE" + b"\x00" * 16)
+
+
+def test_bad_version():
+    blob = bytearray(encode_program(assemble("end")))
+    blob[4] = 99
+    with pytest.raises(EncodingError, match="version"):
+        decode_program(bytes(blob))
+
+
+def test_magic_constant():
+    blob = encode_program(assemble("end"))
+    assert blob[:4] == MAGIC
+
+
+@given(st.lists(st.sampled_from([
+    "nop", "end", "fence",
+    "mov.1.dw vr1 = 7",
+    "add.16.f vr2 = vr3, 1.25",
+    "cmp.ge.8.dw p2 = vr1, vr4",
+    "ld.4.dw [vr2..vr5] = (S, vr1, -2)",
+    "st.4.dw (S, vr1, 8) = [vr2..vr5]",
+    "(p1) mul.8.f vr9 = vr9, vr9",
+]), min_size=1, max_size=12))
+def test_random_instruction_sequences_roundtrip(lines):
+    source = "\n".join(lines) + "\nend"
+    program = assemble(source)
+    decoded = decode_program(encode_program(program))
+    assert tuple(decoded.instructions) == tuple(program.instructions)

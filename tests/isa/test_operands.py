@@ -1,0 +1,156 @@
+"""Operand behaviours beyond what the assembler can express."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionFault
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import (
+    BlockOperand,
+    ImmOperand,
+    LabelOperand,
+    MemOperand,
+    PredOperand,
+    RangeOperand,
+    RegOperand,
+    ShredRegOperand,
+    SymOperand,
+)
+from repro.isa.program import Program
+from repro.isa import semantics
+from repro.isa.types import DataType
+from tests.helpers import FakeContext
+
+
+class TestReadWriteProtocol:
+    def test_immediates_are_not_writable(self):
+        ctx = FakeContext()
+        with pytest.raises(ExecutionFault, match="not writable"):
+            ImmOperand(3.0).write(ctx, np.array([1.0]), DataType.DW)
+
+    def test_labels_are_not_readable(self):
+        with pytest.raises(ExecutionFault, match="not readable"):
+            LabelOperand("x").read(FakeContext(), 1)
+
+    def test_mem_operand_is_not_directly_readable(self):
+        with pytest.raises(ExecutionFault, match="not readable"):
+            MemOperand("S", ImmOperand(0), 0).read(FakeContext(), 4)
+
+    def test_sym_read_broadcasts(self):
+        ctx = FakeContext(bindings={"k": 2.5})
+        assert SymOperand("k").read(ctx, 3).tolist() == [2.5] * 3
+
+    def test_imm_read_broadcasts(self):
+        assert ImmOperand(7).read(FakeContext(), 4).tolist() == [7.0] * 4
+
+    def test_pred_read_as_floats(self):
+        ctx = FakeContext()
+        ctx.regs.write_pred(2, np.array([True, False, True]))
+        assert PredOperand(2).read(ctx, 3).tolist() == [1.0, 0.0, 1.0]
+
+
+class TestRangeDuality:
+    def test_per_register_when_width_equals_count(self):
+        ctx = FakeContext()
+        op = RangeOperand(4, 7)
+        op.write(ctx, np.array([1.0, 2.0, 3.0, 4.0]), DataType.DW)
+        for i, expected in enumerate([1.0, 2.0, 3.0, 4.0]):
+            assert ctx.regs.read_scalar(4 + i) == expected
+
+    def test_packed_when_width_fills_lanes(self):
+        ctx = FakeContext()
+        op = RangeOperand(4, 5)
+        values = np.arange(32.0)
+        op.write(ctx, values, DataType.DW)
+        assert np.array_equal(op.read(ctx, 32), values)
+        assert ctx.regs.read_lanes(4, 16).tolist() == list(map(float,
+                                                               range(16)))
+
+    def test_ambiguous_width_faults(self):
+        ctx = FakeContext()
+        with pytest.raises(ExecutionFault, match="neither"):
+            RangeOperand(0, 3).read(ctx, 7)
+
+    def test_element_index_resolution(self):
+        ctx = FakeContext(bindings={"i": 3.0})
+        mem = MemOperand("S", SymOperand("i"), 10)
+        assert mem.element_index(ctx) == 13
+
+    def test_block_coords_resolution(self):
+        ctx = FakeContext()
+        ctx.regs.write_scalar(1, 5.0)
+        blk = BlockOperand("S", RegOperand(1), ImmOperand(2))
+        assert blk.coords(ctx) == (5, 2)
+
+
+class TestHandConstructedInstructions:
+    """Malformed instructions the assembler would reject must still fail
+    cleanly if they reach execution (e.g. through a buggy decoder)."""
+
+    def _run(self, instr):
+        program = Program(name="x", instructions=(instr,))
+        return semantics.execute(program, 0, FakeContext(
+            surfaces={"S": np.zeros(16)}))
+
+    def test_load_with_register_source(self):
+        instr = Instruction(Opcode.LD, 4, DataType.DW,
+                            dsts=(RegOperand(1),), srcs=(RegOperand(2),))
+        with pytest.raises(ExecutionFault, match="memory operand"):
+            self._run(instr)
+
+    def test_store_with_register_target(self):
+        instr = Instruction(Opcode.ST, 4, DataType.DW,
+                            srcs=(RegOperand(1), RegOperand(2)))
+        with pytest.raises(ExecutionFault, match="memory operand"):
+            self._run(instr)
+
+    def test_ldblk_without_shape(self):
+        instr = Instruction(Opcode.LDBLK, 4, DataType.UB,
+                            dsts=(RangeOperand(1, 1),),
+                            srcs=(BlockOperand("S", ImmOperand(0),
+                                               ImmOperand(0)),))
+        with pytest.raises(ExecutionFault, match="WxH"):
+            self._run(instr)
+
+    def test_cmp_with_register_destination(self):
+        instr = Instruction(Opcode.CMP, 4, DataType.DW,
+                            dsts=(RegOperand(1),),
+                            srcs=(RegOperand(2), RegOperand(3)))
+        from repro.isa.opcodes import Condition
+
+        instr = Instruction(Opcode.CMP, 4, DataType.DW,
+                            dsts=(RegOperand(1),),
+                            srcs=(RegOperand(2), RegOperand(3)),
+                            cond=Condition.LT)
+        with pytest.raises(ExecutionFault, match="predicate register"):
+            self._run(instr)
+
+    def test_sel_with_non_predicate_selector(self):
+        instr = Instruction(Opcode.SEL, 4, DataType.DW,
+                            dsts=(RegOperand(1),),
+                            srcs=(RegOperand(0), RegOperand(2),
+                                  RegOperand(3)))
+        with pytest.raises(ExecutionFault, match="predicate register"):
+            self._run(instr)
+
+    def test_sendreg_with_plain_operand(self):
+        instr = Instruction(Opcode.SENDREG, 1, DataType.DW,
+                            srcs=(RegOperand(1), RegOperand(2)))
+        with pytest.raises(ExecutionFault, match=r"\(shred, vrN\)"):
+            self._run(instr)
+
+
+class TestGuardedMemory:
+    def test_masked_load_merges_lanes(self):
+        ctx = FakeContext(surfaces={"S": np.arange(8.0) + 100})
+        ctx.regs.write_lanes(1, np.array([1.0, 2.0, 3.0, 4.0]))
+        ctx.regs.write_pred(1, np.array([True, False, True, False]))
+        from tests.helpers import run_program
+
+        run_program("(p1) ld.4.dw vr1 = (S, 0, 0)\nend", ctx=ctx)
+        assert ctx.regs.read_lanes(1, 4).tolist() == [100.0, 2.0, 102.0, 4.0]
+
+    def test_shredreg_string_form(self):
+        op = ShredRegOperand(RegOperand(3), 7)
+        assert str(op) == "(vr3, vr7)"

@@ -1,0 +1,113 @@
+"""Program container: validation, symbol discovery, debug info."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import LabelOperand, RangeOperand, RegOperand
+from repro.isa.program import Program
+from repro.isa.types import DataType
+
+
+class TestValidation:
+    def test_valid_program_passes(self):
+        assemble("add.8.dw [vr1..vr8] = [vr1..vr8], 1\nend").validate()
+
+    def test_undefined_label_rejected(self):
+        program = Program(
+            name="bad",
+            instructions=(
+                Instruction(Opcode.JMP, srcs=(LabelOperand("nowhere"),)),
+            ),
+            labels={},
+        )
+        with pytest.raises(AssemblyError, match="undefined label"):
+            program.validate()
+
+    def test_range_out_of_file(self):
+        program = Program(
+            name="bad",
+            instructions=(
+                Instruction(Opcode.MOV, width=8, dtype=DataType.DW,
+                            dsts=(RangeOperand(125, 132),),
+                            srcs=(RegOperand(0),)),
+            ),
+        )
+        with pytest.raises(AssemblyError, match="out of bounds"):
+            program.validate()
+
+    def test_range_width_mismatch(self):
+        program = Program(
+            name="bad",
+            instructions=(
+                Instruction(Opcode.MOV, width=8, dtype=DataType.DW,
+                            dsts=(RangeOperand(0, 2),),
+                            srcs=(RegOperand(0),)),
+            ),
+        )
+        with pytest.raises(AssemblyError, match="packed form"):
+            program.validate()
+
+    def test_packed_range_accepted(self):
+        # 48 elements in 3 registers: ceil(48/16) == 3
+        assemble("add.48.uw [vr1..vr3] = [vr4..vr6], 1\nend").validate()
+
+    def test_wide_single_register_rejected(self):
+        with pytest.raises(AssemblyError, match="register range"):
+            assemble("add.32.dw vr1 = vr2, vr3\nend")
+
+    def test_hadd_scalar_destination_ok(self):
+        assemble("hadd.32.f vr1 = [vr2..vr3]\nend").validate()
+
+    def test_ilv_half_width_sources_ok(self):
+        assemble("ilv.32.f [vr1..vr2] = vr3, vr4\nend").validate()
+
+
+class TestSymbols:
+    def test_scalar_symbols_from_all_positions(self):
+        program = assemble("""
+            ld.1.dw vr1 = (S, i, 2)
+            ldblk.2x2.ub [vr2..vr2] = (T, x0, y0)
+            mov.1.dw vr3 = k
+            sendreg.1.dw (tgt, vr9) = vr3
+            end
+        """)
+        assert program.scalar_symbols() == {"i", "x0", "y0", "k", "tgt"}
+
+    def test_surface_symbols(self):
+        program = assemble("""
+            ld.1.dw vr1 = (S, 0, 0)
+            stblk.2x2.ub (T, 0, 0) = [vr1..vr1]
+            sample.1.f vr2 = (U, vr1, vr1)
+            end
+        """)
+        assert program.surface_symbols() == {"S", "T", "U"}
+
+    def test_labels_are_not_symbols(self):
+        program = assemble("top:\njmp top\nend")
+        assert program.scalar_symbols() == set()
+
+
+class TestDebugInfo:
+    def test_source_line_lookup(self):
+        source = "mov.1.dw vr1 = 1\nadd.1.dw vr1 = vr1, 2\nend"
+        program = assemble(source)
+        assert program.source_line(0) == "mov.1.dw vr1 = 1"
+        assert program.source_line(1) == "add.1.dw vr1 = vr1, 2"
+        assert program.source_line(99) == ""
+
+    def test_source_line_without_source_text(self):
+        program = assemble("nop\nend")
+        program.source = ""
+        assert program.source_line(0) == "nop"
+
+    def test_target_lookup(self):
+        program = assemble("x:\nnop\njmp x\nend")
+        assert program.target("x") == 0
+        with pytest.raises(AssemblyError, match="undefined"):
+            program.target("y")
+
+    def test_len(self):
+        assert len(assemble("nop\nnop\nend")) == 3

@@ -1,0 +1,145 @@
+"""Register file behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.registers import RegisterFile
+from repro.isa.types import NUM_PREGS, NUM_VREGS, VLEN
+
+
+@pytest.fixture
+def regs():
+    return RegisterFile()
+
+
+class TestLanes:
+    def test_fresh_file_is_zero(self, regs):
+        assert regs.read_lanes(0, VLEN).tolist() == [0.0] * VLEN
+
+    def test_write_read_lanes(self, regs):
+        regs.write_lanes(5, np.arange(4.0), lane=2)
+        assert regs.read_lanes(5, 4, lane=2).tolist() == [0.0, 1.0, 2.0, 3.0]
+        assert regs.read_lanes(5, 2).tolist() == [0.0, 0.0]
+
+    def test_scalar_is_lane_zero(self, regs):
+        regs.write_scalar(7, 42.0)
+        assert regs.read_scalar(7) == 42.0
+        assert regs.read_lanes(7, 1)[0] == 42.0
+
+    def test_lane_overflow(self, regs):
+        with pytest.raises(IndexError):
+            regs.read_lanes(0, VLEN + 1)
+        with pytest.raises(IndexError):
+            regs.write_lanes(0, np.zeros(VLEN + 1))
+
+    def test_reg_index_bounds(self, regs):
+        with pytest.raises(IndexError):
+            regs.read_scalar(NUM_VREGS)
+        with pytest.raises(IndexError):
+            regs.write_scalar(-1, 0.0)
+
+    def test_custom_dimensions(self):
+        small = RegisterFile(num_vregs=4, vlen=2)
+        small.write_lanes(3, np.array([1.0, 2.0]))
+        assert small.read_lanes(3, 2).tolist() == [1.0, 2.0]
+        with pytest.raises(IndexError):
+            small.read_scalar(4)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            RegisterFile(num_vregs=0)
+        with pytest.raises(ValueError):
+            RegisterFile(vlen=0)
+
+
+class TestRanges:
+    def test_range_one_element_per_register(self, regs):
+        regs.write_range(2, 9, np.arange(8.0))
+        # each named register holds one element in lane 0 (Figure 6 form)
+        for i in range(8):
+            assert regs.read_scalar(2 + i) == float(i)
+        assert regs.read_range(2, 9).tolist() == list(map(float, range(8)))
+
+    def test_range_size_mismatch(self, regs):
+        with pytest.raises(ValueError, match="holds 3 elements"):
+            regs.write_range(0, 2, np.zeros(4))
+
+    def test_empty_range(self, regs):
+        with pytest.raises(IndexError, match="empty register range"):
+            regs.read_range(5, 4)
+
+    def test_block_packing(self, regs):
+        values = np.arange(40.0)
+        regs.write_block(10, values)
+        # 40 elements pack 16 lanes per register across 3 registers
+        assert regs.read_lanes(10, VLEN).tolist() == list(map(float, range(16)))
+        assert regs.read_lanes(11, VLEN).tolist() == list(map(float, range(16, 32)))
+        assert regs.read_lanes(12, 8).tolist() == list(map(float, range(32, 40)))
+        assert regs.read_block(10, 40).tolist() == values.tolist()
+
+    def test_block_bounds(self, regs):
+        with pytest.raises(IndexError):
+            regs.write_block(NUM_VREGS - 1, np.zeros(VLEN * 2))
+
+
+class TestPredicates:
+    def test_write_read(self, regs):
+        mask = np.array([True, False, True, False])
+        regs.write_pred(3, mask)
+        assert regs.read_pred(3, 4).tolist() == mask.tolist()
+        # lanes beyond the written width are cleared
+        assert not regs.read_pred(3, VLEN)[4:].any()
+
+    def test_pred_any(self, regs):
+        assert not regs.pred_any(0)
+        regs.write_pred(0, np.array([False, True]))
+        assert regs.pred_any(0)
+
+    def test_pred_bounds(self, regs):
+        with pytest.raises(IndexError):
+            regs.read_pred(NUM_PREGS, 1)
+        with pytest.raises(IndexError):
+            regs.write_pred(0, np.zeros(VLEN + 1, dtype=bool))
+
+
+class TestLifecycle:
+    def test_reset(self, regs):
+        regs.write_scalar(1, 5.0)
+        regs.write_pred(1, np.array([True]))
+        regs.reset()
+        assert regs.read_scalar(1) == 0.0
+        assert not regs.pred_any(1)
+
+    def test_snapshot_restore(self, regs):
+        regs.write_scalar(1, 5.0)
+        regs.write_pred(2, np.array([True, True]))
+        snap = regs.snapshot()
+        regs.write_scalar(1, 9.0)
+        regs.write_pred(2, np.array([False]))
+        regs.restore(snap)
+        assert regs.read_scalar(1) == 5.0
+        assert regs.read_pred(2, 2).tolist() == [True, True]
+
+    def test_snapshot_is_a_copy(self, regs):
+        snap = regs.snapshot()
+        regs.write_scalar(0, 1.0)
+        assert snap["v"][0, 0] == 0.0
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                          width=32), min_size=1, max_size=VLEN))
+def test_lanes_roundtrip(values):
+    regs = RegisterFile()
+    arr = np.array(values, dtype=np.float64)
+    regs.write_lanes(3, arr)
+    assert np.array_equal(regs.read_lanes(3, arr.size), arr)
+
+
+@given(st.integers(min_value=1, max_value=64))
+def test_block_roundtrip(count):
+    regs = RegisterFile()
+    values = np.arange(float(count))
+    regs.write_block(20, values)
+    assert np.array_equal(regs.read_block(20, count), values)

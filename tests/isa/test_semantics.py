@@ -1,0 +1,328 @@
+"""Functional semantics of every opcode, on a bare fake context."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import (
+    DivideByZeroFault,
+    ExecutionFault,
+    FpOverflowFault,
+    UnsupportedOperationFault,
+)
+from repro.isa import semantics
+from repro.isa.assembler import assemble
+from tests.helpers import FakeContext, run_program
+
+
+def lanes(ctx, reg, n):
+    return ctx.regs.read_lanes(reg, n).tolist()
+
+
+class TestMovesAndAlu:
+    def test_mov_imm_broadcast(self):
+        ctx = run_program("mov.4.dw vr1 = 7\nend")
+        assert lanes(ctx, 1, 4) == [7.0] * 4
+
+    def test_bcast(self):
+        ctx = FakeContext()
+        ctx.regs.write_scalar(2, 3.5)
+        run_program("bcast.8.f vr1 = vr2\nend", ctx=ctx)
+        assert lanes(ctx, 1, 8) == [3.5] * 8
+
+    def test_iota(self):
+        ctx = run_program("iota.8.f vr1\nend")
+        assert lanes(ctx, 1, 8) == list(map(float, range(8)))
+
+    def test_add_sub_mul(self):
+        ctx = FakeContext()
+        ctx.regs.write_lanes(1, np.array([1.0, 2.0, 3.0, 4.0]))
+        ctx.regs.write_lanes(2, np.array([10.0, 20.0, 30.0, 40.0]))
+        run_program("""
+            add.4.dw vr3 = vr1, vr2
+            sub.4.dw vr4 = vr2, vr1
+            mul.4.dw vr5 = vr1, vr2
+            end
+        """, ctx=ctx)
+        assert lanes(ctx, 3, 4) == [11.0, 22.0, 33.0, 44.0]
+        assert lanes(ctx, 4, 4) == [9.0, 18.0, 27.0, 36.0]
+        assert lanes(ctx, 5, 4) == [10.0, 40.0, 90.0, 160.0]
+
+    def test_mad(self):
+        ctx = run_program("""
+            mov.4.f vr1 = 3
+            mov.4.f vr2 = 4
+            mov.4.f vr3 = 5
+            mad.4.f vr4 = vr1, vr2, vr3
+            end
+        """)
+        assert lanes(ctx, 4, 4) == [17.0] * 4
+
+    def test_min_max_abs(self):
+        ctx = FakeContext()
+        ctx.regs.write_lanes(1, np.array([-3.0, 5.0]))
+        run_program("""
+            min.2.dw vr2 = vr1, 0
+            max.2.dw vr3 = vr1, 0
+            abs.2.dw vr4 = vr1
+            end
+        """, ctx=ctx)
+        assert lanes(ctx, 2, 2) == [-3.0, 0.0]
+        assert lanes(ctx, 3, 2) == [0.0, 5.0]
+        assert lanes(ctx, 4, 2) == [3.0, 5.0]
+
+    def test_avg_rounds_up_for_integers(self):
+        ctx = FakeContext()
+        ctx.regs.write_lanes(1, np.array([1.0, 2.0]))
+        ctx.regs.write_lanes(2, np.array([2.0, 2.0]))
+        run_program("avg.2.uw vr3 = vr1, vr2\nend", ctx=ctx)
+        assert lanes(ctx, 3, 2) == [2.0, 2.0]  # (1+2+1)>>1 = 2
+
+    def test_avg_float_is_exact_mean(self):
+        ctx = FakeContext()
+        ctx.regs.write_lanes(1, np.array([1.0]))
+        ctx.regs.write_lanes(2, np.array([2.0]))
+        run_program("avg.1.f vr3 = vr1, vr2\nend", ctx=ctx)
+        assert lanes(ctx, 3, 1) == [1.5]
+
+    def test_shifts(self):
+        ctx = run_program("""
+            mov.1.dw vr1 = 5
+            shl.1.dw vr2 = vr1, 3
+            shr.1.dw vr3 = vr2, 2
+            end
+        """)
+        assert ctx.regs.read_scalar(2) == 40.0
+        assert ctx.regs.read_scalar(3) == 10.0
+
+    def test_bitwise(self):
+        ctx = run_program("""
+            mov.1.udw vr1 = 12
+            mov.1.udw vr2 = 10
+            and.1.udw vr3 = vr1, vr2
+            or.1.udw vr4 = vr1, vr2
+            xor.1.udw vr5 = vr1, vr2
+            not.1.ub vr6 = vr1
+            end
+        """)
+        assert ctx.regs.read_scalar(3) == 8.0
+        assert ctx.regs.read_scalar(4) == 14.0
+        assert ctx.regs.read_scalar(5) == 6.0
+        assert ctx.regs.read_scalar(6) == 243.0  # ~12 & 0xff
+
+    def test_div_truncates_integers(self):
+        ctx = run_program("mov.1.dw vr1 = 17\ndiv.1.dw vr2 = vr1, 5\nend")
+        assert ctx.regs.read_scalar(2) == 3.0
+
+    def test_cvt_applies_target_type(self):
+        ctx = run_program("mov.1.dw vr1 = 300\ncvt.1.ub vr2 = vr1\nend")
+        assert ctx.regs.read_scalar(2) == 44.0
+
+    def test_hadd_hmax(self):
+        ctx = FakeContext()
+        ctx.regs.write_lanes(1, np.arange(8.0))
+        run_program("hadd.8.f vr2 = vr1\nhmax.8.f vr3 = vr1\nend", ctx=ctx)
+        assert ctx.regs.read_scalar(2) == 28.0
+        assert ctx.regs.read_scalar(3) == 7.0
+
+    def test_ilv_interleaves(self):
+        ctx = FakeContext()
+        ctx.regs.write_lanes(1, np.array([0.0, 2.0, 4.0, 6.0]))
+        ctx.regs.write_lanes(2, np.array([1.0, 3.0, 5.0, 7.0]))
+        run_program("ilv.8.f vr3 = vr1, vr2\nend", ctx=ctx)
+        assert lanes(ctx, 3, 8) == list(map(float, range(8)))
+
+    def test_ilv_odd_width_faults(self):
+        with pytest.raises(ExecutionFault, match="even"):
+            run_program("ilv.3.f vr3 = vr1, vr2\nend")
+
+    def test_integer_wraparound_on_writeback(self):
+        ctx = run_program("mov.1.ub vr1 = 250\nadd.1.ub vr2 = vr1, 10\nend")
+        assert ctx.regs.read_scalar(2) == 4.0
+
+
+class TestPredication:
+    def test_cmp_writes_mask(self):
+        ctx = FakeContext()
+        ctx.regs.write_lanes(1, np.array([1.0, 5.0, 3.0, 9.0]))
+        run_program("cmp.gt.4.dw p1 = vr1, 3\nend", ctx=ctx)
+        assert ctx.regs.read_pred(1, 4).tolist() == [False, True, False, True]
+
+    def test_guarded_alu_merges(self):
+        ctx = FakeContext()
+        ctx.regs.write_lanes(1, np.array([1.0, 2.0, 3.0, 4.0]))
+        ctx.regs.write_pred(1, np.array([True, False, True, False]))
+        run_program("(p1) add.4.dw vr1 = vr1, 10\nend", ctx=ctx)
+        assert lanes(ctx, 1, 4) == [11.0, 2.0, 13.0, 4.0]
+
+    def test_negated_guard(self):
+        ctx = FakeContext()
+        ctx.regs.write_lanes(1, np.array([1.0, 2.0]))
+        ctx.regs.write_pred(1, np.array([True, False]))
+        run_program("(!p1) add.2.dw vr1 = vr1, 10\nend", ctx=ctx)
+        assert lanes(ctx, 1, 2) == [1.0, 12.0]
+
+    def test_sel(self):
+        ctx = FakeContext()
+        ctx.regs.write_lanes(1, np.array([1.0, 2.0, 3.0]))
+        ctx.regs.write_lanes(2, np.array([9.0, 8.0, 7.0]))
+        ctx.regs.write_pred(2, np.array([True, False, True]))
+        run_program("sel.3.f vr3 = p2, vr1, vr2\nend", ctx=ctx)
+        assert lanes(ctx, 3, 3) == [1.0, 8.0, 3.0]
+
+    def test_guarded_store_read_modify_write(self):
+        surfaces = {"S": np.zeros(4)}
+        ctx = FakeContext(surfaces=surfaces)
+        ctx.regs.write_lanes(1, np.array([5.0, 6.0, 7.0, 8.0]))
+        ctx.regs.write_pred(1, np.array([True, False, False, True]))
+        run_program("(p1) st.4.dw (S, 0, 0) = vr1\nend", ctx=ctx)
+        assert ctx.surfaces["S"].tolist() == [5.0, 0.0, 0.0, 8.0]
+
+
+class TestControlFlow:
+    def test_loop_executes_expected_iterations(self):
+        ctx = run_program("""
+            mov.1.dw vr1 = 0
+            mov.1.dw vr2 = 0
+        loop:
+            add.1.dw vr2 = vr2, 5
+            add.1.dw vr1 = vr1, 1
+            cmp.lt.1.dw p1 = vr1, 4
+            br p1, loop
+            end
+        """)
+        assert ctx.regs.read_scalar(2) == 20.0
+
+    def test_jmp_skips(self):
+        ctx = run_program("""
+            jmp skip
+            mov.1.dw vr1 = 99
+        skip:
+            mov.1.dw vr2 = 1
+            end
+        """)
+        assert ctx.regs.read_scalar(1) == 0.0
+        assert ctx.regs.read_scalar(2) == 1.0
+
+    def test_negated_branch(self):
+        ctx = run_program("""
+            cmp.eq.1.dw p1 = vr1, 99
+            (!p1) br p1, out
+            mov.1.dw vr2 = 42
+        out:
+            end
+        """)
+        # p1 is false, negated guard -> branch taken, mov skipped
+        assert ctx.regs.read_scalar(2) == 0.0
+
+
+class TestMemory:
+    def test_ld_st_linear(self):
+        ctx = run_program("""
+            ld.4.dw [vr1..vr4] = (S, 2, 1)
+            add.4.dw [vr5..vr8] = [vr1..vr4], 1
+            st.4.dw (S, 0, 0) = [vr5..vr8]
+            end
+        """, surfaces={"S": np.arange(10.0)})
+        # loaded S[3..7), stored +1 into S[0..4)
+        assert ctx.surfaces["S"][:4].tolist() == [4.0, 5.0, 6.0, 7.0]
+
+    def test_ld_index_from_symbol(self):
+        ctx = run_program("ld.2.dw vr1 = (S, i, 0)\nend",
+                          bindings={"i": 3},
+                          surfaces={"S": np.arange(8.0)})
+        assert lanes(ctx, 1, 2) == [3.0, 4.0]
+
+    def test_block_roundtrip(self):
+        img = np.arange(24.0).reshape(4, 6)
+        ctx = run_program("""
+            ldblk.3x2.ub [vr1..vr1] = (IMG, 1, 1)
+            stblk.3x2.ub (IMG, 0, 0) = [vr1..vr1]
+            end
+        """, surfaces={"IMG": img.copy()})
+        assert ctx.surfaces["IMG"][0, :3].tolist() == [7.0, 8.0, 9.0]
+        assert ctx.surfaces["IMG"][1, :3].tolist() == [13.0, 14.0, 15.0]
+
+    def test_sample(self):
+        img = np.array([[0.0, 10.0], [20.0, 30.0]])
+        ctx = FakeContext(surfaces={"T": img})
+        ctx.regs.write_lanes(1, np.array([0.5]))
+        ctx.regs.write_lanes(2, np.array([0.5]))
+        run_program("sample.1.f vr3 = (T, vr1, vr2)\nend", ctx=ctx)
+        assert ctx.regs.read_scalar(3) == 15.0
+
+    def test_sendreg_and_spawn(self):
+        ctx = run_program("""
+            mov.1.dw vr1 = 7
+            mov.1.dw vr2 = 42
+            sendreg.1.dw (vr1, vr30) = vr2
+            spawn vr2
+            end
+        """)
+        assert ctx.sent[0][0] == 7 and ctx.sent[0][1] == 30
+        assert ctx.sent[0][2].tolist() == [42.0]
+        assert ctx.spawned == [42.0]
+
+    def test_flush(self):
+        ctx = run_program("flush\nend")
+        assert ctx.flushes == 1
+
+
+class TestFaults:
+    def test_divide_by_zero(self):
+        ctx = FakeContext()
+        ctx.regs.write_lanes(1, np.array([4.0, 8.0]))
+        ctx.regs.write_lanes(2, np.array([2.0, 0.0]))
+        with pytest.raises(DivideByZeroFault) as info:
+            run_program("div.2.dw vr3 = vr1, vr2\nend", ctx=ctx)
+        assert info.value.lane == 1
+
+    def test_double_precision_faults_on_exo(self):
+        ctx = FakeContext()
+        with pytest.raises(UnsupportedOperationFault, match="double"):
+            run_program("add.2.df vr1 = vr1, vr2\nend", ctx=ctx)
+
+    def test_double_precision_moves_allowed(self):
+        # moves don't touch the FP datapath even at .df
+        run_program("mov.2.df vr1 = vr2\nend")
+
+    def test_double_precision_allowed_in_proxy(self):
+        ctx = FakeContext()
+        ctx.supports_double = True
+        run_program("add.2.df vr1 = vr1, vr2\nend", ctx=ctx)
+
+    def test_float_overflow_faults(self):
+        ctx = FakeContext()
+        ctx.regs.write_lanes(1, np.array([3e38]))
+        ctx.regs.write_lanes(2, np.array([3e38]))
+        with pytest.raises(FpOverflowFault):
+            run_program("add.1.f vr3 = vr1, vr2\nend", ctx=ctx)
+
+    def test_unbound_symbol_faults(self):
+        with pytest.raises(ExecutionFault, match="unbound symbol"):
+            run_program("mov.1.dw vr1 = missing\nend")
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000),
+                min_size=2, max_size=16),
+       st.lists(st.integers(min_value=-1000, max_value=1000),
+                min_size=2, max_size=16))
+def test_add_matches_numpy(a, b):
+    n = min(len(a), len(b))
+    ctx = FakeContext()
+    ctx.regs.write_lanes(1, np.array(a[:n], dtype=np.float64))
+    ctx.regs.write_lanes(2, np.array(b[:n], dtype=np.float64))
+    run_program(f"add.{n}.dw vr3 = vr1, vr2\nend", ctx=ctx)
+    expected = np.array(a[:n]) + np.array(b[:n])
+    assert ctx.regs.read_lanes(3, n).tolist() == expected.tolist()
+
+
+@given(st.integers(min_value=0, max_value=255),
+       st.integers(min_value=0, max_value=255))
+def test_avg_matches_rounding_formula(x, y):
+    ctx = FakeContext()
+    ctx.regs.write_lanes(1, np.array([float(x)]))
+    ctx.regs.write_lanes(2, np.array([float(y)]))
+    run_program("avg.1.uw vr3 = vr1, vr2\nend", ctx=ctx)
+    assert ctx.regs.read_scalar(3) == (x + y + 1) // 2

@@ -1,0 +1,110 @@
+"""Data-type semantics: sizes, suffixes and wrap behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.types import LANE_BYTES, NUM_PREGS, NUM_VREGS, VLEN, DataType
+
+
+class TestMetadata:
+    def test_sizes(self):
+        assert DataType.B.size == 1
+        assert DataType.UB.size == 1
+        assert DataType.W.size == 2
+        assert DataType.UW.size == 2
+        assert DataType.DW.size == 4
+        assert DataType.UDW.size == 4
+        assert DataType.F.size == 4
+        assert DataType.DF.size == 8
+
+    def test_float_flags(self):
+        assert DataType.F.is_float and DataType.DF.is_float
+        assert not DataType.DW.is_float
+        assert not DataType.UB.is_float
+
+    def test_signedness(self):
+        assert DataType.B.is_signed and DataType.DW.is_signed
+        assert not DataType.UB.is_signed and not DataType.UW.is_signed
+        assert DataType.F.is_signed and DataType.DF.is_signed
+
+    def test_from_suffix_roundtrip(self):
+        for ty in DataType:
+            assert DataType.from_suffix(ty.value) is ty
+
+    def test_from_suffix_unknown(self):
+        with pytest.raises(ValueError, match="unknown data type"):
+            DataType.from_suffix("q")
+
+    def test_np_dtypes(self):
+        assert DataType.UB.np_dtype == np.uint8
+        assert DataType.DW.np_dtype == np.int32
+        assert DataType.F.np_dtype == np.float32
+        assert DataType.DF.np_dtype == np.float64
+
+    def test_architectural_constants(self):
+        assert NUM_VREGS == 128  # "64 to 128 vector registers"
+        assert VLEN == 16  # "up to 16 data elements in parallel"
+        assert NUM_PREGS == 16
+        assert LANE_BYTES == 4
+
+
+class TestWrap:
+    def test_ub_wraps_mod_256(self):
+        out = DataType.UB.wrap(np.array([0.0, 255.0, 256.0, 300.0, -1.0]))
+        assert out.tolist() == [0.0, 255.0, 0.0, 44.0, 255.0]
+
+    def test_b_two_complement(self):
+        out = DataType.B.wrap(np.array([127.0, 128.0, 255.0, -129.0]))
+        assert out.tolist() == [127.0, -128.0, -1.0, 127.0]
+
+    def test_w_and_uw(self):
+        assert DataType.UW.wrap(np.array([65536.0]))[0] == 0.0
+        assert DataType.W.wrap(np.array([32768.0]))[0] == -32768.0
+        assert DataType.W.wrap(np.array([-32769.0]))[0] == 32767.0
+
+    def test_dw_wraps(self):
+        assert DataType.DW.wrap(np.array([2.0 ** 31]))[0] == -(2.0 ** 31)
+        assert DataType.UDW.wrap(np.array([2.0 ** 32]))[0] == 0.0
+
+    def test_integer_truncates_fraction(self):
+        out = DataType.DW.wrap(np.array([3.9, -3.9]))
+        assert out.tolist() == [3.0, -3.0]
+
+    def test_f_rounds_to_single(self):
+        value = 0.1  # not representable in binary32
+        wrapped = DataType.F.wrap(np.array([value]))[0]
+        assert wrapped == np.float64(np.float32(value))
+        assert wrapped != value
+
+    def test_df_passthrough(self):
+        values = np.array([0.1, 1e300, -2.5])
+        assert np.array_equal(DataType.DF.wrap(values), values)
+
+    @given(st.integers(min_value=-(2 ** 40), max_value=2 ** 40))
+    def test_wrap_is_idempotent(self, value):
+        for ty in (DataType.B, DataType.UB, DataType.W, DataType.UW,
+                   DataType.DW, DataType.UDW):
+            once = ty.wrap(np.array([float(value)]))
+            twice = ty.wrap(once)
+            assert np.array_equal(once, twice)
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_in_range_values_unchanged(self, value):
+        assert DataType.UB.wrap(np.array([float(value)]))[0] == value
+
+    @given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    def test_dw_in_range_unchanged(self, value):
+        assert DataType.DW.wrap(np.array([float(value)]))[0] == value
+
+    @given(st.integers(min_value=-(2 ** 40), max_value=2 ** 40))
+    def test_wrap_lands_in_range(self, value):
+        for ty in (DataType.B, DataType.W, DataType.DW):
+            bits = ty.size * 8
+            out = ty.wrap(np.array([float(value)]))[0]
+            assert -(2 ** (bits - 1)) <= out < 2 ** (bits - 1)
+        for ty in (DataType.UB, DataType.UW, DataType.UDW):
+            bits = ty.size * 8
+            out = ty.wrap(np.array([float(value)]))[0]
+            assert 0 <= out < 2 ** bits

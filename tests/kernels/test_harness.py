@@ -1,0 +1,86 @@
+"""The kernel run harness itself."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    Geometry,
+    allocate_surfaces,
+    build_program,
+    kernel_by_abbrev,
+    run_kernel_on_gma,
+    scale_cycles_to_full_run,
+)
+
+
+@pytest.fixture
+def sepia():
+    return kernel_by_abbrev("SepiaTone")
+
+
+class TestBuilders:
+    def test_build_program_is_validated(self, sepia):
+        program = build_program(sepia, Geometry(16, 16))
+        assert program.name == "SepiaTone"
+        program.validate()
+
+    def test_allocate_surfaces_names_and_dims(self, sepia, space):
+        surfaces = allocate_surfaces(sepia, Geometry(16, 8), space)
+        assert set(surfaces) == {"R", "G", "B", "OR", "OG", "OB"}
+        assert surfaces["R"].width == 16 and surfaces["R"].height == 8
+
+
+class TestRunKnobs:
+    def test_max_frames_caps_invocations(self):
+        kalman = kernel_by_abbrev("Kalman")
+        geom = Geometry(32, 32, frames=5)
+        result = run_kernel_on_gma(kalman, geom, max_frames=2)
+        assert result.frames_run == 2
+
+    def test_scale_cycles_extrapolates(self):
+        kalman = kernel_by_abbrev("Kalman")
+        geom = Geometry(32, 32, frames=4)
+        result = run_kernel_on_gma(kalman, geom, max_frames=2)
+        full = scale_cycles_to_full_run(result)
+        assert full == pytest.approx(result.gma_cycles * 2)
+
+    def test_scale_cycles_empty_run(self, sepia):
+        from repro.kernels.harness import KernelRunResult
+
+        empty = KernelRunResult(kernel=sepia, geometry=Geometry(8, 8))
+        assert scale_cycles_to_full_run(empty) == 0.0
+
+    def test_verify_false_skips_comparison(self, sepia, monkeypatch):
+        calls = []
+        monkeypatch.setattr(type(sepia), "compare",
+                            lambda self, *a: calls.append(a))
+        result = run_kernel_on_gma(sepia, Geometry(16, 16), verify=False)
+        assert not calls
+        assert not result.verified
+
+    def test_verification_failure_raises(self, sepia, monkeypatch):
+        # corrupt the reference: any device/reference divergence must raise
+        original = type(sepia).reference_frame
+
+        def corrupted(self, geom, inputs, state):
+            out, state = original(self, geom, inputs, state)
+            out["OR"] = out["OR"] + 1
+            return out, state
+
+        monkeypatch.setattr(type(sepia), "reference_frame", corrupted)
+        with pytest.raises(AssertionError, match="mismatch"):
+            run_kernel_on_gma(sepia, Geometry(16, 16))
+
+    def test_seed_changes_inputs_not_correctness(self, sepia):
+        a = run_kernel_on_gma(sepia, Geometry(16, 16), seed=1)
+        b = run_kernel_on_gma(sepia, Geometry(16, 16), seed=2)
+        assert not np.array_equal(a.outputs["OR"], b.outputs["OR"])
+
+    def test_shared_device_accumulates_retirements(self, device, space):
+        sepia = kernel_by_abbrev("SepiaTone")
+        run_kernel_on_gma(sepia, Geometry(16, 16), device=device,
+                          space=space)
+        run_kernel_on_gma(sepia, Geometry(16, 16), device=device,
+                          space=space)
+        retired = sum(s.shreds_retired for s in device.sequencers)
+        assert retired == 8  # 2 runs x 4 tiles

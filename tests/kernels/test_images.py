@@ -1,0 +1,73 @@
+"""Synthetic input generators."""
+
+import numpy as np
+
+from repro.kernels.images import noise_field, rgb_image, telecined_frames
+from repro.kernels.images import test_image as make_image
+from repro.kernels.images import video_frames
+
+
+class TestImage:
+    def test_deterministic(self):
+        assert np.array_equal(make_image(32, 16, 5), make_image(32, 16, 5))
+
+    def test_seed_changes_content(self):
+        assert not np.array_equal(make_image(32, 16, 5), make_image(32, 16, 6))
+
+    def test_range_and_integrality(self):
+        img = make_image(64, 48)
+        assert img.min() >= 0 and img.max() <= 255
+        assert np.array_equal(img, np.floor(img))
+
+    def test_shape(self):
+        assert make_image(10, 7).shape == (7, 10)
+
+    def test_has_texture(self):
+        img = make_image(64, 64)
+        assert img.std() > 10  # not flat
+
+
+class TestRgb:
+    def test_three_distinct_planes(self):
+        planes = rgb_image(16, 16)
+        assert set(planes) == {"R", "G", "B"}
+        assert not np.array_equal(planes["R"], planes["G"])
+
+
+class TestVideo:
+    def test_consecutive_frames_correlate(self):
+        frames = video_frames(64, 32, 4)
+        assert len(frames) == 4
+        diff_near = np.abs(frames[0] - frames[1]).mean()
+        other = make_image(64, 32, seed=999)
+        diff_far = np.abs(frames[0] - other).mean()
+        assert diff_near < diff_far
+
+    def test_frames_do_move(self):
+        frames = video_frames(64, 32, 2)
+        assert not np.array_equal(frames[0], frames[1])
+
+
+class TestTelecine:
+    def test_cadence_structure(self):
+        """Frames 0,1 of each 5-group come from film frame A, frames 3,4
+        from B, frame 2 is mixed: so t vs t+2 SADs dip once per group."""
+        frames = telecined_frames(64, 48, 12, seed=2)
+        sads = [np.abs(frames[i + 2] - frames[i]).sum()
+                for i in range(10)]
+        folded = np.array(sads[:10]).reshape(2, 5).mean(axis=0)
+        # at least one phase is clearly quieter than the loudest
+        assert folded.min() < 0.5 * folded.max()
+
+    def test_deterministic(self):
+        a = telecined_frames(32, 16, 7, seed=1)
+        b = telecined_frames(32, 16, 7, seed=1)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+
+class TestNoise:
+    def test_full_byte_range(self):
+        field = noise_field(128, 128)
+        assert field.min() >= 0 and field.max() <= 255
+        assert field.std() > 50  # roughly uniform

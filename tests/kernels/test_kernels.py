@@ -1,0 +1,201 @@
+"""The Table 2 media kernels: functional verification and decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    ALL_KERNELS,
+    Geometry,
+    kernel_by_abbrev,
+    run_kernel_on_gma,
+)
+from repro.kernels.base import PaperConfig, SurfaceSpec
+from repro.isa.assembler import assemble
+from repro.isa.types import DataType
+from repro.perf.study import SMOKE_GEOMETRIES
+
+KERNELS = [cls() for cls in ALL_KERNELS]
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: k.abbrev)
+class TestEveryKernel:
+    def test_assembles_and_validates(self, kernel):
+        geom = SMOKE_GEOMETRIES[kernel.abbrev]
+        program = assemble(kernel.asm_source(geom), kernel.abbrev)
+        assert len(program) > 0
+
+    def test_runs_and_matches_reference(self, kernel):
+        """The central functional claim: every shred program computes
+        bit-for-bit what the numpy reference computes."""
+        geom = SMOKE_GEOMETRIES[kernel.abbrev]
+        result = run_kernel_on_gma(kernel, geom, seed=9, max_frames=1,
+                                   verify=True)
+        assert result.verified
+        assert result.shreds == kernel.frame_shreds(geom)
+        assert result.instructions > 0
+
+    def test_symbols_are_covered_by_bindings(self, kernel):
+        geom = SMOKE_GEOMETRIES[kernel.abbrev]
+        program = assemble(kernel.asm_source(geom))
+        bound = set(kernel.constants(geom))
+        bound |= set(next(iter(kernel.shred_bindings(geom))))
+        assert program.scalar_symbols() <= bound
+        surfaces = {s.name for s in kernel.surface_specs(geom)}
+        assert program.surface_symbols() <= surfaces
+
+    def test_io_bytes_positive(self, kernel):
+        geom = SMOKE_GEOMETRIES[kernel.abbrev]
+        inp, out = kernel.io_bytes_per_frame(geom)
+        assert inp > 0 and out >= 0
+
+    def test_paper_configs_present(self, kernel):
+        configs = kernel.paper_configs()
+        assert configs, f"{kernel.abbrev} has no Table 2 configuration"
+        for config in configs:
+            assert isinstance(config, PaperConfig)
+            assert config.paper_shreds > 0
+
+    def test_cpu_work_sane(self, kernel):
+        geom = SMOKE_GEOMETRIES[kernel.abbrev]
+        work = kernel.cpu_work(geom)
+        assert work.pixels > 0
+        assert work.cycles_per_pixel > 0
+
+
+class TestTable2Decomposition:
+    """Shred-count formulas vs. the paper's Table 2 (exact except the one
+    documented LinearFilter deviation)."""
+
+    @pytest.mark.parametrize("abbrev,width,height,frames,expected", [
+        ("LinearFilter", 2000, 2000, 1, 83500),
+        ("SepiaTone", 640, 480, 1, 4800),
+        ("SepiaTone", 2000, 2000, 1, 62500),
+        ("FGT", 1024, 768, 1, 96),
+        ("Bicubic", 720, 480, 30, 2700),
+        ("Kalman", 512, 256, 32, 4096),
+        ("Kalman", 2048, 1024, 32, 65536),
+        ("FMD", 720, 480, 60, 1276),
+        ("AlphaBlend", 720, 480, 30, 2700),
+        ("BOB", 720, 480, 30, 2700),
+        ("ADVDI", 720, 480, 30, 2700),
+        ("ProcAmp", 720, 480, 30, 2700),
+    ])
+    def test_exact_counts(self, abbrev, width, height, frames, expected):
+        kernel = kernel_by_abbrev(abbrev)
+        assert kernel.shred_count(Geometry(width, height, frames)) == expected
+
+    def test_linearfilter_small_config_close(self):
+        kernel = kernel_by_abbrev("LinearFilter")
+        ours = kernel.shred_count(Geometry(640, 480))
+        assert ours == 6400  # paper: 6480 (+1.25%), see module docstring
+
+
+class TestSpecificBehaviours:
+    def test_bob_preserves_field_lines(self):
+        kernel = kernel_by_abbrev("BOB")
+        geom = Geometry(80, 48)
+        result = run_kernel_on_gma(kernel, geom, seed=2)
+        field = kernel.make_frame_inputs(geom, 0, 2)["FIELD"]
+        assert np.array_equal(result.outputs["OUT"][0::2], field)
+
+    def test_kalman_state_advances_across_frames(self):
+        kernel = kernel_by_abbrev("Kalman")
+        geom = Geometry(64, 64, frames=3)
+        result = run_kernel_on_gma(kernel, geom, seed=2, max_frames=3)
+        assert result.frames_run == 3  # verified each frame against the
+        # threaded reference state inside the harness
+
+    def test_fmd_single_launch_covers_all_windows(self):
+        kernel = kernel_by_abbrev("FMD")
+        geom = Geometry(96, 32, frames=5)
+        assert kernel.device_invocations(geom) == 1
+        assert kernel.shred_count(geom) == 3 * 3  # 3 strips x 3 windows
+        result = run_kernel_on_gma(kernel, geom, seed=2)
+        assert result.shreds == 9
+
+    def test_alpha_blend_uses_sampler(self):
+        kernel = kernel_by_abbrev("AlphaBlend")
+        geom = Geometry(80, 48)
+        result = run_kernel_on_gma(kernel, geom, seed=2)
+        assert result.sampler_samples == geom.frame_pixels
+
+    def test_bicubic_even_pixels_copy_source(self):
+        kernel = kernel_by_abbrev("Bicubic")
+        geom = Geometry(160, 96)
+        result = run_kernel_on_gma(kernel, geom, seed=2)
+        src = kernel.make_frame_inputs(geom, 0, 2)["SRC"]
+        assert np.array_equal(result.outputs["OUT"][0::2, 0::2], src)
+
+    def test_sepia_is_monotone_in_brightness(self):
+        kernel = kernel_by_abbrev("SepiaTone")
+        dark = {c: np.full((8, 8), 10.0) for c in "RGB"}
+        bright = {c: np.full((8, 8), 200.0) for c in "RGB"}
+        geom = Geometry(8, 8)
+        out_dark, _ = kernel.reference_frame(geom, dark, {})
+        out_bright, _ = kernel.reference_frame(geom, bright, {})
+        assert (out_bright["OR"] > out_dark["OR"]).all()
+
+    def test_advdi_weaves_when_still(self):
+        kernel = kernel_by_abbrev("ADVDI")
+        geom = Geometry(80, 48)
+        frame = np.tile(np.arange(80.0), (48, 1))
+        out, _ = kernel.reference_frame(geom, {"CUR": frame, "PREV": frame},
+                                        {})
+        # zero motion everywhere: odd rows weave from PREV == CUR
+        assert np.array_equal(out["OUT"], frame)
+
+    def test_procamp_identity_settings(self):
+        kernel = kernel_by_abbrev("ProcAmp")
+        geom = Geometry(80, 48)
+        inputs = kernel.make_frame_inputs(geom, 0, 1)
+        out, _ = kernel.reference_frame(geom, inputs, {})
+        # contrast > 1 stretches around 16: dark pixels get darker
+        dark_in = inputs["Y"] < 16
+        assert (out["YO"][dark_in] <= inputs["Y"][dark_in] + 8 + 1).all()
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Geometry(0, 10)
+        with pytest.raises(ValueError):
+            kernel_by_abbrev("Bicubic").surface_specs(Geometry(7, 4))
+
+    def test_kernel_lookup(self):
+        assert kernel_by_abbrev("bob").abbrev == "BOB"
+        with pytest.raises(KeyError):
+            kernel_by_abbrev("nonsense")
+
+    def test_surface_spec_role_validation(self):
+        with pytest.raises(ValueError):
+            SurfaceSpec("X", "banana", DataType.UB, 1, 1)
+
+
+class TestGeometryValidation:
+    def test_misaligned_width_rejected_with_message(self):
+        kernel = kernel_by_abbrev("ProcAmp")
+        with pytest.raises(ValueError, match="tile width 80"):
+            run_kernel_on_gma(kernel, Geometry(81, 48))
+
+    def test_misaligned_height_rejected(self):
+        kernel = kernel_by_abbrev("SepiaTone")
+        with pytest.raises(ValueError, match="tile height 8"):
+            kernel.check_geometry(Geometry(16, 13))
+
+    def test_fgt_width_step(self):
+        with pytest.raises(ValueError, match="strip loop step"):
+            kernel_by_abbrev("FGT").check_geometry(Geometry(24, 16))
+
+    def test_fmd_needs_three_frames(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            kernel_by_abbrev("FMD").check_geometry(Geometry(64, 32, frames=2))
+
+    def test_counting_still_works_for_unaligned(self):
+        kernel = kernel_by_abbrev("LinearFilter")
+        # the 2000x2000 Table 2 row is not 6-aligned but still countable
+        assert kernel.shred_count(Geometry(2000, 2000)) == 83500
+
+    def test_aligned_geometries_pass(self):
+        for cls in ALL_KERNELS:
+            kernel = cls()
+            from repro.perf.study import SMOKE_GEOMETRIES
+
+            kernel.check_geometry(SMOKE_GEOMETRIES[kernel.abbrev])

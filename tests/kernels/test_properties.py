@@ -1,0 +1,113 @@
+"""Property-based tests on kernel reference semantics.
+
+These pin down mathematical invariants of the filters themselves (the
+device implementations are already bit-checked against the references, so
+invariants proven on the references hold for the device too).
+"""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.kernels import Geometry, kernel_by_abbrev
+
+pixels = st.integers(min_value=0, max_value=255)
+
+
+def image(w, h):
+    return arrays(np.float64, (h, w), elements=pixels.map(float))
+
+
+@given(image(16, 8))
+def test_linear_filter_preserves_range_and_flat_images(img):
+    kernel = kernel_by_abbrev("LinearFilter")
+    out, _ = kernel.reference_frame(Geometry(16, 8), {"SRC": img}, {})
+    result = out["OUT"]
+    assert result.min() >= 0 and result.max() <= 255
+    # smoothing cannot exceed the local extremes
+    assert result.max() <= img.max()
+    assert result.min() >= img.min() - 1  # -1: the //9 truncation
+
+
+@given(pixels)
+def test_linear_filter_fixed_point_on_constant_image(value):
+    kernel = kernel_by_abbrev("LinearFilter")
+    img = np.full((8, 16), float(value))
+    out, _ = kernel.reference_frame(Geometry(16, 8), {"SRC": img}, {})
+    assert (out["OUT"] == float(9 * value // 9)).all()
+
+
+@given(image(16, 8), image(16, 8))
+def test_kalman_state_moves_toward_observation(state, obs):
+    kernel = kernel_by_abbrev("Kalman")
+    out, _ = kernel.reference_frame(
+        Geometry(16, 8), {"STATE": state, "OBS": obs}, {})
+    new = out["STATE"]
+    # the filtered state lies within the [state, obs] interval (rounded)
+    lo = np.minimum(state, obs) - 1
+    hi = np.maximum(state, obs) + 1
+    assert ((new >= lo) & (new <= hi)).all()
+
+
+@given(image(16, 8))
+def test_kalman_converges_to_constant_observation(obs):
+    kernel = kernel_by_abbrev("Kalman")
+    state = {"kalman": np.zeros_like(obs)}
+    geom = Geometry(16, 8)
+    for _ in range(40):
+        out, state = kernel.reference_frame(geom, {"OBS": obs}, state)
+    # with gain 1/4, forty rounds land within rounding of the target
+    assert (np.abs(out["STATE"] - obs) <= 2).all()
+
+
+@given(image(16, 8))
+def test_bob_output_interleaves_field(field):
+    kernel = kernel_by_abbrev("BOB")
+    geom = Geometry(16, 16)
+    out, _ = kernel.reference_frame(geom, {"FIELD": field}, {})
+    full = out["OUT"]
+    assert np.array_equal(full[0::2], field)
+    # interpolated lines lie between their neighbours
+    for k in range(7):
+        lo = np.minimum(field[k], field[k + 1])
+        hi = np.maximum(field[k], field[k + 1])
+        assert ((full[2 * k + 1] >= lo) & (full[2 * k + 1] <= hi + 1)).all()
+
+
+@given(image(16, 16), image(16, 16))
+def test_advdi_selects_between_weave_and_bob(cur, prev):
+    kernel = kernel_by_abbrev("ADVDI")
+    geom = Geometry(16, 16)
+    out, _ = kernel.reference_frame(geom, {"CUR": cur, "PREV": prev}, {})
+    full = out["OUT"]
+    assert np.array_equal(full[0::2], cur[0::2])
+    for y in range(1, 16, 2):
+        y2 = min(y + 1, 15)
+        bob = np.floor((cur[y - 1] + cur[y2] + 1) / 2.0)
+        weave = prev[y]
+        choice_ok = (full[y] == bob) | (full[y] == weave)
+        assert choice_ok.all()
+
+
+@given(st.floats(min_value=0.0, max_value=255.0))
+def test_procamp_is_monotone(v):
+    kernel = kernel_by_abbrev("ProcAmp")
+    geom = Geometry(16, 8)
+    low = {k: np.full((8, 16), v) for k in ("Y", "U", "V")}
+    high = {k: np.full((8, 16), min(v + 10, 255.0)) for k in ("Y", "U", "V")}
+    out_low, _ = kernel.reference_frame(geom, low, {})
+    out_high, _ = kernel.reference_frame(geom, high, {})
+    for plane in ("YO", "UO", "VO"):
+        assert (out_high[plane] >= out_low[plane]).all()
+
+
+@given(image(8, 4))
+def test_bicubic_interpolates_within_local_range_on_smooth_data(src):
+    """Catmull-Rom can overshoot, but the final clamp keeps byte range."""
+    kernel = kernel_by_abbrev("Bicubic")
+    geom = Geometry(16, 8)
+    out, _ = kernel.reference_frame(geom, {"SRC": src}, {})
+    result = out["OUT"]
+    assert result.min() >= 0 and result.max() <= 255
+    assert np.array_equal(result[0::2, 0::2], src)

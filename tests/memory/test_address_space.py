@@ -1,0 +1,125 @@
+"""The shared virtual address space and sequencer views."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemorySystemError, TlbMiss
+from repro.memory.address_space import HEAP_BASE, AddressSpace, SequencerView
+from repro.memory.gtt import make_gtt_entry
+from repro.memory.physical import PAGE_SIZE
+
+
+class TestAllocation:
+    def test_alloc_returns_heap_addresses(self, space):
+        a = space.alloc(100)
+        b = space.alloc(100)
+        assert a == HEAP_BASE
+        assert b >= a + PAGE_SIZE  # page-granular carving
+
+    def test_alloc_size_positive(self, space):
+        with pytest.raises(ValueError):
+            space.alloc(0)
+
+    def test_eager_maps_immediately(self, space):
+        base = space.alloc(2 * PAGE_SIZE, eager=True)
+        assert space.page_table.entry(base >> 12)
+        assert space.page_table.entry((base >> 12) + 1)
+
+    def test_lazy_maps_on_touch(self, space):
+        base = space.alloc(PAGE_SIZE)
+        assert not space.page_table.entry(base >> 12)
+        space.write_bytes(base, np.array([1], dtype=np.uint8))
+        assert space.page_table.entry(base >> 12)
+        assert space.faults_serviced == 1
+
+    def test_free_releases_frames(self, space):
+        base = space.alloc(PAGE_SIZE, eager=True)
+        used = space.physical.frames_in_use
+        space.free(base)
+        assert space.physical.frames_in_use == used - 1
+
+    def test_free_unknown(self, space):
+        with pytest.raises(MemorySystemError):
+            space.free(0x999)
+
+    def test_allocation_size(self, space):
+        base = space.alloc(123)
+        assert space.allocation_size(base) == 123
+
+
+class TestHostAccess:
+    def test_roundtrip_across_pages(self, space):
+        base = space.alloc(3 * PAGE_SIZE)
+        data = np.arange(2 * PAGE_SIZE, dtype=np.uint8)  # wraps mod 256
+        space.write_bytes(base + 100, data)
+        assert np.array_equal(space.read_bytes(base + 100, data.size), data)
+
+    def test_typed_arrays(self, space):
+        base = space.alloc(64)
+        values = np.array([1.5, -2.5, 3.5], dtype=np.float32)
+        space.write_array(base, values)
+        assert np.array_equal(space.read_array(base, 3, np.float32), values)
+
+    def test_demand_paging_disabled(self):
+        space = AddressSpace(demand_paging=False)
+        base = space.alloc(PAGE_SIZE)
+        from repro.errors import TranslationFault
+        with pytest.raises(TranslationFault):
+            space.read_bytes(base, 1)
+
+
+class TestSequencerView:
+    def test_view_misses_without_translation(self, space):
+        view = SequencerView(space, name="gma")
+        base = space.alloc(PAGE_SIZE, eager=True)
+        with pytest.raises(TlbMiss):
+            view.read_bytes(base, 4)
+
+    def test_view_reads_after_fill(self, space):
+        view = SequencerView(space)
+        base = space.alloc(PAGE_SIZE, eager=True)
+        space.write_bytes(base, np.array([9, 8, 7], dtype=np.uint8))
+        pfn = space.page_table.walk(base >> 12).pfn
+        view.tlb.insert(base >> 12, make_gtt_entry(pfn))
+        assert view.read_bytes(base, 3).tolist() == [9, 8, 7]
+
+    def test_gtt_refills_tlb_without_fault(self, space):
+        view = SequencerView(space)
+        base = space.alloc(PAGE_SIZE, eager=True)
+        pfn = space.page_table.walk(base >> 12).pfn
+        view.gtt[base >> 12] = make_gtt_entry(pfn)
+        # TLB is empty, but the hardware walker finds the GTT entry
+        view.read_bytes(base, 1)
+        assert view.gtt_walks == 1
+        assert (base >> 12) in view.tlb
+
+    def test_same_physical_data_both_sides(self, space):
+        """The EXO property: one vaddr, one physical page, two formats."""
+        view = SequencerView(space)
+        base = space.alloc(PAGE_SIZE, eager=True)
+        pfn = space.page_table.walk(base >> 12).pfn
+        view.tlb.insert(base >> 12, make_gtt_entry(pfn))
+        view.write_bytes(base + 5, np.array([42], dtype=np.uint8))
+        assert space.read_bytes(base + 5, 1)[0] == 42
+
+    def test_prepare_range_is_atomic(self, space):
+        """A multi-page access raises before moving any byte if any page
+        is unmapped in the view."""
+        view = SequencerView(space)
+        base = space.alloc(2 * PAGE_SIZE, eager=True)
+        pfn = space.page_table.walk(base >> 12).pfn
+        view.tlb.insert(base >> 12, make_gtt_entry(pfn))
+        # second page not visible to the view: whole write must fail
+        data = np.full(PAGE_SIZE + 10, 7, dtype=np.uint8)
+        before = space.read_bytes(base, 8).copy()
+        with pytest.raises(TlbMiss):
+            view.write_bytes(base, data)
+        assert np.array_equal(space.read_bytes(base, 8), before)
+
+    def test_view_typed_arrays(self, space):
+        view = SequencerView(space)
+        base = space.alloc(PAGE_SIZE, eager=True)
+        pfn = space.page_table.walk(base >> 12).pfn
+        view.tlb.insert(base >> 12, make_gtt_entry(pfn))
+        view.write_array(base, np.array([3, -4], dtype=np.int32))
+        assert view.read_array(base, 2, np.int32).tolist() == [3, -4]

@@ -1,0 +1,80 @@
+"""Flush scheduling policies (section 5.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.bandwidth import BandwidthModel
+from repro.memory.flushing import FlushPolicy, schedule_flush
+
+BW = BandwidthModel()
+
+
+def test_upfront_exposes_everything():
+    plan = schedule_flush(FlushPolicy.UPFRONT, 1_000_000, 1.0, 100, 32, BW)
+    assert plan.exposed_seconds == plan.total_flush_seconds
+    assert plan.overlapped_seconds == 0.0
+    assert plan.hidden_fraction == 0.0
+
+
+def test_interleaved_hides_behind_execution():
+    # plenty of accelerator time: everything after the first wave hides
+    plan = schedule_flush(FlushPolicy.INTERLEAVED, 1_000_000, 10.0, 1000,
+                          32, BW)
+    assert plan.exposed_seconds == pytest.approx(
+        plan.total_flush_seconds * 32 / 1000)
+    assert plan.hidden_fraction > 0.9
+
+
+def test_interleaved_with_short_execution_exposes_residual():
+    plan = schedule_flush(FlushPolicy.INTERLEAVED, 10_000_000, 1e-9, 1000,
+                          32, BW)
+    # almost nothing can hide behind a 1 ns region
+    assert plan.exposed_seconds == pytest.approx(plan.total_flush_seconds,
+                                                 rel=1e-3)
+
+
+def test_zero_bytes_is_free():
+    plan = schedule_flush(FlushPolicy.INTERLEAVED, 0, 1.0, 10, 32, BW)
+    assert plan.total_flush_seconds == 0.0
+    assert plan.hidden_fraction == 1.0
+
+
+def test_unoptimized_rate_is_slower():
+    fast = schedule_flush(FlushPolicy.UPFRONT, 1_000_000, 1.0, 10, 32, BW)
+    slow = schedule_flush(FlushPolicy.UPFRONT, 1_000_000, 1.0, 10, 32, BW,
+                          optimized=False)
+    assert slow.total_flush_seconds > fast.total_flush_seconds
+    assert slow.total_flush_seconds == pytest.approx(1_000_000 / 2e9)
+
+
+def test_fewer_shreds_than_contexts():
+    plan = schedule_flush(FlushPolicy.INTERLEAVED, 1000, 1.0, 8, 32, BW)
+    # first wave is the whole queue: everything is exposed up front
+    assert plan.exposed_seconds == pytest.approx(plan.total_flush_seconds)
+
+
+@given(st.integers(min_value=0, max_value=10 ** 8),
+       st.floats(min_value=0.0, max_value=10.0),
+       st.integers(min_value=1, max_value=10000))
+def test_invariants(nbytes, accel_seconds, shreds):
+    for policy in FlushPolicy:
+        plan = schedule_flush(policy, nbytes, accel_seconds, shreds, 32, BW)
+        assert plan.exposed_seconds >= 0
+        assert plan.overlapped_seconds >= 0
+        assert plan.exposed_seconds + plan.overlapped_seconds == \
+            pytest.approx(plan.total_flush_seconds)
+    up = schedule_flush(FlushPolicy.UPFRONT, nbytes, accel_seconds, shreds,
+                        32, BW)
+    inter = schedule_flush(FlushPolicy.INTERLEAVED, nbytes, accel_seconds,
+                           shreds, 32, BW)
+    # interleaving never exposes more than flushing up front
+    assert inter.exposed_seconds <= up.exposed_seconds + 1e-12
+
+
+def test_bandwidth_model_rates():
+    bw = BandwidthModel()
+    assert bw.copy_seconds(3.1e9) == pytest.approx(1.0)
+    assert bw.flush_seconds(8e9) == pytest.approx(1.0)
+    assert bw.flush_seconds(2e9, optimized=False) == pytest.approx(1.0)
+    assert bw.stream_seconds(10.7e9) == pytest.approx(1.0)

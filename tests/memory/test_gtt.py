@@ -1,0 +1,48 @@
+"""GPU-format (GTT) page-table entries."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.memory.gtt import (
+    GttMemType,
+    gtt_memtype,
+    gtt_pfn,
+    gtt_valid,
+    make_gtt_entry,
+)
+
+
+def test_valid_bit():
+    assert gtt_valid(make_gtt_entry(5))
+    assert not gtt_valid(0)
+
+
+def test_memtype_roundtrip():
+    for memtype in GttMemType:
+        entry = make_gtt_entry(3, memtype)
+        assert gtt_memtype(entry) is memtype
+
+
+def test_default_memtype_is_writeback():
+    assert gtt_memtype(make_gtt_entry(1)) is GttMemType.WRITE_BACK
+
+
+def test_pfn_too_large():
+    with pytest.raises(EncodingError):
+        make_gtt_entry(1 << 24)
+
+
+def test_layout_differs_from_ia32():
+    """The whole point of ATR: the same PFN encodes differently."""
+    from repro.memory.paging import make_pte
+
+    pfn = 0x123
+    assert make_gtt_entry(pfn) != make_pte(pfn)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 24) - 1))
+def test_pfn_roundtrip(pfn):
+    for memtype in GttMemType:
+        assert gtt_pfn(make_gtt_entry(pfn, memtype)) == pfn

@@ -1,0 +1,96 @@
+"""IA32 page tables: bit-level entry format and walks."""
+
+import pytest
+
+from repro.errors import ProtectionFault, TranslationFault
+from repro.memory.paging import (
+    PTE_ACCESSED,
+    PTE_CACHE_DISABLE,
+    PTE_DIRTY,
+    PTE_PRESENT,
+    PTE_WRITABLE,
+    IA32PageTable,
+    make_pte,
+    pte_pfn,
+)
+
+
+class TestPteFormat:
+    def test_present_and_pfn(self):
+        pte = make_pte(0x1234)
+        assert pte & PTE_PRESENT
+        assert pte_pfn(pte) == 0x1234
+
+    def test_flags(self):
+        pte = make_pte(1, writable=False, cache_disable=True)
+        assert not pte & PTE_WRITABLE
+        assert pte & PTE_CACHE_DISABLE
+        pte = make_pte(1, writable=True)
+        assert pte & PTE_WRITABLE
+
+    def test_pfn_occupies_high_bits(self):
+        # low 12 bits are flags; PFN starts at bit 12 (IA32 non-PAE)
+        assert make_pte(1) & 0xFFF == PTE_PRESENT | PTE_WRITABLE | 0b100
+
+
+class TestWalks:
+    def test_map_then_walk(self):
+        table = IA32PageTable()
+        table.map(0x400, 0x77)
+        tr = table.walk(0x400)
+        assert tr.pfn == 0x77
+        assert tr.writable
+
+    def test_unmapped_faults(self):
+        table = IA32PageTable()
+        with pytest.raises(TranslationFault) as info:
+            table.walk(0x500)
+        assert info.value.vaddr == 0x500 << 12
+
+    def test_write_to_readonly_faults(self):
+        table = IA32PageTable()
+        table.map(1, 2, writable=False)
+        table.walk(1, write=False)
+        with pytest.raises(ProtectionFault):
+            table.walk(1, write=True)
+
+    def test_accessed_and_dirty_bits(self):
+        table = IA32PageTable()
+        table.map(1, 2)
+        assert not table.entry(1) & PTE_ACCESSED
+        table.walk(1)
+        assert table.entry(1) & PTE_ACCESSED
+        assert not table.entry(1) & PTE_DIRTY
+        table.walk(1, write=True)
+        assert table.entry(1) & PTE_DIRTY
+
+    def test_unmap(self):
+        table = IA32PageTable()
+        table.map(7, 8)
+        table.unmap(7)
+        with pytest.raises(TranslationFault):
+            table.walk(7)
+        with pytest.raises(TranslationFault):
+            table.unmap(7)
+
+    def test_vpn_out_of_space(self):
+        table = IA32PageTable()
+        with pytest.raises(TranslationFault):
+            table.walk(1 << 21)  # beyond the 32-bit space
+
+    def test_mapped_vpns(self):
+        table = IA32PageTable()
+        for vpn in (5, 1029, 3):  # spans two directory entries
+            table.map(vpn, vpn + 1)
+        assert table.mapped_vpns() == [3, 5, 1029]
+
+    def test_two_level_structure(self):
+        # vpns in distinct directories do not interfere
+        table = IA32PageTable()
+        table.map(0, 10)
+        table.map(1024, 20)
+        assert table.walk(0).pfn == 10
+        assert table.walk(1024).pfn == 20
+
+    def test_entry_returns_zero_when_absent(self):
+        assert IA32PageTable().entry(3) == 0

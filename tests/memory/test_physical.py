@@ -1,0 +1,75 @@
+"""Physical memory and frame allocation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OutOfPhysicalMemory
+from repro.memory.physical import PAGE_SIZE, PhysicalMemory
+
+
+class TestAllocation:
+    def test_frames_are_distinct(self):
+        mem = PhysicalMemory(size=16 * PAGE_SIZE)
+        frames = [mem.alloc_frame() for _ in range(16)]
+        assert len(set(frames)) == 16
+
+    def test_exhaustion(self):
+        mem = PhysicalMemory(size=2 * PAGE_SIZE)
+        mem.alloc_frame()
+        mem.alloc_frame()
+        with pytest.raises(OutOfPhysicalMemory):
+            mem.alloc_frame()
+
+    def test_free_recycles(self):
+        mem = PhysicalMemory(size=2 * PAGE_SIZE)
+        a = mem.alloc_frame()
+        mem.alloc_frame()
+        mem.free_frame(a)
+        assert mem.alloc_frame() == a
+
+    def test_free_zeroes_frame(self):
+        mem = PhysicalMemory(size=2 * PAGE_SIZE)
+        pfn = mem.alloc_frame()
+        mem.write(pfn * PAGE_SIZE, np.full(8, 0xAB, dtype=np.uint8))
+        mem.free_frame(pfn)
+        pfn2 = mem.alloc_frame()
+        assert not mem.read(pfn2 * PAGE_SIZE, 8).any()
+
+    def test_frames_in_use(self):
+        mem = PhysicalMemory(size=4 * PAGE_SIZE)
+        assert mem.frames_in_use == 0
+        a = mem.alloc_frame()
+        mem.alloc_frame()
+        assert mem.frames_in_use == 2
+        mem.free_frame(a)
+        assert mem.frames_in_use == 1
+
+    def test_bad_free(self):
+        mem = PhysicalMemory(size=PAGE_SIZE)
+        with pytest.raises(ValueError):
+            mem.free_frame(99)
+
+    def test_size_must_be_page_multiple(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(size=PAGE_SIZE + 1)
+
+
+class TestAccess:
+    def test_write_read_roundtrip(self):
+        mem = PhysicalMemory(size=PAGE_SIZE)
+        data = np.arange(64, dtype=np.uint8)
+        mem.write(100, data)
+        assert np.array_equal(mem.read(100, 64), data)
+
+    def test_view_is_mutable(self):
+        mem = PhysicalMemory(size=PAGE_SIZE)
+        view = mem.view(0, 4)
+        view[:] = 7
+        assert mem.read(0, 4).tolist() == [7, 7, 7, 7]
+
+    def test_out_of_range(self):
+        mem = PhysicalMemory(size=PAGE_SIZE)
+        with pytest.raises(ValueError):
+            mem.read(PAGE_SIZE - 2, 4)
+        with pytest.raises(ValueError):
+            mem.write(-1, np.zeros(2, dtype=np.uint8))

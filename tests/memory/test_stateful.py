@@ -1,0 +1,90 @@
+"""Stateful property testing of the shared address space.
+
+A hypothesis rule-based machine drives random allocate/write/read/free
+sequences against :class:`~repro.memory.address_space.AddressSpace`,
+checking it against a plain-dictionary memory model.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.memory.address_space import AddressSpace
+from repro.memory.physical import PAGE_SIZE, PhysicalMemory
+
+
+class AddressSpaceMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.space = AddressSpace(
+            physical=PhysicalMemory(size=256 * PAGE_SIZE))
+        self.model = {}  # base -> numpy bytes (the oracle)
+        self.live = {}  # base -> size
+
+    allocations = Bundle("allocations")
+
+    @rule(target=allocations, nbytes=st.integers(min_value=1,
+                                                 max_value=3 * PAGE_SIZE))
+    def alloc(self, nbytes):
+        base = self.space.alloc(nbytes)
+        self.live[base] = nbytes
+        self.model[base] = np.zeros(nbytes, dtype=np.uint8)
+        return base
+
+    @rule(base=allocations,
+          offset=st.integers(min_value=0, max_value=PAGE_SIZE),
+          payload=st.binary(min_size=1, max_size=200))
+    def write(self, base, offset, payload):
+        if base not in self.live:
+            return  # freed in this run
+        size = self.live[base]
+        data = np.frombuffer(payload, dtype=np.uint8)
+        if offset + data.size > size:
+            return
+        self.space.write_bytes(base + offset, data)
+        self.model[base][offset : offset + data.size] = data
+
+    @rule(base=allocations,
+          offset=st.integers(min_value=0, max_value=PAGE_SIZE),
+          count=st.integers(min_value=1, max_value=200))
+    def read_matches_model(self, base, offset, count):
+        if base not in self.live:
+            return
+        size = self.live[base]
+        if offset + count > size:
+            return
+        got = self.space.read_bytes(base + offset, count)
+        want = self.model[base][offset : offset + count]
+        assert np.array_equal(got, want)
+
+    @rule(base=allocations)
+    def free(self, base):
+        if base not in self.live:
+            return
+        self.space.free(base)
+        del self.live[base]
+        del self.model[base]
+
+    @invariant()
+    def frames_bounded_by_live_bytes(self):
+        # demand paging never maps more frames than live pages could need
+        max_pages = sum(-(-size // PAGE_SIZE) for size in self.live.values())
+        assert self.space.physical.frames_in_use <= max_pages
+
+    @invariant()
+    def allocations_do_not_overlap(self):
+        spans = sorted((b, b + s) for b, s in self.live.items())
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+
+TestAddressSpaceStateful = AddressSpaceMachine.TestCase
+TestAddressSpaceStateful.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None)

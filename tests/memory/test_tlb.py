@@ -1,0 +1,76 @@
+"""Per-sequencer TLBs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TlbMiss
+from repro.memory.tlb import Tlb
+
+
+def test_miss_then_hit():
+    tlb = Tlb(capacity=4, name="t")
+    with pytest.raises(TlbMiss):
+        tlb.lookup(5)
+    tlb.insert(5, 0xAA)
+    assert tlb.lookup(5) == 0xAA
+    assert tlb.hits == 1 and tlb.misses == 1
+
+
+def test_miss_reports_address_and_sequencer():
+    tlb = Tlb(name="gma")
+    with pytest.raises(TlbMiss) as info:
+        tlb.lookup(3)
+    assert info.value.vaddr == 3 << 12
+    assert info.value.sequencer == "gma"
+
+
+def test_lru_eviction():
+    tlb = Tlb(capacity=2)
+    tlb.insert(1, 11)
+    tlb.insert(2, 22)
+    tlb.lookup(1)  # 1 becomes most recent
+    tlb.insert(3, 33)  # evicts 2
+    assert 1 in tlb and 3 in tlb and 2 not in tlb
+
+
+def test_reinsert_updates_value():
+    tlb = Tlb(capacity=2)
+    tlb.insert(1, 11)
+    tlb.insert(1, 99)
+    assert tlb.lookup(1) == 99
+    assert len(tlb) == 1
+
+
+def test_invalidate_single_and_all():
+    tlb = Tlb(capacity=4)
+    tlb.insert(1, 1)
+    tlb.insert(2, 2)
+    tlb.invalidate(1)
+    assert 1 not in tlb and 2 in tlb
+    tlb.invalidate()
+    assert len(tlb) == 0
+
+
+def test_probe_does_not_count():
+    tlb = Tlb()
+    assert tlb.probe(9) is None
+    tlb.insert(9, 1)
+    assert tlb.probe(9) == 1
+    assert tlb.hits == 0 and tlb.misses == 0
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        Tlb(capacity=0)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=1,
+                max_size=200))
+def test_capacity_never_exceeded(vpns):
+    tlb = Tlb(capacity=8)
+    for vpn in vpns:
+        tlb.insert(vpn, vpn)
+        assert len(tlb) <= 8
+    # most recently inserted is always resident
+    assert vpns[-1] in tlb

@@ -1,0 +1,41 @@
+"""Architecture ablations."""
+
+import pytest
+
+from repro.kernels import Geometry, kernel_by_abbrev
+from repro.perf.ablations import (
+    format_multithreading_table,
+    multithreading_ablation,
+    prevalidation_ablation,
+)
+
+GEOM = Geometry(128, 64)  # small and quick: 8 Kalman tiles
+
+
+@pytest.fixture(scope="module")
+def kalman_mt():
+    return multithreading_ablation(kernel_by_abbrev("Kalman"),
+                                   Geometry(256, 128))
+
+
+def test_more_threads_never_hurt(kalman_mt):
+    cycles = kalman_mt.cycles_by_threads
+    assert cycles[4] <= cycles[2] <= cycles[1]
+
+
+def test_speedup_metric(kalman_mt):
+    assert kalman_mt.speedup(1) == 1.0
+    assert kalman_mt.speedup(4) >= 1.0
+
+
+def test_prevalidation_removes_inflight_atr():
+    ablation = prevalidation_ablation(kernel_by_abbrev("Kalman"), GEOM)
+    assert ablation.prepared_atr_events == 0
+    assert ablation.cold_atr_events > 0
+    assert ablation.cold_cycles > ablation.prepared_cycles
+
+
+def test_format_table(kalman_mt):
+    text = format_multithreading_table([kalman_mt])
+    assert "Kalman" in text
+    assert "4-thread gain" in text

@@ -1,0 +1,66 @@
+"""The EPI energy model (paper section 1)."""
+
+import pytest
+
+from repro.kernels import kernel_by_abbrev
+from repro.perf.energy import (
+    CPU_EPI,
+    GMA_EPI,
+    EnergyEstimate,
+    estimate_energy,
+    format_energy_table,
+)
+from repro.perf.study import SMOKE_GEOMETRIES, measure_kernel
+
+
+@pytest.fixture(scope="module")
+def measurement():
+    return measure_kernel(kernel_by_abbrev("SepiaTone"),
+                          SMOKE_GEOMETRIES["SepiaTone"])
+
+
+def test_paper_epi_constants():
+    assert CPU_EPI == pytest.approx(10e-9)
+    assert GMA_EPI == pytest.approx(0.3e-9)
+
+
+def test_estimate_fields(measurement):
+    est = estimate_energy(measurement)
+    assert est.kernel_abbrev == "SepiaTone"
+    assert est.gma_instructions == measurement.instructions
+    assert est.cpu_joules == pytest.approx(est.cpu_instructions * CPU_EPI)
+    assert est.gma_joules == pytest.approx(est.gma_instructions * GMA_EPI)
+
+
+def test_offload_saves_energy(measurement):
+    est = estimate_energy(measurement)
+    assert est.energy_ratio > 5
+    assert est.edp_ratio > est.energy_ratio  # it is faster AND cheaper
+
+
+def test_power_is_plausible(measurement):
+    est = estimate_energy(measurement)
+    # a Core 2 core burns tens of watts; the GMA a handful
+    assert 5 < est.cpu_watts < 100
+    assert est.gma_watts < est.cpu_watts
+
+
+def test_custom_epi_scales_linearly(measurement):
+    base = estimate_energy(measurement)
+    doubled = estimate_energy(measurement, cpu_epi=2 * CPU_EPI)
+    assert doubled.cpu_joules == pytest.approx(2 * base.cpu_joules)
+    assert doubled.gma_joules == base.gma_joules
+
+
+def test_zero_division_guards():
+    est = EnergyEstimate("x", 0, 0, 0.0, 0.0, 0.0, 0.0)
+    assert est.energy_ratio == 0.0
+    assert est.edp_ratio == 0.0
+    assert est.cpu_watts == 0.0
+
+
+def test_table_formatting(measurement):
+    text = format_energy_table({"SepiaTone": measurement})
+    assert "SepiaTone" in text
+    assert "GEOMEAN" in text
+    assert "0.3 nJ" in text

@@ -1,0 +1,52 @@
+"""Report formatters produce the rows the paper's artifacts need."""
+
+import pytest
+
+from repro.kernels import kernel_by_abbrev
+from repro.perf.report import (
+    format_figure7,
+    format_figure8,
+    format_figure10,
+    format_flush_ablation,
+)
+from repro.perf.study import SMOKE_GEOMETRIES, measure_kernel
+
+
+@pytest.fixture(scope="module")
+def mini_suite():
+    return {
+        abbrev: measure_kernel(kernel_by_abbrev(abbrev),
+                               SMOKE_GEOMETRIES[abbrev])
+        for abbrev in ("BOB", "SepiaTone")
+    }
+
+
+def test_figure7_rows(mini_suite):
+    text = format_figure7(mini_suite)
+    assert "BOB" in text and "SepiaTone" in text
+    assert "1.41x (exact)" in text
+    assert "GMA bound by" in text
+
+
+def test_figure8_rows_and_average(mini_suite):
+    text = format_figure8(mini_suite)
+    assert "paper 70.5%" in text and "paper 85.3%" in text
+    assert "AVERAGE" in text
+    # speedups render with an x suffix
+    assert text.count("x") > 4
+
+
+def test_figure10_rows(mini_suite):
+    text = format_figure10(mini_suite)
+    assert "0% on IA32" in text
+    assert "oracle" in text
+    for line in text.splitlines()[3:]:
+        # oracle gain column ends with a percentage
+        assert "%" in line
+
+
+def test_flush_ablation_rows(mini_suite):
+    text = format_flush_ablation(mini_suite["SepiaTone"])
+    assert "up-front flush @ 2 GB/s" in text
+    assert "paper: 3.15x" in text
+    assert "interleaved" in text

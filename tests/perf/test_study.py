@@ -1,0 +1,115 @@
+"""Evaluation harness: measurements, memory models, partitions, reports."""
+
+import pytest
+
+from repro.kernels import Geometry, kernel_by_abbrev
+from repro.memory.flushing import FlushPolicy
+from repro.perf.machine import DEFAULT_MACHINE
+from repro.perf.memory_models import MemoryModel, communication_cost
+from repro.perf.report import format_table, format_table2
+from repro.perf.study import (
+    BENCH_GEOMETRIES,
+    SMOKE_GEOMETRIES,
+    measure_kernel,
+)
+
+
+@pytest.fixture(scope="module")
+def bob_measurement():
+    return measure_kernel(kernel_by_abbrev("BOB"), SMOKE_GEOMETRIES["BOB"])
+
+
+class TestMeasurement:
+    def test_measurement_fields(self, bob_measurement):
+        m = bob_measurement
+        assert m.gma_seconds > 0
+        assert m.cpu_seconds > 0
+        assert m.in_bytes > 0 and m.out_bytes > 0
+        assert m.speedup == m.cpu_seconds / m.gma_seconds
+
+    def test_speedup_scale_invariant(self):
+        """Per the scaling note: the speedup ratio survives geometry
+        scaling (both sides scale with pixels)."""
+        kernel = kernel_by_abbrev("SepiaTone")
+        small = measure_kernel(kernel, Geometry(80, 48))
+        large = measure_kernel(kernel, Geometry(160, 96))
+        assert small.speedup == pytest.approx(large.speedup, rel=0.25)
+
+    def test_bench_geometries_keep_device_busy(self):
+        for abbrev, geom in BENCH_GEOMETRIES.items():
+            kernel = kernel_by_abbrev(abbrev)
+            shreds = kernel.frame_shreds(geom)
+            count = DEFAULT_MACHINE.gma.num_sequencers
+            assert shreds >= count, f"{abbrev}: {shreds} shreds"
+            assert shreds % count == 0 or shreds >= 4 * count, (
+                f"{abbrev}: straggler wave ({shreds} shreds)")
+
+
+class TestMemoryModels:
+    def test_ordering_per_model(self, bob_measurement):
+        m = bob_measurement
+        cc = m.model_seconds(MemoryModel.CC_SHARED)
+        ncc = m.model_seconds(MemoryModel.NONCC_SHARED)
+        dc = m.model_seconds(MemoryModel.DATA_COPY)
+        assert cc == m.gma_seconds
+        assert cc < ncc < dc
+
+    def test_relative_performance_bounds(self, bob_measurement):
+        for model in MemoryModel:
+            rel = bob_measurement.relative_performance(model)
+            assert 0 < rel <= 1.0
+
+    def test_communication_cost_cc_is_free(self):
+        cost = communication_cost(MemoryModel.CC_SHARED, 1000, 1000, 1.0,
+                                  10, 32, DEFAULT_MACHINE.bandwidth)
+        assert cost.total_seconds == 0.0
+
+    def test_data_copy_uses_paper_rate(self):
+        cost = communication_cost(MemoryModel.DATA_COPY, int(3.1e9), 0, 1.0,
+                                  10, 32, DEFAULT_MACHINE.bandwidth)
+        assert cost.exposed_seconds == pytest.approx(1.0)
+
+    def test_noncc_output_flush_optional(self):
+        with_out = communication_cost(
+            MemoryModel.NONCC_SHARED, 1000, 100000, 1.0, 100, 32,
+            DEFAULT_MACHINE.bandwidth)
+        without = communication_cost(
+            MemoryModel.NONCC_SHARED, 1000, 100000, 1.0, 100, 32,
+            DEFAULT_MACHINE.bandwidth, include_output_flush=False)
+        assert with_out.exposed_seconds > without.exposed_seconds
+
+    def test_flush_policy_matters(self, bob_measurement):
+        m = bob_measurement
+        upfront = m.model_seconds(MemoryModel.NONCC_SHARED,
+                                  flush_policy=FlushPolicy.UPFRONT)
+        interleaved = m.model_seconds(MemoryModel.NONCC_SHARED,
+                                      flush_policy=FlushPolicy.INTERLEAVED)
+        assert interleaved <= upfront
+
+
+class TestPartitions:
+    def test_partition_policies(self, bob_measurement):
+        m = bob_measurement
+        oracle = m.partition("oracle")
+        static = m.partition("static", cpu_fraction=0.25)
+        dynamic = m.partition("dynamic", num_chunks=128)
+        assert oracle.total_seconds <= static.total_seconds
+        assert dynamic.total_seconds <= oracle.total_seconds * 1.05
+        with pytest.raises(ValueError):
+            m.partition("banana")
+
+
+class TestReports:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "---" in lines[2]
+
+    def test_table2_report_mentions_all_kernels(self):
+        text = format_table2()
+        for abbrev in ("LinearFilter", "SepiaTone", "FGT", "Bicubic",
+                       "Kalman", "FMD", "AlphaBlend", "BOB", "ADVDI",
+                       "ProcAmp"):
+            assert abbrev in text
+        assert "83,500" in text

@@ -1,0 +1,61 @@
+"""Chrome-trace export of device runs."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exo.shred import ShredDescriptor
+from repro.isa.assembler import assemble
+from repro.isa.types import DataType
+from repro.memory.surface import Surface
+from repro.perf.trace import chrome_trace_events, export_chrome_trace
+
+
+@pytest.fixture
+def run_result(device, space):
+    out = Surface.alloc(space, "OUT", 64, 1, DataType.DW)
+    program = assemble("st.1.dw (OUT, i, 0) = i\nend", name="writer")
+    shreds = [ShredDescriptor(program=program, bindings={"i": i},
+                              surfaces={"OUT": out}) for i in range(48)]
+    return device.run(shreds)
+
+
+def test_spans_cover_every_shred(run_result):
+    assert len(run_result.timing.spans) == 48
+    for start, finish, eu, slot in run_result.timing.spans.values():
+        assert 0 <= start <= finish
+        assert 0 <= eu < 8 and 0 <= slot < 4
+
+
+def test_events_shape(run_result):
+    events = chrome_trace_events(run_result)
+    metas = [e for e in events if e["ph"] == "M"]
+    shreds = [e for e in events if e["ph"] == "X"]
+    assert len(metas) == 8  # one process-name record per EU
+    assert len(shreds) == 48
+    for event in shreds:
+        assert event["dur"] > 0
+        assert "writer" in event["name"]
+        assert event["args"]["instructions"] == 2
+
+
+def test_spans_respect_finish_times(run_result):
+    for shred_id, (start, finish, _, _) in run_result.timing.spans.items():
+        assert finish == run_result.timing.finish_times[shred_id]
+
+
+def test_export_writes_valid_json(run_result, tmp_path):
+    path = tmp_path / "run.trace.json"
+    count = export_chrome_trace(run_result, path)
+    data = json.loads(path.read_text())
+    assert len(data["traceEvents"]) == count
+    assert count == 48 + 8
+
+
+def test_queue_waves_are_visible(run_result):
+    """48 shreds on 32 contexts: 16 contexts run a second shred whose
+    start is gated by the first wave — the queue-drain picture."""
+    starts = sorted(span[0] for span in run_result.timing.spans.values())
+    assert starts[0] == 0.0
+    assert starts[-1] > 0.0  # the second wave starts strictly later

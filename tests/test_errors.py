@@ -1,0 +1,62 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_everything_derives_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, errors.ReproError), name
+
+
+def test_assembly_error_line_prefix():
+    err = errors.AssemblyError("bad operand", line=12)
+    assert "line 12" in str(err)
+    assert err.line == 12
+    assert "line" not in str(errors.AssemblyError("bad operand"))
+
+
+def test_tlb_miss_carries_context():
+    err = errors.TlbMiss(0x1234, sequencer="gma")
+    assert err.vaddr == 0x1234
+    assert err.sequencer == "gma"
+    assert issubclass(errors.TlbMiss, errors.MemorySystemError)
+
+
+def test_translation_and_protection_fault_kinds():
+    read = errors.TranslationFault(0x1000)
+    write = errors.TranslationFault(0x1000, write=True)
+    assert "read" in str(read) and "write" in str(write)
+    prot = errors.ProtectionFault(0x2000, write=True)
+    assert prot.vaddr == 0x2000
+
+
+def test_execution_fault_family():
+    for klass in (errors.DivideByZeroFault, errors.FpOverflowFault,
+                  errors.UnsupportedOperationFault,
+                  errors.IllegalInstructionFault):
+        fault = klass("boom", instruction="fake", lane=3)
+        assert isinstance(fault, errors.ExecutionFault)
+        assert fault.lane == 3
+        assert fault.instruction == "fake"
+
+
+def test_frontend_error_positions():
+    assert "3:7" in str(errors.ParseError("oops", line=3, col=7))
+    assert str(errors.LexError("oops", line=3)).startswith("3:")
+    assert issubclass(errors.SemanticError, errors.FrontendError)
+
+
+def test_chi_error_family():
+    for klass in (errors.DescriptorError, errors.SchedulingError,
+                  errors.PragmaError, errors.DebuggerError):
+        assert issubclass(klass, errors.ChiError)
+
+
+def test_catch_all_boundary():
+    """Library code never needs to catch bare Exception for its own errors."""
+    with pytest.raises(errors.ReproError):
+        raise errors.CoherenceViolation("stale read")

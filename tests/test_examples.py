@@ -1,0 +1,32 @@
+"""Every example script runs to completion (integration smoke tests).
+
+The examples double as end-to-end integration tests of the public API —
+each one asserts its own correctness conditions internally and prints an
+"... OK" line on success.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_are_present():
+    assert len(SCRIPTS) >= 3  # the deliverable floor; we ship more
+    assert "quickstart.py" in SCRIPTS
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=600,
+        cwd=str(EXAMPLES_DIR.parent))
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}")
+    assert "OK" in result.stdout

@@ -1,0 +1,148 @@
+"""The driver-based GPGPU baseline stack (Figure 1(a))."""
+
+import numpy as np
+import pytest
+
+from repro.gpgpu import GpgpuDriver
+from repro.gpgpu.driver import DriverError
+from repro.isa.types import DataType
+
+VECADD = """
+    shl.1.dw vr1 = i, 3
+    ld.8.dw [vr2..vr9] = (A, vr1, 0)
+    ld.8.dw [vr10..vr17] = (B, vr1, 0)
+    add.8.dw [vr18..vr25] = [vr2..vr9], [vr10..vr17]
+    st.8.dw (C, vr1, 0) = [vr18..vr25]
+    end
+"""
+
+
+@pytest.fixture
+def driver():
+    return GpgpuDriver()
+
+
+class TestMemoryApi:
+    def test_malloc_memcpy_roundtrip(self, driver):
+        handle = driver.malloc(64, width=16, dtype=DataType.DW)
+        driver.memcpy_htod(handle, np.arange(16.0))
+        got = driver.memcpy_dtoh(handle)
+        assert np.array_equal(got, np.arange(16.0))
+
+    def test_copy_costs_accrue_at_paper_rate(self, driver):
+        handle = driver.malloc(int(3.1e6), dtype=DataType.UB)
+        driver.memcpy_htod(handle, np.zeros(int(3.1e6)))
+        assert driver.stats.copy_seconds == pytest.approx(1e-3)
+        assert driver.stats.bytes_host_to_device == int(3.1e6)
+
+    def test_every_call_pays_driver_overhead(self, driver):
+        before = driver.stats.driver_calls
+        handle = driver.malloc(16)
+        driver.memcpy_htod(handle, np.zeros(16))
+        driver.memcpy_dtoh(handle)
+        driver.free(handle)
+        assert driver.stats.driver_calls == before + 4
+        assert driver.stats.overhead_seconds == pytest.approx(
+            driver.stats.driver_calls * driver.call_overhead_seconds)
+
+    def test_bad_handles(self, driver):
+        with pytest.raises(DriverError, match="unknown buffer"):
+            driver.memcpy_dtoh(999)
+        handle = driver.malloc(16)
+        driver.free(handle)
+        with pytest.raises(DriverError, match="was freed"):
+            driver.memcpy_htod(handle, np.zeros(4))
+
+    def test_oversized_copy_rejected(self, driver):
+        handle = driver.malloc(8, dtype=DataType.UB)
+        with pytest.raises(DriverError, match="exceeds buffer"):
+            driver.memcpy_htod(handle, np.zeros(64))
+
+    def test_size_validation(self, driver):
+        with pytest.raises(DriverError, match="positive"):
+            driver.malloc(0)
+
+
+class TestKernels:
+    def test_vecadd_through_the_driver(self, driver):
+        n = 32
+        a = driver.malloc(n * 4, width=n, dtype=DataType.DW)
+        b = driver.malloc(n * 4, width=n, dtype=DataType.DW)
+        c = driver.malloc(n * 4, width=n, dtype=DataType.DW)
+        driver.memcpy_htod(a, np.arange(n))
+        driver.memcpy_htod(b, np.arange(n) * 2)
+        kernel = driver.load_kernel(VECADD, "vecadd")
+        seconds = driver.launch(kernel, [{"i": i} for i in range(n // 8)],
+                                buffers={"A": a, "B": b, "C": c})
+        assert seconds > 0
+        got = driver.memcpy_dtoh(c)
+        assert np.array_equal(got, np.arange(n) * 3)
+
+    def test_unknown_kernel(self, driver):
+        with pytest.raises(DriverError, match="unknown kernel"):
+            driver.launch(42, [], buffers={})
+
+
+class TestSeparateAddressSpaces:
+    def test_device_memory_is_not_host_visible(self, driver):
+        """The defining property of Figure 1(a): no shared pointers."""
+        from repro.memory.address_space import AddressSpace
+
+        host_space = AddressSpace()
+        handle = driver.malloc(16, dtype=DataType.DW, width=4)
+        driver.memcpy_htod(handle, np.array([1.0, 2.0, 3.0, 4.0]))
+        buffer = driver._buffers[handle]
+        # the device surface's vaddr means nothing in the host space
+        assert host_space.allocation_size(buffer.surface.base) is None
+
+    def test_communication_is_copy_only(self, driver):
+        """Mutating host data after the copy does not affect the device —
+        unlike EXOCHI's shared virtual memory, where it would."""
+        data = np.arange(8.0)
+        handle = driver.malloc(32, width=8, dtype=DataType.DW)
+        driver.memcpy_htod(handle, data)
+        data[:] = 0  # host-side change after the explicit copy
+        assert np.array_equal(driver.memcpy_dtoh(handle), np.arange(8.0))
+
+
+class TestBaselineComparison:
+    def test_exochi_moves_no_bytes_where_the_driver_copies(self):
+        """The quantitative point of section 5.2 at the API level."""
+        from repro.chi import ChiRuntime, ExoPlatform
+        from repro.memory.surface import Surface
+
+        n = 64
+        # driver path
+        driver = GpgpuDriver()
+        a = driver.malloc(n * 4, width=n, dtype=DataType.DW)
+        c = driver.malloc(n * 4, width=n, dtype=DataType.DW)
+        driver.memcpy_htod(a, np.arange(n))
+        kernel = driver.load_kernel("""
+            shl.1.dw vr1 = i, 3
+            ld.8.dw [vr2..vr9] = (A, vr1, 0)
+            add.8.dw [vr10..vr17] = [vr2..vr9], [vr2..vr9]
+            st.8.dw (C, vr1, 0) = [vr10..vr17]
+            end
+        """)
+        driver.launch(kernel, [{"i": i} for i in range(n // 8)],
+                      buffers={"A": a, "C": c})
+        driver.memcpy_dtoh(c)
+        assert driver.stats.copy_seconds > 0
+        assert driver.stats.driver_calls >= 5
+
+        # EXOCHI path: same computation, zero copies, zero driver calls
+        rt = ChiRuntime(ExoPlatform())
+        src = Surface.alloc(rt.platform.space, "A", n, 1, DataType.DW)
+        dst = Surface.alloc(rt.platform.space, "C", n, 1, DataType.DW)
+        src.upload(rt.platform.host, np.arange(n).reshape(1, n))
+        rt.parallel("""
+            shl.1.dw vr1 = i, 3
+            ld.8.dw [vr2..vr9] = (A, vr1, 0)
+            add.8.dw [vr10..vr17] = [vr2..vr9], [vr2..vr9]
+            st.8.dw (C, vr1, 0) = [vr10..vr17]
+            end
+        """, shared={"A": src, "C": dst},
+            private=[{"i": i} for i in range(n // 8)])
+        assert rt.stats.bytes_copied == 0
+        got = dst.download(rt.platform.host).reshape(-1)
+        assert np.array_equal(got, np.arange(n) * 2)
