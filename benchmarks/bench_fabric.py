@@ -1,0 +1,83 @@
+"""The device fabric: multi-accelerator scaling and work-stealing dispatch.
+
+Two claims to hold the new subsystem to:
+
+* an N-accelerator fabric (every GMA sharing the one virtual address
+  space) drains a parallel region strictly faster than a single device —
+  the scaling the EXO model's shared virtual memory makes cheap;
+* the event-driven work-stealing dispatcher is a faithful generalization
+  of section 5.3's self-scheduling: run over one two-sequencer loop it
+  converges to the oracle partition as chunks shrink, for every Table 2
+  kernel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chi import ChiRuntime, ExoPlatform
+
+KERNEL = """
+    mul.1.dw vr1 = tid, 3
+    add.1.dw vr2 = vr1, 1
+    add.1.dw vr3 = vr2, vr1
+    end
+"""
+SHREDS = 256
+
+
+def region_seconds(num_devices: int) -> float:
+    rt = ChiRuntime(ExoPlatform(num_gma_devices=num_devices))
+    region = rt.parallel(KERNEL, num_threads=SHREDS)
+    assert region.result.shreds_executed == SHREDS
+    return region.gma_seconds
+
+
+def test_fabric_scaling(show):
+    lines = [f"{SHREDS}-shred region across N GMA X3000 devices:"]
+    seconds = {n: region_seconds(n) for n in (1, 2, 4)}
+    for n, s in seconds.items():
+        bar = "#" * int(40 * s / seconds[1])
+        lines.append(f"  {n} device(s): {s * 1e6:8.3f} us  {bar}")
+    show("\n".join(lines))
+
+    # the acceptance bar: two devices are strictly faster than one
+    assert seconds[2] < seconds[1]
+    assert seconds[4] < seconds[2]
+
+
+def test_fabric_split_is_balanced():
+    rt = ChiRuntime(ExoPlatform(num_gma_devices=2))
+    rt.parallel(KERNEL, num_threads=SHREDS)
+    shreds = rt.stats.device_shreds
+    assert abs(shreds["gma0"] - shreds["gma1"]) <= 2
+
+
+def test_work_stealing_converges_to_oracle(suite, show):
+    """The dispatcher's two-device outcome lands within 5% of the oracle
+    at fine chunking, for every kernel in the suite."""
+    lines = ["work-stealing vs oracle (gap at 16 / 64 / 256 chunks):"]
+    for abbrev, m in suite.items():
+        oracle = m.partition("oracle").total_seconds
+        gaps = []
+        for chunks in (16, 64, 256):
+            ws = m.partition("work-stealing", num_chunks=chunks)
+            gaps.append(ws.total_seconds / oracle - 1)
+        lines.append(f"  {abbrev:10s} " +
+                     "  ".join(f"{100 * g:+6.2f}%" for g in gaps))
+        # convergence is not monotone chunk by chunk (a coarse split can
+        # land on the oracle point by luck); the bound at fine chunking
+        # is the claim
+        assert m.partition(
+            "work-stealing", num_chunks=256).total_seconds <= oracle * 1.05
+    show("\n".join(lines))
+
+
+def test_work_stealing_tracks_dynamic_partition(suite):
+    """Queue-based stealing and the closed-form greedy loop describe the
+    same mechanism; their outcomes agree to within one chunk."""
+    for m in suite.values():
+        dyn = m.partition("dynamic", num_chunks=128).total_seconds
+        ws = m.partition("work-stealing", num_chunks=128).total_seconds
+        chunk = max(m.cpu_seconds, m.gma_seconds) / 128
+        assert ws == pytest.approx(dyn, abs=chunk)

@@ -1,0 +1,74 @@
+"""The device fabric: one parallel region across N accelerators.
+
+Builds EXO platforms with 1, 2 and 4 GMA X3000 devices — all sharing one
+virtual address space, as the EXO model makes cheap — and drains the same
+parallel region through the work-stealing dispatcher, then shows the
+dispatcher converging to the paper's oracle partition when the IA32
+sequencer cooperates (section 5.3).
+
+Run:  python examples/fabric_scaling.py
+"""
+
+import numpy as np
+
+from repro import ChiRuntime, DataType, ExoPlatform, Surface
+from repro.chi.scheduler import oracle_partition, work_stealing_partition
+
+KERNEL = """
+    shl.1.dw vr1 = tid, 3
+    ld.8.dw [vr2..vr9] = (A, vr1, 0)
+    add.8.dw [vr10..vr17] = [vr2..vr9], [vr2..vr9]
+    st.8.dw (C, vr1, 0) = [vr10..vr17]
+    end
+"""
+N = 512  # elements; one shred per 8
+
+
+def run_region(num_devices: int) -> float:
+    rt = ChiRuntime(ExoPlatform(num_gma_devices=num_devices))
+    space = rt.platform.space
+    a = Surface.alloc(space, "A", N, 1, DataType.DW)
+    c = Surface.alloc(space, "C", N, 1, DataType.DW)
+    a.upload(rt.platform.host, np.arange(N, dtype=float).reshape(1, N))
+
+    region = rt.parallel(KERNEL, shared={"A": a, "C": c},
+                         num_threads=N // 8)
+    got = c.download(rt.platform.host).reshape(-1)
+    assert np.array_equal(got, np.arange(N) * 2.0), "wrong results"
+
+    print(f"  {num_devices} device(s): {region.gma_seconds * 1e6:7.3f} us", end="")
+    if num_devices > 1:
+        split = ", ".join(
+            f"{name}={rt.stats.device_shreds[name]}"
+            for name in sorted(rt.stats.device_shreds))
+        print(f"   shreds: {split}")
+    else:
+        print()
+    return region.gma_seconds
+
+
+def main() -> None:
+    print(f"{N // 8}-shred doubling kernel across the fabric:")
+    seconds = [run_region(n) for n in (1, 2, 4)]
+    assert seconds[1] < seconds[0], "two devices must beat one"
+    assert seconds[2] < seconds[1], "four must beat two"
+    print(f"  2-device speedup {seconds[0] / seconds[1]:.2f}x, "
+          f"4-device {seconds[0] / seconds[2]:.2f}x")
+
+    print("\nIA32 sequencer cooperating via work stealing "
+          "(7 us of CPU work vs 2 us of GMA work):")
+    oracle = oracle_partition(7e-6, 2e-6)
+    for chunks in (4, 16, 64, 256):
+        ws = work_stealing_partition(7e-6, 2e-6, chunks)
+        gap = ws.total_seconds / oracle.total_seconds - 1
+        print(f"  {chunks:4d} chunks: {ws.total_seconds * 1e6:6.3f} us "
+              f"({100 * gap:+5.1f}% vs oracle, "
+              f"{100 * ws.cpu_fraction:3.0f}% stolen by IA32)")
+    final = work_stealing_partition(7e-6, 2e-6, 256)
+    assert final.total_seconds <= oracle.total_seconds * 1.05
+
+    print("\nfabric_scaling OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,7 +20,11 @@ import numpy as np
 
 from ..cpu.ia32 import Ia32Cpu
 from ..cpu.timing import CpuTimingConfig
+from ..errors import SchedulingError
 from ..exo.exoskeleton import Exoskeleton
+from ..fabric.device import GmaFabricDevice, Ia32FabricDevice
+from ..fabric.queue import AdmissionPolicy, DeviceWorkQueue
+from ..fabric.registry import DeviceRegistry
 from ..gma.device import GmaDevice
 from ..gma.timing import GmaTimingConfig
 from ..memory.address_space import AddressSpace
@@ -62,27 +66,67 @@ class HostAccessor:
 
 
 class ExoPlatform:
-    """One simulated Santa Rosa box: Core 2 Duo + 965G with GMA X3000."""
+    """One simulated Santa Rosa box: Core 2 Duo + 965G with GMA X3000.
+
+    ``num_gma_devices`` scales the box out to an N-accelerator fabric:
+    every GMA instance shares the one virtual address space, exoskeleton
+    and coherence point (the shared-virtual-memory multi-accelerator
+    baseline), and registers in :attr:`fabric` alongside the IA32
+    sequencer class.  ``queue_depth`` / ``admission_policy`` configure the
+    per-device admission queues (see :mod:`repro.fabric.queue`).
+    """
 
     def __init__(self,
                  shared_virtual_memory: bool = True,
                  coherent: bool = True,
                  strict_coherence: bool = False,
-                 gma_config: GmaTimingConfig = GmaTimingConfig(),
-                 cpu_config: CpuTimingConfig = CpuTimingConfig(),
-                 bandwidth: BandwidthModel = BandwidthModel(),
-                 space: Optional[AddressSpace] = None):
+                 gma_config: Optional[GmaTimingConfig] = None,
+                 cpu_config: Optional[CpuTimingConfig] = None,
+                 bandwidth: Optional[BandwidthModel] = None,
+                 space: Optional[AddressSpace] = None,
+                 num_gma_devices: int = 1,
+                 queue_depth: Optional[int] = None,
+                 admission_policy=AdmissionPolicy.RAISE):
+        if num_gma_devices < 1:
+            raise SchedulingError(
+                f"need at least one GMA device, got {num_gma_devices}")
+        gma_config = gma_config if gma_config is not None else GmaTimingConfig()
+        cpu_config = cpu_config if cpu_config is not None else CpuTimingConfig()
         self.shared_virtual_memory = shared_virtual_memory
         self.coherent = coherent
         self.space = space or AddressSpace()
         self.coherence = CoherencePoint(coherent=coherent,
                                         strict=strict_coherence)
         self.exoskeleton = Exoskeleton(self.space)
-        self.device = GmaDevice(self.space, exoskeleton=self.exoskeleton,
-                                config=gma_config, coherence=self.coherence)
         self.cpu = Ia32Cpu(cpu_config)
-        self.bandwidth = bandwidth
+        self.bandwidth = bandwidth if bandwidth is not None else BandwidthModel()
         self.host = HostAccessor(self.space, self.coherence)
+
+        policy = AdmissionPolicy.coerce(admission_policy)
+        self.fabric = DeviceRegistry()
+        for i in range(num_gma_devices):
+            gma = GmaDevice(self.space, exoskeleton=self.exoskeleton,
+                            config=gma_config, coherence=self.coherence)
+            self.fabric.register(GmaFabricDevice(
+                f"gma{i}", gma, queue=self._make_queue(f"gma{i}",
+                                                       queue_depth, policy)))
+        self.fabric.register(Ia32FabricDevice(
+            "ia32", self.cpu, queue=self._make_queue("ia32", queue_depth,
+                                                     policy)))
+        #: The primary accelerator, kept for single-device call sites.
+        self.device = self.fabric.get("gma0").gma
+
+    @staticmethod
+    def _make_queue(name: str, depth: Optional[int],
+                    policy: AdmissionPolicy) -> DeviceWorkQueue:
+        if depth is None:
+            return DeviceWorkQueue(policy=policy, name=name)
+        return DeviceWorkQueue(depth=depth, policy=policy, name=name)
+
+    @property
+    def gma_devices(self):
+        """Shred-executing GMA backends, in registration order."""
+        return self.fabric.devices_for(GmaDevice.ISA, executing=True)
 
     @property
     def config_name(self) -> str:

@@ -19,8 +19,14 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from ..cpu.ia32 import CpuWork
-from ..errors import ChiError, DescriptorError, PragmaError, SchedulingError
+from ..errors import ChiError, DescriptorError, PragmaError
 from ..exo.shred import ShredDescriptor
+from ..fabric.device import DeviceRunReport, FabricRunResult
+from ..fabric.dispatcher import (
+    WorkItem,
+    WorkStealingDispatcher,
+    dependency_groups,
+)
 from ..gma.firmware import GmaRunResult
 from ..isa.assembler import assemble
 from ..isa.program import Program
@@ -52,10 +58,16 @@ class Timeline:
 
 @dataclass
 class ParallelRegion:
-    """Handle for one heterogeneous parallel construct."""
+    """Handle for one heterogeneous parallel construct.
+
+    ``result`` is a :class:`~repro.gma.firmware.GmaRunResult` when the
+    region ran on a single fabric device (the common case) or a
+    :class:`~repro.fabric.device.FabricRunResult` when the dispatcher
+    spread it across several; both expose the same aggregate counters.
+    """
 
     runtime: "ChiRuntime"
-    result: GmaRunResult
+    result: Union[GmaRunResult, FabricRunResult]
     gma_seconds: float
     completion_time: float
     master_nowait: bool
@@ -122,7 +134,8 @@ class TaskQueue:
     def __exit__(self, exc_type, exc, tb) -> bool:
         if exc_type is None:
             self.region = self.runtime._launch(
-                self._shreds, master_nowait=self.master_nowait)
+                self._shreds, master_nowait=self.master_nowait,
+                target=self.target)
         return False
 
 
@@ -172,28 +185,53 @@ class ChiRuntime:
         self._check_isa(target_isa)
         desc.modify(attrib, value)
 
-    #: Feature names API #4 understands natively ("An application can
+    #: Feature names APIs #4/#5 understand natively ("An application can
     #: directly utilize new hardware features simply by making the
     #: appropriate call", section 4.4); unknown names are stored verbatim
-    #: for application-defined use.
-    KNOWN_FEATURES = {"sampler_filter": ("bilinear", "nearest")}
+    #: for application-defined use.  A tuple lists the accepted values;
+    #: the ``"numeric"`` sentinel accepts any real number.
+    KNOWN_FEATURES = {
+        "sampler_filter": ("bilinear", "nearest"),
+        "priority": "numeric",
+    }
+
+    def _validate_feature(self, feature: str, value) -> None:
+        rule = self.KNOWN_FEATURES.get(feature)
+        if rule is None:
+            return
+        if rule == "numeric":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ChiError(
+                    f"feature {feature!r} needs a numeric value, "
+                    f"got {value!r}")
+        elif value not in rule:
+            raise ChiError(
+                f"feature {feature!r} accepts {rule}, got {value!r}")
 
     def chi_set_feature(self, target_isa: str, feature: str, value) -> None:
         """API #4: a global change applying to all exo-sequencer state."""
         self._check_isa(target_isa)
-        if feature in self.KNOWN_FEATURES:
-            allowed = self.KNOWN_FEATURES[feature]
-            if value not in allowed:
-                raise ChiError(
-                    f"feature {feature!r} accepts {allowed}, got {value!r}")
-            if feature == "sampler_filter":
-                self.platform.device.sampler.filter_mode = value
+        self._validate_feature(feature, value)
+        if feature == "sampler_filter":
+            for fd in self.platform.fabric.devices_for(target_isa,
+                                                       executing=True):
+                gma = getattr(fd, "gma", None)
+                if gma is None and hasattr(fd, "driver"):
+                    gma = fd.driver.device
+                if gma is not None:
+                    gma.sampler.filter_mode = value
         self._features.setdefault(target_isa, {})[feature] = value
 
     def chi_set_feature_pershred(self, target_isa: str, shred_id: int,
                                  feature: str, value) -> None:
-        """API #5: change an exo-sequencer's state for one shred."""
+        """API #5: change an exo-sequencer's state for one shred.
+
+        Values of known features are validated exactly as
+        :meth:`chi_set_feature` validates them, so a mistyped per-shred
+        priority fails here rather than silently ordering nothing.
+        """
         self._check_isa(target_isa)
+        self._validate_feature(feature, value)
         self._pershred_features.setdefault(shred_id, {})[feature] = value
 
     def feature(self, target_isa: str, feature: str, default=None):
@@ -250,7 +288,8 @@ class ChiRuntime:
                             surfaces=surfaces)
             for b in bindings_list
         ]
-        return self._launch(shreds, master_nowait=master_nowait)
+        return self._launch(shreds, master_nowait=master_nowait,
+                            target=target)
 
     def taskq(self, target: str = "X3000",
               master_nowait: bool = False) -> TaskQueue:
@@ -275,8 +314,9 @@ class ChiRuntime:
     # ------------------------------------------------------------------
 
     def _launch(self, shreds: List[ShredDescriptor],
-                master_nowait: bool) -> ParallelRegion:
+                master_nowait: bool, target: str = "X3000") -> ParallelRegion:
         platform = self.platform
+        devices = platform.fabric.require(target, executing=True)
         # per-shred priorities (API #5) order the work queue: "the CHI
         # runtime allows programmers to carefully orchestrate shred
         # scheduling" (section 5.1).  Stable sort keeps the locality of
@@ -297,8 +337,14 @@ class ChiRuntime:
             self.timeline.host_busy(flush_seconds, "cache-flush")
             self.stats.flush_seconds += flush_seconds
 
-        result = platform.device.run(shreds)
-        gma_seconds = platform.gma_seconds(result.cycles)
+        if len(devices) == 1:
+            report = devices[0].run_shreds(shreds)
+            result = report.merged_result()
+            reports = [report]
+        else:
+            reports = self._dispatch_fabric(shreds, devices)
+            result = FabricRunResult(reports=reports)
+        gma_seconds = max((r.seconds for r in reports), default=0.0)
 
         if not platform.shared_virtual_memory:
             # results come back by explicit copy as well
@@ -307,7 +353,14 @@ class ChiRuntime:
             # the device commits its lines before releasing the semaphore
             platform.coherence.flush("gma")
 
-        completion = self.timeline.async_span(gma_seconds, "gma-region")
+        # the devices drain concurrently: the region spans the slowest
+        completion = self.timeline.now
+        for report in reports:
+            label = ("gma-region" if len(reports) == 1
+                     else f"gma-region:{report.device}")
+            completion = max(
+                completion,
+                self.timeline.async_span(report.seconds, label))
         region = ParallelRegion(
             runtime=self, result=result, gma_seconds=gma_seconds,
             completion_time=completion, master_nowait=master_nowait)
@@ -315,9 +368,45 @@ class ChiRuntime:
         self.stats.shreds += len(shreds)
         self.stats.gma_seconds += gma_seconds
         self.stats.copy_seconds += copy_seconds
+        for report in reports:
+            self.stats.note_device(report.device, report.seconds,
+                                   report.shreds)
         if not master_nowait:
             region.wait()
         return region
+
+    def _dispatch_fabric(self, shreds: List[ShredDescriptor],
+                         devices) -> List[DeviceRunReport]:
+        """Spread one batch across several devices of the target ISA.
+
+        Dependency-connected shreds travel together (each device's work
+        queue resolves ``depends_on`` locally); whole groups are balanced
+        by the work-stealing dispatcher using each backend's own cost
+        estimate, so a driver-managed device that must copy its inputs
+        bids higher than a shared-virtual-memory device for the same work.
+        """
+        groups = dependency_groups(shreds)
+        items = [
+            WorkItem(
+                ident=index,
+                costs={d.name: d.estimate_seconds(group) for d in devices},
+                priority=max(
+                    (float(self._pershred_features
+                           .get(s.shred_id, {}).get("priority", 0))
+                     for s in group), default=0.0),
+                payload=group,
+            )
+            for index, group in enumerate(groups)
+        ]
+        dispatcher = WorkStealingDispatcher([d.name for d in devices])
+        outcome = dispatcher.dispatch(items)
+        reports = []
+        for device in devices:
+            assigned = [shred for item in outcome.items_on(device.name)
+                        for shred in item.payload]
+            if assigned:
+                reports.append(device.run_shreds(assigned))
+        return reports
 
     def _data_copy_seconds(self, shreds: List[ShredDescriptor]) -> float:
         """Explicit copies for the no-shared-virtual-memory configuration:
@@ -375,25 +464,37 @@ class ChiRuntime:
             raise PragmaError(
                 f"assembly references surfaces {sorted(missing_surfaces)} "
                 f"not provided by the shared/descriptor clauses")
-        bound = set(consts)
-        if bindings_list:
-            bound |= set(bindings_list[0])
-        missing = program.scalar_symbols() - bound - {"__spawn_arg"}
-        if missing:
-            raise PragmaError(
-                f"assembly references symbols {sorted(missing)} not bound "
-                f"by private/firstprivate clauses")
+        scalars = program.scalar_symbols() - {"__spawn_arg"}
+        if not bindings_list:
+            missing = scalars - set(consts)
+            if missing:
+                raise PragmaError(
+                    f"assembly references symbols {sorted(missing)} not "
+                    f"bound by private/firstprivate clauses")
+        # every shred launches with its own private copy; validate each
+        # binding dict, not just the first
+        for index, bindings in enumerate(bindings_list):
+            missing = scalars - set(consts) - set(bindings)
+            if missing:
+                raise PragmaError(
+                    f"assembly references symbols {sorted(missing)} not "
+                    f"bound by private/firstprivate clauses (shred {index})")
 
     def _check_isa(self, target: str) -> None:
-        if target != self.platform.device.ISA:
-            raise SchedulingError(
-                f"no accelerator with ISA {target!r} on this platform "
-                f"(have {self.platform.device.ISA})")
+        """A ``target(ISA)`` clause must resolve to at least one
+        shred-executing device in the platform's fabric."""
+        self.platform.fabric.require(target, executing=True)
 
 
 @dataclass
 class RuntimeStats:
-    """Aggregate accounting across the runtime's lifetime."""
+    """Aggregate accounting across the runtime's lifetime.
+
+    ``gma_seconds`` accumulates *region spans* (devices drain
+    concurrently, so each region contributes its slowest device);
+    ``device_seconds`` / ``device_shreds`` break the same work down per
+    fabric device, where the busy times of a multi-device region sum.
+    """
 
     regions: int = 0
     shreds: int = 0
@@ -402,3 +503,11 @@ class RuntimeStats:
     copy_seconds: float = 0.0
     flush_seconds: float = 0.0
     bytes_copied: int = 0
+    device_seconds: Dict[str, float] = field(default_factory=dict)
+    device_shreds: Dict[str, int] = field(default_factory=dict)
+
+    def note_device(self, device: str, seconds: float, shreds: int) -> None:
+        self.device_seconds[device] = (
+            self.device_seconds.get(device, 0.0) + seconds)
+        self.device_shreds[device] = (
+            self.device_shreds.get(device, 0) + shreds)

@@ -17,6 +17,12 @@ All three take the two full-work execution times (what each sequencer
 would need to do *everything*) and return a :class:`PartitionOutcome`;
 ``master_nowait`` makes the two sides overlap, so the region's time is the
 max of the two sides' busy times.
+
+These closed forms are the two-device special case of the event-driven
+work-stealing dispatcher in :mod:`repro.fabric.dispatcher`, which runs
+the same self-scheduling loop over real per-device queues for any number
+of heterogeneous devices; :func:`work_stealing_partition` exposes that
+generalization through this module's interface.
 """
 
 from __future__ import annotations
@@ -110,3 +116,16 @@ def dynamic_partition(cpu_full_seconds: float, gma_full_seconds: float,
         cpu_busy_seconds=cpu_time,
         gma_busy_seconds=gma_time,
     )
+
+
+def work_stealing_partition(cpu_full_seconds: float, gma_full_seconds: float,
+                            num_chunks: int) -> PartitionOutcome:
+    """The fabric dispatcher's outcome for the same two-sequencer loop.
+
+    Chunks live on the GMA device's queue and the idle IA32 sequencer
+    steals — the queue-based realization of :func:`dynamic_partition`.
+    Converges to :func:`oracle_partition` as ``num_chunks`` grows.
+    """
+    from ..fabric.dispatcher import work_stealing_partition as _dispatch
+
+    return _dispatch(cpu_full_seconds, gma_full_seconds, num_chunks)

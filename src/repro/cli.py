@@ -21,6 +21,7 @@ from .chi.fatbinary import FatBinary
 from .chi.frontend.driver import CompiledProgram, compile_source
 from .chi.frontend.parser import parse
 from .chi.frontend import lower, sema
+from .chi.platform import ExoPlatform
 from .errors import ReproError
 from .isa.disassembler import disassemble
 
@@ -77,10 +78,13 @@ def chirun(argv=None) -> int:
     parser_.add_argument("image", type=Path)
     parser_.add_argument("--stats", action="store_true",
                          help="print runtime statistics after execution")
+    parser_.add_argument("--gma-devices", type=int, default=1, metavar="N",
+                         help="simulate an N-accelerator fabric (default 1)")
     args = parser_.parse_args(argv)
     try:
+        platform = ExoPlatform(num_gma_devices=args.gma_devices)
         program = _load(args.image)
-        result = program.run()
+        result = program.run(platform=platform)
     except ReproError as exc:
         print(f"chirun: {exc}", file=sys.stderr)
         return 1
@@ -91,6 +95,11 @@ def chirun(argv=None) -> int:
               f"gma={stats.gma_seconds * 1e6:.1f}us "
               f"cpu={stats.cpu_seconds * 1e6:.1f}us "
               f"copied={stats.bytes_copied}B", file=sys.stderr)
+        for name in sorted(stats.device_seconds):
+            print(f"[chirun]   {name}: "
+                  f"{stats.device_seconds[name] * 1e6:.1f}us busy, "
+                  f"{stats.device_shreds.get(name, 0)} shreds",
+                  file=sys.stderr)
     value = result.exit_value
     return int(value) if isinstance(value, (int, float)) else 0
 

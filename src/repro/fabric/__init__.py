@@ -1,0 +1,55 @@
+"""The heterogeneous device fabric.
+
+The paper's CHI runtime "schedules shreds on heterogeneous targets"; one
+GMA X3000 was all the prototype hardware offered, but nothing in the
+programming model limits it to a single accelerator.  This package is the
+generalization: a :class:`~repro.fabric.registry.DeviceRegistry` of
+pluggable compute backends (N GMA devices, the IA32 sequencer class, a
+legacy driver-managed GPGPU stack), per-device bounded
+:class:`~repro.fabric.queue.DeviceWorkQueue` admission with backpressure,
+and an event-driven
+:class:`~repro.fabric.dispatcher.WorkStealingDispatcher` that plays the
+role section 5.3 sketches for the runtime's ongoing work: "whenever a
+sequencer completes its assigned work it requests additional work of the
+runtime" — here as stealing from the most-loaded peer's queue.
+
+The fabric is what :class:`~repro.chi.runtime.ChiRuntime` routes
+``target(ISA)`` constructs through, and what later sharding/batching work
+scales out.
+"""
+
+from .device import (
+    DeviceRunReport,
+    FabricDevice,
+    FabricRunResult,
+    GmaFabricDevice,
+    GpgpuFabricDevice,
+    Ia32FabricDevice,
+)
+from .dispatcher import (
+    DispatchOutcome,
+    WorkItem,
+    WorkStealingDispatcher,
+    dependency_groups,
+    work_stealing_partition,
+)
+from .queue import AdmissionPolicy, DeviceWorkQueue, QueueStats
+from .registry import DeviceRegistry
+
+__all__ = [
+    "AdmissionPolicy",
+    "DeviceRegistry",
+    "DeviceRunReport",
+    "DeviceWorkQueue",
+    "DispatchOutcome",
+    "FabricDevice",
+    "FabricRunResult",
+    "GmaFabricDevice",
+    "GpgpuFabricDevice",
+    "Ia32FabricDevice",
+    "QueueStats",
+    "WorkItem",
+    "WorkStealingDispatcher",
+    "dependency_groups",
+    "work_stealing_partition",
+]

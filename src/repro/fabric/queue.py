@@ -1,0 +1,109 @@
+"""Per-device admission queues: bounded depth, batched shreds, backpressure.
+
+The paper's software work queue "can have a far greater number of shreds
+than the number of GMA X3000 exo-sequencers" (section 3.4) — but not an
+*unbounded* number: descriptors live in pinned shared virtual memory, so a
+real runtime caps queue depth and pushes back on the producer.  Two
+backpressure behaviours are modelled:
+
+* ``AdmissionPolicy.RAISE`` — overflow is a programming error; admission
+  raises :class:`~repro.errors.SchedulingError` (the runtime's analogue of
+  ``EAGAIN``).
+* ``AdmissionPolicy.BLOCK`` — the producing IA32 shred blocks until the
+  device drains enough descriptors.  On the simulated timeline this
+  serializes the overflow: the batch is split into depth-sized sub-batches
+  that the device must drain one after another, so an oversized launch
+  pays real (simulated) time instead of overlapping perfectly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import SchedulingError
+from ..exo.shred import ShredDescriptor
+
+#: Default bound on descriptors one admission may leave in flight.
+DEFAULT_DEPTH = 1024
+
+
+class AdmissionPolicy(enum.Enum):
+    """What a full queue does to the producer."""
+
+    RAISE = "raise"
+    BLOCK = "block"
+
+    @classmethod
+    def coerce(cls, value) -> "AdmissionPolicy":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            raise SchedulingError(
+                f"unknown admission policy {value!r}; expected one of "
+                f"{[p.value for p in cls]}") from None
+
+
+@dataclass
+class QueueStats:
+    """Lifetime accounting for one device's admission queue."""
+
+    admitted: int = 0  # shreds accepted
+    batches: int = 0  # admission calls
+    sub_batches: int = 0  # drain units handed to the device
+    rejected: int = 0  # shreds refused under RAISE
+    blocked_batches: int = 0  # admissions that had to serialize under BLOCK
+    peak_depth: int = 0  # largest number of descriptors in flight at once
+
+
+class DeviceWorkQueue:
+    """Bounded admission control in front of one fabric device.
+
+    The queue does not *hold* shreds across regions — every CHI construct
+    drains to completion — it bounds how many descriptors one admission
+    may put in flight, and converts overflow into either an error or
+    serialized sub-batches (see :class:`AdmissionPolicy`).
+    """
+
+    def __init__(self, depth: int = DEFAULT_DEPTH,
+                 policy: AdmissionPolicy = AdmissionPolicy.RAISE,
+                 name: str = "queue"):
+        if depth < 1:
+            raise SchedulingError(f"queue depth must be >= 1, got {depth}")
+        self.depth = depth
+        self.policy = AdmissionPolicy.coerce(policy)
+        self.name = name
+        self.stats = QueueStats()
+
+    def admit(self, shreds: Sequence[ShredDescriptor],
+              ) -> List[List[ShredDescriptor]]:
+        """Admit one batch; returns the sub-batches to drain in order.
+
+        A batch within ``depth`` comes back as a single sub-batch (full
+        overlap on the device).  An oversized batch raises under
+        ``RAISE``; under ``BLOCK`` it is split into depth-sized sub-batches
+        the device drains back to back, which is where the producer's
+        blocked time shows up on the simulated timeline.
+        """
+        shreds = list(shreds)
+        self.stats.batches += 1
+        if not shreds:
+            return []
+        if len(shreds) > self.depth:
+            if self.policy is AdmissionPolicy.RAISE:
+                self.stats.rejected += len(shreds)
+                raise SchedulingError(
+                    f"work queue overflow on {self.name!r}: batch of "
+                    f"{len(shreds)} shreds exceeds depth {self.depth} "
+                    f"(admission policy {self.policy.value!r})")
+            self.stats.blocked_batches += 1
+        batches = [shreds[i:i + self.depth]
+                   for i in range(0, len(shreds), self.depth)]
+        self.stats.admitted += len(shreds)
+        self.stats.sub_batches += len(batches)
+        self.stats.peak_depth = max(self.stats.peak_depth,
+                                    min(len(shreds), self.depth))
+        return batches

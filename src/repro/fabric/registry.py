@@ -1,0 +1,84 @@
+"""The device registry: which backends exist and what they can run.
+
+The registry replaces the hardwired single-accelerator check the
+reproduction started with: ``target(ISA)`` clauses resolve here, and any
+backend advertising the requested ISA (and the ability to execute shred
+descriptors) is a scheduling candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List
+
+from ..errors import SchedulingError
+from .device import FabricDevice
+
+
+class DeviceRegistry:
+    """Ordered name -> device mapping with ISA-based lookup."""
+
+    def __init__(self, devices: Iterable[FabricDevice] = ()):
+        self._devices: Dict[str, FabricDevice] = {}
+        for device in devices:
+            self.register(device)
+
+    def register(self, device: FabricDevice) -> FabricDevice:
+        if device.name in self._devices:
+            raise SchedulingError(
+                f"device name {device.name!r} already registered")
+        self._devices[device.name] = device
+        return device
+
+    def get(self, name: str) -> FabricDevice:
+        device = self._devices.get(name)
+        if device is None:
+            raise SchedulingError(
+                f"no device named {name!r} in the fabric "
+                f"(have {self.names()})")
+        return device
+
+    def names(self) -> List[str]:
+        return list(self._devices)
+
+    def isas(self) -> List[str]:
+        seen = []
+        for device in self._devices.values():
+            if device.isa not in seen:
+                seen.append(device.isa)
+        return seen
+
+    def shred_targets(self) -> List[str]:
+        """ISAs for which at least one shred-executing device exists."""
+        seen = []
+        for device in self._devices.values():
+            if device.executes_shreds and device.isa not in seen:
+                seen.append(device.isa)
+        return seen
+
+    def devices_for(self, isa: str,
+                    executing: bool = False) -> List[FabricDevice]:
+        return [d for d in self._devices.values()
+                if d.isa == isa and (d.executes_shreds or not executing)]
+
+    def require(self, isa: str, executing: bool = True) -> List[FabricDevice]:
+        """The devices a ``target(isa)`` clause resolves to, or a loud
+        :class:`~repro.errors.SchedulingError` naming what exists."""
+        devices = self.devices_for(isa, executing=executing)
+        if not devices:
+            have = self.shred_targets() if executing else self.isas()
+            raise SchedulingError(
+                f"no accelerator with ISA {isa!r} in the fabric "
+                f"(have {have})")
+        return devices
+
+    def __iter__(self) -> Iterator[FabricDevice]:
+        return iter(self._devices.values())
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._devices
+
+    def describe(self) -> str:
+        return "\n".join(device.describe() for device in self)

@@ -83,6 +83,12 @@ class GpgpuDriver:
         self._handles = itertools.count(1)
         self.stats = DriverStats()
 
+    @property
+    def device(self) -> GmaDevice:
+        """The driver-managed device (inspection only; all data movement
+        still goes through the copy APIs)."""
+        return self._device
+
     # -- memory management ------------------------------------------------------
 
     def malloc(self, nbytes: int, width: Optional[int] = None,
@@ -136,6 +142,13 @@ class GpgpuDriver:
         self._enter_driver()
         handle = next(self._handles)
         self._kernels[handle] = assemble(asm_text, name=name)
+        return handle
+
+    def load_program(self, program: Program) -> int:
+        """Register an already-assembled kernel; returns a handle."""
+        self._enter_driver()
+        handle = next(self._handles)
+        self._kernels[handle] = program
         return handle
 
     def launch(self, kernel: int, grid: Sequence[Dict[str, float]],

@@ -24,6 +24,7 @@ from ..chi.scheduler import (
     dynamic_partition,
     oracle_partition,
     static_partition,
+    work_stealing_partition,
 )
 from ..cpu.ia32 import Ia32Cpu
 from ..kernels import ALL_KERNELS, Geometry, MediaKernel, run_kernel_on_gma
@@ -116,6 +117,10 @@ class KernelMeasurement:
         if policy == "dynamic":
             return dynamic_partition(self.cpu_seconds, self.gma_seconds,
                                      num_chunks or self.frame_shreds)
+        if policy == "work-stealing":
+            return work_stealing_partition(self.cpu_seconds,
+                                           self.gma_seconds,
+                                           num_chunks or self.frame_shreds)
         raise ValueError(f"unknown partition policy {policy!r}")
 
 

@@ -6,12 +6,17 @@ one thread row per hardware context, one complete event per shred.  The
 occupancy picture this draws — full EUs during the steady state, the tail
 as the work queue drains — is how the paper's authors reasoned about
 shred-level parallelism being the first-order performance factor.
+
+For multi-accelerator runs, :func:`fabric_chrome_trace_events` renders
+one *process row per fabric device* instead, with the device's hardware
+contexts as thread rows — the view where load balance across the fabric
+is the first-order picture and per-EU occupancy the second.
 """
 
 from __future__ import annotations
 
 import json
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from ..gma.firmware import GmaRunResult
 from ..gma.timing import GmaTimingConfig
@@ -53,6 +58,67 @@ def export_chrome_trace(result: GmaRunResult, path,
                         config: Optional[GmaTimingConfig] = None) -> int:
     """Write a ``chrome://tracing`` JSON file; returns the event count."""
     events = chrome_trace_events(result, config)
+    with open(path, "w") as handle:
+        json.dump({"traceEvents": events,
+                   "displayTimeUnit": "ns"}, handle)
+    return len(events)
+
+
+def fabric_chrome_trace_events(reports: Sequence) -> List[dict]:
+    """Trace Events for one fabric region: one process row per device.
+
+    ``reports`` are :class:`~repro.fabric.device.DeviceRunReport` objects
+    (duck-typed: ``device``, ``isa``, ``seconds``, ``results``,
+    ``config``).  Thread rows are the device's hardware contexts
+    (``eu * threads_per_eu + slot``); sub-batches of a blocking admission
+    appear back to back, offset by their predecessors' drain cycles.
+    Backends that expose no per-shred timing (the driver-managed stack)
+    get a single span covering their drain time.
+    """
+    events: List[dict] = []
+    for pid, report in enumerate(reports):
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid,
+            "args": {"name": f"{report.device} ({report.isa})"},
+        })
+        config = report.config
+        if config is None or not report.results:
+            if report.seconds > 0.0:
+                events.append({
+                    "ph": "X", "name": f"{report.device} drain",
+                    "pid": pid, "tid": 0,
+                    "ts": 0.0, "dur": report.seconds * 1e6,
+                    "args": {"shreds": report.shreds},
+                })
+            continue
+        per_us = config.frequency / 1e6
+        offset = 0.0
+        for result in report.results:
+            by_id = {run.shred.shred_id: run for run in result.runs}
+            for shred_id, (start, finish, eu, slot) in sorted(
+                    result.timing.spans.items()):
+                run = by_id.get(shred_id)
+                events.append({
+                    "ph": "X",
+                    "name": f"shred {shred_id}"
+                            + (f" ({run.shred.program.name})" if run else ""),
+                    "pid": pid,
+                    "tid": eu * config.threads_per_eu + slot,
+                    "ts": (start + offset) / per_us,
+                    "dur": max(finish - start, 1e-9) / per_us,
+                    "args": {
+                        "instructions": run.instructions if run else 0,
+                        "bytes": run.bytes_total if run else 0,
+                        "atr_events": run.atr_events if run else 0,
+                    },
+                })
+            offset += result.timing.cycles
+    return events
+
+
+def export_fabric_chrome_trace(reports: Sequence, path) -> int:
+    """Write a fabric region's trace JSON; returns the event count."""
+    events = fabric_chrome_trace_events(reports)
     with open(path, "w") as handle:
         json.dump({"traceEvents": events,
                    "displayTimeUnit": "ns"}, handle)

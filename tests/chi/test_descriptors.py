@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import DescriptorError, SchedulingError
+from repro.errors import ChiError, DescriptorError, SchedulingError
 from repro.chi.descriptors import AccessMode, DescriptorAttrib
 from repro.isa.types import DataType
 from repro.memory.surface import Surface, TileMode
@@ -88,6 +88,21 @@ class TestFeatures:
     def test_pershred_feature(self, runtime):
         runtime.chi_set_feature_pershred("X3000", 12, "priority", 3)
         assert runtime._pershred_features[12]["priority"] == 3
+
+    def test_pershred_value_validated_like_global(self, runtime):
+        with pytest.raises(ChiError, match="numeric"):
+            runtime.chi_set_feature_pershred("X3000", 12, "priority", "hi")
+        with pytest.raises(ChiError, match="numeric"):
+            runtime.chi_set_feature_pershred("X3000", 12, "priority", True)
+        assert 12 not in runtime._pershred_features
+
+    def test_global_value_validated(self, runtime):
+        with pytest.raises(ChiError, match="accepts"):
+            runtime.chi_set_feature("X3000", "sampler_filter", "cubic")
+
+    def test_unknown_feature_stored_verbatim(self, runtime):
+        runtime.chi_set_feature_pershred("X3000", 5, "app_hint", "x")
+        assert runtime._pershred_features[5]["app_hint"] == "x"
 
     def test_feature_unknown_isa(self, runtime):
         with pytest.raises(SchedulingError):

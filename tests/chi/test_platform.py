@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.chi.platform import ExoPlatform, HostAccessor
-from repro.errors import CoherenceViolation
+from repro.errors import CoherenceViolation, SchedulingError
 
 
 class TestAssembly:
@@ -23,6 +23,41 @@ class TestAssembly:
         assert ExoPlatform(coherent=False).config_name == "Non-CC Shared"
         assert ExoPlatform(shared_virtual_memory=False).config_name == \
             "Data Copy"
+
+    def test_default_configs_are_per_instance(self):
+        """Defaulted configs are constructed per platform, so nothing one
+        platform does can leak into the next (no shared mutable default
+        arguments in the signature)."""
+        first, second = ExoPlatform(), ExoPlatform()
+        assert first.device.config is not second.device.config
+        assert first.cpu.config is not second.cpu.config
+        assert first.bandwidth is not second.bandwidth
+
+
+class TestFabricAssembly:
+    def test_default_fabric_contents(self, platform):
+        assert platform.fabric.names() == ["gma0", "ia32"]
+        assert platform.fabric.shred_targets() == ["X3000"]
+        assert platform.device is platform.fabric.get("gma0").gma
+
+    def test_n_accelerator_fabric_shares_the_address_space(self):
+        platform = ExoPlatform(num_gma_devices=3)
+        devices = platform.gma_devices
+        assert [d.name for d in devices] == ["gma0", "gma1", "gma2"]
+        for device in devices:
+            assert device.gma.space is platform.space
+            assert device.gma.coherence is platform.coherence
+
+    def test_device_count_validated(self):
+        with pytest.raises(SchedulingError, match="at least one"):
+            ExoPlatform(num_gma_devices=0)
+
+    def test_queue_configuration_reaches_every_device(self):
+        platform = ExoPlatform(num_gma_devices=2, queue_depth=32,
+                               admission_policy="block")
+        for device in platform.fabric:
+            assert device.queue.depth == 32
+            assert device.queue.policy.value == "block"
 
 
 class TestHostAccessor:

@@ -80,6 +80,20 @@ class TestParallel:
             runtime.parallel(VECADD, shared={"A": a, "B": b, "C": c},
                              private=[{}])
 
+    def test_every_binding_dict_validated(self, runtime):
+        """A hole in any shred's bindings fails up front, not only in the
+        first shred's (every shred launches with its own private copy)."""
+        a, b, c = setup_vecadd(runtime)
+        with pytest.raises(PragmaError, match=r"shred 2"):
+            runtime.parallel(VECADD, shared={"A": a, "B": b, "C": c},
+                             private=[{"i": 0}, {"i": 1}, {}])
+
+    def test_firstprivate_fills_binding_holes(self, runtime):
+        a, b, c = setup_vecadd(runtime)
+        region = runtime.parallel(VECADD, shared={"A": a, "B": b, "C": c},
+                                  firstprivate={"i": 0}, private=[{}, {}])
+        assert region.result.shreds_executed == 2
+
     def test_needs_private_or_num_threads(self, runtime):
         with pytest.raises(PragmaError, match="num_threads"):
             runtime.parallel("end")

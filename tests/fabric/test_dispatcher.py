@@ -1,0 +1,179 @@
+"""The event-driven work-stealing dispatcher."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chi.scheduler import dynamic_partition, oracle_partition
+from repro.errors import SchedulingError
+from repro.exo.shred import ShredDescriptor
+from repro.fabric.dispatcher import (
+    WorkItem,
+    WorkStealingDispatcher,
+    dependency_groups,
+    work_stealing_partition,
+)
+from repro.isa.assembler import assemble
+
+times = st.floats(min_value=1e-6, max_value=10.0)
+
+
+def items_of(costs_list, **kwargs):
+    return [WorkItem(ident=i, costs=dict(costs), **kwargs)
+            for i, costs in enumerate(costs_list)]
+
+
+class TestWorkItem:
+    def test_cost_lookup_and_wildcard(self):
+        item = WorkItem(ident=0, costs={"gma0": 2.0, "*": 5.0})
+        assert item.cost_on("gma0") == 2.0
+        assert item.cost_on("gma1") == 5.0
+
+    def test_unknown_device_cost(self):
+        item = WorkItem(ident=0, costs={"gma0": 2.0})
+        with pytest.raises(SchedulingError, match="no cost"):
+            item.cost_on("cpu")
+
+
+class TestDispatch:
+    def test_single_device_serializes(self):
+        outcome = WorkStealingDispatcher(["d0"]).dispatch(
+            items_of([{"*": 1.0}] * 4))
+        assert outcome.makespan == pytest.approx(4.0)
+        assert outcome.busy_seconds["d0"] == pytest.approx(4.0)
+        assert outcome.steals == 0
+
+    def test_two_identical_devices_halve_makespan(self):
+        outcome = WorkStealingDispatcher(["d0", "d1"]).dispatch(
+            items_of([{"*": 1.0}] * 8))
+        assert outcome.makespan == pytest.approx(4.0)
+        assert len(outcome.items_on("d0")) == 4
+        assert len(outcome.items_on("d1")) == 4
+
+    def test_idle_device_steals(self):
+        items = items_of([{"*": 1.0}] * 8)
+        outcome = WorkStealingDispatcher(["d0", "d1"]).dispatch(
+            items, initial={"d0": items})
+        # everything started on d0; d1 stole half anyway
+        assert outcome.steals > 0
+        assert outcome.makespan == pytest.approx(4.0)
+
+    def test_priority_runs_first(self):
+        items = items_of([{"*": 1.0}] * 4)
+        items[3].priority = 10.0
+        outcome = WorkStealingDispatcher(["d0"]).dispatch(
+            items, initial={"d0": items})
+        assert outcome.spans[3][0] == 0.0  # highest priority starts first
+
+    def test_dependency_gates_start_across_devices(self):
+        items = items_of([{"*": 2.0}, {"*": 1.0}])
+        items[1].depends_on = (0,)
+        outcome = WorkStealingDispatcher(["d0", "d1"]).dispatch(items)
+        start_1 = outcome.spans[1][0]
+        finish_0 = outcome.spans[0][1]
+        assert start_1 >= finish_0
+
+    def test_dependency_cycle_deadlocks(self):
+        items = items_of([{"*": 1.0}, {"*": 1.0}])
+        items[0].depends_on = (1,)
+        items[1].depends_on = (0,)
+        with pytest.raises(SchedulingError, match="deadlock"):
+            WorkStealingDispatcher(["d0"]).dispatch(items)
+
+    def test_missing_dependency_rejected(self):
+        items = items_of([{"*": 1.0}])
+        items[0].depends_on = (99,)
+        with pytest.raises(SchedulingError, match="never complete"):
+            WorkStealingDispatcher(["d0"]).dispatch(items)
+
+    def test_initial_placement_must_cover_items(self):
+        items = items_of([{"*": 1.0}] * 2)
+        with pytest.raises(SchedulingError, match="exactly once"):
+            WorkStealingDispatcher(["d0", "d1"]).dispatch(
+                items, initial={"d0": items[:1]})
+
+    def test_duplicate_device_names_rejected(self):
+        with pytest.raises(SchedulingError, match="duplicate"):
+            WorkStealingDispatcher(["d0", "d0"])
+
+    def test_empty_dispatch(self):
+        outcome = WorkStealingDispatcher(["d0"]).dispatch([])
+        assert outcome.makespan == 0.0
+        assert outcome.items_on("d0") == []
+
+    @given(times, times, st.integers(min_value=1, max_value=128))
+    def test_all_work_is_done_once(self, cpu_s, gma_s, chunks):
+        items = [WorkItem(ident=i, costs={"cpu": cpu_s / chunks,
+                                          "gma": gma_s / chunks})
+                 for i in range(chunks)]
+        outcome = WorkStealingDispatcher(["cpu", "gma"]).dispatch(items)
+        scheduled = sorted(i.ident for lane in outcome.assignments.values()
+                           for i in lane)
+        assert scheduled == list(range(chunks))
+        assert set(outcome.spans) == set(range(chunks))
+
+
+class TestPartitionBridge:
+    def test_converges_to_oracle_within_5_percent(self):
+        oracle = oracle_partition(7.0, 2.0)
+        errors = []
+        for chunks in (128, 512):
+            ws = work_stealing_partition(7.0, 2.0, chunks)
+            assert ws.total_seconds <= oracle.total_seconds * 1.05
+            errors.append(ws.total_seconds - oracle.total_seconds)
+        assert errors[-1] <= errors[0]  # finer chunks, tighter schedule
+
+    def test_matches_dynamic_shape(self):
+        # both are greedy self-scheduling; totals agree at equal chunking
+        dyn = dynamic_partition(6.0, 3.0, 128)
+        ws = work_stealing_partition(6.0, 3.0, 128)
+        assert ws.total_seconds == pytest.approx(dyn.total_seconds,
+                                                 rel=0.05)
+
+    def test_policy_label_and_fraction(self):
+        ws = work_stealing_partition(1.0, 1.0, 10)
+        assert ws.policy == "work-stealing-10"
+        assert 0.0 <= ws.cpu_fraction <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            work_stealing_partition(1.0, 1.0, 0)
+
+    @given(times, times, st.integers(min_value=1, max_value=256))
+    def test_never_worse_than_slowest_homogeneous(self, cpu_s, gma_s,
+                                                  chunks):
+        ws = work_stealing_partition(cpu_s, gma_s, chunks)
+        assert ws.total_seconds <= max(cpu_s, gma_s) * (1 + 1e-9)
+
+
+class TestDependencyGroups:
+    def make(self, n):
+        program = assemble("end", name="noop")
+        return [ShredDescriptor(program=program) for _ in range(n)]
+
+    def test_independent_shreds_are_singletons(self):
+        shreds = self.make(4)
+        groups = dependency_groups(shreds)
+        assert [len(g) for g in groups] == [1, 1, 1, 1]
+
+    def test_chain_is_one_group(self):
+        shreds = self.make(3)
+        shreds[1].depends_on = (shreds[0].shred_id,)
+        shreds[2].depends_on = (shreds[1].shred_id,)
+        groups = dependency_groups(shreds)
+        assert len(groups) == 1
+        assert groups[0] == shreds
+
+    def test_two_components(self):
+        shreds = self.make(4)
+        shreds[1].depends_on = (shreds[0].shred_id,)
+        shreds[3].depends_on = (shreds[2].shred_id,)
+        groups = dependency_groups(shreds)
+        assert [len(g) for g in groups] == [2, 2]
+        assert groups[0] == shreds[:2] and groups[1] == shreds[2:]
+
+    def test_external_dependency_ignored(self):
+        shreds = self.make(2)
+        shreds[0].depends_on = (99999,)  # producer from an earlier region
+        groups = dependency_groups(shreds)
+        assert [len(g) for g in groups] == [1, 1]

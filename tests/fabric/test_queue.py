@@ -1,0 +1,69 @@
+"""Bounded per-device admission queues and backpressure."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.exo.shred import ShredDescriptor
+from repro.fabric.queue import AdmissionPolicy, DeviceWorkQueue
+from repro.isa.assembler import assemble
+
+
+@pytest.fixture
+def shreds():
+    program = assemble("end", name="noop")
+    return [ShredDescriptor(program=program) for _ in range(10)]
+
+
+class TestAdmission:
+    def test_batch_within_depth_is_one_sub_batch(self, shreds):
+        queue = DeviceWorkQueue(depth=16)
+        batches = queue.admit(shreds)
+        assert len(batches) == 1
+        assert batches[0] == shreds
+        assert queue.stats.admitted == 10
+        assert queue.stats.sub_batches == 1
+        assert queue.stats.peak_depth == 10
+
+    def test_empty_batch(self):
+        queue = DeviceWorkQueue(depth=4)
+        assert queue.admit([]) == []
+        assert queue.stats.batches == 1
+        assert queue.stats.admitted == 0
+
+    def test_depth_validation(self):
+        with pytest.raises(SchedulingError, match="depth"):
+            DeviceWorkQueue(depth=0)
+
+
+class TestRaisePolicy:
+    def test_overflow_raises(self, shreds):
+        queue = DeviceWorkQueue(depth=4, name="gma0")
+        with pytest.raises(SchedulingError, match="overflow on 'gma0'"):
+            queue.admit(shreds)
+        assert queue.stats.rejected == 10
+        assert queue.stats.admitted == 0
+
+    def test_exact_fit_does_not_raise(self, shreds):
+        queue = DeviceWorkQueue(depth=10)
+        assert len(queue.admit(shreds)) == 1
+
+
+class TestBlockPolicy:
+    def test_overflow_splits_into_depth_sized_sub_batches(self, shreds):
+        queue = DeviceWorkQueue(depth=4, policy=AdmissionPolicy.BLOCK)
+        batches = queue.admit(shreds)
+        assert [len(b) for b in batches] == [4, 4, 2]
+        # order is preserved across the split
+        assert [s.shred_id for b in batches for s in b] == \
+            [s.shred_id for s in shreds]
+        assert queue.stats.blocked_batches == 1
+        assert queue.stats.peak_depth == 4
+
+    def test_policy_coercion_from_string(self, shreds):
+        queue = DeviceWorkQueue(depth=4, policy="block")
+        assert queue.policy is AdmissionPolicy.BLOCK
+        assert len(queue.admit(shreds)) == 3
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SchedulingError, match="admission policy"):
+            DeviceWorkQueue(policy="shrug")

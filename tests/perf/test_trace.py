@@ -5,11 +5,18 @@ import json
 import numpy as np
 import pytest
 
+from repro.chi import ChiRuntime, ExoPlatform
 from repro.exo.shred import ShredDescriptor
+from repro.fabric import DeviceRunReport
 from repro.isa.assembler import assemble
 from repro.isa.types import DataType
 from repro.memory.surface import Surface
-from repro.perf.trace import chrome_trace_events, export_chrome_trace
+from repro.perf.trace import (
+    chrome_trace_events,
+    export_chrome_trace,
+    export_fabric_chrome_trace,
+    fabric_chrome_trace_events,
+)
 
 
 @pytest.fixture
@@ -59,3 +66,78 @@ def test_queue_waves_are_visible(run_result):
     starts = sorted(span[0] for span in run_result.timing.spans.values())
     assert starts[0] == 0.0
     assert starts[-1] > 0.0  # the second wave starts strictly later
+
+
+def test_round_trip_preserves_timing(run_result, tmp_path):
+    """The exported JSON is the same picture the run computed."""
+    path = tmp_path / "run.trace.json"
+    export_chrome_trace(run_result, path)
+    with open(path) as handle:
+        data = json.load(handle)
+    from repro.gma.timing import GmaTimingConfig
+
+    per_us = GmaTimingConfig().frequency / 1e6  # cycles per exported us
+    spans = {e["name"]: e for e in data["traceEvents"] if e["ph"] == "X"}
+    for shred_id, (start, finish, eu, slot) in \
+            run_result.timing.spans.items():
+        event = spans[f"shred {shred_id} (writer)"]
+        assert event["ts"] == pytest.approx(start / per_us)
+        assert event["dur"] == pytest.approx((finish - start) / per_us)
+        assert event["pid"] == eu and event["tid"] == slot
+    rows = {e["pid"]: e["args"]["name"] for e in data["traceEvents"]
+            if e["ph"] == "M"}
+    assert rows == {eu: f"EU {eu}" for eu in range(8)}
+
+
+class TestFabricTrace:
+    @pytest.fixture
+    def reports(self):
+        rt = ChiRuntime(ExoPlatform(num_gma_devices=2))
+        region = rt.parallel("mul.1.dw vr1 = tid, 2\nend", num_threads=48)
+        return region.result.reports
+
+    def test_one_process_row_per_device(self, reports):
+        events = fabric_chrome_trace_events(reports)
+        metas = [e for e in events if e["ph"] == "M"]
+        assert [m["args"]["name"] for m in metas] == \
+            ["gma0 (X3000)", "gma1 (X3000)"]
+        # pids tie every shred span to its device's row
+        by_pid = {m["pid"] for m in metas}
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == 48
+        assert {e["pid"] for e in spans} <= by_pid
+
+    def test_fabric_round_trip(self, reports, tmp_path):
+        path = tmp_path / "fabric.trace.json"
+        count = export_fabric_chrome_trace(reports, path)
+        with open(path) as handle:
+            data = json.load(handle)
+        assert len(data["traceEvents"]) == count
+        for event in data["traceEvents"]:
+            if event["ph"] == "X":
+                assert event["dur"] > 0
+                assert event["ts"] >= 0
+
+    def test_thread_rows_are_hardware_contexts(self, reports):
+        config = reports[0].config
+        events = fabric_chrome_trace_events(reports)
+        contexts = config.num_eus * config.threads_per_eu
+        for event in events:
+            if event["ph"] == "X":
+                assert 0 <= event["tid"] < contexts
+
+    def test_driver_backend_gets_a_drain_span(self):
+        opaque = DeviceRunReport(device="legacy", isa="X3000",
+                                 seconds=2e-4, shreds=16)
+        events = fabric_chrome_trace_events([opaque])
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == 1
+        assert spans[0]["name"] == "legacy drain"
+        assert spans[0]["dur"] == pytest.approx(200.0)  # us
+        assert spans[0]["args"]["shreds"] == 16
+
+    def test_idle_backend_emits_no_span(self):
+        idle = DeviceRunReport(device="gma1", isa="X3000",
+                               seconds=0.0, shreds=0)
+        events = fabric_chrome_trace_events([idle])
+        assert [e["ph"] for e in events] == ["M"]
