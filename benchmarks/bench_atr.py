@@ -1,0 +1,146 @@
+"""ATR miss service: per-miss proxy round trips vs the batched fast path.
+
+The cost model is the paper's: every ATR round trip suspends the shred,
+signals the IA32 sequencer and proxy-executes the fault
+(``ProxyCosts.atr_seconds``); extra entries serviced within one batched
+round trip cost only their transcode (``ProxyCosts.atr_entry_seconds``).
+With N devices warming the same pages, the batched path plus the shared
+second-level translation cache keeps the IA32 sequencer off the critical
+path: one walk populates the cache, the other N-1 devices refill from it.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_atr.py --gma-devices 4
+    PYTHONPATH=src python benchmarks/bench_atr.py --check   # CI gate
+
+or under pytest (``pytest benchmarks/bench_atr.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.chi import ExoPlatform
+from repro.memory.physical import PAGE_SIZE
+
+DEFAULT_DEVICES = 4
+DEFAULT_PAGES = 64
+
+
+def measure(num_devices: int, pages: int, batched: bool,
+            shared_cache: bool = True) -> dict:
+    """Warm every device view over one ``pages``-page allocation.
+
+    Returns the simulated IA32 proxy cost, the wall time of the servicing
+    loop, and the translation-stat breakdown.
+    """
+    platform = ExoPlatform(num_gma_devices=num_devices,
+                           atr_shared_cache=shared_cache)
+    base = platform.space.alloc(pages * PAGE_SIZE)  # lazy: misses proxy faults
+    vaddrs = [base + i * PAGE_SIZE for i in range(pages)]
+    exo = platform.exoskeleton
+    started = time.perf_counter()
+    for device in platform.gma_devices:
+        view = device.gma.view
+        if batched:
+            exo.request_atr_batch(view, vaddrs, write=True,
+                                  source=device.name)
+        else:
+            for vaddr in vaddrs:
+                exo.request_atr(view, vaddr, write=True, source=device.name)
+    wall = time.perf_counter() - started
+    stats = exo.atr.stats
+    # every view must end up fully translated, whichever path ran
+    for device in platform.gma_devices:
+        for vaddr in vaddrs:
+            assert (vaddr >> 12) in device.gma.view.gtt
+    return {
+        "proxy_seconds": exo.host.proxy_seconds,
+        "proxy_events": exo.host.proxy_events,
+        "wall_seconds": wall,
+        "page_faults_proxied": stats.page_faults_proxied,
+        "shared_cache_hits": stats.shared_cache_hits,
+        "tlb_misses": stats.tlb_misses,
+    }
+
+
+def compare(num_devices: int, pages: int) -> dict:
+    return {
+        "per_miss": measure(num_devices, pages, batched=False),
+        "batched": measure(num_devices, pages, batched=True),
+    }
+
+
+def report(num_devices: int, pages: int) -> str:
+    outcome = compare(num_devices, pages)
+    per, bat = outcome["per_miss"], outcome["batched"]
+    speedup = per["proxy_seconds"] / bat["proxy_seconds"]
+    lines = [
+        f"ATR miss service, {num_devices} GMA device(s) x {pages} pages:",
+        f"  {'':10s} {'proxy us':>10s} {'round trips':>12s} "
+        f"{'cache hits':>11s} {'wall ms':>9s}",
+    ]
+    for name, m in (("per-miss", per), ("batched", bat)):
+        lines.append(
+            f"  {name:10s} {m['proxy_seconds'] * 1e6:10.2f} "
+            f"{m['proxy_events']:12d} {m['shared_cache_hits']:11d} "
+            f"{m['wall_seconds'] * 1e3:9.3f}")
+    lines.append(f"  batched fast path: {speedup:.1f}x less simulated "
+                 f"IA32 proxy time")
+    return "\n".join(lines)
+
+
+# -- pytest entry points ---------------------------------------------------------------
+
+
+def test_batched_beats_per_miss():
+    """The CI acceptance bar: one batched round trip per device costs
+    strictly less simulated proxy time than a round trip per page."""
+    outcome = compare(DEFAULT_DEVICES, DEFAULT_PAGES)
+    per, bat = outcome["per_miss"], outcome["batched"]
+    assert bat["proxy_seconds"] < per["proxy_seconds"]
+    # one signal per device instead of one per (device, page)
+    assert bat["proxy_events"] == DEFAULT_DEVICES
+    assert per["proxy_events"] == DEFAULT_DEVICES * DEFAULT_PAGES
+    # both paths translate the same pages and proxy each fault once
+    assert bat["page_faults_proxied"] == per["page_faults_proxied"] \
+        == DEFAULT_PAGES
+
+
+def test_shared_cache_absorbs_other_devices_walks():
+    m = measure(4, 16, batched=True, shared_cache=True)
+    assert m["page_faults_proxied"] == 16  # first device walks...
+    assert m["shared_cache_hits"] == 3 * 16  # ...the other three refill
+    cold = measure(4, 16, batched=True, shared_cache=False)
+    assert cold["shared_cache_hits"] == 0
+    assert cold["page_faults_proxied"] == 16  # pages mapped after 1st device
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--gma-devices", type=int, default=DEFAULT_DEVICES,
+                        help="fabric size (default %(default)s)")
+    parser.add_argument("--pages", type=int, default=DEFAULT_PAGES,
+                        help="pages each view must translate "
+                             "(default %(default)s)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless the batched path beats "
+                             "per-miss on simulated proxy seconds")
+    args = parser.parse_args(argv)
+
+    print(report(args.gma_devices, args.pages))
+    if args.check:
+        outcome = compare(args.gma_devices, args.pages)
+        if not (outcome["batched"]["proxy_seconds"]
+                < outcome["per_miss"]["proxy_seconds"]):
+            print("CHECK FAILED: batched path did not beat per-miss",
+                  file=sys.stderr)
+            return 1
+        print("check passed: batched < per-miss on simulated proxy seconds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

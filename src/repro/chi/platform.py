@@ -86,7 +86,8 @@ class ExoPlatform:
                  space: Optional[AddressSpace] = None,
                  num_gma_devices: int = 1,
                  queue_depth: Optional[int] = None,
-                 admission_policy=AdmissionPolicy.RAISE):
+                 admission_policy=AdmissionPolicy.RAISE,
+                 atr_shared_cache: bool = True):
         if num_gma_devices < 1:
             raise SchedulingError(
                 f"need at least one GMA device, got {num_gma_devices}")
@@ -97,7 +98,8 @@ class ExoPlatform:
         self.space = space or AddressSpace()
         self.coherence = CoherencePoint(coherent=coherent,
                                         strict=strict_coherence)
-        self.exoskeleton = Exoskeleton(self.space)
+        self.exoskeleton = Exoskeleton(self.space,
+                                       atr_shared_cache=atr_shared_cache)
         self.cpu = Ia32Cpu(cpu_config)
         self.bandwidth = bandwidth if bandwidth is not None else BandwidthModel()
         self.host = HostAccessor(self.space, self.coherence)
@@ -127,6 +129,11 @@ class ExoPlatform:
     def gma_devices(self):
         """Shred-executing GMA backends, in registration order."""
         return self.fabric.devices_for(GmaDevice.ISA, executing=True)
+
+    @property
+    def atr(self):
+        """The shared ATR proxy service (all GMA devices signal it)."""
+        return self.exoskeleton.atr
 
     @property
     def config_name(self) -> str:

@@ -337,6 +337,7 @@ class ChiRuntime:
             self.timeline.host_busy(flush_seconds, "cache-flush")
             self.stats.flush_seconds += flush_seconds
 
+        atr_before = self._atr_counters(devices)
         if len(devices) == 1:
             report = devices[0].run_shreds(shreds)
             result = report.merged_result()
@@ -344,6 +345,10 @@ class ChiRuntime:
         else:
             reports = self._dispatch_fabric(shreds, devices)
             result = FabricRunResult(reports=reports)
+        for name, after in self._atr_counters(devices).items():
+            before = atr_before.get(name, {})
+            self.stats.note_atr(name, {k: v - before.get(k, 0)
+                                       for k, v in after.items()})
         gma_seconds = max((r.seconds for r in reports), default=0.0)
 
         if not platform.shared_virtual_memory:
@@ -374,6 +379,23 @@ class ChiRuntime:
         if not master_nowait:
             region.wait()
         return region
+
+    @staticmethod
+    def _atr_counters(devices) -> Dict[str, Dict[str, int]]:
+        """Cumulative per-device translation counters (GMA backends)."""
+        out: Dict[str, Dict[str, int]] = {}
+        for device in devices:
+            gma = getattr(device, "gma", None)
+            if gma is None:
+                continue
+            view = gma.view
+            out[device.name] = {
+                "tlb_hits": view.tlb.hits,
+                "tlb_misses": view.tlb.misses,
+                "gtt_walks": view.gtt_walks,
+                "shootdowns": view.shootdowns_received,
+            }
+        return out
 
     def _dispatch_fabric(self, shreds: List[ShredDescriptor],
                          devices) -> List[DeviceRunReport]:
@@ -505,9 +527,18 @@ class RuntimeStats:
     bytes_copied: int = 0
     device_seconds: Dict[str, float] = field(default_factory=dict)
     device_shreds: Dict[str, int] = field(default_factory=dict)
+    #: Per-device translation accounting: TLB hits/misses, GTT hardware
+    #: walks, and shootdown broadcasts the device's view absorbed.
+    device_atr: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def note_device(self, device: str, seconds: float, shreds: int) -> None:
         self.device_seconds[device] = (
             self.device_seconds.get(device, 0.0) + seconds)
         self.device_shreds[device] = (
             self.device_shreds.get(device, 0) + shreds)
+
+    def note_atr(self, device: str, counters: Dict[str, int]) -> None:
+        """Accumulate one launch's translation-counter deltas."""
+        bucket = self.device_atr.setdefault(device, {})
+        for key, value in counters.items():
+            bucket[key] = bucket.get(key, 0) + value

@@ -62,11 +62,17 @@ class TlbMiss(MemorySystemError):
 
     This is an *architectural event*, not a bug: the exoskeleton catches it
     and requests proxy execution on the OS-managed sequencer (ATR).
+
+    ``vaddrs`` lists every missing page address when one access spans
+    several unmapped pages, so ATR can service them in a single batched
+    proxy round trip instead of one round trip per page.
     """
 
-    def __init__(self, vaddr: int, sequencer: str = "?"):
+    def __init__(self, vaddr: int, sequencer: str = "?",
+                 vaddrs: tuple | None = None):
         self.vaddr = vaddr
         self.sequencer = sequencer
+        self.vaddrs = tuple(vaddrs) if vaddrs else (vaddr,)
         super().__init__(f"TLB miss at vaddr {vaddr:#x} on sequencer {sequencer}")
 
 

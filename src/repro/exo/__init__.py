@@ -6,7 +6,7 @@ signalling, Address Translation Remapping and Collaborative Exception
 Handling.
 """
 
-from .atr import AtrService, AtrStats, transcode_pte
+from .atr import AtrService, AtrStats, SharedTranslationCache, transcode_pte
 from .ceh import CehService, CehStats
 from .exoskeleton import Exoskeleton, ProxyCosts
 from .misp import HostShred, MispPool
@@ -17,6 +17,7 @@ from .signals import InterruptVector, Signal, SignalKind, SignalLog
 __all__ = [
     "AtrService",
     "AtrStats",
+    "SharedTranslationCache",
     "transcode_pte",
     "CehService",
     "CehStats",

@@ -9,16 +9,42 @@ maintains IA32-format page tables.  ATR bridges the two:
 3. ATR *transcodes* the now-valid IA32 PTE into the exo-sequencer's native
    entry format and inserts it into the exo-sequencer's TLB;
 4. both TLBs now point at the same physical page, and the shred resumes.
+
+Two additions beyond the paper's per-miss protocol:
+
+* **Batched miss service** (:meth:`AtrService.service_batch`): one access
+  that spans several unmapped pages — or a launch-time surface validation
+  pass — coalesces its misses to distinct VPNs and services them all in a
+  single proxy round trip.
+* **A shared second-level translation cache** consulted before the IA32
+  page-table walk: with N devices sharing one address space, the first
+  device to fault on a hot page pays the walk + transcode; the other N-1
+  refill from the shared cache.  Shootdown broadcasts from the address
+  space invalidate it alongside the device TLBs/GTTs, so it can never
+  outlive the IA32 mapping it was transcoded from.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
+from ..errors import ProtectionFault, TranslationFault
 from ..memory.address_space import AddressSpace, SequencerView
 from ..memory.gtt import GttMemType, make_gtt_entry
-from ..memory.paging import PTE_CACHE_DISABLE, PTE_PRESENT, pte_pfn
+from ..memory.paging import (
+    PTE_CACHE_DISABLE,
+    PTE_PRESENT,
+    PTE_WRITABLE,
+    pte_pfn,
+)
 from ..memory.physical import PAGE_SHIFT
+
+#: Entries kept in :attr:`AtrStats.faulting_vaddrs`.  Total counts stay
+#: exact in the integer counters; the ring only keeps the most recent
+#: addresses for debugging, so long multi-device studies don't leak.
+FAULT_RING_CAPACITY = 256
 
 
 def transcode_pte(ia32_pte: int) -> int:
@@ -40,30 +66,170 @@ class AtrStats:
     tlb_misses: int = 0
     page_faults_proxied: int = 0
     entries_transcoded: int = 0
+    #: Invalidation broadcasts observed from the address space.
+    shootdowns: int = 0
+    #: Pages covered by those broadcasts (sum over broadcasts).
+    shootdown_pages: int = 0
+    #: Batched round trips and the misses they coalesced.
+    batches: int = 0
+    batched_misses: int = 0
+    #: Shared second-level translation cache outcomes.
+    shared_cache_hits: int = 0
+    shared_cache_misses: int = 0
+    #: Most recent faulting addresses (bounded ring; see
+    #: :data:`FAULT_RING_CAPACITY`).
     faulting_vaddrs: list = field(default_factory=list)
+    faulting_vaddrs_capacity: int = FAULT_RING_CAPACITY
+
+    def record_fault(self, vaddr: int) -> None:
+        ring = self.faulting_vaddrs
+        ring.append(vaddr)
+        excess = len(ring) - self.faulting_vaddrs_capacity
+        if excess > 0:
+            del ring[:excess]
+
+
+class SharedTranslationCache:
+    """A second-level translation cache shared by every device's ATR path.
+
+    Maps VPN -> (GTT entry, writable) with LRU replacement.  ``writable``
+    is remembered because GTT entries carry no protection bits: a write
+    miss that hits a read-only cached entry must still fall through to the
+    IA32 walk so the protection fault surfaces.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("translation cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, vpn: int) -> Optional[Tuple[int, bool]]:
+        cached = self._entries.get(vpn)
+        if cached is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(vpn)
+        self.hits += 1
+        return cached
+
+    def put(self, vpn: int, entry: int, writable: bool) -> None:
+        if vpn in self._entries:
+            self._entries.move_to_end(vpn)
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[vpn] = (entry, writable)
+
+    def invalidate(self, vpn: Optional[int] = None) -> None:
+        if vpn is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(vpn, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._entries
 
 
 class AtrService:
     """The IA32-side proxy handler for exo-sequencer translation misses."""
 
-    def __init__(self, space: AddressSpace):
+    def __init__(self, space: AddressSpace,
+                 shared_cache: Optional[SharedTranslationCache] = None,
+                 use_shared_cache: bool = True):
         self.space = space
         self.stats = AtrStats()
+        self.shared_cache = (shared_cache if shared_cache is not None
+                             else SharedTranslationCache()
+                             if use_shared_cache else None)
+        space.add_shootdown_listener(self._on_shootdown)
+
+    # -- coherence ---------------------------------------------------------------
+
+    def _on_shootdown(self, vpns: Sequence[int], reason: str) -> None:
+        self.stats.shootdowns += 1
+        self.stats.shootdown_pages += len(vpns)
+        if self.shared_cache is not None:
+            for vpn in vpns:
+                self.shared_cache.invalidate(vpn)
+
+    # -- miss service ------------------------------------------------------------
 
     def service(self, view: SequencerView, vaddr: int, write: bool) -> int:
         """Handle one exo-sequencer TLB miss; returns the GTT entry installed."""
         self.stats.tlb_misses += 1
-        self.stats.faulting_vaddrs.append(vaddr)
+        self.stats.record_fault(vaddr)
         vpn = vaddr >> PAGE_SHIFT
+        entry = self._resolve_vpn(vpn, write)
+        view.gtt[vpn] = entry  # install in the device page table...
+        view.tlb.insert(vpn, entry)  # ...and the TLB itself
+        return entry
+
+    def service_batch(self, view: SequencerView, vaddrs: Iterable[int],
+                      write: bool = False) -> Dict[int, int]:
+        """Service many misses in one proxy round trip.
+
+        Coalesces ``vaddrs`` to distinct VPNs, resolves every fault in one
+        pass (shared cache, then walk/proxy), and bulk-installs the
+        transcoded entries into the view's GTT and TLB.  Returns the
+        VPN -> GTT-entry map installed.
+        """
+        vpns: list = []
+        seen = set()
+        for vaddr in vaddrs:
+            vpn = vaddr >> PAGE_SHIFT
+            if vpn not in seen:
+                seen.add(vpn)
+                vpns.append(vpn)
+        if not vpns:
+            return {}
+        self.stats.batches += 1
+        entries: Dict[int, int] = {}
+        for vpn in vpns:
+            self.stats.tlb_misses += 1
+            self.stats.batched_misses += 1
+            self.stats.record_fault(vpn << PAGE_SHIFT)
+            entries[vpn] = self._resolve_vpn(vpn, write)
+        gtt = view.gtt
+        tlb = view.tlb
+        for vpn, entry in entries.items():
+            gtt[vpn] = entry
+            tlb.insert(vpn, entry)
+        return entries
+
+    def _resolve_vpn(self, vpn: int, write: bool) -> int:
+        """One VPN's GTT entry: shared cache, else walk + proxy + transcode."""
+        vaddr = vpn << PAGE_SHIFT
+        if self.shared_cache is not None:
+            cached = self.shared_cache.get(vpn)
+            if cached is not None:
+                entry, writable = cached
+                if writable or not write:
+                    self.stats.shared_cache_hits += 1
+                    return entry
+                # write against an entry cached read-only: re-walk so the
+                # protection fault is raised from the authoritative tables
+            else:
+                self.stats.shared_cache_misses += 1
         pte = self.space.page_table.entry(vpn)
         if not pte & PTE_PRESENT:
+            if not self.space.demand_paging:
+                raise TranslationFault(vaddr, write=write)
             # Proxy execution: the IA32 shred touches the address on behalf
             # of the exo-sequencer, driving the OS demand-paging handler.
             self.space.handle_fault(vaddr, write=write)
             self.stats.page_faults_proxied += 1
             pte = self.space.page_table.entry(vpn)
+            if not pte & PTE_PRESENT:
+                raise TranslationFault(vaddr, write=write)
+        if write and not pte & PTE_WRITABLE:
+            raise ProtectionFault(vaddr, write=True)
         entry = transcode_pte(pte)
-        view.gtt[vpn] = entry  # install in the device page table...
-        view.tlb.insert(vpn, entry)  # ...and the TLB itself
         self.stats.entries_transcoded += 1
+        if self.shared_cache is not None:
+            self.shared_cache.put(vpn, entry, bool(pte & PTE_WRITABLE))
         return entry

@@ -118,8 +118,13 @@ class CehService:
             # integer divide-by-zero: saturate to the type's extremes, the
             # common SEH recovery policy for media code
             bits = instr.dtype.size * 8
-            top = (1 << (bits - 1)) - 1 if instr.dtype.is_signed else (1 << bits) - 1
-            result = np.where(zero, np.where(a >= 0, top, -top),
+            if instr.dtype.is_signed:
+                top = (1 << (bits - 1)) - 1
+                bottom = -(1 << (bits - 1))  # two's-complement minimum
+            else:
+                top = (1 << bits) - 1
+                bottom = 0
+            result = np.where(zero, np.where(a >= 0, top, bottom),
                               np.trunc(a / np.where(zero, 1, b)))
         instr.dsts[0].write(ctx, result, instr.dtype)
         return Effect()

@@ -25,6 +25,7 @@ from ..errors import ExecutionFault
 from ..isa.instructions import Effect
 from ..isa.program import Program
 from ..memory.address_space import AddressSpace, SequencerView
+from ..memory.physical import PAGE_SHIFT
 from .atr import AtrService
 from .ceh import CehService
 from .sequencer import OsManagedSequencer
@@ -38,9 +39,12 @@ class ProxyCosts:
 
     MISP-style user-level interrupts avoid OS context switches; these are
     microsecond-scale events dominated by pipeline drain + handler work.
+    A batched ATR request pays the round trip once plus a small per-extra-
+    entry transcode cost — the amortization that makes batching pay.
     """
 
     atr_seconds: float = 2.0e-6
+    atr_entry_seconds: float = 0.1e-6
     ceh_seconds: float = 4.0e-6
     dispatch_seconds: float = 0.5e-6
 
@@ -50,15 +54,17 @@ class Exoskeleton:
 
     def __init__(self, space: AddressSpace,
                  host: Optional[OsManagedSequencer] = None,
-                 costs: ProxyCosts = ProxyCosts()):
+                 costs: ProxyCosts = ProxyCosts(),
+                 atr_shared_cache: bool = True):
         self.space = space
         self.host = host or OsManagedSequencer()
         self.costs = costs
         self.log = SignalLog()
         self.vector = InterruptVector()
-        self.atr = AtrService(space)
+        self.atr = AtrService(space, use_shared_cache=atr_shared_cache)
         self.ceh = CehService()
         self.vector.register(SignalKind.ATR_REQUEST, self._handle_atr)
+        self.vector.register(SignalKind.ATR_BATCH, self._handle_atr_batch)
         self.vector.register(SignalKind.CEH_REQUEST, self._handle_ceh)
         self.vector.register(SignalKind.COMPLETION, lambda s: None)
         self.completions: list = []
@@ -84,6 +90,26 @@ class Exoskeleton:
         self.host.proxy_seconds += self.costs.atr_seconds
         return self.vector.raise_signal(signal)
 
+    def request_atr_batch(self, view: SequencerView, vaddrs, write: bool,
+                          source: str) -> dict:
+        """Coalesced exo-sequencer misses: one proxy round trip services
+        every missing page of an access (or a launch-time surface pass).
+
+        Charges one ATR round trip plus a per-extra-entry transcode cost,
+        instead of a full round trip per page — the fast path that keeps N
+        devices faulting on the same surfaces off the IA32 critical path.
+        """
+        vaddrs = tuple(vaddrs)
+        signal = Signal(SignalKind.ATR_BATCH, source, self.host.name,
+                        payload=(view, vaddrs, write))
+        self.log.record(signal)
+        self.host.proxy_events += 1
+        distinct = len({v >> PAGE_SHIFT for v in vaddrs})
+        self.host.proxy_seconds += (
+            self.costs.atr_seconds
+            + self.costs.atr_entry_seconds * max(0, distinct - 1))
+        return self.vector.raise_signal(signal)
+
     def request_ceh(self, program: Program, ip: int, ctx,
                     fault: ExecutionFault, source: str) -> Effect:
         """Exo-sequencer exception: ship to IA32 for collaborative handling."""
@@ -107,6 +133,10 @@ class Exoskeleton:
     def _handle_atr(self, signal: Signal) -> int:
         view, vaddr, write = signal.payload
         return self.atr.service(view, vaddr, write)
+
+    def _handle_atr_batch(self, signal: Signal) -> dict:
+        view, vaddrs, write = signal.payload
+        return self.atr.service_batch(view, vaddrs, write=write)
 
     def _handle_ceh(self, signal: Signal) -> Effect:
         program, ip, ctx, fault = signal.payload

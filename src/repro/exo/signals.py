@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional
 class SignalKind(enum.Enum):
     DISPATCH = "dispatch"  # IA32 -> exo: SIGNAL instruction, shred launch
     ATR_REQUEST = "atr_request"  # exo -> IA32: TLB miss / page fault proxy
+    ATR_BATCH = "atr_batch"  # exo -> IA32: coalesced multi-page miss proxy
     CEH_REQUEST = "ceh_request"  # exo -> IA32: exception proxy
     COMPLETION = "completion"  # exo -> IA32: asynchronous completion notify
 

@@ -95,7 +95,7 @@ class GmaDevice:
         proxy pass on the IA32 side, not a per-fault round trip)."""
         from ..memory.physical import PAGE_SHIFT
 
-        prepared = 0
+        missing = []
         seen = set()
         for shred in shreds:
             for surf in shred.surfaces.values():
@@ -106,10 +106,12 @@ class GmaDevice:
                 last = (surf.base + surf.nbytes - 1) >> PAGE_SHIFT
                 for vpn in range(first, last + 1):
                     if vpn not in self.view.gtt:
-                        self.exoskeleton.atr.service(
-                            self.view, vpn << PAGE_SHIFT, write=True)
-                        prepared += 1
-        return prepared
+                        missing.append(vpn << PAGE_SHIFT)
+        if not missing:
+            return 0
+        installed = self.exoskeleton.request_atr_batch(
+            self.view, missing, write=True, source="firmware")
+        return len(installed)
 
     def run_single(self, shred: ShredDescriptor) -> GmaRunResult:
         return self.run([shred])

@@ -91,8 +91,16 @@ class ShredInterpreter:
                 effect = semantics.execute(program, self.ip, self.ctx)
             except TlbMiss as miss:
                 self.shred.state = ShredState.SUSPENDED
-                self.exoskeleton.request_atr(
-                    self.ctx.view, miss.vaddr, write=True, source=self.ctx.name)
+                if len(miss.vaddrs) > 1:
+                    # a multi-page access: coalesce every missing page
+                    # into one batched proxy round trip (one penalty)
+                    self.exoskeleton.request_atr_batch(
+                        self.ctx.view, miss.vaddrs, write=True,
+                        source=self.ctx.name)
+                else:
+                    self.exoskeleton.request_atr(
+                        self.ctx.view, miss.vaddr, write=True,
+                        source=self.ctx.name)
                 self.run_record.atr_events += 1
                 self.run_record.trace.append((self.config.atr_penalty_cycles, 0))
                 self.run_record.trace_effects.append(None)

@@ -14,13 +14,13 @@ is the entire reason ATR exists).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..errors import MemorySystemError, TlbMiss, TranslationFault
 from .gtt import gtt_pfn, gtt_valid
-from .paging import IA32PageTable
+from .paging import IA32PageTable, PTE_CACHE_DISABLE, PTE_PRESENT, pte_pfn
 from .physical import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory
 from .tlb import Tlb
 
@@ -39,6 +39,61 @@ class AddressSpace:
         self._next_vaddr = HEAP_BASE
         self._allocations: Dict[int, int] = {}  # vaddr -> size
         self.faults_serviced = 0
+        #: Registered device views whose TLB/GTT entries must be shot down
+        #: whenever a translation this space owns goes away or weakens.
+        self._views: List["SequencerView"] = []
+        self._shootdown_listeners: List[Callable] = []
+        self.shootdowns = 0  # invalidation broadcasts issued
+        #: One record per broadcast, consumed by
+        #: :func:`repro.perf.trace.shootdown_trace_events`.
+        self.shootdown_events: List[dict] = []
+
+    # -- device views (the shootdown domain) ------------------------------------
+
+    def register_view(self, view: "SequencerView") -> None:
+        """Join a sequencer view to this space's shootdown domain."""
+        if view not in self._views:
+            self._views.append(view)
+
+    def unregister_view(self, view: "SequencerView") -> None:
+        if view in self._views:
+            self._views.remove(view)
+
+    def add_shootdown_listener(self, listener: Callable) -> None:
+        """Register ``listener(vpns, reason)`` to observe every broadcast
+        (ATR uses this to drop stale shared-cache entries and count)."""
+        if listener not in self._shootdown_listeners:
+            self._shootdown_listeners.append(listener)
+
+    def _shootdown(self, vpns: Sequence[int], reason: str) -> None:
+        """Broadcast an invalidation for ``vpns`` to every registered view.
+
+        This is the coherence protocol the shared virtual address space
+        needs once pages can be freed or remapped while exo-sequencers
+        hold translations: without it, a stale TLB/GTT entry on any device
+        silently resolves to a recycled physical frame.
+        """
+        vpns = list(vpns)
+        if not vpns:
+            return
+        self.shootdowns += 1
+        for view in self._views:
+            hit = False
+            for vpn in vpns:
+                if vpn in view.tlb or vpn in view.gtt:
+                    hit = True
+                view.tlb.invalidate(vpn)
+                view.gtt.pop(vpn, None)
+            if hit:
+                view.shootdowns_received += 1
+        for listener in self._shootdown_listeners:
+            listener(vpns, reason)
+        self.shootdown_events.append({
+            "seq": self.shootdowns,
+            "reason": reason,
+            "pages": len(vpns),
+            "views": len(self._views),
+        })
 
     # -- allocation -----------------------------------------------------------
 
@@ -66,12 +121,39 @@ class AddressSpace:
         if nbytes is None:
             raise MemorySystemError(f"no allocation at {vaddr:#x}")
         npages = -(-nbytes // PAGE_SIZE)
+        unmapped = []
         for i in range(npages):
             vpn = (vaddr >> PAGE_SHIFT) + i
             if self.page_table.entry(vpn):
                 pfn = self.page_table.walk(vpn).pfn
                 self.page_table.unmap(vpn)
                 self.physical.free_frame(pfn)
+                unmapped.append(vpn)
+        self._shootdown(unmapped, "free")
+
+    def protect(self, vaddr: int, writable: bool) -> int:
+        """Change the protection of an allocation's mapped pages.
+
+        Weakening a mapping (dropping write permission) must reach every
+        device translation too, so the change broadcasts a shootdown just
+        like :meth:`free`; the next device access re-faults through ATR,
+        which enforces the new bits.  Returns the number of pages changed.
+        """
+        nbytes = self._allocations.get(vaddr)
+        if nbytes is None:
+            raise MemorySystemError(f"no allocation at {vaddr:#x}")
+        npages = -(-nbytes // PAGE_SIZE)
+        changed = []
+        for i in range(npages):
+            vpn = (vaddr >> PAGE_SHIFT) + i
+            pte = self.page_table.entry(vpn)
+            if pte & PTE_PRESENT:
+                self.page_table.map(
+                    vpn, pte_pfn(pte), writable=writable,
+                    cache_disable=bool(pte & PTE_CACHE_DISABLE))
+                changed.append(vpn)
+        self._shootdown(changed, "protect")
+        return len(changed)
 
     def allocation_size(self, vaddr: int) -> Optional[int]:
         return self._allocations.get(vaddr)
@@ -159,6 +241,10 @@ class SequencerView:
         #: from here with a hardware walk — no proxy round trip.
         self.gtt: dict = {}
         self.gtt_walks = 0
+        self.shootdowns_received = 0
+        # joining the space's shootdown domain is what keeps this view's
+        # cached translations coherent with frees/remaps on the IA32 side
+        space.register_view(self)
 
     def translate(self, vaddr: int, write: bool = False) -> int:
         vpn = vaddr >> PAGE_SHIFT
@@ -179,15 +265,25 @@ class SequencerView:
 
         Translating up front keeps accesses atomic with respect to TLB
         misses: either the whole range is mapped, or :class:`TlbMiss` is
-        raised before any byte moves.
+        raised before any byte moves.  The raised miss carries *every*
+        missing page of the range, so ATR can coalesce the faults into one
+        batched proxy round trip instead of one per page.
         """
         chunks = []
+        missing: list = []
         done = 0
         while done < count:
             size = min(count - done, PAGE_SIZE - ((vaddr + done) & (PAGE_SIZE - 1)))
-            paddr = self.translate(vaddr + done, write=write)
+            try:
+                paddr = self.translate(vaddr + done, write=write)
+            except TlbMiss:
+                missing.append(vaddr + done)
+                paddr = None
             chunks.append((paddr, size))
             done += size
+        if missing:
+            raise TlbMiss(missing[0], sequencer=self.name,
+                          vaddrs=tuple(missing))
         return chunks
 
     def read_bytes(self, vaddr: int, count: int) -> np.ndarray:

@@ -64,7 +64,9 @@ def export_chrome_trace(result: GmaRunResult, path,
     return len(events)
 
 
-def fabric_chrome_trace_events(reports: Sequence) -> List[dict]:
+def fabric_chrome_trace_events(reports: Sequence,
+                               device_atr: Optional[dict] = None,
+                               ) -> List[dict]:
     """Trace Events for one fabric region: one process row per device.
 
     ``reports`` are :class:`~repro.fabric.device.DeviceRunReport` objects
@@ -74,12 +76,19 @@ def fabric_chrome_trace_events(reports: Sequence) -> List[dict]:
     appear back to back, offset by their predecessors' drain cycles.
     Backends that expose no per-shred timing (the driver-managed stack)
     get a single span covering their drain time.
+
+    ``device_atr`` (e.g. :attr:`repro.chi.runtime.RuntimeStats.device_atr`)
+    attaches each device's translation breakdown — TLB hits/misses, GTT
+    walks, shootdowns absorbed — to its process metadata row.
     """
     events: List[dict] = []
     for pid, report in enumerate(reports):
+        args = {"name": f"{report.device} ({report.isa})"}
+        if device_atr and report.device in device_atr:
+            args["atr"] = dict(device_atr[report.device])
         events.append({
             "ph": "M", "name": "process_name", "pid": pid,
-            "args": {"name": f"{report.device} ({report.isa})"},
+            "args": args,
         })
         config = report.config
         if config is None or not report.results:
@@ -116,9 +125,54 @@ def fabric_chrome_trace_events(reports: Sequence) -> List[dict]:
     return events
 
 
-def export_fabric_chrome_trace(reports: Sequence, path) -> int:
+def export_fabric_chrome_trace(reports: Sequence, path,
+                               device_atr: Optional[dict] = None) -> int:
     """Write a fabric region's trace JSON; returns the event count."""
-    events = fabric_chrome_trace_events(reports)
+    events = fabric_chrome_trace_events(reports, device_atr=device_atr)
+    with open(path, "w") as handle:
+        json.dump({"traceEvents": events,
+                   "displayTimeUnit": "ns"}, handle)
+    return len(events)
+
+
+#: Process-row id for the shootdown track (kept clear of EU/device rows).
+SHOOTDOWN_PID = 1000
+
+
+def shootdown_trace_events(space, pid: int = SHOOTDOWN_PID) -> List[dict]:
+    """One Chrome-trace span per ATR shootdown broadcast.
+
+    ``space`` is an :class:`~repro.memory.address_space.AddressSpace`;
+    its :attr:`shootdown_events` carry no simulated timestamps (frees
+    happen on the host between regions), so spans are laid out on the
+    broadcast sequence number with the page count as duration — the
+    Perfetto row then reads as "broadcast #n invalidated k pages across
+    m views".
+    """
+    events: List[dict] = [{
+        "ph": "M", "name": "process_name", "pid": pid,
+        "args": {"name": "ATR shootdowns"},
+    }]
+    for event in space.shootdown_events:
+        events.append({
+            "ph": "X",
+            "name": f"shootdown ({event['reason']})",
+            "pid": pid,
+            "tid": 0,
+            "ts": float(event["seq"]),
+            "dur": float(max(event["pages"], 1)),
+            "args": {
+                "reason": event["reason"],
+                "pages": event["pages"],
+                "views": event["views"],
+            },
+        })
+    return events
+
+
+def export_shootdown_trace(space, path, pid: int = SHOOTDOWN_PID) -> int:
+    """Write the shootdown track as trace JSON; returns the event count."""
+    events = shootdown_trace_events(space, pid=pid)
     with open(path, "w") as handle:
         json.dump({"traceEvents": events,
                    "displayTimeUnit": "ns"}, handle)

@@ -2,8 +2,14 @@
 
 import pytest
 
-from repro.exo.atr import AtrService, transcode_pte
-from repro.memory.address_space import SequencerView
+from repro.errors import ProtectionFault, TranslationFault
+from repro.exo.atr import (
+    FAULT_RING_CAPACITY,
+    AtrService,
+    SharedTranslationCache,
+    transcode_pte,
+)
+from repro.memory.address_space import AddressSpace, SequencerView
 from repro.memory.gtt import GttMemType, gtt_memtype, gtt_pfn, gtt_valid
 from repro.memory.paging import make_pte
 from repro.memory.physical import PAGE_SIZE
@@ -72,3 +78,121 @@ class TestAtrService:
         service.service(view, base, write=False)
         service.service(view, base + PAGE_SIZE, write=False)
         assert service.stats.faulting_vaddrs == [base, base + PAGE_SIZE]
+
+    def test_faulting_addresses_ring_is_bounded(self, space):
+        """The fault log keeps the newest FAULT_RING_CAPACITY addresses;
+        the counters stay exact."""
+        pages = FAULT_RING_CAPACITY + 7
+        base = space.alloc(pages * PAGE_SIZE, eager=True)
+        view = SequencerView(space)
+        service = AtrService(space)
+        for i in range(pages):
+            service.service(view, base + i * PAGE_SIZE, write=False)
+        assert service.stats.tlb_misses == pages
+        assert len(service.stats.faulting_vaddrs) == FAULT_RING_CAPACITY
+        # oldest entries dropped, newest kept
+        assert service.stats.faulting_vaddrs[0] == base + 7 * PAGE_SIZE
+        assert service.stats.faulting_vaddrs[-1] == (
+            base + (pages - 1) * PAGE_SIZE)
+
+    def test_unmapped_without_demand_paging_is_translation_fault(self):
+        space = AddressSpace(demand_paging=False)
+        base = space.alloc(PAGE_SIZE)  # lazy: no frame, and no proxy paging
+        view = SequencerView(space)
+        service = AtrService(space)
+        with pytest.raises(TranslationFault):
+            service.service(view, base, write=False)
+        assert service.stats.page_faults_proxied == 0
+
+    def test_write_to_read_only_page_is_protection_fault(self, space):
+        base = space.alloc(PAGE_SIZE, eager=True)
+        space.protect(base, writable=False)
+        view = SequencerView(space)
+        service = AtrService(space)
+        # reads still translate fine...
+        entry = service.service(view, base, write=False)
+        assert gtt_valid(entry)
+        # ...but the write flag is honoured against the RO PTE
+        with pytest.raises(ProtectionFault):
+            service.service(view, base, write=True)
+
+
+class TestBatchedService:
+    def test_batch_coalesces_duplicate_pages(self, space):
+        base = space.alloc(2 * PAGE_SIZE, eager=True)
+        view = SequencerView(space)
+        service = AtrService(space)
+        installed = service.service_batch(
+            view, [base, base + 8, base + PAGE_SIZE, base + PAGE_SIZE + 16])
+        assert sorted(installed) == [base >> 12, (base >> 12) + 1]
+        assert service.stats.batches == 1
+        assert service.stats.batched_misses == 2  # distinct pages only
+        assert service.stats.tlb_misses == 2
+        for vpn in installed:
+            assert vpn in view.tlb and vpn in view.gtt
+
+    def test_empty_batch_is_a_no_op(self, space):
+        view = SequencerView(space)
+        service = AtrService(space)
+        assert service.service_batch(view, []) == {}
+        assert service.stats.batches == 0
+
+    def test_batch_proxies_unmapped_pages_once_each(self, space):
+        base = space.alloc(3 * PAGE_SIZE)  # lazy
+        view = SequencerView(space)
+        service = AtrService(space)
+        vaddrs = [base + i * PAGE_SIZE for i in range(3)]
+        service.service_batch(view, vaddrs, write=True)
+        assert service.stats.page_faults_proxied == 3
+        for vaddr in vaddrs:
+            assert view.translate(vaddr) == space.translate(vaddr)
+
+
+class TestSharedTranslationCache:
+    def test_second_view_hits_shared_cache(self, space):
+        """Two exo-sequencers missing on the same pages share one
+        second-level translation cache: the second batch needs no
+        proxy walk at all."""
+        base = space.alloc(4 * PAGE_SIZE)
+        service = AtrService(space)
+        view_a = SequencerView(space, name="gma0")
+        view_b = SequencerView(space, name="gma1")
+        vaddrs = [base + i * PAGE_SIZE for i in range(4)]
+        service.service_batch(view_a, vaddrs, write=True)
+        proxied = service.stats.page_faults_proxied
+        service.service_batch(view_b, vaddrs, write=True)
+        assert service.stats.page_faults_proxied == proxied  # no new walks
+        assert service.stats.shared_cache_hits >= 4
+        for vaddr in vaddrs:
+            assert view_b.translate(vaddr) == view_a.translate(vaddr)
+
+    def test_write_miss_on_read_only_cached_entry_falls_through(self, space):
+        """The cache stores protection alongside the entry: a cached RO
+        translation must not satisfy a write."""
+        base = space.alloc(PAGE_SIZE, eager=True)
+        space.protect(base, writable=False)
+        service = AtrService(space)
+        view = SequencerView(space)
+        service.service(view, base, write=False)  # caches the RO entry
+        view.tlb.invalidate(None)
+        view.gtt.pop(base >> 12, None)
+        with pytest.raises(ProtectionFault):
+            service.service(view, base, write=True)
+
+    def test_disabled_shared_cache(self, space):
+        base = space.alloc(PAGE_SIZE, eager=True)
+        service = AtrService(space, use_shared_cache=False)
+        view = SequencerView(space)
+        service.service(view, base, write=False)
+        assert service.stats.shared_cache_hits == 0
+        assert service.stats.shared_cache_misses == 0
+
+    def test_lru_eviction(self):
+        cache = SharedTranslationCache(capacity=2)
+        cache.put(1, 0x11, True)
+        cache.put(2, 0x22, True)
+        assert cache.get(1) is not None  # freshens 1
+        cache.put(3, 0x33, True)  # evicts 2
+        assert 1 in cache and 3 in cache
+        assert cache.get(2) is None
+        assert len(cache) == 2

@@ -67,9 +67,38 @@ class TestDivideByZero:
         CehService().service(program, 0, ctx, fault)
         got = ctx.regs.read_lanes(3, 4)
         assert got[0] == 5.0
-        assert got[1] == -(2 ** 31 - 1)
+        assert got[1] == -(2 ** 31)  # two's-complement minimum, not -(max)
         assert got[2] == 2 ** 31 - 1
         assert got[3] == 1.0
+
+    def test_signed_saturation_lane_exact(self):
+        """Negative saturation must land on the signed *minimum*
+        -2^(bits-1), not -(2^(bits-1)-1): lane-level regression across a
+        narrow signed type, mixed with lanes that divide normally."""
+        program = assemble("div.4.w vr3 = vr1, vr2\nend")
+        ctx = FakeContext()
+        ctx.regs.write_lanes(1, np.array([-5.0, 5.0, -6.0, 6.0]))
+        ctx.regs.write_lanes(2, np.array([0.0, 0.0, 3.0, 3.0]))
+        fault = catch_fault(program, 0, ctx)
+        assert isinstance(fault, DivideByZeroFault)
+        CehService().service(program, 0, ctx, fault)
+        got = ctx.regs.read_lanes(3, 4)
+        assert got[0] == -(2 ** 15)  # int16 min
+        assert got[1] == 2 ** 15 - 1  # int16 max
+        assert got[2] == -2.0
+        assert got[3] == 2.0
+
+    def test_unsigned_saturation_floor_is_zero(self):
+        """An unsigned divide by zero can never saturate negative."""
+        program = assemble("div.2.uw vr3 = vr1, vr2\nend")
+        ctx = FakeContext()
+        ctx.regs.write_lanes(1, np.array([9.0, 8.0]))
+        ctx.regs.write_lanes(2, np.array([0.0, 4.0]))
+        fault = catch_fault(program, 0, ctx)
+        CehService().service(program, 0, ctx, fault)
+        got = ctx.regs.read_lanes(3, 2)
+        assert got[0] == 2 ** 16 - 1
+        assert got[1] == 2.0
 
     def test_float_ieee_infinity(self):
         program = assemble("div.2.f vr3 = vr1, vr2\nend")

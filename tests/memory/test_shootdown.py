@@ -1,0 +1,129 @@
+"""ATR shootdown coherence: host-side unmap/protect reaches every view.
+
+Without the broadcast, a device view keeps the stale TLB/GTT entry after
+``free`` and reads whatever the recycled physical frame now holds — the
+classic use-after-free through a stale translation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtectionFault, TlbMiss
+from repro.exo.atr import AtrService
+from repro.memory.address_space import AddressSpace, SequencerView
+from repro.memory.physical import PAGE_SIZE
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+def warm(service, view, base, pages, write=True):
+    return service.service_batch(
+        view, [base + i * PAGE_SIZE for i in range(pages)], write=write)
+
+
+class TestFreeShootdown:
+    def test_free_invalidates_tlb_and_gtt(self, space):
+        base = space.alloc(2 * PAGE_SIZE, eager=True)
+        service = AtrService(space)
+        view = SequencerView(space)
+        warm(service, view, base, 2)
+        assert (base >> 12) in view.tlb and (base >> 12) in view.gtt
+        space.free(base)
+        assert (base >> 12) not in view.tlb
+        assert (base >> 12) not in view.gtt
+        assert (base >> 12) + 1 not in view.tlb
+        assert (base >> 12) + 1 not in view.gtt
+        with pytest.raises(TlbMiss):
+            view.translate(base)
+
+    def test_counters_and_event_log(self, space):
+        base = space.alloc(3 * PAGE_SIZE, eager=True)
+        service = AtrService(space)
+        view = SequencerView(space)
+        warm(service, view, base, 3)
+        space.free(base)
+        assert space.shootdowns == 1
+        assert view.shootdowns_received == 1
+        assert service.stats.shootdowns == 1
+        assert service.stats.shootdown_pages == 3
+        event = space.shootdown_events[-1]
+        assert event["reason"] == "free"
+        assert event["pages"] == 3
+        assert event["views"] == 1
+
+    def test_stale_translation_cannot_see_recycled_frame(self, space):
+        """free + realloc recycles the physical frame; the old view
+        translation must not leak the new allocation's contents."""
+        base = space.alloc(PAGE_SIZE, eager=True)
+        space.write_bytes(base, np.full(8, 0xAA, dtype=np.uint8))
+        service = AtrService(space)
+        view = SequencerView(space)
+        warm(service, view, base, 1)
+        old_paddr = view.translate(base)
+        space.free(base)
+        sentinel = space.alloc(PAGE_SIZE, eager=True)
+        space.write_bytes(sentinel, np.full(8, 0x5C, dtype=np.uint8))
+        # the recycled frame really does hold the sentinel...
+        assert space.translate(sentinel) == old_paddr
+        # ...but the view's stale path is gone: the access faults instead
+        # of silently reading 0x5C through the dead translation
+        with pytest.raises(TlbMiss):
+            view.read_bytes(base, 8)
+
+    def test_free_reaches_every_registered_view(self, space):
+        base = space.alloc(PAGE_SIZE, eager=True)
+        service = AtrService(space)
+        views = [SequencerView(space, name=f"gma{i}") for i in range(3)]
+        for view in views:
+            warm(service, view, base, 1)
+        space.free(base)
+        for view in views:
+            assert (base >> 12) not in view.tlb
+            assert (base >> 12) not in view.gtt
+            assert view.shootdowns_received == 1
+
+    def test_shared_cache_invalidated_too(self, space):
+        base = space.alloc(PAGE_SIZE, eager=True)
+        service = AtrService(space)
+        view = SequencerView(space)
+        warm(service, view, base, 1)
+        assert (base >> 12) in service.shared_cache
+        space.free(base)
+        assert (base >> 12) not in service.shared_cache
+
+
+class TestProtectShootdown:
+    def test_protect_forces_refault_and_honours_new_bits(self, space):
+        base = space.alloc(PAGE_SIZE, eager=True)
+        service = AtrService(space)
+        view = SequencerView(space)
+        warm(service, view, base, 1)
+        changed = space.protect(base, writable=False)
+        assert changed == 1
+        assert (base >> 12) not in view.tlb  # must re-fault through ATR
+        with pytest.raises(ProtectionFault):
+            service.service(view, base, write=True)
+        # reads re-translate fine under the weakened mapping
+        service.service(view, base, write=False)
+        assert view.translate(base) == space.translate(base)
+
+    def test_protect_event_logged(self, space):
+        base = space.alloc(2 * PAGE_SIZE, eager=True)
+        space.protect(base, writable=False)
+        assert space.shootdown_events[-1]["reason"] == "protect"
+        assert space.shootdown_events[-1]["pages"] == 2
+
+    def test_unregistered_view_left_alone(self, space):
+        base = space.alloc(PAGE_SIZE, eager=True)
+        service = AtrService(space)
+        view = SequencerView(space)
+        warm(service, view, base, 1)
+        space.unregister_view(view)
+        space.free(base)
+        # no longer in the shootdown domain: the stale entry survives
+        # (this is exactly why views auto-register)
+        assert (base >> 12) in view.tlb
+        assert view.shootdowns_received == 0

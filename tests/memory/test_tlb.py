@@ -60,6 +60,50 @@ def test_probe_does_not_count():
     assert tlb.hits == 0 and tlb.misses == 0
 
 
+def test_probe_does_not_perturb_lru():
+    """probe is a diagnostic peek: unlike lookup, it must not freshen
+    the entry's recency (or the debugger would change eviction order)."""
+    tlb = Tlb(capacity=2)
+    tlb.insert(1, 11)
+    tlb.insert(2, 22)
+    assert tlb.probe(1) == 11  # does NOT make 1 most-recent
+    tlb.insert(3, 33)  # still evicts 1, the true LRU victim
+    assert 1 not in tlb and 2 in tlb and 3 in tlb
+    assert tlb.hits == 0 and tlb.misses == 0
+
+
+def test_invalidate_none_is_full_flush():
+    tlb = Tlb(capacity=4)
+    tlb.insert(1, 1)
+    tlb.insert(2, 2)
+    tlb.invalidate(None)  # explicit None, same as no-arg
+    assert len(tlb) == 0
+    with pytest.raises(TlbMiss):
+        tlb.lookup(1)
+
+
+def test_invalidate_absent_vpn_is_noop():
+    tlb = Tlb(capacity=2)
+    tlb.insert(1, 1)
+    tlb.invalidate(7)
+    assert 1 in tlb and len(tlb) == 1
+
+
+def test_capacity_one():
+    """Degenerate single-entry TLB: every new page displaces the last."""
+    tlb = Tlb(capacity=1)
+    tlb.insert(1, 11)
+    assert tlb.lookup(1) == 11
+    tlb.insert(2, 22)
+    assert 1 not in tlb and len(tlb) == 1
+    assert tlb.lookup(2) == 22
+    with pytest.raises(TlbMiss):
+        tlb.lookup(1)
+    # re-inserting the resident page must not evict it
+    tlb.insert(2, 99)
+    assert tlb.lookup(2) == 99 and len(tlb) == 1
+
+
 def test_capacity_validation():
     with pytest.raises(ValueError):
         Tlb(capacity=0)

@@ -141,3 +141,53 @@ class TestFabricTrace:
                                seconds=0.0, shreds=0)
         events = fabric_chrome_trace_events([idle])
         assert [e["ph"] for e in events] == ["M"]
+
+    def test_device_atr_breakdown_attached_to_process_rows(self, reports):
+        atr = {"gma0": {"tlb_hits": 7, "tlb_misses": 2, "gtt_walks": 1,
+                        "shootdowns": 1},
+               "gma1": {"tlb_hits": 5, "tlb_misses": 3, "gtt_walks": 0,
+                        "shootdowns": 1}}
+        events = fabric_chrome_trace_events(reports, device_atr=atr)
+        metas = {e["args"]["name"]: e for e in events if e["ph"] == "M"}
+        assert metas["gma0 (X3000)"]["args"]["atr"] == atr["gma0"]
+        assert metas["gma1 (X3000)"]["args"]["atr"] == atr["gma1"]
+
+    def test_runtime_device_atr_round_trips(self, tmp_path):
+        rt = ChiRuntime(ExoPlatform(num_gma_devices=2))
+        region = rt.parallel("mul.1.dw vr1 = tid, 2\nend", num_threads=48)
+        path = tmp_path / "fabric.trace.json"
+        export_fabric_chrome_trace(region.result.reports, path,
+                                   device_atr=rt.stats.device_atr)
+        data = json.loads(path.read_text())
+        metas = [e for e in data["traceEvents"] if e["ph"] == "M"]
+        assert all("atr" in m["args"] for m in metas)
+        for meta in metas:
+            assert set(meta["args"]["atr"]) == {
+                "tlb_hits", "tlb_misses", "gtt_walks", "shootdowns"}
+
+
+class TestShootdownTrace:
+    def test_one_span_per_broadcast(self, space, tmp_path):
+        from repro.memory.physical import PAGE_SIZE
+        from repro.perf.trace import (
+            SHOOTDOWN_PID,
+            export_shootdown_trace,
+            shootdown_trace_events,
+        )
+
+        base = space.alloc(3 * PAGE_SIZE, eager=True)
+        space.protect(base, writable=False)
+        space.free(base)
+        events = shootdown_trace_events(space)
+        metas = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert metas[0]["args"]["name"] == "ATR shootdowns"
+        assert metas[0]["pid"] == SHOOTDOWN_PID
+        assert [s["args"]["reason"] for s in spans] == ["protect", "free"]
+        assert all(s["args"]["pages"] == 3 for s in spans)
+        assert spans[0]["ts"] < spans[1]["ts"]  # broadcast order preserved
+
+        path = tmp_path / "shootdowns.trace.json"
+        count = export_shootdown_trace(space, path)
+        data = json.loads(path.read_text())
+        assert len(data["traceEvents"]) == count == 3
