@@ -73,7 +73,9 @@ class ExoPlatform:
     and coherence point (the shared-virtual-memory multi-accelerator
     baseline), and registers in :attr:`fabric` alongside the IA32
     sequencer class.  ``queue_depth`` / ``admission_policy`` configure the
-    per-device admission queues (see :mod:`repro.fabric.queue`).
+    per-device admission queues (see :mod:`repro.fabric.queue`);
+    ``gma_engine`` selects the execution engine every GMA instance uses
+    (``"scalar"`` or ``"gang"``, see :mod:`repro.gma.gang`).
     """
 
     def __init__(self,
@@ -87,7 +89,8 @@ class ExoPlatform:
                  num_gma_devices: int = 1,
                  queue_depth: Optional[int] = None,
                  admission_policy=AdmissionPolicy.RAISE,
-                 atr_shared_cache: bool = True):
+                 atr_shared_cache: bool = True,
+                 gma_engine: str = "scalar"):
         if num_gma_devices < 1:
             raise SchedulingError(
                 f"need at least one GMA device, got {num_gma_devices}")
@@ -108,7 +111,8 @@ class ExoPlatform:
         self.fabric = DeviceRegistry()
         for i in range(num_gma_devices):
             gma = GmaDevice(self.space, exoskeleton=self.exoskeleton,
-                            config=gma_config, coherence=self.coherence)
+                            config=gma_config, coherence=self.coherence,
+                            engine=gma_engine)
             self.fabric.register(GmaFabricDevice(
                 f"gma{i}", gma, queue=self._make_queue(f"gma{i}",
                                                        queue_depth, policy)))

@@ -26,6 +26,7 @@ from ..fabric.dispatcher import (
     WorkItem,
     WorkStealingDispatcher,
     dependency_groups,
+    drain_devices,
 )
 from ..gma.firmware import GmaRunResult
 from ..isa.assembler import assemble
@@ -143,9 +144,14 @@ class ChiRuntime:
     """The user-level runtime layer over one :class:`ExoPlatform`."""
 
     def __init__(self, platform: Optional[ExoPlatform] = None,
-                 fatbinary: Optional[FatBinary] = None):
+                 fatbinary: Optional[FatBinary] = None,
+                 parallel_fabric: bool = False):
         self.platform = platform or ExoPlatform()
         self.fatbinary = fatbinary or FatBinary(name="chi-app")
+        #: Drain multi-device regions on host worker threads (one per
+        #: device).  Simulated time and results are unchanged; only the
+        #: host wall-clock of the drain shrinks.
+        self.parallel_fabric = parallel_fabric
         self.timeline = Timeline()
         self._descriptors: List[SurfaceDescriptor] = []
         self._features: Dict[str, Dict[str, object]] = {}
@@ -339,9 +345,8 @@ class ChiRuntime:
 
         atr_before = self._atr_counters(devices)
         if len(devices) == 1:
-            report = devices[0].run_shreds(shreds)
-            result = report.merged_result()
-            reports = [report]
+            reports = drain_devices([(devices[0], shreds)])
+            result = reports[0].merged_result()
         else:
             reports = self._dispatch_fabric(shreds, devices)
             result = FabricRunResult(reports=reports)
@@ -373,6 +378,7 @@ class ChiRuntime:
         self.stats.shreds += len(shreds)
         self.stats.gma_seconds += gma_seconds
         self.stats.copy_seconds += copy_seconds
+        self.stats.note_engine(result)
         for report in reports:
             self.stats.note_device(report.device, report.seconds,
                                    report.shreds)
@@ -422,13 +428,12 @@ class ChiRuntime:
         ]
         dispatcher = WorkStealingDispatcher([d.name for d in devices])
         outcome = dispatcher.dispatch(items)
-        reports = []
-        for device in devices:
-            assigned = [shred for item in outcome.items_on(device.name)
-                        for shred in item.payload]
-            if assigned:
-                reports.append(device.run_shreds(assigned))
-        return reports
+        assignments = [
+            (device, [shred for item in outcome.items_on(device.name)
+                      for shred in item.payload])
+            for device in devices
+        ]
+        return drain_devices(assignments, parallel=self.parallel_fabric)
 
     def _data_copy_seconds(self, shreds: List[ShredDescriptor]) -> float:
         """Explicit copies for the no-shared-virtual-memory configuration:
@@ -530,6 +535,13 @@ class RuntimeStats:
     #: Per-device translation accounting: TLB hits/misses, GTT hardware
     #: walks, and shootdown broadcasts the device's view absorbed.
     device_atr: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Execution-engine accounting (the gang engine and its predecode
+    #: cache): instructions retired while ganged, shreds that fell back
+    #: to the scalar interpreter, and decode-cache hits/misses.
+    gang_lanes_retired: int = 0
+    scalar_fallbacks: int = 0
+    predecode_hits: int = 0
+    predecode_misses: int = 0
 
     def note_device(self, device: str, seconds: float, shreds: int) -> None:
         self.device_seconds[device] = (
@@ -542,3 +554,11 @@ class RuntimeStats:
         bucket = self.device_atr.setdefault(device, {})
         for key, value in counters.items():
             bucket[key] = bucket.get(key, 0) + value
+
+    def note_engine(self, result) -> None:
+        """Accumulate one region's engine counters (``GmaRunResult`` and
+        ``FabricRunResult`` both expose them; other backends may not)."""
+        self.gang_lanes_retired += getattr(result, "gang_lanes_retired", 0)
+        self.scalar_fallbacks += getattr(result, "scalar_fallbacks", 0)
+        self.predecode_hits += getattr(result, "predecode_hits", 0)
+        self.predecode_misses += getattr(result, "predecode_misses", 0)

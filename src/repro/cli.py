@@ -22,7 +22,9 @@ from .chi.frontend.driver import CompiledProgram, compile_source
 from .chi.frontend.parser import parse
 from .chi.frontend import lower, sema
 from .chi.platform import ExoPlatform
+from .chi.runtime import ChiRuntime
 from .errors import ReproError
+from .gma.device import GmaDevice
 from .isa.disassembler import disassemble
 
 
@@ -80,11 +82,21 @@ def chirun(argv=None) -> int:
                          help="print runtime statistics after execution")
     parser_.add_argument("--gma-devices", type=int, default=1, metavar="N",
                          help="simulate an N-accelerator fabric (default 1)")
+    parser_.add_argument("--engine", choices=GmaDevice.ENGINES,
+                         default="scalar",
+                         help="GMA execution engine: scalar interpretation "
+                              "or gang-vectorized batching (default scalar)")
+    parser_.add_argument("--parallel-fabric", action="store_true",
+                         help="drain multi-device regions on host worker "
+                              "threads (same results, less wall-clock)")
     args = parser_.parse_args(argv)
     try:
-        platform = ExoPlatform(num_gma_devices=args.gma_devices)
+        platform = ExoPlatform(num_gma_devices=args.gma_devices,
+                               gma_engine=args.engine)
+        runtime = ChiRuntime(platform,
+                             parallel_fabric=args.parallel_fabric)
         program = _load(args.image)
-        result = program.run(platform=platform)
+        result = program.run(runtime=runtime)
     except ReproError as exc:
         print(f"chirun: {exc}", file=sys.stderr)
         return 1
@@ -100,6 +112,14 @@ def chirun(argv=None) -> int:
                   f"{stats.device_seconds[name] * 1e6:.1f}us busy, "
                   f"{stats.device_shreds.get(name, 0)} shreds",
                   file=sys.stderr)
+        if args.engine != "scalar":
+            total = stats.predecode_hits + stats.predecode_misses
+            rate = stats.predecode_hits / total if total else 0.0
+            print(f"[chirun] engine={args.engine} "
+                  f"gang_lanes={stats.gang_lanes_retired} "
+                  f"scalar_fallbacks={stats.scalar_fallbacks} "
+                  f"decode_cache={stats.predecode_hits}/{total} "
+                  f"({rate:.0%} hit)", file=sys.stderr)
     value = result.exit_value
     return int(value) if isinstance(value, (int, float)) else 0
 

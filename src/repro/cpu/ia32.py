@@ -13,6 +13,7 @@ bandwidth-bound, whichever is slower.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from .timing import CpuTimingConfig
 
@@ -51,8 +52,8 @@ class CpuExecution:
 class Ia32Cpu:
     """Cost-model execution of kernels on the OS-managed sequencer."""
 
-    def __init__(self, config: CpuTimingConfig = CpuTimingConfig()):
-        self.config = config
+    def __init__(self, config: Optional[CpuTimingConfig] = None):
+        self.config = config if config is not None else CpuTimingConfig()
 
     def execute(self, work: CpuWork, fraction: float = 1.0) -> CpuExecution:
         """Time for this sequencer to process ``fraction`` of the work."""

@@ -18,6 +18,7 @@ are consumed by :mod:`repro.perf.model`.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Optional
 
@@ -54,11 +55,16 @@ class Exoskeleton:
 
     def __init__(self, space: AddressSpace,
                  host: Optional[OsManagedSequencer] = None,
-                 costs: ProxyCosts = ProxyCosts(),
+                 costs: Optional[ProxyCosts] = None,
                  atr_shared_cache: bool = True):
         self.space = space
         self.host = host or OsManagedSequencer()
-        self.costs = costs
+        self.costs = costs if costs is not None else ProxyCosts()
+        # Proxy services model *one* IA32 sequencer handling user-level
+        # interrupts serially; when several fabric devices drain on worker
+        # threads (drain_devices(parallel=True)) their requests must still
+        # serialize through this point.
+        self._proxy_lock = threading.RLock()
         self.log = SignalLog()
         self.vector = InterruptVector()
         self.atr = AtrService(space, use_shared_cache=atr_shared_cache)
@@ -74,21 +80,23 @@ class Exoskeleton:
     def signal_dispatch(self, shred: ShredDescriptor, target: str) -> None:
         """The MISP ``SIGNAL`` instruction: hand a shred continuation to an
         exo-sequencer (via the firmware's work queue)."""
-        self.log.record(Signal(SignalKind.DISPATCH, self.host.name, target,
-                               payload=shred.shred_id))
-        self.host.proxy_seconds += self.costs.dispatch_seconds
+        with self._proxy_lock:
+            self.log.record(Signal(SignalKind.DISPATCH, self.host.name,
+                                   target, payload=shred.shred_id))
+            self.host.proxy_seconds += self.costs.dispatch_seconds
 
     # -- exo -> IA32 (proxy execution) ----------------------------------------------
 
     def request_atr(self, view: SequencerView, vaddr: int, write: bool,
                     source: str) -> int:
         """Exo-sequencer TLB miss: suspend, proxy on IA32, transcode, resume."""
-        signal = Signal(SignalKind.ATR_REQUEST, source, self.host.name,
-                        payload=(view, vaddr, write))
-        self.log.record(signal)
-        self.host.proxy_events += 1
-        self.host.proxy_seconds += self.costs.atr_seconds
-        return self.vector.raise_signal(signal)
+        with self._proxy_lock:
+            signal = Signal(SignalKind.ATR_REQUEST, source, self.host.name,
+                            payload=(view, vaddr, write))
+            self.log.record(signal)
+            self.host.proxy_events += 1
+            self.host.proxy_seconds += self.costs.atr_seconds
+            return self.vector.raise_signal(signal)
 
     def request_atr_batch(self, view: SequencerView, vaddrs, write: bool,
                           source: str) -> dict:
@@ -100,33 +108,36 @@ class Exoskeleton:
         devices faulting on the same surfaces off the IA32 critical path.
         """
         vaddrs = tuple(vaddrs)
-        signal = Signal(SignalKind.ATR_BATCH, source, self.host.name,
-                        payload=(view, vaddrs, write))
-        self.log.record(signal)
-        self.host.proxy_events += 1
-        distinct = len({v >> PAGE_SHIFT for v in vaddrs})
-        self.host.proxy_seconds += (
-            self.costs.atr_seconds
-            + self.costs.atr_entry_seconds * max(0, distinct - 1))
-        return self.vector.raise_signal(signal)
+        with self._proxy_lock:
+            signal = Signal(SignalKind.ATR_BATCH, source, self.host.name,
+                            payload=(view, vaddrs, write))
+            self.log.record(signal)
+            self.host.proxy_events += 1
+            distinct = len({v >> PAGE_SHIFT for v in vaddrs})
+            self.host.proxy_seconds += (
+                self.costs.atr_seconds
+                + self.costs.atr_entry_seconds * max(0, distinct - 1))
+            return self.vector.raise_signal(signal)
 
     def request_ceh(self, program: Program, ip: int, ctx,
                     fault: ExecutionFault, source: str) -> Effect:
         """Exo-sequencer exception: ship to IA32 for collaborative handling."""
-        signal = Signal(SignalKind.CEH_REQUEST, source, self.host.name,
-                        payload=(program, ip, ctx, fault))
-        self.log.record(signal)
-        self.host.proxy_events += 1
-        self.host.proxy_seconds += self.costs.ceh_seconds
-        return self.vector.raise_signal(signal)
+        with self._proxy_lock:
+            signal = Signal(SignalKind.CEH_REQUEST, source, self.host.name,
+                            payload=(program, ip, ctx, fault))
+            self.log.record(signal)
+            self.host.proxy_events += 1
+            self.host.proxy_seconds += self.costs.ceh_seconds
+            return self.vector.raise_signal(signal)
 
     def notify_completion(self, shred: ShredDescriptor, source: str) -> None:
         """Asynchronous completion notify (``master_nowait`` support)."""
-        signal = Signal(SignalKind.COMPLETION, source, self.host.name,
-                        payload=shred.shred_id)
-        self.log.record(signal)
-        self.completions.append(shred.shred_id)
-        self.vector.raise_signal(signal)
+        with self._proxy_lock:
+            signal = Signal(SignalKind.COMPLETION, source, self.host.name,
+                            payload=shred.shred_id)
+            self.log.record(signal)
+            self.completions.append(shred.shred_id)
+            self.vector.raise_signal(signal)
 
     # -- default handlers ------------------------------------------------------------
 

@@ -56,7 +56,7 @@ class MispPool:
     """
 
     def __init__(self, num_sequencers: int = 1,
-                 cpu_config: CpuTimingConfig = CpuTimingConfig(),
+                 cpu_config: Optional[CpuTimingConfig] = None,
                  log: Optional[SignalLog] = None):
         if num_sequencers < 1:
             raise SchedulingError("a MISP pool needs at least one AMS")
@@ -64,7 +64,8 @@ class MispPool:
             Sequencer(name=f"ams-{i}", kind=SequencerKind.EXO, isa="IA32")
             for i in range(num_sequencers)
         ]
-        self.cpu = Ia32Cpu(cpu_config)
+        self.cpu = Ia32Cpu(cpu_config if cpu_config is not None
+                           else CpuTimingConfig())
         self.log = log or SignalLog()
         self._pending: List[HostShred] = []
         self._finished: dict = {}

@@ -48,6 +48,10 @@ class DeviceRunReport:
     config: Optional[GmaTimingConfig] = None  # None for non-GMA backends
     copy_seconds: float = 0.0  # explicit transfer time (driver backends)
     sub_batches: int = 1
+    #: Host wall-clock seconds the drain took (measured by
+    #: :func:`~repro.fabric.dispatcher.drain_devices`; 0.0 when the batch
+    #: ran outside it).  Distinct from ``seconds``, which is simulated.
+    wall_seconds: float = 0.0
 
     def merged_result(self) -> GmaRunResult:
         """One :class:`~repro.gma.firmware.GmaRunResult` for the batch.
@@ -72,6 +76,10 @@ class DeviceRunReport:
             merged.ceh_events += result.ceh_events
             merged.spawned_shreds += result.spawned_shreds
             merged.pages_prepared += result.pages_prepared
+            merged.gang_lanes_retired += result.gang_lanes_retired
+            merged.scalar_fallbacks += result.scalar_fallbacks
+            merged.predecode_hits += result.predecode_hits
+            merged.predecode_misses += result.predecode_misses
             if result.timing is not None:
                 for sid, (s, f, eu, slot) in result.timing.spans.items():
                     timing.spans[sid] = (s + offset, f + offset, eu, slot)
@@ -146,6 +154,22 @@ class FabricRunResult:
     @property
     def pages_prepared(self) -> int:
         return self._sum("pages_prepared")
+
+    @property
+    def gang_lanes_retired(self) -> int:
+        return self._sum("gang_lanes_retired")
+
+    @property
+    def scalar_fallbacks(self) -> int:
+        return self._sum("scalar_fallbacks")
+
+    @property
+    def predecode_hits(self) -> int:
+        return self._sum("predecode_hits")
+
+    @property
+    def predecode_misses(self) -> int:
+        return self._sum("predecode_misses")
 
     def report_for(self, device: str) -> Optional[DeviceRunReport]:
         for report in self.reports:

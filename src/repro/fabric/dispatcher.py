@@ -24,6 +24,8 @@ Three properties the dispatcher honors:
 from __future__ import annotations
 
 import heapq
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -230,6 +232,37 @@ class WorkStealingDispatcher:
     def _next_wake(finish: Dict[int, float], now: float) -> Optional[float]:
         pending = [t for t in finish.values() if t > now]
         return min(pending) if pending else None
+
+
+def drain_devices(assignments, parallel: bool = False):
+    """Run each ``(device, shreds)`` assignment and collect its report.
+
+    The functional/timing model of every device is single-threaded and
+    deterministic; draining *different* devices concurrently is safe
+    because they share no mutable state beyond the exoskeleton services,
+    which serialize internally.  With ``parallel=True`` each device drains
+    on its own :class:`~concurrent.futures.ThreadPoolExecutor` worker —
+    this changes host wall-clock only, never simulated time or results.
+
+    Every report's ``wall_seconds`` records the host wall-clock the drain
+    spent inside ``run_shreds`` (useful next to the simulated ``seconds``
+    in the fabric Chrome trace).  Empty assignments are skipped; report
+    order always matches assignment order.
+    """
+    pairs = [(device, list(shreds)) for device, shreds in assignments
+             if shreds]
+
+    def _run(pair):
+        device, shreds = pair
+        t0 = time.perf_counter()
+        report = device.run_shreds(shreds)
+        report.wall_seconds = time.perf_counter() - t0
+        return report
+
+    if parallel and len(pairs) > 1:
+        with ThreadPoolExecutor(max_workers=len(pairs)) as pool:
+            return list(pool.map(_run, pairs))
+    return [_run(pair) for pair in pairs]
 
 
 def dependency_groups(

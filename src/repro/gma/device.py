@@ -30,12 +30,23 @@ class GmaDevice:
 
     ISA = "X3000"
 
+    #: Supported execution engines: "scalar" interprets each shred one
+    #: instruction at a time; "gang" batches same-program launches across
+    #: the shred axis (see :mod:`repro.gma.gang`), with scalar peel-off.
+    ENGINES = ("scalar", "gang")
+
     def __init__(self, space: AddressSpace,
                  exoskeleton: Optional[Exoskeleton] = None,
-                 config: GmaTimingConfig = GmaTimingConfig(),
-                 coherence: Optional[CoherencePoint] = None):
+                 config: Optional[GmaTimingConfig] = None,
+                 coherence: Optional[CoherencePoint] = None,
+                 engine: str = "scalar"):
+        if engine not in self.ENGINES:
+            raise ValueError(
+                f"unknown GMA engine {engine!r} (choose from {self.ENGINES})")
         self.space = space
+        config = config if config is not None else GmaTimingConfig()
         self.config = config
+        self.engine = engine
         self.exoskeleton = exoskeleton or Exoskeleton(space)
         self.coherence = coherence or CoherencePoint(coherent=True)
         self.view = SequencerView(

@@ -68,11 +68,12 @@ class DeviceTiming:
 class _Context:
     """One hardware thread context replaying its queue of shred traces."""
 
-    __slots__ = ("queue", "qidx", "trace", "tidx", "ready_time", "current",
-                 "start_time")
+    __slots__ = ("queue", "slot", "qidx", "trace", "tidx", "ready_time",
+                 "current", "start_time")
 
-    def __init__(self, queue: List[ShredRun]):
+    def __init__(self, queue: List[ShredRun], slot: int = 0):
         self.queue = queue
+        self.slot = slot
         self.qidx = 0
         self.trace: Optional[Sequence] = None
         self.tidx = 0
@@ -110,7 +111,8 @@ def simulate_device(runs: Sequence[ShredRun], config: GmaTimingConfig,
     per_eu = config.threads_per_eu
     for eu in range(config.num_eus):
         ctxs = [
-            _Context(queues[eu * per_eu + slot]) for slot in range(per_eu)
+            _Context(queues[eu * per_eu + slot], slot)
+            for slot in range(per_eu)
         ]
         report = _simulate_eu(ctxs, not_before, finish, spans, eu)
         reports.append(report)
@@ -133,6 +135,15 @@ def simulate_device(runs: Sequence[ShredRun], config: GmaTimingConfig,
 def _simulate_eu(ctxs: List[_Context], not_before: Dict[int, float],
                  finish: Dict[int, float], spans: Dict[int, tuple],
                  eu_index: int) -> EuReport:
+    populated = [ctx for ctx in ctxs if ctx.queue]
+    if not populated:
+        return EuReport()
+    if len(populated) == 1:
+        # one busy context: no interleaving is possible, so replay its
+        # traces sequentially instead of event-stepping the full loop.
+        # Cycle-exact with the general path (same stalls, spans, drain).
+        return _drain_single_context(populated[0], not_before, finish,
+                                     spans, eu_index)
     now = 0.0
     busy = 0.0
     stall = 0.0
@@ -173,7 +184,7 @@ def _simulate_eu(ctxs: List[_Context], not_before: Dict[int, float],
                 shred_id = ctx.current.shred.shred_id
                 finish[shred_id] = ctx.ready_time
                 spans[shred_id] = (ctx.start_time, ctx.ready_time,
-                                   eu_index, ctxs.index(ctx))
+                                   eu_index, ctx.slot)
                 local_finish.append(ctx.ready_time)
                 ctx.trace = None
                 ctx.current = None
@@ -199,5 +210,51 @@ def _simulate_eu(ctxs: List[_Context], not_before: Dict[int, float],
         now = next_time
 
     # drain: in-flight latency of the last instructions extends past `now`
+    end = max([now] + local_finish)
+    return EuReport(cycles=end, busy_cycles=busy, exposed_stall_cycles=stall)
+
+
+def _drain_single_context(ctx: _Context, not_before: Dict[int, float],
+                          finish: Dict[int, float], spans: Dict[int, tuple],
+                          eu_index: int) -> EuReport:
+    """Sequential replay of one context's queue (the only busy context).
+
+    Mirrors the general loop exactly: every instruction's latency is an
+    exposed stall (there is no peer context to cover it), except the last
+    instruction of a shred, whose in-flight latency extends the shred's
+    finish time instead.
+    """
+    now = 0.0
+    busy = 0.0
+    stall = 0.0
+    local_finish: List[float] = []
+    while ctx.qidx < len(ctx.queue):
+        run = ctx.queue[ctx.qidx]
+        ctx.qidx += 1
+        gate = not_before.get(run.shred.shred_id, 0.0)
+        if gate > now:
+            stall += gate - now
+            now = gate
+        ctx.ready_time = max(ctx.ready_time, now)
+        start = ctx.ready_time  # previous shred's drain gates this one
+        if start > now:
+            stall += start - now
+            now = start
+        end_ready = now
+        trace = run.trace
+        last = len(trace) - 1
+        for t, (issue, latency) in enumerate(trace):
+            now += issue
+            busy += issue
+            if t < last:
+                stall += latency
+                now += latency
+            else:
+                end_ready = now + latency
+        shred_id = run.shred.shred_id
+        finish[shred_id] = end_ready
+        spans[shred_id] = (start, end_ready, eu_index, ctx.slot)
+        local_finish.append(end_ready)
+        ctx.ready_time = end_ready
     end = max([now] + local_finish)
     return EuReport(cycles=end, busy_cycles=busy, exposed_stall_cycles=stall)

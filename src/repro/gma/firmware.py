@@ -23,8 +23,10 @@ import numpy as np
 
 from ..errors import ExecutionFault, SchedulingError
 from ..exo.shred import ShredDescriptor
+from ..isa import predecode
 from .context import ShredContext
 from .eu import DeviceTiming, simulate_device
+from .gang import gang_eligible, run_gang
 from .interpreter import ShredInterpreter, ShredRun
 from .timing import GmaTimingConfig
 from .workqueue import WorkQueue
@@ -47,6 +49,10 @@ class GmaRunResult:
     ceh_events: int = 0
     spawned_shreds: int = 0
     pages_prepared: int = 0  # GTT entries validated at launch (section 4.6)
+    gang_lanes_retired: int = 0   # instructions retired while ganged
+    scalar_fallbacks: int = 0     # shreds executed by the scalar engine
+    predecode_hits: int = 0       # decode-cache hits during this run
+    predecode_misses: int = 0
 
     @property
     def cycles(self) -> float:
@@ -72,16 +78,39 @@ class EmulationFirmware:
         self.device._live_contexts = live_contexts
         self.device._spawn_queue = queue
 
+        engine = getattr(self.device, "engine", "scalar")
+        cache = predecode.CACHE
+        hits_before, misses_before = cache.hits, cache.misses
+
         executed: List[ShredRun] = []
         while len(queue):
+            if engine == "gang":
+                batch = self._gang_batch(queue)
+                if batch is not None:
+                    outcome = run_gang(self.device, batch, mailboxes,
+                                       live_contexts)
+                    for shred in batch:
+                        queue.mark_done(shred.shred_id)
+                    executed.extend(outcome.runs)
+                    result.gang_lanes_retired += outcome.lanes_retired
+                    result.scalar_fallbacks += outcome.scalar_fallbacks
+                    continue
             shred = queue.pop_ready()
             if shred is None:
                 raise SchedulingError(
                     "work queue deadlock: pending shreds wait on "
                     "dependencies that never complete")
             run = self._execute_shred(shred, mailboxes, live_contexts)
+            if engine == "gang":
+                result.scalar_fallbacks += 1
             executed.append(run)
             queue.mark_done(shred.shred_id)
+
+        # per-run deltas; under a parallel multi-device drain the split
+        # between devices is approximate (the cache and its counters are
+        # process wide), the fleet total stays exact
+        result.predecode_hits = cache.hits - hits_before
+        result.predecode_misses = cache.misses - misses_before
 
         undelivered = {k: v for k, v in mailboxes.items() if v}
         if undelivered:
@@ -103,6 +132,13 @@ class EmulationFirmware:
         return result
 
     # -- functional pass ---------------------------------------------------------
+
+    def _gang_batch(self, queue: WorkQueue):
+        """The whole pending FIFO, when it can run as one gang."""
+        pending = queue.pending()
+        if not gang_eligible(self.device, pending):
+            return None
+        return [queue.pop_ready() for _ in range(len(pending))]
 
     def _execute_shred(self, shred: ShredDescriptor,
                        mailboxes: Dict[int, list],

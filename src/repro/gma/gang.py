@@ -1,0 +1,471 @@
+"""Gang-vectorized SIMT execution of one homogeneous shred batch.
+
+When every queued shred runs the same :class:`~repro.isa.program.Program`
+(the common kernel-launch case), the gang engine executes them in
+lockstep: one numpy register file with a leading *shred axis* —
+``V[shred, vreg, lane]`` / ``P[shred, preg, lane]`` — so each decoded
+instruction applies to all active shreds in a single vectorized
+operation instead of N scalar trips through ``semantics.execute``.
+
+The scalar interpreter remains the reference semantics.  Anything the
+gang cannot prove it can batch exactly is *peeled*: the affected shreds
+are handed to :class:`~repro.gma.interpreter.ShredInterpreter` at the
+divergence point, resuming on the same register state (their lane views)
+and the same :class:`~repro.gma.interpreter.ShredRun` record.  Peel
+triggers, per the predecode ``batch_class``:
+
+* **control** — END/NOP/FENCE and *uniform* branches stay ganged; a
+  divergent branch keeps the majority side ganged and peels the rest;
+* **per_shred** — memory and sampler traffic executes through the scalar
+  ``semantics.execute`` per shred while the gang stays resident; a
+  ``TlbMiss`` peels the missing shred *and everything behind it in queue
+  order* so ATR service order matches the scalar engine, and a CEH fault
+  peels just the faulting shred;
+* **alu** — one batched numpy step; a batch-level fault (divide-by-zero,
+  float overflow, unresolvable symbol) re-runs the step per shred, which
+  reproduces the architectural per-shred fault;
+* **peel_all** — SPAWN abandons lockstep entirely: peeling parents in
+  queue order preserves the global child shred-id assignment order.
+
+Accounting is bit-identical to scalar execution for race-free launches:
+retired instructions go through the shared
+:func:`~repro.gma.interpreter.account_instruction`, and the device
+cache's order-dependent first-touch line charging is *deferred* — every
+access logs its span and the log replays per shred in queue order after
+the gang drains, exactly as the scalar engine would have charged it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ExecutionFault, TlbMiss
+from ..exo.shred import ShredDescriptor, ShredState
+from ..isa import predecode, semantics
+from ..isa.instructions import Effect
+from ..isa.opcodes import Opcode
+from ..isa.operands import (
+    ImmOperand,
+    PredOperand,
+    RangeOperand,
+    RegOperand,
+    SymOperand,
+)
+from ..isa.registers import RegisterFile
+from ..isa.types import DataType, NUM_PREGS, NUM_VREGS, VLEN
+from .context import ShredContext
+from .interpreter import (
+    MAX_INSTRUCTIONS,
+    ShredInterpreter,
+    ShredRun,
+    account_instruction,
+    finish_run,
+)
+
+
+class GangLaneRegs(RegisterFile):
+    """A RegisterFile whose storage is one shred's slice of the gang state.
+
+    The batched engine reads and writes ``V``/``P`` directly; peeled
+    shreds keep operating on the same memory through these views, so no
+    state is copied at the divergence point.
+    """
+
+    def __init__(self, v_lane: np.ndarray, p_lane: np.ndarray):
+        # bypass RegisterFile.__init__: storage is a view, not an alloc
+        self.num_vregs = v_lane.shape[0]
+        self.vlen = v_lane.shape[1]
+        self._v = v_lane
+        self._p = p_lane
+
+
+class GangShredContext(ShredContext):
+    """ShredContext that defers device-cache line charging.
+
+    First-touch 64-byte-line charging is order dependent across shreds;
+    under lockstep the interleaving differs from the scalar engine's
+    queue-order execution.  Device-side spans are therefore logged and
+    replayed per shred in queue order by :func:`_replay_charges`.  Proxy
+    (CEH) accesses charge raw bytes immediately — they are order
+    independent — exactly as the base class does.
+    """
+
+    def __init__(self, shred: ShredDescriptor, view, space, device):
+        self.charge_log: List[Tuple[int, int, bool]] = []
+        super().__init__(shred, view, space, device=device)
+
+    def _charge_span(self, lo: int, nbytes: int, write: bool) -> None:
+        if self.device is None or self.proxy_mode:
+            super()._charge_span(lo, nbytes, write)
+        else:
+            self.charge_log.append((lo, nbytes, write))
+
+
+@dataclass
+class GangOutcome:
+    """What one gang drain produced, in shred queue order."""
+
+    runs: List[ShredRun] = field(default_factory=list)
+    lanes_retired: int = 0    # instructions retired while gang resident
+    scalar_fallbacks: int = 0  # shreds peeled to the scalar interpreter
+
+
+def gang_eligible(device, shreds: Sequence[ShredDescriptor]) -> bool:
+    """Can this batch run as one gang with scalar-identical results?"""
+    if len(shreds) < 2:
+        return False
+    program = shreds[0].program
+    if any(s.program is not program for s in shreds):
+        return False
+    if any(s.depends_on for s in shreds):
+        return False
+    entry = shreds[0].entry
+    if any(s.entry != entry for s in shreds):
+        return False
+    coherence = getattr(device, "coherence", None)
+    if coherence is not None and not coherence.coherent:
+        # non-coherent runs track per-access dirty state whose order the
+        # lockstep interleaving would change
+        return False
+    return predecode.lookup(program).gangable
+
+
+def run_gang(device, shreds: Sequence[ShredDescriptor],
+             mailboxes: Dict[int, list],
+             live_contexts: Dict[int, ShredContext]) -> GangOutcome:
+    """Execute a homogeneous batch in lockstep; returns runs in order."""
+    program = shreds[0].program
+    pre_prog = predecode.lookup(program)
+    config = device.config
+    exo = device.exoskeleton
+    count = len(shreds)
+    ninstr = len(program.instructions)
+
+    V = np.zeros((count, NUM_VREGS, VLEN), dtype=np.float64)
+    P = np.zeros((count, NUM_PREGS, VLEN), dtype=bool)
+
+    ctxs: List[GangShredContext] = []
+    recs: List[ShredRun] = []
+    for i, shred in enumerate(shreds):
+        ctx = GangShredContext(shred, device.view, device.space, device)
+        ctx.regs = GangLaneRegs(V[i], P[i])
+        ctx.regs.write_scalar(0, float(shred.shred_id))
+        for reg, values in mailboxes.pop(shred.shred_id, []):
+            ctx.regs.write_lanes(reg, np.asarray(values, dtype=np.float64))
+        live_contexts[shred.shred_id] = ctx
+        shred.state = ShredState.RUNNING
+        ctxs.append(ctx)
+        recs.append(ShredRun(shred=shred))
+
+    outcome = GangOutcome(runs=recs)
+    active: List[int] = list(range(count))
+    ip = shreds[0].entry
+
+    def finish_one(i: int) -> None:
+        finish_run(recs[i], config)
+        shreds[i].state = ShredState.DONE
+        live_contexts.pop(shreds[i].shred_id, None)
+
+    def peel(pairs: Sequence[Tuple[int, int]]) -> None:
+        """Run (shred index, resume ip) pairs to completion, in order."""
+        for i, at_ip in pairs:
+            outcome.scalar_fallbacks += 1
+            interp = ShredInterpreter(shreds[i], ctxs[i], exo, config,
+                                      entry_ip=at_ip, run_record=recs[i])
+            try:
+                interp.run()
+            finally:
+                live_contexts.pop(shreds[i].shred_id, None)
+
+    def step_per_shred(rows: List[int]) -> Tuple[List[int], List[Tuple[int, int]]]:
+        """One instruction through scalar semantics for each row.
+
+        Returns (survivors, peel pairs).  A TlbMiss peels the missing
+        shred and everything behind it (ATR service order must match the
+        scalar engine); a CEH-bound fault peels just the faulting shred.
+        """
+        survivors: List[int] = []
+        faulted: List[int] = []
+        trailing: List[int] = []
+        for k, i in enumerate(rows):
+            try:
+                eff = semantics.execute(program, ip, ctxs[i])
+            except TlbMiss:
+                trailing = rows[k:]
+                break
+            except ExecutionFault:
+                faulted.append(i)
+                continue
+            account_instruction(recs[i], pre_prog.instrs[ip].instr, eff,
+                                config)
+            outcome.lanes_retired += 1
+            survivors.append(i)
+        pairs = [(j, ip) for j in sorted(faulted + trailing)]
+        return survivors, pairs
+
+    try:
+        while active:
+            if ip >= ninstr:  # ran off the end: finish without accounting
+                for i in active:
+                    finish_one(i)
+                active = []
+                break
+            if recs[active[0]].instructions >= MAX_INSTRUCTIONS:
+                # gang-resident records advance in lockstep; the first
+                # peeled interpreter raises the runaway-loop fault
+                peel([(i, ip) for i in active])
+                active = []
+                break
+            pre = pre_prog.instrs[ip]
+            cls = pre.batch_class
+
+            if cls == predecode.BATCH_CONTROL:
+                op = pre.opcode
+                if op is Opcode.END:
+                    eff = Effect()
+                    eff.ended = True
+                    for i in active:
+                        account_instruction(recs[i], pre.instr, eff, config)
+                    outcome.lanes_retired += len(active)
+                    for i in active:
+                        finish_one(i)
+                    active = []
+                    continue
+                if op in (Opcode.NOP, Opcode.FENCE):
+                    eff = Effect()
+                    for i in active:
+                        account_instruction(recs[i], pre.instr, eff, config)
+                    outcome.lanes_retired += len(active)
+                    ip += 1
+                    continue
+                # JMP / BR with a predecoded target
+                if op is Opcode.JMP and pre.instr.pred is None:
+                    taken = np.ones(len(active), dtype=bool)
+                else:
+                    guard = pre.instr.pred
+                    rows = np.asarray(active)
+                    any_lane = P[rows, guard.index, :].any(axis=1)
+                    taken = ~any_lane if guard.negate else any_lane
+                eff = Effect()  # trace entry is branch-direction independent
+                for i in active:
+                    account_instruction(recs[i], pre.instr, eff, config)
+                outcome.lanes_retired += len(active)
+                if taken.all():
+                    ip = pre.target
+                    continue
+                if not taken.any():
+                    ip += 1
+                    continue
+                # divergence: the majority stays ganged, the rest peel
+                taken_count = int(taken.sum())
+                if taken_count * 2 == len(active):
+                    keep_taken = bool(taken[0])
+                else:
+                    keep_taken = taken_count * 2 > len(active)
+                stay_ip = pre.target if keep_taken else ip + 1
+                exit_ip = ip + 1 if keep_taken else pre.target
+                peel([(i, exit_ip) for pos, i in enumerate(active)
+                      if bool(taken[pos]) != keep_taken])
+                active = [i for pos, i in enumerate(active)
+                          if bool(taken[pos]) == keep_taken]
+                ip = stay_ip
+                continue
+
+            if cls == predecode.BATCH_PEEL:
+                # SPAWN (and defensive cases): queue-order scalar
+                # execution preserves global child shred-id assignment
+                peel([(i, ip) for i in active])
+                active = []
+                continue
+
+            if cls == predecode.BATCH_ALU:
+                rows = np.asarray(active)
+                ok = False
+                try:
+                    ok = _apply_alu_batched(pre, rows, V, P, ctxs, active)
+                except ExecutionFault:
+                    ok = False  # re-run per shred for the precise fault
+                if ok:
+                    eff = Effect()
+                    for i in active:
+                        account_instruction(recs[i], pre.instr, eff, config)
+                    outcome.lanes_retired += len(active)
+                    ip += 1
+                    continue
+                # fall through to the per-shred reference step
+
+            survivors, pairs = step_per_shred(list(active))
+            peel(pairs)
+            active = survivors
+            ip += 1
+    finally:
+        for shred in shreds:
+            live_contexts.pop(shred.shred_id, None)
+
+    _replay_charges(device, ctxs, recs)
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# batched ALU datapath
+# ---------------------------------------------------------------------------
+
+
+def _read_batched(operand, rows: np.ndarray, n: int, V: np.ndarray,
+                  P: np.ndarray, ctxs, active) -> np.ndarray:
+    """Batched equivalent of ``operand.read(ctx, n)``: (rows, n) float64."""
+    if isinstance(operand, RegOperand):
+        return V[rows, operand.reg, :n]
+    if isinstance(operand, RangeOperand):
+        if operand.count == n:  # one element (lane 0) per named register
+            return V[rows, operand.start:operand.stop + 1, 0]
+        block = V[rows, operand.start:operand.stop + 1, :]
+        return block.reshape(len(rows), -1)[:, :n]
+    if isinstance(operand, ImmOperand):
+        return np.full((len(rows), n), operand.value, dtype=np.float64)
+    if isinstance(operand, SymOperand):
+        out = np.empty((len(rows), n), dtype=np.float64)
+        for j, i in enumerate(active):
+            out[j, :] = ctxs[i].resolve_symbol(operand.name)
+        return out
+    if isinstance(operand, PredOperand):
+        return P[rows, operand.index, :n].astype(np.float64)
+    raise ExecutionFault(f"operand {operand!r} is not gang-readable")
+
+
+def _write_masked_batched(dst, rows: np.ndarray, values: np.ndarray,
+                          mask: Optional[np.ndarray], ty: DataType, n: int,
+                          V: np.ndarray, P: np.ndarray, ctxs, active) -> None:
+    """Batched equivalent of ``semantics._write_masked``."""
+    if mask is not None:
+        old = _read_batched(dst, rows, n, V, P, ctxs, active)
+        values = np.where(mask, values, old)
+    wrapped = ty.wrap(values)  # wrap-on-write, as Operand.write does
+    if isinstance(dst, RegOperand):
+        V[rows, dst.reg, :wrapped.shape[1]] = wrapped
+        return
+    # RangeOperand (predecode guarantees one of the two)
+    if dst.count == n:
+        V[rows, dst.start:dst.stop + 1, 0] = wrapped
+        return
+    nregs = dst.count
+    padded = np.zeros((len(rows), nregs * VLEN), dtype=np.float64)
+    padded[:, :wrapped.shape[1]] = wrapped
+    V[rows, dst.start:dst.stop + 1, :] = padded.reshape(len(rows), nregs,
+                                                        VLEN)
+
+
+def _batched_guard_mask(instr, rows: np.ndarray, n: int,
+                        P: np.ndarray) -> Optional[np.ndarray]:
+    """Batched ``semantics._guard_mask``: (rows, n) bool or None."""
+    if instr.pred is None or instr.opcode is Opcode.BR:
+        return None
+    width = min(n, VLEN)
+    mask = P[rows, instr.pred.index, :width]
+    if instr.pred.negate:
+        mask = ~mask
+    if n > width:
+        reps = -(-n // width)
+        mask = np.tile(mask, (1, reps))[:, :n]
+    return mask
+
+
+def _apply_alu_batched(pre, rows: np.ndarray, V: np.ndarray, P: np.ndarray,
+                       ctxs, active) -> bool:
+    """One vectorized ALU step over every active shred.
+
+    Returns False (writing nothing) when the step must be replayed per
+    shred to reproduce a precise architectural fault; raises
+    ExecutionFault for batch-level faults the caller treats the same way.
+    """
+    instr = pre.instr
+    op = pre.opcode
+    ty = instr.dtype
+    n = instr.width
+    mask = _batched_guard_mask(instr, rows, n, P)
+
+    if op is Opcode.CMP:
+        a = ty.wrap(_read_batched(instr.srcs[0], rows, n, V, P, ctxs, active))
+        b = ty.wrap(_read_batched(instr.srcs[1], rows, n, V, P, ctxs, active))
+        res = semantics._COMPARES[instr.cond](a, b)
+        out = res[:, :VLEN] if n > VLEN else res
+        idx = instr.dsts[0].index
+        P[rows, idx, :out.shape[1]] = out
+        P[rows, idx, out.shape[1]:] = False
+        return True
+
+    if op is Opcode.SEL:
+        sel = P[rows, instr.srcs[0].index, :min(n, VLEN)]
+        if n > VLEN:
+            sel = np.tile(sel, (1, -(-n // VLEN)))[:, :n]
+        a = _read_batched(instr.srcs[1], rows, n, V, P, ctxs, active)
+        b = _read_batched(instr.srcs[2], rows, n, V, P, ctxs, active)
+        _write_masked_batched(instr.dsts[0], rows, np.where(sel, a, b), mask,
+                              ty, n, V, P, ctxs, active)
+        return True
+
+    if op is Opcode.ILV:
+        half = n // 2
+        a = _read_batched(instr.srcs[0], rows, half, V, P, ctxs, active)
+        b = _read_batched(instr.srcs[1], rows, half, V, P, ctxs, active)
+        out = np.empty((len(rows), n), dtype=np.float64)
+        out[:, 0::2] = a
+        out[:, 1::2] = b
+        _write_masked_batched(instr.dsts[0], rows, out, mask, ty, n, V, P,
+                              ctxs, active)
+        return True
+
+    srcs = [_read_batched(s, rows, n, V, P, ctxs, active)
+            for s in instr.srcs]
+    with np.errstate(over="ignore", invalid="ignore"):
+        result = semantics.execute_alu_batched(instr, srcs, ty, len(rows))
+    if ty is DataType.F:
+        # overflow is detected at single-precision writeback width; any
+        # overflowing shred must take the architectural per-lane fault
+        with np.errstate(over="ignore", invalid="ignore"):
+            narrowed = ty.wrap(result)
+            finite = np.ones(len(rows), dtype=bool)
+            for s in srcs:
+                finite &= np.isfinite(ty.wrap(s)).all(axis=1)
+        if bool((np.isinf(narrowed).any(axis=1) & finite).any()):
+            return False
+    if op in (Opcode.HADD, Opcode.HMAX):
+        V[rows, instr.dsts[0].reg, :1] = ty.wrap(result)  # lane 0, unmasked
+        return True
+    _write_masked_batched(instr.dsts[0], rows, result, mask, ty, n, V, P,
+                          ctxs, active)
+    return True
+
+
+# ---------------------------------------------------------------------------
+# deferred first-touch line charging
+# ---------------------------------------------------------------------------
+
+
+def _replay_charges(device, ctxs: Sequence[GangShredContext],
+                    recs: Sequence[ShredRun]) -> None:
+    """Replay deferred device spans per shred in queue order.
+
+    This reproduces the scalar engine's charging exactly: it walks each
+    shred's complete access log against the device's first-touch line
+    sets before moving to the next shred, which is the order the scalar
+    engine executes in.
+    """
+    line = ShredContext._LINE
+    for ctx, rec in zip(ctxs, recs):
+        for lo, nbytes, write in ctx.charge_log:
+            lines = device.touched_write_lines if write \
+                else device.touched_read_lines
+            first = lo // line
+            last = (lo + max(nbytes, 1) - 1) // line
+            fresh = [ln for ln in range(first, last + 1) if ln not in lines]
+            lines.update(fresh)
+            charge = len(fresh) * line
+            if write:
+                rec.bytes_written += charge
+            else:
+                rec.bytes_read += charge
+        ctx.charge_log.clear()

@@ -25,6 +25,9 @@ from ..isa.types import VLEN
 from .context import ShredContext
 from .timing import GmaTimingConfig
 
+#: Runaway-loop backstop shared by the scalar and gang engines.
+MAX_INSTRUCTIONS = 2_000_000
+
 
 @dataclass
 class ShredRun:
@@ -49,19 +52,65 @@ class ShredRun:
         return self.bytes_read + self.bytes_written
 
 
+def account_instruction(rec: ShredRun, instr, effect,
+                        config: GmaTimingConfig) -> None:
+    """Append one retired instruction to a run record.
+
+    Shared by the scalar interpreter and the gang engine so the
+    (issue, latency) trace and every counter accrue identically no matter
+    which engine retired the instruction.
+    """
+    rec.instructions += 1
+    info = instr.info
+    lanes_factor = max(1, -(-instr.width // VLEN))
+    if info.kind is OpKind.MEMORY:
+        # fixed setup plus one cycle per 16-element beat of transfer
+        issue = info.issue + lanes_factor
+    elif info.kind is OpKind.SAMPLER:
+        issue = info.issue + lanes_factor
+    else:
+        # the 16-lane datapath retires 16 elements per issue cycle
+        issue = info.issue * lanes_factor
+    rec.trace.append((issue, info.latency))
+    if config.scoreboard:
+        rec.trace_effects.append(_instr_effects(instr))
+    else:
+        rec.trace_effects.append(None)
+    rec.issue_cycles += issue
+    rec.bytes_read += effect.bytes_read
+    rec.bytes_written += effect.bytes_written
+    if effect.used_sampler:
+        rec.sampler_samples += instr.width
+    rec.spawned += len(effect.spawned)
+
+
+def finish_run(rec: ShredRun, config: GmaTimingConfig) -> None:
+    """Apply end-of-run trace post-passes (the scoreboard rewrite)."""
+    if config.scoreboard:
+        rec.trace = _scoreboard_trace(rec.trace, rec.trace_effects)
+
+
 class ShredInterpreter:
-    """Drives one shred from entry to ``end``."""
+    """Drives one shred from entry to ``end``.
+
+    ``entry_ip``/``run_record`` let the gang engine hand a diverged shred
+    back to this reference interpreter mid-flight: execution resumes at
+    the peel point and keeps accruing into the gang-started record.
+    """
 
     def __init__(self, shred: ShredDescriptor, ctx: ShredContext,
                  exoskeleton: Exoskeleton, config: GmaTimingConfig,
-                 max_instructions: int = 2_000_000):
+                 max_instructions: int = MAX_INSTRUCTIONS,
+                 entry_ip: Optional[int] = None,
+                 run_record: Optional[ShredRun] = None):
         self.shred = shred
         self.ctx = ctx
         self.exoskeleton = exoskeleton
         self.config = config
         self.max_instructions = max_instructions
-        self.ip = shred.entry
-        self.run_record = ShredRun(shred=shred)
+        self.ip = shred.entry if entry_ip is None else entry_ip
+        self.run_record = run_record if run_record is not None \
+            else ShredRun(shred=shred)
         self.finished = False
 
     @property
@@ -134,37 +183,12 @@ class ShredInterpreter:
     # -- internal ---------------------------------------------------------------
 
     def _account(self, instr, effect) -> None:
-        rec = self.run_record
-        rec.instructions += 1
-        info = instr.info
-        lanes_factor = max(1, -(-instr.width // VLEN))
-        if info.kind is OpKind.MEMORY:
-            # fixed setup plus one cycle per 16-element beat of transfer
-            issue = info.issue + lanes_factor
-        elif info.kind is OpKind.SAMPLER:
-            issue = info.issue + lanes_factor
-        else:
-            # the 16-lane datapath retires 16 elements per issue cycle
-            issue = info.issue * lanes_factor
-        latency = info.latency
-        rec.trace.append((issue, latency))
-        if self.config.scoreboard:
-            rec.trace_effects.append(_instr_effects(instr))
-        else:
-            rec.trace_effects.append(None)
-        rec.issue_cycles += issue
-        rec.bytes_read += effect.bytes_read
-        rec.bytes_written += effect.bytes_written
-        if effect.used_sampler:
-            rec.sampler_samples += instr.width
-        rec.spawned += len(effect.spawned)
+        account_instruction(self.run_record, instr, effect, self.config)
 
     def _finish(self) -> None:
         self.finished = True
         self.shred.state = ShredState.DONE
-        if self.config.scoreboard:
-            self.run_record.trace = _scoreboard_trace(
-                self.run_record.trace, self.run_record.trace_effects)
+        finish_run(self.run_record, self.config)
 
 
 # -- scoreboard post-pass ----------------------------------------------------

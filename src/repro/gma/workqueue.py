@@ -37,6 +37,10 @@ class WorkQueue:
     def is_done(self, shred_id: int) -> bool:
         return shred_id in self._done
 
+    def pending(self) -> List[ShredDescriptor]:
+        """The queued descriptors in FIFO order (no state change)."""
+        return list(self._pending)
+
     def pop_ready(self) -> Optional[ShredDescriptor]:
         """Next descriptor (FIFO) whose producers have all completed."""
         for _ in range(len(self._pending)):

@@ -73,11 +73,11 @@ class GpgpuDriver:
     #: to kernel round trip, vs the nanoseconds-scale user-level SIGNAL.
     call_overhead_seconds: float = 5e-6
 
-    def __init__(self, bandwidth: BandwidthModel = BandwidthModel()):
+    def __init__(self, bandwidth: Optional[BandwidthModel] = None):
         # the device's own address space: nothing in it is host-visible
         self._device_space = AddressSpace()
         self._device = GmaDevice(self._device_space)
-        self._bandwidth = bandwidth
+        self._bandwidth = bandwidth if bandwidth is not None else BandwidthModel()
         self._buffers: Dict[int, DeviceBuffer] = {}
         self._kernels: Dict[int, Program] = {}
         self._handles = itertools.count(1)

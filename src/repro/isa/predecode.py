@@ -1,0 +1,268 @@
+"""Program predecode cache: per-Program static decode, memoized by identity.
+
+Interpreting one instruction costs far more in operand re-decoding than in
+the arithmetic itself: every ``semantics.execute`` call re-inspects the
+guard, re-resolves the branch label and re-dispatches the opcode through a
+long if/elif chain.  All of that is *static* per instruction, so this
+module computes it once per :class:`~repro.isa.program.Program` and caches
+the result keyed by program identity:
+
+* ``src_readers`` — bound operand read methods, so the ALU path skips the
+  per-step attribute lookups;
+* ``target`` — the resolved branch destination (instruction index);
+* ``guarded`` / ``df_faults`` — the two per-step predicates of
+  ``execute`` hoisted to decode time;
+* ``handler`` — a slot the scalar interpreter fills with its opcode
+  dispatch entry on first execution;
+* ``batch_class`` — how the gang engine (:mod:`repro.gma.gang`) may treat
+  the instruction: natively vectorized across the shred axis, executed
+  per shred while the gang stays resident, or a full peel-off to the
+  scalar interpreter.
+
+Entries are evicted when the program is garbage collected (a weak
+reference guards against CPython id reuse), and the global cache keeps
+hit/miss counters that the runtime surfaces in ``RuntimeStats`` and the
+Chrome trace.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from .opcodes import Opcode
+from .operands import (
+    ImmOperand,
+    LabelOperand,
+    PredOperand,
+    RangeOperand,
+    RegOperand,
+    SymOperand,
+)
+from .program import Program
+from .types import DataType, NUM_PREGS, NUM_VREGS, VLEN
+
+#: How the gang engine treats one instruction.
+BATCH_CONTROL = "control"      # END/NOP/FENCE/JMP/BR: handled natively
+BATCH_ALU = "alu"              # one numpy op across the whole shred axis
+BATCH_PER_SHRED = "per_shred"  # scalar semantics per shred, gang resident
+BATCH_PEEL = "peel_all"        # peel every shred to the scalar interpreter
+
+#: Opcodes that never touch the FP datapath, so ``.df`` is legal on the
+#: exo-sequencers (paper section 3.3); everything else proxies via CEH.
+DF_CAPABLE_OPS = {
+    Opcode.MOV, Opcode.BCAST, Opcode.LD, Opcode.ST, Opcode.LDBLK,
+    Opcode.STBLK, Opcode.JMP, Opcode.BR, Opcode.END, Opcode.NOP,
+    Opcode.SENDREG, Opcode.SPAWN, Opcode.FLUSH, Opcode.FENCE, Opcode.SEL,
+    Opcode.ILV, Opcode.IOTA,
+}
+
+_CONTROL_OPS = {Opcode.END, Opcode.NOP, Opcode.FENCE, Opcode.JMP, Opcode.BR}
+_MEMORY_OPS = {Opcode.LD, Opcode.ST, Opcode.LDBLK, Opcode.STBLK,
+               Opcode.SAMPLE}
+#: Instructions whose *cross-shred ordering* is architecturally visible:
+#: the gang abandons lockstep entirely and peels every shred, so the
+#: scalar interpreter's queue-order semantics apply.
+_PEEL_OPS = {Opcode.SPAWN, Opcode.SENDREG, Opcode.FLUSH}
+
+
+@dataclass
+class PredecodedInstr:
+    """Static decode of one instruction (shared by scalar and gang)."""
+
+    instr: object
+    opcode: Opcode
+    guarded: bool            # pred present and consumed as a lane mask
+    df_faults: bool          # .df arithmetic: faults on exo-sequencers
+    batch_class: str
+    target: Optional[int] = None  # resolved branch destination
+    src_readers: Tuple[Callable, ...] = ()
+    handler: Optional[Callable] = None  # filled lazily by semantics
+
+
+@dataclass
+class PredecodedProgram:
+    """Every instruction's predecode, plus gang eligibility."""
+
+    instrs: Tuple[PredecodedInstr, ...]
+    gangable: bool
+    reason: str = ""  # why not gangable (empty when it is)
+
+
+def _vector_readable(operand, n: int) -> bool:
+    """Can the gang read this operand with one batched numpy expression,
+    with semantics identical to ``operand.read(ctx, n)``?"""
+    if isinstance(operand, RegOperand):
+        return 0 <= operand.reg < NUM_VREGS and n <= VLEN
+    if isinstance(operand, RangeOperand):
+        if not (0 <= operand.start <= operand.stop < NUM_VREGS):
+            return False
+        return operand.count == n or operand.count == -(-n // VLEN)
+    if isinstance(operand, (ImmOperand, SymOperand)):
+        return True
+    if isinstance(operand, PredOperand):
+        return 0 <= operand.index < NUM_PREGS and n <= VLEN
+    return False
+
+
+def _vector_writable(operand, n: int) -> bool:
+    if isinstance(operand, RegOperand):
+        return 0 <= operand.reg < NUM_VREGS and n <= VLEN
+    if isinstance(operand, RangeOperand):
+        if not (0 <= operand.start <= operand.stop < NUM_VREGS):
+            return False
+        return operand.count == n or operand.count == -(-n // VLEN)
+    return False
+
+
+def _alu_batchable(instr) -> bool:
+    """True when the gang can apply this ALU-class instruction to every
+    active shred in one vectorized step.  Anything structurally odd (bad
+    register bounds, unusual operand kinds, widths the scalar path would
+    fault on) answers False so the scalar reference raises the identical
+    error per shred instead."""
+    op = instr.opcode
+    n = instr.width
+    if instr.pred is not None and not 0 <= instr.pred.index < NUM_PREGS:
+        return False
+    if op is Opcode.CMP:
+        return (len(instr.dsts) == 1
+                and isinstance(instr.dsts[0], PredOperand)
+                and 0 <= instr.dsts[0].index < NUM_PREGS
+                and len(instr.srcs) >= 2
+                and all(_vector_readable(s, n) for s in instr.srcs[:2]))
+    if op is Opcode.SEL:
+        return (len(instr.srcs) == 3
+                and isinstance(instr.srcs[0], PredOperand)
+                and 0 <= instr.srcs[0].index < NUM_PREGS
+                and all(_vector_readable(s, n) for s in instr.srcs[1:])
+                and len(instr.dsts) == 1
+                and _vector_writable(instr.dsts[0], n))
+    if op in (Opcode.HADD, Opcode.HMAX):
+        return (len(instr.srcs) == 1 and _vector_readable(instr.srcs[0], n)
+                and len(instr.dsts) == 1
+                and isinstance(instr.dsts[0], RegOperand)
+                and 0 <= instr.dsts[0].reg < NUM_VREGS)
+    if op is Opcode.ILV:
+        if n % 2:
+            return False  # scalar raises "ilv width must be even"
+        src_n = n // 2
+    else:
+        src_n = n
+    if not all(_vector_readable(s, src_n) for s in instr.srcs):
+        return False
+    return len(instr.dsts) == 1 and _vector_writable(instr.dsts[0], n)
+
+
+def _classify(instr, labels: Dict[str, int]) -> str:
+    op = instr.opcode
+    if op in _PEEL_OPS:
+        return BATCH_PEEL
+    if op in (Opcode.JMP, Opcode.BR):
+        if op is Opcode.BR and instr.pred is None:
+            return BATCH_PEEL  # malformed; scalar path reports it
+        if instr.pred is not None and not 0 <= instr.pred.index < NUM_PREGS:
+            return BATCH_PEEL
+        target = instr.srcs[-1] if instr.srcs else None
+        if not isinstance(target, LabelOperand) or target.name not in labels:
+            return BATCH_PEEL
+        return BATCH_CONTROL
+    if op in _CONTROL_OPS:
+        return BATCH_CONTROL
+    if op in _MEMORY_OPS:
+        # order-dependent surface traffic: scalar semantics per shred,
+        # with deferred line charging replayed in queue order
+        return BATCH_PER_SHRED
+    if instr.dtype is DataType.DF and op not in DF_CAPABLE_OPS:
+        # raises UnsupportedOperationFault -> CEH; scalar path per shred
+        return BATCH_PER_SHRED
+    if not _alu_batchable(instr):
+        return BATCH_PER_SHRED
+    return BATCH_ALU
+
+
+def predecode_program(program: Program) -> PredecodedProgram:
+    """Compute the full static decode for one program (uncached)."""
+    instrs = []
+    gangable = True
+    reason = ""
+    for instr in program.instructions:
+        op = instr.opcode
+        target = None
+        if op in (Opcode.JMP, Opcode.BR) and instr.srcs:
+            last = instr.srcs[-1]
+            if isinstance(last, LabelOperand):
+                target = program.labels.get(last.name)
+        instrs.append(PredecodedInstr(
+            instr=instr,
+            opcode=op,
+            guarded=instr.pred is not None and op is not Opcode.BR,
+            df_faults=(instr.dtype is DataType.DF
+                       and op not in DF_CAPABLE_OPS),
+            batch_class=_classify(instr, program.labels),
+            target=target,
+            src_readers=tuple(s.read for s in instr.srcs),
+        ))
+        if gangable and op in _PEEL_OPS and op is not Opcode.SPAWN:
+            # sendreg couples shreds (producer must complete before the
+            # consumer launches); flush counts depend on shred order.
+            # spawn merely peels, so it does not poison the whole program.
+            gangable = False
+            reason = f"{op.value} requires scalar queue-order execution"
+    return PredecodedProgram(instrs=tuple(instrs), gangable=gangable,
+                             reason=reason)
+
+
+class PredecodeCache:
+    """Predecode results keyed by program identity.
+
+    A weak reference with an eviction callback guards against CPython
+    recycling object ids: a dead program's entry disappears before a new
+    program can alias its id, and a same-id survivor is verified against
+    the stored reference on every lookup.
+    """
+
+    def __init__(self):
+        self._entries: Dict[int, tuple] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, program: Program) -> PredecodedProgram:
+        key = id(program)
+        entry = self._entries.get(key)
+        if entry is not None:
+            ref, pre = entry
+            if ref() is program:
+                self.hits += 1
+                return pre
+            del self._entries[key]  # stale id reuse
+        self.misses += 1
+        pre = predecode_program(program)
+
+        def _evict(_ref, cache=self, key=key):
+            if cache._entries.pop(key, None) is not None:
+                cache.evictions += 1
+
+        self._entries[key] = (weakref.ref(program, _evict), pre)
+        return pre
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+#: The process-wide cache used by both the scalar and gang engines.
+CACHE = PredecodeCache()
+
+
+def lookup(program: Program) -> PredecodedProgram:
+    return CACHE.lookup(program)

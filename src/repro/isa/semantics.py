@@ -24,6 +24,7 @@ from ..errors import (
     FpOverflowFault,
     UnsupportedOperationFault,
 )
+from . import predecode
 from .instructions import Effect, Instruction
 from .opcodes import Condition, Opcode
 from .operands import (
@@ -38,13 +39,9 @@ from .operands import (
 from .program import Program
 from .types import DataType, VLEN
 
-_DF_CAPABLE_OPS = {
-    # moves and control flow never touch the FP datapath
-    Opcode.MOV, Opcode.BCAST, Opcode.LD, Opcode.ST, Opcode.LDBLK,
-    Opcode.STBLK, Opcode.JMP, Opcode.BR, Opcode.END, Opcode.NOP,
-    Opcode.SENDREG, Opcode.SPAWN, Opcode.FLUSH, Opcode.FENCE, Opcode.SEL,
-    Opcode.ILV, Opcode.IOTA,
-}
+#: Kept as an alias for older callers; the canonical set lives in
+#: :mod:`repro.isa.predecode` so both engines share one definition.
+_DF_CAPABLE_OPS = predecode.DF_CAPABLE_OPS
 
 
 def execute(program: Program, ip: int, ctx) -> Effect:
@@ -53,66 +50,139 @@ def execute(program: Program, ip: int, ctx) -> Effect:
     Raises :class:`~repro.errors.ExecutionFault` subclasses for
     architectural faults (these trigger CEH) and lets memory-translation
     events (:class:`~repro.errors.TlbMiss`) propagate for ATR.
+
+    Dispatch goes through the program predecode cache: guard/df
+    classification, branch targets, operand readers and the opcode handler
+    are resolved once per program, not once per executed instruction.
     """
-    instr = program.instructions[ip]
+    pre = predecode.lookup(program).instrs[ip]
+    instr = pre.instr
     effect = Effect()
     n = instr.width
-    mask = _guard_mask(instr, ctx, n)
+    mask = _guard_mask(instr, ctx, n) if pre.guarded else None
 
-    if instr.dtype is DataType.DF and instr.opcode not in _DF_CAPABLE_OPS:
-        if not getattr(ctx, "supports_double", False):
-            raise UnsupportedOperationFault(
-                f"double-precision {instr.opcode.value} is not supported by "
-                f"this sequencer", instruction=instr)
+    if pre.df_faults and not getattr(ctx, "supports_double", False):
+        raise UnsupportedOperationFault(
+            f"double-precision {instr.opcode.value} is not supported by "
+            f"this sequencer", instruction=instr)
 
-    op = instr.opcode
-    if op is Opcode.END:
-        effect.ended = True
-    elif op in (Opcode.NOP, Opcode.FENCE):
-        pass
-    elif op is Opcode.FLUSH:
-        ctx.flush_device_cache()
-        effect.flushed_cache = True
-    elif op is Opcode.JMP:
-        taken = True
-        if instr.pred is not None:  # guarded jump: any-lane semantics
-            taken = ctx.regs.pred_any(instr.pred.index)
-            if instr.pred.negate:
-                taken = not taken
-        if taken:
-            effect.next_ip = program.target(instr.srcs[-1].name)
-    elif op is Opcode.BR:
-        guard = instr.pred
-        taken = ctx.regs.pred_any(guard.index)
-        if guard.negate:
-            taken = not taken
-        if taken:
-            effect.next_ip = program.target(instr.srcs[-1].name)
-    elif op is Opcode.LD:
-        _do_load(instr, ctx, effect, mask)
-    elif op is Opcode.ST:
-        _do_store(instr, ctx, effect, mask)
-    elif op is Opcode.LDBLK:
-        _do_load_block(instr, ctx, effect)
-    elif op is Opcode.STBLK:
-        _do_store_block(instr, ctx, effect)
-    elif op is Opcode.SAMPLE:
-        _do_sample(instr, ctx, effect)
-    elif op is Opcode.CMP:
-        _do_cmp(instr, ctx, n)
-    elif op is Opcode.SEL:
-        _do_sel(instr, ctx, n, mask)
-    elif op is Opcode.ILV:
-        _do_ilv(instr, ctx, n, mask)
-    elif op is Opcode.SENDREG:
-        _do_sendreg(instr, ctx, effect, n)
-    elif op is Opcode.SPAWN:
-        arg = float(instr.srcs[0].read(ctx, 1)[0])
-        ctx.spawn_shred(arg)
-        effect.spawned.append(arg)
-    else:
-        _do_alu(instr, ctx, n, mask)
+    handler = pre.handler
+    if handler is None:
+        handler = _HANDLERS.get(instr.opcode, _h_alu)
+        pre.handler = handler
+    handler(program, pre, instr, ctx, effect, n, mask)
     return effect
+
+
+# ---------------------------------------------------------------------------
+# opcode handlers (uniform signature, bound into the predecode entry)
+# ---------------------------------------------------------------------------
+
+
+def _h_end(program, pre, instr, ctx, effect, n, mask):
+    effect.ended = True
+
+
+def _h_nop(program, pre, instr, ctx, effect, n, mask):
+    pass
+
+
+def _h_flush(program, pre, instr, ctx, effect, n, mask):
+    ctx.flush_device_cache()
+    effect.flushed_cache = True
+
+
+def _branch_target(program, pre, instr) -> int:
+    if pre.target is not None:
+        return pre.target
+    # unresolved at predecode: reproduce the original lookup (and its
+    # AssemblyError / IndexError on malformed branches)
+    return program.target(instr.srcs[-1].name)
+
+
+def _h_jmp(program, pre, instr, ctx, effect, n, mask):
+    taken = True
+    if instr.pred is not None:  # guarded jump: any-lane semantics
+        taken = ctx.regs.pred_any(instr.pred.index)
+        if instr.pred.negate:
+            taken = not taken
+    if taken:
+        effect.next_ip = _branch_target(program, pre, instr)
+
+
+def _h_br(program, pre, instr, ctx, effect, n, mask):
+    guard = instr.pred
+    taken = ctx.regs.pred_any(guard.index)
+    if guard.negate:
+        taken = not taken
+    if taken:
+        effect.next_ip = _branch_target(program, pre, instr)
+
+
+def _h_ld(program, pre, instr, ctx, effect, n, mask):
+    _do_load(instr, ctx, effect, mask)
+
+
+def _h_st(program, pre, instr, ctx, effect, n, mask):
+    _do_store(instr, ctx, effect, mask)
+
+
+def _h_ldblk(program, pre, instr, ctx, effect, n, mask):
+    _do_load_block(instr, ctx, effect)
+
+
+def _h_stblk(program, pre, instr, ctx, effect, n, mask):
+    _do_store_block(instr, ctx, effect)
+
+
+def _h_sample(program, pre, instr, ctx, effect, n, mask):
+    _do_sample(instr, ctx, effect)
+
+
+def _h_cmp(program, pre, instr, ctx, effect, n, mask):
+    _do_cmp(instr, ctx, n)
+
+
+def _h_sel(program, pre, instr, ctx, effect, n, mask):
+    _do_sel(instr, ctx, n, mask)
+
+
+def _h_ilv(program, pre, instr, ctx, effect, n, mask):
+    _do_ilv(instr, ctx, n, mask)
+
+
+def _h_sendreg(program, pre, instr, ctx, effect, n, mask):
+    _do_sendreg(instr, ctx, effect, n)
+
+
+def _h_spawn(program, pre, instr, ctx, effect, n, mask):
+    arg = float(instr.srcs[0].read(ctx, 1)[0])
+    ctx.spawn_shred(arg)
+    effect.spawned.append(arg)
+
+
+def _h_alu(program, pre, instr, ctx, effect, n, mask):
+    _do_alu(instr, ctx, n, mask, pre)
+
+
+_HANDLERS = {
+    Opcode.END: _h_end,
+    Opcode.NOP: _h_nop,
+    Opcode.FENCE: _h_nop,
+    Opcode.FLUSH: _h_flush,
+    Opcode.JMP: _h_jmp,
+    Opcode.BR: _h_br,
+    Opcode.LD: _h_ld,
+    Opcode.ST: _h_st,
+    Opcode.LDBLK: _h_ldblk,
+    Opcode.STBLK: _h_stblk,
+    Opcode.SAMPLE: _h_sample,
+    Opcode.CMP: _h_cmp,
+    Opcode.SEL: _h_sel,
+    Opcode.ILV: _h_ilv,
+    Opcode.SENDREG: _h_sendreg,
+    Opcode.SPAWN: _h_spawn,
+}
 
 
 # ---------------------------------------------------------------------------
@@ -261,9 +331,11 @@ def _do_sendreg(instr: Instruction, ctx, effect: Effect, n: int) -> None:
     effect.sent_registers.append((shred_id, target.reg))
 
 
-def _do_alu(instr: Instruction, ctx, n: int, mask) -> None:
+def _do_alu(instr: Instruction, ctx, n: int, mask, pre=None) -> None:
     ty = instr.dtype
-    srcs = [src.read(ctx, n) for src in instr.srcs]
+    readers = pre.src_readers if pre is not None \
+        else tuple(src.read for src in instr.srcs)
+    srcs = [read(ctx, n) for read in readers]
     with np.errstate(over="ignore", invalid="ignore"):
         result = _alu_compute(instr, srcs, ty)
     if ty is DataType.F:
@@ -336,6 +408,31 @@ def _alu_compute(instr: Instruction, srcs, ty: DataType) -> np.ndarray:
     if op is Opcode.HMAX:
         return np.array([wrapped[0].max()], dtype=np.float64)
     raise ExecutionFault(f"unimplemented opcode {op.value}", instruction=instr)
+
+
+def execute_alu_batched(instr: Instruction, srcs, ty: DataType,
+                        rows: int) -> np.ndarray:
+    """Compute one ALU instruction over a ``(rows, width)`` batch.
+
+    Sources are 2-D with the shred axis first; the result has the same
+    layout.  Most opcodes are elementwise, so :func:`_alu_compute` already
+    handles them; only the shape-sensitive ones (``iota``/``bcast`` and the
+    horizontal reductions) need a batched formulation.  Faults raised here
+    (divide-by-zero and the like) are *batch-level*: the gang engine treats
+    them as "re-run this step per shred" so the scalar reference produces
+    the architectural per-shred fault.
+    """
+    op = instr.opcode
+    if op is Opcode.IOTA:
+        return np.tile(np.arange(instr.width, dtype=np.float64), (rows, 1))
+    if op is Opcode.BCAST:
+        wrapped = ty.wrap(srcs[0])
+        return np.repeat(wrapped[:, :1], instr.width, axis=1)
+    if op is Opcode.HADD:
+        return ty.wrap(srcs[0]).sum(axis=1, keepdims=True)
+    if op is Opcode.HMAX:
+        return ty.wrap(srcs[0]).max(axis=1, keepdims=True)
+    return _alu_compute(instr, srcs, ty)
 
 
 def _as_int(values: np.ndarray) -> np.ndarray:

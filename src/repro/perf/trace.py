@@ -80,16 +80,34 @@ def fabric_chrome_trace_events(reports: Sequence,
     ``device_atr`` (e.g. :attr:`repro.chi.runtime.RuntimeStats.device_atr`)
     attaches each device's translation breakdown — TLB hits/misses, GTT
     walks, shootdowns absorbed — to its process metadata row.
+
+    A report that carries nonzero ``wall_seconds`` (a
+    :func:`~repro.fabric.dispatcher.drain_devices` drain) gets the host
+    wall-clock attached to its metadata row; a report whose results carry
+    engine counters (the gang engine) gets a Chrome counter track.
     """
     events: List[dict] = []
     for pid, report in enumerate(reports):
         args = {"name": f"{report.device} ({report.isa})"}
         if device_atr and report.device in device_atr:
             args["atr"] = dict(device_atr[report.device])
+        wall = getattr(report, "wall_seconds", 0.0)
+        if wall > 0.0:
+            args["wall_seconds"] = wall
         events.append({
             "ph": "M", "name": "process_name", "pid": pid,
             "args": args,
         })
+        engine = {
+            key: sum(getattr(result, key, 0) for result in report.results)
+            for key in ("gang_lanes_retired", "scalar_fallbacks",
+                        "predecode_hits", "predecode_misses")
+        }
+        if any(engine.values()):
+            events.append({
+                "ph": "C", "name": "engine", "pid": pid,
+                "ts": 0.0, "args": engine,
+            })
         config = report.config
         if config is None or not report.results:
             if report.seconds > 0.0:

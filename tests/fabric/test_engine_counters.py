@@ -1,0 +1,195 @@
+"""Engine counters: runtime stats, fabric aggregation, trace export,
+threaded drains, and the shared-mutable-default constructor fixes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chi.platform import ExoPlatform
+from repro.chi.runtime import ChiRuntime, RuntimeStats
+from repro.exo.exoskeleton import Exoskeleton
+from repro.exo.shred import ShredDescriptor
+from repro.fabric.device import DeviceRunReport, FabricRunResult
+from repro.fabric.dispatcher import drain_devices
+from repro.gma.device import GmaDevice
+from repro.gma.firmware import GmaRunResult
+from repro.isa.assembler import assemble
+from repro.memory.address_space import AddressSpace
+from repro.perf.trace import fabric_chrome_trace_events
+
+UNIFORM_ASM = """
+iota.16.f vr1
+mov.1.dw vr2 = 0
+loop:
+add.16.f vr3 = vr1, vr1
+add.1.dw vr2 = vr2, 1
+cmp.lt.1.dw p1 = vr2, iters
+br p1, loop
+end
+"""
+
+
+def _result(**kwargs) -> GmaRunResult:
+    return GmaRunResult(**kwargs)
+
+
+def _report(name: str, *results, wall: float = 0.0) -> DeviceRunReport:
+    return DeviceRunReport(device=name, isa="X3000", seconds=0.0,
+                           shreds=0, results=list(results),
+                           wall_seconds=wall)
+
+
+class TestCounterAggregation:
+    def test_fabric_result_sums_engine_counters(self):
+        fabric = FabricRunResult(reports=[
+            _report("gma0", _result(gang_lanes_retired=10, scalar_fallbacks=1,
+                                    predecode_hits=4, predecode_misses=1)),
+            _report("gma1", _result(gang_lanes_retired=5, scalar_fallbacks=2,
+                                    predecode_hits=3, predecode_misses=0)),
+        ])
+        assert fabric.gang_lanes_retired == 15
+        assert fabric.scalar_fallbacks == 3
+        assert fabric.predecode_hits == 7
+        assert fabric.predecode_misses == 1
+
+    def test_merged_result_carries_engine_counters(self):
+        report = _report(
+            "gma0",
+            _result(gang_lanes_retired=10, scalar_fallbacks=1,
+                    predecode_hits=4, predecode_misses=1),
+            _result(gang_lanes_retired=2, scalar_fallbacks=0,
+                    predecode_hits=1, predecode_misses=0))
+        merged = report.merged_result()
+        assert merged.gang_lanes_retired == 12
+        assert merged.scalar_fallbacks == 1
+        assert merged.predecode_hits == 5
+        assert merged.predecode_misses == 1
+
+    def test_runtime_stats_note_engine_round_trip(self):
+        stats = RuntimeStats()
+        stats.note_engine(_result(gang_lanes_retired=10, scalar_fallbacks=2,
+                                  predecode_hits=3, predecode_misses=1))
+        stats.note_engine(_result(gang_lanes_retired=5, scalar_fallbacks=0,
+                                  predecode_hits=2, predecode_misses=0))
+        assert stats.gang_lanes_retired == 15
+        assert stats.scalar_fallbacks == 2
+        assert stats.predecode_hits == 5
+        assert stats.predecode_misses == 1
+        # objects without the counters (other backends) contribute nothing
+        stats.note_engine(object())
+        assert stats.gang_lanes_retired == 15
+
+    def test_runtime_accumulates_engine_counters(self):
+        platform = ExoPlatform(gma_engine="gang")
+        runtime = ChiRuntime(platform)
+        runtime.parallel(UNIFORM_ASM, num_threads=4,
+                         firstprivate={"iters": 3.0})
+        assert runtime.stats.gang_lanes_retired > 0
+        assert runtime.stats.scalar_fallbacks == 0
+        assert runtime.stats.predecode_misses >= 1
+
+
+class TestChromeTrace:
+    def test_engine_counter_track_and_wall_metadata(self):
+        reports = [
+            _report("gma0", _result(gang_lanes_retired=10, scalar_fallbacks=1,
+                                    predecode_hits=4, predecode_misses=1),
+                    wall=0.25),
+            _report("gma1", _result()),  # all-zero: no counter track
+        ]
+        events = fabric_chrome_trace_events(reports)
+        counters = [e for e in events if e["ph"] == "C"]
+        assert len(counters) == 1
+        assert counters[0]["name"] == "engine"
+        assert counters[0]["pid"] == 0
+        assert counters[0]["args"] == {
+            "gang_lanes_retired": 10, "scalar_fallbacks": 1,
+            "predecode_hits": 4, "predecode_misses": 1,
+        }
+        meta = {e["pid"]: e for e in events
+                if e["ph"] == "M" and e["name"] == "process_name"}
+        assert meta[0]["args"]["wall_seconds"] == 0.25
+        assert "wall_seconds" not in meta[1]["args"]
+
+    def test_export_round_trips(self, tmp_path):
+        from repro.perf.trace import export_fabric_chrome_trace
+        reports = [_report("gma0", _result(gang_lanes_retired=3,
+                                           predecode_misses=1))]
+        path = tmp_path / "fabric.json"
+        export_fabric_chrome_trace(reports, path)
+        loaded = json.loads(path.read_text())
+        counters = [e for e in loaded["traceEvents"] if e["ph"] == "C"]
+        assert counters[0]["args"]["gang_lanes_retired"] == 3
+
+
+class TestDrainDevices:
+    def _platform(self, parallel: bool):
+        platform = ExoPlatform(num_gma_devices=2, gma_engine="gang")
+        program = assemble(UNIFORM_ASM, name="drain-test")
+        batches = [
+            [ShredDescriptor(program=program, bindings={"iters": 3.0})
+             for _ in range(4)]
+            for _ in range(2)
+        ]
+        assignments = list(zip(platform.gma_devices, batches))
+        return drain_devices(assignments, parallel=parallel)
+
+    def test_serial_and_parallel_agree(self):
+        serial = self._platform(parallel=False)
+        threaded = self._platform(parallel=True)
+        assert [r.device for r in serial] == [r.device for r in threaded]
+        for left, right in zip(serial, threaded):
+            assert left.shreds == right.shreds
+            assert left.seconds == right.seconds
+            merged_l, merged_r = left.merged_result(), right.merged_result()
+            assert merged_l.instructions == merged_r.instructions
+            assert merged_l.gang_lanes_retired == merged_r.gang_lanes_retired
+
+    def test_wall_seconds_measured_and_empties_skipped(self):
+        platform = ExoPlatform(num_gma_devices=2)
+        program = assemble("iota.16.f vr1\nend\n", name="tiny")
+        shreds = [ShredDescriptor(program=program, bindings={})]
+        devices = platform.gma_devices
+        reports = drain_devices([(devices[0], shreds), (devices[1], [])])
+        assert len(reports) == 1  # the empty assignment never ran
+        assert reports[0].device == devices[0].name
+        assert reports[0].wall_seconds > 0.0
+
+    def test_parallel_fabric_region_matches_serial(self):
+        outcomes = {}
+        for parallel in (False, True):
+            platform = ExoPlatform(num_gma_devices=2, gma_engine="gang")
+            runtime = ChiRuntime(platform, parallel_fabric=parallel)
+            region = runtime.parallel(UNIFORM_ASM, num_threads=8,
+                                      firstprivate={"iters": 4.0})
+            outcomes[parallel] = region.wait()
+        serial, threaded = outcomes[False], outcomes[True]
+        assert serial.instructions == threaded.instructions
+        assert serial.gang_lanes_retired == threaded.gang_lanes_retired
+        assert serial.seconds == threaded.seconds
+
+
+class TestNoSharedMutableDefaults:
+    def test_gma_device_configs_are_per_instance(self):
+        one = GmaDevice(AddressSpace())
+        two = GmaDevice(AddressSpace())
+        assert one.config is not two.config
+
+    def test_exoskeleton_costs_are_per_instance(self):
+        one = Exoskeleton(AddressSpace())
+        two = Exoskeleton(AddressSpace())
+        assert one.costs is not two.costs
+
+    def test_ia32_cpu_config_is_per_instance(self):
+        from repro.cpu.ia32 import Ia32Cpu
+        assert Ia32Cpu().config is not Ia32Cpu().config
+
+    def test_misp_pool_config_is_per_instance(self):
+        from repro.exo.misp import MispPool
+        assert MispPool().cpu.config is not MispPool().cpu.config
+
+    def test_gpgpu_driver_bandwidth_is_per_instance(self):
+        from repro.gpgpu.driver import GpgpuDriver
+        assert GpgpuDriver()._bandwidth is not GpgpuDriver()._bandwidth

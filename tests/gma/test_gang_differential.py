@@ -1,0 +1,194 @@
+"""Differential suite: the gang engine must be bit-identical to scalar.
+
+Every scenario runs the same program twice — once on a
+``GmaDevice(engine="scalar")``, once on ``engine="gang"`` — over fresh
+address spaces, then compares outputs, per-shred ``ShredRun`` records
+(including the ``(issue, latency)`` traces the timing model replays) and
+every aggregate counter.  Shred ids differ numerically between the two
+runs (the global descriptor counter keeps counting), so records are
+compared per queue position, never by id.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exo.shred import ShredDescriptor
+from repro.gma.device import GmaDevice
+from repro.isa.assembler import assemble
+from repro.isa.types import DataType
+from repro.kernels import ALL_KERNELS, run_kernel_on_gma
+from repro.memory.address_space import AddressSpace
+from repro.memory.surface import Surface
+from repro.perf import SMOKE_GEOMETRIES
+
+RUN_FIELDS = ("instructions", "issue_cycles", "bytes_read", "bytes_written",
+              "sampler_samples", "atr_events", "ceh_events", "spawned")
+AGG_FIELDS = ("shreds_executed", "instructions", "bytes_read",
+              "bytes_written", "atr_events", "ceh_events", "spawned_shreds")
+
+
+def run_engines(asm: str, bindings_list, surfaces_spec=None, inputs=None,
+                prepare_surfaces: bool = True):
+    """The same launch on both engines, each on a fresh device + space."""
+    program = assemble(asm, name="differential")
+    out = {}
+    for engine in ("scalar", "gang"):
+        space = AddressSpace()
+        device = GmaDevice(space, engine=engine)
+        surfaces = {
+            name: Surface.alloc(space, name, width, height, DataType.F)
+            for name, (width, height) in (surfaces_spec or {}).items()
+        }
+        for name, image in (inputs or {}).items():
+            surfaces[name].upload(space, np.asarray(image))
+        shreds = [ShredDescriptor(program=program, bindings=dict(bindings),
+                                  surfaces=surfaces)
+                  for bindings in bindings_list]
+        result = device.run(shreds, prepare_surfaces=prepare_surfaces)
+        downloads = {name: surf.download(space)
+                     for name, surf in surfaces.items()}
+        out[engine] = (result, downloads)
+    return out["scalar"], out["gang"]
+
+
+def assert_identical(scalar, gang):
+    result_s, surfaces_s = scalar
+    result_g, surfaces_g = gang
+    for fieldname in AGG_FIELDS:
+        assert getattr(result_s, fieldname) == getattr(result_g, fieldname), \
+            fieldname
+    assert result_s.cycles == result_g.cycles
+    assert len(result_s.runs) == len(result_g.runs)
+    for position, (run_s, run_g) in enumerate(
+            zip(result_s.runs, result_g.runs)):
+        for fieldname in RUN_FIELDS:
+            assert getattr(run_s, fieldname) == getattr(run_g, fieldname), \
+                f"shred {position}: {fieldname}"
+        assert run_s.trace == run_g.trace, f"shred {position}: trace"
+    assert set(surfaces_s) == set(surfaces_g)
+    for name in surfaces_s:
+        assert np.array_equal(surfaces_s[name], surfaces_g[name]), name
+
+
+# -- the whole kernel suite ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kernel_cls", ALL_KERNELS,
+                         ids=[cls.abbrev for cls in ALL_KERNELS])
+def test_kernel_bit_identical(kernel_cls):
+    kernel = kernel_cls()
+    geom = SMOKE_GEOMETRIES[kernel.abbrev]
+    outcomes = {}
+    for engine in ("scalar", "gang"):
+        device = GmaDevice(AddressSpace(), engine=engine)
+        outcomes[engine] = run_kernel_on_gma(
+            kernel, geom, device=device, space=device.space, max_frames=1)
+    scalar, gang = outcomes["scalar"], outcomes["gang"]
+    for fieldname in ("instructions", "shreds", "bytes_read",
+                      "bytes_written", "atr_events", "ceh_events",
+                      "sampler_samples", "gma_cycles"):
+        assert getattr(scalar, fieldname) == getattr(gang, fieldname), \
+            fieldname
+    for name in scalar.outputs:
+        assert np.array_equal(scalar.outputs[name], gang.outputs[name]), name
+
+
+# -- targeted divergence scenarios -----------------------------------------------------
+
+
+def test_homogeneous_launch_fully_ganged():
+    asm = """
+    iota.16.f vr1
+    mov.1.dw vr2 = 0
+    loop:
+    add.16.f vr3 = vr1, vr1
+    add.1.dw vr2 = vr2, 1
+    cmp.lt.1.dw p1 = vr2, iters
+    br p1, loop
+    end
+    """
+    scalar, gang = run_engines(asm, [{"iters": 6.0}] * 8)
+    assert_identical(scalar, gang)
+    assert gang[0].scalar_fallbacks == 0
+    assert gang[0].gang_lanes_retired == gang[0].instructions
+
+
+def test_divergent_branch_peels_minority():
+    """Different trip counts split the gang; minority peels to scalar."""
+    asm = """
+    mov.1.dw vr2 = 0
+    loop:
+    add.16.f vr3 = vr2, vr2
+    add.1.dw vr2 = vr2, 1
+    cmp.lt.1.dw p1 = vr2, iters
+    br p1, loop
+    end
+    """
+    bindings = [{"iters": 8.0}] * 5 + [{"iters": 4.0}] * 3
+    scalar, gang = run_engines(asm, bindings)
+    assert_identical(scalar, gang)
+    assert gang[0].scalar_fallbacks == 3  # the short-trip minority peeled
+    assert gang[0].gang_lanes_retired > 0
+
+
+def test_ceh_fault_peels_faulting_shreds():
+    """Division by zero rides the CEH proxy path on both engines."""
+    asm = """
+    bcast.16.f vr1 = d
+    mov.16.f vr2 = vr1
+    div.16.f vr3 = vr2, vr1
+    end
+    """
+    bindings = [{"d": 0.0 if i in (1, 4) else 2.0} for i in range(6)]
+    scalar, gang = run_engines(asm, bindings)
+    assert_identical(scalar, gang)
+    assert scalar[0].ceh_events == 2
+    assert gang[0].scalar_fallbacks == 2  # only the faulting shreds peel
+
+
+def test_atr_miss_peels_in_queue_order():
+    """An unprepared surface faults the gang's first store; the peel must
+    preserve ATR service order, so every shred behind the miss peels."""
+    asm = """
+    mov.1.dw vr2 = base
+    iota.16.f vr1
+    st.16.f (OUT, vr2, 0) = vr1
+    end
+    """
+    bindings = [{"base": float(16 * i)} for i in range(4)]
+    scalar, gang = run_engines(asm, bindings,
+                               surfaces_spec={"OUT": (64, 1)},
+                               prepare_surfaces=False)
+    assert_identical(scalar, gang)
+    assert scalar[0].atr_events == 1  # first store faults, rest hit
+    assert gang[0].scalar_fallbacks == 4
+
+
+def test_spawn_peels_and_matches_child_order():
+    """SPAWN peels the whole gang so children join the global queue in
+    scalar-identical order."""
+    asm = """
+    mov.1.dw vr2 = __spawn_arg
+    cmp.gt.1.dw p1 = vr2, 0
+    (!p1) jmp done
+    spawn 0
+    done:
+    end
+    """
+    bindings = [{"__spawn_arg": 1.0}] * 2 + [{"__spawn_arg": 0.0}] * 2
+    scalar, gang = run_engines(asm, bindings)
+    assert_identical(scalar, gang)
+    assert scalar[0].spawned_shreds == 2
+    assert scalar[0].shreds_executed == 6  # 4 parents + 2 children
+    assert gang[0].scalar_fallbacks >= 4
+
+
+def test_single_shred_runs_scalar():
+    """A one-shred launch is not gangable; it counts as a fallback."""
+    asm = "iota.16.f vr1\nend\n"
+    scalar, gang = run_engines(asm, [{}])
+    assert_identical(scalar, gang)
+    assert gang[0].gang_lanes_retired == 0
+    assert gang[0].scalar_fallbacks == 1

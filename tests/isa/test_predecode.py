@@ -1,0 +1,107 @@
+"""The program predecode cache: classification, keying, invalidation."""
+
+from __future__ import annotations
+
+import gc
+
+from repro.isa import predecode
+from repro.isa.assembler import assemble
+
+
+def _program(asm: str, name: str = "predecode-test"):
+    return assemble(asm, name=name)
+
+
+def test_batch_classes():
+    program = _program("""
+    iota.16.f vr1
+    mov.1.dw vr2 = 0
+    ld.16.f vr3 = (IN, vr2, 0)
+    cmp.lt.1.dw p1 = vr2, n
+    br p1, done
+    done:
+    end
+    """)
+    pre = predecode.predecode_program(program)
+    classes = [p.batch_class for p in pre.instrs]
+    assert classes == [predecode.BATCH_ALU, predecode.BATCH_ALU,
+                       predecode.BATCH_PER_SHRED, predecode.BATCH_ALU,
+                       predecode.BATCH_CONTROL, predecode.BATCH_CONTROL]
+    assert pre.gangable
+
+
+def test_branch_targets_resolved():
+    program = _program("""
+    mov.1.dw vr1 = 0
+    loop:
+    add.1.dw vr1 = vr1, 1
+    cmp.lt.1.dw p1 = vr1, n
+    br p1, loop
+    end
+    """)
+    pre = predecode.predecode_program(program)
+    br = pre.instrs[3]
+    assert br.batch_class == predecode.BATCH_CONTROL
+    assert br.target == program.labels["loop"] == 1
+
+
+def test_sendreg_poisons_gangability():
+    program = _program("sendreg.1.dw (vr3, vr7) = vr5\nend\n")
+    pre = predecode.predecode_program(program)
+    assert not pre.gangable
+    assert "sendreg" in pre.reason
+    # spawn merely peels; the program stays gangable
+    spawning = predecode.predecode_program(_program("spawn 0\nend\n"))
+    assert spawning.gangable
+    assert spawning.instrs[0].batch_class == predecode.BATCH_PEEL
+
+
+def test_cache_hits_misses_and_eviction():
+    cache = predecode.PredecodeCache()
+    program = _program("iota.16.f vr1\nend\n")
+    first = cache.lookup(program)
+    again = cache.lookup(program)
+    assert first is again
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert cache.hit_rate == 0.5
+    assert len(cache) == 1
+    del program
+    gc.collect()
+    assert len(cache) == 0  # weakref eviction, no strong Program refs held
+    assert cache.evictions == 1
+
+
+def test_cache_survives_id_reuse():
+    """A new Program landing on a dead program's id() must miss."""
+    cache = predecode.PredecodeCache()
+    asm = "iota.16.f vr1\nend\n"
+    seen = set()
+    for _ in range(8):
+        program = _program(asm)
+        pre = cache.lookup(program)
+        assert pre.instrs[0].instr is program.instructions[0]
+        seen.add(id(program))
+        del program, pre
+        gc.collect()
+    # every lookup was against a fresh object: all misses, no false hits
+    assert cache.hits == 0
+    assert cache.misses == 8
+
+
+def test_process_cache_used_by_execution():
+    from repro.exo.shred import ShredDescriptor
+    from repro.gma.device import GmaDevice
+    from repro.memory.address_space import AddressSpace
+
+    program = _program("iota.16.f vr1\nend\n")
+    predecode.CACHE.clear()
+    device = GmaDevice(AddressSpace(), engine="gang")
+    shreds = [ShredDescriptor(program=program, bindings={})
+              for _ in range(4)]
+    first = device.run(shreds)
+    assert first.predecode_misses == 1
+    assert first.predecode_hits >= 1
+    second = device.run([ShredDescriptor(program=program, bindings={})
+                         for _ in range(4)])
+    assert second.predecode_misses == 0
+    assert second.predecode_hits >= 1
