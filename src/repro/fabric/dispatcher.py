@@ -238,11 +238,18 @@ def drain_devices(assignments, parallel: bool = False):
     """Run each ``(device, shreds)`` assignment and collect its report.
 
     The functional/timing model of every device is single-threaded and
-    deterministic; draining *different* devices concurrently is safe
-    because they share no mutable state beyond the exoskeleton services,
-    which serialize internally.  With ``parallel=True`` each device drains
-    on its own :class:`~concurrent.futures.ThreadPoolExecutor` worker —
-    this changes host wall-clock only, never simulated time or results.
+    deterministic, and exoskeleton proxy services serialize internally.
+    With ``parallel=True`` each device drains on its own
+    :class:`~concurrent.futures.ThreadPoolExecutor` worker; when the
+    concurrently drained assignments touch *disjoint* surfaces — the
+    normal partitioned-launch shape — that changes host wall-clock only,
+    never simulated time or results.  Devices do share the host
+    :class:`~repro.memory.address_space.AddressSpace`, so if kernels on
+    different devices read and write overlapping surfaces their accesses
+    interleave nondeterministically under ``parallel=True``: keep such
+    work on one device, or drain serially.  Per-device predecode
+    hit/miss deltas are also approximate under a parallel drain (the
+    cache and its counters are process wide); fleet totals stay exact.
 
     Every report's ``wall_seconds`` records the host wall-clock the drain
     spent inside ``run_shreds`` (useful next to the simulated ``seconds``

@@ -9,30 +9,45 @@ operation instead of N scalar trips through ``semantics.execute``.
 
 The scalar interpreter remains the reference semantics.  Anything the
 gang cannot prove it can batch exactly is *peeled*: the affected shreds
-are handed to :class:`~repro.gma.interpreter.ShredInterpreter` at the
-divergence point, resuming on the same register state (their lane views)
-and the same :class:`~repro.gma.interpreter.ShredRun` record.  Peel
-triggers, per the predecode ``batch_class``:
+leave the gang at the divergence point and are handed to
+:class:`~repro.gma.interpreter.ShredInterpreter`, resuming on the same
+register state (their lane views) and the same
+:class:`~repro.gma.interpreter.ShredRun` record.  Peel triggers, per the
+predecode ``batch_class``:
 
 * **control** — END/NOP/FENCE and *uniform* branches stay ganged; a
   divergent branch keeps the majority side ganged and peels the rest;
 * **per_shred** — memory and sampler traffic executes through the scalar
   ``semantics.execute`` per shred while the gang stays resident; a
   ``TlbMiss`` peels the missing shred *and everything behind it in queue
-  order* so ATR service order matches the scalar engine, and a CEH fault
-  peels just the faulting shred;
+  order*, and a CEH fault peels just the faulting shred;
 * **alu** — one batched numpy step; a batch-level fault (divide-by-zero,
   float overflow, unresolvable symbol) re-runs the step per shred, which
   reproduces the architectural per-shred fault;
-* **peel_all** — SPAWN abandons lockstep entirely: peeling parents in
-  queue order preserves the global child shred-id assignment order.
+* **peel_all** — SPAWN peels every resident shred at the spawn point.
+
+Peels are **deferred**: a peeled shred does not run at the peel point —
+it is queued with its resume ip and executed to completion only after
+the gang has fully drained, in shred queue order.  This is what keeps
+globally-ordered side effects scalar-identical: nothing order-dependent
+ever executes *while ganged* (an ATR miss peels before it is serviced, a
+CEH-bound fault peels before the proxy round trip, SPAWN peels before
+any child is enqueued), so every ATR service, CEH proxy and child
+shred-id assignment happens in the deferred phase, in exactly the order
+the scalar engine would produce.  The deferral is also self-correcting
+for translation state: the device GTT only grows during a run, so an
+access that succeeded in lockstep would also have hit in scalar order,
+and a peeled shred that missed in lockstep re-executes its faulting
+instruction against exactly the translations its queue predecessors
+installed.
 
 Accounting is bit-identical to scalar execution for race-free launches:
 retired instructions go through the shared
 :func:`~repro.gma.interpreter.account_instruction`, and the device
-cache's order-dependent first-touch line charging is *deferred* — every
-access logs its span and the log replays per shred in queue order after
-the gang drains, exactly as the scalar engine would have charged it.
+cache's order-dependent first-touch line charging is likewise deferred —
+every access logs its span and the log replays per shred in queue order
+after the gang drains, exactly as the scalar engine would have charged
+it.
 """
 
 from __future__ import annotations
@@ -162,6 +177,12 @@ def run_gang(device, shreds: Sequence[ShredDescriptor],
 
     outcome = GangOutcome(runs=recs)
     active: List[int] = list(range(count))
+    #: Deferred peels: (shred index, resume ip), executed in queue order
+    #: only after the gang drains.  Running a peeled shred at the peel
+    #: point would let it reach order-dependent global state (ATR
+    #: service, CEH proxies, SPAWN child ids) ahead of earlier-queue
+    #: shreds that are still ganged.
+    pending: List[Tuple[int, int]] = []
     ip = shreds[0].entry
 
     def finish_one(i: int) -> None:
@@ -169,23 +190,19 @@ def run_gang(device, shreds: Sequence[ShredDescriptor],
         shreds[i].state = ShredState.DONE
         live_contexts.pop(shreds[i].shred_id, None)
 
-    def peel(pairs: Sequence[Tuple[int, int]]) -> None:
-        """Run (shred index, resume ip) pairs to completion, in order."""
-        for i, at_ip in pairs:
+    def defer(pairs: Sequence[Tuple[int, int]]) -> None:
+        """Queue (shred index, resume ip) pairs for the deferred phase."""
+        for pair in pairs:
             outcome.scalar_fallbacks += 1
-            interp = ShredInterpreter(shreds[i], ctxs[i], exo, config,
-                                      entry_ip=at_ip, run_record=recs[i])
-            try:
-                interp.run()
-            finally:
-                live_contexts.pop(shreds[i].shred_id, None)
+            pending.append(pair)
 
     def step_per_shred(rows: List[int]) -> Tuple[List[int], List[Tuple[int, int]]]:
         """One instruction through scalar semantics for each row.
 
         Returns (survivors, peel pairs).  A TlbMiss peels the missing
-        shred and everything behind it (ATR service order must match the
-        scalar engine); a CEH-bound fault peels just the faulting shred.
+        shred — before the miss is serviced — and everything behind it
+        in queue order; a CEH-bound fault peels just the faulting shred,
+        before its proxy round trip.
         """
         survivors: List[int] = []
         faulted: List[int] = []
@@ -215,8 +232,8 @@ def run_gang(device, shreds: Sequence[ShredDescriptor],
                 break
             if recs[active[0]].instructions >= MAX_INSTRUCTIONS:
                 # gang-resident records advance in lockstep; the first
-                # peeled interpreter raises the runaway-loop fault
-                peel([(i, ip) for i in active])
+                # deferred interpreter raises the runaway-loop fault
+                defer([(i, ip) for i in active])
                 active = []
                 break
             pre = pre_prog.instrs[ip]
@@ -267,17 +284,18 @@ def run_gang(device, shreds: Sequence[ShredDescriptor],
                     keep_taken = taken_count * 2 > len(active)
                 stay_ip = pre.target if keep_taken else ip + 1
                 exit_ip = ip + 1 if keep_taken else pre.target
-                peel([(i, exit_ip) for pos, i in enumerate(active)
-                      if bool(taken[pos]) != keep_taken])
+                defer([(i, exit_ip) for pos, i in enumerate(active)
+                       if bool(taken[pos]) != keep_taken])
                 active = [i for pos, i in enumerate(active)
                           if bool(taken[pos]) == keep_taken]
                 ip = stay_ip
                 continue
 
             if cls == predecode.BATCH_PEEL:
-                # SPAWN (and defensive cases): queue-order scalar
-                # execution preserves global child shred-id assignment
-                peel([(i, ip) for i in active])
+                # SPAWN (and defensive cases): every resident shred peels
+                # before the spawn executes, so the deferred queue-order
+                # replay assigns child shred ids exactly as scalar would
+                defer([(i, ip) for i in active])
                 active = []
                 continue
 
@@ -298,9 +316,20 @@ def run_gang(device, shreds: Sequence[ShredDescriptor],
                 # fall through to the per-shred reference step
 
             survivors, pairs = step_per_shred(list(active))
-            peel(pairs)
+            defer(pairs)
             active = survivors
             ip += 1
+
+        # deferred phase: every peeled shred now runs to completion in
+        # queue order, so ATR services, CEH proxies and SPAWNs happen in
+        # the exact global order the scalar engine produces
+        for i, at_ip in sorted(pending):
+            interp = ShredInterpreter(shreds[i], ctxs[i], exo, config,
+                                      entry_ip=at_ip, run_record=recs[i])
+            try:
+                interp.run()
+            finally:
+                live_contexts.pop(shreds[i].shred_id, None)
     finally:
         for shred in shreds:
             live_contexts.pop(shred.shred_id, None)

@@ -27,6 +27,7 @@ Chrome trace.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
@@ -221,38 +222,53 @@ class PredecodeCache:
     recycling object ids: a dead program's entry disappears before a new
     program can alias its id, and a same-id survivor is verified against
     the stored reference on every lookup.
+
+    The process-wide instance is shared by every engine, including the
+    parallel fabric drain's worker threads, so entry and counter updates
+    are guarded by a lock.  It is an ``RLock`` because the eviction
+    callback fires from garbage collection, which can trigger on an
+    allocation made while this same thread already holds the lock.
     """
 
     def __init__(self):
         self._entries: Dict[int, tuple] = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def lookup(self, program: Program) -> PredecodedProgram:
         key = id(program)
-        entry = self._entries.get(key)
-        if entry is not None:
-            ref, pre = entry
-            if ref() is program:
-                self.hits += 1
-                return pre
-            del self._entries[key]  # stale id reuse
-        self.misses += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                ref, pre = entry
+                if ref() is program:
+                    self.hits += 1
+                    return pre
+                self._entries.pop(key, None)  # stale id reuse
+            self.misses += 1
+        # decode outside the lock: it is pure and per program, so a
+        # concurrent duplicate decode is cheaper than serializing all of
+        # them behind one entry's work
         pre = predecode_program(program)
 
         def _evict(_ref, cache=self, key=key):
-            if cache._entries.pop(key, None) is not None:
-                cache.evictions += 1
+            with cache._lock:
+                if cache._entries.pop(key, None) is not None:
+                    cache.evictions += 1
 
-        self._entries[key] = (weakref.ref(program, _evict), pre)
+        with self._lock:
+            self._entries[key] = (weakref.ref(program, _evict), pre)
         return pre
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def hit_rate(self) -> float:

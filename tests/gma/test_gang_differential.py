@@ -185,6 +185,70 @@ def test_spawn_peels_and_matches_child_order():
     assert gang[0].scalar_fallbacks >= 4
 
 
+def test_divergent_spawn_assigns_children_in_queue_order():
+    """A divergent branch must not let the peeled side spawn ahead of
+    earlier-queue shreds still ganged: children have to enter the global
+    queue in scalar-identical order (peels are deferred and replayed in
+    queue order after the gang drains)."""
+    asm = """
+    mov.1.dw vr2 = rank
+    cmp.lt.1.dw p1 = vr2, 2
+    br p1, extra
+    jmp fork
+    extra:
+    add.16.f vr3 = vr2, vr2
+    fork:
+    mov.1.dw vr4 = __spawn_arg
+    cmp.ge.1.dw p2 = vr4, 0
+    br p2, out
+    spawn rank
+    out:
+    end
+    """
+    bindings = [{"rank": float(i), "__spawn_arg": -1.0} for i in range(4)]
+    scalar, gang = run_engines(asm, bindings)
+    assert_identical(scalar, gang)
+    assert scalar[0].spawned_shreds == 4
+    assert scalar[0].shreds_executed == 8  # 4 parents + 4 children
+    # children (queue positions 4..7) were spawned in parent queue order
+    for result, _ in (scalar, gang):
+        child_args = [run.shred.bindings["__spawn_arg"]
+                      for run in result.runs[4:]]
+        assert child_args == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_deferred_peel_keeps_atr_first_touch_order():
+    """The peeled side of a divergence reaches a shared unmapped page
+    early in program order; the ganged side reaches it late.  Scalar
+    order says the *earliest-queue* shred services the miss, so the
+    peeled shreds must wait for the gang to drain before running."""
+    asm = """
+    mov.1.dw vr2 = early
+    iota.16.f vr1
+    cmp.gt.1.dw p1 = vr2, 0
+    br p1, fast
+    add.16.f vr3 = vr1, vr1
+    add.16.f vr3 = vr3, vr1
+    st.16.f (OUT, idx, 0) = vr1
+    jmp done
+    fast:
+    st.16.f (OUT, idx, 0) = vr1
+    done:
+    end
+    """
+    # shreds 0,1 store late; shreds 2,3 branch off and store early —
+    # every store lands on the same unmapped page of OUT
+    bindings = [{"early": 0.0 if i < 2 else 1.0, "idx": float(16 * i)}
+                for i in range(4)]
+    scalar, gang = run_engines(asm, bindings,
+                               surfaces_spec={"OUT": (64, 1)},
+                               prepare_surfaces=False)
+    assert_identical(scalar, gang)
+    # queue-first shred 0 takes the one ATR miss on both engines
+    assert [run.atr_events for run in scalar[0].runs] == [1, 0, 0, 0]
+    assert [run.atr_events for run in gang[0].runs] == [1, 0, 0, 0]
+
+
 def test_single_shred_runs_scalar():
     """A one-shred launch is not gangable; it counts as a fallback."""
     asm = "iota.16.f vr1\nend\n"
