@@ -542,6 +542,12 @@ class RuntimeStats:
     scalar_fallbacks: int = 0
     predecode_hits: int = 0
     predecode_misses: int = 0
+    #: Lockstep memory pipeline: lanes retired through the batched
+    #: gather/scatter path, pages resolved by the vectorized translate,
+    #: and pages served straight from the TLB's vector snapshot.
+    batched_mem_lanes: int = 0
+    batched_translations: int = 0
+    tlb_vector_hits: int = 0
 
     def note_device(self, device: str, seconds: float, shreds: int) -> None:
         self.device_seconds[device] = (
@@ -562,3 +568,7 @@ class RuntimeStats:
         self.scalar_fallbacks += getattr(result, "scalar_fallbacks", 0)
         self.predecode_hits += getattr(result, "predecode_hits", 0)
         self.predecode_misses += getattr(result, "predecode_misses", 0)
+        self.batched_mem_lanes += getattr(result, "batched_mem_lanes", 0)
+        self.batched_translations += getattr(
+            result, "batched_translations", 0)
+        self.tlb_vector_hits += getattr(result, "tlb_vector_hits", 0)

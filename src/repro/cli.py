@@ -119,7 +119,10 @@ def chirun(argv=None) -> int:
                   f"gang_lanes={stats.gang_lanes_retired} "
                   f"scalar_fallbacks={stats.scalar_fallbacks} "
                   f"decode_cache={stats.predecode_hits}/{total} "
-                  f"({rate:.0%} hit)", file=sys.stderr)
+                  f"({rate:.0%} hit) "
+                  f"batched_mem={stats.batched_mem_lanes} "
+                  f"vec_translate={stats.batched_translations}",
+                  file=sys.stderr)
     value = result.exit_value
     return int(value) if isinstance(value, (int, float)) else 0
 

@@ -80,6 +80,9 @@ class DeviceRunReport:
             merged.scalar_fallbacks += result.scalar_fallbacks
             merged.predecode_hits += result.predecode_hits
             merged.predecode_misses += result.predecode_misses
+            merged.batched_mem_lanes += result.batched_mem_lanes
+            merged.batched_translations += result.batched_translations
+            merged.tlb_vector_hits += result.tlb_vector_hits
             if result.timing is not None:
                 for sid, (s, f, eu, slot) in result.timing.spans.items():
                     timing.spans[sid] = (s + offset, f + offset, eu, slot)
@@ -170,6 +173,18 @@ class FabricRunResult:
     @property
     def predecode_misses(self) -> int:
         return self._sum("predecode_misses")
+
+    @property
+    def batched_mem_lanes(self) -> int:
+        return self._sum("batched_mem_lanes")
+
+    @property
+    def batched_translations(self) -> int:
+        return self._sum("batched_translations")
+
+    @property
+    def tlb_vector_hits(self) -> int:
+        return self._sum("tlb_vector_hits")
 
     def report_for(self, device: str) -> Optional[DeviceRunReport]:
         for report in self.reports:

@@ -162,3 +162,6 @@ class GmaDevice:
         self.sampler.reset()
         self.view.tlb.hits = 0
         self.view.tlb.misses = 0
+        self.view.tlb.mru_hits = 0
+        self.view.tlb.vector_hits = 0
+        self.view.batched_translations = 0

@@ -53,6 +53,9 @@ class GmaRunResult:
     scalar_fallbacks: int = 0     # shreds executed by the scalar engine
     predecode_hits: int = 0       # decode-cache hits during this run
     predecode_misses: int = 0
+    batched_mem_lanes: int = 0    # memory lanes retired in lockstep
+    batched_translations: int = 0  # pages resolved by vectorized translate
+    tlb_vector_hits: int = 0      # pages served by the TLB vector snapshot
 
     @property
     def cycles(self) -> float:
@@ -94,6 +97,10 @@ class EmulationFirmware:
                     executed.extend(outcome.runs)
                     result.gang_lanes_retired += outcome.lanes_retired
                     result.scalar_fallbacks += outcome.scalar_fallbacks
+                    result.batched_mem_lanes += outcome.batched_mem_lanes
+                    result.batched_translations += \
+                        outcome.batched_translations
+                    result.tlb_vector_hits += outcome.tlb_vector_hits
                     continue
             shred = queue.pop_ready()
             if shred is None:

@@ -17,10 +17,18 @@ predecode ``batch_class``:
 
 * **control** — END/NOP/FENCE and *uniform* branches stay ganged; a
   divergent branch keeps the majority side ganged and peels the rest;
-* **per_shred** — memory and sampler traffic executes through the scalar
-  ``semantics.execute`` per shred while the gang stays resident; a
-  ``TlbMiss`` peels the missing shred *and everything behind it in queue
-  order*, and a CEH fault peels just the faulting shred;
+* **batch_mem** — loads, stores and sampler reads stay ganged: lane
+  addresses are computed on the batched register file, translated in one
+  vectorized call and moved with one numpy gather/scatter; any
+  irregularity (a lane whose page misses, a non-uniform surface binding,
+  out-of-range indices) abandons the batched attempt *before any state
+  changes* and re-runs the instruction through the per-shred reference
+  step below;
+* **per_shred** — non-batchable memory shapes and sampler traffic
+  execute through the scalar ``semantics.execute`` per shred while the
+  gang stays resident; a ``TlbMiss`` peels the missing shred *and
+  everything behind it in queue order*, and a CEH fault peels just the
+  faulting shred;
 * **alu** — one batched numpy step; a batch-level fault (divide-by-zero,
   float overflow, unresolvable symbol) re-runs the step per shred, which
   reproduces the architectural per-shred fault;
@@ -71,6 +79,8 @@ from ..isa.operands import (
 )
 from ..isa.registers import RegisterFile
 from ..isa.types import DataType, NUM_PREGS, NUM_VREGS, VLEN
+from ..memory.physical import PAGE_SHIFT
+from ..memory.surface import TileMode
 from .context import ShredContext
 from .interpreter import (
     MAX_INSTRUCTIONS,
@@ -126,6 +136,9 @@ class GangOutcome:
     runs: List[ShredRun] = field(default_factory=list)
     lanes_retired: int = 0    # instructions retired while gang resident
     scalar_fallbacks: int = 0  # shreds peeled to the scalar interpreter
+    batched_mem_lanes: int = 0  # memory lanes retired through batch_mem
+    batched_translations: int = 0  # pages resolved by vectorized translate
+    tlb_vector_hits: int = 0  # pages served by the TLB's vector snapshot
 
 
 def gang_eligible(device, shreds: Sequence[ShredDescriptor]) -> bool:
@@ -176,6 +189,8 @@ def run_gang(device, shreds: Sequence[ShredDescriptor],
         recs.append(ShredRun(shred=shred))
 
     outcome = GangOutcome(runs=recs)
+    base_batched_translations = device.view.batched_translations
+    base_vector_hits = device.view.tlb.vector_hits
     active: List[int] = list(range(count))
     #: Deferred peels: (shred index, resume ip), executed in queue order
     #: only after the gang drains.  Running a peeled shred at the peel
@@ -315,6 +330,23 @@ def run_gang(device, shreds: Sequence[ShredDescriptor],
                     continue
                 # fall through to the per-shred reference step
 
+            if cls == predecode.BATCH_MEM:
+                rows = np.asarray(active)
+                ok = False
+                try:
+                    ok = _apply_mem_batched(device, pre, rows, V, P, ctxs,
+                                            active, recs, config, outcome)
+                except TlbMiss:
+                    # some lane's page is unmapped: the per-shred
+                    # reference step peels the miss in queue order
+                    ok = False
+                except ExecutionFault:
+                    ok = False
+                if ok:
+                    ip += 1
+                    continue
+                # fall through to the per-shred reference step
+
             survivors, pairs = step_per_shred(list(active))
             defer(pairs)
             active = survivors
@@ -335,6 +367,10 @@ def run_gang(device, shreds: Sequence[ShredDescriptor],
             live_contexts.pop(shred.shred_id, None)
 
     _replay_charges(device, ctxs, recs)
+    outcome.batched_translations = (device.view.batched_translations
+                                    - base_batched_translations)
+    outcome.tlb_vector_hits = (device.view.tlb.vector_hits
+                               - base_vector_hits)
     return outcome
 
 
@@ -467,6 +503,270 @@ def _apply_alu_batched(pre, rows: np.ndarray, V: np.ndarray, P: np.ndarray,
     _write_masked_batched(instr.dsts[0], rows, result, mask, ty, n, V, P,
                           ctxs, active)
     return True
+
+
+# ---------------------------------------------------------------------------
+# batched memory datapath
+# ---------------------------------------------------------------------------
+#
+# The lockstep memory step handles only the fully regular case: every
+# active shred binds the same Surface descriptor, every lane index is in
+# range, and every page the access touches already translates.  Anything
+# else returns False (or lets TlbMiss/ExecutionFault propagate) *before
+# mutating any state* — no register writes, no memory writes, no charge
+# log entries, no accounting — and the caller falls through to
+# step_per_shred, whose scalar semantics reproduce the precise
+# architectural behaviour (queue-order ATR peels, per-shred faults,
+# MemorySystemError crashes).  That ordering discipline is what keeps the
+# fast path bit-identical: it only ever commits accesses that scalar
+# execution would have completed without any globally-ordered side effect.
+
+
+def _uniform_surface(name, ctxs, active):
+    """The one Surface object every active shred binds under ``name``,
+    or None when any shred lacks it or binds a different descriptor (the
+    per-shred reference step then reports the precise per-shred fault)."""
+    surf = ctxs[active[0]].shred.surfaces.get(name)
+    if surf is None:
+        return None
+    for i in active[1:]:
+        if ctxs[i].shred.surfaces.get(name) is not surf:
+            return None
+    return surf
+
+
+def _type_ok(surf, ty: DataType) -> bool:
+    """Mirror of ``ShredContext._check_type`` (False -> per-shred fault)."""
+    return ty.size == surf.dtype.size and ty.is_float == surf.dtype.is_float
+
+
+def _scalar_coord_batched(operand, offset: int, rows, V, P, ctxs, active):
+    """Batched ``int(operand.read(ctx, 1)[0]) + offset``: one truncated
+    integer per shred, or None when any lane is non-finite (``int()`` of
+    nan/inf raises in the scalar path, so that path must replay it)."""
+    raw = _read_batched(operand, rows, 1, V, P, ctxs, active)[:, 0]
+    if not np.isfinite(raw).all():
+        return None
+    return np.trunc(raw).astype(np.int64) + offset
+
+
+def _write_block_batched(dst, rows, values, ty: DataType, n: int,
+                         V: np.ndarray) -> None:
+    """Batched ldblk writeback: ``write_packed`` for ranges (zero-padding
+    the trailing lanes of the last register), ``write_lanes`` for a
+    single register (trailing lanes untouched)."""
+    wrapped = ty.wrap(values)
+    if isinstance(dst, RangeOperand):
+        nregs = -(-n // VLEN)
+        k = len(rows)
+        padded = np.zeros((k, nregs * VLEN), dtype=np.float64)
+        padded[:, :n] = wrapped
+        V[rows, dst.start:dst.start + nregs, :] = padded.reshape(
+            k, nregs, VLEN)
+    else:  # RegOperand with n <= VLEN (predecode-checked)
+        V[rows, dst.reg, :n] = wrapped
+
+
+def _retire_mem(pre, eff, active, recs, config, outcome) -> bool:
+    """Account one batched memory instruction for every active shred."""
+    for i in active:
+        account_instruction(recs[i], pre.instr, eff, config)
+    outcome.lanes_retired += len(active)
+    outcome.batched_mem_lanes += len(active)
+    return True
+
+
+def _apply_mem_batched(device, pre, rows: np.ndarray, V: np.ndarray,
+                       P: np.ndarray, ctxs, active, recs, config,
+                       outcome) -> bool:
+    """One lockstep memory step over every active shred.
+
+    Returns True after committing the batched access and its accounting;
+    False (with nothing mutated) to fall back to the per-shred reference
+    step.  A ``TlbMiss`` from the vectorized translation propagates to
+    the caller for the same fallback — translation happens before any
+    writeback, so the abandoned attempt is side-effect free.
+    """
+    instr = pre.instr
+    op = pre.opcode
+    ty = instr.dtype
+    n = instr.width
+    view = device.view
+    phys = device.space.physical
+
+    if op in (Opcode.LD, Opcode.ST):
+        mem = instr.srcs[0]
+        surf = _uniform_surface(mem.surface, ctxs, active)
+        if surf is None or not _type_ok(surf, ty):
+            return False
+        index = _scalar_coord_batched(mem.index, mem.offset, rows, V, P,
+                                      ctxs, active)
+        if index is None:
+            return False
+        if int(index.min()) < 0 or int(index.max()) + n > surf.nelems:
+            return False  # scalar raises MemorySystemError per shred
+        elems = index[:, None] + np.arange(n, dtype=np.int64)
+        addrs = surf.element_addrs(elems % surf.width, elems // surf.width)
+        esize = surf.esize
+        mask = _batched_guard_mask(instr, rows, n, P)
+
+        if op is Opcode.LD:
+            paddrs = view.translate_batch(addrs)
+            values = phys.gather(paddrs, surf.dtype.np_dtype).astype(
+                np.float64)
+            _write_masked_batched(instr.dsts[0], rows, values, mask, ty, n,
+                                  V, P, ctxs, active)
+            for pos, i in enumerate(active):
+                ctxs[i].charge_log.append(
+                    (surf.base + int(index[pos]) * esize, n * esize, False))
+            return _retire_mem(pre, Effect(), active, recs, config, outcome)
+
+        # ST
+        values = ty.wrap(_read_batched(instr.srcs[1], rows, n, V, P, ctxs,
+                                       active))
+        if mask is not None and len(active) > 1:
+            # the scalar masked store is a read-modify-write: a later
+            # shred's old-value read sees earlier shreds' merged writes
+            # when their ranges overlap, which one batched pre-read
+            # cannot reproduce
+            spans = np.sort(index)
+            if (np.diff(spans) < n).any():
+                return False
+        paddrs = view.translate_batch(addrs, write=True)
+        if mask is not None:
+            old = phys.gather(paddrs, surf.dtype.np_dtype).astype(np.float64)
+            values = np.where(mask, values, old)
+            for pos, i in enumerate(active):
+                ctxs[i].charge_log.append(
+                    (surf.base + int(index[pos]) * esize, n * esize, False))
+        phys.scatter(paddrs, np.asarray(values).astype(surf.dtype.np_dtype))
+        for pos, i in enumerate(active):
+            ctxs[i].charge_log.append(
+                (surf.base + int(index[pos]) * esize, n * esize, True))
+        return _retire_mem(pre, Effect(), active, recs, config, outcome)
+
+    if op in (Opcode.LDBLK, Opcode.STBLK):
+        blk = instr.srcs[0]
+        surf = _uniform_surface(blk.surface, ctxs, active)
+        if surf is None or not _type_ok(surf, ty):
+            return False
+        x0 = _scalar_coord_batched(blk.x, 0, rows, V, P, ctxs, active)
+        y0 = _scalar_coord_batched(blk.y, 0, rows, V, P, ctxs, active)
+        if x0 is None or y0 is None:
+            return False
+        w, h = instr.block
+        k = len(active)
+        esize = surf.esize
+        col = np.arange(w, dtype=np.int64)[None, None, :]
+        row = np.arange(h, dtype=np.int64)[None, :, None]
+
+        if op is Opcode.LDBLK:
+            # edge-clamped grid: consecutive clipped columns cover every
+            # element of read_block's contiguous clamped row reads, so
+            # the translated footprint matches scalar exactly
+            xs = np.clip(x0[:, None, None] + col, 0, surf.width - 1)
+            ys = np.clip(y0[:, None, None] + row, 0, surf.height - 1)
+            paddrs = view.translate_batch(surf.element_addrs(xs, ys))
+            values = phys.gather(paddrs, surf.dtype.np_dtype).astype(
+                np.float64).reshape(k, h * w)
+            _write_block_batched(instr.dsts[0], rows, values, ty, n, V)
+            # per-row charge spans, clamped as surface_read_block charges
+            yy = np.clip(y0[:, None] + np.arange(h, dtype=np.int64), 0,
+                         surf.height - 1)
+            lo = surf.element_addrs(
+                np.clip(x0, 0, surf.width - 1)[:, None], yy)
+            hi = surf.element_addrs(
+                np.clip(x0 + w - 1, 0, surf.width - 1)[:, None], yy) + esize
+            span_lo = np.minimum(lo, hi - 1)
+            span_sz = np.maximum(hi - lo, esize)
+            for pos, i in enumerate(active):
+                log = ctxs[i].charge_log
+                for r in range(h):
+                    log.append((int(span_lo[pos, r]),
+                                int(span_sz[pos, r]), False))
+            return _retire_mem(pre, Effect(), active, recs, config, outcome)
+
+        # STBLK: block stores never clamp — out of bounds is a fault
+        if (int(x0.min()) < 0 or int(y0.min()) < 0
+                or int(x0.max()) + w > surf.width
+                or int(y0.max()) + h > surf.height):
+            return False  # scalar raises MemorySystemError per shred
+        src = instr.srcs[1]
+        if isinstance(src, RangeOperand):
+            nregs = -(-n // VLEN)
+            values = V[rows, src.start:src.start + nregs, :].reshape(
+                k, -1)[:, :n]
+        else:
+            values = V[rows, src.reg, :n]
+        typed = np.asarray(ty.wrap(values), dtype=np.float64).reshape(
+            k, h, w).astype(surf.dtype.np_dtype)
+        xs = x0[:, None, None] + col
+        ys = y0[:, None, None] + row
+        paddrs = view.translate_batch(surf.element_addrs(xs, ys), write=True)
+        # flattened scatter order is lane-major = shred queue order, so
+        # duplicate addresses resolve last-writer-wins exactly as the
+        # scalar engine's sequential per-shred stores do
+        phys.scatter(paddrs, typed)
+        yy = y0[:, None] + np.arange(h, dtype=np.int64)
+        lo = surf.element_addrs(x0[:, None], yy)
+        hi = surf.element_addrs((x0 + w - 1)[:, None], yy) + esize
+        span_lo = np.minimum(lo, hi - 1)
+        span_sz = np.maximum(hi - lo, esize)
+        for pos, i in enumerate(active):
+            log = ctxs[i].charge_log
+            for r in range(h):
+                log.append((int(span_lo[pos, r]),
+                            int(span_sz[pos, r]), True))
+        return _retire_mem(pre, Effect(), active, recs, config, outcome)
+
+    # SAMPLE
+    blk = instr.srcs[0]
+    surf = _uniform_surface(blk.surface, ctxs, active)
+    if surf is None:  # the sampler path performs no type check
+        return False
+    xs = _read_batched(blk.x, rows, n, V, P, ctxs, active)
+    ys = _read_batched(blk.y, rows, n, V, P, ctxs, active)
+    sampler = device.sampler
+    if sampler.filter_mode == "nearest":
+        xi = np.clip(np.floor(xs + 0.5).astype(np.int64), 0, surf.width - 1)
+        yi = np.clip(np.floor(ys + 0.5).astype(np.int64), 0, surf.height - 1)
+        values = phys.gather(
+            view.translate_batch(surf.element_addrs(xi, yi)),
+            surf.dtype.np_dtype).astype(np.float64)
+    else:  # bilinear, the exact arithmetic of Surface.sample_bilinear
+        x0 = np.clip(np.floor(xs).astype(np.int64), 0, surf.width - 1)
+        y0 = np.clip(np.floor(ys).astype(np.int64), 0, surf.height - 1)
+        x1 = np.minimum(x0 + 1, surf.width - 1)
+        y1 = np.minimum(y0 + 1, surf.height - 1)
+        fx = np.clip(xs - x0, 0.0, 1.0)
+        fy = np.clip(ys - y0, 0.0, 1.0)
+        if surf.tiling is TileMode.LINEAR:
+            # the scalar sampler's compact-footprint path reads whole
+            # bounding boxes; demand a contiguous superset of every
+            # lane's box so a page scalar would have faulted on faults
+            # here too (and falls back to the exact per-shred path)
+            lo = surf.element_addr(int(x0.min()), int(y0.min()))
+            hi = surf.element_addr(int(x1.max()), int(y1.max())) + surf.esize
+            pages = np.arange(lo >> PAGE_SHIFT,
+                              ((hi - 1) >> PAGE_SHIFT) + 1, dtype=np.int64)
+            view.translate_batch(pages << PAGE_SHIFT)
+        taps = view.gather(
+            np.stack([surf.element_addrs(x0, y0),
+                      surf.element_addrs(x1, y0),
+                      surf.element_addrs(x0, y1),
+                      surf.element_addrs(x1, y1)]),
+            surf.dtype.np_dtype).astype(np.float64)
+        p00, p10, p01, p11 = taps
+        top = p00 + (p10 - p00) * fx
+        bot = p01 + (p11 - p01) * fx
+        values = top + (bot - top) * fy
+    _write_masked_batched(instr.dsts[0], rows, values, None, ty, n, V, P,
+                          ctxs, active)
+    sampler.samples += len(active) * n
+    eff = Effect()
+    eff.used_sampler = True
+    eff.bytes_read = n * ty.size
+    return _retire_mem(pre, eff, active, recs, config, outcome)
 
 
 # ---------------------------------------------------------------------------

@@ -34,8 +34,10 @@ from typing import Callable, Dict, Optional, Tuple
 
 from .opcodes import Opcode
 from .operands import (
+    BlockOperand,
     ImmOperand,
     LabelOperand,
+    MemOperand,
     PredOperand,
     RangeOperand,
     RegOperand,
@@ -47,6 +49,7 @@ from .types import DataType, NUM_PREGS, NUM_VREGS, VLEN
 #: How the gang engine treats one instruction.
 BATCH_CONTROL = "control"      # END/NOP/FENCE/JMP/BR: handled natively
 BATCH_ALU = "alu"              # one numpy op across the whole shred axis
+BATCH_MEM = "batch_mem"        # lockstep batched translate + gather/scatter
 BATCH_PER_SHRED = "per_shred"  # scalar semantics per shred, gang resident
 BATCH_PEEL = "peel_all"        # peel every shred to the scalar interpreter
 
@@ -156,6 +159,63 @@ def _alu_batchable(instr) -> bool:
     return len(instr.dsts) == 1 and _vector_writable(instr.dsts[0], n)
 
 
+def _mem_batchable(instr) -> bool:
+    """True when the gang can run this memory instruction as one lockstep
+    step: batched address computation on the shred axis, one vectorized
+    translation, one gather/scatter.  Anything structurally odd answers
+    False so the per-shred reference path raises the identical fault."""
+    op = instr.opcode
+    n = instr.width
+    if instr.pred is not None and not 0 <= instr.pred.index < NUM_PREGS:
+        return False
+    if instr.dtype is DataType.DF and op not in DF_CAPABLE_OPS:
+        # sample.df faults into CEH; the reference path must raise it
+        return False
+    if op is Opcode.LD:
+        return (len(instr.srcs) == 1
+                and isinstance(instr.srcs[0], MemOperand)
+                and _vector_readable(instr.srcs[0].index, 1)
+                and len(instr.dsts) == 1
+                and _vector_writable(instr.dsts[0], n))
+    if op is Opcode.ST:
+        return (len(instr.srcs) == 2
+                and isinstance(instr.srcs[0], MemOperand)
+                and _vector_readable(instr.srcs[0].index, 1)
+                and _vector_readable(instr.srcs[1], n))
+    if op in (Opcode.LDBLK, Opcode.STBLK):
+        if instr.block is None:
+            return False
+        w, h = instr.block
+        if w * h != n:
+            return False
+        blk = instr.srcs[0]
+        if not (isinstance(blk, BlockOperand)
+                and _vector_readable(blk.x, 1)
+                and _vector_readable(blk.y, 1)):
+            return False
+        reg_side = instr.dsts[0] if op is Opcode.LDBLK else instr.srcs[1]
+        if not (op is Opcode.LDBLK and len(instr.dsts) == 1
+                or op is Opcode.STBLK and len(instr.srcs) == 2):
+            return False
+        if isinstance(reg_side, RangeOperand):
+            # read_packed/write_packed address start..start+ceil(n/16)-1
+            # regardless of the declared stop
+            nregs = -(-n // VLEN)
+            return (0 <= reg_side.start <= reg_side.stop < NUM_VREGS
+                    and reg_side.start + nregs - 1 < NUM_VREGS)
+        if isinstance(reg_side, RegOperand):
+            return n <= VLEN and 0 <= reg_side.reg < NUM_VREGS
+        return False
+    if op is Opcode.SAMPLE:
+        return (len(instr.srcs) >= 1
+                and isinstance(instr.srcs[0], BlockOperand)
+                and _vector_readable(instr.srcs[0].x, n)
+                and _vector_readable(instr.srcs[0].y, n)
+                and len(instr.dsts) == 1
+                and _vector_writable(instr.dsts[0], n))
+    return False
+
+
 def _classify(instr, labels: Dict[str, int]) -> str:
     op = instr.opcode
     if op in _PEEL_OPS:
@@ -172,9 +232,10 @@ def _classify(instr, labels: Dict[str, int]) -> str:
     if op in _CONTROL_OPS:
         return BATCH_CONTROL
     if op in _MEMORY_OPS:
-        # order-dependent surface traffic: scalar semantics per shred,
-        # with deferred line charging replayed in queue order
-        return BATCH_PER_SHRED
+        # surface traffic stays ganged when the whole step batches:
+        # vectorized translate + one gather/scatter, with deferred line
+        # charging replayed in queue order; otherwise scalar per shred
+        return BATCH_MEM if _mem_batchable(instr) else BATCH_PER_SHRED
     if instr.dtype is DataType.DF and op not in DF_CAPABLE_OPS:
         # raises UnsupportedOperationFault -> CEH; scalar path per shred
         return BATCH_PER_SHRED

@@ -19,7 +19,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..errors import MemorySystemError, TlbMiss, TranslationFault
-from .gtt import gtt_pfn, gtt_valid
+from .gtt import gtt_pfn, gtt_pfn_array, gtt_valid, gtt_valid_array
 from .paging import IA32PageTable, PTE_CACHE_DISABLE, PTE_PRESENT, pte_pfn
 from .physical import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory
 from .tlb import Tlb
@@ -84,6 +84,9 @@ class AddressSpace:
                     hit = True
                 view.tlb.invalidate(vpn)
                 view.gtt.pop(vpn, None)
+            # the vectorized page->frame snapshot caches the same
+            # translations, so it is part of the shootdown domain too
+            view.invalidate_vector_cache()
             if hit:
                 view.shootdowns_received += 1
         for listener in self._shootdown_listeners:
@@ -221,6 +224,43 @@ class AddressSpace:
     def write_array(self, vaddr: int, values: np.ndarray) -> None:
         self.write_bytes(vaddr, np.ascontiguousarray(values).view(np.uint8))
 
+    # -- batched element access --------------------------------------------------
+
+    def _translate_array(self, vaddrs: np.ndarray, itemsize: int,
+                         write: bool) -> np.ndarray:
+        """Page-wise vectorized translation through the IA32 tables.
+
+        Walks each *distinct* page once (demand paging, A/D bits and
+        protection checks all behave exactly as :meth:`translate`), then
+        applies the page->frame map to the whole batch with numpy.
+        """
+        vaddrs = np.asarray(vaddrs, dtype=np.int64)
+        if ((vaddrs & (PAGE_SIZE - 1)) + itemsize > PAGE_SIZE).any():
+            raise MemorySystemError(
+                "batched element access may not cross a page boundary")
+        vpns = vaddrs >> PAGE_SHIFT
+        uniq, inverse = np.unique(vpns, return_inverse=True)
+        frames = np.empty(uniq.size, dtype=np.int64)
+        for i, vpn in enumerate(uniq):
+            paddr = self.translate(int(vpn) << PAGE_SHIFT, write=write)
+            frames[i] = paddr >> PAGE_SHIFT
+        return ((frames[inverse].reshape(vaddrs.shape) << PAGE_SHIFT)
+                | (vaddrs & (PAGE_SIZE - 1)))
+
+    def gather(self, vaddrs: np.ndarray, dtype: np.dtype) -> np.ndarray:
+        """Read one ``dtype`` element at each virtual address."""
+        dtype = np.dtype(dtype)
+        paddrs = self._translate_array(vaddrs, dtype.itemsize, write=False)
+        return self.physical.gather(paddrs, dtype)
+
+    def scatter(self, vaddrs: np.ndarray, values: np.ndarray) -> None:
+        """Write one typed element at each virtual address (last writer
+        wins between duplicate addresses, in flattened order)."""
+        values = np.asarray(values)
+        paddrs = self._translate_array(vaddrs, values.dtype.itemsize,
+                                       write=True)
+        self.physical.scatter(paddrs, values)
+
 
 class SequencerView:
     """An exo-sequencer's window onto the shared virtual address space.
@@ -242,6 +282,16 @@ class SequencerView:
         self.gtt: dict = {}
         self.gtt_walks = 0
         self.shootdowns_received = 0
+        #: Batches resolved end-to-end by :meth:`translate_batch` (counts
+        #: distinct pages, not lanes).
+        self.batched_translations = 0
+        # lazily built sorted (vpn, entry) snapshot of ``gtt`` for the
+        # vectorized path; rebuilt when the dict length changes and on
+        # explicit invalidation (shootdowns can swap K pages for K other
+        # pages without changing the length, so the flag is load-bearing)
+        self._gtt_vec_vpns: Optional[np.ndarray] = None
+        self._gtt_vec_entries: Optional[np.ndarray] = None
+        self._gtt_vec_len = -1
         # joining the space's shootdown domain is what keeps this view's
         # cached translations coherent with frees/remaps on the IA32 side
         space.register_view(self)
@@ -259,6 +309,100 @@ class SequencerView:
         if not gtt_valid(entry):
             raise TlbMiss(vaddr, sequencer=self.name)
         return (gtt_pfn(entry) << PAGE_SHIFT) | (vaddr & (PAGE_SIZE - 1))
+
+    # -- vectorized translation --------------------------------------------------
+
+    def invalidate_vector_cache(self) -> None:
+        """Drop the sorted GTT snapshot (shootdown coherence hook)."""
+        self._gtt_vec_vpns = None
+        self._gtt_vec_entries = None
+        self._gtt_vec_len = -1
+        # the TLB's own vector snapshot keys off the same translations
+        self.tlb._vec_vpns = None
+
+    def _gtt_snapshot(self):
+        if self._gtt_vec_vpns is None or self._gtt_vec_len != len(self.gtt):
+            count = len(self.gtt)
+            vpns = np.fromiter(self.gtt.keys(), dtype=np.int64, count=count)
+            entries = np.fromiter(self.gtt.values(), dtype=np.int64,
+                                  count=count)
+            order = np.argsort(vpns)
+            self._gtt_vec_vpns = vpns[order]
+            self._gtt_vec_entries = entries[order]
+            self._gtt_vec_len = count
+        return self._gtt_vec_vpns, self._gtt_vec_entries
+
+    def translate_batch(self, vaddrs: np.ndarray,
+                        write: bool = False) -> np.ndarray:
+        """Translate a whole batch of virtual addresses in one operation.
+
+        The fast path probes the TLB's sorted vector snapshot, then
+        refills the missing subset from the GTT snapshot (a batched
+        hardware walk).  Pages resident in neither raise one
+        :class:`TlbMiss` carrying *every* missing page, page-aligned —
+        the same shape :meth:`prepare_range` raises — so the exoskeleton
+        coalesces them into a single ATR batched proxy round trip.  The
+        raise happens before any counter moves: a missed batch is
+        side-effect free.
+
+        Unlike the scalar :meth:`translate`, GTT refills do not insert
+        into the TLB (a 32-wide batch would churn the whole LRU chain);
+        the differential contract covers architectural state and the
+        TLB hit/miss split is engine-specific.
+        """
+        vaddrs = np.asarray(vaddrs, dtype=np.int64)
+        shape = vaddrs.shape
+        flat = vaddrs.reshape(-1)
+        vpns = flat >> PAGE_SHIFT
+        uniq, inverse = np.unique(vpns, return_inverse=True)
+        entries, hit = self.tlb.translate_batch(uniq << PAGE_SHIFT,
+                                                write=write)
+        if not hit.all():
+            miss_idx = np.nonzero(~hit)[0]
+            gtt_vpns, gtt_entries = self._gtt_snapshot()
+            if gtt_vpns.size:
+                pos = np.searchsorted(gtt_vpns, uniq[miss_idx])
+                pos_clipped = np.minimum(pos, gtt_vpns.size - 1)
+                found = gtt_vpns[pos_clipped] == uniq[miss_idx]
+                entries[miss_idx[found]] = gtt_entries[pos_clipped[found]]
+                hit[miss_idx[found]] = True
+            else:
+                found = np.zeros(miss_idx.size, dtype=bool)
+            walked = int(found.sum())
+        else:
+            walked = 0
+        resolved = hit & gtt_valid_array(entries)
+        if not resolved.all():
+            missing = uniq[~resolved] << PAGE_SHIFT
+            raise TlbMiss(int(missing[0]), sequencer=self.name,
+                          vaddrs=tuple(int(m) for m in missing))
+        self.gtt_walks += walked
+        self.batched_translations += int(uniq.size)
+        pfns = gtt_pfn_array(entries)
+        return ((pfns[inverse] << PAGE_SHIFT)
+                | (flat & (PAGE_SIZE - 1))).reshape(shape)
+
+    def gather(self, vaddrs: np.ndarray, dtype: np.dtype) -> np.ndarray:
+        """Batched typed read through the vectorized translation path."""
+        dtype = np.dtype(dtype)
+        vaddrs = np.asarray(vaddrs, dtype=np.int64)
+        if ((vaddrs & (PAGE_SIZE - 1)) + dtype.itemsize > PAGE_SIZE).any():
+            raise MemorySystemError(
+                "batched element access may not cross a page boundary")
+        paddrs = self.translate_batch(vaddrs)
+        return self.space.physical.gather(paddrs, dtype)
+
+    def scatter(self, vaddrs: np.ndarray, values: np.ndarray) -> None:
+        """Batched typed write; duplicate addresses resolve in flattened
+        (queue) order, last writer wins."""
+        values = np.asarray(values)
+        vaddrs = np.asarray(vaddrs, dtype=np.int64)
+        if ((vaddrs & (PAGE_SIZE - 1))
+                + values.dtype.itemsize > PAGE_SIZE).any():
+            raise MemorySystemError(
+                "batched element access may not cross a page boundary")
+        paddrs = self.translate_batch(vaddrs, write=True)
+        self.space.physical.scatter(paddrs, values)
 
     def prepare_range(self, vaddr: int, count: int, write: bool = False) -> list:
         """Translate every page an access will touch; returns paddr chunks.

@@ -51,3 +51,13 @@ def gtt_pfn(entry: int) -> int:
 
 def gtt_memtype(entry: int) -> GttMemType:
     return GttMemType((entry >> _MEMTYPE_SHIFT) & _MEMTYPE_MASK)
+
+
+def gtt_valid_array(entries):
+    """Vectorized :func:`gtt_valid` over an int64 array of entries."""
+    return (entries & GTT_VALID).astype(bool)
+
+
+def gtt_pfn_array(entries):
+    """Vectorized :func:`gtt_pfn` over an int64 array of entries."""
+    return (entries >> _PFN_SHIFT) & _PFN_MASK

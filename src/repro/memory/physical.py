@@ -69,6 +69,66 @@ class PhysicalMemory:
         self._check(paddr, count)
         return self._data[paddr : paddr + count]
 
+    # -- batched access ---------------------------------------------------------
+
+    def gather(self, paddrs: np.ndarray, dtype: np.dtype) -> np.ndarray:
+        """Read one ``dtype`` element at each physical address in ``paddrs``.
+
+        The fancy-indexed fast path requires every address to be aligned
+        to the element size; unaligned batches fall back to per-element
+        reads.  Returns an array with the shape of ``paddrs``.
+        """
+        dtype = np.dtype(dtype)
+        paddrs = np.asarray(paddrs, dtype=np.int64)
+        if paddrs.size == 0:
+            return np.empty(paddrs.shape, dtype=dtype)
+        lo = int(paddrs.min())
+        hi = int(paddrs.max())
+        if lo < 0 or hi + dtype.itemsize > self.size:
+            raise ValueError(
+                f"physical access [{lo:#x}, {hi + dtype.itemsize:#x}) out of range")
+        if dtype.itemsize == 1:
+            return self._data[paddrs].view(dtype)
+        if not (paddrs % dtype.itemsize).any():
+            return self._data.view(dtype)[paddrs // dtype.itemsize]
+        out = np.empty(paddrs.size, dtype=dtype)
+        flat = paddrs.reshape(-1)
+        for i in range(flat.size):
+            p = int(flat[i])
+            out[i] = self._data[p : p + dtype.itemsize].view(dtype)[0]
+        return out.reshape(paddrs.shape)
+
+    def scatter(self, paddrs: np.ndarray, values: np.ndarray) -> None:
+        """Write one typed element at each physical address in ``paddrs``.
+
+        Duplicate addresses resolve last-writer-wins in flattened (C)
+        order, which is exactly the shred queue order the gang engine
+        feeds them in.
+        """
+        paddrs = np.asarray(paddrs, dtype=np.int64)
+        values = np.asarray(values)
+        dtype = values.dtype
+        if paddrs.size == 0:
+            return
+        lo = int(paddrs.min())
+        hi = int(paddrs.max())
+        if lo < 0 or hi + dtype.itemsize > self.size:
+            raise ValueError(
+                f"physical access [{lo:#x}, {hi + dtype.itemsize:#x}) out of range")
+        if dtype.itemsize == 1:
+            self._data[paddrs.reshape(-1)] = values.reshape(-1).view(np.uint8)
+            return
+        if not (paddrs % dtype.itemsize).any():
+            self._data.view(dtype)[paddrs.reshape(-1) // dtype.itemsize] = \
+                values.reshape(-1)
+            return
+        flat_p = paddrs.reshape(-1)
+        flat_v = values.reshape(-1)
+        for i in range(flat_p.size):
+            p = int(flat_p[i])
+            self._data[p : p + dtype.itemsize] = \
+                flat_v[i : i + 1].view(np.uint8)
+
     def _check(self, paddr: int, count: int) -> None:
         if paddr < 0 or paddr + count > self.size:
             raise ValueError(

@@ -101,7 +101,9 @@ def fabric_chrome_trace_events(reports: Sequence,
         engine = {
             key: sum(getattr(result, key, 0) for result in report.results)
             for key in ("gang_lanes_retired", "scalar_fallbacks",
-                        "predecode_hits", "predecode_misses")
+                        "predecode_hits", "predecode_misses",
+                        "batched_mem_lanes", "batched_translations",
+                        "tlb_vector_hits")
         }
         if any(engine.values()):
             events.append({

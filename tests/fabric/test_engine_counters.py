@@ -45,38 +45,63 @@ class TestCounterAggregation:
     def test_fabric_result_sums_engine_counters(self):
         fabric = FabricRunResult(reports=[
             _report("gma0", _result(gang_lanes_retired=10, scalar_fallbacks=1,
-                                    predecode_hits=4, predecode_misses=1)),
+                                    predecode_hits=4, predecode_misses=1,
+                                    batched_mem_lanes=8,
+                                    batched_translations=2,
+                                    tlb_vector_hits=1)),
             _report("gma1", _result(gang_lanes_retired=5, scalar_fallbacks=2,
-                                    predecode_hits=3, predecode_misses=0)),
+                                    predecode_hits=3, predecode_misses=0,
+                                    batched_mem_lanes=4,
+                                    batched_translations=3,
+                                    tlb_vector_hits=2)),
         ])
         assert fabric.gang_lanes_retired == 15
         assert fabric.scalar_fallbacks == 3
         assert fabric.predecode_hits == 7
         assert fabric.predecode_misses == 1
+        assert fabric.batched_mem_lanes == 12
+        assert fabric.batched_translations == 5
+        assert fabric.tlb_vector_hits == 3
 
     def test_merged_result_carries_engine_counters(self):
         report = _report(
             "gma0",
             _result(gang_lanes_retired=10, scalar_fallbacks=1,
-                    predecode_hits=4, predecode_misses=1),
+                    predecode_hits=4, predecode_misses=1,
+                    batched_mem_lanes=6, batched_translations=2,
+                    tlb_vector_hits=1),
             _result(gang_lanes_retired=2, scalar_fallbacks=0,
-                    predecode_hits=1, predecode_misses=0))
+                    predecode_hits=1, predecode_misses=0,
+                    batched_mem_lanes=2, batched_translations=1,
+                    tlb_vector_hits=1))
         merged = report.merged_result()
         assert merged.gang_lanes_retired == 12
         assert merged.scalar_fallbacks == 1
         assert merged.predecode_hits == 5
         assert merged.predecode_misses == 1
+        assert merged.batched_mem_lanes == 8
+        assert merged.batched_translations == 3
+        assert merged.tlb_vector_hits == 2
 
     def test_runtime_stats_note_engine_round_trip(self):
         stats = RuntimeStats()
         stats.note_engine(_result(gang_lanes_retired=10, scalar_fallbacks=2,
-                                  predecode_hits=3, predecode_misses=1))
+                                  predecode_hits=3, predecode_misses=1,
+                                  batched_mem_lanes=4,
+                                  batched_translations=2,
+                                  tlb_vector_hits=1))
         stats.note_engine(_result(gang_lanes_retired=5, scalar_fallbacks=0,
-                                  predecode_hits=2, predecode_misses=0))
+                                  predecode_hits=2, predecode_misses=0,
+                                  batched_mem_lanes=3,
+                                  batched_translations=1,
+                                  tlb_vector_hits=1))
         assert stats.gang_lanes_retired == 15
         assert stats.scalar_fallbacks == 2
         assert stats.predecode_hits == 5
         assert stats.predecode_misses == 1
+        assert stats.batched_mem_lanes == 7
+        assert stats.batched_translations == 3
+        assert stats.tlb_vector_hits == 2
         # objects without the counters (other backends) contribute nothing
         stats.note_engine(object())
         assert stats.gang_lanes_retired == 15
@@ -95,7 +120,10 @@ class TestChromeTrace:
     def test_engine_counter_track_and_wall_metadata(self):
         reports = [
             _report("gma0", _result(gang_lanes_retired=10, scalar_fallbacks=1,
-                                    predecode_hits=4, predecode_misses=1),
+                                    predecode_hits=4, predecode_misses=1,
+                                    batched_mem_lanes=8,
+                                    batched_translations=2,
+                                    tlb_vector_hits=1),
                     wall=0.25),
             _report("gma1", _result()),  # all-zero: no counter track
         ]
@@ -107,6 +135,8 @@ class TestChromeTrace:
         assert counters[0]["args"] == {
             "gang_lanes_retired": 10, "scalar_fallbacks": 1,
             "predecode_hits": 4, "predecode_misses": 1,
+            "batched_mem_lanes": 8, "batched_translations": 2,
+            "tlb_vector_hits": 1,
         }
         meta = {e["pid"]: e for e in events
                 if e["ph"] == "M" and e["name"] == "process_name"}

@@ -25,9 +25,30 @@ def test_batch_classes():
     pre = predecode.predecode_program(program)
     classes = [p.batch_class for p in pre.instrs]
     assert classes == [predecode.BATCH_ALU, predecode.BATCH_ALU,
-                       predecode.BATCH_PER_SHRED, predecode.BATCH_ALU,
+                       predecode.BATCH_MEM, predecode.BATCH_ALU,
                        predecode.BATCH_CONTROL, predecode.BATCH_CONTROL]
     assert pre.gangable
+
+
+def test_memory_batchability():
+    """Regular loads/stores gang; shapes the lockstep step can't honor
+    bit-identically stay per-shred."""
+    batchable = _program("""
+    mov.1.dw vr2 = 0
+    ld.16.f vr3 = (IN, vr2, 0)
+    st.16.f (OUT, vr2, 0) = vr3
+    ldblk.4x4.f [vr4..vr4] = (IN, vr1, vr2)
+    sample.16.f vr5 = (TEX, vr6, vr7)
+    end
+    """)
+    pre = predecode.predecode_program(batchable)
+    for slot in pre.instrs[1:-1]:
+        assert slot.batch_class == predecode.BATCH_MEM
+    # sample.df has no DF sampler path: it must fault through the
+    # per-shred reference step so the CEH event stays identical
+    df = _program("sample.16.df vr5 = (TEX, vr6, vr7)\nend\n")
+    pre_df = predecode.predecode_program(df)
+    assert pre_df.instrs[0].batch_class == predecode.BATCH_PER_SHRED
 
 
 def test_branch_targets_resolved():

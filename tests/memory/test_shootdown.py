@@ -127,3 +127,89 @@ class TestProtectShootdown:
         # (this is exactly why views auto-register)
         assert (base >> 12) in view.tlb
         assert view.shootdowns_received == 0
+
+
+class TestVectorizedPathShootdown:
+    """The batched gather/scatter path caches translations in two sorted
+    snapshots (the TLB's and the view's GTT mirror); both are part of the
+    shootdown domain and must fault exactly like the scalar path after
+    ``free``/``protect``."""
+
+    def _warm_batched(self, space, service, view, base, pages):
+        warm(service, view, base, pages)
+        addrs = np.arange(pages, dtype=np.int64) * PAGE_SIZE + base
+        view.gather(addrs, np.uint8)  # builds both vector snapshots
+        return addrs
+
+    def test_gather_after_free_faults(self, space):
+        base = space.alloc(2 * PAGE_SIZE, eager=True)
+        service = AtrService(space)
+        view = SequencerView(space)
+        addrs = self._warm_batched(space, service, view, base, 2)
+        space.free(base)
+        with pytest.raises(TlbMiss):
+            view.gather(addrs, np.uint8)
+
+    def test_gather_after_free_translation_fault_on_space(self):
+        """Without demand paging the host-side batched path surfaces the
+        dead mapping as TranslationFault, same as scalar translate."""
+        from repro.errors import TranslationFault
+        space = AddressSpace(demand_paging=False)
+        base = space.alloc(PAGE_SIZE, eager=True)
+        addrs = np.array([base, base + 8], dtype=np.int64)
+        assert space.gather(addrs, np.uint8).size == 2
+        space.free(base)
+        with pytest.raises(TranslationFault):
+            space.gather(addrs, np.uint8)
+
+    def test_scatter_after_protect_faults(self, space):
+        base = space.alloc(PAGE_SIZE, eager=True)
+        service = AtrService(space)
+        view = SequencerView(space)
+        addrs = self._warm_batched(space, service, view, base, 1)
+        values = np.full(1, 0x5C, dtype=np.uint8)
+        view.scatter(addrs[:1], values)  # writable: goes through
+        space.protect(base, writable=False)
+        # the stale snapshot is gone: the device access re-faults and ATR
+        # enforces the weakened bits, exactly like the scalar path
+        with pytest.raises(TlbMiss):
+            view.scatter(addrs[:1], values)
+        with pytest.raises(ProtectionFault):
+            service.service(view, base, write=True)
+        with pytest.raises(ProtectionFault):
+            space.scatter(addrs[:1], values)
+
+    def test_snapshot_length_collision(self, space):
+        """free K pages then map K other pages: the GTT dict length is
+        unchanged, so only the explicit shootdown invalidation keeps the
+        sorted snapshot from serving the dead translation."""
+        victim = space.alloc(PAGE_SIZE, eager=True)
+        keeper = space.alloc(PAGE_SIZE, eager=True)
+        service = AtrService(space)
+        view = SequencerView(space)
+        warm(service, view, victim, 1)
+        warm(service, view, keeper, 1)
+        addrs = np.array([victim, keeper], dtype=np.int64)
+        view.gather(addrs, np.uint8)  # snapshot now holds both pages
+        before = len(view.gtt)
+        space.free(victim)
+        fresh = space.alloc(PAGE_SIZE, eager=True)
+        warm(service, view, fresh, 1)
+        assert len(view.gtt) == before  # same length, different pages
+        with pytest.raises(TlbMiss):
+            view.gather(np.array([victim], dtype=np.int64), np.uint8)
+        # the surviving and the fresh page still translate fine
+        view.gather(np.array([keeper, fresh], dtype=np.int64), np.uint8)
+
+    def test_refault_after_shootdown_resumes_batched(self, space):
+        """After ATR re-services the pages the batched path works again
+        (the snapshots rebuild lazily)."""
+        base = space.alloc(PAGE_SIZE, eager=True)
+        service = AtrService(space)
+        view = SequencerView(space)
+        addrs = self._warm_batched(space, service, view, base, 1)
+        space.protect(base, writable=False)
+        with pytest.raises(TlbMiss):
+            view.gather(addrs, np.uint8)
+        service.service(view, base, write=False)
+        assert view.gather(addrs, np.uint8).size == 1

@@ -118,3 +118,120 @@ def test_capacity_never_exceeded(vpns):
         assert len(tlb) <= 8
     # most recently inserted is always resident
     assert vpns[-1] in tlb
+
+
+class _CountingEntries(dict):
+    """Stand-in for the TLB's backing OrderedDict that counts probes."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.probes = 0
+
+    def get(self, key, default=None):
+        self.probes += 1
+        return super().get(key, default)
+
+    def move_to_end(self, key):
+        pass  # plain dict: insertion order is fine for these tests
+
+    def popitem(self, last=True):
+        key = next(iter(self)) if not last else next(reversed(self))
+        return key, self.pop(key)
+
+
+class TestLastPageMru:
+    def test_repeat_page_skips_dict_probe(self):
+        """Consecutive same-page lookups must be absorbed by the
+        one-entry MRU: exactly one dict probe, hit accounting unchanged."""
+        tlb = Tlb(capacity=4)
+        tlb.insert(7, 0x77)
+        counting = _CountingEntries(tlb._entries)
+        tlb._entries = counting
+        tlb._mru_vpn = -1  # force the first lookup through the dict
+        for _ in range(16):
+            assert tlb.lookup(7) == 0x77
+        assert counting.probes == 1
+        assert tlb.hits == 16
+        assert tlb.mru_hits == 15
+
+    def test_insert_primes_mru(self):
+        tlb = Tlb(capacity=4)
+        tlb.insert(3, 0x33)
+        counting = _CountingEntries(tlb._entries)
+        tlb._entries = counting
+        assert tlb.lookup(3) == 0x33  # insert already primed the MRU
+        assert counting.probes == 0
+
+    def test_invalidate_clears_mru(self):
+        tlb = Tlb(capacity=4)
+        tlb.insert(5, 0x55)
+        tlb.lookup(5)
+        tlb.invalidate(5)
+        with pytest.raises(TlbMiss):
+            tlb.lookup(5)  # the MRU must not serve the dead entry
+
+    def test_full_flush_clears_mru(self):
+        tlb = Tlb(capacity=4)
+        tlb.insert(5, 0x55)
+        tlb.invalidate()
+        with pytest.raises(TlbMiss):
+            tlb.lookup(5)
+
+    def test_eviction_clears_mru(self):
+        tlb = Tlb(capacity=1)
+        tlb.insert(1, 11)
+        tlb.lookup(1)
+        tlb.insert(2, 22)  # evicts vpn 1, which is also the MRU
+        with pytest.raises(TlbMiss):
+            tlb.lookup(1)
+
+    def test_reinsert_updates_mru_value(self):
+        tlb = Tlb(capacity=4)
+        tlb.insert(1, 11)
+        tlb.lookup(1)
+        tlb.insert(1, 99)
+        assert tlb.lookup(1) == 99
+
+    def test_mru_hit_preserves_lru_order(self):
+        """An MRU hit skips move_to_end; that is only sound because the
+        MRU entry is by construction already at the LRU tail."""
+        tlb = Tlb(capacity=2)
+        tlb.insert(1, 11)
+        tlb.insert(2, 22)
+        tlb.lookup(2)  # MRU hit: 2 is already most recent
+        tlb.insert(3, 33)  # must evict 1, the true LRU victim
+        assert 2 in tlb and 3 in tlb and 1 not in tlb
+
+
+class TestVectorSnapshot:
+    def test_translate_batch_hits_and_misses(self):
+        import numpy as np
+        tlb = Tlb(capacity=8)
+        tlb.insert(1, 0x11)
+        tlb.insert(3, 0x33)
+        vaddrs = np.array([1 << 12, (3 << 12) + 40, 2 << 12])
+        entries, hit = tlb.translate_batch(vaddrs)
+        assert hit.tolist() == [True, True, False]
+        assert entries.tolist() == [0x11, 0x33, 0]
+        assert tlb.vector_hits == 2
+        # the wide probe is architecturally one access, not per-lane
+        assert tlb.hits == 0 and tlb.misses == 0
+
+    def test_empty_tlb_all_miss(self):
+        import numpy as np
+        tlb = Tlb()
+        entries, hit = tlb.translate_batch(np.array([0, 1 << 12]))
+        assert not hit.any() and not entries.any()
+
+    def test_snapshot_tracks_insert_and_invalidate(self):
+        import numpy as np
+        tlb = Tlb(capacity=8)
+        tlb.insert(1, 0x11)
+        _, hit = tlb.translate_batch(np.array([1 << 12]))
+        assert hit.all()
+        tlb.insert(2, 0x22)  # must dirty the snapshot
+        _, hit = tlb.translate_batch(np.array([2 << 12]))
+        assert hit.all()
+        tlb.invalidate(1)
+        _, hit = tlb.translate_batch(np.array([1 << 12]))
+        assert not hit.any()
