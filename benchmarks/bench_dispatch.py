@@ -1,0 +1,162 @@
+"""Per-instruction dispatch overhead: scalar vs gang vs fused.
+
+The three engines retire the same instruction stream; what differs is
+how much *host* work each instruction costs before numpy does the lane
+math.  The scalar interpreter pays a full decode-dispatch-account round
+per instruction per shred; the gang engine pays one batched round per
+instruction; the fused engine pays one round per *block* (superblock
+trace fusion, ``docs/ENGINE.md``) and amortizes branch resolution over
+chained traces.
+
+This benchmark isolates that overhead by timing a pure-ALU counted loop
+where every instruction is host-bound (16-lane mads on resident
+registers — no memory traffic, no faults, no divergence), and reporting
+**nanoseconds of host wall-clock per retired instruction** at several
+trip counts.  Longer loops amortize fixed launch cost, so the asymptote
+approximates the steady-state dispatch cost per instruction.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_dispatch.py
+
+or under pytest (``pytest benchmarks/bench_dispatch.py``).  Writes
+``BENCH_dispatch.json`` (``--json`` to move).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.exo.shred import ShredDescriptor
+from repro.gma.device import GmaDevice
+from repro.isa import predecode
+from repro.isa.assembler import assemble
+from repro.memory.address_space import AddressSpace
+
+ENGINES = ("scalar", "gang", "fused")
+DEFAULT_SHREDS = 32
+#: Trip counts for the amortization sweep: the launch-overhead-dominated
+#: short end through the dispatch-dominated long end.
+TRIP_COUNTS = (10, 100, 600)
+
+#: Same contract-to-fixed-point ALU loop shape as ``bench_engine`` — all
+#: dispatch, no memory system.
+LOOP_ASM = """
+iota.16.f vr1
+mul.16.f vr1 = vr1, 0.05
+mov.1.dw vr2 = 0
+bcast.16.f vr3 = vr1
+loop:
+mad.16.f vr3 = vr3, vr1, vr1
+mad.16.f vr4 = vr3, vr1, vr1
+add.16.f vr5 = vr3, vr4
+mul.16.f vr6 = vr5, vr1
+add.1.dw vr2 = vr2, 1
+cmp.lt.1.dw p1 = vr2, iters
+br p1, loop
+end
+"""
+
+
+def measure(engine: str, iters: int, shreds: int = DEFAULT_SHREDS,
+            repeats: int = 3) -> dict:
+    """Best-of-``repeats`` ns/instruction for one engine and trip count."""
+    program = assemble(LOOP_ASM, name="dispatch-loop")
+    best = None
+    for _ in range(repeats):
+        predecode.CACHE.clear()
+        device = GmaDevice(AddressSpace(), engine=engine)
+        batch = [ShredDescriptor(program=program,
+                                 bindings={"iters": float(iters)})
+                 for _ in range(shreds)]
+        started = time.perf_counter()
+        result = device.run(batch)
+        wall = time.perf_counter() - started
+        if best is None or wall < best["wall_seconds"]:
+            best = {
+                "engine": engine,
+                "iters": iters,
+                "instructions": result.instructions,
+                "wall_seconds": wall,
+                "ns_per_instruction": wall * 1e9 / result.instructions,
+                "fused_blocks_retired": result.fused_blocks_retired,
+                "trace_chains": result.trace_chains,
+            }
+    return best
+
+
+def compare(shreds: int = DEFAULT_SHREDS) -> dict:
+    """The full sweep: every engine at every trip count."""
+    rows = {}
+    for iters in TRIP_COUNTS:
+        rows[str(iters)] = {engine: measure(engine, iters, shreds)
+                            for engine in ENGINES}
+    longest = rows[str(TRIP_COUNTS[-1])]
+    return {
+        "shreds": shreds,
+        "trip_counts": list(TRIP_COUNTS),
+        "rows": rows,
+        # steady-state overhead ratios at the longest trip count
+        "gang_dispatch_ratio": (longest["scalar"]["ns_per_instruction"]
+                                / longest["gang"]["ns_per_instruction"]),
+        "fused_dispatch_ratio": (longest["gang"]["ns_per_instruction"]
+                                 / longest["fused"]["ns_per_instruction"]),
+    }
+
+
+def report(outcome: dict) -> str:
+    lines = [f"per-instruction dispatch overhead, "
+             f"{outcome['shreds']} homogeneous shreds:"]
+    lines.append(f"  {'iters':>6s} {'engine':8s} {'instr':>8s} "
+                 f"{'wall ms':>9s} {'ns/instr':>9s}")
+    for iters in outcome["trip_counts"]:
+        for engine in ENGINES:
+            m = outcome["rows"][str(iters)][engine]
+            lines.append(f"  {iters:6d} {engine:8s} {m['instructions']:8d} "
+                         f"{m['wall_seconds'] * 1e3:9.2f} "
+                         f"{m['ns_per_instruction']:9.0f}")
+    lines.append(f"  steady state (iters={outcome['trip_counts'][-1]}): "
+                 f"gang removes {outcome['gang_dispatch_ratio']:.1f}x "
+                 f"dispatch cost, fusion another "
+                 f"{outcome['fused_dispatch_ratio']:.2f}x")
+    return "\n".join(lines)
+
+
+# -- pytest entry points ---------------------------------------------------------------
+
+
+def test_dispatch_overhead_shrinks_by_engine():
+    """Soft ordering check at the amortized trip count: each engine tier
+    must strictly cut host cost per instruction (generous margins — this
+    asserts the mechanism works, the hard perf gate lives in
+    ``bench_engine --check``)."""
+    iters = TRIP_COUNTS[-1]
+    scalar = measure("scalar", iters, repeats=2)
+    gang = measure("gang", iters, repeats=2)
+    fused = measure("fused", iters, repeats=2)
+    assert scalar["instructions"] == gang["instructions"] \
+        == fused["instructions"]
+    assert gang["ns_per_instruction"] < scalar["ns_per_instruction"] / 2
+    assert fused["ns_per_instruction"] < gang["ns_per_instruction"]
+    assert fused["fused_blocks_retired"] > 0
+    assert fused["trace_chains"] > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shreds", type=int, default=DEFAULT_SHREDS)
+    parser.add_argument("--json", default="BENCH_dispatch.json")
+    args = parser.parse_args(argv)
+
+    outcome = compare(args.shreds)
+    print(report(outcome))
+    with open(args.json, "w") as handle:
+        json.dump(outcome, handle, indent=2)
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,8 @@ benchmark measures that change two ways:
 
 * a homogeneous 32-shred ALU loop (every shred fully gang-resident), the
   best case and the first CI gate: gang must reach >= 3x scalar
-  instructions/second;
+  instructions/second, and the fused engine (superblock trace fusion,
+  ``docs/ENGINE.md``) must reach >= 1.8x *gang* instructions/second;
 * a memory-bound media kernel (SepiaTone, whose inner loop is
   load/store dominated) through the standard harness — the second CI
   gate, exercising the batched gather/scatter and vectorized TLB
@@ -31,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -46,6 +48,7 @@ from repro.perf import SMOKE_GEOMETRIES
 DEFAULT_SHREDS = 32
 DEFAULT_ITERS = 300
 CHECK_SPEEDUP = 3.0
+CHECK_FUSION = 1.8  # fused vs plain gang, homogeneous instr/s
 
 #: Homogeneous by construction: the trip count is one uniform symbol, so
 #: every shred follows the same path and the gang never peels.  The lane
@@ -98,6 +101,9 @@ def measure_homogeneous(engine: str, shreds: int = DEFAULT_SHREDS,
                 "scalar_fallbacks": result.scalar_fallbacks,
                 "predecode_hits": result.predecode_hits,
                 "predecode_misses": result.predecode_misses,
+                "fused_blocks_retired": result.fused_blocks_retired,
+                "trace_chains": result.trace_chains,
+                "fusion_compiles": result.fusion_compiles,
             }
     return best
 
@@ -119,26 +125,39 @@ def measure_kernel(engine: str, repeats: int = 2,
                 "engine": engine,
                 "kernel": kernel.abbrev,
                 "instructions": outcome.instructions,
+                "shreds": outcome.shreds,
                 "wall_seconds": wall,
                 "instructions_per_second": outcome.instructions / wall,
                 "batched_translations": device.view.batched_translations,
                 "tlb_vector_hits": device.view.tlb.vector_hits,
+                "scalar_fallbacks": outcome.scalar_fallbacks,
+                "fused_blocks_retired": outcome.fused_blocks_retired,
+                "trace_chains": outcome.trace_chains,
+                "fusion_compiles": outcome.fusion_compiles,
             }
     return best
 
 
 def measure_all_kernels(repeats: int = 1) -> dict:
-    """Gang-vs-scalar wall clock for every kernel at smoke geometry."""
+    """Scalar/gang/fused wall clock for every kernel at smoke geometry."""
     table = {}
     for kernel_cls in ALL_KERNELS:
         row = {engine: measure_kernel(engine, repeats, kernel_cls)
-               for engine in ("scalar", "gang")}
+               for engine in ("scalar", "gang", "fused")}
         table[kernel_cls.abbrev] = {
             "scalar_seconds": row["scalar"]["wall_seconds"],
             "gang_seconds": row["gang"]["wall_seconds"],
+            "fused_seconds": row["fused"]["wall_seconds"],
             "speedup": (row["scalar"]["wall_seconds"]
                         / row["gang"]["wall_seconds"]),
+            "fused_speedup": (row["scalar"]["wall_seconds"]
+                              / row["fused"]["wall_seconds"]),
             "batched_translations": row["gang"]["batched_translations"],
+            "fused_blocks_retired": row["fused"]["fused_blocks_retired"],
+            "trace_chains": row["fused"]["trace_chains"],
+            "fusion_compiles": row["fused"]["fusion_compiles"],
+            "scalar_fallbacks": row["fused"]["scalar_fallbacks"],
+            "shreds": row["fused"]["shreds"],
         }
     return table
 
@@ -169,16 +188,19 @@ def measure_parallel_fabric(parallel: bool, devices: int = 4,
 def compare(shreds: int = DEFAULT_SHREDS, iters: int = DEFAULT_ITERS) -> dict:
     scalar = measure_homogeneous("scalar", shreds, iters)
     gang = measure_homogeneous("gang", shreds, iters)
+    fused = measure_homogeneous("fused", shreds, iters)
     kernel = {"scalar": measure_kernel("scalar"),
               "gang": measure_kernel("gang")}
     return {
-        "homogeneous": {"scalar": scalar, "gang": gang},
+        "homogeneous": {"scalar": scalar, "gang": gang, "fused": fused},
         "kernel": kernel,
         "kernels": measure_all_kernels(),
         "fabric": {"serial": measure_parallel_fabric(False),
                    "parallel": measure_parallel_fabric(True)},
         "speedup": (gang["instructions_per_second"]
                     / scalar["instructions_per_second"]),
+        "fusion_speedup": (fused["instructions_per_second"]
+                           / gang["instructions_per_second"]),
         "kernel_speedup": (kernel["scalar"]["wall_seconds"]
                            / kernel["gang"]["wall_seconds"]),
     }
@@ -191,7 +213,7 @@ def report(outcome: dict) -> str:
         f"  {'':8s} {'instr':>8s} {'wall ms':>9s} {'Minstr/s':>9s} "
         f"{'ganged':>7s} {'peeled':>7s}",
     ]
-    for name in ("scalar", "gang"):
+    for name in ("scalar", "gang", "fused"):
         m = homo[name]
         lines.append(
             f"  {name:8s} {m['instructions']:8d} "
@@ -200,6 +222,12 @@ def report(outcome: dict) -> str:
             f"{m['gang_lanes_retired']:7d} {m['scalar_fallbacks']:7d}")
     lines.append(f"  gang speedup: {outcome['speedup']:.1f}x "
                  f"(gate: >= {CHECK_SPEEDUP:.0f}x)")
+    fused = homo["fused"]
+    lines.append(f"  fusion speedup: {outcome['fusion_speedup']:.2f}x gang "
+                 f"(gate: >= {CHECK_FUSION:.1f}x), "
+                 f"{fused['fused_blocks_retired']} blocks retired, "
+                 f"{fused['trace_chains']} trace chains, "
+                 f"{fused['fusion_compiles']} compiles")
     kern = outcome["kernel"]
     kname = kern["scalar"]["kernel"]
     lines.append(f"  {kname}: {outcome['kernel_speedup']:.1f}x faster "
@@ -208,9 +236,20 @@ def report(outcome: dict) -> str:
                  f"batched")
     lines.append("  per-kernel wall-clock speedups (smoke geometry):")
     for name, row in outcome["kernels"].items():
-        lines.append(f"    {name:14s} {row['speedup']:5.2f}x "
+        lines.append(f"    {name:14s} {row['speedup']:5.2f}x gang / "
+                     f"{row['fused_speedup']:5.2f}x fused "
                      f"(scalar {row['scalar_seconds'] * 1e3:7.2f}ms, "
-                     f"gang {row['gang_seconds'] * 1e3:7.2f}ms)")
+                     f"gang {row['gang_seconds'] * 1e3:7.2f}ms, "
+                     f"fused {row['fused_seconds'] * 1e3:7.2f}ms)")
+    lines.append("  per-kernel block fusion (smoke geometry):")
+    lines.append(f"    {'kernel':14s} {'blocks':>7s} {'chains':>7s} "
+                 f"{'compiles':>8s} {'fallback':>9s}")
+    for name, row in outcome["kernels"].items():
+        fallback = (row["scalar_fallbacks"] / row["shreds"]
+                    if row["shreds"] else 0.0)
+        lines.append(f"    {name:14s} {row['fused_blocks_retired']:7d} "
+                     f"{row['trace_chains']:7d} {row['fusion_compiles']:8d} "
+                     f"{fallback:8.0%}")
     fab = outcome["fabric"]
     lines.append(
         f"  4-device fabric drain: serial "
@@ -222,6 +261,33 @@ def report(outcome: dict) -> str:
     lines.append(f"  decode cache: {m['predecode_hits']}/{total} hits "
                  f"({rate:.0%})")
     return "\n".join(lines)
+
+
+def step_summary(outcome: dict) -> str:
+    """GitHub Actions step-summary markdown: the fusion stats table."""
+    fused = outcome["homogeneous"]["fused"]
+    lines = [
+        "### Engine benchmark",
+        "",
+        f"- gang vs scalar (homogeneous): "
+        f"**{outcome['speedup']:.1f}x** (gate >= {CHECK_SPEEDUP:.0f}x)",
+        f"- fused vs gang (homogeneous): "
+        f"**{outcome['fusion_speedup']:.2f}x** (gate >= {CHECK_FUSION:.1f}x),"
+        f" {fused['fused_blocks_retired']} blocks retired, "
+        f"{fused['trace_chains']} trace chains",
+        "",
+        "| kernel | gang speedup | fused speedup | blocks | chained traces "
+        "| fallback rate |",
+        "|---|---|---|---|---|---|",
+    ]
+    for name, row in outcome["kernels"].items():
+        fallback = (row["scalar_fallbacks"] / row["shreds"]
+                    if row["shreds"] else 0.0)
+        lines.append(
+            f"| {name} | {row['speedup']:.2f}x | {row['fused_speedup']:.2f}x "
+            f"| {row['fused_blocks_retired']} | {row['trace_chains']} "
+            f"| {fallback:.0%} |")
+    return "\n".join(lines) + "\n"
 
 
 # -- pytest entry points ---------------------------------------------------------------
@@ -252,6 +318,21 @@ def test_memory_bound_kernel_beats_scalar():
         f"gang only {speedup:.2f}x scalar on {gang['kernel']}"
 
 
+def test_fused_beats_gang():
+    """The fusion acceptance bar: superblock fusion must beat plain
+    per-instruction gang dispatch on the homogeneous loop."""
+    gang = measure_homogeneous("gang")
+    fused = measure_homogeneous("fused")
+    assert fused["instructions"] == gang["instructions"]
+    assert fused["gma_cycles"] == gang["gma_cycles"]
+    assert fused["scalar_fallbacks"] == 0
+    assert fused["fused_blocks_retired"] > 0
+    assert fused["trace_chains"] > 0
+    speedup = (fused["instructions_per_second"]
+               / gang["instructions_per_second"])
+    assert speedup >= CHECK_FUSION, f"fused only {speedup:.2f}x gang"
+
+
 def test_parallel_fabric_same_results():
     serial = measure_parallel_fabric(False)
     threaded = measure_parallel_fabric(True)
@@ -270,7 +351,8 @@ def main(argv=None) -> int:
                         help="result file (default %(default)s)")
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero unless gang reaches "
-                             f">= {CHECK_SPEEDUP:.0f}x scalar "
+                             f">= {CHECK_SPEEDUP:.0f}x scalar and fused "
+                             f">= {CHECK_FUSION:.1f}x gang "
                              "instructions/second")
     args = parser.parse_args(argv)
 
@@ -279,11 +361,21 @@ def main(argv=None) -> int:
     with open(args.json, "w") as handle:
         json.dump(outcome, handle, indent=2)
     print(f"wrote {args.json}")
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write(step_summary(outcome))
+        print(f"appended fusion stats to {summary_path}")
     if args.check:
         failed = False
         if outcome["speedup"] < CHECK_SPEEDUP:
             print(f"CHECK FAILED: gang speedup {outcome['speedup']:.2f}x "
                   f"< {CHECK_SPEEDUP:.0f}x", file=sys.stderr)
+            failed = True
+        if outcome["fusion_speedup"] < CHECK_FUSION:
+            print(f"CHECK FAILED: fusion speedup "
+                  f"{outcome['fusion_speedup']:.2f}x "
+                  f"< {CHECK_FUSION:.1f}x gang", file=sys.stderr)
             failed = True
         if outcome["kernel_speedup"] < CHECK_SPEEDUP:
             print(f"CHECK FAILED: kernel speedup "
@@ -293,8 +385,8 @@ def main(argv=None) -> int:
         if failed:
             return 1
         print(f"check passed: gang {outcome['speedup']:.1f}x scalar "
-              f"(homogeneous), {outcome['kernel_speedup']:.1f}x "
-              f"(memory-bound kernel)")
+              f"(homogeneous), fused {outcome['fusion_speedup']:.2f}x gang, "
+              f"{outcome['kernel_speedup']:.1f}x (memory-bound kernel)")
     return 0
 
 

@@ -75,7 +75,8 @@ class ExoPlatform:
     sequencer class.  ``queue_depth`` / ``admission_policy`` configure the
     per-device admission queues (see :mod:`repro.fabric.queue`);
     ``gma_engine`` selects the execution engine every GMA instance uses
-    (``"scalar"`` or ``"gang"``, see :mod:`repro.gma.gang`).
+    (``"scalar"``, ``"gang"`` or ``"fused"``, see :mod:`repro.gma.gang`
+    and :mod:`repro.gma.fusion`).
     """
 
     def __init__(self,

@@ -548,6 +548,12 @@ class RuntimeStats:
     batched_mem_lanes: int = 0
     batched_translations: int = 0
     tlb_vector_hits: int = 0
+    #: Superblock trace fusion (``engine="fused"``): whole blocks
+    #: retired by the fused executor, uniform branches chained
+    #: block-to-block, and blocks compiled (first-run cost).
+    fused_blocks_retired: int = 0
+    trace_chains: int = 0
+    fusion_compiles: int = 0
 
     def note_device(self, device: str, seconds: float, shreds: int) -> None:
         self.device_seconds[device] = (
@@ -572,3 +578,7 @@ class RuntimeStats:
         self.batched_translations += getattr(
             result, "batched_translations", 0)
         self.tlb_vector_hits += getattr(result, "tlb_vector_hits", 0)
+        self.fused_blocks_retired += getattr(
+            result, "fused_blocks_retired", 0)
+        self.trace_chains += getattr(result, "trace_chains", 0)
+        self.fusion_compiles += getattr(result, "fusion_compiles", 0)

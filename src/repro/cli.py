@@ -25,6 +25,7 @@ from .chi.platform import ExoPlatform
 from .chi.runtime import ChiRuntime
 from .errors import ReproError
 from .gma.device import GmaDevice
+from .isa import predecode
 from .isa.disassembler import disassemble
 
 
@@ -122,6 +123,18 @@ def chirun(argv=None) -> int:
                   f"({rate:.0%} hit) "
                   f"batched_mem={stats.batched_mem_lanes} "
                   f"vec_translate={stats.batched_translations}",
+                  file=sys.stderr)
+            cache = predecode.CACHE.stats()
+            print(f"[chirun] predecode_cache entries={cache['entries']} "
+                  f"hits={cache['hits']} misses={cache['misses']} "
+                  f"evictions={cache['evictions']} "
+                  f"fused_blocks={cache['fused_blocks']}",
+                  file=sys.stderr)
+        if args.engine == "fused":
+            print(f"[chirun] fusion blocks_retired="
+                  f"{stats.fused_blocks_retired} "
+                  f"trace_chains={stats.trace_chains} "
+                  f"compiles={stats.fusion_compiles}",
                   file=sys.stderr)
     value = result.exit_value
     return int(value) if isinstance(value, (int, float)) else 0

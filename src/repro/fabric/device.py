@@ -83,6 +83,9 @@ class DeviceRunReport:
             merged.batched_mem_lanes += result.batched_mem_lanes
             merged.batched_translations += result.batched_translations
             merged.tlb_vector_hits += result.tlb_vector_hits
+            merged.fused_blocks_retired += result.fused_blocks_retired
+            merged.trace_chains += result.trace_chains
+            merged.fusion_compiles += result.fusion_compiles
             if result.timing is not None:
                 for sid, (s, f, eu, slot) in result.timing.spans.items():
                     timing.spans[sid] = (s + offset, f + offset, eu, slot)
@@ -185,6 +188,18 @@ class FabricRunResult:
     @property
     def tlb_vector_hits(self) -> int:
         return self._sum("tlb_vector_hits")
+
+    @property
+    def fused_blocks_retired(self) -> int:
+        return self._sum("fused_blocks_retired")
+
+    @property
+    def trace_chains(self) -> int:
+        return self._sum("trace_chains")
+
+    @property
+    def fusion_compiles(self) -> int:
+        return self._sum("fusion_compiles")
 
     def report_for(self, device: str) -> Optional[DeviceRunReport]:
         for report in self.reports:

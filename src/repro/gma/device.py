@@ -32,8 +32,11 @@ class GmaDevice:
 
     #: Supported execution engines: "scalar" interprets each shred one
     #: instruction at a time; "gang" batches same-program launches across
-    #: the shred axis (see :mod:`repro.gma.gang`), with scalar peel-off.
-    ENGINES = ("scalar", "gang")
+    #: the shred axis (see :mod:`repro.gma.gang`), with scalar peel-off;
+    #: "fused" adds superblock trace fusion on top of the gang engine
+    #: (see :mod:`repro.gma.fusion`): straight-line regions retire as
+    #: whole compiled blocks with uniform-branch trace chaining.
+    ENGINES = ("scalar", "gang", "fused")
 
     def __init__(self, space: AddressSpace,
                  exoskeleton: Optional[Exoskeleton] = None,

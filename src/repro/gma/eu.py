@@ -144,6 +144,12 @@ def _simulate_eu(ctxs: List[_Context], not_before: Dict[int, float],
         # Cycle-exact with the general path (same stalls, spans, drain).
         return _drain_single_context(populated[0], not_before, finish,
                                      spans, eu_index)
+    if not any(not_before.get(run.shred.shred_id, 0.0) > 0.0
+               for ctx in populated for run in ctx.queue):
+        # no dependency gates: activation always happens at the same
+        # `now` as the finish that freed the context, so the per-step
+        # activation scan of the general loop is dead weight
+        return _simulate_eu_ungated(ctxs, finish, spans, eu_index)
     now = 0.0
     busy = 0.0
     stall = 0.0
@@ -165,15 +171,20 @@ def _simulate_eu(ctxs: List[_Context], not_before: Dict[int, float],
                     ctx.ready_time = max(ctx.ready_time, now)
                     ctx.start_time = max(ctx.ready_time, now)
 
-        ready = [
-            (i, ctx) for i, ctx in enumerate(ctxs)
-            if ctx.trace is not None and ctx.ready_time <= now
-        ]
-        if ready:
-            # round-robin among ready contexts (fly-weight switch-on-stall)
-            ready.sort(key=lambda pair: (pair[0] - rr) % n)
-            _, ctx = ready[0]
-            rr = (ready[0][0] + 1) % n
+        # round-robin among ready contexts (fly-weight switch-on-stall):
+        # the first ready context scanning from the rr pointer is exactly
+        # the minimum of (index - rr) % n over all ready contexts
+        ctx = None
+        for k in range(n):
+            i = rr + k
+            if i >= n:
+                i -= n
+            cand = ctxs[i]
+            if cand.trace is not None and cand.ready_time <= now:
+                ctx = cand
+                rr = i + 1 if i + 1 < n else 0
+                break
+        if ctx is not None:
             if ctx.tidx < len(ctx.trace):
                 issue, latency = ctx.trace[ctx.tidx]
                 ctx.tidx += 1
@@ -210,6 +221,82 @@ def _simulate_eu(ctxs: List[_Context], not_before: Dict[int, float],
         now = next_time
 
     # drain: in-flight latency of the last instructions extends past `now`
+    end = max([now] + local_finish)
+    return EuReport(cycles=end, busy_cycles=busy, exposed_stall_cycles=stall)
+
+
+def _simulate_eu_ungated(ctxs: List[_Context], finish: Dict[int, float],
+                         spans: Dict[int, tuple], eu_index: int) -> EuReport:
+    """The general loop specialized for runs without dependency gates.
+
+    Cycle-exact with :func:`_simulate_eu` when every ``not_before`` gate
+    is 0: in that case the general loop activates a queued shred on the
+    very iteration after its context frees, at the same ``now``, with
+    ``ready_time`` (the previous trace's drain) already >= ``now`` — so
+    activating eagerly here, at init and at each finish, is identical
+    and the per-step activation scan disappears.
+    """
+    now = 0.0
+    busy = 0.0
+    stall = 0.0
+    rr = 0
+    n = len(ctxs)
+    local_finish: List[float] = []
+    live = 0
+    for ctx in ctxs:
+        if ctx.queue:
+            ctx.current = ctx.queue[0]
+            ctx.trace = ctx.current.trace
+            ctx.tidx = 0
+            ctx.qidx = 1
+            ctx.ready_time = 0.0
+            ctx.start_time = 0.0
+            live += 1
+
+    while live:
+        ctx = None
+        for k in range(n):
+            i = rr + k
+            if i >= n:
+                i -= n
+            cand = ctxs[i]
+            if cand.trace is not None and cand.ready_time <= now:
+                ctx = cand
+                rr = i + 1 if i + 1 < n else 0
+                break
+        if ctx is None:
+            next_time = min(c.ready_time for c in ctxs
+                            if c.trace is not None)
+            stall += next_time - now
+            now = next_time
+            continue
+        trace = ctx.trace
+        if ctx.tidx < len(trace):
+            issue, latency = trace[ctx.tidx]
+            ctx.tidx += 1
+            now += issue
+            busy += issue
+            ctx.ready_time = now + latency
+        if ctx.tidx >= len(trace):
+            shred_id = ctx.current.shred.shred_id
+            finish[shred_id] = ctx.ready_time
+            spans[shred_id] = (ctx.start_time, ctx.ready_time,
+                               eu_index, ctx.slot)
+            local_finish.append(ctx.ready_time)
+            if ctx.qidx < len(ctx.queue):
+                # eager activation: the previous trace's drain
+                # (ready_time >= now) gates the next shred's start
+                ctx.current = ctx.queue[ctx.qidx]
+                ctx.qidx += 1
+                ctx.trace = ctx.current.trace
+                ctx.tidx = 0
+                ctx.start_time = ctx.ready_time if ctx.ready_time > now \
+                    else now
+            else:
+                ctx.trace = None
+                ctx.current = None
+                live -= 1
+
     end = max([now] + local_finish)
     return EuReport(cycles=end, busy_cycles=busy, exposed_stall_cycles=stall)
 

@@ -56,6 +56,9 @@ class GmaRunResult:
     batched_mem_lanes: int = 0    # memory lanes retired in lockstep
     batched_translations: int = 0  # pages resolved by vectorized translate
     tlb_vector_hits: int = 0      # pages served by the TLB vector snapshot
+    fused_blocks_retired: int = 0  # superblocks retired by the fused path
+    trace_chains: int = 0         # uniform branches chained block-to-block
+    fusion_compiles: int = 0      # blocks compiled during this run
 
     @property
     def cycles(self) -> float:
@@ -86,12 +89,14 @@ class EmulationFirmware:
         hits_before, misses_before = cache.hits, cache.misses
 
         executed: List[ShredRun] = []
+        ganged = engine in ("gang", "fused")
         while len(queue):
-            if engine == "gang":
+            if ganged:
                 batch = self._gang_batch(queue)
                 if batch is not None:
                     outcome = run_gang(self.device, batch, mailboxes,
-                                       live_contexts)
+                                       live_contexts,
+                                       fusion=engine == "fused")
                     for shred in batch:
                         queue.mark_done(shred.shred_id)
                     executed.extend(outcome.runs)
@@ -101,6 +106,10 @@ class EmulationFirmware:
                     result.batched_translations += \
                         outcome.batched_translations
                     result.tlb_vector_hits += outcome.tlb_vector_hits
+                    result.fused_blocks_retired += \
+                        outcome.fused_blocks_retired
+                    result.trace_chains += outcome.trace_chains
+                    result.fusion_compiles += outcome.fusion_compiles
                     continue
             shred = queue.pop_ready()
             if shred is None:
@@ -108,7 +117,7 @@ class EmulationFirmware:
                     "work queue deadlock: pending shreds wait on "
                     "dependencies that never complete")
             run = self._execute_shred(shred, mailboxes, live_contexts)
-            if engine == "gang":
+            if ganged:
                 result.scalar_fallbacks += 1
             executed.append(run)
             queue.mark_done(shred.shred_id)

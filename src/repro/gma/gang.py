@@ -139,6 +139,9 @@ class GangOutcome:
     batched_mem_lanes: int = 0  # memory lanes retired through batch_mem
     batched_translations: int = 0  # pages resolved by vectorized translate
     tlb_vector_hits: int = 0  # pages served by the TLB's vector snapshot
+    fused_blocks_retired: int = 0  # whole blocks retired by the fused path
+    trace_chains: int = 0     # uniform branches chained block-to-block
+    fusion_compiles: int = 0  # blocks compiled (first-run cost)
 
 
 def gang_eligible(device, shreds: Sequence[ShredDescriptor]) -> bool:
@@ -163,8 +166,15 @@ def gang_eligible(device, shreds: Sequence[ShredDescriptor]) -> bool:
 
 def run_gang(device, shreds: Sequence[ShredDescriptor],
              mailboxes: Dict[int, list],
-             live_contexts: Dict[int, ShredContext]) -> GangOutcome:
-    """Execute a homogeneous batch in lockstep; returns runs in order."""
+             live_contexts: Dict[int, ShredContext],
+             fusion: bool = False) -> GangOutcome:
+    """Execute a homogeneous batch in lockstep; returns runs in order.
+
+    With ``fusion`` enabled (``engine="fused"``), straight-line regions
+    retire as whole compiled superblocks with uniform-branch trace
+    chaining (:mod:`repro.gma.fusion`); anything the fused path cannot
+    retire bit-identically drops back to this per-instruction loop.
+    """
     program = shreds[0].program
     pre_prog = predecode.lookup(program)
     config = device.config
@@ -238,6 +248,16 @@ def run_gang(device, shreds: Sequence[ShredDescriptor],
         pairs = [(j, ip) for j in sorted(faulted + trailing)]
         return survivors, pairs
 
+    if fusion:
+        # deferred import: fusion's compiled steps reuse this module's
+        # batched ALU datapath
+        from .fusion import get_fused, run_fused
+        fused, compiled = get_fused(program, pre_prog)
+        outcome.fusion_compiles += compiled
+    # per-run symbol memo: bindings are frozen at spawn, so each shred's
+    # symbol resolves once per run instead of once per read
+    symcache: Dict[str, tuple] = {}
+
     try:
         while active:
             if ip >= ninstr:  # ran off the end: finish without accounting
@@ -251,6 +271,13 @@ def run_gang(device, shreds: Sequence[ShredDescriptor],
                 defer([(i, ip) for i in active])
                 active = []
                 break
+            if fusion:
+                fused_to = run_fused(fused, ip, active, V, P, ctxs, recs,
+                                     config, outcome, defer, finish_one,
+                                     symcache)
+                if fused_to is not None:
+                    ip, active = fused_to
+                    continue
             pre = pre_prog.instrs[ip]
             cls = pre.batch_class
 
@@ -318,7 +345,8 @@ def run_gang(device, shreds: Sequence[ShredDescriptor],
                 rows = np.asarray(active)
                 ok = False
                 try:
-                    ok = _apply_alu_batched(pre, rows, V, P, ctxs, active)
+                    ok = _apply_alu_batched(pre, rows, V, P, ctxs, active,
+                                            symcache)
                 except ExecutionFault:
                     ok = False  # re-run per shred for the precise fault
                 if ok:
@@ -380,7 +408,8 @@ def run_gang(device, shreds: Sequence[ShredDescriptor],
 
 
 def _read_batched(operand, rows: np.ndarray, n: int, V: np.ndarray,
-                  P: np.ndarray, ctxs, active) -> np.ndarray:
+                  P: np.ndarray, ctxs, active,
+                  symcache: Optional[dict] = None) -> np.ndarray:
     """Batched equivalent of ``operand.read(ctx, n)``: (rows, n) float64."""
     if isinstance(operand, RegOperand):
         return V[rows, operand.reg, :n]
@@ -392,6 +421,21 @@ def _read_batched(operand, rows: np.ndarray, n: int, V: np.ndarray,
     if isinstance(operand, ImmOperand):
         return np.full((len(rows), n), operand.value, dtype=np.float64)
     if isinstance(operand, SymOperand):
+        if symcache is not None:
+            entry = symcache.get(operand.name)
+            if entry is None:
+                entry = (np.empty(len(ctxs), dtype=np.float64),
+                         np.zeros(len(ctxs), dtype=bool))
+                symcache[operand.name] = entry
+            vals, filled = entry
+            if not filled[rows].all():
+                # resolve misses in queue order so an unbound symbol
+                # faults on exactly the shred the scalar engine blames
+                for i in active:
+                    if not filled[i]:
+                        vals[i] = ctxs[i].resolve_symbol(operand.name)
+                        filled[i] = True
+            return np.repeat(vals[rows], n).reshape(len(rows), n)
         out = np.empty((len(rows), n), dtype=np.float64)
         for j, i in enumerate(active):
             out[j, :] = ctxs[i].resolve_symbol(operand.name)
@@ -403,12 +447,21 @@ def _read_batched(operand, rows: np.ndarray, n: int, V: np.ndarray,
 
 def _write_masked_batched(dst, rows: np.ndarray, values: np.ndarray,
                           mask: Optional[np.ndarray], ty: DataType, n: int,
-                          V: np.ndarray, P: np.ndarray, ctxs, active) -> None:
-    """Batched equivalent of ``semantics._write_masked``."""
+                          V: np.ndarray, P: np.ndarray, ctxs, active,
+                          prewrapped: bool = False) -> None:
+    """Batched equivalent of ``semantics._write_masked``.
+
+    ``prewrapped`` marks ``values`` as already narrowed by ``ty.wrap``;
+    the unguarded writeback can then skip the (idempotent) re-wrap.  A
+    guard mask blends in old register lanes, which the scalar path wraps
+    at writeback, so masked writes always wrap.
+    """
     if mask is not None:
         old = _read_batched(dst, rows, n, V, P, ctxs, active)
         values = np.where(mask, values, old)
-    wrapped = ty.wrap(values)  # wrap-on-write, as Operand.write does
+        prewrapped = False
+    # wrap-on-write, as Operand.write does
+    wrapped = values if prewrapped else ty.wrap(values)
     if isinstance(dst, RegOperand):
         V[rows, dst.reg, :wrapped.shape[1]] = wrapped
         return
@@ -439,7 +492,8 @@ def _batched_guard_mask(instr, rows: np.ndarray, n: int,
 
 
 def _apply_alu_batched(pre, rows: np.ndarray, V: np.ndarray, P: np.ndarray,
-                       ctxs, active) -> bool:
+                       ctxs, active,
+                       symcache: Optional[dict] = None) -> bool:
     """One vectorized ALU step over every active shred.
 
     Returns False (writing nothing) when the step must be replayed per
@@ -453,8 +507,10 @@ def _apply_alu_batched(pre, rows: np.ndarray, V: np.ndarray, P: np.ndarray,
     mask = _batched_guard_mask(instr, rows, n, P)
 
     if op is Opcode.CMP:
-        a = ty.wrap(_read_batched(instr.srcs[0], rows, n, V, P, ctxs, active))
-        b = ty.wrap(_read_batched(instr.srcs[1], rows, n, V, P, ctxs, active))
+        a = ty.wrap(_read_batched(instr.srcs[0], rows, n, V, P, ctxs,
+                                  active, symcache))
+        b = ty.wrap(_read_batched(instr.srcs[1], rows, n, V, P, ctxs,
+                                  active, symcache))
         res = semantics._COMPARES[instr.cond](a, b)
         out = res[:, :VLEN] if n > VLEN else res
         idx = instr.dsts[0].index
@@ -466,16 +522,20 @@ def _apply_alu_batched(pre, rows: np.ndarray, V: np.ndarray, P: np.ndarray,
         sel = P[rows, instr.srcs[0].index, :min(n, VLEN)]
         if n > VLEN:
             sel = np.tile(sel, (1, -(-n // VLEN)))[:, :n]
-        a = _read_batched(instr.srcs[1], rows, n, V, P, ctxs, active)
-        b = _read_batched(instr.srcs[2], rows, n, V, P, ctxs, active)
+        a = _read_batched(instr.srcs[1], rows, n, V, P, ctxs, active,
+                          symcache)
+        b = _read_batched(instr.srcs[2], rows, n, V, P, ctxs, active,
+                          symcache)
         _write_masked_batched(instr.dsts[0], rows, np.where(sel, a, b), mask,
                               ty, n, V, P, ctxs, active)
         return True
 
     if op is Opcode.ILV:
         half = n // 2
-        a = _read_batched(instr.srcs[0], rows, half, V, P, ctxs, active)
-        b = _read_batched(instr.srcs[1], rows, half, V, P, ctxs, active)
+        a = _read_batched(instr.srcs[0], rows, half, V, P, ctxs, active,
+                          symcache)
+        b = _read_batched(instr.srcs[1], rows, half, V, P, ctxs, active,
+                          symcache)
         out = np.empty((len(rows), n), dtype=np.float64)
         out[:, 0::2] = a
         out[:, 1::2] = b
@@ -483,25 +543,35 @@ def _apply_alu_batched(pre, rows: np.ndarray, V: np.ndarray, P: np.ndarray,
                               ctxs, active)
         return True
 
-    srcs = [_read_batched(s, rows, n, V, P, ctxs, active)
+    srcs = [_read_batched(s, rows, n, V, P, ctxs, active, symcache)
             for s in instr.srcs]
+    prewrapped = False
     with np.errstate(over="ignore", invalid="ignore"):
         result = semantics.execute_alu_batched(instr, srcs, ty, len(rows))
-    if ty is DataType.F:
-        # overflow is detected at single-precision writeback width; any
-        # overflowing shred must take the architectural per-lane fault
-        with np.errstate(over="ignore", invalid="ignore"):
-            narrowed = ty.wrap(result)
-            finite = np.ones(len(rows), dtype=bool)
-            for s in srcs:
-                finite &= np.isfinite(ty.wrap(s)).all(axis=1)
-        if bool((np.isinf(narrowed).any(axis=1) & finite).any()):
-            return False
+        if ty is DataType.F:
+            # overflow is detected at single-precision writeback width;
+            # any overflowing shred must take the architectural per-lane
+            # fault
+            narrowed = ty.wrap_unguarded(result)
+            inf_rows = np.isinf(narrowed).any(axis=1)
+            if bool(inf_rows.any()):
+                # only now is the (costly) per-source finiteness check
+                # needed: an inf produced from non-finite sources is a
+                # pass-through, not an overflow
+                finite = np.ones(len(rows), dtype=bool)
+                for s in srcs:
+                    finite &= np.isfinite(ty.wrap_unguarded(s)).all(axis=1)
+                if bool((inf_rows & finite).any()):
+                    return False
+            # wrap is idempotent: reuse the narrowed result at writeback
+            result = narrowed
+            prewrapped = True
     if op in (Opcode.HADD, Opcode.HMAX):
-        V[rows, instr.dsts[0].reg, :1] = ty.wrap(result)  # lane 0, unmasked
+        V[rows, instr.dsts[0].reg, :1] = result if prewrapped \
+            else ty.wrap(result)  # lane 0, unmasked
         return True
     _write_masked_batched(instr.dsts[0], rows, result, mask, ty, n, V, P,
-                          ctxs, active)
+                          ctxs, active, prewrapped=prewrapped)
     return True
 
 

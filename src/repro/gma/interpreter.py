@@ -52,6 +52,24 @@ class ShredRun:
         return self.bytes_read + self.bytes_written
 
 
+def trace_entry(instr) -> Tuple[int, int]:
+    """The (issue, latency) trace entry one retired instruction adds.
+
+    Static per instruction, so the fusion compiler
+    (:mod:`repro.gma.fusion`) precomputes whole blocks of entries at
+    compile time with the exact formulas the scalar path charges.
+    """
+    info = instr.info
+    lanes_factor = max(1, -(-instr.width // VLEN))
+    if info.kind is OpKind.MEMORY:
+        # fixed setup plus one cycle per 16-element beat of transfer
+        return info.issue + lanes_factor, info.latency
+    if info.kind is OpKind.SAMPLER:
+        return info.issue + lanes_factor, info.latency
+    # the 16-lane datapath retires 16 elements per issue cycle
+    return info.issue * lanes_factor, info.latency
+
+
 def account_instruction(rec: ShredRun, instr, effect,
                         config: GmaTimingConfig) -> None:
     """Append one retired instruction to a run record.
@@ -61,17 +79,8 @@ def account_instruction(rec: ShredRun, instr, effect,
     which engine retired the instruction.
     """
     rec.instructions += 1
-    info = instr.info
-    lanes_factor = max(1, -(-instr.width // VLEN))
-    if info.kind is OpKind.MEMORY:
-        # fixed setup plus one cycle per 16-element beat of transfer
-        issue = info.issue + lanes_factor
-    elif info.kind is OpKind.SAMPLER:
-        issue = info.issue + lanes_factor
-    else:
-        # the 16-lane datapath retires 16 elements per issue cycle
-        issue = info.issue * lanes_factor
-    rec.trace.append((issue, info.latency))
+    issue, latency = trace_entry(instr)
+    rec.trace.append((issue, latency))
     if config.scoreboard:
         rec.trace_effects.append(_instr_effects(instr))
     else:

@@ -1,0 +1,129 @@
+"""Basic-block discovery over a predecoded program.
+
+The gang engine's fused executor (:mod:`repro.gma.fusion`) amortizes its
+per-instruction Python dispatch over whole straight-line regions.  This
+module finds those regions once per program: a *basic block* is a maximal
+run of instructions the gang can retire back-to-back without consulting
+the per-instruction loop — batched ALU ops plus the no-datapath controls
+(``nop``/``fence``) — optionally ending with one *terminator*
+(``jmp``/``br``/``end``) whose outcome decides the successor.
+
+Leaders (block entry points) sit at:
+
+* instruction 0 (the common entry),
+* every label (any label is a potential branch target or shred entry),
+* every well-formed branch's target *and* its fall-through,
+* the fall-through of every non-fusable boundary instruction (memory
+  ops, per-shred steps, peels): the per-instruction loop resumes there
+  after handling the boundary, and fusion must be able to pick the trace
+  back up.
+
+A block never spans a leader — a backward branch into the middle of a
+straight-line run splits it — so entering a block at its ``start`` is the
+only way in, which is what lets the fused executor charge a whole block's
+accounting in one shot.  Blocks that would be empty (a boundary
+instruction is the entry itself) are not recorded; the per-instruction
+loop owns those ips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .opcodes import Opcode
+from .predecode import (
+    BATCH_ALU,
+    BATCH_CONTROL,
+    PredecodedInstr,
+    PredecodedProgram,
+)
+
+#: Control ops with no datapath effect: fusable into a block body.
+_BODY_CONTROL = (Opcode.NOP, Opcode.FENCE)
+#: Control ops that end a block and pick its successor.
+_TERMINATORS = (Opcode.JMP, Opcode.BR, Opcode.END)
+
+
+def fusable_body(pre: PredecodedInstr) -> bool:
+    """Can this instruction sit inside a fused block body?"""
+    if pre.batch_class == BATCH_ALU:
+        return True
+    return (pre.batch_class == BATCH_CONTROL
+            and pre.opcode in _BODY_CONTROL)
+
+
+def is_terminator(pre: PredecodedInstr) -> bool:
+    """Does this instruction end a block with a control decision?
+
+    Only *well-formed* branches qualify (``BATCH_CONTROL``): a malformed
+    branch predecodes as ``BATCH_PEEL`` and stays a boundary so the
+    per-instruction loop peels it exactly as before.
+    """
+    return (pre.batch_class == BATCH_CONTROL
+            and pre.opcode in _TERMINATORS)
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """One maximal fusable region ``[start, end)``.
+
+    ``body_len`` counts the fusable body instructions; ``term`` is the
+    ip of the terminating ``jmp``/``br``/``end`` when the block ends
+    with one (``end`` then equals ``term + 1``), else None when the
+    block stops at a boundary or at another block's leader (``end`` is
+    then the resume ip for the per-instruction loop or the fall-through
+    successor's leader).
+    """
+
+    start: int
+    end: int
+    body_len: int
+    term: Optional[int] = None
+
+    @property
+    def ninstr(self) -> int:
+        """Instructions retired when the whole block executes."""
+        return self.body_len + (1 if self.term is not None else 0)
+
+
+def discover_blocks(pre_prog: PredecodedProgram,
+                    labels: Dict[str, int]) -> Dict[int, BasicBlock]:
+    """All non-empty basic blocks, keyed by leader ip."""
+    instrs = pre_prog.instrs
+    count = len(instrs)
+    leaders = {0}
+    for label_ip in labels.values():
+        leaders.add(label_ip)
+    for ip, pre in enumerate(instrs):
+        if is_terminator(pre):
+            if pre.target is not None:
+                leaders.add(pre.target)
+            leaders.add(ip + 1)
+        elif not fusable_body(pre):
+            # boundary (memory / per-shred / peel): the per-instruction
+            # loop resumes at the fall-through
+            leaders.add(ip + 1)
+
+    blocks: Dict[int, BasicBlock] = {}
+    for start in sorted(leader for leader in leaders
+                        if 0 <= leader < count):
+        ip = start
+        body_len = 0
+        term = None
+        while ip < count:
+            pre = instrs[ip]
+            if is_terminator(pre):
+                term = ip
+                ip += 1
+                break
+            if not fusable_body(pre):
+                break
+            ip += 1
+            body_len += 1
+            if ip in leaders:
+                break
+        if body_len or term is not None:
+            blocks[start] = BasicBlock(start=start, end=ip,
+                                       body_len=body_len, term=term)
+    return blocks

@@ -293,6 +293,10 @@ class PredecodeCache:
 
     def __init__(self):
         self._entries: Dict[int, tuple] = {}
+        #: Fused-block programs (:mod:`repro.gma.fusion`), keyed like
+        #: ``_entries`` and evicted with them: a fused entry must never
+        #: outlive — or alias across id reuse — its predecode entry.
+        self._fused: Dict[int, object] = {}
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
@@ -308,6 +312,7 @@ class PredecodeCache:
                     self.hits += 1
                     return pre
                 self._entries.pop(key, None)  # stale id reuse
+                self._fused.pop(key, None)
             self.misses += 1
         # decode outside the lock: it is pure and per program, so a
         # concurrent duplicate decode is cheaper than serializing all of
@@ -316,6 +321,7 @@ class PredecodeCache:
 
         def _evict(_ref, cache=self, key=key):
             with cache._lock:
+                cache._fused.pop(key, None)
                 if cache._entries.pop(key, None) is not None:
                     cache.evictions += 1
 
@@ -323,9 +329,32 @@ class PredecodeCache:
             self._entries[key] = (weakref.ref(program, _evict), pre)
         return pre
 
+    def lookup_fused(self, program: Program):
+        """The fused-block entry stored for this program, or None."""
+        key = id(program)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0]() is program:
+                return self._fused.get(key)
+        return None
+
+    def store_fused(self, program: Program, fused) -> None:
+        """Attach a fused-block entry alongside the predecode entry.
+
+        Stored only while the program's predecode entry is live and
+        verified — the weakref eviction and stale-id checks then cover
+        both, so fused blocks can never leak across id reuse.
+        """
+        key = id(program)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0]() is program:
+                self._fused[key] = fused
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._fused.clear()
 
     def __len__(self) -> int:
         with self._lock:
@@ -335,6 +364,19 @@ class PredecodeCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, int]:
+        """A snapshot of the cache's health counters."""
+        with self._lock:
+            fused_blocks = sum(len(fused.blocks)
+                               for fused in self._fused.values())
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "fused_blocks": fused_blocks,
+            }
 
 
 #: The process-wide cache used by both the scalar and gang engines.

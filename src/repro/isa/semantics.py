@@ -341,8 +341,9 @@ def _do_alu(instr: Instruction, ctx, n: int, mask, pre=None) -> None:
     if ty is DataType.F:
         # overflow is detected at single-precision writeback width
         with np.errstate(over="ignore", invalid="ignore"):
-            narrowed = ty.wrap(result)
-            srcs_finite = all(np.isfinite(ty.wrap(s)).all() for s in srcs)
+            narrowed = ty.wrap_unguarded(result)
+            srcs_finite = all(
+                np.isfinite(ty.wrap_unguarded(s)).all() for s in srcs)
         if np.isinf(narrowed).any() and srcs_finite:
             if not getattr(ctx, "supports_double", False):
                 raise FpOverflowFault(
@@ -357,7 +358,7 @@ def _do_alu(instr: Instruction, ctx, n: int, mask, pre=None) -> None:
 
 def _alu_compute(instr: Instruction, srcs, ty: DataType) -> np.ndarray:
     op = instr.opcode
-    wrapped = [ty.wrap(s) for s in srcs]
+    wrapped = [ty.wrap_unguarded(s) for s in srcs]
     if op in (Opcode.MOV, Opcode.CVT):
         return wrapped[0]
     if op is Opcode.IOTA:
@@ -426,12 +427,12 @@ def execute_alu_batched(instr: Instruction, srcs, ty: DataType,
     if op is Opcode.IOTA:
         return np.tile(np.arange(instr.width, dtype=np.float64), (rows, 1))
     if op is Opcode.BCAST:
-        wrapped = ty.wrap(srcs[0])
+        wrapped = ty.wrap_unguarded(srcs[0])
         return np.repeat(wrapped[:, :1], instr.width, axis=1)
     if op is Opcode.HADD:
-        return ty.wrap(srcs[0]).sum(axis=1, keepdims=True)
+        return ty.wrap_unguarded(srcs[0]).sum(axis=1, keepdims=True)
     if op is Opcode.HMAX:
-        return ty.wrap(srcs[0]).max(axis=1, keepdims=True)
+        return ty.wrap_unguarded(srcs[0]).max(axis=1, keepdims=True)
     return _alu_compute(instr, srcs, ty)
 
 

@@ -13,6 +13,11 @@ import enum
 
 import numpy as np
 
+#: Magnitude bound under which a truncated float64 converts to int64
+#: exactly (comfortably inside both ranges); larger, inf or nan lane
+#: values take the arbitrary-precision object-dtype wrap path.
+_INT64_EXACT = float(2 ** 62)
+
 #: Number of architectural vector registers per exo-sequencer.  The paper
 #: reports "a large register file of 64 to 128 vector registers" (section 5).
 NUM_VREGS = 128
@@ -74,16 +79,38 @@ class DataType(enum.Enum):
         precision).  Lane storage is always float64; this models the
         narrowing that happens when an ALU of the given type writes back.
         """
-        values = np.asarray(values, dtype=np.float64)
         if self is DataType.F:
+            # the float32 cast warns on finite overflow; suppress here so
+            # callers outside an errstate block stay silent
             with np.errstate(over="ignore", invalid="ignore"):
-                return values.astype(np.float32).astype(np.float64)
+                return self.wrap_unguarded(values)
+        return self.wrap_unguarded(values)
+
+    def wrap_unguarded(self, values: np.ndarray) -> np.ndarray:
+        """:meth:`wrap` without the FP-warning guard.
+
+        Callers already inside ``np.errstate(over="ignore",
+        invalid="ignore")`` (the ALU hot paths) use this to skip the
+        per-call errstate enter/exit; results are identical.
+        """
+        if type(values) is not np.ndarray or values.dtype != np.float64:
+            values = np.asarray(values, dtype=np.float64)
+        if self is DataType.F:
+            return values.astype(np.float32).astype(np.float64)
         if self is DataType.DF:
             return values
         bits = self.size * 8
         modulus = 1 << bits
-        ints = np.asarray(np.trunc(values), dtype=object) % modulus
-        ints = np.asarray(ints, dtype=np.float64)
+        trunced = np.trunc(values)
+        if np.all(np.abs(trunced) < _INT64_EXACT):
+            # finite values exactly representable as int64: native modular
+            # arithmetic (numpy's % matches Python's sign convention, and
+            # every possible remainder < 2**32 round-trips float64 exactly)
+            ints = (trunced.astype(np.int64) % modulus).astype(np.float64)
+        else:
+            # huge, inf or nan lanes: the exact (slow) object-dtype path
+            ints = np.asarray(np.asarray(trunced, dtype=object) % modulus,
+                              dtype=np.float64)
         if self.is_signed:
             half = modulus // 2
             ints = np.where(ints >= half, ints - modulus, ints)

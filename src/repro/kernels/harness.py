@@ -40,6 +40,12 @@ class KernelRunResult:
     verified: bool = False
     bound: str = ""
     outputs: Dict[str, np.ndarray] = field(default_factory=dict)
+    # engine counters (zero under the scalar engine)
+    gang_lanes_retired: int = 0
+    scalar_fallbacks: int = 0
+    fused_blocks_retired: int = 0
+    trace_chains: int = 0
+    fusion_compiles: int = 0
 
     @property
     def bytes_total(self) -> int:
@@ -105,6 +111,11 @@ def run_kernel_on_gma(kernel: MediaKernel, geom: Geometry,
         result.atr_events += run.atr_events
         result.ceh_events += run.ceh_events
         result.sampler_samples += sum(r.sampler_samples for r in run.runs)
+        result.gang_lanes_retired += getattr(run, "gang_lanes_retired", 0)
+        result.scalar_fallbacks += getattr(run, "scalar_fallbacks", 0)
+        result.fused_blocks_retired += getattr(run, "fused_blocks_retired", 0)
+        result.trace_chains += getattr(run, "trace_chains", 0)
+        result.fusion_compiles += getattr(run, "fusion_compiles", 0)
         result.bound = run.timing.bound
         result.frames_run += 1
 

@@ -103,7 +103,8 @@ def fabric_chrome_trace_events(reports: Sequence,
             for key in ("gang_lanes_retired", "scalar_fallbacks",
                         "predecode_hits", "predecode_misses",
                         "batched_mem_lanes", "batched_translations",
-                        "tlb_vector_hits")
+                        "tlb_vector_hits", "fused_blocks_retired",
+                        "trace_chains", "fusion_compiles")
         }
         if any(engine.values()):
             events.append({

@@ -53,7 +53,9 @@ class TestCounterAggregation:
                                     predecode_hits=3, predecode_misses=0,
                                     batched_mem_lanes=4,
                                     batched_translations=3,
-                                    tlb_vector_hits=2)),
+                                    tlb_vector_hits=2,
+                                    fused_blocks_retired=7, trace_chains=4,
+                                    fusion_compiles=2)),
         ])
         assert fabric.gang_lanes_retired == 15
         assert fabric.scalar_fallbacks == 3
@@ -62,6 +64,9 @@ class TestCounterAggregation:
         assert fabric.batched_mem_lanes == 12
         assert fabric.batched_translations == 5
         assert fabric.tlb_vector_hits == 3
+        assert fabric.fused_blocks_retired == 7
+        assert fabric.trace_chains == 4
+        assert fabric.fusion_compiles == 2
 
     def test_merged_result_carries_engine_counters(self):
         report = _report(
@@ -73,7 +78,8 @@ class TestCounterAggregation:
             _result(gang_lanes_retired=2, scalar_fallbacks=0,
                     predecode_hits=1, predecode_misses=0,
                     batched_mem_lanes=2, batched_translations=1,
-                    tlb_vector_hits=1))
+                    tlb_vector_hits=1, fused_blocks_retired=3,
+                    trace_chains=2, fusion_compiles=1))
         merged = report.merged_result()
         assert merged.gang_lanes_retired == 12
         assert merged.scalar_fallbacks == 1
@@ -82,6 +88,9 @@ class TestCounterAggregation:
         assert merged.batched_mem_lanes == 8
         assert merged.batched_translations == 3
         assert merged.tlb_vector_hits == 2
+        assert merged.fused_blocks_retired == 3
+        assert merged.trace_chains == 2
+        assert merged.fusion_compiles == 1
 
     def test_runtime_stats_note_engine_round_trip(self):
         stats = RuntimeStats()
@@ -94,7 +103,9 @@ class TestCounterAggregation:
                                   predecode_hits=2, predecode_misses=0,
                                   batched_mem_lanes=3,
                                   batched_translations=1,
-                                  tlb_vector_hits=1))
+                                  tlb_vector_hits=1,
+                                  fused_blocks_retired=6, trace_chains=3,
+                                  fusion_compiles=2))
         assert stats.gang_lanes_retired == 15
         assert stats.scalar_fallbacks == 2
         assert stats.predecode_hits == 5
@@ -102,6 +113,9 @@ class TestCounterAggregation:
         assert stats.batched_mem_lanes == 7
         assert stats.batched_translations == 3
         assert stats.tlb_vector_hits == 2
+        assert stats.fused_blocks_retired == 6
+        assert stats.trace_chains == 3
+        assert stats.fusion_compiles == 2
         # objects without the counters (other backends) contribute nothing
         stats.note_engine(object())
         assert stats.gang_lanes_retired == 15
@@ -136,7 +150,8 @@ class TestChromeTrace:
             "gang_lanes_retired": 10, "scalar_fallbacks": 1,
             "predecode_hits": 4, "predecode_misses": 1,
             "batched_mem_lanes": 8, "batched_translations": 2,
-            "tlb_vector_hits": 1,
+            "tlb_vector_hits": 1, "fused_blocks_retired": 0,
+            "trace_chains": 0, "fusion_compiles": 0,
         }
         meta = {e["pid"]: e for e in events
                 if e["ph"] == "M" and e["name"] == "process_name"}

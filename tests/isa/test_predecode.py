@@ -126,3 +126,73 @@ def test_process_cache_used_by_execution():
                          for _ in range(4)])
     assert second.predecode_misses == 0
     assert second.predecode_hits >= 1
+
+
+def test_cache_stats_snapshot():
+    cache = predecode.PredecodeCache()
+    program = _program("iota.16.f vr1\nend\n")
+    cache.lookup(program)
+    cache.lookup(program)
+    stats = cache.stats()
+    assert stats["entries"] == 1
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["evictions"] == 0
+    assert stats["fused_blocks"] == 0
+
+
+def test_fused_entries_evict_with_the_program():
+    """Compiled blocks ride the predecode entry's lifetime: when the
+    program dies, its fused entry must go too (no id-reuse leak)."""
+    from repro.gma.fusion import get_fused
+
+    cache = predecode.PredecodeCache()
+    program = _program("iota.16.f vr1\nadd.16.f vr2 = vr1, vr1\nend\n")
+    pre = cache.lookup(program)
+
+    # store/lookup against a private cache (get_fused uses the process
+    # cache, so drive the private one directly with its own compile)
+    from repro.isa.blocks import discover_blocks
+    from repro.gma.fusion import CompiledBlock, FusedProgram
+
+    blocks = discover_blocks(pre, program.labels)
+    fused = FusedProgram({start: CompiledBlock(block, pre)
+                          for start, block in blocks.items()})
+    cache.store_fused(program, fused)
+    assert cache.lookup_fused(program) is fused
+    assert cache.stats()["fused_blocks"] == sum(
+        1 for _ in fused.blocks)
+
+    del program, pre, fused, blocks
+    gc.collect()
+    assert len(cache) == 0
+    assert cache.stats()["fused_blocks"] == 0  # fused entry evicted too
+
+
+def test_fused_store_requires_live_predecode_entry():
+    """store_fused on an uncached program is a no-op: the fused entry
+    would have no eviction anchor."""
+    from repro.gma.fusion import FusedProgram
+
+    cache = predecode.PredecodeCache()
+    program = _program("iota.16.f vr1\nend\n")
+    cache.store_fused(program, FusedProgram({}))
+    assert cache.lookup_fused(program) is None
+
+
+def test_fused_id_reuse_never_leaks():
+    """A new Program landing on a dead program's id() must not see the
+    dead program's compiled blocks."""
+    from repro.gma.fusion import get_fused
+
+    asm = "iota.16.f vr1\nend\n"
+    predecode.CACHE.clear()
+    for _ in range(8):
+        program = _program(asm)
+        pre = predecode.CACHE.lookup(program)
+        fused, compiled = get_fused(program, pre)
+        # a stale hit would return the dead program's blocks: compiled
+        # would be 0 without this program ever being compiled
+        assert compiled == len(fused.blocks)
+        del program, pre, fused
+        gc.collect()
