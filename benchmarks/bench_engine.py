@@ -162,10 +162,15 @@ def measure_all_kernels(repeats: int = 1) -> dict:
     return table
 
 
-def measure_parallel_fabric(parallel: bool, devices: int = 4,
+def measure_parallel_fabric(parallel, devices: int = 4,
                             shreds: int = DEFAULT_SHREDS,
                             iters: int = DEFAULT_ITERS) -> dict:
-    """One gang-engine region spread over a fabric, serial vs threaded."""
+    """One gang-engine region spread over a fabric, serial vs threaded.
+
+    ``parallel`` takes the ``drain_devices`` spellings: ``False``,
+    ``True`` (threads only above ``PARALLEL_DRAIN_MIN_SHREDS`` per
+    device) or ``"force"`` (threads unconditionally).
+    """
     platform = ExoPlatform(num_gma_devices=devices, gma_engine="gang")
     runtime = ChiRuntime(platform, parallel_fabric=parallel)
     started = time.perf_counter()
@@ -174,10 +179,11 @@ def measure_parallel_fabric(parallel: bool, devices: int = 4,
     wall = time.perf_counter() - started
     result = region.wait()
     return {
-        "parallel": parallel,
+        "parallel": parallel if isinstance(parallel, bool) else str(parallel),
         "devices": devices,
         "instructions": result.instructions,
         "wall_seconds": wall,
+        "drain_mode": result.reports[0].drain_mode,
         "device_wall_seconds": {r.device: r.wall_seconds
                                 for r in result.reports},
         "gang_lanes_retired": result.gang_lanes_retired,
@@ -196,7 +202,8 @@ def compare(shreds: int = DEFAULT_SHREDS, iters: int = DEFAULT_ITERS) -> dict:
         "kernel": kernel,
         "kernels": measure_all_kernels(),
         "fabric": {"serial": measure_parallel_fabric(False),
-                   "parallel": measure_parallel_fabric(True)},
+                   "parallel": measure_parallel_fabric("force"),
+                   "auto": measure_parallel_fabric(True)},
         "speedup": (gang["instructions_per_second"]
                     / scalar["instructions_per_second"]),
         "fusion_speedup": (fused["instructions_per_second"]
@@ -254,7 +261,9 @@ def report(outcome: dict) -> str:
     lines.append(
         f"  4-device fabric drain: serial "
         f"{fab['serial']['wall_seconds'] * 1e3:.2f}ms, threaded "
-        f"{fab['parallel']['wall_seconds'] * 1e3:.2f}ms")
+        f"{fab['parallel']['wall_seconds'] * 1e3:.2f}ms, "
+        f"auto {fab['auto']['wall_seconds'] * 1e3:.2f}ms "
+        f"(chose {fab['auto']['drain_mode']})")
     m = homo["gang"]
     total = m["predecode_hits"] + m["predecode_misses"]
     rate = m["predecode_hits"] / total if total else 0.0
@@ -335,10 +344,19 @@ def test_fused_beats_gang():
 
 def test_parallel_fabric_same_results():
     serial = measure_parallel_fabric(False)
-    threaded = measure_parallel_fabric(True)
+    threaded = measure_parallel_fabric("force")
     assert serial["instructions"] == threaded["instructions"]
     assert serial["gang_lanes_retired"] == threaded["gang_lanes_retired"]
     assert all(w > 0.0 for w in threaded["device_wall_seconds"].values())
+    assert serial["drain_mode"] == "serial"
+    assert threaded["drain_mode"] == "parallel"
+
+
+def test_auto_drain_falls_back_serial_when_small():
+    """The losing default, fixed: 8 shreds/device is below the threshold,
+    so ``parallel=True`` must choose a serial drain."""
+    auto = measure_parallel_fabric(True)
+    assert auto["drain_mode"] == "serial"
 
 
 def main(argv=None) -> int:

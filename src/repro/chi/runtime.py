@@ -150,7 +150,10 @@ class ChiRuntime:
         self.fatbinary = fatbinary or FatBinary(name="chi-app")
         #: Drain multi-device regions on host worker threads (one per
         #: device).  Simulated time and results are unchanged; only the
-        #: host wall-clock of the drain shrinks.
+        #: host wall-clock of the drain shrinks.  ``True`` lets the
+        #: dispatcher fall back to serial for small drains (see
+        #: :data:`~repro.fabric.dispatcher.PARALLEL_DRAIN_MIN_SHREDS`);
+        #: ``"force"`` threads unconditionally.
         self.parallel_fabric = parallel_fabric
         self.timeline = Timeline()
         self._descriptors: List[SurfaceDescriptor] = []
@@ -382,6 +385,8 @@ class ChiRuntime:
         for report in reports:
             self.stats.note_device(report.device, report.seconds,
                                    report.shreds)
+        if reports:
+            self.stats.note_drain(getattr(reports[0], "drain_mode", ""))
         if not master_nowait:
             region.wait()
         return region
@@ -554,6 +559,35 @@ class RuntimeStats:
     fused_blocks_retired: int = 0
     trace_chains: int = 0
     fusion_compiles: int = 0
+    #: Fabric drain accounting: how many regions drained on worker
+    #: threads vs serially (the dispatcher falls back to serial below
+    #: ``PARALLEL_DRAIN_MIN_SHREDS`` per device even when asked to
+    #: thread; this records what actually ran).
+    drains_serial: int = 0
+    drains_parallel: int = 0
+    #: Serving-layer accounting (populated by
+    #: :meth:`note_serving` when a :class:`~repro.serving.ExoServer`
+    #: fronts the runtime): sessions opened, launches through the
+    #: admission controller, and cross-launch gang coalescing.
+    sessions_opened: int = 0
+    launches_admitted: int = 0
+    launches_rejected: int = 0
+    gangs_coalesced: int = 0
+    coalesced_lanes: int = 0
+
+    def note_drain(self, mode: str) -> None:
+        if mode == "parallel":
+            self.drains_parallel += 1
+        elif mode == "serial":
+            self.drains_serial += 1
+
+    def note_serving(self, serving) -> None:
+        """Fold a serving layer's counters in (``ServingStats`` shape)."""
+        self.sessions_opened += serving.sessions_opened
+        self.launches_admitted += serving.launches_admitted
+        self.launches_rejected += serving.launches_rejected
+        self.gangs_coalesced += serving.gangs_coalesced
+        self.coalesced_lanes += serving.coalesced_lanes
 
     def note_device(self, device: str, seconds: float, shreds: int) -> None:
         self.device_seconds[device] = (

@@ -78,7 +78,7 @@ def chirun(argv=None) -> int:
     """Execute a compiled CHI program on a simulated EXO platform."""
     parser_ = argparse.ArgumentParser(
         prog="chirun", description="Run a CHI fat binary (or .c source).")
-    parser_.add_argument("image", type=Path)
+    parser_.add_argument("image", type=Path, nargs="?", default=None)
     parser_.add_argument("--stats", action="store_true",
                          help="print runtime statistics after execution")
     parser_.add_argument("--gma-devices", type=int, default=1, metavar="N",
@@ -90,7 +90,34 @@ def chirun(argv=None) -> int:
     parser_.add_argument("--parallel-fabric", action="store_true",
                          help="drain multi-device regions on host worker "
                               "threads (same results, less wall-clock)")
+    parser_.add_argument("--serve", action="store_true",
+                         help="instead of running an image, start the "
+                              "multi-tenant serving demo: two tenants "
+                              "replay a mixed-kernel trace through an "
+                              "ExoServer and per-tenant stats print")
     args = parser_.parse_args(argv)
+    if args.serve:
+        from .serving.demo import run_serving_demo
+        try:
+            server = run_serving_demo(
+                devices=max(args.gma_devices, 1),
+                engine=args.engine if args.engine != "scalar" else "gang")
+        except ReproError as exc:
+            print(f"chirun: {exc}", file=sys.stderr)
+            return 1
+        if args.stats:
+            stats = server.runtime_stats()
+            print(f"[chirun] sessions={stats.sessions_opened} "
+                  f"admitted={stats.launches_admitted} "
+                  f"rejected={stats.launches_rejected} "
+                  f"gangs_coalesced={stats.gangs_coalesced} "
+                  f"coalesced_lanes={stats.coalesced_lanes} "
+                  f"gang_lanes={stats.gang_lanes_retired} "
+                  f"scalar_fallbacks={stats.scalar_fallbacks}",
+                  file=sys.stderr)
+        return 0
+    if args.image is None:
+        parser_.error("an image is required unless --serve is given")
     try:
         platform = ExoPlatform(num_gma_devices=args.gma_devices,
                                gma_engine=args.engine)

@@ -171,6 +171,35 @@ class DebuggerError(ChiError):
 
 
 # ---------------------------------------------------------------------------
+# Serving-layer errors
+# ---------------------------------------------------------------------------
+
+
+class ServingError(ChiError):
+    """Base class for multi-tenant serving-layer failures."""
+
+
+class QuotaExceeded(ServingError):
+    """A session asked for more surfaces/bytes/descriptors than its quota."""
+
+
+class AdmissionRejected(ServingError):
+    """The admission controller refused a launch (RAISE policy overload).
+
+    ``retry_after`` is the controller's estimate, in seconds, of when
+    capacity will free up — clients back off that long before retrying.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class SessionClosed(ServingError):
+    """An operation was attempted on a closed session."""
+
+
+# ---------------------------------------------------------------------------
 # CHI C front-end errors
 # ---------------------------------------------------------------------------
 

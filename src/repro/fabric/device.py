@@ -52,6 +52,10 @@ class DeviceRunReport:
     #: :func:`~repro.fabric.dispatcher.drain_devices`; 0.0 when the batch
     #: ran outside it).  Distinct from ``seconds``, which is simulated.
     wall_seconds: float = 0.0
+    #: ``"serial"`` or ``"parallel"`` — how
+    #: :func:`~repro.fabric.dispatcher.drain_devices` ran this drain
+    #: (empty when the batch ran outside it).
+    drain_mode: str = ""
 
     def merged_result(self) -> GmaRunResult:
         """One :class:`~repro.gma.firmware.GmaRunResult` for the batch.

@@ -234,39 +234,58 @@ class WorkStealingDispatcher:
         return min(pending) if pending else None
 
 
-def drain_devices(assignments, parallel: bool = False):
+#: Minimum shreds queued on *every* device before ``parallel=True``
+#: actually spawns threads.  Below this the per-device drains finish in
+#: well under a millisecond each, so thread startup and GIL handoff cost
+#: more than they hide (BENCH_engine.json measured 0.27s threaded vs
+#: 0.25s serial at 4 devices x 8 short shreds).
+PARALLEL_DRAIN_MIN_SHREDS = 16
+
+
+def drain_devices(assignments, parallel=False):
     """Run each ``(device, shreds)`` assignment and collect its report.
 
     The functional/timing model of every device is single-threaded and
     deterministic, and exoskeleton proxy services serialize internally.
     With ``parallel=True`` each device drains on its own
-    :class:`~concurrent.futures.ThreadPoolExecutor` worker; when the
+    :class:`~concurrent.futures.ThreadPoolExecutor` worker — but only
+    when every assignment queues at least
+    :data:`PARALLEL_DRAIN_MIN_SHREDS` shreds; smaller drains fall back
+    to serial, where they measure faster (thread startup dominates).
+    Pass ``parallel="force"`` to thread regardless of size.  When the
     concurrently drained assignments touch *disjoint* surfaces — the
-    normal partitioned-launch shape — that changes host wall-clock only,
-    never simulated time or results.  Devices do share the host
+    normal partitioned-launch shape — threading changes host wall-clock
+    only, never simulated time or results.  Devices do share the host
     :class:`~repro.memory.address_space.AddressSpace`, so if kernels on
     different devices read and write overlapping surfaces their accesses
-    interleave nondeterministically under ``parallel=True``: keep such
+    interleave nondeterministically under a threaded drain: keep such
     work on one device, or drain serially.  Per-device predecode
-    hit/miss deltas are also approximate under a parallel drain (the
+    hit/miss deltas are also approximate under a threaded drain (the
     cache and its counters are process wide); fleet totals stay exact.
 
     Every report's ``wall_seconds`` records the host wall-clock the drain
     spent inside ``run_shreds`` (useful next to the simulated ``seconds``
-    in the fabric Chrome trace).  Empty assignments are skipped; report
-    order always matches assignment order.
+    in the fabric Chrome trace), and ``drain_mode`` records whether this
+    drain ran ``"parallel"`` or ``"serial"``.  Empty assignments are
+    skipped; report order always matches assignment order.
     """
     pairs = [(device, list(shreds)) for device, shreds in assignments
              if shreds]
+    threaded = bool(parallel) and len(pairs) > 1 and (
+        parallel == "force"
+        or min(len(shreds) for _, shreds in pairs)
+        >= PARALLEL_DRAIN_MIN_SHREDS)
+    mode = "parallel" if threaded else "serial"
 
     def _run(pair):
         device, shreds = pair
         t0 = time.perf_counter()
         report = device.run_shreds(shreds)
         report.wall_seconds = time.perf_counter() - t0
+        report.drain_mode = mode
         return report
 
-    if parallel and len(pairs) > 1:
+    if threaded:
         with ThreadPoolExecutor(max_workers=len(pairs)) as pool:
             return list(pool.map(_run, pairs))
     return [_run(pair) for pair in pairs]

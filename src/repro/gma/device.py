@@ -69,6 +69,34 @@ class GmaDevice:
         self.touched_read_lines = set()
         self.touched_write_lines = set()
 
+    # -- context switching -------------------------------------------------------
+
+    def make_view(self, space: AddressSpace, name: str) -> SequencerView:
+        """A sequencer view of ``space`` with this device's TLB geometry.
+
+        Serving sessions keep one view per (session, device) pair so a
+        context switch back to a session finds its translations warm;
+        the view is registered with ``space`` on construction, so that
+        session's shootdowns keep reaching it while it is unbound.
+        """
+        return SequencerView(
+            space, Tlb(capacity=self.config.tlb_capacity, name=f"{name}-tlb"),
+            name=name)
+
+    def bind_context(self, space: AddressSpace, exoskeleton: Exoskeleton,
+                     coherence: CoherencePoint, view: SequencerView) -> None:
+        """Switch the device onto another tenant's context.
+
+        Models a GPU context switch: the device's page-table view,
+        exoskeleton (MISP/ATR/CEH endpoints) and coherence point are
+        replaced wholesale.  The caller must serialize binds with runs —
+        the device holds no lock of its own.
+        """
+        self.space = space
+        self.exoskeleton = exoskeleton
+        self.coherence = coherence
+        self.view = view
+
     # -- execution ---------------------------------------------------------------
 
     def run(self, shreds: Iterable[ShredDescriptor],

@@ -592,17 +592,49 @@ def _apply_alu_batched(pre, rows: np.ndarray, V: np.ndarray, P: np.ndarray,
 # execution would have completed without any globally-ordered side effect.
 
 
-def _uniform_surface(name, ctxs, active):
-    """The one Surface object every active shred binds under ``name``,
-    or None when any shred lacks it or binds a different descriptor (the
-    per-shred reference step then reports the precise per-shred fault)."""
-    surf = ctxs[active[0]].shred.surfaces.get(name)
-    if surf is None:
-        return None
-    for i in active[1:]:
-        if ctxs[i].shred.surfaces.get(name) is not surf:
-            return None
-    return surf
+def _gang_surface(name, ctxs, active):
+    """The surface every active shred binds under ``name``, as
+    ``(reference, deltas)``.
+
+    ``deltas`` is None when every shred binds the *same* Surface object
+    (the single-launch case).  When shreds bind *different* descriptors
+    — the cross-launch coalescing of the serving layer merges requests
+    whose surfaces are distinct allocations — the batched path still
+    applies if every binding is *congruent* with the reference (same
+    width, height, pitch, tiling and dtype): the layout arithmetic of
+    :meth:`~repro.memory.surface.Surface.element_addrs` is then
+    identical up to the base, so a per-lane base delta broadcast onto
+    the reference's addresses yields every lane's exact addresses.
+
+    Returns ``(None, None)`` when any shred lacks the binding or binds
+    a non-congruent surface (the per-shred reference step then reports
+    the precise per-shred fault)."""
+    ref = ctxs[active[0]].shred.surfaces.get(name)
+    if ref is None:
+        return None, None
+    deltas = None
+    for pos, i in enumerate(active[1:], start=1):
+        surf = ctxs[i].shred.surfaces.get(name)
+        if surf is ref:
+            continue
+        if (surf is None or surf.width != ref.width
+                or surf.height != ref.height
+                or surf.pitch != ref.pitch
+                or surf.tiling is not ref.tiling
+                or surf.dtype is not ref.dtype):
+            return None, None
+        if deltas is None:
+            deltas = np.zeros(len(active), dtype=np.int64)
+        deltas[pos] = surf.base - ref.base
+    return ref, deltas
+
+
+def _lane_bases(surf, deltas, count: int) -> np.ndarray:
+    """Per-lane surface base addresses for deferred charge logging."""
+    bases = np.full(count, surf.base, dtype=np.int64)
+    if deltas is not None:
+        bases += deltas
+    return bases
 
 
 def _type_ok(surf, ty: DataType) -> bool:
@@ -666,7 +698,7 @@ def _apply_mem_batched(device, pre, rows: np.ndarray, V: np.ndarray,
 
     if op in (Opcode.LD, Opcode.ST):
         mem = instr.srcs[0]
-        surf = _uniform_surface(mem.surface, ctxs, active)
+        surf, deltas = _gang_surface(mem.surface, ctxs, active)
         if surf is None or not _type_ok(surf, ty):
             return False
         index = _scalar_coord_batched(mem.index, mem.offset, rows, V, P,
@@ -677,7 +709,10 @@ def _apply_mem_batched(device, pre, rows: np.ndarray, V: np.ndarray,
             return False  # scalar raises MemorySystemError per shred
         elems = index[:, None] + np.arange(n, dtype=np.int64)
         addrs = surf.element_addrs(elems % surf.width, elems // surf.width)
+        if deltas is not None:
+            addrs = addrs + deltas[:, None]
         esize = surf.esize
+        bases = _lane_bases(surf, deltas, len(active))
         mask = _batched_guard_mask(instr, rows, n, P)
 
         if op is Opcode.LD:
@@ -688,7 +723,8 @@ def _apply_mem_batched(device, pre, rows: np.ndarray, V: np.ndarray,
                                   V, P, ctxs, active)
             for pos, i in enumerate(active):
                 ctxs[i].charge_log.append(
-                    (surf.base + int(index[pos]) * esize, n * esize, False))
+                    (int(bases[pos]) + int(index[pos]) * esize,
+                     n * esize, False))
             return _retire_mem(pre, Effect(), active, recs, config, outcome)
 
         # ST
@@ -698,26 +734,34 @@ def _apply_mem_batched(device, pre, rows: np.ndarray, V: np.ndarray,
             # the scalar masked store is a read-modify-write: a later
             # shred's old-value read sees earlier shreds' merged writes
             # when their ranges overlap, which one batched pre-read
-            # cannot reproduce
-            spans = np.sort(index)
-            if (np.diff(spans) < n).any():
-                return False
+            # cannot reproduce.  Lanes on different surfaces (distinct
+            # allocations) never alias; only equal-base lanes can.
+            if deltas is None:
+                spans = np.sort(index)
+                if (np.diff(spans) < n).any():
+                    return False
+            else:
+                order = np.lexsort((index, deltas))
+                same = deltas[order][1:] == deltas[order][:-1]
+                if (same & (np.diff(index[order]) < n)).any():
+                    return False
         paddrs = view.translate_batch(addrs, write=True)
         if mask is not None:
             old = phys.gather(paddrs, surf.dtype.np_dtype).astype(np.float64)
             values = np.where(mask, values, old)
             for pos, i in enumerate(active):
                 ctxs[i].charge_log.append(
-                    (surf.base + int(index[pos]) * esize, n * esize, False))
+                    (int(bases[pos]) + int(index[pos]) * esize,
+                     n * esize, False))
         phys.scatter(paddrs, np.asarray(values).astype(surf.dtype.np_dtype))
         for pos, i in enumerate(active):
             ctxs[i].charge_log.append(
-                (surf.base + int(index[pos]) * esize, n * esize, True))
+                (int(bases[pos]) + int(index[pos]) * esize, n * esize, True))
         return _retire_mem(pre, Effect(), active, recs, config, outcome)
 
     if op in (Opcode.LDBLK, Opcode.STBLK):
         blk = instr.srcs[0]
-        surf = _uniform_surface(blk.surface, ctxs, active)
+        surf, deltas = _gang_surface(blk.surface, ctxs, active)
         if surf is None or not _type_ok(surf, ty):
             return False
         x0 = _scalar_coord_batched(blk.x, 0, rows, V, P, ctxs, active)
@@ -736,7 +780,10 @@ def _apply_mem_batched(device, pre, rows: np.ndarray, V: np.ndarray,
             # the translated footprint matches scalar exactly
             xs = np.clip(x0[:, None, None] + col, 0, surf.width - 1)
             ys = np.clip(y0[:, None, None] + row, 0, surf.height - 1)
-            paddrs = view.translate_batch(surf.element_addrs(xs, ys))
+            addrs = surf.element_addrs(xs, ys)
+            if deltas is not None:
+                addrs = addrs + deltas[:, None, None]
+            paddrs = view.translate_batch(addrs)
             values = phys.gather(paddrs, surf.dtype.np_dtype).astype(
                 np.float64).reshape(k, h * w)
             _write_block_batched(instr.dsts[0], rows, values, ty, n, V)
@@ -747,6 +794,9 @@ def _apply_mem_batched(device, pre, rows: np.ndarray, V: np.ndarray,
                 np.clip(x0, 0, surf.width - 1)[:, None], yy)
             hi = surf.element_addrs(
                 np.clip(x0 + w - 1, 0, surf.width - 1)[:, None], yy) + esize
+            if deltas is not None:
+                lo = lo + deltas[:, None]
+                hi = hi + deltas[:, None]
             span_lo = np.minimum(lo, hi - 1)
             span_sz = np.maximum(hi - lo, esize)
             for pos, i in enumerate(active):
@@ -772,7 +822,10 @@ def _apply_mem_batched(device, pre, rows: np.ndarray, V: np.ndarray,
             k, h, w).astype(surf.dtype.np_dtype)
         xs = x0[:, None, None] + col
         ys = y0[:, None, None] + row
-        paddrs = view.translate_batch(surf.element_addrs(xs, ys), write=True)
+        addrs = surf.element_addrs(xs, ys)
+        if deltas is not None:
+            addrs = addrs + deltas[:, None, None]
+        paddrs = view.translate_batch(addrs, write=True)
         # flattened scatter order is lane-major = shred queue order, so
         # duplicate addresses resolve last-writer-wins exactly as the
         # scalar engine's sequential per-shred stores do
@@ -780,6 +833,9 @@ def _apply_mem_batched(device, pre, rows: np.ndarray, V: np.ndarray,
         yy = y0[:, None] + np.arange(h, dtype=np.int64)
         lo = surf.element_addrs(x0[:, None], yy)
         hi = surf.element_addrs((x0 + w - 1)[:, None], yy) + esize
+        if deltas is not None:
+            lo = lo + deltas[:, None]
+            hi = hi + deltas[:, None]
         span_lo = np.minimum(lo, hi - 1)
         span_sz = np.maximum(hi - lo, esize)
         for pos, i in enumerate(active):
@@ -791,7 +847,7 @@ def _apply_mem_batched(device, pre, rows: np.ndarray, V: np.ndarray,
 
     # SAMPLE
     blk = instr.srcs[0]
-    surf = _uniform_surface(blk.surface, ctxs, active)
+    surf, deltas = _gang_surface(blk.surface, ctxs, active)
     if surf is None:  # the sampler path performs no type check
         return False
     xs = _read_batched(blk.x, rows, n, V, P, ctxs, active)
@@ -800,8 +856,11 @@ def _apply_mem_batched(device, pre, rows: np.ndarray, V: np.ndarray,
     if sampler.filter_mode == "nearest":
         xi = np.clip(np.floor(xs + 0.5).astype(np.int64), 0, surf.width - 1)
         yi = np.clip(np.floor(ys + 0.5).astype(np.int64), 0, surf.height - 1)
+        addrs = surf.element_addrs(xi, yi)
+        if deltas is not None:
+            addrs = addrs + deltas[:, None]
         values = phys.gather(
-            view.translate_batch(surf.element_addrs(xi, yi)),
+            view.translate_batch(addrs),
             surf.dtype.np_dtype).astype(np.float64)
     else:  # bilinear, the exact arithmetic of Surface.sample_bilinear
         x0 = np.clip(np.floor(xs).astype(np.int64), 0, surf.width - 1)
@@ -817,14 +876,28 @@ def _apply_mem_batched(device, pre, rows: np.ndarray, V: np.ndarray,
             # here too (and falls back to the exact per-shred path)
             lo = surf.element_addr(int(x0.min()), int(y0.min()))
             hi = surf.element_addr(int(x1.max()), int(y1.max())) + surf.esize
-            pages = np.arange(lo >> PAGE_SHIFT,
-                              ((hi - 1) >> PAGE_SHIFT) + 1, dtype=np.int64)
+            if deltas is None:
+                pages = np.arange(lo >> PAGE_SHIFT,
+                                  ((hi - 1) >> PAGE_SHIFT) + 1,
+                                  dtype=np.int64)
+            else:
+                # one box per distinct surface, translated in one call
+                pages = np.unique(np.concatenate([
+                    np.arange((lo + d) >> PAGE_SHIFT,
+                              ((hi + d - 1) >> PAGE_SHIFT) + 1,
+                              dtype=np.int64)
+                    for d in np.unique(deltas)]))
             view.translate_batch(pages << PAGE_SHIFT)
+        a00 = surf.element_addrs(x0, y0)
+        a10 = surf.element_addrs(x1, y0)
+        a01 = surf.element_addrs(x0, y1)
+        a11 = surf.element_addrs(x1, y1)
+        if deltas is not None:
+            off = deltas[:, None]
+            a00, a10 = a00 + off, a10 + off
+            a01, a11 = a01 + off, a11 + off
         taps = view.gather(
-            np.stack([surf.element_addrs(x0, y0),
-                      surf.element_addrs(x1, y0),
-                      surf.element_addrs(x0, y1),
-                      surf.element_addrs(x1, y1)]),
+            np.stack([a00, a10, a01, a11]),
             surf.dtype.np_dtype).astype(np.float64)
         p00, p10, p01, p11 = taps
         top = p00 + (p10 - p00) * fx

@@ -198,3 +198,64 @@ def export_shootdown_trace(space, path, pid: int = SHOOTDOWN_PID) -> int:
         json.dump({"traceEvents": events,
                    "displayTimeUnit": "ns"}, handle)
     return len(events)
+
+
+#: First process-row id for serving-layer device slots (one row each).
+SERVING_PID = 2000
+
+
+def serving_trace_events(server, pid: int = SERVING_PID) -> List[dict]:
+    """Chrome-trace rows for one :class:`~repro.serving.ExoServer` run.
+
+    One process row per device slot; each dispatched batch is a span at
+    its host wall-clock position (seconds since the server started),
+    tagged with the owning session, the requests it merged, and its lane
+    count — a coalesced batch reads directly as "gma0 ran 8 requests of
+    tenant-a as one gang".  A counter track accumulates the coalescing
+    totals over batch sequence.
+    """
+    events: List[dict] = []
+    rows = {}
+    for slot in server.slots:
+        rows[slot.name] = pid + len(rows)
+        events.append({
+            "ph": "M", "name": "process_name", "pid": rows[slot.name],
+            "args": {"name": f"serving {slot.name} ({slot.gma.engine})"},
+        })
+    gangs = lanes = 0
+    for seq, entry in enumerate(server.trace_log):
+        row = rows.get(entry["slot"], pid)
+        events.append({
+            "ph": "X",
+            "name": f"{entry['session']}"
+                    + (" gang" if entry["coalesced"] else ""),
+            "pid": row,
+            "tid": 0,
+            "ts": max(entry["start"], 0.0) * 1e6,
+            "dur": max(entry["wall_seconds"], 1e-9) * 1e6,
+            "args": {
+                "session": entry["session"],
+                "requests": entry["requests"],
+                "lanes": entry["lanes"],
+                "simulated_seconds": entry["seconds"],
+            },
+        })
+        if entry["coalesced"]:
+            gangs += 1
+            lanes += entry["lanes"]
+        events.append({
+            "ph": "C", "name": "coalescing", "pid": rows[
+                next(iter(rows))] if rows else pid,
+            "ts": float(seq),
+            "args": {"gangs_coalesced": gangs, "coalesced_lanes": lanes},
+        })
+    return events
+
+
+def export_serving_trace(server, path, pid: int = SERVING_PID) -> int:
+    """Write the serving layer's trace JSON; returns the event count."""
+    events = serving_trace_events(server, pid=pid)
+    with open(path, "w") as handle:
+        json.dump({"traceEvents": events,
+                   "displayTimeUnit": "ns"}, handle)
+    return len(events)

@@ -1,0 +1,131 @@
+"""Admission control and weighted fair dequeue across tenants.
+
+Two layers of backpressure guard the device pool:
+
+* **Per-session in-flight caps** (``SessionQuotas.max_inflight``) bound
+  what any one tenant may have admitted at once.
+* **A server-wide pending bound** (``max_pending`` requests queued but
+  not yet dispatched), the serving analogue of the paper's bounded
+  software work queue.  Under :attr:`~repro.fabric.queue.AdmissionPolicy.
+  RAISE` an overflow raises :class:`~repro.errors.AdmissionRejected`
+  carrying a ``retry_after`` estimate; under ``BLOCK`` the submitting
+  client awaits capacity.
+
+Dequeue order is *stride scheduling*: each session carries a virtual
+time that advances by ``lanes / weight`` whenever its work is
+dispatched, and the dispatcher always serves the lowest virtual time.
+An idle session rejoins at the global virtual clock, so sleeping never
+banks credit — the classic fix that keeps the schedule fair without
+starving bursty tenants.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from ..fabric.queue import AdmissionPolicy
+
+
+class AdmissionController:
+    """Bounded pending queue + weighted fair pick across sessions."""
+
+    def __init__(self, policy=AdmissionPolicy.BLOCK,
+                 max_pending: int = 256):
+        self.policy = AdmissionPolicy.coerce(policy)
+        self.max_pending = max_pending
+        self.pending = 0
+        self._queues: Dict[str, deque] = {}
+        self._vtime: Dict[str, float] = {}
+        self._vnow = 0.0
+        # EWMA of per-request service wall-clock, for retry_after
+        self._service_ewma = 0.0
+
+    # -- admission ----------------------------------------------------------
+
+    def try_admit(self, session) -> Optional[str]:
+        """``None`` when the launch may enter, else the refusal reason."""
+        if session.inflight >= session.quotas.max_inflight:
+            return (f"session {session.name!r} at max_inflight "
+                    f"({session.quotas.max_inflight})")
+        if self.pending >= self.max_pending:
+            return f"server pending queue full ({self.max_pending})"
+        return None
+
+    def retry_after(self, slots: int) -> float:
+        """How long an overflowing client should back off (seconds).
+
+        The EWMA of recent per-request service time, scaled by the queue
+        the retry would sit behind, spread over the device slots.
+        """
+        per_request = self._service_ewma or 1e-3
+        return per_request * (self.pending + 1) / max(slots, 1)
+
+    def note_service(self, requests: int, wall: float) -> None:
+        if requests <= 0:
+            return
+        sample = wall / requests
+        if self._service_ewma == 0.0:
+            self._service_ewma = sample
+        else:
+            self._service_ewma += 0.25 * (sample - self._service_ewma)
+
+    # -- queueing -----------------------------------------------------------
+
+    def enqueue(self, request) -> None:
+        name = request.session.name
+        queue = self._queues.get(name)
+        if queue is None:
+            queue = self._queues[name] = deque()
+        if not queue:
+            # an idle session rejoins at the global clock: no banked credit
+            self._vtime[name] = max(self._vtime.get(name, 0.0), self._vnow)
+        queue.append(request)
+        self.pending += 1
+
+    def pick(self) -> Optional[str]:
+        """The backlogged session with the lowest virtual time."""
+        best = None
+        for name, queue in self._queues.items():
+            if not queue:
+                continue
+            vt = self._vtime.get(name, 0.0)
+            if best is None or (vt, name) < best:
+                best = (vt, name)
+        return best[1] if best else None
+
+    def pop_batch(self, name: str, window: int,
+                  coalescable=None) -> List:
+        """Dequeue the session's head plus coalescable followers.
+
+        ``coalescable(head, other)`` decides whether a queued follower
+        may join the head's gang; at most ``window`` lanes leave the
+        queue.  The session's virtual time is charged ``lanes / weight``
+        — a coalesced batch is one dispatch but still ``lanes`` worth of
+        service.
+        """
+        queue = self._queues[name]
+        head = queue.popleft()
+        batch = [head]
+        lanes = len(head.shreds)
+        if coalescable is not None:
+            keep = deque()
+            while queue:
+                req = queue.popleft()
+                if (lanes + len(req.shreds) <= window
+                        and coalescable(head, req)):
+                    batch.append(req)
+                    lanes += len(req.shreds)
+                else:
+                    keep.append(req)
+            queue.extend(keep)
+        self.pending -= len(batch)
+        weight = max(head.session.quotas.weight, 1e-9)
+        self._vtime[name] = self._vtime.get(name, 0.0) + lanes / weight
+        active = [self._vtime[n] for n, q in self._queues.items() if q]
+        self._vnow = min(active) if active else self._vtime[name]
+        return batch
+
+    def backlog(self, name: str) -> int:
+        queue = self._queues.get(name)
+        return len(queue) if queue else 0

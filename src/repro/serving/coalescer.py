@@ -1,0 +1,79 @@
+"""Cross-launch gang formation: coalesce and demultiplex.
+
+The four flat media kernels (AlphaBlend, BOB, ADVDI, ProcAmp) launch a
+*single* shred per request at smoke geometry, so the gang engine never
+engages for them — one lane is not a gang.  Under serving load, though,
+many requests for the same kernel sit queued together.  The coalescer
+merges same-program single-launch requests from one session into one
+device batch; the firmware's existing ``gang_eligible`` check then sees
+N same-program shreds and runs them in lockstep, with the congruent-
+surface extension (:func:`repro.gma.gang._gang_surface`) handling each
+request's distinct-but-identically-shaped surfaces via per-lane base
+deltas.
+
+Determinism scope: coalescing never crosses sessions (a device binds one
+tenant's space and exoskeleton per drain), never reorders one session's
+requests past each other in a batch (queue order is preserved), and the
+demux hands every request exactly the :class:`~repro.gma.interpreter.
+ShredRun` records its own shreds produced — bit-identical payloads and
+counters to a solo run, because the gang engine itself is bit-identical
+to the scalar interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..errors import ServingError
+from ..gma.firmware import GmaRunResult
+
+
+def coalescable(head, other) -> bool:
+    """May ``other`` join ``head``'s device batch as extra gang lanes?
+
+    Mirrors :func:`repro.gma.gang.gang_eligible`'s launch-shape
+    conditions: the *same program object* (predecode identity — sessions
+    get this by building each kernel's program once), same entry point,
+    and no cross-shred dependencies.  Same-session is implied: the
+    admission controller only coalesces within one session's queue.
+    """
+    if other.session is not head.session:
+        return False
+    if not head.shreds or not other.shreds:
+        return False
+    program = head.shreds[0].program
+    entry = head.shreds[0].entry
+    for shred in list(head.shreds) + list(other.shreds):
+        if shred.program is not program or shred.entry != entry:
+            return False
+        if shred.depends_on:
+            return False
+    return True
+
+
+def demux(requests: Sequence, merged: GmaRunResult) -> Dict[int, List]:
+    """Split a coalesced batch's runs back out per request.
+
+    Returns ``{request.ident: [ShredRun, ...]}`` in the merged result's
+    retirement order.  Shreds spawned on-device attribute to the request
+    that owns their ancestor (``parent_id`` chains upward).
+    """
+    owner: Dict[int, int] = {}
+    for request in requests:
+        for shred in request.shreds:
+            owner[shred.shred_id] = request.ident
+    out: Dict[int, List] = {request.ident: [] for request in requests}
+    for run in merged.runs:
+        shred = run.shred
+        ident = owner.get(shred.shred_id)
+        if ident is None and shred.parent_id is not None:
+            # a spawned child: its parent retired earlier in queue order,
+            # so the parent's owner is already registered (and so on for
+            # grandchildren, since we register every run as we walk)
+            ident = owner.get(shred.parent_id)
+        if ident is None:
+            raise ServingError(
+                f"cannot attribute shred {shred.shred_id} to a request")
+        owner[shred.shred_id] = ident
+        out[ident].append(run)
+    return out

@@ -1,0 +1,86 @@
+"""Tenant-side helpers: turn a media kernel into serving launches.
+
+A :class:`TenantWorkload` assembles the kernel's program **once** per
+session and reuses it for every launch — program-object identity is what
+both the predecode cache and the cross-launch coalescer key on, exactly
+as a real service would reuse one uploaded kernel binary across
+requests.  Each launch gets fresh surfaces (quota-checked through the
+session), its own input frame, and the reference output to verify
+against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..kernels.base import Geometry, MediaKernel
+from ..kernels.harness import build_program
+from ..perf.study import SMOKE_GEOMETRIES
+from .session import Session
+
+_launch_ids = itertools.count(1)
+
+
+@dataclass
+class PreparedLaunch:
+    """One request's program, descriptor inputs, and expected outputs."""
+
+    ident: int
+    program: object
+    bindings: List[dict]
+    surfaces: Dict[str, object]
+    expected: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def verify(self, session: Session) -> None:
+        """Compare every output surface against the kernel reference."""
+        for name, want in self.expected.items():
+            got = self.surfaces[name].download(session.space)
+            np.testing.assert_array_equal(
+                got, np.asarray(want),
+                err_msg=f"launch {self.ident}: output {name!r} diverged")
+
+
+class TenantWorkload:
+    """Generates launches of one kernel inside one session."""
+
+    def __init__(self, session: Session, kernel: MediaKernel,
+                 geom: Optional[Geometry] = None, seed: int = 0):
+        self.session = session
+        self.kernel = kernel
+        self.geom = geom or SMOKE_GEOMETRIES[kernel.abbrev]
+        kernel.check_geometry(self.geom)
+        self.seed = seed
+        self.program = build_program(kernel, self.geom)
+        self.consts = kernel.constants(self.geom)
+        self._sequence = 0
+
+    def new_launch(self) -> PreparedLaunch:
+        """Fresh surfaces + frame-0 inputs + reference for one request."""
+        ident = next(_launch_ids)
+        self._sequence += 1
+        surfaces = {}
+        for spec in self.kernel.surface_specs(self.geom):
+            surfaces[spec.name] = self.session.alloc_surface(
+                f"{self.kernel.abbrev}-{ident}:{spec.name}",
+                spec.width, spec.height, spec.dtype)
+        inputs = self.kernel.make_frame_inputs(
+            self.geom, 0, self.seed + self._sequence)
+        for name, image in inputs.items():
+            surfaces[name].upload(self.session.space, np.asarray(image))
+        expected, _ = self.kernel.reference_frame(self.geom, inputs, {})
+        bindings = [{**self.consts, **b}
+                    for b in self.kernel.shred_bindings(self.geom)]
+        return PreparedLaunch(ident=ident, program=self.program,
+                              bindings=bindings, surfaces=surfaces,
+                              expected={k: np.asarray(v)
+                                        for k, v in expected.items()})
+
+    def release(self, launch: PreparedLaunch) -> None:
+        """Free a completed launch's surfaces (returns quota headroom)."""
+        for name in launch.surfaces:
+            self.session.free_surface(
+                f"{self.kernel.abbrev}-{launch.ident}:{name}")

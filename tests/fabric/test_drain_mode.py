@@ -1,0 +1,83 @@
+"""The parallel-drain threshold: small drains must not pay thread cost."""
+
+from __future__ import annotations
+
+from repro.chi import ChiRuntime, ExoPlatform
+from repro.fabric.dispatcher import (PARALLEL_DRAIN_MIN_SHREDS,
+                                     drain_devices)
+
+ASM = """
+mov.1.dw vr1 = 0
+loop:
+add.1.dw vr1 = vr1, 1
+cmp.lt.1.dw p1 = vr1, 8
+br p1, loop
+end
+"""
+
+
+def _region(parallel, devices=2, shreds=8):
+    platform = ExoPlatform(num_gma_devices=devices, gma_engine="gang")
+    runtime = ChiRuntime(platform, parallel_fabric=parallel)
+    region = runtime.parallel(ASM, num_threads=shreds)
+    return runtime, region.wait()
+
+
+def test_small_drain_falls_back_to_serial():
+    """Below the threshold, ``parallel=True`` chooses a serial drain."""
+    runtime, result = _region(True, devices=2, shreds=8)
+    assert all(r.drain_mode == "serial" for r in result.reports)
+    assert runtime.stats.drains_serial == 1
+    assert runtime.stats.drains_parallel == 0
+
+
+def test_large_drain_threads():
+    """At or above the threshold on every device, threads engage."""
+    shreds = 2 * PARALLEL_DRAIN_MIN_SHREDS + 8  # comfortably above /device
+    runtime, result = _region(True, devices=2, shreds=shreds)
+    assert any(r.drain_mode == "parallel" for r in result.reports)
+    assert runtime.stats.drains_parallel == 1
+
+
+def test_force_threads_regardless_of_size():
+    runtime, result = _region("force", devices=2, shreds=4)
+    assert all(r.drain_mode == "parallel" for r in result.reports)
+    assert runtime.stats.drains_parallel == 1
+
+
+def test_serial_request_stays_serial():
+    runtime, result = _region(False, devices=2, shreds=64)
+    assert all(r.drain_mode == "serial" for r in result.reports)
+    assert runtime.stats.drains_serial == 1
+
+
+def test_single_pair_never_threads():
+    """One device means nothing to overlap, whatever was asked for."""
+    runtime, _ = _region("force", devices=1, shreds=4)
+    assert runtime.stats.drains_serial == 1
+    assert runtime.stats.drains_parallel == 0
+
+
+def test_drain_devices_skips_empty_and_orders_reports():
+    from repro.exo.shred import ShredDescriptor
+    from repro.isa.assembler import assemble
+
+    class FakeDevice:
+        def __init__(self, name):
+            self.name = name
+
+        def run_shreds(self, shreds):
+            from repro.fabric.device import DeviceRunReport
+            return DeviceRunReport(device=self.name, isa="X3000",
+                                   seconds=0.0, shreds=len(shreds))
+
+    program = assemble("end", name="nop")
+    shred = ShredDescriptor(program=program)
+    reports = drain_devices([
+        (FakeDevice("a"), [shred]),
+        (FakeDevice("b"), []),
+        (FakeDevice("c"), [shred]),
+    ], parallel="force")
+    assert [r.device for r in reports] == ["a", "c"]
+    assert all(r.drain_mode == "parallel" for r in reports)
+    assert all(r.wall_seconds > 0.0 for r in reports)

@@ -1,0 +1,126 @@
+"""Cross-launch gang formation must be invisible to every tenant.
+
+For each of the four flat (single-shred) kernels: eight same-program
+requests served one at a time (scalar fallback — one lane is no gang)
+and eight queued together (one coalesced gang) must produce
+bit-identical output surfaces and identical per-request ``ShredRun``
+counters.  Inputs are seeded per request, so lane k of the gang and
+solo request k see the same frame.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.kernels import kernel_by_abbrev
+from repro.serving import ExoServer, SessionQuotas, TenantWorkload
+
+FLAT_KERNELS = ("AlphaBlend", "BOB", "ADVDI", "ProcAmp")
+LANES = 8
+
+RUN_FIELDS = ("instructions", "issue_cycles", "bytes_read",
+              "bytes_written", "sampler_samples", "atr_events",
+              "ceh_events", "spawned")
+
+
+async def _serve_kernel(abbrev: str, coalesce: bool, seed: int = 7):
+    """Returns (results, outputs) for LANES seeded requests."""
+    async with ExoServer(num_devices=1, engine="gang") as server:
+        session = server.open_session(
+            "t", SessionQuotas(max_inflight=LANES,
+                               max_surfaces=8 * LANES,
+                               max_surface_bytes=64 << 20,
+                               max_descriptors=4 * LANES))
+        workload = TenantWorkload(session, kernel_by_abbrev(abbrev),
+                                  seed=seed)
+        launches = [workload.new_launch() for _ in range(LANES)]
+        if coalesce:
+            results = await asyncio.gather(*[
+                server.submit(session, launch.program,
+                              bindings=launch.bindings,
+                              surfaces=launch.surfaces)
+                for launch in launches
+            ])
+        else:
+            results = [
+                await server.submit(session, launch.program,
+                                    bindings=launch.bindings,
+                                    surfaces=launch.surfaces)
+                for launch in launches
+            ]
+        outputs = [
+            {name: launch.surfaces[name].download(session.space)
+             for name in launch.expected}
+            for launch in launches
+        ]
+        for launch in launches:
+            launch.verify(session)
+        return results, outputs, server.stats
+
+
+@pytest.mark.parametrize("abbrev", FLAT_KERNELS)
+def test_coalesced_bit_identical_to_solo(abbrev):
+    solo_results, solo_outputs, solo_stats = asyncio.run(
+        _serve_kernel(abbrev, coalesce=False))
+    gang_results, gang_outputs, gang_stats = asyncio.run(
+        _serve_kernel(abbrev, coalesce=True))
+
+    # the two modes really took different paths
+    assert solo_stats.gangs_coalesced == 0
+    assert gang_stats.gangs_coalesced >= 1
+    assert gang_stats.coalesced_lanes == LANES
+
+    for k in range(LANES):
+        for name in solo_outputs[k]:
+            np.testing.assert_array_equal(
+                solo_outputs[k][name], gang_outputs[k][name],
+                err_msg=f"{abbrev} request {k} output {name!r} diverged")
+        solo, gang = solo_results[k], gang_results[k]
+        assert solo.shreds == gang.shreds == 1
+        assert gang.coalesced_requests > 1
+        assert solo.coalesced_requests == 1
+        for field in RUN_FIELDS:
+            s = getattr(solo.runs[0], field)
+            g = getattr(gang.runs[0], field)
+            assert s == g, (f"{abbrev} request {k}: {field} "
+                            f"solo={s} coalesced={g}")
+
+
+def test_coalescing_respects_program_identity():
+    """Launches of *different* kernels from one session never merge."""
+    async def scenario():
+        async with ExoServer(num_devices=1, engine="gang") as server:
+            session = server.open_session(
+                "t", SessionQuotas(max_inflight=8, max_surfaces=64,
+                                   max_surface_bytes=64 << 20))
+            wa = TenantWorkload(session, kernel_by_abbrev("AlphaBlend"))
+            wb = TenantWorkload(session, kernel_by_abbrev("BOB"))
+            launches = [wa.new_launch(), wb.new_launch(),
+                        wa.new_launch(), wb.new_launch()]
+            results = await asyncio.gather(*[
+                server.submit(session, launch.program,
+                              bindings=launch.bindings,
+                              surfaces=launch.surfaces)
+                for launch in launches
+            ])
+            for launch in launches:
+                launch.verify(session)
+            # AlphaBlend pair coalesced with itself, BOB with itself
+            for result in results:
+                assert result.coalesced_requests == 2
+            assert server.stats.batches_dispatched == 2
+    asyncio.run(scenario())
+
+
+def test_gang_engine_engages_under_coalescing():
+    """The point of the tentpole: coalesced flat kernels retire on the
+    gang path (zero scalar fallbacks), solo ones cannot."""
+    _, _, solo_stats = asyncio.run(
+        _serve_kernel("AlphaBlend", coalesce=False))
+    _, _, gang_stats = asyncio.run(
+        _serve_kernel("AlphaBlend", coalesce=True))
+    assert gang_stats.gangs_coalesced >= 1
+    assert solo_stats.gangs_coalesced == 0
