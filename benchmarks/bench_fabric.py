@@ -1,6 +1,6 @@
 """The device fabric: multi-accelerator scaling and work-stealing dispatch.
 
-Two claims to hold the new subsystem to:
+Three claims to hold the subsystem to:
 
 * an N-accelerator fabric (every GMA sharing the one virtual address
   space) drains a parallel region strictly faster than a single device —
@@ -8,14 +8,40 @@ Two claims to hold the new subsystem to:
 * the event-driven work-stealing dispatcher is a faithful generalization
   of section 5.3's self-scheduling: run over one two-sequencer loop it
   converges to the oracle partition as chunks shrink, for every Table 2
-  kernel.
+  kernel;
+* the **cross-process fabric** (``--fabric-workers``) escapes the GIL:
+  on a host with >= 4 usable cores, draining one region over 4 worker
+  processes beats the in-process serial drain by >= 1.6x wall-clock.
+  On fewer cores genuine parallel speedup is physically unavailable, so
+  the gate degrades to an *overhead* bound: the shared-memory + pipe
+  tax may cost at most ~2x (speedup >= 0.5x).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_fabric.py
+    PYTHONPATH=src python benchmarks/bench_fabric.py --check   # CI gate
+
+or under pytest (``pytest benchmarks/bench_fabric.py``).  Writes
+``BENCH_fabric.json``.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import os
+import sys
+import time
+
 import pytest
 
 from repro.chi import ChiRuntime, ExoPlatform
+from repro.errors import FabricError
+from repro.exo.shred import ShredDescriptor
+from repro.fabric.workers import ProcessWorkerPool
+from repro.isa.assembler import assemble
+from repro.memory.address_space import AddressSpace
+from repro.memory.physical import PhysicalMemory
 
 KERNEL = """
     mul.1.dw vr1 = tid, 3
@@ -81,3 +107,232 @@ def test_work_stealing_tracks_dynamic_partition(suite):
         ws = m.partition("work-stealing", num_chunks=128).total_seconds
         chunk = max(m.cpu_seconds, m.gma_seconds) / 128
         assert ws == pytest.approx(dyn, abs=chunk)
+
+
+# -- cross-process fabric scaling -------------------------------------------
+
+CHECK_PROCESS_SPEEDUP = 1.6   # 4 process workers vs serial, >= 4 cores
+CHECK_PROCESS_OVERHEAD = 0.5  # single-core floor: IPC tax bounded to ~2x
+PROCESS_WORKERS = (1, 2, 4)
+PROCESS_SHREDS = 64
+PROCESS_ITERS = 600
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _loop_kernel(iters: int) -> str:
+    """Compute-heavy and memory-free: all cost is interpreter cycles, so
+    wall-clock measures drain concurrency, not shared-frame bandwidth."""
+    return f"""
+    mov.1.dw vr1 = 0
+loop:
+    add.1.dw vr1 = vr1, 1
+    cmp.lt.1.dw p1 = vr1, {iters}
+    br p1, loop
+    end
+"""
+
+
+def _region_wall(fabric_workers: int, shreds: int, iters: int) -> float:
+    platform = ExoPlatform(num_gma_devices=4, fabric_workers=fabric_workers)
+    try:
+        rt = ChiRuntime(platform)
+        t0 = time.perf_counter()
+        region = rt.parallel(_loop_kernel(iters), num_threads=shreds)
+        wall = time.perf_counter() - t0
+        assert region.result.shreds_executed == shreds
+        return wall
+    finally:
+        platform.close()
+
+
+def measure_process_scaling(workers=PROCESS_WORKERS,
+                            shreds: int = PROCESS_SHREDS,
+                            iters: int = PROCESS_ITERS) -> dict:
+    """Wall-clock of one region: in-process serial vs N process workers."""
+    serial = _region_wall(0, shreds, iters)
+    rows = []
+    for n in workers:
+        wall = _region_wall(n, shreds, iters)
+        rows.append({
+            "workers": n,
+            "wall_seconds": wall,
+            "throughput_sps": shreds / wall,
+            "speedup": serial / wall,
+        })
+    return {
+        "cores": _usable_cores(),
+        "shreds": shreds,
+        "iters": iters,
+        "serial_wall_seconds": serial,
+        "serial_throughput_sps": shreds / serial,
+        "rows": rows,
+    }
+
+
+def measure_worker_crash() -> dict:
+    """A killed worker must surface as a clean FabricError; its peers and
+    the shootdown broadcast keep working."""
+    physical = PhysicalMemory(size=16 * 1024 * 1024, backing="shared")
+    space = AddressSpace(physical=physical)
+    pool = ProcessWorkerPool(physical, num_workers=2)
+    pool.adopt_space(space)
+    try:
+        program = assemble(_loop_kernel(4), name="crash-probe")
+        batch = [ShredDescriptor(program=program, bindings={"tid": i})
+                 for i in range(4)]
+        pool.worker_for(0).launch("gma0", space, batch)
+        pool.worker_for(1).launch("gma1", space, batch)
+        pool.worker_for(1).kill()
+        clean_error = False
+        try:
+            pool.worker_for(1).launch("gma1", space, batch)
+        except FabricError:
+            clean_error = True
+        survivor = pool.worker_for(0).launch("gma0", space, batch)
+        base = space.alloc(4096)
+        space.free(base)  # shootdown broadcast with one worker dead
+        return {
+            "clean_error_on_dead_worker": clean_error,
+            "survivor_completed_shreds": survivor.shreds,
+            "shootdown_after_crash": True,
+            "passed": clean_error and survivor.shreds == len(batch),
+        }
+    finally:
+        pool.close()
+        physical.close()
+
+
+def report_process(outcome: dict, crash: dict) -> str:
+    gated = outcome["cores"] >= 4
+    lines = [
+        f"process-fabric scaling ({outcome['shreds']} shreds x "
+        f"{outcome['iters']} iterations, {outcome['cores']} usable "
+        f"core(s)):",
+        f"  serial (in-process): {outcome['serial_wall_seconds']:7.3f}s  "
+        f"{outcome['serial_throughput_sps']:7.1f} shreds/s",
+    ]
+    for row in outcome["rows"]:
+        lines.append(
+            f"  {row['workers']} process worker(s): "
+            f"{row['wall_seconds']:7.3f}s  "
+            f"{row['throughput_sps']:7.1f} shreds/s  "
+            f"{row['speedup']:5.2f}x")
+    if gated:
+        lines.append(f"  gate: >= {CHECK_PROCESS_SPEEDUP:.1f}x at "
+                     f"4 workers")
+    else:
+        lines.append(
+            f"  gate: single-core host, genuine speedup unavailable; "
+            f"overhead bound >= {CHECK_PROCESS_OVERHEAD:.1f}x applies")
+    lines.append(
+        "  worker-crash robustness: "
+        + ("PASS" if crash["passed"] else "FAIL")
+        + f" (clean error: {crash['clean_error_on_dead_worker']}, "
+          f"survivor shreds: {crash['survivor_completed_shreds']})")
+    return "\n".join(lines)
+
+
+def step_summary(outcome: dict, crash: dict) -> str:
+    lines = [
+        "### Fabric benchmark (cross-process scaling)",
+        "",
+        f"- host: {outcome['cores']} usable core(s); region: "
+        f"{outcome['shreds']} shreds x {outcome['iters']} iterations",
+        f"- worker-crash robustness: "
+        + ("**pass**" if crash["passed"] else "**FAIL**"),
+        "",
+        "| drain | wall (s) | shreds/s | speedup |",
+        "|---|---|---|---|",
+        f"| serial (in-process) | "
+        f"{outcome['serial_wall_seconds']:.3f} | "
+        f"{outcome['serial_throughput_sps']:.1f} | 1.00x |",
+    ]
+    for row in outcome["rows"]:
+        lines.append(
+            f"| {row['workers']} process worker(s) "
+            f"| {row['wall_seconds']:.3f} "
+            f"| {row['throughput_sps']:.1f} "
+            f"| {row['speedup']:.2f}x |")
+    return "\n".join(lines) + "\n"
+
+
+# -- pytest entry points for the process tier -------------------------------
+
+def test_process_drain_overhead_bounded():
+    """On any host the process tier may cost at most ~2x the serial
+    drain (IPC + pickle tax); with >= 4 cores it must win outright."""
+    outcome = measure_process_scaling(workers=(4,), shreds=PROCESS_SHREDS,
+                                      iters=PROCESS_ITERS)
+    speedup = outcome["rows"][0]["speedup"]
+    assert speedup >= CHECK_PROCESS_OVERHEAD
+    if outcome["cores"] >= 4:
+        assert speedup > 1.0
+
+
+def test_process_worker_crash_is_contained():
+    crash = measure_worker_crash()
+    assert crash["passed"], crash
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shreds", type=int, default=PROCESS_SHREDS,
+                        help="region width (default %(default)s)")
+    parser.add_argument("--iters", type=int, default=PROCESS_ITERS,
+                        help="loop iterations per shred "
+                             "(default %(default)s)")
+    parser.add_argument("--json", type=str, default="BENCH_fabric.json",
+                        help="result file (default %(default)s)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless 4 process workers "
+                             f"reach >= {CHECK_PROCESS_SPEEDUP:.1f}x over "
+                             "the serial drain (>= 4 usable cores; "
+                             "single-core hosts gate on bounded overhead "
+                             f">= {CHECK_PROCESS_OVERHEAD:.1f}x) and the "
+                             "worker-crash probe passes")
+    args = parser.parse_args(argv)
+
+    outcome = measure_process_scaling(shreds=args.shreds, iters=args.iters)
+    crash = measure_worker_crash()
+    print(report_process(outcome, crash))
+    payload = {"scaling": outcome, "crash": crash}
+    with open(args.json, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"wrote {args.json}")
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write(step_summary(outcome, crash))
+        print(f"appended fabric stats to {summary_path}")
+    if args.check:
+        failed = False
+        at4 = next(r for r in outcome["rows"] if r["workers"] == 4)
+        if outcome["cores"] >= 4:
+            if at4["speedup"] < CHECK_PROCESS_SPEEDUP:
+                print(f"CHECK FAILED: {at4['speedup']:.2f}x at 4 workers "
+                      f"< {CHECK_PROCESS_SPEEDUP:.1f}x", file=sys.stderr)
+                failed = True
+        elif at4["speedup"] < CHECK_PROCESS_OVERHEAD:
+            print(f"CHECK FAILED: {at4['speedup']:.2f}x at 4 workers "
+                  f"< overhead floor {CHECK_PROCESS_OVERHEAD:.1f}x "
+                  f"({outcome['cores']} core(s))", file=sys.stderr)
+            failed = True
+        if not crash["passed"]:
+            print(f"CHECK FAILED: worker-crash probe {crash}",
+                  file=sys.stderr)
+            failed = True
+        if failed:
+            return 1
+        print(f"check passed: {at4['speedup']:.2f}x at 4 workers on "
+              f"{outcome['cores']} core(s), crash probe contained")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,11 +25,13 @@ from ..exo.exoskeleton import Exoskeleton
 from ..fabric.device import GmaFabricDevice, Ia32FabricDevice
 from ..fabric.queue import AdmissionPolicy, DeviceWorkQueue
 from ..fabric.registry import DeviceRegistry
+from ..fabric.workers import ProcessGmaFabricDevice, ProcessWorkerPool
 from ..gma.device import GmaDevice
 from ..gma.timing import GmaTimingConfig
 from ..memory.address_space import AddressSpace
 from ..memory.bandwidth import BandwidthModel
 from ..memory.cache import CoherencePoint
+from ..memory.physical import PhysicalMemory
 
 
 class HostAccessor:
@@ -77,6 +79,17 @@ class ExoPlatform:
     ``gma_engine`` selects the execution engine every GMA instance uses
     (``"scalar"``, ``"gang"`` or ``"fused"``, see :mod:`repro.gma.gang`
     and :mod:`repro.gma.fusion`).
+
+    ``fabric_workers=N`` moves the GMA devices out of process: physical
+    memory is rebuilt over a shared-memory segment, a
+    :class:`~repro.fabric.workers.ProcessWorkerPool` of N child processes
+    attaches it, and each ``gma{i}`` registers as a
+    :class:`~repro.fabric.workers.ProcessGmaFabricDevice` placed
+    round-robin on the pool — the scale-out configuration where N
+    devices drain genuinely concurrently.  :attr:`device` stays a local
+    in-process GMA (unregistered) so single-device call sites keep
+    working.  Call :meth:`close` (or use the platform as a context
+    manager) to reap the workers and the segment.
     """
 
     def __init__(self,
@@ -91,7 +104,8 @@ class ExoPlatform:
                  queue_depth: Optional[int] = None,
                  admission_policy=AdmissionPolicy.RAISE,
                  atr_shared_cache: bool = True,
-                 gma_engine: str = "scalar"):
+                 gma_engine: str = "scalar",
+                 fabric_workers: int = 0):
         if num_gma_devices < 1:
             raise SchedulingError(
                 f"need at least one GMA device, got {num_gma_devices}")
@@ -99,6 +113,17 @@ class ExoPlatform:
         cpu_config = cpu_config if cpu_config is not None else CpuTimingConfig()
         self.shared_virtual_memory = shared_virtual_memory
         self.coherent = coherent
+        self.fabric_pool: Optional[ProcessWorkerPool] = None
+        self._owns_physical = False
+        if fabric_workers:
+            if space is None:
+                self._owns_physical = True
+                space = AddressSpace(
+                    physical=PhysicalMemory(backing="shared"))
+            # the pool validates that the backing is actually shared
+            self.fabric_pool = ProcessWorkerPool(
+                space.physical, fabric_workers, gma_config=gma_config,
+                engine=gma_engine)
         self.space = space or AddressSpace()
         self.coherence = CoherencePoint(coherent=coherent,
                                         strict=strict_coherence)
@@ -110,18 +135,37 @@ class ExoPlatform:
 
         policy = AdmissionPolicy.coerce(admission_policy)
         self.fabric = DeviceRegistry()
-        for i in range(num_gma_devices):
-            gma = GmaDevice(self.space, exoskeleton=self.exoskeleton,
-                            config=gma_config, coherence=self.coherence,
-                            engine=gma_engine)
-            self.fabric.register(GmaFabricDevice(
-                f"gma{i}", gma, queue=self._make_queue(f"gma{i}",
-                                                       queue_depth, policy)))
+        if self.fabric_pool is not None:
+            self.fabric_pool.adopt_space(self.space)
+            for i in range(num_gma_devices):
+                self.fabric.register(ProcessGmaFabricDevice(
+                    f"gma{i}", self.fabric_pool.worker_for(i), self.space,
+                    gma_config,
+                    queue=self._make_queue(f"gma{i}", queue_depth, policy)))
+        else:
+            for i in range(num_gma_devices):
+                gma = GmaDevice(self.space, exoskeleton=self.exoskeleton,
+                                config=gma_config, coherence=self.coherence,
+                                engine=gma_engine)
+                self.fabric.register(GmaFabricDevice(
+                    f"gma{i}", gma,
+                    queue=self._make_queue(f"gma{i}", queue_depth, policy)))
         self.fabric.register(Ia32FabricDevice(
             "ia32", self.cpu, queue=self._make_queue("ia32", queue_depth,
                                                      policy)))
-        #: The primary accelerator, kept for single-device call sites.
-        self.device = self.fabric.get("gma0").gma
+        if self.fabric_pool is not None:
+            #: In worker mode the registered devices are out-of-process
+            #: proxies; keep one *local* (unregistered) GMA so host-side
+            #: single-device call sites — debugger, examples, timing
+            #: helpers — keep working against the same space.
+            self.device = GmaDevice(self.space,
+                                    exoskeleton=self.exoskeleton,
+                                    config=gma_config,
+                                    coherence=self.coherence,
+                                    engine=gma_engine)
+        else:
+            #: The primary accelerator, kept for single-device call sites.
+            self.device = self.fabric.get("gma0").gma
 
     @staticmethod
     def _make_queue(name: str, depth: Optional[int],
@@ -151,3 +195,23 @@ class ExoPlatform:
 
     def cpu_seconds(self, cycles: float) -> float:
         return self.cpu.config.seconds(cycles)
+
+    # -- worker-pool lifecycle ---------------------------------------------
+
+    def close(self) -> None:
+        """Reap fabric worker processes and the shared-memory segment.
+
+        Idempotent, and a no-op for the default in-process platform.
+        """
+        if self.fabric_pool is not None:
+            self.fabric_pool.close()
+            self.fabric_pool = None
+        if self._owns_physical:
+            self._owns_physical = False
+            self.space.physical.close()
+
+    def __enter__(self) -> "ExoPlatform":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -348,7 +348,8 @@ class ChiRuntime:
 
         atr_before = self._atr_counters(devices)
         if len(devices) == 1:
-            reports = drain_devices([(devices[0], shreds)])
+            reports = drain_devices([(devices[0], shreds)],
+                                    parallel=self._drain_parallel())
             result = reports[0].merged_result()
         else:
             reports = self._dispatch_fabric(shreds, devices)
@@ -438,7 +439,13 @@ class ChiRuntime:
                       for shred in item.payload])
             for device in devices
         ]
-        return drain_devices(assignments, parallel=self.parallel_fabric)
+        return drain_devices(assignments, parallel=self._drain_parallel())
+
+    def _drain_parallel(self):
+        """Drain mode for this platform: process workers trump threads."""
+        if getattr(self.platform, "fabric_pool", None) is not None:
+            return "process"
+        return self.parallel_fabric
 
     def _data_copy_seconds(self, shreds: List[ShredDescriptor]) -> float:
         """Explicit copies for the no-shared-virtual-memory configuration:
@@ -565,6 +572,8 @@ class RuntimeStats:
     #: thread; this records what actually ran).
     drains_serial: int = 0
     drains_parallel: int = 0
+    #: Regions drained on out-of-process fabric workers.
+    drains_process: int = 0
     #: Serving-layer accounting (populated by
     #: :meth:`note_serving` when a :class:`~repro.serving.ExoServer`
     #: fronts the runtime): sessions opened, launches through the
@@ -576,7 +585,9 @@ class RuntimeStats:
     coalesced_lanes: int = 0
 
     def note_drain(self, mode: str) -> None:
-        if mode == "parallel":
+        if mode == "process":
+            self.drains_process += 1
+        elif mode == "parallel":
             self.drains_parallel += 1
         elif mode == "serial":
             self.drains_serial += 1

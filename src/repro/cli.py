@@ -90,6 +90,12 @@ def chirun(argv=None) -> int:
     parser_.add_argument("--parallel-fabric", action="store_true",
                          help="drain multi-device regions on host worker "
                               "threads (same results, less wall-clock)")
+    parser_.add_argument("--fabric-workers", type=int, default=0,
+                         metavar="N",
+                         help="host the GMA devices on N worker processes "
+                              "over shared-memory physical frames; drains "
+                              "run genuinely concurrently (no shared GIL). "
+                              "0 = in-process devices (default)")
     parser_.add_argument("--serve", action="store_true",
                          help="instead of running an image, start the "
                               "multi-tenant serving demo: two tenants "
@@ -101,7 +107,8 @@ def chirun(argv=None) -> int:
         try:
             server = run_serving_demo(
                 devices=max(args.gma_devices, 1),
-                engine=args.engine if args.engine != "scalar" else "gang")
+                engine=args.engine if args.engine != "scalar" else "gang",
+                fabric_workers=args.fabric_workers)
         except ReproError as exc:
             print(f"chirun: {exc}", file=sys.stderr)
             return 1
@@ -118,9 +125,11 @@ def chirun(argv=None) -> int:
         return 0
     if args.image is None:
         parser_.error("an image is required unless --serve is given")
+    platform = None
     try:
         platform = ExoPlatform(num_gma_devices=args.gma_devices,
-                               gma_engine=args.engine)
+                               gma_engine=args.engine,
+                               fabric_workers=args.fabric_workers)
         runtime = ChiRuntime(platform,
                              parallel_fabric=args.parallel_fabric)
         program = _load(args.image)
@@ -128,6 +137,9 @@ def chirun(argv=None) -> int:
     except ReproError as exc:
         print(f"chirun: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if platform is not None:
+            platform.close()
     sys.stdout.write(result.output)
     if args.stats:
         stats = result.runtime.stats

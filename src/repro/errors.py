@@ -75,6 +75,12 @@ class TlbMiss(MemorySystemError):
         self.vaddrs = tuple(vaddrs) if vaddrs else (vaddr,)
         super().__init__(f"TLB miss at vaddr {vaddr:#x} on sequencer {sequencer}")
 
+    def __reduce__(self):
+        # default exception pickling would re-call __init__ with the
+        # formatted message as ``vaddr``; rebuild from the real fields so
+        # the fault survives a worker-pipe crossing intact
+        return (type(self), (self.vaddr, self.sequencer, self.vaddrs))
+
 
 class TranslationFault(MemorySystemError):
     """The page tables have no mapping for the accessed virtual address."""
@@ -84,6 +90,9 @@ class TranslationFault(MemorySystemError):
         self.write = write
         kind = "write" if write else "read"
         super().__init__(f"page fault ({kind}) at vaddr {vaddr:#x}")
+
+    def __reduce__(self):
+        return (type(self), (self.vaddr, self.write))
 
 
 class CoherenceViolation(MemorySystemError):
@@ -104,6 +113,9 @@ class ProtectionFault(MemorySystemError):
         self.write = write
         kind = "write" if write else "read"
         super().__init__(f"protection fault ({kind}) at vaddr {vaddr:#x}")
+
+    def __reduce__(self):
+        return (type(self), (self.vaddr, self.write))
 
 
 # ---------------------------------------------------------------------------
@@ -162,6 +174,15 @@ class SchedulingError(ChiError):
     """The CHI runtime could not schedule or dispatch shreds."""
 
 
+class FabricError(SchedulingError):
+    """A fabric worker process failed: it died mid-drain, broke the pipe
+    protocol, or could not be set up (e.g. no shared-memory backing).
+
+    Raised on the *parent* side so a crashed worker surfaces as a clean
+    error on the launch that needed it, never as a hang on a dead pipe.
+    """
+
+
 class PragmaError(ChiError):
     """An OpenMP pragma extension is malformed or uses unknown clauses."""
 
@@ -193,6 +214,9 @@ class AdmissionRejected(ServingError):
     def __init__(self, message: str, retry_after: float = 0.0):
         self.retry_after = retry_after
         super().__init__(message)
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.retry_after))
 
 
 class SessionClosed(ServingError):

@@ -128,6 +128,19 @@ class SharedTranslationCache:
         else:
             self._entries.pop(vpn, None)
 
+    def invalidate_many(self, vpns: Iterable[int]) -> int:
+        """Drop every listed VPN; returns how many were actually cached.
+
+        One shootdown broadcast (local or forwarded over a worker pipe)
+        can cover a whole surface, so bulk invalidation is the common
+        case — and the returned count is what coherence tests assert on.
+        """
+        dropped = 0
+        for vpn in vpns:
+            if self._entries.pop(vpn, None) is not None:
+                dropped += 1
+        return dropped
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -154,8 +167,7 @@ class AtrService:
         self.stats.shootdowns += 1
         self.stats.shootdown_pages += len(vpns)
         if self.shared_cache is not None:
-            for vpn in vpns:
-                self.shared_cache.invalidate(vpn)
+            self.shared_cache.invalidate_many(vpns)
 
     # -- miss service ------------------------------------------------------------
 

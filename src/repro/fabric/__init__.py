@@ -35,6 +35,12 @@ from .dispatcher import (
 )
 from .queue import AdmissionPolicy, DeviceWorkQueue, QueueStats
 from .registry import DeviceRegistry
+from .workers import (
+    ProcessDeviceWorker,
+    ProcessGmaFabricDevice,
+    ProcessWorkerPool,
+    WorkerConfig,
+)
 
 __all__ = [
     "AdmissionPolicy",
@@ -47,9 +53,13 @@ __all__ = [
     "GmaFabricDevice",
     "GpgpuFabricDevice",
     "Ia32FabricDevice",
+    "ProcessDeviceWorker",
+    "ProcessGmaFabricDevice",
+    "ProcessWorkerPool",
     "QueueStats",
     "WorkItem",
     "WorkStealingDispatcher",
+    "WorkerConfig",
     "dependency_groups",
     "work_stealing_partition",
 ]

@@ -36,6 +36,23 @@ from .queue import DeviceWorkQueue
 _EST_CYCLES_PER_INSTRUCTION = 4.0
 
 
+def estimate_gma_seconds(config: GmaTimingConfig,
+                         shreds: Sequence[ShredDescriptor]) -> float:
+    """Pre-execution cost estimate for a GMA batch.
+
+    Shared by the in-process and worker-process device fronts so dispatch
+    balancing is identical regardless of where the device lives.
+    """
+    instructions = sum(len(s.program.instructions) for s in shreds)
+    compute = (instructions * _EST_CYCLES_PER_INSTRUCTION
+               / config.num_sequencers)
+    surfaces = {id(s): s for shred in shreds
+                for s in shred.surfaces.values()}
+    traffic = sum(s.nbytes for s in surfaces.values())
+    bandwidth = traffic / config.mem_bytes_per_cycle
+    return config.seconds(max(compute, bandwidth))
+
+
 @dataclass
 class DeviceRunReport:
     """What one device did with one admitted batch."""
@@ -52,10 +69,13 @@ class DeviceRunReport:
     #: :func:`~repro.fabric.dispatcher.drain_devices`; 0.0 when the batch
     #: ran outside it).  Distinct from ``seconds``, which is simulated.
     wall_seconds: float = 0.0
-    #: ``"serial"`` or ``"parallel"`` — how
+    #: ``"serial"``, ``"parallel"`` or ``"process"`` — how
     #: :func:`~repro.fabric.dispatcher.drain_devices` ran this drain
     #: (empty when the batch ran outside it).
     drain_mode: str = ""
+    #: Fabric worker process that drained the batch (empty for in-process
+    #: devices); lets traces group rows per worker.
+    worker: str = ""
 
     def merged_result(self) -> GmaRunResult:
         """One :class:`~repro.gma.firmware.GmaRunResult` for the batch.
@@ -258,15 +278,7 @@ class GmaFabricDevice(FabricDevice):
         return self.gma.config
 
     def estimate_seconds(self, shreds: Sequence[ShredDescriptor]) -> float:
-        config = self.gma.config
-        instructions = sum(len(s.program.instructions) for s in shreds)
-        compute = (instructions * _EST_CYCLES_PER_INSTRUCTION
-                   / config.num_sequencers)
-        surfaces = {id(s): s for shred in shreds
-                    for s in shred.surfaces.values()}
-        traffic = sum(s.nbytes for s in surfaces.values())
-        bandwidth = traffic / config.mem_bytes_per_cycle
-        return config.seconds(max(compute, bandwidth))
+        return estimate_gma_seconds(self.gma.config, shreds)
 
     def run_shreds(self, shreds: Sequence[ShredDescriptor]) -> DeviceRunReport:
         batches = self.queue.admit(shreds)

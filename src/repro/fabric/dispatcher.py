@@ -263,19 +263,33 @@ def drain_devices(assignments, parallel=False):
     hit/miss deltas are also approximate under a threaded drain (the
     cache and its counters are process wide); fleet totals stay exact.
 
+    Pass ``parallel="process"`` when the devices are
+    :class:`~repro.fabric.workers.ProcessGmaFabricDevice` proxies: each
+    host thread just blocks on its worker's pipe while the *child
+    process* drains, so the GIL never serializes the actual execution
+    and the size threshold does not apply.  ``drain_mode`` reports
+    ``"process"``.
+
     Every report's ``wall_seconds`` records the host wall-clock the drain
     spent inside ``run_shreds`` (useful next to the simulated ``seconds``
     in the fabric Chrome trace), and ``drain_mode`` records whether this
-    drain ran ``"parallel"`` or ``"serial"``.  Empty assignments are
-    skipped; report order always matches assignment order.
+    drain ran ``"process"``, ``"parallel"`` or ``"serial"``.  Empty
+    assignments are skipped; report order always matches assignment
+    order.
     """
     pairs = [(device, list(shreds)) for device, shreds in assignments
              if shreds]
-    threaded = bool(parallel) and len(pairs) > 1 and (
-        parallel == "force"
-        or min(len(shreds) for _, shreds in pairs)
-        >= PARALLEL_DRAIN_MIN_SHREDS)
-    mode = "parallel" if threaded else "serial"
+    if parallel == "process":
+        # Threads only wait on pipes; the compute happens in worker
+        # processes, so even one assignment gains nothing from gating.
+        threaded = len(pairs) > 1
+        mode = "process"
+    else:
+        threaded = bool(parallel) and len(pairs) > 1 and (
+            parallel == "force"
+            or min(len(shreds) for _, shreds in pairs)
+            >= PARALLEL_DRAIN_MIN_SHREDS)
+        mode = "parallel" if threaded else "serial"
 
     def _run(pair):
         device, shreds = pair

@@ -14,13 +14,20 @@ is the entire reason ATR exists).
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..errors import MemorySystemError, TlbMiss, TranslationFault
 from .gtt import gtt_pfn, gtt_pfn_array, gtt_valid, gtt_valid_array
-from .paging import IA32PageTable, PTE_CACHE_DISABLE, PTE_PRESENT, pte_pfn
+from .paging import (
+    IA32PageTable,
+    PTE_CACHE_DISABLE,
+    PTE_PRESENT,
+    PTE_WRITABLE,
+    pte_pfn,
+)
 from .physical import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory
 from .tlb import Tlb
 
@@ -43,6 +50,10 @@ class AddressSpace:
         #: whenever a translation this space owns goes away or weakens.
         self._views: List["SequencerView"] = []
         self._shootdown_listeners: List[Callable] = []
+        # Several drain threads can demand-fault concurrently (serving
+        # slots, fault proxies for worker processes); frame grab + PTE
+        # install must be one atomic step or two threads double-map.
+        self._fault_lock = threading.Lock()
         self.shootdowns = 0  # invalidation broadcasts issued
         #: One record per broadcast, consumed by
         #: :func:`repro.perf.trace.shootdown_trace_events`.
@@ -171,11 +182,57 @@ class AddressSpace:
         path.
         """
         vpn = vaddr >> PAGE_SHIFT
-        if self.page_table.entry(vpn):
-            return  # raced: already mapped
-        pfn = self.physical.alloc_frame()
-        self.page_table.map(vpn, pfn, writable=True)
-        self.faults_serviced += 1
+        with self._fault_lock:
+            if self.page_table.entry(vpn):
+                return  # raced: already mapped
+            pfn = self.physical.alloc_frame()
+            self.page_table.map(vpn, pfn, writable=True)
+            self.faults_serviced += 1
+
+    # -- cross-process mirroring -------------------------------------------------
+
+    def pte_snapshot(self, vpns: Sequence[int]) -> Dict[int, int]:
+        """The raw present PTEs for ``vpns`` — what ships to a worker
+        process so its mirror page table can translate without a fault
+        round trip per page."""
+        out: Dict[int, int] = {}
+        for vpn in vpns:
+            pte = self.page_table.entry(vpn)
+            if pte & PTE_PRESENT:
+                out[vpn] = pte
+        return out
+
+    def install_pte(self, vpn: int, pte: int) -> None:
+        """Install a raw PTE received from the authoritative space.
+
+        The mirror side of cross-process paging: the parent resolves the
+        fault against the real allocator, then the worker installs the
+        resulting entry verbatim (same frame — the frames are shared
+        memory, so identical PFNs address identical bytes).
+        """
+        if not pte & PTE_PRESENT:
+            raise MemorySystemError(
+                f"cannot install non-present PTE for vpn {vpn:#x}")
+        self.page_table.map(
+            vpn, pte_pfn(pte),
+            writable=bool(pte & PTE_WRITABLE),
+            cache_disable=bool(pte & PTE_CACHE_DISABLE))
+
+    def invalidate_mappings(self, vpns: Sequence[int],
+                            reason: str = "remote") -> int:
+        """Receiver side of a cross-process shootdown: drop the mirror's
+        PTEs for ``vpns`` *without freeing frames* (the owner already did)
+        and rebroadcast to locally registered views and listeners, so the
+        worker's TLBs, GTT mirrors and vector snapshots all invalidate.
+        Returns the number of PTEs dropped.
+        """
+        dropped = 0
+        for vpn in vpns:
+            if self.page_table.entry(vpn) & PTE_PRESENT:
+                self.page_table.unmap(vpn)
+                dropped += 1
+        self._shootdown(list(vpns), reason)
+        return dropped
 
     # -- translation ------------------------------------------------------------
 

@@ -1,10 +1,26 @@
-"""Physical memory: a flat frame-granular byte store with an allocator."""
+"""Physical memory: a flat frame-granular byte store with an allocator.
+
+Two backings are supported:
+
+* ``"local"`` (default) — a private numpy array, the single-process
+  configuration every earlier layer was built on;
+* ``"shared"`` — the same byte store over a
+  :class:`multiprocessing.shared_memory.SharedMemory` segment, so fabric
+  worker *processes* can attach the identical frames.  The creating
+  process owns the segment (``close()`` unlinks it); workers attach with
+  :meth:`PhysicalMemory.attach` and only detach on close.  The frame
+  *allocator* stays parent-side authoritative: children never call
+  ``alloc_frame``/``free_frame`` — their demand faults are proxied back
+  to the owner over the worker pipe (see :mod:`repro.fabric.workers`).
+"""
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
-from ..errors import OutOfPhysicalMemory
+from ..errors import MemorySystemError, OutOfPhysicalMemory
 
 #: Page/frame size in bytes (IA32 4 KiB pages).
 PAGE_SIZE = 4096
@@ -19,33 +35,122 @@ class PhysicalMemory:
     shared *virtual* address space of EXO yield shared *physical* data.
     """
 
-    def __init__(self, size: int = 256 * 1024 * 1024):
+    def __init__(self, size: int = 256 * 1024 * 1024,
+                 backing: str = "local", name: str | None = None):
         if size % PAGE_SIZE:
             raise ValueError(f"physical size must be a multiple of {PAGE_SIZE}")
         self.size = size
         self.num_frames = size // PAGE_SIZE
-        self._data = np.zeros(size, dtype=np.uint8)
+        self.backing = backing
+        self._shm = None
+        self._owns_shm = False
+        if backing == "local":
+            self._data = np.zeros(size, dtype=np.uint8)
+        elif backing == "shared":
+            from multiprocessing import shared_memory
+
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=size, name=name)
+            self._owns_shm = True
+            self._data = np.ndarray((size,), dtype=np.uint8,
+                                    buffer=self._shm.buf)
+            self._data[:] = 0
+        else:
+            raise ValueError(
+                f"unknown physical backing {backing!r} "
+                f"(choose 'local' or 'shared')")
         self._next_frame = 0
         self._free_frames: list = []
+        # Serving drains and fault proxies can allocate from several host
+        # threads at once; the allocator's free-list push/pop must not race.
+        self._alloc_lock = threading.Lock()
+
+    @classmethod
+    def attach(cls, name: str, size: int) -> "PhysicalMemory":
+        """Attach to an existing shared segment created by another process.
+
+        The attached instance never unlinks the segment — lifetime belongs
+        to the creator.  Its frame allocator starts empty and must not be
+        used: frames are owned by the creating process's allocator.
+        """
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name, create=False)
+        if shm.size < size:
+            shm.close()
+            raise MemorySystemError(
+                f"shared segment {name!r} is {shm.size} bytes, "
+                f"need {size}")
+        self = cls.__new__(cls)
+        self.size = size
+        self.num_frames = size // PAGE_SIZE
+        self.backing = "shared"
+        self._shm = shm
+        self._owns_shm = False
+        self._data = np.ndarray((size,), dtype=np.uint8, buffer=shm.buf)
+        self._next_frame = 0
+        self._free_frames = []
+        self._alloc_lock = threading.Lock()
+        return self
+
+    @property
+    def shm_name(self) -> str | None:
+        """The shared segment's name (``None`` for local backing)."""
+        return self._shm.name if self._shm is not None else None
+
+    def close(self) -> None:
+        """Detach from the shared segment (and unlink it if we created it).
+
+        Idempotent; a no-op for local backing.  After close the byte store
+        is unusable — every view into the segment is released first so the
+        mapping can actually be torn down.
+        """
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        self._data = np.zeros(0, dtype=np.uint8)
+        shm.close()
+        if self._owns_shm:
+            self._owns_shm = False
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def unlink(self) -> None:
+        """Force-remove the shared segment from the system.
+
+        Normally :meth:`close` on the owner does this; ``unlink`` exists
+        for cleanup paths that must reap a segment whose owner died.
+        """
+        if self._shm is None:
+            return
+        self._owns_shm = False  # close() must not double-unlink
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
 
     # -- frame allocation -----------------------------------------------------
 
     def alloc_frame(self) -> int:
         """Allocate one frame; returns the physical frame number (PFN)."""
-        if self._free_frames:
-            return self._free_frames.pop()
-        if self._next_frame >= self.num_frames:
-            raise OutOfPhysicalMemory(
-                f"all {self.num_frames} physical frames are in use")
-        pfn = self._next_frame
-        self._next_frame += 1
-        return pfn
+        with self._alloc_lock:
+            if self._free_frames:
+                return self._free_frames.pop()
+            if self._next_frame >= self.num_frames:
+                raise OutOfPhysicalMemory(
+                    f"all {self.num_frames} physical frames are in use")
+            pfn = self._next_frame
+            self._next_frame += 1
+            return pfn
 
     def free_frame(self, pfn: int) -> None:
         if not 0 <= pfn < self.num_frames:
             raise ValueError(f"PFN {pfn} out of range")
         self._data[pfn * PAGE_SIZE : (pfn + 1) * PAGE_SIZE] = 0
-        self._free_frames.append(pfn)
+        with self._alloc_lock:
+            self._free_frames.append(pfn)
 
     @property
     def frames_in_use(self) -> int:

@@ -88,7 +88,15 @@ def fabric_chrome_trace_events(reports: Sequence,
     """
     events: List[dict] = []
     for pid, report in enumerate(reports):
-        args = {"name": f"{report.device} ({report.isa})"}
+        worker = getattr(report, "worker", "")
+        row = f"{report.device} ({report.isa})"
+        if worker:
+            # out-of-process drain: name the row after the hosting worker
+            # so per-worker concurrency is visible at a glance
+            row = f"{report.device} ({report.isa}) @ {worker}"
+        args = {"name": row}
+        if worker:
+            args["worker"] = worker
         if device_atr and report.device in device_atr:
             args["atr"] = dict(device_atr[report.device])
         wall = getattr(report, "wall_seconds", 0.0)
@@ -218,9 +226,13 @@ def serving_trace_events(server, pid: int = SERVING_PID) -> List[dict]:
     rows = {}
     for slot in server.slots:
         rows[slot.name] = pid + len(rows)
+        # slot.engine, not slot.gma.engine: remote slots have gma=None
+        name = f"serving {slot.name} ({slot.engine})"
+        if getattr(slot, "worker", None) is not None:
+            name += f" @ {slot.worker.name}"
         events.append({
             "ph": "M", "name": "process_name", "pid": rows[slot.name],
-            "args": {"name": f"serving {slot.name} ({slot.gma.engine})"},
+            "args": {"name": name},
         })
     gangs = lanes = 0
     for seq, entry in enumerate(server.trace_log):

@@ -21,10 +21,15 @@ starving bursty tenants.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..fabric.queue import AdmissionPolicy
+
+#: Floor for :meth:`AdmissionController.retry_after` before any batch has
+#: been observed — a nominal 1 ms, never multiplied into the estimate.
+UNSEEDED_RETRY_AFTER = 1e-3
 
 
 class AdmissionController:
@@ -38,8 +43,20 @@ class AdmissionController:
         self._queues: Dict[str, deque] = {}
         self._vtime: Dict[str, float] = {}
         self._vnow = 0.0
-        # EWMA of per-request service wall-clock, for retry_after
-        self._service_ewma = 0.0
+        # Min-heap of (vtime, session) candidates for pick(); stale
+        # entries (vtime no longer current, or queue drained) are lazily
+        # discarded.  Invariant: every backlogged session has exactly one
+        # *current* entry — pushed when it goes from empty to backlogged
+        # and re-pushed after each pop_batch that leaves a backlog.
+        self._heap: List[Tuple[float, str]] = []
+        # Service-time model for retry_after, charged per dispatched
+        # *batch*: wall-clock per batch and requests per batch.  Dividing
+        # wall by the request count instead (the old model) collapsed the
+        # estimate under coalescing — an 8-way gang costs one drain, not
+        # an 8x-cheaper drain per rider.
+        self._batch_ewma = 0.0
+        self._width_ewma = 1.0
+        self._seeded = False
 
     # -- admission ----------------------------------------------------------
 
@@ -55,20 +72,31 @@ class AdmissionController:
     def retry_after(self, slots: int) -> float:
         """How long an overflowing client should back off (seconds).
 
-        The EWMA of recent per-request service time, scaled by the queue
-        the retry would sit behind, spread over the device slots.
+        The backlog the retry would sit behind, expressed in *batches*
+        (pending requests over the observed coalescing width), times the
+        EWMA wall-clock of one dispatched batch, spread over the device
+        slots.  Coalescing-aware: eight requests that ride one gang cost
+        one drain, and the estimate says so.
         """
-        per_request = self._service_ewma or 1e-3
-        return per_request * (self.pending + 1) / max(slots, 1)
+        if not self._seeded:
+            return UNSEEDED_RETRY_AFTER
+        batches_ahead = max(
+            (self.pending + 1) / max(self._width_ewma, 1.0), 1.0)
+        return max(self._batch_ewma * batches_ahead / max(slots, 1),
+                   UNSEEDED_RETRY_AFTER)
 
     def note_service(self, requests: int, wall: float) -> None:
+        """Charge one dispatched batch: ``requests`` rode a drain that
+        took ``wall`` host seconds (the whole batch, not per request)."""
         if requests <= 0:
             return
-        sample = wall / requests
-        if self._service_ewma == 0.0:
-            self._service_ewma = sample
+        if not self._seeded:
+            self._batch_ewma = wall
+            self._width_ewma = float(requests)
+            self._seeded = True
         else:
-            self._service_ewma += 0.25 * (sample - self._service_ewma)
+            self._batch_ewma += 0.25 * (wall - self._batch_ewma)
+            self._width_ewma += 0.25 * (requests - self._width_ewma)
 
     # -- queueing -----------------------------------------------------------
 
@@ -80,19 +108,25 @@ class AdmissionController:
         if not queue:
             # an idle session rejoins at the global clock: no banked credit
             self._vtime[name] = max(self._vtime.get(name, 0.0), self._vnow)
+            heapq.heappush(self._heap, (self._vtime[name], name))
         queue.append(request)
         self.pending += 1
 
     def pick(self) -> Optional[str]:
-        """The backlogged session with the lowest virtual time."""
-        best = None
-        for name, queue in self._queues.items():
-            if not queue:
+        """The backlogged session with the lowest ``(vtime, name)``.
+
+        O(log sessions) against the candidate heap instead of a linear
+        scan over every session ever seen; the ordering — ties broken by
+        session name — is exactly the scan's ``min``.
+        """
+        while self._heap:
+            vt, name = self._heap[0]
+            queue = self._queues.get(name)
+            if not queue or self._vtime.get(name, 0.0) != vt:
+                heapq.heappop(self._heap)  # drained or superseded
                 continue
-            vt = self._vtime.get(name, 0.0)
-            if best is None or (vt, name) < best:
-                best = (vt, name)
-        return best[1] if best else None
+            return name
+        return None
 
     def pop_batch(self, name: str, window: int,
                   coalescable=None) -> List:
@@ -122,6 +156,9 @@ class AdmissionController:
         self.pending -= len(batch)
         weight = max(head.session.quotas.weight, 1e-9)
         self._vtime[name] = self._vtime.get(name, 0.0) + lanes / weight
+        if queue:
+            # still backlogged: re-enter the pick heap at the new vtime
+            heapq.heappush(self._heap, (self._vtime[name], name))
         active = [self._vtime[n] for n, q in self._queues.items() if q]
         self._vnow = min(active) if active else self._vtime[name]
         return batch

@@ -57,23 +57,47 @@ def demux(requests: Sequence, merged: GmaRunResult) -> Dict[int, List]:
     Returns ``{request.ident: [ShredRun, ...]}`` in the merged result's
     retirement order.  Shreds spawned on-device attribute to the request
     that owns their ancestor (``parent_id`` chains upward).
+
+    Attribution is resolved against the *complete* run list, not in
+    retirement order: under a gang drain a spawned child can retire
+    before its parent (children queue behind the whole gang, but a
+    multi-sub-batch drain or nested spawns interleave generations), so a
+    single forward walk that assumes parent-before-child misattributes
+    or outright fails on exactly the coalesced nested-spawn batches the
+    coalescer exists for.
     """
+    # pass 1: every shred that ran, by id -> its parent (None for roots)
+    parent: Dict[int, object] = {}
+    for run in merged.runs:
+        parent[run.shred.shred_id] = run.shred.parent_id
     owner: Dict[int, int] = {}
     for request in requests:
         for shred in request.shreds:
             owner[shred.shred_id] = request.ident
+
+    def resolve(shred_id: int) -> int:
+        ident = owner.get(shred_id)
+        if ident is not None:
+            return ident
+        chain = []
+        node = shred_id
+        while node is not None and node not in owner:
+            if node in chain:
+                raise ServingError(
+                    f"parent_id cycle at shred {node} while attributing "
+                    f"shred {shred_id}")
+            chain.append(node)
+            node = parent.get(node)
+        if node is None:
+            raise ServingError(
+                f"cannot attribute shred {shred_id} to a request")
+        ident = owner[node]
+        for walked in chain:  # memoize the whole chain
+            owner[walked] = ident
+        return ident
+
+    # pass 2: attribute every run, preserving retirement order
     out: Dict[int, List] = {request.ident: [] for request in requests}
     for run in merged.runs:
-        shred = run.shred
-        ident = owner.get(shred.shred_id)
-        if ident is None and shred.parent_id is not None:
-            # a spawned child: its parent retired earlier in queue order,
-            # so the parent's owner is already registered (and so on for
-            # grandchildren, since we register every run as we walk)
-            ident = owner.get(shred.parent_id)
-        if ident is None:
-            raise ServingError(
-                f"cannot attribute shred {shred.shred_id} to a request")
-        owner[shred.shred_id] = ident
-        out[ident].append(run)
+        out[resolve(run.shred.shred_id)].append(run)
     return out

@@ -44,10 +44,12 @@ async def _client(server: ExoServer, session, kernels: List[str],
 
 async def serve_demo(tenants: Optional[Dict] = None, requests: int = 6,
                      devices: int = 2, engine: str = "gang",
-                     verify: bool = True) -> ExoServer:
+                     verify: bool = True,
+                     fabric_workers: int = 0) -> ExoServer:
     """Run the demo trace; returns the stopped server for inspection."""
     tenants = tenants or DEFAULT_TENANTS
-    async with ExoServer(num_devices=devices, engine=engine) as server:
+    async with ExoServer(num_devices=devices, engine=engine,
+                         fabric_workers=fabric_workers) as server:
         sessions = {
             name: server.open_session(
                 name, SessionQuotas(weight=weight, max_inflight=requests,
@@ -66,10 +68,11 @@ async def serve_demo(tenants: Optional[Dict] = None, requests: int = 6,
 
 def run_serving_demo(requests: int = 6, devices: int = 2,
                      engine: str = "gang", verify: bool = True,
-                     out=print) -> ExoServer:
+                     out=print, fabric_workers: int = 0) -> ExoServer:
     """Synchronous wrapper: run the demo and print a report."""
     server = asyncio.run(serve_demo(requests=requests, devices=devices,
-                                    engine=engine, verify=verify))
+                                    engine=engine, verify=verify,
+                                    fabric_workers=fabric_workers))
     stats = server.stats
     out("serving demo: "
         f"{stats.sessions_opened} sessions, "

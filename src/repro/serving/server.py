@@ -33,6 +33,7 @@ from ..errors import AdmissionRejected, ServingError
 from ..exo.shred import ShredDescriptor
 from ..fabric.device import DeviceRunReport
 from ..fabric.queue import AdmissionPolicy, DeviceWorkQueue
+from ..fabric.workers import ProcessDeviceWorker, ProcessWorkerPool
 from ..gma.device import GmaDevice
 from ..gma.timing import GmaTimingConfig
 from ..memory.address_space import AddressSpace
@@ -95,12 +96,27 @@ class ServingStats:
 
 
 class DeviceSlot:
-    """One GMA device plus its admission queue and busy flag."""
+    """One GMA device plus its admission queue and busy flag.
 
-    def __init__(self, name: str, gma: GmaDevice, queue: DeviceWorkQueue):
+    A slot is either *local* (``gma`` is a live in-process device) or
+    *remote* (``gma`` is ``None`` and ``worker`` is the
+    :class:`~repro.fabric.workers.ProcessDeviceWorker` hosting the
+    device); ``engine`` and ``config`` are carried explicitly so traces
+    and drains never need to reach through a device that may not be in
+    this process.
+    """
+
+    def __init__(self, name: str, gma: Optional[GmaDevice],
+                 queue: DeviceWorkQueue,
+                 worker: Optional[ProcessDeviceWorker] = None,
+                 engine: str = "gang",
+                 config: Optional[GmaTimingConfig] = None):
         self.name = name
         self.gma = gma
         self.queue = queue
+        self.worker = worker
+        self.engine = gma.engine if gma is not None else engine
+        self.config = gma.config if gma is not None else config
         self.busy = False
 
 
@@ -112,7 +128,18 @@ class ExoServer:
                  admission_policy=AdmissionPolicy.BLOCK,
                  max_pending: int = 256, coalesce_window: int = 32,
                  gma_config: Optional[GmaTimingConfig] = None,
-                 physical: Optional[PhysicalMemory] = None):
+                 physical: Optional[PhysicalMemory] = None,
+                 fabric_workers: int = 0):
+        """``fabric_workers=N`` places the device slots on N child
+        processes over shared-memory physical frames (round-robin), so
+        concurrent tenant drains stop contending on the GIL.  The server
+        then owns worker lifetime: :meth:`stop` reaps the pool and the
+        segment, and the server cannot be started again afterwards."""
+        self.fabric_pool: Optional[ProcessWorkerPool] = None
+        self._owns_physical = False
+        if fabric_workers and physical is None:
+            physical = PhysicalMemory(backing="shared")
+            self._owns_physical = True
         self.physical = physical or PhysicalMemory()
         #: The space idle devices sit bound to between tenant drains.
         self._idle_space = AddressSpace(physical=self.physical)
@@ -121,18 +148,32 @@ class ExoServer:
         self.coalesce_window = coalesce_window
         config = gma_config or GmaTimingConfig()
         depth = queue_depth or config.num_sequencers * 4
-        self.slots = [
-            DeviceSlot(
-                name=f"gma{i}",
-                gma=GmaDevice(self._idle_space, config=config,
-                              engine=engine),
-                # device queues always BLOCK: overload is absorbed by the
-                # admission controller up front, not by a drain-time error
-                queue=DeviceWorkQueue(depth=depth,
-                                      policy=AdmissionPolicy.BLOCK,
-                                      name=f"gma{i}-queue"))
-            for i in range(num_devices)
-        ]
+
+        # device queues always BLOCK: overload is absorbed by the
+        # admission controller up front, not by a drain-time error
+        def _queue(i):
+            return DeviceWorkQueue(depth=depth,
+                                   policy=AdmissionPolicy.BLOCK,
+                                   name=f"gma{i}-queue")
+
+        if fabric_workers:
+            self.fabric_pool = ProcessWorkerPool(
+                self.physical, fabric_workers, gma_config=config,
+                engine=engine)
+            self.slots = [
+                DeviceSlot(name=f"gma{i}", gma=None, queue=_queue(i),
+                           worker=self.fabric_pool.worker_for(i),
+                           engine=engine, config=config)
+                for i in range(num_devices)
+            ]
+        else:
+            self.slots = [
+                DeviceSlot(name=f"gma{i}",
+                           gma=GmaDevice(self._idle_space, config=config,
+                                         engine=engine),
+                           queue=_queue(i))
+                for i in range(num_devices)
+            ]
         self.admission = AdmissionController(policy=self.policy,
                                              max_pending=max_pending)
         self.sessions: Dict[str, Session] = {}
@@ -168,6 +209,12 @@ class ExoServer:
         if self._inflight_batches:
             await asyncio.gather(*self._inflight_batches,
                                  return_exceptions=True)
+        if self.fabric_pool is not None:
+            self.fabric_pool.close()
+            self.fabric_pool = None
+        if self._owns_physical:
+            self._owns_physical = False
+            self.physical.close()
 
     async def __aenter__(self) -> "ExoServer":
         return await self.start()
@@ -182,6 +229,10 @@ class ExoServer:
         if name in self.sessions and not self.sessions[name].closed:
             raise ServingError(f"session {name!r} already open")
         session = Session(self, name, quotas)
+        if self.fabric_pool is not None:
+            # arm cross-process shootdown forwarding for this tenant's
+            # space before any of its pages can reach a worker's TLB
+            self.fabric_pool.adopt_space(session.space)
         self.sessions[name] = session
         self.stats.sessions_opened += 1
         return session
@@ -277,7 +328,9 @@ class ExoServer:
             requests = self.admission.pop_batch(
                 name, self.coalesce_window, coalescable=coalescable)
             session = requests[0].session
-            view = session.view_for(slot)
+            # remote slots keep their views worker-side, per (space,
+            # device); only local devices need a parent-side view
+            view = session.view_for(slot) if slot.gma is not None else None
             slot.busy = True
             task = asyncio.create_task(
                 self._run_batch(slot, session, view, requests))
@@ -314,6 +367,7 @@ class ExoServer:
         self._rstats.note_device(slot.name, report.seconds, report.shreds)
         self.trace_log.append({
             "slot": slot.name,
+            "worker": report.worker,
             "session": session.name,
             "start": requests[0].submitted - self._started,
             "wall_seconds": report.wall_seconds,
@@ -352,9 +406,28 @@ class ExoServer:
 
     def _drain(self, slot: DeviceSlot, session: Session, view,
                requests: List[LaunchRequest]) -> DeviceRunReport:
-        """Worker thread: context-switch the device and run the batch."""
+        """Worker thread: context-switch the device and run the batch.
+
+        For a remote slot the context switch happens inside the worker
+        process (it keeps one mirror space + view per tenant); this
+        thread just feeds the pipe and blocks for the report.
+        """
         shreds = [shred for request in requests for shred in request.shreds]
         t0 = time.perf_counter()
+        if slot.worker is not None:
+            batches = slot.queue.admit(shreds)
+            results = []
+            seconds = 0.0
+            for batch in batches:
+                part = slot.worker.launch(slot.name, session.space, batch)
+                results.extend(part.results)
+                seconds += part.seconds
+            report = DeviceRunReport(
+                device=slot.name, isa=GmaDevice.ISA, seconds=seconds,
+                shreds=len(shreds), results=results, config=slot.config,
+                sub_batches=max(len(batches), 1), worker=slot.worker.name)
+            report.wall_seconds = time.perf_counter() - t0
+            return report
         slot.gma.bind_context(session.space, session.exoskeleton,
                               session.coherence, view)
         batches = slot.queue.admit(shreds)

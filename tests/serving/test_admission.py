@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import asyncio
+import random
+from types import SimpleNamespace
 
 import pytest
 
@@ -10,7 +12,10 @@ from repro.errors import AdmissionRejected
 from repro.fabric.queue import AdmissionPolicy
 from repro.isa.assembler import assemble
 from repro.serving import ExoServer, SessionQuotas
-from repro.serving.admission import AdmissionController
+from repro.serving.admission import (
+    UNSEEDED_RETRY_AFTER,
+    AdmissionController,
+)
 
 
 #: A small but nontrivial shred: enough work that batches take real
@@ -124,6 +129,100 @@ def test_controller_retry_after_scales_with_backlog():
     ctrl.pending = 4
     full = ctrl.retry_after(slots=2)
     assert full > empty > 0.0
+
+
+def test_retry_after_unseeded_is_nominal_floor():
+    ctrl = AdmissionController()
+    assert ctrl.retry_after(slots=4) == UNSEEDED_RETRY_AFTER
+
+
+def test_retry_after_tracks_batch_wall_under_coalescing():
+    """Regression: the old model charged ``wall / len(requests)`` per
+    request, so a 0.8 s drain carrying an 8-way coalesced gang looked
+    like 0.1 s of service and retry_after collapsed ~8x below the time
+    the next batch actually takes."""
+    ctrl = AdmissionController()
+    for _ in range(3):
+        ctrl.note_service(8, 0.8)  # steady state: 8 riders per drain
+    ctrl.pending = 0
+    est = ctrl.retry_after(slots=1)
+    # a retry lands behind at least one drain: within 2x of batch wall
+    assert 0.8 / 2 <= est <= 0.8 * 2
+
+
+def test_retry_after_grows_with_backlog_under_coalescing():
+    ctrl = AdmissionController()
+    for _ in range(3):
+        ctrl.note_service(8, 0.8)
+    estimates = []
+    for pending in (0, 8, 32, 64):
+        ctrl.pending = pending
+        estimates.append(ctrl.retry_after(slots=1))
+    assert estimates == sorted(estimates)
+    assert estimates[3] > estimates[1] > 0.0
+    # 64 queued requests at 8-wide is ~8 batches behind, not 64
+    assert estimates[3] <= 0.8 * (65 / 8 + 1)
+
+
+# -- heap-based pick: pinned against the old linear scan ---------------------
+
+def _stub_session(name: str, weight: float = 1.0):
+    return SimpleNamespace(name=name,
+                           quotas=SimpleNamespace(weight=weight))
+
+
+def _stub_request(session, lanes: int = 1):
+    return SimpleNamespace(session=session, shreds=[None] * lanes)
+
+
+def _reference_pick(ctrl: AdmissionController):
+    """The pre-heap implementation, verbatim: linear scan for the
+    backlogged session with the smallest ``(vtime, name)``."""
+    best = None
+    for name, queue in ctrl._queues.items():
+        if not queue:
+            continue
+        vt = ctrl._vtime.get(name, 0.0)
+        if best is None or (vt, name) < best:
+            best = (vt, name)
+    return best[1] if best else None
+
+
+def test_pick_breaks_vtime_ties_by_name():
+    ctrl = AdmissionController()
+    for name in ("zeta", "alpha", "mid"):
+        ctrl.enqueue(_stub_request(_stub_session(name)))
+    assert ctrl.pick() == "alpha"
+
+
+def test_heap_pick_matches_linear_scan_throughout():
+    """Dequeue order is pinned: at every step of an interleaved
+    enqueue/pop sequence over weighted sessions, the heap pick must
+    equal the old linear scan's choice."""
+    rng = random.Random(1234)
+    sessions = [_stub_session(f"s{i}", weight=w)
+                for i, w in enumerate((1.0, 2.0, 0.5, 1.0, 3.0))]
+    ctrl = AdmissionController(max_pending=10_000)
+    pops = 0
+    for _ in range(400):
+        assert ctrl.pick() == _reference_pick(ctrl)
+        if rng.random() < 0.6:
+            ctrl.enqueue(_stub_request(rng.choice(sessions),
+                                       lanes=rng.randint(1, 4)))
+        else:
+            name = ctrl.pick()
+            if name is not None:
+                ctrl.pop_batch(name, window=8)
+                pops += 1
+    while True:
+        name = ctrl.pick()
+        assert name == _reference_pick(ctrl)
+        if name is None:
+            break
+        ctrl.pop_batch(name, window=8)
+        pops += 1
+    assert pops > 50  # the interleave actually exercised both paths
+    assert ctrl.pending == 0
 
 
 def test_server_pending_bound_rejects():

@@ -11,12 +11,17 @@ solo request k see the same frame.
 from __future__ import annotations
 
 import asyncio
+from types import SimpleNamespace
 
 import numpy as np
 import pytest
 
+from repro.errors import ServingError
+from repro.isa.assembler import assemble
+from repro.isa.types import DataType
 from repro.kernels import kernel_by_abbrev
 from repro.serving import ExoServer, SessionQuotas, TenantWorkload
+from repro.serving.coalescer import demux
 
 FLAT_KERNELS = ("AlphaBlend", "BOB", "ADVDI", "ProcAmp")
 LANES = 8
@@ -113,6 +118,106 @@ def test_coalescing_respects_program_identity():
                 assert result.coalesced_requests == 2
             assert server.stats.batches_dispatched == 2
     asyncio.run(scenario())
+
+
+# -- demux attribution: transitive parent chains -----------------------------
+
+def _run(shred_id, parent_id=None):
+    return SimpleNamespace(
+        shred=SimpleNamespace(shred_id=shred_id, parent_id=parent_id))
+
+
+def _request(ident, *shred_ids):
+    return SimpleNamespace(
+        ident=ident,
+        shreds=[SimpleNamespace(shred_id=s) for s in shred_ids])
+
+
+class TestDemuxAttribution:
+    def test_transitive_chain_when_descendants_retire_first(self):
+        """Regression: a grandchild retiring before its parent.  The old
+        single forward walk only knew launch-time shreds and already-
+        attributed parents, so run order [grandchild, child, root] was
+        unattributable and the whole batch failed."""
+        requests = [_request(0, 1)]
+        merged = SimpleNamespace(runs=[_run(3, 2), _run(2, 1), _run(1)])
+        out = demux(requests, merged)
+        assert [r.shred.shred_id for r in out[0]] == [3, 2, 1]
+
+    def test_interleaved_generations_across_requests(self):
+        requests = [_request(0, 1), _request(1, 10)]
+        merged = SimpleNamespace(runs=[
+            _run(12, 11), _run(3, 2), _run(11, 10),
+            _run(2, 1), _run(10), _run(1),
+        ])
+        out = demux(requests, merged)
+        assert [r.shred.shred_id for r in out[0]] == [3, 2, 1]
+        assert [r.shred.shred_id for r in out[1]] == [12, 11, 10]
+
+    def test_parent_cycle_raises(self):
+        requests = [_request(0, 1)]
+        merged = SimpleNamespace(runs=[_run(1), _run(5, 6), _run(6, 5)])
+        with pytest.raises(ServingError, match="cycle"):
+            demux(requests, merged)
+
+    def test_orphan_run_raises(self):
+        requests = [_request(0, 1)]
+        merged = SimpleNamespace(runs=[_run(1), _run(9)])
+        with pytest.raises(ServingError, match="cannot attribute"):
+            demux(requests, merged)
+
+
+#: Two generations of on-device spawns: the root stores 1 and spawns a
+#: child (arg 1), the child stores 2 and spawns a grandchild (arg 2),
+#: the grandchild stores 3.
+NESTED_SPAWN_ASM = """
+mov.1.dw vr1 = __spawn_arg
+cmp.eq.1.dw p1 = vr1, 0
+(!p1) jmp gen1
+st.1.dw (OUT, 0, 0) = 1
+spawn 1
+end
+gen1:
+cmp.eq.1.dw p2 = vr1, 1
+(!p2) jmp gen2
+st.1.dw (OUT, 1, 0) = 2
+spawn 2
+end
+gen2:
+st.1.dw (OUT, 2, 0) = 3
+end
+"""
+
+
+def test_coalesced_nested_spawns_attribute_per_request():
+    """Regression: nested spawns inside a coalesced batch.  Each of the
+    four riders must get back exactly its own three-generation lineage,
+    with the spawned work landing on the spawning request's ledger."""
+    async def scenario():
+        async with ExoServer(num_devices=1, engine="gang") as server:
+            session = server.open_session(
+                "t", SessionQuotas(max_inflight=8, max_surfaces=16,
+                                   max_surface_bytes=64 << 20,
+                                   max_descriptors=32))
+            program = assemble(NESTED_SPAWN_ASM, name="nested-spawn")
+            surfs = [session.alloc_surface(f"OUT{k}", 4, 1, DataType.DW)
+                     for k in range(4)]
+            results = await asyncio.gather(*[
+                server.submit(session, program,
+                              bindings=[{"__spawn_arg": 0.0}],
+                              surfaces={"OUT": surfs[k]})
+                for k in range(4)
+            ])
+            for k, result in enumerate(results):
+                assert result.shreds == 3, \
+                    f"request {k}: root + child + grandchild"
+                assert result.spawned == 2
+                got = surfs[k].download(session.space).reshape(-1)
+                np.testing.assert_array_equal(got, [1.0, 2.0, 3.0, 0.0])
+            assert server.stats.launches_completed == 4
+            return server.stats
+    stats = asyncio.run(scenario())
+    assert stats.gangs_coalesced >= 1  # the batch really merged
 
 
 def test_gang_engine_engages_under_coalescing():
