@@ -1,12 +1,13 @@
-"""Per-instruction dispatch overhead: scalar vs gang vs fused.
+"""Per-instruction dispatch overhead: scalar vs gang vs fused vs megaop.
 
-The three engines retire the same instruction stream; what differs is
+The four engines retire the same instruction stream; what differs is
 how much *host* work each instruction costs before numpy does the lane
 math.  The scalar interpreter pays a full decode-dispatch-account round
 per instruction per shred; the gang engine pays one batched round per
 instruction; the fused engine pays one round per *block* (superblock
 trace fusion, ``docs/ENGINE.md``) and amortizes branch resolution over
-chained traces.
+chained traces; the megaop engine pays one round per *hot-loop
+traversal* once the trace cycle has been promoted.
 
 This benchmark isolates that overhead by timing a pure-ALU counted loop
 where every instruction is host-bound (16-lane mads on resident
@@ -20,7 +21,9 @@ Run standalone::
     PYTHONPATH=src python benchmarks/bench_dispatch.py
 
 or under pytest (``pytest benchmarks/bench_dispatch.py``).  Writes
-``BENCH_dispatch.json`` (``--json`` to move).
+``BENCH_dispatch.json`` (``--json`` to move).  ``--check`` compares the
+fresh sweep against the committed baseline and fails if fused ns/instr
+regressed by more than ``CHECK_REGRESSION`` at the longest trip count.
 """
 
 from __future__ import annotations
@@ -35,8 +38,11 @@ from repro.isa import predecode
 from repro.isa.assembler import assemble
 from repro.memory.address_space import AddressSpace
 
-ENGINES = ("scalar", "gang", "fused")
+ENGINES = ("scalar", "gang", "fused", "megaop")
 DEFAULT_SHREDS = 32
+#: ``--check`` tolerance: fused ns/instr may drift this much above the
+#: committed baseline before the gate fails (noisy-host headroom).
+CHECK_REGRESSION = 0.20
 #: Trip counts for the amortization sweep: the launch-overhead-dominated
 #: short end through the dispatch-dominated long end.
 TRIP_COUNTS = (10, 100, 600)
@@ -83,6 +89,9 @@ def measure(engine: str, iters: int, shreds: int = DEFAULT_SHREDS,
                 "ns_per_instruction": wall * 1e9 / result.instructions,
                 "fused_blocks_retired": result.fused_blocks_retired,
                 "trace_chains": result.trace_chains,
+                "megaops_retired": result.megaops_retired,
+                "megaop_compiles": result.megaop_compiles,
+                "megaop_deopts": result.megaop_deopts,
             }
     return best
 
@@ -103,6 +112,8 @@ def compare(shreds: int = DEFAULT_SHREDS) -> dict:
                                 / longest["gang"]["ns_per_instruction"]),
         "fused_dispatch_ratio": (longest["gang"]["ns_per_instruction"]
                                  / longest["fused"]["ns_per_instruction"]),
+        "megaop_dispatch_ratio": (longest["fused"]["ns_per_instruction"]
+                                  / longest["megaop"]["ns_per_instruction"]),
     }
 
 
@@ -120,8 +131,38 @@ def report(outcome: dict) -> str:
     lines.append(f"  steady state (iters={outcome['trip_counts'][-1]}): "
                  f"gang removes {outcome['gang_dispatch_ratio']:.1f}x "
                  f"dispatch cost, fusion another "
-                 f"{outcome['fused_dispatch_ratio']:.2f}x")
+                 f"{outcome['fused_dispatch_ratio']:.2f}x, megaop another "
+                 f"{outcome['megaop_dispatch_ratio']:.2f}x")
     return "\n".join(lines)
+
+
+def check(outcome: dict, baseline_path: str) -> list:
+    """Regression gate against the committed baseline.
+
+    Returns a list of failure strings (empty = pass).  Only the fused
+    tier at the longest trip count is gated — it is the steady-state
+    dispatch number the engine docs quote, and the short trip counts
+    are launch-overhead-dominated and too noisy to gate."""
+    try:
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+    except FileNotFoundError:
+        return [f"baseline {baseline_path} not found; run without --check "
+                f"once to create it"]
+    iters = str(outcome["trip_counts"][-1])
+    if iters not in baseline.get("rows", {}) \
+            or "fused" not in baseline["rows"][iters]:
+        return [f"baseline {baseline_path} has no fused row at "
+                f"iters={iters}; regenerate it"]
+    was = baseline["rows"][iters]["fused"]["ns_per_instruction"]
+    now = outcome["rows"][iters]["fused"]["ns_per_instruction"]
+    failures = []
+    if now > was * (1.0 + CHECK_REGRESSION):
+        failures.append(
+            f"fused ns/instr regressed: {now:.0f} vs baseline {was:.0f} "
+            f"(+{(now / was - 1.0) * 100:.0f}%, limit "
+            f"+{CHECK_REGRESSION * 100:.0f}%)")
+    return failures
 
 
 # -- pytest entry points ---------------------------------------------------------------
@@ -136,22 +177,39 @@ def test_dispatch_overhead_shrinks_by_engine():
     scalar = measure("scalar", iters, repeats=2)
     gang = measure("gang", iters, repeats=2)
     fused = measure("fused", iters, repeats=2)
+    megaop = measure("megaop", iters, repeats=2)
     assert scalar["instructions"] == gang["instructions"] \
-        == fused["instructions"]
+        == fused["instructions"] == megaop["instructions"]
     assert gang["ns_per_instruction"] < scalar["ns_per_instruction"] / 2
     assert fused["ns_per_instruction"] < gang["ns_per_instruction"]
     assert fused["fused_blocks_retired"] > 0
     assert fused["trace_chains"] > 0
+    assert megaop["ns_per_instruction"] < gang["ns_per_instruction"]
+    assert megaop["megaop_compiles"] > 0
+    assert megaop["megaops_retired"] > 0
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--shreds", type=int, default=DEFAULT_SHREDS)
     parser.add_argument("--json", default="BENCH_dispatch.json")
+    parser.add_argument("--check", action="store_true",
+                        help="gate the fresh sweep against the committed "
+                             "baseline: fail if fused ns/instr regressed "
+                             "more than %d%%" % (CHECK_REGRESSION * 100))
     args = parser.parse_args(argv)
 
     outcome = compare(args.shreds)
     print(report(outcome))
+    if args.check:
+        failures = check(outcome, args.json)
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}")
+            return 1
+        print(f"check passed: fused ns/instr within "
+              f"{CHECK_REGRESSION * 100:.0f}% of {args.json}")
+        return 0
     with open(args.json, "w") as handle:
         json.dump(outcome, handle, indent=2)
     print(f"wrote {args.json}")

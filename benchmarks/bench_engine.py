@@ -9,8 +9,10 @@ benchmark measures that change two ways:
 
 * a homogeneous 32-shred ALU loop (every shred fully gang-resident), the
   best case and the first CI gate: gang must reach >= 3x scalar
-  instructions/second, and the fused engine (superblock trace fusion,
-  ``docs/ENGINE.md``) must reach >= 1.8x *gang* instructions/second;
+  instructions/second, the fused engine (superblock trace fusion,
+  ``docs/ENGINE.md``) must reach >= 1.8x *gang* instructions/second, and
+  the megaop engine (profile-guided trace promotion) must reach >= 2x
+  *fused* instructions/second;
 * a memory-bound media kernel (SepiaTone, whose inner loop is
   load/store dominated) through the standard harness — the second CI
   gate, exercising the batched gather/scatter and vectorized TLB
@@ -49,6 +51,7 @@ DEFAULT_SHREDS = 32
 DEFAULT_ITERS = 300
 CHECK_SPEEDUP = 3.0
 CHECK_FUSION = 1.8  # fused vs plain gang, homogeneous instr/s
+CHECK_MEGAOP = 2.0  # megaop vs fused, homogeneous instr/s
 
 #: Homogeneous by construction: the trip count is one uniform symbol, so
 #: every shred follows the same path and the gang never peels.  The lane
@@ -104,6 +107,9 @@ def measure_homogeneous(engine: str, shreds: int = DEFAULT_SHREDS,
                 "fused_blocks_retired": result.fused_blocks_retired,
                 "trace_chains": result.trace_chains,
                 "fusion_compiles": result.fusion_compiles,
+                "megaops_retired": result.megaops_retired,
+                "megaop_compiles": result.megaop_compiles,
+                "megaop_deopts": result.megaop_deopts,
             }
     return best
 
@@ -134,28 +140,37 @@ def measure_kernel(engine: str, repeats: int = 2,
                 "fused_blocks_retired": outcome.fused_blocks_retired,
                 "trace_chains": outcome.trace_chains,
                 "fusion_compiles": outcome.fusion_compiles,
+                "megaops_retired": outcome.megaops_retired,
+                "megaop_compiles": outcome.megaop_compiles,
+                "megaop_deopts": outcome.megaop_deopts,
             }
     return best
 
 
 def measure_all_kernels(repeats: int = 1) -> dict:
-    """Scalar/gang/fused wall clock for every kernel at smoke geometry."""
+    """Per-engine wall clock for every kernel at smoke geometry."""
     table = {}
     for kernel_cls in ALL_KERNELS:
         row = {engine: measure_kernel(engine, repeats, kernel_cls)
-               for engine in ("scalar", "gang", "fused")}
+               for engine in ("scalar", "gang", "fused", "megaop")}
         table[kernel_cls.abbrev] = {
             "scalar_seconds": row["scalar"]["wall_seconds"],
             "gang_seconds": row["gang"]["wall_seconds"],
             "fused_seconds": row["fused"]["wall_seconds"],
+            "megaop_seconds": row["megaop"]["wall_seconds"],
             "speedup": (row["scalar"]["wall_seconds"]
                         / row["gang"]["wall_seconds"]),
             "fused_speedup": (row["scalar"]["wall_seconds"]
                               / row["fused"]["wall_seconds"]),
+            "megaop_speedup": (row["scalar"]["wall_seconds"]
+                               / row["megaop"]["wall_seconds"]),
             "batched_translations": row["gang"]["batched_translations"],
             "fused_blocks_retired": row["fused"]["fused_blocks_retired"],
             "trace_chains": row["fused"]["trace_chains"],
             "fusion_compiles": row["fused"]["fusion_compiles"],
+            "megaops_retired": row["megaop"]["megaops_retired"],
+            "megaop_compiles": row["megaop"]["megaop_compiles"],
+            "megaop_deopts": row["megaop"]["megaop_deopts"],
             "scalar_fallbacks": row["fused"]["scalar_fallbacks"],
             "shreds": row["fused"]["shreds"],
         }
@@ -194,11 +209,15 @@ def measure_parallel_fabric(parallel, devices: int = 4,
 def compare(shreds: int = DEFAULT_SHREDS, iters: int = DEFAULT_ITERS) -> dict:
     scalar = measure_homogeneous("scalar", shreds, iters)
     gang = measure_homogeneous("gang", shreds, iters)
-    fused = measure_homogeneous("fused", shreds, iters)
+    # the fused-vs-megaop gate is the tightest ratio in --check; give
+    # both sides extra repeats so best-of-N converges under host noise
+    fused = measure_homogeneous("fused", shreds, iters, repeats=5)
+    megaop = measure_homogeneous("megaop", shreds, iters, repeats=5)
     kernel = {"scalar": measure_kernel("scalar"),
               "gang": measure_kernel("gang")}
     return {
-        "homogeneous": {"scalar": scalar, "gang": gang, "fused": fused},
+        "homogeneous": {"scalar": scalar, "gang": gang, "fused": fused,
+                        "megaop": megaop},
         "kernel": kernel,
         "kernels": measure_all_kernels(),
         "fabric": {"serial": measure_parallel_fabric(False),
@@ -208,6 +227,8 @@ def compare(shreds: int = DEFAULT_SHREDS, iters: int = DEFAULT_ITERS) -> dict:
                     / scalar["instructions_per_second"]),
         "fusion_speedup": (fused["instructions_per_second"]
                            / gang["instructions_per_second"]),
+        "megaop_speedup": (megaop["instructions_per_second"]
+                           / fused["instructions_per_second"]),
         "kernel_speedup": (kernel["scalar"]["wall_seconds"]
                            / kernel["gang"]["wall_seconds"]),
     }
@@ -220,7 +241,7 @@ def report(outcome: dict) -> str:
         f"  {'':8s} {'instr':>8s} {'wall ms':>9s} {'Minstr/s':>9s} "
         f"{'ganged':>7s} {'peeled':>7s}",
     ]
-    for name in ("scalar", "gang", "fused"):
+    for name in ("scalar", "gang", "fused", "megaop"):
         m = homo[name]
         lines.append(
             f"  {name:8s} {m['instructions']:8d} "
@@ -235,6 +256,12 @@ def report(outcome: dict) -> str:
                  f"{fused['fused_blocks_retired']} blocks retired, "
                  f"{fused['trace_chains']} trace chains, "
                  f"{fused['fusion_compiles']} compiles")
+    megaop = homo["megaop"]
+    lines.append(f"  megaop speedup: {outcome['megaop_speedup']:.2f}x fused "
+                 f"(gate: >= {CHECK_MEGAOP:.1f}x), "
+                 f"{megaop['megaops_retired']} traversals retired, "
+                 f"{megaop['megaop_compiles']} compiles, "
+                 f"{megaop['megaop_deopts']} deopts")
     kern = outcome["kernel"]
     kname = kern["scalar"]["kernel"]
     lines.append(f"  {kname}: {outcome['kernel_speedup']:.1f}x faster "
@@ -244,10 +271,12 @@ def report(outcome: dict) -> str:
     lines.append("  per-kernel wall-clock speedups (smoke geometry):")
     for name, row in outcome["kernels"].items():
         lines.append(f"    {name:14s} {row['speedup']:5.2f}x gang / "
-                     f"{row['fused_speedup']:5.2f}x fused "
+                     f"{row['fused_speedup']:5.2f}x fused / "
+                     f"{row['megaop_speedup']:5.2f}x megaop "
                      f"(scalar {row['scalar_seconds'] * 1e3:7.2f}ms, "
                      f"gang {row['gang_seconds'] * 1e3:7.2f}ms, "
-                     f"fused {row['fused_seconds'] * 1e3:7.2f}ms)")
+                     f"fused {row['fused_seconds'] * 1e3:7.2f}ms, "
+                     f"megaop {row['megaop_seconds'] * 1e3:7.2f}ms)")
     lines.append("  per-kernel block fusion (smoke geometry):")
     lines.append(f"    {'kernel':14s} {'blocks':>7s} {'chains':>7s} "
                  f"{'compiles':>8s} {'fallback':>9s}")
@@ -273,8 +302,10 @@ def report(outcome: dict) -> str:
 
 
 def step_summary(outcome: dict) -> str:
-    """GitHub Actions step-summary markdown: the fusion stats table."""
-    fused = outcome["homogeneous"]["fused"]
+    """GitHub Actions step-summary markdown: the engine-tier tables."""
+    homo = outcome["homogeneous"]
+    fused = homo["fused"]
+    megaop = homo["megaop"]
     lines = [
         "### Engine benchmark",
         "",
@@ -284,16 +315,31 @@ def step_summary(outcome: dict) -> str:
         f"**{outcome['fusion_speedup']:.2f}x** (gate >= {CHECK_FUSION:.1f}x),"
         f" {fused['fused_blocks_retired']} blocks retired, "
         f"{fused['trace_chains']} trace chains",
+        f"- megaop vs fused (homogeneous): "
+        f"**{outcome['megaop_speedup']:.2f}x** (gate >= {CHECK_MEGAOP:.1f}x),"
+        f" {megaop['megaops_retired']} traversals retired, "
+        f"{megaop['megaop_deopts']} deopts",
         "",
-        "| kernel | gang speedup | fused speedup | blocks | chained traces "
-        "| fallback rate |",
-        "|---|---|---|---|---|---|",
+        "| tier | ns/instr | Minstr/s |",
+        "|---|---|---|",
+    ]
+    for name in ("gang", "fused", "megaop"):
+        m = homo[name]
+        ns = m["wall_seconds"] * 1e9 / m["instructions"]
+        lines.append(f"| {name} | {ns:.0f} "
+                     f"| {m['instructions_per_second'] / 1e6:.3f} |")
+    lines += [
+        "",
+        "| kernel | gang speedup | fused speedup | megaop speedup | blocks "
+        "| chained traces | fallback rate |",
+        "|---|---|---|---|---|---|---|",
     ]
     for name, row in outcome["kernels"].items():
         fallback = (row["scalar_fallbacks"] / row["shreds"]
                     if row["shreds"] else 0.0)
         lines.append(
             f"| {name} | {row['speedup']:.2f}x | {row['fused_speedup']:.2f}x "
+            f"| {row['megaop_speedup']:.2f}x "
             f"| {row['fused_blocks_retired']} | {row['trace_chains']} "
             f"| {fallback:.0%} |")
     return "\n".join(lines) + "\n"
@@ -342,6 +388,21 @@ def test_fused_beats_gang():
     assert speedup >= CHECK_FUSION, f"fused only {speedup:.2f}x gang"
 
 
+def test_megaop_beats_fused():
+    """The megaop acceptance bar: promoted hot traces must beat the
+    per-block fused loop on the homogeneous loop."""
+    fused = measure_homogeneous("fused", repeats=5)
+    megaop = measure_homogeneous("megaop", repeats=5)
+    assert megaop["instructions"] == fused["instructions"]
+    assert megaop["gma_cycles"] == fused["gma_cycles"]
+    assert megaop["scalar_fallbacks"] == 0
+    assert megaop["megaop_compiles"] > 0
+    assert megaop["megaops_retired"] > 0
+    speedup = (megaop["instructions_per_second"]
+               / fused["instructions_per_second"])
+    assert speedup >= CHECK_MEGAOP, f"megaop only {speedup:.2f}x fused"
+
+
 def test_parallel_fabric_same_results():
     serial = measure_parallel_fabric(False)
     threaded = measure_parallel_fabric("force")
@@ -369,8 +430,9 @@ def main(argv=None) -> int:
                         help="result file (default %(default)s)")
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero unless gang reaches "
-                             f">= {CHECK_SPEEDUP:.0f}x scalar and fused "
-                             f">= {CHECK_FUSION:.1f}x gang "
+                             f">= {CHECK_SPEEDUP:.0f}x scalar, fused "
+                             f">= {CHECK_FUSION:.1f}x gang and megaop "
+                             f">= {CHECK_MEGAOP:.1f}x fused "
                              "instructions/second")
     args = parser.parse_args(argv)
 
@@ -395,6 +457,11 @@ def main(argv=None) -> int:
                   f"{outcome['fusion_speedup']:.2f}x "
                   f"< {CHECK_FUSION:.1f}x gang", file=sys.stderr)
             failed = True
+        if outcome["megaop_speedup"] < CHECK_MEGAOP:
+            print(f"CHECK FAILED: megaop speedup "
+                  f"{outcome['megaop_speedup']:.2f}x "
+                  f"< {CHECK_MEGAOP:.1f}x fused", file=sys.stderr)
+            failed = True
         if outcome["kernel_speedup"] < CHECK_SPEEDUP:
             print(f"CHECK FAILED: kernel speedup "
                   f"{outcome['kernel_speedup']:.2f}x "
@@ -404,6 +471,7 @@ def main(argv=None) -> int:
             return 1
         print(f"check passed: gang {outcome['speedup']:.1f}x scalar "
               f"(homogeneous), fused {outcome['fusion_speedup']:.2f}x gang, "
+              f"megaop {outcome['megaop_speedup']:.2f}x fused, "
               f"{outcome['kernel_speedup']:.1f}x (memory-bound kernel)")
     return 0
 

@@ -77,8 +77,11 @@ class ExoPlatform:
     sequencer class.  ``queue_depth`` / ``admission_policy`` configure the
     per-device admission queues (see :mod:`repro.fabric.queue`);
     ``gma_engine`` selects the execution engine every GMA instance uses
-    (``"scalar"``, ``"gang"`` or ``"fused"``, see :mod:`repro.gma.gang`
-    and :mod:`repro.gma.fusion`).
+    (``"scalar"``, ``"gang"``, ``"fused"`` or ``"megaop"``, see
+    :mod:`repro.gma.gang`, :mod:`repro.gma.fusion` and
+    :mod:`repro.gma.megaop`); ``megaop_threshold`` overrides the megaop
+    tier's promotion threshold (chain traversals of one hot cycle
+    before compilation).
 
     ``fabric_workers=N`` moves the GMA devices out of process: physical
     memory is rebuilt over a shared-memory segment, a
@@ -105,7 +108,8 @@ class ExoPlatform:
                  admission_policy=AdmissionPolicy.RAISE,
                  atr_shared_cache: bool = True,
                  gma_engine: str = "scalar",
-                 fabric_workers: int = 0):
+                 fabric_workers: int = 0,
+                 megaop_threshold: Optional[int] = None):
         if num_gma_devices < 1:
             raise SchedulingError(
                 f"need at least one GMA device, got {num_gma_devices}")
@@ -123,7 +127,7 @@ class ExoPlatform:
             # the pool validates that the backing is actually shared
             self.fabric_pool = ProcessWorkerPool(
                 space.physical, fabric_workers, gma_config=gma_config,
-                engine=gma_engine)
+                engine=gma_engine, megaop_threshold=megaop_threshold)
         self.space = space or AddressSpace()
         self.coherence = CoherencePoint(coherent=coherent,
                                         strict=strict_coherence)
@@ -146,7 +150,8 @@ class ExoPlatform:
             for i in range(num_gma_devices):
                 gma = GmaDevice(self.space, exoskeleton=self.exoskeleton,
                                 config=gma_config, coherence=self.coherence,
-                                engine=gma_engine)
+                                engine=gma_engine,
+                                megaop_threshold=megaop_threshold)
                 self.fabric.register(GmaFabricDevice(
                     f"gma{i}", gma,
                     queue=self._make_queue(f"gma{i}", queue_depth, policy)))
@@ -162,7 +167,8 @@ class ExoPlatform:
                                     exoskeleton=self.exoskeleton,
                                     config=gma_config,
                                     coherence=self.coherence,
-                                    engine=gma_engine)
+                                    engine=gma_engine,
+                                    megaop_threshold=megaop_threshold)
         else:
             #: The primary accelerator, kept for single-device call sites.
             self.device = self.fabric.get("gma0").gma

@@ -566,6 +566,12 @@ class RuntimeStats:
     fused_blocks_retired: int = 0
     trace_chains: int = 0
     fusion_compiles: int = 0
+    #: Megaop tier (``engine="megaop"``): whole hot-trace traversals
+    #: retired in one call, hot cycles promoted (compiled), and guard
+    #: failures that deopted back to the fused loop.
+    megaops_retired: int = 0
+    megaop_compiles: int = 0
+    megaop_deopts: int = 0
     #: Fabric drain accounting: how many regions drained on worker
     #: threads vs serially (the dispatcher falls back to serial below
     #: ``PARALLEL_DRAIN_MIN_SHREDS`` per device even when asked to
@@ -627,3 +633,6 @@ class RuntimeStats:
             result, "fused_blocks_retired", 0)
         self.trace_chains += getattr(result, "trace_chains", 0)
         self.fusion_compiles += getattr(result, "fusion_compiles", 0)
+        self.megaops_retired += getattr(result, "megaops_retired", 0)
+        self.megaop_compiles += getattr(result, "megaop_compiles", 0)
+        self.megaop_deopts += getattr(result, "megaop_deopts", 0)

@@ -90,6 +90,12 @@ def chirun(argv=None) -> int:
     parser_.add_argument("--parallel-fabric", action="store_true",
                          help="drain multi-device regions on host worker "
                               "threads (same results, less wall-clock)")
+    parser_.add_argument("--megaop-threshold", type=int, default=None,
+                         metavar="N",
+                         help="chain traversals of one hot cycle before "
+                              "the megaop engine promotes it to a single "
+                              "composed numpy expression (default 8; "
+                              "only meaningful with --engine megaop)")
     parser_.add_argument("--fabric-workers", type=int, default=0,
                          metavar="N",
                          help="host the GMA devices on N worker processes "
@@ -129,7 +135,8 @@ def chirun(argv=None) -> int:
     try:
         platform = ExoPlatform(num_gma_devices=args.gma_devices,
                                gma_engine=args.engine,
-                               fabric_workers=args.fabric_workers)
+                               fabric_workers=args.fabric_workers,
+                               megaop_threshold=args.megaop_threshold)
         runtime = ChiRuntime(platform,
                              parallel_fabric=args.parallel_fabric)
         program = _load(args.image)
@@ -167,13 +174,19 @@ def chirun(argv=None) -> int:
             print(f"[chirun] predecode_cache entries={cache['entries']} "
                   f"hits={cache['hits']} misses={cache['misses']} "
                   f"evictions={cache['evictions']} "
-                  f"fused_blocks={cache['fused_blocks']}",
+                  f"fused_blocks={cache['fused_blocks']} "
+                  f"megaops={cache['megaops']}",
                   file=sys.stderr)
-        if args.engine == "fused":
+        if args.engine in ("fused", "megaop"):
             print(f"[chirun] fusion blocks_retired="
                   f"{stats.fused_blocks_retired} "
                   f"trace_chains={stats.trace_chains} "
                   f"compiles={stats.fusion_compiles}",
+                  file=sys.stderr)
+        if args.engine == "megaop":
+            print(f"[chirun] megaop retired={stats.megaops_retired} "
+                  f"compiles={stats.megaop_compiles} "
+                  f"deopts={stats.megaop_deopts}",
                   file=sys.stderr)
     value = result.exit_value
     return int(value) if isinstance(value, (int, float)) else 0

@@ -110,6 +110,9 @@ class DeviceRunReport:
             merged.fused_blocks_retired += result.fused_blocks_retired
             merged.trace_chains += result.trace_chains
             merged.fusion_compiles += result.fusion_compiles
+            merged.megaops_retired += result.megaops_retired
+            merged.megaop_compiles += result.megaop_compiles
+            merged.megaop_deopts += result.megaop_deopts
             if result.timing is not None:
                 for sid, (s, f, eu, slot) in result.timing.spans.items():
                     timing.spans[sid] = (s + offset, f + offset, eu, slot)
@@ -224,6 +227,18 @@ class FabricRunResult:
     @property
     def fusion_compiles(self) -> int:
         return self._sum("fusion_compiles")
+
+    @property
+    def megaops_retired(self) -> int:
+        return self._sum("megaops_retired")
+
+    @property
+    def megaop_compiles(self) -> int:
+        return self._sum("megaop_compiles")
+
+    @property
+    def megaop_deopts(self) -> int:
+        return self._sum("megaop_deopts")
 
     def report_for(self, device: str) -> Optional[DeviceRunReport]:
         for report in self.reports:

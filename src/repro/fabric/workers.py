@@ -27,8 +27,12 @@ Architecture
   the space has dropped the PTEs, TLB entries, GTT mirrors and vector
   snapshots for those pages and acked.  A worker that died is skipped —
   it holds no live translations.
-* **Pickled control plane** — launch descriptors, symbol bindings and
-  run reports travel the pipe via pickle.  Pickle memoization keeps
+* **Staged launch payloads** — each worker owns a small shared-memory
+  *staging* segment; a launch's pickled descriptor payload (programs,
+  bindings, PTE snapshot) is written there and only a tiny
+  ``("launch_shm", seq, nbytes)`` control message crosses the pipe.
+  Payloads that outgrow the staging segment fall back to the legacy
+  pickled-over-pipe form transparently.  Pickle memoization keeps
   program identity *within* one launch (so ``gang_eligible`` still sees
   one program object); across launches the worker re-interns programs by
   ``(name, source, len)`` so the predecode cache keeps hitting.
@@ -72,6 +76,11 @@ from .queue import DeviceWorkQueue
 WORKER_SHRED_ID_BASE = 1 << 40
 WORKER_SHRED_ID_STRIDE = 1 << 32
 
+#: Per-worker launch staging segment size.  Generously above any launch
+#: payload seen in practice (a 32-shred kernel batch pickles to a few
+#: tens of KiB); oversized payloads fall back to the pipe.
+STAGING_BYTES = 8 << 20
+
 
 @dataclass
 class WorkerConfig:
@@ -87,6 +96,11 @@ class WorkerConfig:
     shm_size: int
     gma_config: GmaTimingConfig
     engine: str = "scalar"
+    megaop_threshold: Optional[int] = None
+    #: Launch-payload staging segment (``None`` disables staging and
+    #: every launch pickles over the pipe).
+    staging_name: Optional[str] = None
+    staging_size: int = 0
 
 
 def _safe_exc(exc: BaseException) -> BaseException:
@@ -143,6 +157,12 @@ class _WorkerHost:
         self.config = config
         self.physical = PhysicalMemory.attach(config.shm_name,
                                               config.shm_size)
+        self.staging = None
+        if config.staging_name:
+            from multiprocessing import shared_memory
+
+            self.staging = shared_memory.SharedMemory(
+                name=config.staging_name, create=False)
         self.spaces: Dict[int, MirrorAddressSpace] = {}
         self.exoskeletons: Dict[int, Exoskeleton] = {}
         self.coherences: Dict[int, CoherencePoint] = {}
@@ -166,8 +186,10 @@ class _WorkerHost:
     def _device(self, name: str, space: MirrorAddressSpace) -> GmaDevice:
         device = self.devices.get(name)
         if device is None:
-            device = GmaDevice(space, config=self.config.gma_config,
-                               engine=self.config.engine)
+            device = GmaDevice(
+                space, config=self.config.gma_config,
+                engine=self.config.engine,
+                megaop_threshold=self.config.megaop_threshold)
             self.devices[name] = device
         return device
 
@@ -215,6 +237,20 @@ class _WorkerHost:
             return
         self.conn.send(("report", seq, report))
 
+    def launch_shm(self, seq: int, nbytes: int) -> None:
+        """A launch whose payload was staged in the shared segment."""
+        try:
+            if self.staging is None:
+                raise FabricError(
+                    f"worker {self.config.worker!r} got a staged launch "
+                    "but owns no staging segment")
+            device_name, key, shreds, ptes = pickle.loads(
+                self.staging.buf[:nbytes])
+        except BaseException as exc:
+            self.conn.send(("error", seq, _safe_exc(exc)))
+            return
+        self.launch(seq, device_name, key, shreds, ptes)
+
     def shootdown(self, key: int, vpns: Sequence[int], reason: str) -> int:
         space = self.spaces.get(key)
         if space is None:
@@ -244,6 +280,9 @@ class _WorkerHost:
         return len(view.gtt)
 
     def close(self) -> None:
+        if self.staging is not None:
+            staging, self.staging = self.staging, None
+            staging.close()
         self.physical.close()
 
 
@@ -258,7 +297,9 @@ def _worker_main(conn, config: WorkerConfig) -> None:
         while True:
             msg = conn.recv()
             op = msg[0]
-            if op == "launch":
+            if op == "launch_shm":
+                host.launch_shm(*msg[1:])
+            elif op == "launch":
                 host.launch(*msg[1:])
             elif op == "shootdown":
                 dropped = host.shootdown(*msg[1:])
@@ -291,13 +332,22 @@ class ProcessDeviceWorker:
     """
 
     def __init__(self, pool: "ProcessWorkerPool", name: str, index: int,
-                 config: WorkerConfig):
+                 config: WorkerConfig, staging=None):
         self.pool = pool
         self.name = name
         self.index = index
         self.lock = threading.Lock()
         self.launches = 0
+        #: The launch-payload staging segment (parent side owns and
+        #: unlinks it; the child only attaches).
+        self.staging = staging
+        self.staged_launches = 0
+        self.piped_launches = 0
         self.closed = False
+        #: ``closed`` only means "no more messaging" (``_dead`` sets it
+        #: when the child dies mid-conversation); teardown of the
+        #: process, pipe and staging segment still has to happen once.
+        self._torn_down = False
         #: Space keys this worker has translated for (shootdown targets).
         self.seen_keys: set = set()
         parent_conn, child_conn = Pipe(duplex=True)
@@ -340,10 +390,24 @@ class ProcessDeviceWorker:
         key = self.pool.space_key(space)
         ptes = self.pool.prepare(space, shreds)
         seq = self.pool.next_seq()
+        payload = None
+        if self.staging is not None:
+            payload = pickle.dumps((device_name, key, list(shreds), ptes),
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+            if len(payload) > self.staging.size:
+                payload = None  # oversized: legacy pipe form
         with self.lock:
             self.seen_keys.add(key)
-            self._send(("launch", seq, device_name, key, list(shreds), ptes),
-                       "launch")
+            if payload is not None:
+                # the lock serializes conversations, so the staging
+                # buffer is free for reuse once _await returns
+                self.staging.buf[:len(payload)] = payload
+                self._send(("launch_shm", seq, len(payload)), "launch")
+                self.staged_launches += 1
+            else:
+                self._send(("launch", seq, device_name, key, list(shreds),
+                            ptes), "launch")
+                self.piped_launches += 1
             report = self._await(seq, "launch")
         self.launches += 1
         return report
@@ -416,9 +480,9 @@ class ProcessDeviceWorker:
             self.process.join(timeout=5.0)
 
     def close(self, timeout: float = 5.0) -> None:
-        if self.closed:
-            self.closed = True
+        if self._torn_down:
             return
+        self._torn_down = True
         self.closed = True
         try:
             with self.lock:
@@ -430,6 +494,13 @@ class ProcessDeviceWorker:
             self.process.terminate()
             self.process.join(timeout)
         self._conn.close()
+        if self.staging is not None:
+            staging, self.staging = self.staging, None
+            staging.close()
+            try:
+                staging.unlink()
+            except FileNotFoundError:
+                pass
 
 
 class ProcessWorkerPool:
@@ -444,7 +515,9 @@ class ProcessWorkerPool:
 
     def __init__(self, physical: PhysicalMemory, num_workers: int,
                  gma_config: Optional[GmaTimingConfig] = None,
-                 engine: str = "scalar"):
+                 engine: str = "scalar",
+                 megaop_threshold: Optional[int] = None,
+                 staging_bytes: int = STAGING_BYTES):
         if num_workers < 1:
             raise FabricError(
                 f"need at least one fabric worker, got {num_workers}")
@@ -455,22 +528,34 @@ class ProcessWorkerPool:
         self.physical = physical
         self.gma_config = gma_config or GmaTimingConfig()
         self.engine = engine
+        self.megaop_threshold = megaop_threshold
         self.closed = False
         self._seq = itertools.count(1)
         self._keys: Dict[int, int] = {}      # id(space) -> key
         self._spaces: Dict[int, AddressSpace] = {}  # key -> space
         self._next_key = itertools.count(1)
         self._registry_lock = threading.Lock()
-        self.workers = [
-            ProcessDeviceWorker(
+        self.workers = []
+        for i in range(num_workers):
+            staging = None
+            staging_name, staging_size = None, 0
+            if staging_bytes > 0:
+                from multiprocessing import shared_memory
+
+                staging = shared_memory.SharedMemory(create=True,
+                                                     size=staging_bytes)
+                staging_name, staging_size = staging.name, staging.size
+            self.workers.append(ProcessDeviceWorker(
                 self, f"worker{i}", i,
                 WorkerConfig(worker=f"worker{i}", index=i,
                              shm_name=physical.shm_name,
                              shm_size=physical.size,
                              gma_config=self.gma_config,
-                             engine=engine))
-            for i in range(num_workers)
-        ]
+                             engine=engine,
+                             megaop_threshold=megaop_threshold,
+                             staging_name=staging_name,
+                             staging_size=staging_size),
+                staging=staging))
 
     def next_seq(self) -> int:
         return next(self._seq)
@@ -478,6 +563,16 @@ class ProcessWorkerPool:
     def worker_for(self, index: int) -> ProcessDeviceWorker:
         """Round-robin device placement across the pool."""
         return self.workers[index % len(self.workers)]
+
+    @property
+    def staged_launches(self) -> int:
+        """Launches whose payload travelled the staging segment."""
+        return sum(w.staged_launches for w in self.workers)
+
+    @property
+    def piped_launches(self) -> int:
+        """Launches that fell back to the pickled-over-pipe form."""
+        return sum(w.piped_launches for w in self.workers)
 
     # -- space registry ------------------------------------------------------
 

@@ -35,14 +35,20 @@ class GmaDevice:
     #: the shred axis (see :mod:`repro.gma.gang`), with scalar peel-off;
     #: "fused" adds superblock trace fusion on top of the gang engine
     #: (see :mod:`repro.gma.fusion`): straight-line regions retire as
-    #: whole compiled blocks with uniform-branch trace chaining.
-    ENGINES = ("scalar", "gang", "fused")
+    #: whole compiled blocks with uniform-branch trace chaining;
+    #: "megaop" adds profile-guided trace promotion on top of fusion
+    #: (see :mod:`repro.gma.megaop`): hot chained block cycles compile
+    #: into single composed numpy expressions retiring whole trace
+    #: traversals per Python call, deopting to the fused loop on any
+    #: guard failure.
+    ENGINES = ("scalar", "gang", "fused", "megaop")
 
     def __init__(self, space: AddressSpace,
                  exoskeleton: Optional[Exoskeleton] = None,
                  config: Optional[GmaTimingConfig] = None,
                  coherence: Optional[CoherencePoint] = None,
-                 engine: str = "scalar"):
+                 engine: str = "scalar",
+                 megaop_threshold: Optional[int] = None):
         if engine not in self.ENGINES:
             raise ValueError(
                 f"unknown GMA engine {engine!r} (choose from {self.ENGINES})")
@@ -50,6 +56,9 @@ class GmaDevice:
         config = config if config is not None else GmaTimingConfig()
         self.config = config
         self.engine = engine
+        #: Chain traversals of one block cycle before megaop promotion
+        #: (None -> :data:`repro.gma.megaop.PROMOTE_THRESHOLD`).
+        self.megaop_threshold = megaop_threshold
         self.exoskeleton = exoskeleton or Exoskeleton(space)
         self.coherence = coherence or CoherencePoint(coherent=True)
         self.view = SequencerView(

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from .interpreter import ShredRun
 from .timing import GmaTimingConfig
 
@@ -149,6 +151,10 @@ def _simulate_eu(ctxs: List[_Context], not_before: Dict[int, float],
         # no dependency gates: activation always happens at the same
         # `now` as the finish that freed the context, so the per-step
         # activation scan of the general loop is dead weight
+        report = _try_lockstep_closed_form(populated, finish, spans,
+                                           eu_index)
+        if report is not None:
+            return report
         return _simulate_eu_ungated(ctxs, finish, spans, eu_index)
     now = 0.0
     busy = 0.0
@@ -223,6 +229,58 @@ def _simulate_eu(ctxs: List[_Context], not_before: Dict[int, float],
     # drain: in-flight latency of the last instructions extends past `now`
     end = max([now] + local_finish)
     return EuReport(cycles=end, busy_cycles=busy, exposed_stall_cycles=stall)
+
+
+def _try_lockstep_closed_form(populated: List[_Context],
+                              finish: Dict[int, float],
+                              spans: Dict[int, tuple],
+                              eu_index: int) -> Optional[EuReport]:
+    """Closed-form schedule for gang-lockstep launches, or ``None``.
+
+    When every populated context replays exactly one shred and all the
+    traces are identical (the gang/fused/megaop engines retire the same
+    instruction sequence on every shred), the switch-on-stall rotation
+    is strict: context ``k`` always issues instruction ``i`` right after
+    context ``k-1`` does.  If additionally no latency outlives the
+    cover provided by the ``n-1`` peer issues between a context's turns
+    — ``l[i] <= (n-1) * min(s[i], s[i+1])`` for every non-final
+    instruction — then no stall is ever exposed and every event starts
+    exactly when the previous one ends.  The whole schedule collapses
+    to prefix sums: cycle-exact with the event loop, without stepping
+    ``n * len(trace)`` events in Python.
+    """
+    n = len(populated)
+    if any(len(ctx.queue) != 1 for ctx in populated):
+        return None
+    trace = populated[0].queue[0].trace
+    steps = len(trace)
+    if steps == 0:
+        return None
+    for ctx in populated[1:]:
+        if ctx.queue[0].trace != trace:
+            return None
+    charges = np.asarray(trace, dtype=np.float64)
+    issue = charges[:, 0]
+    latency = charges[:, 1]
+    if steps > 1 and not bool(
+            np.all(latency[:-1]
+                   <= (n - 1) * np.minimum(issue[:-1], issue[1:]))):
+        return None
+    total_issue = float(issue.sum())
+    last_issue = float(issue[-1])
+    last_latency = float(latency[-1])
+    # context k's final issue ends after the full rotation of earlier
+    # instructions (n * prefix) plus the k+1 final issues before its own
+    prefix = n * (total_issue - last_issue)
+    for k, ctx in enumerate(populated):
+        run = ctx.queue[0]
+        ctx.qidx = 1
+        done = prefix + (k + 1) * last_issue + last_latency
+        finish[run.shred.shred_id] = done
+        spans[run.shred.shred_id] = (0.0, done, eu_index, ctx.slot)
+    return EuReport(cycles=n * total_issue + last_latency,
+                    busy_cycles=n * total_issue,
+                    exposed_stall_cycles=0.0)
 
 
 def _simulate_eu_ungated(ctxs: List[_Context], finish: Dict[int, float],

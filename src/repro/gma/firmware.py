@@ -59,6 +59,9 @@ class GmaRunResult:
     fused_blocks_retired: int = 0  # superblocks retired by the fused path
     trace_chains: int = 0         # uniform branches chained block-to-block
     fusion_compiles: int = 0      # blocks compiled during this run
+    megaops_retired: int = 0      # whole-trace traversals retired by megaops
+    megaop_compiles: int = 0      # hot cycles promoted to megaops
+    megaop_deopts: int = 0        # megaop guard failures (divergence/fault)
 
     @property
     def cycles(self) -> float:
@@ -89,14 +92,15 @@ class EmulationFirmware:
         hits_before, misses_before = cache.hits, cache.misses
 
         executed: List[ShredRun] = []
-        ganged = engine in ("gang", "fused")
+        ganged = engine in ("gang", "fused", "megaop")
         while len(queue):
             if ganged:
                 batch = self._gang_batch(queue)
                 if batch is not None:
                     outcome = run_gang(self.device, batch, mailboxes,
                                        live_contexts,
-                                       fusion=engine == "fused")
+                                       fusion=engine in ("fused", "megaop"),
+                                       megaop=engine == "megaop")
                     for shred in batch:
                         queue.mark_done(shred.shred_id)
                     executed.extend(outcome.runs)
@@ -110,6 +114,9 @@ class EmulationFirmware:
                         outcome.fused_blocks_retired
                     result.trace_chains += outcome.trace_chains
                     result.fusion_compiles += outcome.fusion_compiles
+                    result.megaops_retired += outcome.megaops_retired
+                    result.megaop_compiles += outcome.megaop_compiles
+                    result.megaop_deopts += outcome.megaop_deopts
                     continue
             shred = queue.pop_ready()
             if shred is None:

@@ -162,7 +162,7 @@ def _charge(block: CompiledBlock, upto: int, active: Sequence[int],
 
 def run_fused(fused: FusedProgram, ip: int, active: List[int],
               V: np.ndarray, P: np.ndarray, ctxs, recs, config, outcome,
-              defer, finish_one, symcache=None):
+              defer, finish_one, symcache=None, recorder=None):
     """Retire as many fused blocks as possible starting at ``ip``.
 
     Returns ``(next_ip, active)`` after making progress — the per-
@@ -170,6 +170,10 @@ def run_fused(fused: FusedProgram, ip: int, active: List[int],
     drained, ``active == []``) — or None when *zero* instructions were
     retired, so the caller's per-instruction path handles ``ip`` and
     forward progress is guaranteed.
+
+    ``recorder`` (a :class:`repro.gma.megaop.TraceRecorder`) observes
+    every uniformly resolved block exit — the megaop tier's promotion
+    profile — and is reset by anything that breaks the trace.
     """
     progressed = False
     block = fused.blocks.get(ip)
@@ -206,6 +210,8 @@ def run_fused(fused: FusedProgram, ip: int, active: List[int],
             # nothing, so the loop re-runs it (and its per-shred
             # fallback) at the precise ip
             _charge(block, failed_at, active, recs, config, outcome)
+            if recorder is not None:
+                recorder.reset()
             resume = block.start + failed_at
             if failed_at == 0 and not progressed:
                 return None
@@ -219,7 +225,11 @@ def run_fused(fused: FusedProgram, ip: int, active: List[int],
             _charge(block, block.body_len, active, recs, config, outcome)
             outcome.fused_blocks_retired += 1
             progressed = True
+            if recorder is not None:
+                recorder.note(block.start, "x")
             ip = block.end
+            if recorder is not None and recorder.promoted(ip):
+                return (ip, active)
             succ = block.chain_fall
             if succ is _UNRESOLVED:
                 succ = fused.blocks.get(ip)
@@ -231,6 +241,8 @@ def run_fused(fused: FusedProgram, ip: int, active: List[int],
         if op is Opcode.END:
             _charge(block, block.ninstr, active, recs, config, outcome)
             outcome.fused_blocks_retired += 1
+            if recorder is not None:
+                recorder.reset()
             for i in active:
                 finish_one(i)
             return (block.end, [])
@@ -249,7 +261,11 @@ def run_fused(fused: FusedProgram, ip: int, active: List[int],
         progressed = True
         if taken.all():
             outcome.trace_chains += 1
+            if recorder is not None:
+                recorder.note(block.start, "t")
             ip = term.target
+            if recorder is not None and recorder.promoted(ip):
+                return (ip, active)
             succ = block.chain_taken
             if succ is _UNRESOLVED:
                 succ = fused.blocks.get(ip)
@@ -258,7 +274,11 @@ def run_fused(fused: FusedProgram, ip: int, active: List[int],
             continue
         if not taken.any():
             outcome.trace_chains += 1
+            if recorder is not None:
+                recorder.note(block.start, "f")
             ip = block.end
+            if recorder is not None and recorder.promoted(ip):
+                return (ip, active)
             succ = block.chain_fall
             if succ is _UNRESOLVED:
                 succ = fused.blocks.get(ip)
@@ -269,6 +289,8 @@ def run_fused(fused: FusedProgram, ip: int, active: List[int],
         # divergence: exactly the per-instruction loop's split — the
         # majority stays ganged, ties keep the lowest queue position's
         # outcome, the minority defers at its exit ip
+        if recorder is not None:
+            recorder.reset()
         taken_count = int(taken.sum())
         if taken_count * 2 == len(active):
             keep_taken = bool(taken[0])

@@ -142,6 +142,9 @@ class GangOutcome:
     fused_blocks_retired: int = 0  # whole blocks retired by the fused path
     trace_chains: int = 0     # uniform branches chained block-to-block
     fusion_compiles: int = 0  # blocks compiled (first-run cost)
+    megaops_retired: int = 0  # whole-trace traversals retired by megaops
+    megaop_compiles: int = 0  # hot cycles promoted to megaops
+    megaop_deopts: int = 0    # megaop guard failures (divergence/fault)
 
 
 def gang_eligible(device, shreds: Sequence[ShredDescriptor]) -> bool:
@@ -167,13 +170,18 @@ def gang_eligible(device, shreds: Sequence[ShredDescriptor]) -> bool:
 def run_gang(device, shreds: Sequence[ShredDescriptor],
              mailboxes: Dict[int, list],
              live_contexts: Dict[int, ShredContext],
-             fusion: bool = False) -> GangOutcome:
+             fusion: bool = False, megaop: bool = False) -> GangOutcome:
     """Execute a homogeneous batch in lockstep; returns runs in order.
 
     With ``fusion`` enabled (``engine="fused"``), straight-line regions
     retire as whole compiled superblocks with uniform-branch trace
     chaining (:mod:`repro.gma.fusion`); anything the fused path cannot
     retire bit-identically drops back to this per-instruction loop.
+    With ``megaop`` additionally enabled (``engine="megaop"``, which
+    implies fusion), hot block cycles promote to compiled megaops
+    (:mod:`repro.gma.megaop`) that retire whole trace traversals per
+    dispatch, deopting to the fused tier at the precise ip on any guard
+    failure.
     """
     program = shreds[0].program
     pre_prog = predecode.lookup(program)
@@ -254,6 +262,12 @@ def run_gang(device, shreds: Sequence[ShredDescriptor],
         from .fusion import get_fused, run_fused
         fused, compiled = get_fused(program, pre_prog)
         outcome.fusion_compiles += compiled
+    mega = None
+    recorder = None
+    if megaop and fusion:
+        from .megaop import MegaSession, run_megaop
+        mega = MegaSession(device, program, pre_prog, fused, outcome)
+        recorder = mega.recorder
     # per-run symbol memo: bindings are frozen at spawn, so each shred's
     # symbol resolves once per run instead of once per read
     symcache: Dict[str, tuple] = {}
@@ -271,15 +285,31 @@ def run_gang(device, shreds: Sequence[ShredDescriptor],
                 defer([(i, ip) for i in active])
                 active = []
                 break
+            if mega is not None:
+                mop = mega.ops.get(ip)
+                if mop is not None:
+                    stepped = run_megaop(mop, device, active, V, P, ctxs,
+                                         recs, config, outcome, defer,
+                                         symcache)
+                    if stepped is not None:
+                        # the recorder window is stale across a megaop
+                        # (its traversals are not noted one by one)
+                        recorder.reset()
+                        ip, active = stepped
+                        continue
             if fusion:
                 fused_to = run_fused(fused, ip, active, V, P, ctxs, recs,
                                      config, outcome, defer, finish_one,
-                                     symcache)
+                                     symcache, recorder)
                 if fused_to is not None:
                     ip, active = fused_to
                     continue
             pre = pre_prog.instrs[ip]
             cls = pre.batch_class
+            if recorder is not None and cls != predecode.BATCH_MEM:
+                # only batched memory retirements extend a recorded
+                # trace; any other per-instruction handling breaks it
+                recorder.reset()
 
             if cls == predecode.BATCH_CONTROL:
                 op = pre.opcode
@@ -371,10 +401,14 @@ def run_gang(device, shreds: Sequence[ShredDescriptor],
                 except ExecutionFault:
                     ok = False
                 if ok:
+                    if recorder is not None:
+                        recorder.note(ip, "m")
                     ip += 1
                     continue
                 # fall through to the per-shred reference step
 
+            if recorder is not None:
+                recorder.reset()
             survivors, pairs = step_per_shred(list(active))
             defer(pairs)
             active = survivors
@@ -680,7 +714,7 @@ def _retire_mem(pre, eff, active, recs, config, outcome) -> bool:
 
 def _apply_mem_batched(device, pre, rows: np.ndarray, V: np.ndarray,
                        P: np.ndarray, ctxs, active, recs, config,
-                       outcome) -> bool:
+                       outcome, account: bool = True) -> bool:
     """One lockstep memory step over every active shred.
 
     Returns True after committing the batched access and its accounting;
@@ -688,6 +722,10 @@ def _apply_mem_batched(device, pre, rows: np.ndarray, V: np.ndarray,
     step.  A ``TlbMiss`` from the vectorized translation propagates to
     the caller for the same fallback — translation happens before any
     writeback, so the abandoned attempt is side-effect free.
+
+    ``account=False`` commits the data-path effects but skips the
+    per-shred accounting — the megaop tier charges retired instructions
+    in bulk from its precomputed trace entries instead.
     """
     instr = pre.instr
     op = pre.opcode
@@ -725,7 +763,8 @@ def _apply_mem_batched(device, pre, rows: np.ndarray, V: np.ndarray,
                 ctxs[i].charge_log.append(
                     (int(bases[pos]) + int(index[pos]) * esize,
                      n * esize, False))
-            return _retire_mem(pre, Effect(), active, recs, config, outcome)
+            return (_retire_mem(pre, Effect(), active, recs, config,
+                                outcome) if account else True)
 
         # ST
         values = ty.wrap(_read_batched(instr.srcs[1], rows, n, V, P, ctxs,
@@ -757,7 +796,8 @@ def _apply_mem_batched(device, pre, rows: np.ndarray, V: np.ndarray,
         for pos, i in enumerate(active):
             ctxs[i].charge_log.append(
                 (int(bases[pos]) + int(index[pos]) * esize, n * esize, True))
-        return _retire_mem(pre, Effect(), active, recs, config, outcome)
+        return (_retire_mem(pre, Effect(), active, recs, config,
+                            outcome) if account else True)
 
     if op in (Opcode.LDBLK, Opcode.STBLK):
         blk = instr.srcs[0]
@@ -804,7 +844,8 @@ def _apply_mem_batched(device, pre, rows: np.ndarray, V: np.ndarray,
                 for r in range(h):
                     log.append((int(span_lo[pos, r]),
                                 int(span_sz[pos, r]), False))
-            return _retire_mem(pre, Effect(), active, recs, config, outcome)
+            return (_retire_mem(pre, Effect(), active, recs, config,
+                                outcome) if account else True)
 
         # STBLK: block stores never clamp — out of bounds is a fault
         if (int(x0.min()) < 0 or int(y0.min()) < 0
@@ -843,7 +884,8 @@ def _apply_mem_batched(device, pre, rows: np.ndarray, V: np.ndarray,
             for r in range(h):
                 log.append((int(span_lo[pos, r]),
                             int(span_sz[pos, r]), True))
-        return _retire_mem(pre, Effect(), active, recs, config, outcome)
+        return (_retire_mem(pre, Effect(), active, recs, config,
+                            outcome) if account else True)
 
     # SAMPLE
     blk = instr.srcs[0]
@@ -906,6 +948,8 @@ def _apply_mem_batched(device, pre, rows: np.ndarray, V: np.ndarray,
     _write_masked_batched(instr.dsts[0], rows, values, None, ty, n, V, P,
                           ctxs, active)
     sampler.samples += len(active) * n
+    if not account:
+        return True
     eff = Effect()
     eff.used_sampler = True
     eff.bytes_read = n * ty.size

@@ -297,6 +297,10 @@ class PredecodeCache:
         #: ``_entries`` and evicted with them: a fused entry must never
         #: outlive — or alias across id reuse — its predecode entry.
         self._fused: Dict[int, object] = {}
+        #: Megaop promotion state (:mod:`repro.gma.megaop`), keyed and
+        #: evicted exactly like ``_fused``: compiled megaops reference
+        #: the program's fused blocks, so they must share its lifetime.
+        self._megaops: Dict[int, object] = {}
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
@@ -313,6 +317,7 @@ class PredecodeCache:
                     return pre
                 self._entries.pop(key, None)  # stale id reuse
                 self._fused.pop(key, None)
+                self._megaops.pop(key, None)
             self.misses += 1
         # decode outside the lock: it is pure and per program, so a
         # concurrent duplicate decode is cheaper than serializing all of
@@ -322,6 +327,7 @@ class PredecodeCache:
         def _evict(_ref, cache=self, key=key):
             with cache._lock:
                 cache._fused.pop(key, None)
+                cache._megaops.pop(key, None)
                 if cache._entries.pop(key, None) is not None:
                     cache.evictions += 1
 
@@ -351,10 +357,29 @@ class PredecodeCache:
             if entry is not None and entry[0]() is program:
                 self._fused[key] = fused
 
+    def lookup_megaops(self, program: Program):
+        """The megaop promotion state stored for this program, or None."""
+        key = id(program)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0]() is program:
+                return self._megaops.get(key)
+        return None
+
+    def store_megaops(self, program: Program, megaops) -> None:
+        """Attach megaop promotion state alongside the predecode entry,
+        under the same liveness verification as :meth:`store_fused`."""
+        key = id(program)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0]() is program:
+                self._megaops[key] = megaops
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self._fused.clear()
+            self._megaops.clear()
 
     def __len__(self) -> int:
         with self._lock:
@@ -370,12 +395,15 @@ class PredecodeCache:
         with self._lock:
             fused_blocks = sum(len(fused.blocks)
                                for fused in self._fused.values())
+            megaops = sum(len(mega.ops)
+                          for mega in self._megaops.values())
             return {
                 "entries": len(self._entries),
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "fused_blocks": fused_blocks,
+                "megaops": megaops,
             }
 
 

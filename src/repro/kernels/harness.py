@@ -46,6 +46,9 @@ class KernelRunResult:
     fused_blocks_retired: int = 0
     trace_chains: int = 0
     fusion_compiles: int = 0
+    megaops_retired: int = 0
+    megaop_compiles: int = 0
+    megaop_deopts: int = 0
 
     @property
     def bytes_total(self) -> int:
@@ -116,6 +119,9 @@ def run_kernel_on_gma(kernel: MediaKernel, geom: Geometry,
         result.fused_blocks_retired += getattr(run, "fused_blocks_retired", 0)
         result.trace_chains += getattr(run, "trace_chains", 0)
         result.fusion_compiles += getattr(run, "fusion_compiles", 0)
+        result.megaops_retired += getattr(run, "megaops_retired", 0)
+        result.megaop_compiles += getattr(run, "megaop_compiles", 0)
+        result.megaop_deopts += getattr(run, "megaop_deopts", 0)
         result.bound = run.timing.bound
         result.frames_run += 1
 

@@ -112,7 +112,9 @@ def fabric_chrome_trace_events(reports: Sequence,
                         "predecode_hits", "predecode_misses",
                         "batched_mem_lanes", "batched_translations",
                         "tlb_vector_hits", "fused_blocks_retired",
-                        "trace_chains", "fusion_compiles")
+                        "trace_chains", "fusion_compiles",
+                        "megaops_retired", "megaop_compiles",
+                        "megaop_deopts")
         }
         if any(engine.values()):
             events.append({

@@ -152,6 +152,8 @@ class TestChromeTrace:
             "batched_mem_lanes": 8, "batched_translations": 2,
             "tlb_vector_hits": 1, "fused_blocks_retired": 0,
             "trace_chains": 0, "fusion_compiles": 0,
+            "megaops_retired": 0, "megaop_compiles": 0,
+            "megaop_deopts": 0,
         }
         meta = {e["pid"]: e for e in events
                 if e["ph"] == "M" and e["name"] == "process_name"}

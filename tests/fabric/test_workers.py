@@ -209,6 +209,63 @@ class TestFaultProxy:
         assert isinstance(payload, FabricError)
 
 
+class TestStagedLaunchPayloads:
+    def test_launches_ride_the_staging_segment(self, pool):
+        """Default-size payloads go through shared memory; the pipe
+        carries only the control message."""
+        workers, space = pool
+        _, shreds = _shreds(space, n=32)
+        worker = workers.worker_for(0)
+        worker.launch("gma0", space, shreds)
+        assert worker.staged_launches == 1
+        assert worker.piped_launches == 0
+        assert workers.staged_launches == 1
+
+    def test_oversized_payload_falls_back_to_pipe(self, pool):
+        workers, space = pool
+        _, shreds = _shreds(space, n=16)
+        worker = workers.worker_for(1)
+
+        class _TinySegment:
+            size = 0  # nothing fits: every launch is "oversized"
+
+        staging, worker.staging = worker.staging, _TinySegment()
+        try:
+            worker.launch("gma1", space, shreds)
+        finally:
+            worker.staging = staging
+        assert worker.piped_launches == 1
+        assert worker.staged_launches == 0
+
+    def test_staged_and_piped_results_identical(self, pool):
+        workers, space = pool
+        out_s, shreds = _shreds(space, n=8, name="OUT")
+        worker = workers.worker_for(0)
+        staged = worker.launch("gma0", space, shreds[:4])
+        staging, worker.staging = worker.staging, None
+        try:
+            piped = worker.launch("gma0", space, shreds[4:])
+        finally:
+            worker.staging = staging
+        assert staged.results[0].instructions == \
+            piped.results[0].instructions
+
+    def test_crashed_worker_staging_is_unlinked(self, pool):
+        """``_dead`` marks the worker closed, but ``close()`` must still
+        reap the process and unlink the staging segment."""
+        from multiprocessing import shared_memory
+
+        workers, space = pool
+        worker = workers.worker_for(1)
+        name = worker.staging.name
+        worker.kill()
+        with pytest.raises(FabricError, match="died|closed"):
+            worker.ping()
+        worker.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name, create=False)
+
+
 class TestCrashRobustness:
     def test_killed_worker_raises_fabric_error_not_hang(self, pool):
         workers, space = pool

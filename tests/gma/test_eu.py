@@ -149,3 +149,55 @@ def test_eu_simulation_invariants(traces):
         l for r in runs for _, l in r.trace + [(0, 0)]) - 1e-9
     for run in runs:
         assert run.shred.shred_id in timing.finish_times
+
+
+class TestLockstepClosedForm:
+    """The identical-trace fast path must be cycle-exact with the event
+    loop it replaces — reports, finish times and spans included."""
+
+    def _both(self, trace, n):
+        from repro.gma.eu import _Context, _simulate_eu, _simulate_eu_ungated
+        outs = []
+        for force_slow in (True, False):
+            ctxs = [_Context([make_run(trace)], slot=k) for k in range(n)]
+            finish, spans = {}, {}
+            if force_slow:
+                report = _simulate_eu_ungated(ctxs, finish, spans, 0)
+            else:
+                report = _simulate_eu(ctxs, {}, finish, spans, 0)
+            outs.append((report.cycles, report.busy_cycles,
+                         report.exposed_stall_cycles,
+                         sorted(finish.values()),
+                         sorted(v[:2] for v in spans.values())))
+        return outs
+
+    def test_fast_path_fires_for_covered_latencies(self):
+        from repro.gma import eu
+        trace = [(1, 3), (1, 1), (1, 0)] * 5
+        report = eu._try_lockstep_closed_form(
+            [eu._Context([make_run(trace)], slot=k) for k in range(4)],
+            {}, {}, 0)
+        assert report is not None
+        assert report.exposed_stall_cycles == 0.0
+        assert report.busy_cycles == 4 * 15
+
+    def test_declines_when_latency_outlives_cover(self):
+        from repro.gma import eu
+        trace = [(1, 9)] * 4  # 9 > (n-1)*1: stalls are exposed
+        assert eu._try_lockstep_closed_form(
+            [eu._Context([make_run(trace)], slot=k) for k in range(4)],
+            {}, {}, 0) is None
+
+    def test_declines_on_divergent_traces(self):
+        from repro.gma import eu
+        ctxs = [eu._Context([make_run([(1, 0)] * 3)], slot=0),
+                eu._Context([make_run([(1, 1)] * 3)], slot=1)]
+        assert eu._try_lockstep_closed_form(ctxs, {}, {}, 0) is None
+
+    @given(st.integers(2, 4),
+           st.lists(st.tuples(st.integers(1, 3), st.integers(0, 12)),
+                    min_size=1, max_size=30))
+    def test_exact_against_event_loop(self, n, trace):
+        fast, slow = None, None
+        slow, fast = self._both(trace, n)
+        assert fast == slow

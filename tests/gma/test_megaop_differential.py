@@ -1,0 +1,384 @@
+"""Differential suite: the megaop engine must be bit-identical to scalar.
+
+Mirrors ``test_fusion_differential`` with ``engine="megaop"`` and a low
+promotion threshold so short test loops actually promote: every scenario
+runs on a scalar device and a megaop device over fresh address spaces,
+then compares outputs, per-shred ``ShredRun`` records (including the
+``(issue, latency)`` traces the timing model replays) and every
+aggregate counter.  The targeted scenarios aim at the megaop-specific
+seams: divergence *inside* a promoted trace, a TLB miss raised by a mem
+step mid-megaop, a CEH-proxied fault mid-megaop, spawn boundaries, the
+promotion threshold itself, and promotion/eviction interplay with the
+``PredecodeCache``'s GC-driven eviction.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.exo.shred import ShredDescriptor
+from repro.gma.device import GmaDevice
+from repro.isa import predecode
+from repro.isa.assembler import assemble
+from repro.isa.types import DataType
+from repro.kernels import ALL_KERNELS, run_kernel_on_gma
+from repro.memory.address_space import AddressSpace
+from repro.memory.surface import Surface
+from repro.perf import SMOKE_GEOMETRIES
+
+RUN_FIELDS = ("instructions", "issue_cycles", "bytes_read", "bytes_written",
+              "sampler_samples", "atr_events", "ceh_events", "spawned")
+AGG_FIELDS = ("shreds_executed", "instructions", "bytes_read",
+              "bytes_written", "atr_events", "ceh_events", "spawned_shreds")
+
+#: Low enough that a handful of loop traversals promotes the cycle.
+THRESHOLD = 3
+
+
+def run_engines(asm: str, bindings_list, surfaces_spec=None, inputs=None,
+                prepare_surfaces: bool = True, threshold: int = THRESHOLD):
+    """The same launch on scalar and megaop, each on a fresh device."""
+    program = assemble(asm, name="megaop-differential")
+    out = {}
+    for engine in ("scalar", "megaop"):
+        space = AddressSpace()
+        device = GmaDevice(space, engine=engine,
+                           megaop_threshold=threshold)
+        surfaces = {
+            name: Surface.alloc(space, name, width, height, DataType.F)
+            for name, (width, height) in (surfaces_spec or {}).items()
+        }
+        for name, image in (inputs or {}).items():
+            surfaces[name].upload(space, np.asarray(image))
+        shreds = [ShredDescriptor(program=program, bindings=dict(bindings),
+                                  surfaces=surfaces)
+                  for bindings in bindings_list]
+        result = device.run(shreds, prepare_surfaces=prepare_surfaces)
+        downloads = {name: surf.download(space)
+                     for name, surf in surfaces.items()}
+        out[engine] = (result, downloads)
+    return out["scalar"], out["megaop"]
+
+
+def assert_identical(scalar, megaop):
+    result_s, surfaces_s = scalar
+    result_m, surfaces_m = megaop
+    for fieldname in AGG_FIELDS:
+        assert getattr(result_s, fieldname) == getattr(result_m, fieldname), \
+            fieldname
+    assert result_s.cycles == result_m.cycles
+    assert len(result_s.runs) == len(result_m.runs)
+    for position, (run_s, run_m) in enumerate(
+            zip(result_s.runs, result_m.runs)):
+        for fieldname in RUN_FIELDS:
+            assert getattr(run_s, fieldname) == getattr(run_m, fieldname), \
+                f"shred {position}: {fieldname}"
+        assert run_s.trace == run_m.trace, f"shred {position}: trace"
+    assert set(surfaces_s) == set(surfaces_m)
+    for name in surfaces_s:
+        assert np.array_equal(surfaces_s[name], surfaces_m[name]), name
+
+
+# -- the whole kernel suite ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kernel_cls", ALL_KERNELS,
+                         ids=[cls.abbrev for cls in ALL_KERNELS])
+def test_kernel_bit_identical(kernel_cls):
+    kernel = kernel_cls()
+    geom = SMOKE_GEOMETRIES[kernel.abbrev]
+    outcomes = {}
+    for engine in ("scalar", "megaop"):
+        device = GmaDevice(AddressSpace(), engine=engine,
+                           megaop_threshold=THRESHOLD)
+        outcomes[engine] = run_kernel_on_gma(
+            kernel, geom, device=device, space=device.space, max_frames=1)
+    scalar, megaop = outcomes["scalar"], outcomes["megaop"]
+    for fieldname in ("instructions", "shreds", "bytes_read",
+                      "bytes_written", "atr_events", "ceh_events",
+                      "sampler_samples", "gma_cycles"):
+        assert getattr(scalar, fieldname) == getattr(megaop, fieldname), \
+            fieldname
+    for name in scalar.outputs:
+        assert np.array_equal(scalar.outputs[name], megaop.outputs[name]), \
+            name
+
+
+# -- megaop-specific seams -------------------------------------------------------------
+
+
+def test_homogeneous_loop_promotes_and_retires():
+    """The counted-loop fast path: the hot cycle promotes once and the
+    steady state retires whole traversals per dispatch."""
+    asm = """
+    iota.16.f vr1
+    mov.1.dw vr2 = 0
+    loop:
+    mad.16.f vr3 = vr1, vr1, vr1
+    add.1.dw vr2 = vr2, 1
+    cmp.lt.1.dw p1 = vr2, iters
+    br p1, loop
+    end
+    """
+    scalar, megaop = run_engines(asm, [{"iters": 40.0}] * 8)
+    assert_identical(scalar, megaop)
+    result = megaop[0]
+    assert result.scalar_fallbacks == 0
+    assert result.gang_lanes_retired == result.instructions
+    assert result.megaop_compiles == 1
+    # threshold traversals profile, the rest retire inside the megaop
+    # (minus the final traversal, whose branch exits the cycle)
+    assert result.megaops_retired >= 30
+    assert result.megaop_deopts == 0
+
+
+def test_divergence_mid_megaop_deopts():
+    """A promoted trace whose guard branch splits: the megaop charges
+    only completed traversals, deopts, and the fused/gang machinery
+    defers the minority at the exact exit ip."""
+    asm = """
+    mov.1.dw vr2 = 0
+    loop:
+    add.16.f vr3 = vr2, vr2
+    mul.16.f vr4 = vr3, vr3
+    add.1.dw vr2 = vr2, 1
+    cmp.lt.1.dw p1 = vr2, iters
+    br p1, loop
+    end
+    """
+    bindings = [{"iters": 30.0}] * 5 + [{"iters": 9.0}] * 3
+    scalar, megaop = run_engines(asm, bindings)
+    assert_identical(scalar, megaop)
+    result = megaop[0]
+    assert result.megaop_compiles == 1
+    assert result.megaops_retired > 0
+    assert result.megaop_deopts >= 1  # the iters=9 split mid-trace
+    assert result.scalar_fallbacks == 3  # short-trip minority peeled
+
+
+def test_tlb_miss_mid_megaop_deopts():
+    """A cached megaop meets an unmapped page: a prepared first launch
+    promotes the store loop; a second launch on a *fresh* space with
+    unprepared surfaces dispatches the cached megaop, whose mem step
+    raises ``TlbMiss`` mid-trace — the megaop charges only the retired
+    prefix, deopts at the store ip, and the peel services the ATR proxy
+    in scalar order."""
+    asm = """
+    mov.1.dw vr2 = 0
+    mov.1.dw vr4 = base
+    iota.16.f vr1
+    loop:
+    mad.16.f vr3 = vr1, vr2, vr1
+    st.16.f (OUT, vr4, 0) = vr3
+    add.1.dw vr4 = vr4, 16
+    add.1.dw vr2 = vr2, 1
+    cmp.lt.1.dw p1 = vr2, iters
+    br p1, loop
+    end
+    """
+    program = assemble(asm, name="megaop-tlb-miss")
+
+    def launch(engine, prepare):
+        space = AddressSpace()
+        device = GmaDevice(space, engine=engine, megaop_threshold=THRESHOLD)
+        surfaces = {"OUT": Surface.alloc(space, "OUT", 800, 1, DataType.F)}
+        shreds = [ShredDescriptor(program=program,
+                                  bindings={"base": float(64 * i),
+                                            "iters": 12.0},
+                                  surfaces=surfaces)
+                  for i in range(4)]
+        result = device.run(shreds, prepare_surfaces=prepare)
+        return result, {"OUT": surfaces["OUT"].download(space)}
+
+    prime = launch("megaop", True)
+    assert prime[0].megaop_compiles == 1
+    assert prime[0].megaops_retired > 0
+    scalar = launch("scalar", False)
+    megaop = launch("megaop", False)
+    assert_identical(scalar, megaop)
+    assert scalar[0].atr_events > 0
+    assert megaop[0].megaop_compiles == 0  # reused the cached megaop
+    assert megaop[0].megaop_deopts >= 1    # unmapped page mid-trace
+
+
+def test_ceh_fault_mid_megaop_deopts():
+    """A divide whose divisor reaches zero mid-loop: the ALU guard fails
+    inside the promoted trace, the megaop deopts at the precise ip, and
+    the faulting shreds ride the CEH proxy path in scalar order."""
+    asm = """
+    iota.16.f vr1
+    mov.16.f vr5 = 12.0
+    mov.1.dw vr2 = 0
+    loop:
+    div.16.f vr6 = vr1, vr5
+    sub.16.f vr5 = vr5, 1.0
+    add.1.dw vr2 = vr2, 1
+    cmp.lt.1.dw p1 = vr2, iters
+    br p1, loop
+    end
+    """
+    scalar, megaop = run_engines(asm, [{"iters": 20.0}] * 6)
+    assert_identical(scalar, megaop)
+    result = megaop[0]
+    assert scalar[0].ceh_events > 0  # divisor hits zero at iteration 12
+    assert result.megaop_compiles == 1
+    assert result.megaops_retired > 0
+    assert result.megaop_deopts >= 1
+
+
+def test_spawn_boundary_never_promotes():
+    """SPAWN is never part of a block, so no cycle containing it can
+    promote; children join the queue in scalar order."""
+    asm = """
+    mov.1.dw vr2 = __spawn_arg
+    cmp.gt.1.dw p1 = vr2, 0
+    (!p1) jmp done
+    spawn 0
+    done:
+    end
+    """
+    bindings = [{"__spawn_arg": 1.0}] * 2 + [{"__spawn_arg": 0.0}] * 2
+    scalar, megaop = run_engines(asm, bindings, threshold=1)
+    assert_identical(scalar, megaop)
+    assert scalar[0].spawned_shreds == 2
+    assert scalar[0].shreds_executed == 6  # 4 parents + 2 children
+    assert megaop[0].megaop_compiles == 0
+
+
+def test_promotion_threshold_knob():
+    """The device threshold gates promotion: a loop hotter than the
+    threshold promotes, one colder never compiles."""
+    asm = """
+    iota.16.f vr1
+    mov.1.dw vr2 = 0
+    loop:
+    add.16.f vr3 = vr1, vr1
+    add.1.dw vr2 = vr2, 1
+    cmp.lt.1.dw p1 = vr2, iters
+    br p1, loop
+    end
+    """
+
+    def run(threshold):
+        program = assemble(asm, name=f"threshold-{threshold}")
+        device = GmaDevice(AddressSpace(), engine="megaop",
+                           megaop_threshold=threshold)
+        shreds = [ShredDescriptor(program=program, bindings={"iters": 20.0})
+                  for _ in range(4)]
+        return device.run(shreds)
+
+    hot = run(2)
+    assert hot.megaop_compiles == 1
+    assert hot.megaops_retired > 0
+    cold = run(1000)
+    assert cold.megaop_compiles == 0
+    assert cold.megaops_retired == 0
+    assert hot.instructions == cold.instructions
+    assert hot.cycles == cold.cycles
+
+
+def test_megaop_matches_fused_counters():
+    """Megaop and fused agree on every shared counter (the megaop
+    counters are the only addition) and on all architectural state."""
+    asm = """
+    iota.16.f vr1
+    mov.1.dw vr2 = 0
+    loop:
+    add.16.f vr3 = vr1, vr1
+    add.1.dw vr2 = vr2, 1
+    cmp.lt.1.dw p1 = vr2, iters
+    br p1, loop
+    end
+    """
+    program = assemble(asm, name="megaop-vs-fused")
+    results = {}
+    for engine in ("fused", "megaop"):
+        device = GmaDevice(AddressSpace(), engine=engine,
+                           megaop_threshold=THRESHOLD)
+        shreds = [ShredDescriptor(program=program,
+                                  bindings={"iters": 25.0})
+                  for _ in range(8)]
+        results[engine] = device.run(shreds)
+    fused, megaop = results["fused"], results["megaop"]
+    assert fused.instructions == megaop.instructions
+    assert fused.cycles == megaop.cycles
+    assert fused.gang_lanes_retired == megaop.gang_lanes_retired
+    assert fused.scalar_fallbacks == megaop.scalar_fallbacks
+    assert fused.megaops_retired == 0 and fused.megaop_compiles == 0
+    assert megaop.megaops_retired > 0 and megaop.megaop_compiles == 1
+    for run_f, run_m in zip(fused.runs, megaop.runs):
+        assert run_f.trace == run_m.trace
+
+
+def test_promotion_survives_across_runs_and_evicts_with_program():
+    """Megaops live in the PredecodeCache beside the predecode entry: a
+    second run of the same program reuses the compiled megaop (no
+    recompile), and dropping the program evicts it with GC."""
+    asm = """
+    iota.16.f vr1
+    mov.1.dw vr2 = 0
+    loop:
+    mul.16.f vr3 = vr1, vr1
+    add.1.dw vr2 = vr2, 1
+    cmp.lt.1.dw p1 = vr2, iters
+    br p1, loop
+    end
+    """
+    program = assemble(asm, name="megaop-eviction")
+
+    def launch():
+        device = GmaDevice(AddressSpace(), engine="megaop",
+                           megaop_threshold=THRESHOLD)
+        shreds = [ShredDescriptor(program=program, bindings={"iters": 20.0})
+                  for _ in range(4)]
+        return device.run(shreds)
+
+    first = launch()
+    assert first.megaop_compiles == 1
+    assert predecode.CACHE.stats()["megaops"] >= 1
+    second = launch()
+    assert second.megaop_compiles == 0  # cache hit: already promoted
+    assert second.megaops_retired > 0
+    assert first.instructions == second.instructions
+    before = predecode.CACHE.stats()["megaops"]
+    # drop every reference to the program (results hold it via their
+    # shred descriptors) so the weakref eviction can fire
+    del program, first, second
+    gc.collect()
+    assert predecode.CACHE.stats()["megaops"] < before
+
+
+def test_clear_cache_mid_profile_recompiles():
+    """A ``PredecodeCache.clear`` between runs (the eviction race seam)
+    drops megaops and counts; the next run re-profiles and re-promotes
+    without corrupting results."""
+    asm = """
+    iota.16.f vr1
+    mov.1.dw vr2 = 0
+    loop:
+    add.16.f vr3 = vr1, 1.0
+    add.1.dw vr2 = vr2, 1
+    cmp.lt.1.dw p1 = vr2, iters
+    br p1, loop
+    end
+    """
+    program = assemble(asm, name="megaop-clear")
+
+    def launch():
+        device = GmaDevice(AddressSpace(), engine="megaop",
+                           megaop_threshold=THRESHOLD)
+        shreds = [ShredDescriptor(program=program, bindings={"iters": 15.0})
+                  for _ in range(4)]
+        return device.run(shreds)
+
+    first = launch()
+    assert first.megaop_compiles == 1
+    predecode.CACHE.clear()
+    assert predecode.CACHE.stats()["megaops"] == 0
+    second = launch()
+    assert second.megaop_compiles == 1  # profiled from scratch
+    assert first.instructions == second.instructions
+    assert first.cycles == second.cycles

@@ -229,3 +229,50 @@ def test_gang_engine_engages_under_coalescing():
         _serve_kernel("AlphaBlend", coalesce=True))
     assert gang_stats.gangs_coalesced >= 1
     assert solo_stats.gangs_coalesced == 0
+
+
+LOOP_ASM = """
+iota.16.f vr1
+mov.1.dw vr2 = 0
+loop:
+mad.16.f vr3 = vr1, vr1, vr1
+add.1.dw vr2 = vr2, 1
+cmp.lt.1.dw p1 = vr2, iters
+br p1, loop
+end
+"""
+
+
+def test_coalesced_batches_hit_promoted_megaops_across_launches():
+    """The megaop cache is keyed by program, not by launch: the first
+    coalesced batch profiles and promotes the hot loop, the second one
+    reuses the compiled megaop without recompiling."""
+    program = assemble(LOOP_ASM, name="serving-megaop-loop")
+
+    async def scenario():
+        async with ExoServer(num_devices=1, engine="megaop",
+                             megaop_threshold=2) as server:
+            session = server.open_session(
+                "t", SessionQuotas(max_inflight=8, max_surfaces=8,
+                                   max_surface_bytes=1 << 20,
+                                   max_descriptors=32))
+            snapshots = []
+            for _ in range(2):
+                await asyncio.gather(*[
+                    server.submit(session, program,
+                                  bindings=[{"iters": 40.0}])
+                    for _ in range(4)
+                ])
+                stats = server.runtime_stats()
+                snapshots.append((stats.megaop_compiles,
+                                  stats.megaops_retired,
+                                  stats.gangs_coalesced))
+            return snapshots
+
+    (compiles1, retired1, coalesced1), (compiles2, retired2, coalesced2) \
+        = asyncio.run(scenario())
+    assert coalesced1 >= 1 and coalesced2 >= 2  # both batches merged
+    assert compiles1 == 1          # the first batch promotes the cycle
+    assert retired1 > 0
+    assert compiles2 == compiles1  # warm cache: no recompile
+    assert retired2 > retired1     # ...but the second batch still hits it
