@@ -17,6 +17,11 @@ benchmark measures that change two ways:
   load/store dominated) through the standard harness — the second CI
   gate, exercising the batched gather/scatter and vectorized TLB
   translation path end to end;
+* two *divergent* kernels whose branches depend on per-shred data — a
+  ragged-trip-count loop and a sustained sawtooth diamond — the
+  divergence-repacking gate: gang must hold >= 1.5x scalar
+  instructions/second and >= 50% gang residency (share of instructions
+  retired ganged) even though the lanes disagree at every branch;
 * the full kernel suite at smoke geometries (the per-kernel speedup
   table CI publishes), plus a 4-device fabric drain with and without
   ``parallel=True``.
@@ -52,6 +57,9 @@ DEFAULT_ITERS = 300
 CHECK_SPEEDUP = 3.0
 CHECK_FUSION = 1.8  # fused vs plain gang, homogeneous instr/s
 CHECK_MEGAOP = 2.0  # megaop vs fused, homogeneous instr/s
+CHECK_DIVERGENT = 1.5  # gang vs scalar, divergent kernels, instr/s
+CHECK_RESIDENCY = 50.0  # minimum gang_residency_pct, divergent kernels
+DIVERGENT_ITERS = 160
 
 #: Homogeneous by construction: the trip count is one uniform symbol, so
 #: every shred follows the same path and the gang never peels.  The lane
@@ -110,8 +118,122 @@ def measure_homogeneous(engine: str, shreds: int = DEFAULT_SHREDS,
                 "megaops_retired": result.megaops_retired,
                 "megaop_compiles": result.megaop_compiles,
                 "megaop_deopts": result.megaop_deopts,
+                "gang_repacks": result.gang_repacks,
+                "lanes_readmitted": result.lanes_readmitted,
+                "gang_residency_pct": result.gang_residency_pct,
             }
     return best
+
+
+#: Ragged trip counts: the loop body is the homogeneous kernel's, but
+#: the per-shred ``iters`` binding splits the gang into four trip-count
+#: classes.  The gang diverges at the loop-exit branch three times;
+#: each time the early-exit class parks at the join and the survivors
+#: repack dense instead of peeling to the scalar interpreter.
+RAGGED_LOOP_ASM = HOMOGENEOUS_ASM
+
+#: Sustained divergence: each shred's ``vr3`` follows its own sawtooth
+#: (phase ``x``, slope ``step``, wrap at the ``> 7`` threshold), so the
+#: gang splits at the diamond on almost every trip — the worst case for
+#: lockstep execution and the showcase for compaction + re-admission.
+#: Both arms contract ``vr4`` (multipliers < 1), so no overflow.
+SAWTOOTH_DIAMOND_ASM = """
+iota.16.f vr1
+mul.16.f vr1 = vr1, 0.03
+mov.1.dw vr2 = 0
+bcast.16.f vr3 = x
+mov.16.f vr4 = 0.0
+loop:
+cmp.gt.1.dw p2 = vr3, 7
+br p2, high
+mul.16.f vr4 = vr4, 0.5
+add.16.f vr4 = vr4, vr1
+jmp next
+high:
+mul.16.f vr4 = vr4, 0.25
+add.16.f vr4 = vr4, 1.0
+sub.16.f vr3 = vr3, 16.0
+next:
+add.16.f vr3 = vr3, step
+add.1.dw vr2 = vr2, 1
+cmp.lt.1.dw p1 = vr2, iters
+br p1, loop
+end
+"""
+
+
+def _ragged_bindings(shreds: int, iters: int):
+    return [{"iters": float(max(1, iters * (i * 4 // shreds + 1) // 4))}
+            for i in range(shreds)]
+
+
+def _sawtooth_bindings(shreds: int, iters: int):
+    return [{"x": float((i * 5) % 16), "step": float(1 + i % 3),
+             "iters": float(iters)}
+            for i in range(shreds)]
+
+
+DIVERGENT_KERNELS = {
+    "ragged-loop": (RAGGED_LOOP_ASM, _ragged_bindings),
+    "sawtooth-diamond": (SAWTOOTH_DIAMOND_ASM, _sawtooth_bindings),
+}
+
+
+def measure_divergent(name: str, engine: str, shreds: int = DEFAULT_SHREDS,
+                      iters: int = DIVERGENT_ITERS, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` wall time for one divergent launch."""
+    asm, make_bindings = DIVERGENT_KERNELS[name]
+    program = assemble(asm, name=f"divergent-{name}")
+    bindings = make_bindings(shreds, iters)
+    best = None
+    for _ in range(repeats):
+        predecode.CACHE.clear()
+        device = GmaDevice(AddressSpace(), engine=engine)
+        batch = [ShredDescriptor(program=program, bindings=dict(b))
+                 for b in bindings]
+        started = time.perf_counter()
+        result = device.run(batch)
+        wall = time.perf_counter() - started
+        if best is None or wall < best["wall_seconds"]:
+            best = {
+                "engine": engine,
+                "kernel": name,
+                "shreds": shreds,
+                "instructions": result.instructions,
+                "wall_seconds": wall,
+                "instructions_per_second": result.instructions / wall,
+                "gang_lanes_retired": result.gang_lanes_retired,
+                "gang_residency_pct": result.gang_residency_pct,
+                "gang_repacks": result.gang_repacks,
+                "lanes_readmitted": result.lanes_readmitted,
+                "scalar_fallbacks": result.scalar_fallbacks,
+            }
+    return best
+
+
+def measure_divergent_table(shreds: int = DEFAULT_SHREDS,
+                            iters: int = DIVERGENT_ITERS) -> dict:
+    """Every engine tier over both divergent kernels."""
+    table = {}
+    for name in DIVERGENT_KERNELS:
+        row = {engine: measure_divergent(name, engine, shreds, iters)
+               for engine in ("scalar", "gang", "fused", "megaop")}
+        scalar_ips = row["scalar"]["instructions_per_second"]
+        gang = row["gang"]
+        table[name] = {
+            "speedup": gang["instructions_per_second"] / scalar_ips,
+            "fused_speedup":
+                row["fused"]["instructions_per_second"] / scalar_ips,
+            "megaop_speedup":
+                row["megaop"]["instructions_per_second"] / scalar_ips,
+            "gang_residency_pct": gang["gang_residency_pct"],
+            "gang_repacks": gang["gang_repacks"],
+            "lanes_readmitted": gang["lanes_readmitted"],
+            "scalar_fallbacks": gang["scalar_fallbacks"],
+            "instructions": gang["instructions"],
+            "engines": row,
+        }
+    return table
 
 
 def measure_kernel(engine: str, repeats: int = 2,
@@ -143,6 +265,9 @@ def measure_kernel(engine: str, repeats: int = 2,
                 "megaops_retired": outcome.megaops_retired,
                 "megaop_compiles": outcome.megaop_compiles,
                 "megaop_deopts": outcome.megaop_deopts,
+                "gang_repacks": outcome.gang_repacks,
+                "lanes_readmitted": outcome.lanes_readmitted,
+                "gang_residency_pct": outcome.gang_residency_pct,
             }
     return best
 
@@ -218,6 +343,7 @@ def compare(shreds: int = DEFAULT_SHREDS, iters: int = DEFAULT_ITERS) -> dict:
     return {
         "homogeneous": {"scalar": scalar, "gang": gang, "fused": fused,
                         "megaop": megaop},
+        "divergent": measure_divergent_table(shreds),
         "kernel": kernel,
         "kernels": measure_all_kernels(),
         "fabric": {"serial": measure_parallel_fabric(False),
@@ -262,6 +388,18 @@ def report(outcome: dict) -> str:
                  f"{megaop['megaops_retired']} traversals retired, "
                  f"{megaop['megaop_compiles']} compiles, "
                  f"{megaop['megaop_deopts']} deopts")
+    lines.append("  divergent kernels (data-dependent branches, "
+                 f"gates: >= {CHECK_DIVERGENT:.1f}x gang, "
+                 f">= {CHECK_RESIDENCY:.0f}% residency):")
+    lines.append(f"    {'kernel':18s} {'gang':>7s} {'fused':>7s} "
+                 f"{'megaop':>7s} {'resid':>6s} {'repacks':>8s} "
+                 f"{'readmit':>8s} {'peeled':>7s}")
+    for name, row in outcome["divergent"].items():
+        lines.append(
+            f"    {name:18s} {row['speedup']:6.2f}x "
+            f"{row['fused_speedup']:6.2f}x {row['megaop_speedup']:6.2f}x "
+            f"{row['gang_residency_pct']:5.1f}% {row['gang_repacks']:8d} "
+            f"{row['lanes_readmitted']:8d} {row['scalar_fallbacks']:7d}")
     kern = outcome["kernel"]
     kname = kern["scalar"]["kernel"]
     lines.append(f"  {kname}: {outcome['kernel_speedup']:.1f}x faster "
@@ -328,6 +466,24 @@ def step_summary(outcome: dict) -> str:
         ns = m["wall_seconds"] * 1e9 / m["instructions"]
         lines.append(f"| {name} | {ns:.0f} "
                      f"| {m['instructions_per_second'] / 1e6:.3f} |")
+    lines += [
+        "",
+        "#### Gang residency: convergent vs divergent",
+        "",
+        "| kernel | gang speedup | residency | repacks | readmitted "
+        "| peeled |",
+        "|---|---|---|---|---|---|",
+        f"| uniform-loop (convergent) | {outcome['speedup']:.2f}x "
+        f"| {homo['gang']['gang_residency_pct']:.1f}% "
+        f"| {homo['gang']['gang_repacks']} "
+        f"| {homo['gang']['lanes_readmitted']} "
+        f"| {homo['gang']['scalar_fallbacks']} |",
+    ]
+    for name, row in outcome["divergent"].items():
+        lines.append(
+            f"| {name} (divergent) | {row['speedup']:.2f}x "
+            f"| {row['gang_residency_pct']:.1f}% | {row['gang_repacks']} "
+            f"| {row['lanes_readmitted']} | {row['scalar_fallbacks']} |")
     lines += [
         "",
         "| kernel | gang speedup | fused speedup | megaop speedup | blocks "
@@ -403,6 +559,23 @@ def test_megaop_beats_fused():
     assert speedup >= CHECK_MEGAOP, f"megaop only {speedup:.2f}x fused"
 
 
+def test_divergent_gang_beats_scalar():
+    """The divergence-repacking acceptance bar: data-dependent branches
+    must not collapse the gang to the scalar interpreter."""
+    for name in DIVERGENT_KERNELS:
+        scalar = measure_divergent(name, "scalar")
+        gang = measure_divergent(name, "gang")
+        assert gang["instructions"] == scalar["instructions"], name
+        assert gang["scalar_fallbacks"] == 0, name
+        assert gang["gang_repacks"] > 0, name
+        assert gang["lanes_readmitted"] > 0, name
+        assert gang["gang_residency_pct"] >= CHECK_RESIDENCY, name
+        speedup = (gang["instructions_per_second"]
+                   / scalar["instructions_per_second"])
+        assert speedup >= CHECK_DIVERGENT, \
+            f"gang only {speedup:.2f}x scalar on {name}"
+
+
 def test_parallel_fabric_same_results():
     serial = measure_parallel_fabric(False)
     threaded = measure_parallel_fabric("force")
@@ -431,9 +604,11 @@ def main(argv=None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero unless gang reaches "
                              f">= {CHECK_SPEEDUP:.0f}x scalar, fused "
-                             f">= {CHECK_FUSION:.1f}x gang and megaop "
+                             f">= {CHECK_FUSION:.1f}x gang, megaop "
                              f">= {CHECK_MEGAOP:.1f}x fused "
-                             "instructions/second")
+                             "instructions/second, and divergent kernels "
+                             f">= {CHECK_DIVERGENT:.1f}x scalar at "
+                             f">= {CHECK_RESIDENCY:.0f}% gang residency")
     args = parser.parse_args(argv)
 
     outcome = compare(args.shreds, args.iters)
@@ -467,12 +642,30 @@ def main(argv=None) -> int:
                   f"{outcome['kernel_speedup']:.2f}x "
                   f"< {CHECK_SPEEDUP:.0f}x", file=sys.stderr)
             failed = True
+        for name, row in outcome["divergent"].items():
+            if row["speedup"] < CHECK_DIVERGENT:
+                print(f"CHECK FAILED: divergent speedup {row['speedup']:.2f}x"
+                      f" < {CHECK_DIVERGENT:.1f}x on {name}",
+                      file=sys.stderr)
+                failed = True
+            if row["gang_residency_pct"] < CHECK_RESIDENCY:
+                print(f"CHECK FAILED: gang residency "
+                      f"{row['gang_residency_pct']:.1f}% "
+                      f"< {CHECK_RESIDENCY:.0f}% on {name}",
+                      file=sys.stderr)
+                failed = True
         if failed:
             return 1
+        divergent = min(row["speedup"]
+                        for row in outcome["divergent"].values())
+        residency = min(row["gang_residency_pct"]
+                        for row in outcome["divergent"].values())
         print(f"check passed: gang {outcome['speedup']:.1f}x scalar "
               f"(homogeneous), fused {outcome['fusion_speedup']:.2f}x gang, "
               f"megaop {outcome['megaop_speedup']:.2f}x fused, "
-              f"{outcome['kernel_speedup']:.1f}x (memory-bound kernel)")
+              f"{outcome['kernel_speedup']:.1f}x (memory-bound kernel), "
+              f"divergent >= {divergent:.1f}x at >= {residency:.0f}% "
+              f"residency")
     return 0
 
 

@@ -572,6 +572,14 @@ class RuntimeStats:
     megaops_retired: int = 0
     megaop_compiles: int = 0
     megaop_deopts: int = 0
+    #: Divergence repacking: reconvergence merges performed (sub-gangs
+    #: re-admitted into one gang at a join) and the lane count they
+    #: brought back; ``instructions_retired`` accumulates every engine
+    #: region's retired instructions so ``gang_residency_pct`` can be
+    #: derived at any aggregation level (percentages don't sum).
+    gang_repacks: int = 0
+    lanes_readmitted: int = 0
+    instructions_retired: int = 0
     #: Fabric drain accounting: how many regions drained on worker
     #: threads vs serially (the dispatcher falls back to serial below
     #: ``PARALLEL_DRAIN_MIN_SHREDS`` per device even when asked to
@@ -636,3 +644,13 @@ class RuntimeStats:
         self.megaops_retired += getattr(result, "megaops_retired", 0)
         self.megaop_compiles += getattr(result, "megaop_compiles", 0)
         self.megaop_deopts += getattr(result, "megaop_deopts", 0)
+        self.gang_repacks += getattr(result, "gang_repacks", 0)
+        self.lanes_readmitted += getattr(result, "lanes_readmitted", 0)
+        self.instructions_retired += getattr(result, "instructions", 0)
+
+    @property
+    def gang_residency_pct(self) -> float:
+        """Share of retired instructions that retired while ganged."""
+        if not self.instructions_retired:
+            return 0.0
+        return 100.0 * self.gang_lanes_retired / self.instructions_retired

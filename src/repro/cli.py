@@ -165,11 +165,16 @@ def chirun(argv=None) -> int:
             print(f"[chirun] engine={args.engine} "
                   f"gang_lanes={stats.gang_lanes_retired} "
                   f"scalar_fallbacks={stats.scalar_fallbacks} "
+                  f"gang_residency={stats.gang_residency_pct:.1f}% "
                   f"decode_cache={stats.predecode_hits}/{total} "
                   f"({rate:.0%} hit) "
                   f"batched_mem={stats.batched_mem_lanes} "
                   f"vec_translate={stats.batched_translations}",
                   file=sys.stderr)
+            if stats.gang_repacks:
+                print(f"[chirun] repack merges={stats.gang_repacks} "
+                      f"lanes_readmitted={stats.lanes_readmitted}",
+                      file=sys.stderr)
             cache = predecode.CACHE.stats()
             print(f"[chirun] predecode_cache entries={cache['entries']} "
                   f"hits={cache['hits']} misses={cache['misses']} "

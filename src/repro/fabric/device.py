@@ -113,6 +113,8 @@ class DeviceRunReport:
             merged.megaops_retired += result.megaops_retired
             merged.megaop_compiles += result.megaop_compiles
             merged.megaop_deopts += result.megaop_deopts
+            merged.gang_repacks += result.gang_repacks
+            merged.lanes_readmitted += result.lanes_readmitted
             if result.timing is not None:
                 for sid, (s, f, eu, slot) in result.timing.spans.items():
                     timing.spans[sid] = (s + offset, f + offset, eu, slot)
@@ -239,6 +241,22 @@ class FabricRunResult:
     @property
     def megaop_deopts(self) -> int:
         return self._sum("megaop_deopts")
+
+    @property
+    def gang_repacks(self) -> int:
+        return self._sum("gang_repacks")
+
+    @property
+    def lanes_readmitted(self) -> int:
+        return self._sum("lanes_readmitted")
+
+    @property
+    def gang_residency_pct(self) -> float:
+        """Share of retired instructions that retired while ganged."""
+        instructions = self.instructions
+        if not instructions:
+            return 0.0
+        return 100.0 * self.gang_lanes_retired / instructions
 
     def report_for(self, device: str) -> Optional[DeviceRunReport]:
         for report in self.reports:

@@ -62,6 +62,8 @@ class GmaRunResult:
     megaops_retired: int = 0      # whole-trace traversals retired by megaops
     megaop_compiles: int = 0      # hot cycles promoted to megaops
     megaop_deopts: int = 0        # megaop guard failures (divergence/fault)
+    gang_repacks: int = 0         # reconvergence merges (sub-gangs re-admitted)
+    lanes_readmitted: int = 0     # parked lanes merged back at a join
 
     @property
     def cycles(self) -> float:
@@ -70,6 +72,13 @@ class GmaRunResult:
     @property
     def bytes_total(self) -> int:
         return self.bytes_read + self.bytes_written
+
+    @property
+    def gang_residency_pct(self) -> float:
+        """Share of retired instructions that retired while ganged."""
+        if not self.instructions:
+            return 0.0
+        return 100.0 * self.gang_lanes_retired / self.instructions
 
 
 class EmulationFirmware:
@@ -117,6 +126,8 @@ class EmulationFirmware:
                     result.megaops_retired += outcome.megaops_retired
                     result.megaop_compiles += outcome.megaop_compiles
                     result.megaop_deopts += outcome.megaop_deopts
+                    result.gang_repacks += outcome.gang_repacks
+                    result.lanes_readmitted += outcome.lanes_readmitted
                     continue
             shred = queue.pop_ready()
             if shred is None:

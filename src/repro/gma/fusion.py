@@ -162,7 +162,8 @@ def _charge(block: CompiledBlock, upto: int, active: Sequence[int],
 
 def run_fused(fused: FusedProgram, ip: int, active: List[int],
               V: np.ndarray, P: np.ndarray, ctxs, recs, config, outcome,
-              defer, finish_one, symcache=None, recorder=None):
+              defer, finish_one, symcache=None, recorder=None,
+              rows=None, diverge=None, stop_ip=None):
     """Retire as many fused blocks as possible starting at ``ip``.
 
     Returns ``(next_ip, active)`` after making progress — the per-
@@ -174,14 +175,24 @@ def run_fused(fused: FusedProgram, ip: int, active: List[int],
     ``recorder`` (a :class:`repro.gma.megaop.TraceRecorder`) observes
     every uniformly resolved block exit — the megaop tier's promotion
     profile — and is reset by anything that breaks the trace.
+
+    ``rows`` carries the gang's storage rows when ``V``/``P`` are a
+    dense sub-gang pack (rows are then pack-relative, not shred
+    indices); ``diverge`` routes a divergent branch's losing side
+    (park-or-peel); ``stop_ip`` is the innermost pending reconvergence
+    join — chaining never enters it, so the gang suspends there
+    precisely.
     """
     progressed = False
     block = fused.blocks.get(ip)
     # ``active`` is invariant across chained blocks (divergence returns),
     # so the row index array is built once per call, not once per block
-    rows = np.asarray(active)
-    max_budget = MAX_INSTRUCTIONS - recs[active[0]].instructions \
-        if active else 0
+    if rows is None:
+        rows = np.asarray(active)
+    # re-admitted gangs need not hold uniform counts: budget from the
+    # most advanced record so no lane retires past the runaway cap
+    max_budget = MAX_INSTRUCTIONS - max(recs[i].instructions
+                                        for i in active) if active else 0
     while True:
         if block is None:
             return (ip, active) if progressed else None
@@ -228,6 +239,8 @@ def run_fused(fused: FusedProgram, ip: int, active: List[int],
             if recorder is not None:
                 recorder.note(block.start, "x")
             ip = block.end
+            if ip == stop_ip:  # pending reconvergence join: suspend
+                return (ip, active)
             if recorder is not None and recorder.promoted(ip):
                 return (ip, active)
             succ = block.chain_fall
@@ -264,6 +277,8 @@ def run_fused(fused: FusedProgram, ip: int, active: List[int],
             if recorder is not None:
                 recorder.note(block.start, "t")
             ip = term.target
+            if ip == stop_ip:  # pending reconvergence join: suspend
+                return (ip, active)
             if recorder is not None and recorder.promoted(ip):
                 return (ip, active)
             succ = block.chain_taken
@@ -277,6 +292,8 @@ def run_fused(fused: FusedProgram, ip: int, active: List[int],
             if recorder is not None:
                 recorder.note(block.start, "f")
             ip = block.end
+            if ip == stop_ip:  # pending reconvergence join: suspend
+                return (ip, active)
             if recorder is not None and recorder.promoted(ip):
                 return (ip, active)
             succ = block.chain_fall
@@ -288,7 +305,8 @@ def run_fused(fused: FusedProgram, ip: int, active: List[int],
 
         # divergence: exactly the per-instruction loop's split — the
         # majority stays ganged, ties keep the lowest queue position's
-        # outcome, the minority defers at its exit ip
+        # outcome, the minority parks toward the reconvergence point or
+        # defers at its exit ip
         if recorder is not None:
             recorder.reset()
         taken_count = int(taken.sum())
@@ -298,8 +316,12 @@ def run_fused(fused: FusedProgram, ip: int, active: List[int],
             keep_taken = taken_count * 2 > len(active)
         stay_ip = term.target if keep_taken else block.end
         exit_ip = block.end if keep_taken else term.target
-        defer([(i, exit_ip) for pos, i in enumerate(active)
-               if bool(taken[pos]) != keep_taken])
+        losers = [i for pos, i in enumerate(active)
+                  if bool(taken[pos]) != keep_taken]
+        if diverge is not None:
+            diverge(block.term_ip, exit_ip, losers)
+        else:
+            defer([(i, exit_ip) for i in losers])
         active = [i for pos, i in enumerate(active)
                   if bool(taken[pos]) == keep_taken]
         return (stay_ip, active)

@@ -16,7 +16,9 @@ register state (their lane views) and the same
 predecode ``batch_class``:
 
 * **control** — END/NOP/FENCE and *uniform* branches stay ganged; a
-  divergent branch keeps the majority side ganged and peels the rest;
+  divergent branch keeps the majority side ganged and routes the rest
+  through *divergence repacking* (see below) when the divergent region
+  is provably pure, else peels them;
 * **batch_mem** — loads, stores and sampler reads stay ganged: lane
   addresses are computed on the batched register file, translated in one
   vectorized call and moved with one numpy gather/scatter; any
@@ -33,6 +35,24 @@ predecode ``batch_class``:
   float overflow, unresolvable symbol) re-runs the step per shred, which
   reproduces the architectural per-shred fault;
 * **peel_all** — SPAWN peels every resident shred at the spawn point.
+
+Divergence is a transient, not a death sentence.  Every divergable
+branch carries its immediate post-dominator from predecode
+(``PredecodedInstr.reconv``) plus a static purity bit
+(``repackable``): when the region between the branch and the join
+contains no ordered side effect (no ``peel_all`` instruction), the
+losing side *parks* as a suspended sub-gang instead of peeling.  The
+surviving majority compacts into a dense register-file pack (no holes:
+batched steps stay full width) and runs to the join, where it suspends;
+each parked sub-gang then runs its arm in lockstep the same way; when
+the last one reports, all arrivals merge their register state back into
+the lane slots and continue as one re-formed gang — *re-admission*
+(counted by ``gang_repacks`` / ``lanes_readmitted``).  Ordering stays
+scalar-identical because nothing order-dependent ever executes while
+ganged (the lemma below): a suspended lane that *would* emit an ordered
+side effect — SPAWN, an ATR service, a CEH proxy — still peels exactly
+as before, either statically (the region is not ``repackable``) or
+dynamically (the sub-gang's own peel rules fire mid-arm).
 
 Peels are **deferred**: a peeled shred does not run at the peel point —
 it is queued with its resume ip and executed to completion only after
@@ -145,6 +165,36 @@ class GangOutcome:
     megaops_retired: int = 0  # whole-trace traversals retired by megaops
     megaop_compiles: int = 0  # hot cycles promoted to megaops
     megaop_deopts: int = 0    # megaop guard failures (divergence/fault)
+    gang_repacks: int = 0     # reconvergence merges that re-admitted lanes
+    lanes_readmitted: int = 0  # suspended sub-gang lanes merged back
+
+
+#: A surviving gang re-compacts into a dense pack only when it keeps at
+#: most this fraction of the launch's lanes: small holes don't pay for
+#: the copy (fancy-indexed rows on the root arrays are nearly as fast),
+#: large holes do — and the pack shrinks with the survivor set.
+REPACK_DENSITY = 0.75
+
+
+@dataclass
+class _JoinFrame:
+    """One live reconvergence point, innermost last on the frame stack.
+
+    ``parked`` holds suspended sub-gangs — ``(lanes, entry ip, mixed)``
+    — waiting to run their divergent arm; ``arrived`` collects every
+    lane that reached ``join``; ``readmitted`` counts arrivals that came
+    in through a parked sub-gang (the re-admission the repack counters
+    report).  ``mixed`` tracks whether arrivals span gangs with unequal
+    per-lane instruction counts, which decides how the runaway cap must
+    be checked afterwards.
+    """
+
+    join: int
+    parked: List[Tuple[List[int], int, bool]] = field(default_factory=list)
+    arrived: List[int] = field(default_factory=list)
+    readmitted: int = 0
+    sources: int = 0
+    mixed: bool = False
 
 
 def gang_eligible(device, shreds: Sequence[ShredDescriptor]) -> bool:
@@ -216,18 +266,114 @@ def run_gang(device, shreds: Sequence[ShredDescriptor],
     #: service, CEH proxies, SPAWN child ids) ahead of earlier-queue
     #: shreds that are still ganged.
     pending: List[Tuple[int, int]] = []
+    #: Live reconvergence points.  A repackable divergence parks its
+    #: losing side here as a suspended sub-gang; whichever gang reaches
+    #: the innermost join is suspended in turn, until every sub-gang has
+    #: reported and all arrivals merge back into one gang at the join.
+    frames: List[_JoinFrame] = []
     ip = shreds[0].entry
+
+    # Current gang register storage: the root arrays, or a dense pack
+    # built by ``adopt`` (no holes, so batched steps stay full width).
+    # ``lane_row`` maps shred index -> row of the current storage; None
+    # means the root arrays, where the row *is* the shred index.  The
+    # root arrays stay canonical for every lane outside the running gang
+    # — peeled shreds execute through their GangLaneRegs views — so a
+    # pack syncs out before a lane leaves the gang and syncs in after
+    # scalar semantics touch a resident lane.
+    gV, gP = V, P
+    lane_row: Optional[Dict[int, int]] = None
+    grows = np.arange(count, dtype=np.int64)
+    #: Lane holding the gang's highest instruction count.  Resident
+    #: lanes advance in lockstep, so the argmax only moves when gang
+    #: membership changes; the runaway cap check stays O(1) per step.
+    lead = 0
+    from_parked = False   # is the current gang a re-activated sub-gang?
+    gang_mixed = False    # unequal per-lane instruction counts?
+    repack_pending = False
 
     def finish_one(i: int) -> None:
         finish_run(recs[i], config)
         shreds[i].state = ShredState.DONE
         live_contexts.pop(shreds[i].shred_id, None)
 
+    def rebuild_rows() -> None:
+        nonlocal grows, lead
+        if lane_row is None:
+            grows = np.asarray(active, dtype=np.int64)
+        else:
+            grows = np.asarray([lane_row[i] for i in active],
+                               dtype=np.int64)
+        lead = max(active, key=lambda i: recs[i].instructions)
+
+    def sync_out(lanes: Sequence[int]) -> None:
+        """Copy lanes' registers from the pack back to the root arrays."""
+        if lane_row is None or not lanes:
+            return
+        rows = np.asarray([lane_row[i] for i in lanes])
+        idx = np.asarray(lanes)
+        V[idx] = gV[rows]
+        P[idx] = gP[rows]
+
+    def sync_in(lanes: Sequence[int]) -> None:
+        """Refresh pack rows from the root arrays after scalar steps."""
+        if lane_row is None or not lanes:
+            return
+        rows = np.asarray([lane_row[i] for i in lanes])
+        idx = np.asarray(lanes)
+        gV[rows] = V[idx]
+        gP[rows] = P[idx]
+
+    def adopt(lanes: Sequence[int], parked_origin: bool,
+              mixed: bool) -> None:
+        """Point the gang at ``lanes``, whose register state sits in the
+        root arrays; compact into a dense pack when the survivor set is
+        sparse enough that full-width batched steps pay for the copy."""
+        nonlocal gV, gP, lane_row, from_parked, gang_mixed, repack_pending
+        repack_pending = False
+        from_parked = parked_origin
+        gang_mixed = mixed
+        if len(lanes) > REPACK_DENSITY * count:
+            gV, gP = V, P
+            lane_row = None
+        else:
+            idx = np.asarray(lanes)
+            gV = V[idx]   # advanced indexing: a dense copy
+            gP = P[idx]
+            lane_row = {i: pos for pos, i in enumerate(lanes)}
+        rebuild_rows()
+
     def defer(pairs: Sequence[Tuple[int, int]]) -> None:
         """Queue (shred index, resume ip) pairs for the deferred phase."""
+        sync_out([i for i, _ in pairs])
         for pair in pairs:
             outcome.scalar_fallbacks += 1
             pending.append(pair)
+
+    def diverge(branch_ip: int, exit_ip: int, lanes: List[int]) -> None:
+        """Route a divergence's losing side.
+
+        When the branch's divergent region is pure (a static ``reconv``
+        join with no ordered side effects), the losers suspend as a
+        sub-gang that will run the region in lockstep and be re-admitted
+        at the join; the caller's surviving majority is re-compacted by
+        the main loop (``repack_pending``).  Otherwise the losers take
+        the deferred peel exactly as before — the ordering lemma of the
+        module docstring only covers lanes that either stay ganged on
+        pure work or retire through the deferred queue.
+        """
+        nonlocal repack_pending
+        if not lanes:
+            return
+        pre = pre_prog.instrs[branch_ip]
+        if pre.repackable and pre.reconv is not None:
+            sync_out(active)  # snapshot every lane; survivors re-adopt
+            frames.append(_JoinFrame(
+                join=pre.reconv,
+                parked=[(list(lanes), exit_ip, gang_mixed)]))
+            repack_pending = True
+        else:
+            defer([(i, exit_ip) for i in lanes])
 
     def step_per_shred(rows: List[int]) -> Tuple[List[int], List[Tuple[int, int]]]:
         """One instruction through scalar semantics for each row.
@@ -273,24 +419,73 @@ def run_gang(device, shreds: Sequence[ShredDescriptor],
     symcache: Dict[str, tuple] = {}
 
     try:
-        while active:
+        while True:
+            while frames and (not active or ip == frames[-1].join):
+                # a gang reaching the innermost join suspends; parked
+                # sub-gangs then run the divergent region one at a time;
+                # once the last reports (or dies), every arrival merges
+                # back into a single gang at the join: re-admission
+                frame = frames[-1]
+                if active:
+                    sync_out(active)
+                    frame.arrived.extend(active)
+                    frame.sources += 1
+                    frame.mixed |= gang_mixed
+                    if from_parked:
+                        frame.readmitted += len(active)
+                    active = []
+                if frame.parked:
+                    lanes, entry, mixed = frame.parked.pop(0)
+                    active = list(lanes)
+                    ip = entry
+                    adopt(active, parked_origin=True, mixed=mixed)
+                    continue
+                frames.pop()
+                if frame.readmitted:
+                    outcome.gang_repacks += 1
+                    outcome.lanes_readmitted += frame.readmitted
+                active = sorted(frame.arrived)
+                ip = frame.join
+                if active:
+                    adopt(active, parked_origin=False,
+                          mixed=frame.mixed or frame.sources > 1)
+                    if recorder is not None:
+                        # the merged gang is a fresh trace head: let the
+                        # recorder profile (and the megaop tier promote)
+                        # from the join instead of deopting for the rest
+                        # of the launch
+                        recorder.reset()
+            if not active:
+                break
+            if repack_pending:
+                repack_pending = False
+                adopt(active, parked_origin=from_parked, mixed=gang_mixed)
+            elif len(active) != len(grows):
+                rebuild_rows()
             if ip >= ninstr:  # ran off the end: finish without accounting
                 for i in active:
                     finish_one(i)
                 active = []
-                break
-            if recs[active[0]].instructions >= MAX_INSTRUCTIONS:
-                # gang-resident records advance in lockstep; the first
-                # deferred interpreter raises the runaway-loop fault
+                continue
+            if recs[lead].instructions >= MAX_INSTRUCTIONS:
+                # stop at the *most advanced* record — after re-admission
+                # lane counts need not be uniform — and let the deferred
+                # interpreters raise the runaway fault at each lane's
+                # precise instruction
                 defer([(i, ip) for i in active])
                 active = []
-                break
+                continue
             if mega is not None:
                 mop = mega.ops.get(ip)
-                if mop is not None:
-                    stepped = run_megaop(mop, device, active, V, P, ctxs,
+                if mop is not None and not (frames
+                                            and frames[-1].join in mop.ips):
+                    # (a megaop whose trace crosses the pending join must
+                    # not dispatch: it would blast through the suspension
+                    # point — the fused tier below stops there precisely)
+                    stepped = run_megaop(mop, device, active, gV, gP, ctxs,
                                          recs, config, outcome, defer,
-                                         symcache)
+                                         symcache, rows=grows,
+                                         diverge=diverge)
                     if stepped is not None:
                         # the recorder window is stale across a megaop
                         # (its traversals are not noted one by one)
@@ -298,9 +493,12 @@ def run_gang(device, shreds: Sequence[ShredDescriptor],
                         ip, active = stepped
                         continue
             if fusion:
-                fused_to = run_fused(fused, ip, active, V, P, ctxs, recs,
+                fused_to = run_fused(fused, ip, active, gV, gP, ctxs, recs,
                                      config, outcome, defer, finish_one,
-                                     symcache, recorder)
+                                     symcache, recorder, rows=grows,
+                                     diverge=diverge,
+                                     stop_ip=(frames[-1].join if frames
+                                              else None))
                 if fused_to is not None:
                     ip, active = fused_to
                     continue
@@ -335,8 +533,7 @@ def run_gang(device, shreds: Sequence[ShredDescriptor],
                     taken = np.ones(len(active), dtype=bool)
                 else:
                     guard = pre.instr.pred
-                    rows = np.asarray(active)
-                    any_lane = P[rows, guard.index, :].any(axis=1)
+                    any_lane = gP[grows, guard.index, :].any(axis=1)
                     taken = ~any_lane if guard.negate else any_lane
                 eff = Effect()  # trace entry is branch-direction independent
                 for i in active:
@@ -348,7 +545,9 @@ def run_gang(device, shreds: Sequence[ShredDescriptor],
                 if not taken.any():
                     ip += 1
                     continue
-                # divergence: the majority stays ganged, the rest peel
+                # divergence: the majority stays ganged; the losers park
+                # toward the reconvergence point when the region is pure,
+                # else take the deferred peel
                 taken_count = int(taken.sum())
                 if taken_count * 2 == len(active):
                     keep_taken = bool(taken[0])
@@ -356,8 +555,9 @@ def run_gang(device, shreds: Sequence[ShredDescriptor],
                     keep_taken = taken_count * 2 > len(active)
                 stay_ip = pre.target if keep_taken else ip + 1
                 exit_ip = ip + 1 if keep_taken else pre.target
-                defer([(i, exit_ip) for pos, i in enumerate(active)
-                       if bool(taken[pos]) != keep_taken])
+                diverge(ip, exit_ip,
+                        [i for pos, i in enumerate(active)
+                         if bool(taken[pos]) != keep_taken])
                 active = [i for pos, i in enumerate(active)
                           if bool(taken[pos]) == keep_taken]
                 ip = stay_ip
@@ -372,11 +572,10 @@ def run_gang(device, shreds: Sequence[ShredDescriptor],
                 continue
 
             if cls == predecode.BATCH_ALU:
-                rows = np.asarray(active)
                 ok = False
                 try:
-                    ok = _apply_alu_batched(pre, rows, V, P, ctxs, active,
-                                            symcache)
+                    ok = _apply_alu_batched(pre, grows, gV, gP, ctxs,
+                                            active, symcache)
                 except ExecutionFault:
                     ok = False  # re-run per shred for the precise fault
                 if ok:
@@ -389,11 +588,11 @@ def run_gang(device, shreds: Sequence[ShredDescriptor],
                 # fall through to the per-shred reference step
 
             if cls == predecode.BATCH_MEM:
-                rows = np.asarray(active)
                 ok = False
                 try:
-                    ok = _apply_mem_batched(device, pre, rows, V, P, ctxs,
-                                            active, recs, config, outcome)
+                    ok = _apply_mem_batched(device, pre, grows, gV, gP,
+                                            ctxs, active, recs, config,
+                                            outcome)
                 except TlbMiss:
                     # some lane's page is unmapped: the per-shred
                     # reference step peels the miss in queue order
@@ -409,8 +608,13 @@ def run_gang(device, shreds: Sequence[ShredDescriptor],
 
             if recorder is not None:
                 recorder.reset()
+            # scalar semantics write through the lane views into the
+            # root arrays, so a pack syncs out first and refreshes the
+            # survivors' rows afterwards
+            sync_out(active)
             survivors, pairs = step_per_shred(list(active))
             defer(pairs)
+            sync_in(survivors)
             active = survivors
             ip += 1
 
@@ -462,14 +666,17 @@ def _read_batched(operand, rows: np.ndarray, n: int, V: np.ndarray,
                          np.zeros(len(ctxs), dtype=bool))
                 symcache[operand.name] = entry
             vals, filled = entry
-            if not filled[rows].all():
+            # the cache is indexed by shred; on a dense sub-gang pack
+            # the rows are pack-relative, so gather by lane instead
+            lanes = rows if V.shape[0] == len(ctxs) else np.asarray(active)
+            if not filled[lanes].all():
                 # resolve misses in queue order so an unbound symbol
                 # faults on exactly the shred the scalar engine blames
                 for i in active:
                     if not filled[i]:
                         vals[i] = ctxs[i].resolve_symbol(operand.name)
                         filled[i] = True
-            return np.repeat(vals[rows], n).reshape(len(rows), n)
+            return np.repeat(vals[lanes], n).reshape(len(rows), n)
         out = np.empty((len(rows), n), dtype=np.float64)
         for j, i in enumerate(active):
             out[j, :] = ctxs[i].resolve_symbol(operand.name)

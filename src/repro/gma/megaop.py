@@ -80,7 +80,7 @@ class MegaOp:
                  "trace_entries", "effects", "nones", "issue_total",
                  "issue_prefix", "mem_total", "mem_prefix",
                  "sampler_total", "sampler_prefix", "sbytes_total",
-                 "sbytes_prefix")
+                 "sbytes_prefix", "ips")
 
 
 class MegaCache:
@@ -537,7 +537,7 @@ def _emit_steps(items, known: dict):
             steps.append((_MEM, item[1], item[2], idx))
         elif kind == "br":
             steps.append((_BR, item[1], item[2], item[3], item[4],
-                          item[5], idx))
+                          item[5], idx, item[7]))
         # "pad": charge-only, no executor step
     return steps
 
@@ -596,6 +596,11 @@ def compile_megaop(head: int, cycle: tuple, fused, pre_prog):
     mop.sampler_prefix = tuple(sampler_prefix)
     mop.sbytes_total = sbytes_prefix[-1]
     mop.sbytes_prefix = tuple(sbytes_prefix)
+    # every ip the trace retires: the gang loop refuses to dispatch a
+    # megaop whose traversal would blast through a pending reconvergence
+    # join, so suspended sub-gangs always merge at the precise ip
+    mop.ips = frozenset(item[7] if item[0] == "br" else item[2]
+                        for item in items)
     return mop
 
 # ---------------------------------------------------------------------------
@@ -634,7 +639,8 @@ def _charge_mega(mop: MegaOp, k: int, m: int, active: Sequence[int],
 
 def run_megaop(mop: MegaOp, device, active: List[int], V: np.ndarray,
                P: np.ndarray, ctxs, recs, config, outcome, defer,
-               symcache) -> Optional[Tuple[int, List[int]]]:
+               symcache, rows=None,
+               diverge=None) -> Optional[Tuple[int, List[int]]]:
     """Retire as many whole traversals of this cycle as possible.
 
     Returns ``(next_ip, active)`` after making progress, or None when
@@ -642,9 +648,15 @@ def run_megaop(mop: MegaOp, device, active: List[int], V: np.ndarray,
     then owns the ip, guaranteeing forward progress).  Every exit
     charges exactly the retired instructions; a deopt resumes at the
     precise ip of the first uncommitted instruction.
+
+    ``rows`` carries the gang's storage rows when ``V``/``P`` are a
+    dense sub-gang pack (pack-relative, not shred indices); ``diverge``
+    routes a divergent branch's losing side (park-or-peel) instead of
+    deferring it straight to the scalar interpreter.
     """
     na = len(active)
-    rows = np.asarray(active)
+    if rows is None:
+        rows = np.asarray(active)
     sl = slice(None) if na == V.shape[0] else rows
     env = MegaEnv()
     env.rows = rows
@@ -653,9 +665,9 @@ def run_megaop(mop: MegaOp, device, active: List[int], V: np.ndarray,
     env.symcache = symcache
     env.syms = {}
     ninstr = mop.ninstr
-    # gang-resident records advance in lockstep, so one budget stands
-    # for all (exactly run_fused's runaway discipline)
-    budget = MAX_INSTRUCTIONS - recs[active[0]].instructions
+    # re-admitted gangs need not hold uniform counts: budget from the
+    # most advanced record so no lane retires past the runaway cap
+    budget = MAX_INSTRUCTIONS - max(recs[i].instructions for i in active)
     steps = mop.steps_entry
     k = 0
     stop = None
@@ -686,7 +698,8 @@ def run_megaop(mop: MegaOp, device, active: List[int], V: np.ndarray,
                     if not ok:
                         stop = ("deopt", st[2], st[3])
                         break
-                else:  # _BR: (code, pidx, negate, expect, taken, fall, m)
+                else:  # _BR: (code, pidx, negate, expect, taken, fall,
+                    #        m, branch_ip)
                     any_lane = P[sl, st[1], :].any(axis=1)
                     taken = ~any_lane if st[2] else any_lane
                     nt = int(taken.sum())
@@ -734,8 +747,9 @@ def run_megaop(mop: MegaOp, device, active: List[int], V: np.ndarray,
 
     # divergence: exactly the fused engine's split — majority stays
     # ganged, ties keep the lowest queue position's outcome, the
-    # minority defers at its exit ip.  The branch itself is charged
-    # (its trace entry is direction independent).
+    # minority parks toward the reconvergence point or defers at its
+    # exit ip.  The branch itself is charged (its trace entry is
+    # direction independent).
     taken, st = stop[1], stop[2]
     _charge_mega(mop, k, st[6] + 1, active, recs, config, outcome)
     outcome.megaops_retired += k
@@ -747,8 +761,12 @@ def run_megaop(mop: MegaOp, device, active: List[int], V: np.ndarray,
         keep_taken = taken_count * 2 > na
     stay_ip = st[4] if keep_taken else st[5]
     exit_ip = st[5] if keep_taken else st[4]
-    defer([(i, exit_ip) for pos, i in enumerate(active)
-           if bool(taken[pos]) != keep_taken])
+    losers = [i for pos, i in enumerate(active)
+              if bool(taken[pos]) != keep_taken]
+    if diverge is not None:
+        diverge(st[7], exit_ip, losers)
+    else:
+        defer([(i, exit_ip) for i in losers])
     active = [i for pos, i in enumerate(active)
               if bool(taken[pos]) == keep_taken]
     return (stay_ip, active)

@@ -29,12 +29,13 @@ loop owns those ips.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .opcodes import Opcode
 from .predecode import (
     BATCH_ALU,
     BATCH_CONTROL,
+    BATCH_PEEL,
     PredecodedInstr,
     PredecodedProgram,
 )
@@ -127,3 +128,150 @@ def discover_blocks(pre_prog: PredecodedProgram,
             blocks[start] = BasicBlock(start=start, end=ip,
                                        body_len=body_len, term=term)
     return blocks
+
+
+# -- reconvergence discovery -------------------------------------------------
+#
+# A divergent branch splits the gang; its arms rejoin at the branch's
+# *immediate post-dominator*: the nearest ip every path from the branch
+# must pass through before the shred can retire.  (This subsumes
+# loop-header join points: for a loop-exit branch the ipdom is the loop's
+# fall-through, so the continuing arm simply laps the loop until it exits
+# there.)  The gang engine uses the ipdom as the re-admission point for
+# suspended sub-gangs, so the computation must be *sound*, never
+# optimistic: a branch whose region it cannot prove pure just keeps the
+# deferred-peel behaviour.
+
+
+def _divergable(pre: PredecodedInstr) -> bool:
+    """Can this instruction send different lanes down different edges?"""
+    return (pre.batch_class == BATCH_CONTROL
+            and pre.opcode in (Opcode.JMP, Opcode.BR)
+            and pre.instr.pred is not None
+            and pre.target is not None)
+
+
+def instruction_successors(
+        pre_prog: PredecodedProgram) -> List[Tuple[int, ...]]:
+    """CFG successor ips per instruction (empty tuple = program exit).
+
+    Conservative on purpose: a malformed branch (``BATCH_PEEL``) has an
+    unknowable destination, so it gets no successors — paths through it
+    reach the virtual exit directly and never establish reconvergence.
+    Running off the end of the program also exits (the interpreters
+    finish such shreds normally).
+    """
+    count = len(pre_prog.instrs)
+    succs: List[Tuple[int, ...]] = []
+    for ip, pre in enumerate(pre_prog.instrs):
+        if pre.opcode is Opcode.END:
+            succs.append(())
+        elif pre.batch_class == BATCH_CONTROL \
+                and pre.opcode in (Opcode.JMP, Opcode.BR):
+            if pre.instr.pred is None:
+                succs.append((pre.target,))
+            else:
+                succs.append((pre.target, ip + 1))
+        elif pre.batch_class == BATCH_PEEL \
+                and pre.opcode in (Opcode.JMP, Opcode.BR):
+            succs.append(())  # malformed: destination unknowable
+        else:
+            succs.append((ip + 1,) if ip + 1 < count else ())
+    return succs
+
+
+def post_dominators(succs: List[Tuple[int, ...]]) -> List[int]:
+    """Post-dominator sets as int bitsets (bit ``i`` = ip ``i``).
+
+    Iterative dataflow over the reverse CFG against a virtual exit node:
+    ``pdom(n) = {n} | intersection(pdom(s) for s in succs(n))``, with
+    exit-reaching nodes seeded from the empty set.  Nodes that cannot
+    reach the exit (infinite loops) converge to "everything", which is
+    harmless: the ipdom extraction below demands a witness chain, so no
+    bogus reconvergence point is ever produced from them alone.
+    """
+    count = len(succs)
+    full = (1 << count) - 1
+    pdom = [full] * count
+    changed = True
+    while changed:
+        changed = False
+        for ip in range(count - 1, -1, -1):
+            targets = succs[ip]
+            if targets:
+                new = full
+                for t in targets:
+                    new &= pdom[t]
+            else:
+                new = 0
+            new |= 1 << ip
+            if new != pdom[ip]:
+                pdom[ip] = new
+                changed = True
+    return pdom
+
+
+def _ipdom(branch: int, pdom: List[int]) -> Optional[int]:
+    """The immediate post-dominator of ``branch``, or None.
+
+    The strict post-dominators of a node form a chain; the immediate one
+    ``r`` is the unique member with ``pdom(branch) == pdom(r) | {branch}``.
+    Demanding that witness equation filters out the saturated "cannot
+    reach exit" fixpoint values.
+    """
+    strict = pdom[branch] & ~(1 << branch)
+    want = pdom[branch]
+    r = strict
+    while r:
+        low = r & -r
+        ip = low.bit_length() - 1
+        if (pdom[ip] | (1 << branch)) == want:
+            return ip
+        r &= r - 1
+    return None
+
+
+def _region_pure(branch: int, reconv: int, succs: List[Tuple[int, ...]],
+                 instrs: Tuple[PredecodedInstr, ...]) -> bool:
+    """Is the divergent region between ``branch`` and ``reconv`` free of
+    ordered side effects?
+
+    The region is every ip reachable from the branch's arms without
+    passing through ``reconv``.  A ``BATCH_PEEL`` instruction in it
+    (spawn / sendreg / flush / malformed branch) emits globally-ordered
+    side effects, so a suspended sub-gang running the region could not
+    preserve scalar queue order — such branches keep the deferred peel.
+    ``END`` and faultable instructions are fine: a lane that retires or
+    peels mid-region simply never reports to the join.
+    """
+    seen = set()
+    stack = [s for s in succs[branch] if s != reconv]
+    while stack:
+        ip = stack.pop()
+        if ip in seen:
+            continue
+        seen.add(ip)
+        if instrs[ip].batch_class == BATCH_PEEL:
+            return False
+        stack.extend(s for s in succs[ip] if s != reconv and s not in seen)
+    return True
+
+
+def annotate_reconvergence(pre_prog: PredecodedProgram) -> None:
+    """Attach ``reconv`` / ``repackable`` to every divergable branch.
+
+    Called once per program from :func:`~.predecode.predecode_program`
+    (gangable programs only — the scalar engine never reads these).
+    """
+    if not any(_divergable(pre) for pre in pre_prog.instrs):
+        return
+    succs = instruction_successors(pre_prog)
+    pdom = post_dominators(succs)
+    for ip, pre in enumerate(pre_prog.instrs):
+        if not _divergable(pre):
+            continue
+        reconv = _ipdom(ip, pdom)
+        pre.reconv = reconv
+        pre.repackable = (reconv is not None
+                          and _region_pure(ip, reconv, succs,
+                                           pre_prog.instrs))

@@ -83,6 +83,16 @@ class PredecodedInstr:
     target: Optional[int] = None  # resolved branch destination
     src_readers: Tuple[Callable, ...] = ()
     handler: Optional[Callable] = None  # filled lazily by semantics
+    #: For a divergable branch (``br``/guarded ``jmp``): the immediate
+    #: post-dominator ip where both arms rejoin, or None when the arms
+    #: never provably reconverge (e.g. a branch into a malformed region).
+    reconv: Optional[int] = None
+    #: True when the whole divergent region between this branch and
+    #: ``reconv`` is free of ordered side effects (no ``BATCH_PEEL``
+    #: instruction), so the gang engine may park the minority as a
+    #: suspended sub-gang and re-admit it at ``reconv`` instead of
+    #: peeling it to the scalar interpreter.
+    repackable: bool = False
 
 
 @dataclass
@@ -272,8 +282,13 @@ def predecode_program(program: Program) -> PredecodedProgram:
             # spawn merely peels, so it does not poison the whole program.
             gangable = False
             reason = f"{op.value} requires scalar queue-order execution"
-    return PredecodedProgram(instrs=tuple(instrs), gangable=gangable,
-                             reason=reason)
+    pre_prog = PredecodedProgram(instrs=tuple(instrs), gangable=gangable,
+                                 reason=reason)
+    if gangable:
+        # deferred import: blocks imports this module at top level
+        from .blocks import annotate_reconvergence
+        annotate_reconvergence(pre_prog)
+    return pre_prog
 
 
 class PredecodeCache:

@@ -49,10 +49,19 @@ class KernelRunResult:
     megaops_retired: int = 0
     megaop_compiles: int = 0
     megaop_deopts: int = 0
+    gang_repacks: int = 0
+    lanes_readmitted: int = 0
 
     @property
     def bytes_total(self) -> int:
         return self.bytes_read + self.bytes_written
+
+    @property
+    def gang_residency_pct(self) -> float:
+        """Share of retired instructions that retired while ganged."""
+        if not self.instructions:
+            return 0.0
+        return 100.0 * self.gang_lanes_retired / self.instructions
 
 
 def build_program(kernel: MediaKernel, geom: Geometry) -> Program:
@@ -122,6 +131,8 @@ def run_kernel_on_gma(kernel: MediaKernel, geom: Geometry,
         result.megaops_retired += getattr(run, "megaops_retired", 0)
         result.megaop_compiles += getattr(run, "megaop_compiles", 0)
         result.megaop_deopts += getattr(run, "megaop_deopts", 0)
+        result.gang_repacks += getattr(run, "gang_repacks", 0)
+        result.lanes_readmitted += getattr(run, "lanes_readmitted", 0)
         result.bound = run.timing.bound
         result.frames_run += 1
 

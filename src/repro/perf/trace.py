@@ -114,9 +114,16 @@ def fabric_chrome_trace_events(reports: Sequence,
                         "tlb_vector_hits", "fused_blocks_retired",
                         "trace_chains", "fusion_compiles",
                         "megaops_retired", "megaop_compiles",
-                        "megaop_deopts")
+                        "megaop_deopts", "gang_repacks",
+                        "lanes_readmitted")
         }
         if any(engine.values()):
+            instructions = sum(getattr(result, "instructions", 0)
+                               for result in report.results)
+            if instructions:
+                # derived, not summable: recompute per report
+                engine["gang_residency_pct"] = round(
+                    100.0 * engine["gang_lanes_retired"] / instructions, 2)
             events.append({
                 "ph": "C", "name": "engine", "pid": pid,
                 "ts": 0.0, "args": engine,

@@ -55,7 +55,8 @@ class TestCounterAggregation:
                                     batched_translations=3,
                                     tlb_vector_hits=2,
                                     fused_blocks_retired=7, trace_chains=4,
-                                    fusion_compiles=2)),
+                                    fusion_compiles=2,
+                                    gang_repacks=2, lanes_readmitted=6)),
         ])
         assert fabric.gang_lanes_retired == 15
         assert fabric.scalar_fallbacks == 3
@@ -67,6 +68,20 @@ class TestCounterAggregation:
         assert fabric.fused_blocks_retired == 7
         assert fabric.trace_chains == 4
         assert fabric.fusion_compiles == 2
+        assert fabric.gang_repacks == 2
+        assert fabric.lanes_readmitted == 6
+
+    def test_fabric_residency_derives_from_totals(self):
+        fabric = FabricRunResult(reports=[
+            _report("gma0", _result(instructions=100,
+                                    gang_lanes_retired=80)),
+            _report("gma1", _result(instructions=100,
+                                    gang_lanes_retired=20)),
+        ])
+        # 100 * (80 + 20) / (100 + 100): derived from the sums, never
+        # an average of per-device percentages
+        assert fabric.gang_residency_pct == pytest.approx(50.0)
+        assert FabricRunResult().gang_residency_pct == 0.0
 
     def test_merged_result_carries_engine_counters(self):
         report = _report(
@@ -79,7 +94,8 @@ class TestCounterAggregation:
                     predecode_hits=1, predecode_misses=0,
                     batched_mem_lanes=2, batched_translations=1,
                     tlb_vector_hits=1, fused_blocks_retired=3,
-                    trace_chains=2, fusion_compiles=1))
+                    trace_chains=2, fusion_compiles=1,
+                    gang_repacks=1, lanes_readmitted=3))
         merged = report.merged_result()
         assert merged.gang_lanes_retired == 12
         assert merged.scalar_fallbacks == 1
@@ -91,6 +107,8 @@ class TestCounterAggregation:
         assert merged.fused_blocks_retired == 3
         assert merged.trace_chains == 2
         assert merged.fusion_compiles == 1
+        assert merged.gang_repacks == 1
+        assert merged.lanes_readmitted == 3
 
     def test_runtime_stats_note_engine_round_trip(self):
         stats = RuntimeStats()
@@ -105,7 +123,8 @@ class TestCounterAggregation:
                                   batched_translations=1,
                                   tlb_vector_hits=1,
                                   fused_blocks_retired=6, trace_chains=3,
-                                  fusion_compiles=2))
+                                  fusion_compiles=2,
+                                  gang_repacks=1, lanes_readmitted=4))
         assert stats.gang_lanes_retired == 15
         assert stats.scalar_fallbacks == 2
         assert stats.predecode_hits == 5
@@ -116,6 +135,8 @@ class TestCounterAggregation:
         assert stats.fused_blocks_retired == 6
         assert stats.trace_chains == 3
         assert stats.fusion_compiles == 2
+        assert stats.gang_repacks == 1
+        assert stats.lanes_readmitted == 4
         # objects without the counters (other backends) contribute nothing
         stats.note_engine(object())
         assert stats.gang_lanes_retired == 15
@@ -153,12 +174,25 @@ class TestChromeTrace:
             "tlb_vector_hits": 1, "fused_blocks_retired": 0,
             "trace_chains": 0, "fusion_compiles": 0,
             "megaops_retired": 0, "megaop_compiles": 0,
-            "megaop_deopts": 0,
+            "megaop_deopts": 0, "gang_repacks": 0,
+            "lanes_readmitted": 0,
         }
         meta = {e["pid"]: e for e in events
                 if e["ph"] == "M" and e["name"] == "process_name"}
         assert meta[0]["args"]["wall_seconds"] == 0.25
         assert "wall_seconds" not in meta[1]["args"]
+
+    def test_counter_track_reports_residency(self):
+        reports = [
+            _report("gma0", _result(instructions=200,
+                                    gang_lanes_retired=150,
+                                    gang_repacks=2, lanes_readmitted=5)),
+        ]
+        events = fabric_chrome_trace_events(reports)
+        args = [e for e in events if e["ph"] == "C"][0]["args"]
+        assert args["gang_repacks"] == 2
+        assert args["lanes_readmitted"] == 5
+        assert args["gang_residency_pct"] == 75.0
 
     def test_export_round_trips(self, tmp_path):
         from repro.perf.trace import export_fabric_chrome_trace

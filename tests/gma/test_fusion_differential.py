@@ -124,8 +124,9 @@ def test_homogeneous_loop_chains_traces():
 
 
 def test_divergence_inside_loop():
-    """A branch that splits mid-loop: the block's divergence path must
-    defer the minority at the exact exit ip and keep charges scalar."""
+    """A branch that splits mid-loop: the fused divergence path parks the
+    minority toward the reconvergence point, the majority keeps chaining
+    blocks, and the merge at the join stays bit-identical to scalar."""
     asm = """
     mov.1.dw vr2 = 0
     loop:
@@ -139,7 +140,9 @@ def test_divergence_inside_loop():
     bindings = [{"iters": 9.0}] * 5 + [{"iters": 3.0}] * 3
     scalar, fused = run_engines(asm, bindings)
     assert_identical(scalar, fused)
-    assert fused[0].scalar_fallbacks == 3  # short-trip minority peeled
+    assert fused[0].scalar_fallbacks == 0  # repacked, not peeled
+    assert fused[0].gang_repacks == 1
+    assert fused[0].lanes_readmitted == 3
     assert fused[0].fused_blocks_retired > 0
 
 

@@ -30,11 +30,12 @@ AGG_FIELDS = ("shreds_executed", "instructions", "bytes_read",
 
 
 def run_engines(asm: str, bindings_list, surfaces_spec=None, inputs=None,
-                prepare_surfaces: bool = True):
-    """The same launch on both engines, each on a fresh device + space."""
+                prepare_surfaces: bool = True,
+                engines=("scalar", "gang")):
+    """The same launch on every engine, each on a fresh device + space."""
     program = assemble(asm, name="differential")
     out = {}
-    for engine in ("scalar", "gang"):
+    for engine in engines:
         space = AddressSpace()
         device = GmaDevice(space, engine=engine)
         surfaces = {
@@ -50,7 +51,7 @@ def run_engines(asm: str, bindings_list, surfaces_spec=None, inputs=None,
         downloads = {name: surf.download(space)
                      for name, surf in surfaces.items()}
         out[engine] = (result, downloads)
-    return out["scalar"], out["gang"]
+    return [out[engine] for engine in engines]
 
 
 def assert_identical(scalar, gang):
@@ -115,8 +116,10 @@ def test_homogeneous_launch_fully_ganged():
     assert gang[0].gang_lanes_retired == gang[0].instructions
 
 
-def test_divergent_branch_peels_minority():
-    """Different trip counts split the gang; minority peels to scalar."""
+def test_divergent_branch_repacks_minority():
+    """Different trip counts split the gang; the loop-exit region is
+    pure, so the short-trip minority parks at the reconvergence point
+    and is re-admitted instead of peeling to the scalar interpreter."""
     asm = """
     mov.1.dw vr2 = 0
     loop:
@@ -129,8 +132,105 @@ def test_divergent_branch_peels_minority():
     bindings = [{"iters": 8.0}] * 5 + [{"iters": 4.0}] * 3
     scalar, gang = run_engines(asm, bindings)
     assert_identical(scalar, gang)
-    assert gang[0].scalar_fallbacks == 3  # the short-trip minority peeled
+    assert gang[0].scalar_fallbacks == 0  # nobody retires on scalar
+    assert gang[0].gang_repacks == 1
+    assert gang[0].lanes_readmitted == 3  # the short-trip minority
     assert gang[0].gang_lanes_retired > 0
+
+
+def test_nested_divergence_repacks_both_levels():
+    """A diamond inside a diamond: the inner split parks and merges at
+    the inner join while the outer arm is still parked, then everything
+    reconverges at the outer join — two repack merges, zero peels."""
+    asm = """
+    bcast.16.f vr1 = x
+    mov.16.f vr3 = 0.0
+    cmp.gt.1.dw p1 = vr1, 5
+    br p1, big
+    cmp.gt.1.dw p2 = vr1, 2
+    br p2, mid
+    add.16.f vr3 = vr1, 1.0
+    jmp ijoin
+    mid:
+    add.16.f vr3 = vr1, 2.0
+    ijoin:
+    mul.16.f vr3 = vr3, 2.0
+    jmp ojoin
+    big:
+    add.16.f vr3 = vr1, 3.0
+    ojoin:
+    add.16.f vr4 = vr3, vr1
+    end
+    """
+    bindings = [{"x": float(i)} for i in range(8)]
+    scalar, gang = run_engines(asm, bindings)
+    assert_identical(scalar, gang)
+    assert gang[0].scalar_fallbacks == 0
+    assert gang[0].gang_repacks == 2          # inner join, then outer
+    assert gang[0].lanes_readmitted == 5      # {3,4,5} inner + {6,7} outer
+    assert gang[0].gang_lanes_retired == gang[0].instructions
+
+
+def test_ordered_side_effect_arm_still_peels():
+    """A SPAWN inside the divergent region defeats repacking: the region
+    is not pure, so both sides of the split take the deferred peel and
+    children enter the global queue in scalar-identical order."""
+    asm = """
+    mov.1.dw vr2 = __spawn_arg
+    cmp.gt.1.dw p1 = vr2, 0
+    br p1, noisy
+    add.16.f vr3 = vr2, vr2
+    jmp done
+    noisy:
+    add.16.f vr3 = vr2, 1.0
+    spawn 0
+    done:
+    end
+    """
+    bindings = [{"__spawn_arg": 1.0}] * 2 + [{"__spawn_arg": 0.0}] * 2
+    scalar, gang = run_engines(asm, bindings)
+    assert_identical(scalar, gang)
+    assert scalar[0].spawned_shreds == 2
+    assert gang[0].gang_repacks == 0          # impure region: no parking
+    assert gang[0].lanes_readmitted == 0
+    # the quiet minority defers at the split; the noisy majority peels
+    # at the spawn itself; the two children gang the pure path
+    assert gang[0].scalar_fallbacks == 4
+
+
+def test_randomized_divergence_fuzz_all_engines():
+    """Seeded fuzz over data-dependent diamonds nested in a variable
+    trip-count loop: every engine tier must stay bit-identical to scalar
+    for every divergence pattern the draw produces."""
+    asm = """
+    mov.1.dw vr2 = 0
+    bcast.16.f vr1 = x
+    mov.16.f vr4 = 0.0
+    loop:
+    cmp.gt.1.dw p2 = vr1, 8
+    br p2, high
+    add.16.f vr4 = vr4, vr1
+    jmp next
+    high:
+    mad.16.f vr4 = vr4, vr1, vr1
+    next:
+    add.1.dw vr2 = vr2, 1
+    add.16.f vr1 = vr1, step
+    cmp.lt.1.dw p1 = vr2, iters
+    br p1, loop
+    end
+    """
+    rng = np.random.default_rng(0xD1CE)
+    for _trial in range(4):
+        bindings = [{"x": float(rng.integers(0, 7)),
+                     "step": float(rng.integers(1, 4)),
+                     "iters": float(rng.integers(1, 9))}
+                    for _ in range(8)]
+        scalar, gang, fused, megaop = run_engines(
+            asm, bindings, engines=("scalar", "gang", "fused", "megaop"))
+        assert_identical(scalar, gang)
+        assert_identical(scalar, fused)
+        assert_identical(scalar, megaop)
 
 
 def test_ceh_fault_peels_faulting_shreds():

@@ -156,7 +156,44 @@ def test_divergence_mid_megaop_deopts():
     assert result.megaop_compiles == 1
     assert result.megaops_retired > 0
     assert result.megaop_deopts >= 1  # the iters=9 split mid-trace
-    assert result.scalar_fallbacks == 3  # short-trip minority peeled
+    assert result.scalar_fallbacks == 0  # repacked, not peeled
+    assert result.gang_repacks == 1
+    assert result.lanes_readmitted == 3
+
+
+def test_readmitted_gang_repromotes_from_join():
+    """Divergence inside a hot trace: a two-phase kernel whose first
+    loop splits trip counts, then a long convergent tail loop.  The
+    re-admitted gang is a fresh trace head, so the tail must promote
+    and retire megaops *after* the reconvergence merge — the repack
+    must not deopt the tier for the rest of the launch."""
+    asm = """
+    mov.1.dw vr2 = 0
+    mov.16.f vr4 = 1.0
+    warm:
+    add.16.f vr4 = vr4, vr4
+    add.1.dw vr2 = vr2, 1
+    cmp.lt.1.dw p1 = vr2, iters
+    br p1, warm
+    mov.1.dw vr3 = 0
+    tail:
+    mul.16.f vr4 = vr4, 0.5
+    add.1.dw vr3 = vr3, 1
+    cmp.lt.1.dw p2 = vr3, 24
+    br p2, tail
+    end
+    """
+    bindings = [{"iters": 12.0}] * 6 + [{"iters": 4.0}] * 2
+    scalar, megaop = run_engines(asm, bindings)
+    assert_identical(scalar, megaop)
+    result = megaop[0]
+    assert result.gang_repacks == 1
+    assert result.lanes_readmitted == 2
+    assert result.scalar_fallbacks == 0
+    # both the warm loop (pre-split) and the tail loop (post-merge,
+    # recorded from the fresh trace head) promoted and retired
+    assert result.megaop_compiles == 2
+    assert result.megaops_retired > 0
 
 
 def test_tlb_miss_mid_megaop_deopts():

@@ -155,3 +155,111 @@ class TestEdgeShapes:
         for start, block in blocks.items():
             assert block.start == start
             assert block.end > block.start
+
+
+class TestReconvergence:
+    """Immediate post-dominator discovery + region-purity annotation
+    (predecode attaches ``reconv`` / ``repackable`` to every divergable
+    branch of a gangable program)."""
+
+    def pre_for(self, asm: str):
+        program = assemble(asm, name="reconv-test")
+        return predecode.lookup(program)
+
+    def test_loop_exit_branch_reconverges_at_fall_through(self):
+        pre = self.pre_for("""
+        mov.1.dw vr2 = 0
+        loop:
+        add.16.f vr3 = vr2, vr2
+        add.1.dw vr2 = vr2, 1
+        cmp.lt.1.dw p1 = vr2, iters
+        br p1, loop
+        end
+        """)
+        branch = pre.instrs[4]
+        assert branch.reconv == 5          # the `end` after the loop
+        assert branch.repackable is True   # body is pure ALU
+
+    def test_diamond_reconverges_at_join(self):
+        pre = self.pre_for("""
+        cmp.gt.1.dw p1 = vr1, 2
+        br p1, other
+        add.16.f vr3 = vr1, 1.0
+        jmp join
+        other:
+        add.16.f vr3 = vr1, 2.0
+        join:
+        mul.16.f vr4 = vr3, vr3
+        end
+        """)
+        branch = pre.instrs[1]
+        assert branch.reconv == 5          # the join label's mul
+        assert branch.repackable is True
+
+    def test_nested_diamonds_get_their_own_joins(self):
+        pre = self.pre_for("""
+        cmp.gt.1.dw p1 = vr1, 5
+        br p1, big
+        cmp.gt.1.dw p2 = vr1, 2
+        br p2, mid
+        add.16.f vr3 = vr1, 1.0
+        jmp ijoin
+        mid:
+        add.16.f vr3 = vr1, 2.0
+        ijoin:
+        mul.16.f vr3 = vr3, 2.0
+        jmp ojoin
+        big:
+        add.16.f vr3 = vr1, 3.0
+        ojoin:
+        add.16.f vr4 = vr3, vr1
+        end
+        """)
+        outer, inner = pre.instrs[1], pre.instrs[3]
+        assert inner.reconv == 7           # ijoin's mul
+        assert outer.reconv == 10          # ojoin's add
+        assert inner.repackable and outer.repackable
+
+    def test_spawn_in_region_defeats_repacking(self):
+        pre = self.pre_for("""
+        mov.1.dw vr2 = __spawn_arg
+        cmp.gt.1.dw p1 = vr2, 0
+        br p1, noisy
+        add.16.f vr3 = vr2, vr2
+        jmp done
+        noisy:
+        spawn 0
+        done:
+        end
+        """)
+        branch = pre.instrs[2]
+        assert branch.reconv == 6          # arms still join at `done`
+        assert branch.repackable is False  # SPAWN is globally ordered
+
+    def test_arm_that_ends_without_joining_has_no_reconv(self):
+        pre = self.pre_for("""
+        cmp.gt.1.dw p1 = vr1, 0
+        br p1, tail
+        end
+        tail:
+        add.16.f vr3 = vr1, vr1
+        end
+        """)
+        branch = pre.instrs[1]
+        assert branch.reconv is None       # no common post-dominator
+        assert branch.repackable is False
+
+    def test_memory_in_region_stays_repackable(self):
+        """BATCH_MEM effects are lane-local (batched path is already
+        order-insensitive); only BATCH_PEEL poisons the region."""
+        pre = self.pre_for("""
+        iota.16.f vr1
+        cmp.gt.1.dw p1 = vr1, 0
+        br p1, fast
+        st.16.f (OUT, 0, 0) = vr1
+        fast:
+        end
+        """)
+        branch = pre.instrs[2]
+        assert branch.reconv == 4
+        assert branch.repackable is True

@@ -276,3 +276,52 @@ def test_coalesced_batches_hit_promoted_megaops_across_launches():
     assert retired1 > 0
     assert compiles2 == compiles1  # warm cache: no recompile
     assert retired2 > retired1     # ...but the second batch still hits it
+
+
+def test_coalesced_gang_survives_request_divergence():
+    """One rider's lanes exit the shared loop early: the gang splits at
+    the loop-exit branch, compacts the survivors (still coalesced), and
+    re-admits the early riders at the reconvergence point.  Demux must
+    hand every request exactly its solo accounting, and the admission
+    EWMAs must see one batch at the full coalesced width — not a
+    scalar-fallback stampede."""
+    program = assemble(LOOP_ASM, name="serving-divergent-loop")
+    iters = [40.0] * 6 + [12.0] * 2
+
+    async def scenario(coalesce):
+        async with ExoServer(num_devices=1, engine="gang") as server:
+            session = server.open_session(
+                "t", SessionQuotas(max_inflight=8, max_surfaces=8,
+                                   max_surface_bytes=1 << 20,
+                                   max_descriptors=32))
+            if coalesce:
+                results = await asyncio.gather(*[
+                    server.submit(session, program,
+                                  bindings=[{"iters": it}])
+                    for it in iters
+                ])
+            else:
+                results = [await server.submit(session, program,
+                                               bindings=[{"iters": it}])
+                           for it in iters]
+            return (results, server.runtime_stats(),
+                    server.admission._width_ewma)
+
+    solo_results, _, _ = asyncio.run(scenario(False))
+    gang_results, gang_stats, width = asyncio.run(scenario(True))
+
+    # the batch merged and stayed merged straight through the divergence
+    assert gang_stats.gangs_coalesced >= 1
+    assert gang_stats.gang_repacks >= 1
+    assert gang_stats.lanes_readmitted == 2   # the two early riders
+    assert gang_stats.scalar_fallbacks == 0   # nobody retired on scalar
+    # admission saw one batch of eight riders, not eight narrow batches
+    assert width == pytest.approx(8.0)
+    # demux attribution: every rider gets back its exact solo accounting
+    for k, (solo, gang) in enumerate(zip(solo_results, gang_results)):
+        assert solo.shreds == gang.shreds == 1
+        assert gang.coalesced_requests == 8
+        for field in RUN_FIELDS:
+            s = getattr(solo.runs[0], field)
+            g = getattr(gang.runs[0], field)
+            assert s == g, f"request {k}: {field} solo={s} coalesced={g}"
