@@ -109,7 +109,8 @@ class ExoPlatform:
                  atr_shared_cache: bool = True,
                  gma_engine: str = "scalar",
                  fabric_workers: int = 0,
-                 megaop_threshold: Optional[int] = None):
+                 megaop_threshold: Optional[int] = None,
+                 schedule=None):
         if num_gma_devices < 1:
             raise SchedulingError(
                 f"need at least one GMA device, got {num_gma_devices}")
@@ -117,6 +118,12 @@ class ExoPlatform:
         cpu_config = cpu_config if cpu_config is not None else CpuTimingConfig()
         self.shared_virtual_memory = shared_virtual_memory
         self.coherent = coherent
+        #: Schedule transform the CHI runtime applies to every parallel
+        #: region's program before launch: ``None`` (off), ``"auto"``
+        #: (tuner-picked per program), a spec string like
+        #: ``"unroll4+stage_mem"``, or a
+        #: :class:`~repro.isa.transforms.Schedule`.
+        self.schedule = schedule
         self.fabric_pool: Optional[ProcessWorkerPool] = None
         self._owns_physical = False
         if fabric_workers:

@@ -156,6 +156,11 @@ class ChiRuntime:
         #: ``"force"`` threads unconditionally.
         self.parallel_fabric = parallel_fabric
         self.timeline = Timeline()
+        #: schedule-transform memo: id(program) + uniform bindings ->
+        #: (source program kept alive, scheduled program, spec, trials).
+        #: Returning the *same* transformed Program object across
+        #: launches keeps the predecode cache warm.
+        self._schedule_memo: Dict[tuple, tuple] = {}
         self._descriptors: List[SurfaceDescriptor] = []
         self._features: Dict[str, Dict[str, object]] = {}
         self._pershred_features: Dict[int, Dict[str, object]] = {}
@@ -290,6 +295,7 @@ class ChiRuntime:
                 raise PragmaError(
                     f"num_threads({num_threads}) != number of private "
                     f"bindings ({len(bindings_list)})")
+        program = self._apply_schedule(program, consts, bindings_list)
         self._check_symbols(program, surfaces, consts, bindings_list)
 
         shreds = [
@@ -321,6 +327,42 @@ class ChiRuntime:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+
+    def _apply_schedule(self, program: Program,
+                        consts: Dict[str, float],
+                        bindings_list: List[Dict[str, float]]) -> Program:
+        """Run the platform's schedule transform over a region's program.
+
+        Loop bounds are resolved from the constants plus any binding that
+        is *uniform* across the region's shreds.  Results are memoized by
+        source-program identity so repeat launches reuse one transformed
+        ``Program`` object (warm predecode cache).
+        """
+        spec = getattr(self.platform, "schedule", None)
+        if spec is None:
+            return program
+        uniform = dict(consts)
+        if bindings_list:
+            for name, value in bindings_list[0].items():
+                if all(b.get(name) == value for b in bindings_list[1:]):
+                    uniform.setdefault(name, value)
+        try:
+            key = (id(program), tuple(sorted(uniform.items())))
+        except TypeError:
+            key = None
+        if key is not None and key in self._schedule_memo:
+            source, scheduled, name, trials = self._schedule_memo[key]
+            if source is program:
+                self.stats.note_schedule(name, 0,
+                                         applied=scheduled is not program)
+                return scheduled
+        from ..isa.tuning import resolve_schedule
+        scheduled, name, trials = resolve_schedule(program, spec, uniform)
+        if key is not None:
+            self._schedule_memo[key] = (program, scheduled, name, trials)
+        self.stats.note_schedule(name, trials,
+                                 applied=scheduled is not program)
+        return scheduled
 
     def _launch(self, shreds: List[ShredDescriptor],
                 master_nowait: bool, target: str = "X3000") -> ParallelRegion:
@@ -597,6 +639,19 @@ class RuntimeStats:
     launches_rejected: int = 0
     gangs_coalesced: int = 0
     coalesced_lanes: int = 0
+    #: Schedule-transform accounting (``ExoPlatform(schedule=...)``):
+    #: the last applied schedule spec, regions whose program was actually
+    #: rewritten, and auto-tuner candidates scored (cache hits add 0).
+    schedule_name: str = ""
+    schedules_applied: int = 0
+    tuner_trials: int = 0
+
+    def note_schedule(self, name: str, trials: int, applied: bool) -> None:
+        if name:
+            self.schedule_name = name
+        self.tuner_trials += trials
+        if applied:
+            self.schedules_applied += 1
 
     def note_drain(self, mode: str) -> None:
         if mode == "process":

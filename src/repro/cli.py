@@ -90,6 +90,14 @@ def chirun(argv=None) -> int:
     parser_.add_argument("--parallel-fabric", action="store_true",
                          help="drain multi-device regions on host worker "
                               "threads (same results, less wall-clock)")
+    parser_.add_argument("--schedule", default=None, metavar="SPEC",
+                         help="schedule transform applied to every "
+                              "parallel region's program: 'auto' tunes "
+                              "per program against the timing model, or "
+                              "give an explicit spec like "
+                              "'unroll4+stage_mem' (steps: unroll[N], "
+                              "split[N], stage_mem, reorder, "
+                              "replace_avg, replace_mad)")
     parser_.add_argument("--megaop-threshold", type=int, default=None,
                          metavar="N",
                          help="chain traversals of one hot cycle before "
@@ -136,7 +144,8 @@ def chirun(argv=None) -> int:
         platform = ExoPlatform(num_gma_devices=args.gma_devices,
                                gma_engine=args.engine,
                                fabric_workers=args.fabric_workers,
-                               megaop_threshold=args.megaop_threshold)
+                               megaop_threshold=args.megaop_threshold,
+                               schedule=args.schedule)
         runtime = ChiRuntime(platform,
                              parallel_fabric=args.parallel_fabric)
         program = _load(args.image)
@@ -158,6 +167,11 @@ def chirun(argv=None) -> int:
             print(f"[chirun]   {name}: "
                   f"{stats.device_seconds[name] * 1e6:.1f}us busy, "
                   f"{stats.device_shreds.get(name, 0)} shreds",
+                  file=sys.stderr)
+        if args.schedule is not None:
+            print(f"[chirun] schedule={stats.schedule_name or 'baseline'} "
+                  f"applied={stats.schedules_applied} "
+                  f"tuner_trials={stats.tuner_trials}",
                   file=sys.stderr)
         if args.engine != "scalar":
             total = stats.predecode_hits + stats.predecode_misses

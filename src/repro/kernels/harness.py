@@ -17,6 +17,7 @@ from ..exo.shred import ShredDescriptor
 from ..gma.device import GmaDevice
 from ..isa.assembler import assemble
 from ..isa.program import Program
+from ..isa.tuning import resolve_schedule
 from ..memory.address_space import AddressSpace
 from ..memory.surface import Surface
 from .base import Geometry, MediaKernel
@@ -51,6 +52,11 @@ class KernelRunResult:
     megaop_deopts: int = 0
     gang_repacks: int = 0
     lanes_readmitted: int = 0
+    #: Schedule-transform layer: the spec that was applied to the kernel
+    #: program ("" when unscheduled, "baseline" when the tuner kept the
+    #: original) and how many candidates the auto-tuner scored.
+    schedule: str = ""
+    tuner_trials: int = 0
 
     @property
     def bytes_total(self) -> int:
@@ -64,9 +70,58 @@ class KernelRunResult:
         return 100.0 * self.gang_lanes_retired / self.instructions
 
 
-def build_program(kernel: MediaKernel, geom: Geometry) -> Program:
-    """Assemble the kernel's inline-assembly block for this geometry."""
-    return assemble(kernel.asm_source(geom), name=kernel.abbrev)
+def build_program(kernel: MediaKernel, geom: Geometry,
+                  schedule=None) -> Program:
+    """Assemble the kernel's inline-assembly block for this geometry.
+
+    ``schedule`` optionally transforms the result: ``None`` (as
+    assembled), ``"auto"`` (tuner-picked), a spec string like
+    ``"unroll4+stage_mem"``, or a
+    :class:`~repro.isa.transforms.Schedule`.
+    """
+    program, _, _ = schedule_kernel_program(kernel, geom, schedule)
+    return program
+
+
+def schedule_kernel_program(kernel: MediaKernel, geom: Geometry,
+                            schedule=None, verify: bool = False):
+    """Build + schedule; returns ``(program, spec, tuner_trials)``.
+
+    With ``verify=True`` the auto-tuner only accepts candidates that
+    reproduce frame 0 bit-exactly on a scratch scalar device.
+    """
+    program = assemble(kernel.asm_source(geom), name=kernel.abbrev)
+    verifier = (make_schedule_verifier(kernel, geom)
+                if verify and schedule == "auto" else None)
+    return resolve_schedule(program, schedule, kernel.constants(geom),
+                            verifier=verifier)
+
+
+def make_schedule_verifier(kernel: MediaKernel, geom: Geometry, seed: int = 0):
+    """A tuner verify hook: candidate must match the numpy reference
+    bit-exactly for frame 0 on a fresh scalar device."""
+    def verify(program: Program) -> bool:
+        space = AddressSpace()
+        device = GmaDevice(space)
+        surfaces = allocate_surfaces(kernel, geom, space)
+        consts = kernel.constants(geom)
+        inputs = kernel.make_frame_inputs(geom, 0, seed)
+        for name, image in inputs.items():
+            surfaces[name].upload(space, np.asarray(image))
+        expected, _ = kernel.reference_frame(geom, inputs, {})
+        shreds = [ShredDescriptor(program=program,
+                                  bindings={**consts, **bindings},
+                                  surfaces=surfaces)
+                  for bindings in kernel.shred_bindings(geom)]
+        try:
+            device.run(shreds)
+            for name, want in expected.items():
+                kernel.compare(name, surfaces[name].download(space),
+                               np.asarray(want))
+        except Exception:
+            return False
+        return True
+    return verify
 
 
 def allocate_surfaces(kernel: MediaKernel, geom: Geometry,
@@ -82,22 +137,29 @@ def run_kernel_on_gma(kernel: MediaKernel, geom: Geometry,
                       device: Optional[GmaDevice] = None,
                       space: Optional[AddressSpace] = None,
                       seed: int = 0, verify: bool = True,
-                      max_frames: Optional[int] = None) -> KernelRunResult:
+                      max_frames: Optional[int] = None,
+                      schedule=None) -> KernelRunResult:
     """Execute the kernel's shreds on the GMA model, frame by frame.
 
     ``max_frames`` caps how many of ``geom.frames`` actually execute (the
     benchmarks run a frame or two and scale; cycle cost is per-frame
     uniform).  Functional verification compares every output surface
     against the kernel's reference for each executed frame.
+    ``schedule`` selects a schedule transform for the kernel program
+    (``None`` / ``"auto"`` / spec string / ``Schedule``); under
+    ``"auto"`` the tuner's pick must reproduce frame 0 bit-exactly
+    before it is accepted.
     """
     kernel.check_geometry(geom)
     space = space or AddressSpace()
     device = device or GmaDevice(space)
-    program = build_program(kernel, geom)
+    program, spec, tuner_trials = schedule_kernel_program(
+        kernel, geom, schedule, verify=True)
     surfaces = allocate_surfaces(kernel, geom, space)
     consts = kernel.constants(geom)
 
-    result = KernelRunResult(kernel=kernel, geometry=geom)
+    result = KernelRunResult(kernel=kernel, geometry=geom,
+                             schedule=spec, tuner_trials=tuner_trials)
     invocations = kernel.device_invocations(geom)
     frames = invocations if max_frames is None else min(invocations, max_frames)
     state: Dict = {}

@@ -180,6 +180,68 @@ def test_fused_store_requires_live_predecode_entry():
     assert cache.lookup_fused(program) is None
 
 
+def test_transformed_program_gets_fresh_cache_entry():
+    """A schedule transform emits a *new* Program object: the predecode
+    cache must key source and transformed programs separately, and
+    evicting one must not disturb the other."""
+    from repro.isa import transforms
+
+    cache = predecode.PredecodeCache()
+    program = _program("""
+    mov.16.f vr3 = 0.0
+    mov.1.dw vr1 = 0
+    loop:
+    add.16.f vr3 = vr3, 1.0
+    add.1.dw vr1 = vr1, 1
+    cmp.lt.1.dw p1 = vr1, 8
+    br p1, loop
+    end
+    """, name="xform-cache")
+    unrolled = transforms.unroll(program, "loop", 2)
+    assert unrolled is not program
+
+    entry_src = cache.lookup(program)
+    entry_new = cache.lookup(unrolled)
+    assert entry_new is not entry_src
+    assert len(cache) == 2 and cache.misses == 2
+    # each entry decodes its own program's instructions, never aliases
+    assert entry_src.instrs[0].instr is program.instructions[0]
+    assert entry_new.instrs[0].instr is unrolled.instructions[0]
+
+    # evicting the source leaves the transformed entry live and hot
+    del program, entry_src
+    gc.collect()
+    assert len(cache) == 1
+    assert cache.lookup(unrolled) is entry_new
+    assert cache.hits == 1
+
+
+def test_transformed_id_reuse_never_aliases():
+    """Repeatedly transforming and dropping programs must never produce
+    a stale predecode hit on a recycled id()."""
+    from repro.isa import transforms
+
+    cache = predecode.PredecodeCache()
+    asm = """
+    mov.1.dw vr1 = 0
+    loop:
+    add.16.f vr2 = vr2, 1.0
+    add.1.dw vr1 = vr1, 1
+    cmp.lt.1.dw p1 = vr1, 8
+    br p1, loop
+    end
+    """
+    for factor in (2, 4, 8, 2, 4, 8):
+        program = _program(asm, name="xform-reuse")
+        unrolled = transforms.unroll(program, "loop", factor)
+        pre = cache.lookup(unrolled)
+        assert pre.instrs[0].instr is unrolled.instructions[0]
+        del program, unrolled, pre
+        gc.collect()
+    assert cache.hits == 0
+    assert cache.misses == 6
+
+
 def test_fused_id_reuse_never_leaks():
     """A new Program landing on a dead program's id() must not see the
     dead program's compiled blocks."""
